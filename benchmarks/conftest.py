@@ -1,0 +1,20 @@
+"""Shared settings for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables/figures through the
+same `repro.experiments` runners a user would call, but with CPU-friendly
+knobs (reduced dataset scale, fewer repeats/epochs).  The printed tables
+land in stdout (visible with ``pytest benchmarks/ --benchmark-only -s``)
+and JSON dumps under ``results/``.
+
+Fidelity knob: set ``REPRO_BENCH_FULL=1`` to run closer to paper settings
+(slower by an order of magnitude).
+"""
+
+import os
+
+FULL = os.environ.get("REPRO_BENCH_FULL", "0") == "1"
+
+# (scale, repeats, epochs) used by the accuracy-table benchmarks.
+SCALE = 0.5 if FULL else 0.12
+REPEATS = 3 if FULL else 1
+EPOCHS = 150 if FULL else 30

@@ -1,0 +1,85 @@
+"""Ablation benchmarks for Lasagne design choices (DESIGN.md §5):
+
+1. the extra GC transformation inside the weighted aggregator (Eq. 5)
+   versus a plain JK-style per-node weighted sum, and
+2. flexible per-layer hidden widths versus the uniform-width restriction
+   the paper criticizes in ResGCN/DenseGCN.
+"""
+
+from conftest import EPOCHS, REPEATS, SCALE
+
+from repro.core import Lasagne
+from repro.datasets import load_dataset
+from repro.experiments.common import evaluate
+from repro.training import hyperparams_for
+
+
+def _factory(graph, hp, **kwargs):
+    def make(seed):
+        return Lasagne(
+            graph.num_features,
+            hp.hidden,
+            graph.num_classes,
+            num_layers=4,
+            dropout=hp.dropout,
+            seed=seed,
+            **kwargs,
+        )
+
+    return make
+
+
+def test_aggregator_gc_transform_ablation(benchmark):
+    graph = load_dataset("cora", scale=SCALE, seed=0)
+    hp = hyperparams_for("cora")
+
+    def run_both():
+        with_gc = evaluate(
+            _factory(graph, hp, aggregator="weighted", aggregator_gc_transform=True),
+            graph, hp, repeats=REPEATS, epochs=EPOCHS,
+        )
+        without_gc = evaluate(
+            _factory(graph, hp, aggregator="weighted", aggregator_gc_transform=False),
+            graph, hp, repeats=REPEATS, epochs=EPOCHS,
+        )
+        return with_gc, without_gc
+
+    with_gc, without_gc = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    print()
+    print(f"weighted aggregator with GC transform (Eq. 5): {with_gc}")
+    print(f"weighted aggregator plain sum (JK-style):      {without_gc}")
+    assert 0.0 <= with_gc.mean <= 1.0
+    assert 0.0 <= without_gc.mean <= 1.0
+
+
+def test_flexible_hidden_dims_ablation(benchmark):
+    graph = load_dataset("cora", scale=SCALE, seed=0)
+    hp = hyperparams_for("cora")
+
+    def make_flexible(seed):
+        return Lasagne(
+            graph.num_features, [48, 32, 16], graph.num_classes,
+            num_layers=4, aggregator="weighted", dropout=hp.dropout, seed=seed,
+        )
+
+    def make_uniform(seed):
+        return Lasagne(
+            graph.num_features, 32, graph.num_classes,
+            num_layers=4, aggregator="weighted", dropout=hp.dropout, seed=seed,
+        )
+
+    def run_both():
+        flexible = evaluate(
+            make_flexible, graph, hp, repeats=REPEATS, epochs=EPOCHS
+        )
+        uniform = evaluate(
+            make_uniform, graph, hp, repeats=REPEATS, epochs=EPOCHS
+        )
+        return flexible, uniform
+
+    flexible, uniform = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    print()
+    print(f"flexible widths [48, 32, 16]: {flexible}")
+    print(f"uniform width 32:             {uniform}")
+    assert 0.0 <= flexible.mean <= 1.0
+    assert 0.0 <= uniform.mean <= 1.0

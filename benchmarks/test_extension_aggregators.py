@@ -1,0 +1,35 @@
+"""Extension benchmark: the five-aggregator comparison table."""
+
+from conftest import EPOCHS, FULL, REPEATS, SCALE
+
+from repro.experiments import save_result
+from repro.experiments.extension_aggregators import run
+
+
+def test_extension_aggregators(benchmark):
+    result = benchmark.pedantic(
+        lambda: run(
+            datasets=("cora", "citeseer") if FULL else ("cora",),
+            scale=SCALE,
+            repeats=REPEATS,
+            epochs=EPOCHS,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result.render())
+    save_result(result)
+
+    assert set(result.data["accuracy"]) == {
+        "weighted", "maxpool", "stochastic", "mean", "attention"
+    }
+    # Capability claims the library makes must hold.
+    inductive = result.data["inductive"]
+    assert not inductive["weighted"] and not inductive["stochastic"]
+    assert inductive["maxpool"] and inductive["mean"] and inductive["attention"]
+    # Parameter-free aggregators add nothing over maxpool.
+    extra = result.data["extra_params"]
+    assert extra["maxpool"] == 0
+    assert extra["mean"] == 0
+    assert extra["weighted"] > 0

@@ -1,0 +1,26 @@
+"""Benchmark: quantify the Fig. 1 motivation (neighborhood expansion)."""
+
+from conftest import FULL
+
+from repro.experiments import save_result
+from repro.experiments.fig1_expansion import run
+
+
+def test_fig1_expansion(benchmark):
+    result = benchmark.pedantic(
+        lambda: run(scale=1.0 if FULL else 0.3),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result.render())
+    save_result(result)
+
+    expansion = result.data["expansion"]
+    purity = result.data["purity"]
+    # Fig. 1's message: hubs expand much faster than peripheral nodes...
+    assert expansion["central"][1] > 2 * expansion["peripheral"][1]
+    # ...and their neighborhoods lose label purity as depth grows, while
+    # peripheral nodes keep purer (cluster-local) neighborhoods early on.
+    assert purity["central"][-1] < purity["central"][0]
+    assert purity["peripheral"][0] >= purity["central"][0] - 0.05

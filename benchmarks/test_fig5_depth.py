@@ -1,0 +1,37 @@
+"""Benchmark: regenerate Fig. 5 (accuracy vs model depth)."""
+
+from conftest import EPOCHS, FULL, REPEATS, SCALE
+
+from repro.experiments import save_result
+from repro.experiments.fig5_depth import run
+
+
+def test_fig5_depth(benchmark):
+    result = benchmark.pedantic(
+        lambda: run(
+            dataset="cora",
+            depths=(2, 4, 6, 8, 10) if FULL else (2, 5, 8),
+            scale=SCALE,
+            repeats=REPEATS,
+            epochs=EPOCHS,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result.render())
+    save_result(result)
+
+    series = result.data["series"]
+    depths = result.data["depths"]
+    assert "GCN" in series and "Lasagne (Max pooling)" in series
+    assert all(len(v) == len(depths) for v in series.values())
+
+    # The Fig. 5 signature: plain GCN degrades sharply with depth, while
+    # Lasagne at max depth stays far above GCN at max depth.
+    gcn = series["GCN"]
+    assert gcn[-1] < gcn[0]
+    best_lasagne_deep = max(
+        series[k][-1] for k in series if k.startswith("Lasagne")
+    )
+    assert best_lasagne_deep > gcn[-1]

@@ -1,0 +1,29 @@
+"""Benchmark: regenerate Fig. 6 (last-layer MI during training)."""
+
+from conftest import FULL
+
+from repro.experiments import save_result
+from repro.experiments.fig6_mi_training import run
+
+
+def test_fig6_mi_training(benchmark):
+    result = benchmark.pedantic(
+        lambda: run(
+            scale=0.5 if FULL else 0.12,
+            num_layers=10 if FULL else 5,
+            epochs=100 if FULL else 30,
+            trace_every=10,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result.render())
+    save_result(result)
+
+    traces = result.data["traces"]
+    assert "lasagne(weighted)" in traces
+    assert all(len(t) >= 2 for t in traces.values())
+    # All MI values are finite and non-negative.
+    for trace in traces.values():
+        assert all(v >= 0.0 for v in trace)

@@ -1,0 +1,52 @@
+"""Benchmark: regenerate Fig. 7 (per-epoch training time)."""
+
+from conftest import FULL
+
+from repro.experiments import save_result
+from repro.experiments.fig7_efficiency import run
+
+
+def test_fig7_efficiency(benchmark):
+    result = benchmark.pedantic(
+        lambda: run(
+            datasets=("cora", "citeseer", "pubmed", "tencent")
+            if FULL
+            else ("cora", "tencent"),
+            depth=4,
+            depth_sweep=(2, 4, 6, 8, 10) if FULL else (2, 6),
+            # Per-dataset default scales: a single global factor would blow
+            # up the million-node Tencent spec (GAT's per-edge attention
+            # tensors are the memory hog the paper's Fig. 7 is about).
+            scale=None,
+            timing_epochs=5 if FULL else 3,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result.render())
+    save_result(result)
+
+    ratios = result.data["ratios"]
+    measured_gat = 0
+    for ds, r in ratios.items():
+        # The Fig. 7 signature: Lasagne within a small factor of GCN;
+        # GAT either far more expensive or OOM (as the paper reports on
+        # Pubmed/Tencent with a 24 GB GPU).  On Tencent the GC-FM head
+        # costs O(N·D·F·k) with F=253 classes, so the Lasagne/GCN factor
+        # is larger there than on 3-7-class citation graphs — a measured
+        # deviation from the paper's "always similar" claim, recorded in
+        # EXPERIMENTS.md.
+        limit = 15.0 if ds == "tencent" else 4.0
+        assert r["lasagne/gcn"] < limit, f"{ds}: Lasagne too slow vs GCN"
+        if r["gat/gcn"] is not None:
+            measured_gat += 1
+            assert r["gat/gcn"] > 2.0, f"{ds}: GAT should cost well above GCN"
+            assert r["gat/gcn"] > r["lasagne/gcn"]
+    assert measured_gat >= 1  # GAT actually ran somewhere
+
+    # Panel (b): GAT's cost must grow with depth faster than Lasagne's
+    # (cora is small enough that GAT never OOMs there).
+    panel_b = result.data["panel_b_seconds"]
+    assert panel_b["gat"][-1] is not None
+    assert panel_b["gat"][-1] > panel_b["lasagne"][-1]

@@ -1,0 +1,28 @@
+"""Extension benchmark: information-plane trajectories during training."""
+
+from conftest import FULL
+
+from repro.experiments import save_result
+from repro.experiments.info_plane import run
+
+
+def test_info_plane(benchmark):
+    result = benchmark.pedantic(
+        lambda: run(
+            scale=0.4 if FULL else 0.12,
+            num_layers=6 if FULL else 4,
+            epochs=60 if FULL else 20,
+            trace_every=10,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result.render())
+    save_result(result)
+
+    label_mi = result.data["label_mi"]
+    # Training must increase class information in the classifier input
+    # for every architecture (the I(H;Y) axis goes up).
+    for name, trace in label_mi.items():
+        assert trace[-1] >= trace[0] - 0.05, f"{name} lost label information"

@@ -1,0 +1,73 @@
+"""Micro-benchmarks for the substrate hot paths.
+
+These are true repeated-measurement benchmarks (unlike the table/figure
+regenerators, which run once): sparse propagation, one GCN training step,
+one Lasagne training step, GC-FM forward, and the MI estimator.
+"""
+
+import numpy as np
+
+from repro import nn
+from repro.core import GCFMLayer, Lasagne
+from repro.datasets import load_dataset
+from repro.graphs import gcn_norm
+from repro.info import representation_mi
+from repro.models import GCN
+from repro.tensor import Tensor
+from repro.tensor import functional as F
+
+GRAPH = load_dataset("cora", scale=0.3, seed=0)
+NORM = gcn_norm(GRAPH.adj)
+
+
+def test_spmm_forward(benchmark):
+    h = Tensor(np.random.default_rng(0).normal(size=(GRAPH.num_nodes, 64)))
+    benchmark(lambda: NORM @ h)
+
+
+def _train_step(model, optimizer, rng):
+    model.train()
+    model.begin_epoch(rng)
+    logits, index = model.training_batch()
+    mask = model.graph.train_mask[index]
+    loss = F.cross_entropy(
+        logits[np.flatnonzero(mask)], model.graph.labels[index][mask]
+    )
+    optimizer.zero_grad()
+    loss.backward()
+    optimizer.step()
+    return loss.item()
+
+
+def test_gcn_train_step(benchmark):
+    model = GCN(GRAPH.num_features, 32, GRAPH.num_classes, num_layers=4, seed=0)
+    model.setup(GRAPH)
+    optimizer = nn.Adam(model.parameters(), lr=0.02)
+    rng = np.random.default_rng(0)
+    benchmark(lambda: _train_step(model, optimizer, rng))
+
+
+def test_lasagne_train_step(benchmark):
+    model = Lasagne(
+        GRAPH.num_features, 32, GRAPH.num_classes,
+        num_layers=4, aggregator="weighted", seed=0,
+    )
+    model.setup(GRAPH)
+    optimizer = nn.Adam(model.parameters(), lr=0.02)
+    rng = np.random.default_rng(0)
+    benchmark(lambda: _train_step(model, optimizer, rng))
+
+
+def test_gcfm_forward(benchmark):
+    layer = GCFMLayer((32, 32, 32), GRAPH.num_classes, rng=np.random.default_rng(0))
+    rng = np.random.default_rng(1)
+    hidden = [Tensor(rng.normal(size=(GRAPH.num_nodes, 32))) for _ in range(3)]
+    benchmark(lambda: layer(NORM, hidden))
+
+
+def test_mi_estimator(benchmark):
+    rng = np.random.default_rng(2)
+    hidden = rng.normal(size=(GRAPH.num_nodes, 32))
+    benchmark(
+        lambda: representation_mi(GRAPH.features, hidden, max_samples=500)
+    )

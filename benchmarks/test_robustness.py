@@ -1,0 +1,32 @@
+"""Extension benchmark: corruption robustness (failure injection)."""
+
+from conftest import FULL
+
+from repro.experiments import save_result
+from repro.experiments.robustness import run
+
+
+def test_robustness_noise_sweep(benchmark):
+    result = benchmark.pedantic(
+        lambda: run(
+            scale=0.4 if FULL else 0.12,
+            edge_noise=(0.0, 0.5),
+            feature_noise=(0.0, 1.0),
+            epochs=100 if FULL else 25,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result.render())
+    save_result(result)
+
+    series = result.data["series"]
+    labels = result.data["labels"]
+    assert set(series) == {"gcn", "lasagne(stochastic)"}
+    assert all(len(v) == len(labels) for v in series.values())
+    # Corruption must hurt: the clean setting upper-bounds heavy noise.
+    for values in series.values():
+        clean_edge = values[labels.index("edges@0")]
+        noisy_edge = values[labels.index("edges@0.5")]
+        assert clean_edge >= noisy_edge - 0.02

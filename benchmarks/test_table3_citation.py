@@ -1,0 +1,34 @@
+"""Benchmark: regenerate Table 3 (citation accuracy)."""
+
+from conftest import EPOCHS, REPEATS, SCALE
+
+from repro.experiments import save_result
+from repro.experiments.table3_citation import run
+
+
+def test_table3_citation(benchmark):
+    result = benchmark.pedantic(
+        lambda: run(
+            datasets=("cora", "citeseer"),
+            scale=SCALE,
+            repeats=REPEATS,
+            epochs=EPOCHS,
+            include_extra=False,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result.render())
+    save_result(result)
+
+    measured = result.data["measured"]
+    # All three Lasagne variants and all starred baselines must be present.
+    assert "Lasagne (Weighted)*" in measured
+    assert "Lasagne (Stochastic)*" in measured
+    assert "Lasagne (Max pooling)*" in measured
+    assert "GCN*" in measured
+    for values in measured.values():
+        for cell in values.values():
+            acc = float(cell.split("±")[0])
+            assert 0.0 <= acc <= 100.0

@@ -1,0 +1,32 @@
+"""Benchmark: regenerate Table 4 (inductive tasks, Flickr/Reddit)."""
+
+from conftest import EPOCHS, FULL, REPEATS
+
+from repro.experiments import save_result
+from repro.experiments.table4_inductive import run
+
+
+def test_table4_inductive(benchmark):
+    result = benchmark.pedantic(
+        lambda: run(
+            scale=0.05 if FULL else 0.02,
+            repeats=REPEATS,
+            epochs=EPOCHS,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result.render())
+    save_result(result)
+
+    measured = result.data["measured"]
+    assert set(measured) == {
+        "GraphSAGE",
+        "FastGCN",
+        "ClusterGCN",
+        "GraphSAINT",
+        "Lasagne (Max pooling)*",
+    }
+    for values in measured.values():
+        assert set(values) == {"flickr", "reddit"}

@@ -1,0 +1,30 @@
+"""Benchmark: regenerate Table 6 (GC-FM ablation)."""
+
+from conftest import EPOCHS, FULL, REPEATS, SCALE
+
+from repro.experiments import save_result
+from repro.experiments.table6_gcfm_ablation import run
+
+
+def test_table6_gcfm_ablation(benchmark):
+    result = benchmark.pedantic(
+        lambda: run(
+            datasets=("cora", "citeseer", "pubmed") if FULL else ("cora",),
+            scale=SCALE,
+            repeats=REPEATS,
+            epochs=EPOCHS,
+            lasagne_layers=4,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result.render())
+    save_result(result)
+
+    measured = result.data["measured"]
+    assert set(measured) == {"Weighted", "Stochastic", "Max Pooling"}
+    for values in measured.values():
+        # Both arms of the ablation must have been measured.
+        assert any(k.endswith("+GC-FM") for k in values)
+        assert any(k.endswith("baseline") for k in values)

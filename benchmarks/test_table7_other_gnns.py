@@ -1,0 +1,29 @@
+"""Benchmark: regenerate Table 7 (Lasagne over GCN/SGC/GAT bases)."""
+
+from conftest import EPOCHS, FULL, REPEATS, SCALE
+
+from repro.experiments import save_result
+from repro.experiments.table7_other_gnns import run
+
+
+def test_table7_other_gnns(benchmark):
+    result = benchmark.pedantic(
+        lambda: run(
+            datasets=("cora", "citeseer", "pubmed") if FULL else ("cora",),
+            scale=SCALE,
+            repeats=REPEATS,
+            epochs=EPOCHS,
+            lasagne_layers=4,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result.render())
+    save_result(result)
+
+    measured = result.data["measured"]
+    assert set(measured) == {"GCN", "SGC", "GAT"}
+    for base, values in measured.items():
+        for ds, cells in values.items():
+            assert set(cells) == {"baseline", "+Lasagne(S)"}

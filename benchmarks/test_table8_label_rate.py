@@ -1,0 +1,33 @@
+"""Benchmark: regenerate Table 8 (label-rate sweeps on Cora and NELL)."""
+
+from conftest import EPOCHS, FULL, REPEATS
+
+from repro.experiments import save_result
+from repro.experiments.table8_label_rate import run
+
+
+def test_table8_label_rate(benchmark):
+    result = benchmark.pedantic(
+        lambda: run(
+            scale=0.5 if FULL else 0.2,
+            nell_scale=0.05 if FULL else 0.012,
+            repeats=REPEATS,
+            epochs=EPOCHS,
+            lasagne_layers=3,
+            cora_labels=(5, 10, 15, 20) if FULL else (5, 20),
+            nell_fractions=(0.001, 0.01, 0.1) if FULL else (0.01,),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result.render())
+    save_result(result)
+
+    measured = result.data["measured"]
+    assert "Lasagne (Max pooling)" in measured
+    assert "GCN" in measured
+    # Both the Cora sweep and the NELL sweep must be present.
+    some_row = next(iter(measured.values()))
+    assert any(k.startswith("cora@") for k in some_row)
+    assert any(k.startswith("nell@") for k in some_row)

@@ -1,0 +1,70 @@
+"""Over-smoothing walk-through: why deep GCNs fail and how Lasagne doesn't.
+
+Reproduces the paper's core narrative on one dataset:
+
+1. sweep GCN depth and watch accuracy collapse past 2-3 layers;
+2. sweep Lasagne depth and watch it stay flat / improve (Fig. 5);
+3. measure the per-layer mutual information profile that explains the
+   difference (Fig. 2).
+
+Run:
+    python examples/depth_and_oversmoothing.py
+"""
+
+from repro.core import Lasagne
+from repro.datasets import load_dataset
+from repro.graphs import average_path_length
+from repro.info import layer_mi_profile
+from repro.models import GCN
+from repro.training import Trainer, TrainConfig, hyperparams_for
+
+
+def train(model, graph, hp, epochs=120, seed=0):
+    cfg = TrainConfig(
+        lr=hp.lr, weight_decay=hp.weight_decay,
+        epochs=epochs, patience=30, seed=seed,
+    )
+    return Trainer(cfg).fit(model, graph)
+
+
+def main() -> None:
+    graph = load_dataset("cora", scale=0.4, seed=0)
+    hp = hyperparams_for("cora")
+    apl = average_path_length(graph.adj, sample_sources=min(graph.num_nodes, 300))
+    print(f"{graph}\naverage path length ≈ {apl:.1f} "
+          "(the depth beyond which extra hops add nothing)\n")
+
+    print("1) GCN depth sweep — accuracy collapses (over-smoothing):")
+    for depth in (2, 4, 6, 8):
+        model = GCN(
+            graph.num_features, hp.hidden, graph.num_classes,
+            num_layers=depth, dropout=0.5, seed=0,
+        )
+        result = train(model, graph, hp)
+        print(f"   GCN     depth {depth}: test {100 * result.test_acc:5.1f}%")
+
+    print("\n2) Lasagne depth sweep — node-aware aggregation holds up:")
+    for depth in (2, 4, 6, 8):
+        model = Lasagne(
+            graph.num_features, hp.hidden, graph.num_classes,
+            num_layers=depth, aggregator="maxpool", dropout=0.5, seed=0,
+        )
+        result = train(model, graph, hp)
+        print(f"   Lasagne depth {depth}: test {100 * result.test_acc:5.1f}%")
+
+    print("\n3) Per-layer MI(X; H^l) of an 8-layer GCN (information loss):")
+    model = GCN(
+        graph.num_features, hp.hidden, graph.num_classes,
+        num_layers=8, dropout=0.5, seed=0,
+    )
+    train(model, graph, hp)
+    profile = layer_mi_profile(graph.features, model.hidden_representations())
+    for layer, mi in enumerate(profile, start=1):
+        bar = "#" * int(40 * mi / (max(profile) + 1e-12))
+        print(f"   layer {layer}: {mi:6.3f} {bar}")
+    print("\nThe monotone MI decay above is the over-smoothing signature "
+          "the paper's Fig. 2 shows for vanilla GCN.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+"""Hidden-dimension search: the §4.1.1 flexible-widths claim, exercised.
+
+The paper argues (citing the AutoML/NAS literature) that the hidden
+dimension is a crucial search-space component, and that Lasagne's removal
+of the equal-width restriction "provides more chances of exploring more
+hidden dimension combination choices".  This example runs that search:
+
+1. a grid sweep over *uniform* widths for GCN (the only choice ResGCN /
+   DenseGCN-style architectures allow), and
+2. a sweep over *mixed* width profiles (wide → narrow, narrow → wide,
+   constant) that only Lasagne supports.
+
+Run:
+    python examples/hidden_dimension_search.py
+"""
+
+from repro.core import Lasagne
+from repro.datasets import load_dataset
+from repro.models import GCN
+from repro.training import grid_sweep, hyperparams_for
+
+
+def main() -> None:
+    graph = load_dataset("cora", scale=0.4, seed=0)
+    hp = hyperparams_for("cora")
+    print(graph, "\n")
+
+    print("1) uniform-width sweep (GCN, the equal-dimension regime):")
+    gcn_report = grid_sweep(
+        lambda hidden, seed: GCN(
+            graph.num_features, hidden, graph.num_classes,
+            num_layers=3, dropout=0.5, seed=seed,
+        ),
+        graph,
+        grid={"hidden": [8, 16, 32, 64]},
+        epochs=80,
+        patience=25,
+    )
+    print(gcn_report.table())
+
+    print("\n2) width-profile sweep (Lasagne, flexible dims per layer):")
+    profiles = {
+        "funnel [64,32,16]": [64, 32, 16],
+        "anti-funnel [16,32,64]": [16, 32, 64],
+        "constant [32,32,32]": [32, 32, 32],
+        "bottleneck [64,8,64]": [64, 8, 64],
+    }
+    lasagne_report = grid_sweep(
+        lambda profile, seed: Lasagne(
+            graph.num_features, profiles[profile], graph.num_classes,
+            num_layers=4, aggregator="weighted", dropout=0.5, seed=seed,
+        ),
+        graph,
+        grid={"profile": list(profiles)},
+        epochs=80,
+        patience=25,
+    )
+    print(lasagne_report.table())
+
+    best = lasagne_report.best
+    print(
+        f"\nbest width profile: {best.params['profile']} "
+        f"(val {100 * best.val_acc:.1f}%, test {100 * best.test_acc:.1f}%)"
+    )
+    print(
+        "Flexible widths are a search dimension the equal-width deep GCNs "
+        "simply do not have — the point of §4.1.1."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,84 @@
+"""Inductive learning at scale: the real GraphSAGE mini-batch protocol.
+
+Full-batch training touches every node per step; the original GraphSAGE
+instead samples fixed-fanout computation graphs around small seed
+batches — the only approach that scales to Reddit-sized graphs.  This
+example runs that protocol on the synthetic Flickr stand-in (inductive,
+Table 4's setting) and compares it against full-batch SAGE:
+
+- accuracy should be close (sampling is an unbiased-ish approximation);
+- per-update cost is bounded by the fanout, not the graph size.
+
+Run:
+    python examples/inductive_minibatch.py
+"""
+
+import time
+
+import numpy as np
+
+from repro.datasets import load_dataset
+from repro.models import GraphSAGE
+from repro.training import (
+    MiniBatchSAGE,
+    MiniBatchTrainer,
+    NeighborSampler,
+    TrainConfig,
+    Trainer,
+    hyperparams_for,
+)
+
+
+def main() -> None:
+    graph = load_dataset("flickr", scale=0.05, seed=0)
+    hp = hyperparams_for("flickr")
+    print(graph)
+
+    # Full-batch SAGE under the inductive protocol (train-subgraph only).
+    full = GraphSAGE(
+        graph.num_features, hp.hidden, graph.num_classes,
+        num_layers=2, dropout=0.3, seed=0,
+    )
+    cfg = TrainConfig(
+        lr=hp.lr, weight_decay=hp.weight_decay, epochs=40, patience=15, seed=0
+    )
+    start = time.perf_counter()
+    full_result = Trainer(cfg).fit(full, graph, inductive=True)
+    full_time = time.perf_counter() - start
+    print(
+        f"\nfull-batch SAGE:  test {100 * full_result.test_acc:5.1f}%  "
+        f"({full_time:.1f}s total)"
+    )
+
+    # Mini-batch SAGE with fanout-10 two-hop sampling.
+    mini = MiniBatchSAGE(
+        graph.num_features, hp.hidden, graph.num_classes,
+        num_layers=2, dropout=0.3, seed=0,
+    )
+    trainer = MiniBatchTrainer(
+        fanouts=(10, 10), batch_size=256,
+        lr=hp.lr, weight_decay=hp.weight_decay,
+        epochs=10, patience=5, seed=0,
+    )
+    start = time.perf_counter()
+    mini_result = trainer.fit(mini, graph)
+    mini_time = time.perf_counter() - start
+    print(
+        f"mini-batch SAGE:  test {100 * mini_result.test_acc:5.1f}%  "
+        f"({mini_time:.1f}s total, {len(mini_result.batch_losses)} updates)"
+    )
+
+    # The point of sampling: per-batch computation graphs are bounded by
+    # batch_size × fanout^depth, independent of the total graph size.
+    sampler = NeighborSampler(graph, [5, 5], rng=np.random.default_rng(0))
+    blocks = sampler.sample(graph.train_indices()[:64])
+    print(
+        f"\none 64-seed batch at fanout 5 touches {blocks[0].num_src} of "
+        f"{graph.num_nodes} nodes "
+        f"({100 * blocks[0].num_src / graph.num_nodes:.1f}%) — and that "
+        "count is capped by batch×fanout², independent of graph size."
+    )
+
+
+if __name__ == "__main__":
+    main()

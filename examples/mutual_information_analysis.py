@@ -1,0 +1,83 @@
+"""Mutual-information model comparison (the paper's §3.2 methodology).
+
+Trains 6-layer GCN, ResGCN, JK-Net, DenseGCN and Lasagne on one graph and
+renders their MI(X; H^l) profiles side by side — an executable version of
+Fig. 2 plus the final-representation ranking the paper draws from Fig. 6.
+
+Run:
+    python examples/mutual_information_analysis.py
+"""
+
+from repro.core import Lasagne
+from repro.datasets import load_dataset
+from repro.experiments.fig6_mi_training import classifier_input
+from repro.info import layer_mi_profile, representation_mi
+from repro.models import build_model
+from repro.training import Trainer, TrainConfig, hyperparams_for
+
+DEPTH = 6
+MODELS = ["gcn", "resgcn", "jknet", "densegcn"]
+
+
+def main() -> None:
+    graph = load_dataset("cora", scale=0.4, seed=0)
+    hp = hyperparams_for("cora")
+    cfg = TrainConfig(
+        lr=hp.lr, weight_decay=hp.weight_decay, epochs=120, patience=30, seed=0
+    )
+
+    profiles = {}
+    hidden_cache = {}
+    for name in MODELS:
+        model = build_model(
+            name, graph.num_features, graph.num_classes,
+            hidden=hp.hidden, num_layers=DEPTH, dropout=hp.dropout, seed=0,
+        )
+        Trainer(cfg).fit(model, graph)
+        hidden_cache[name] = model.hidden_representations()
+        profiles[name] = layer_mi_profile(graph.features, hidden_cache[name])
+
+    lasagne = Lasagne(
+        graph.num_features, hp.hidden, graph.num_classes,
+        num_layers=DEPTH, aggregator="weighted", dropout=hp.dropout, seed=0,
+    )
+    Trainer(cfg).fit(lasagne, graph)
+    hidden_cache["lasagne(weighted)"] = lasagne.hidden_representations()
+    profiles["lasagne(weighted)"] = layer_mi_profile(
+        graph.features, hidden_cache["lasagne(weighted)"]
+    )
+
+    width = max(len(p) for p in profiles.values())
+    header = "model             " + "".join(f"  L{i+1:<6}" for i in range(width))
+    print(header)
+    print("-" * len(header))
+    for name, profile in profiles.items():
+        cells = "".join(f"  {v:<7.3f}" for v in profile)
+        print(f"{name:<18}{cells}")
+
+    # Rank by the MI of what each classifier actually consumes: the last
+    # hidden layer for GCN/ResGCN, the concatenation of all layer outputs
+    # for the concat-head architectures (JK-Net, DenseGCN, Lasagne).
+    final_mi = {
+        name: representation_mi(graph.features, classifier_input(name, hidden))
+        for name, hidden in hidden_cache.items()
+    }
+    ranked = sorted(final_mi.items(), key=lambda kv: kv[1], reverse=True)
+    print("\nclassifier-input MI ranking (higher = more information kept):")
+    for name, value in ranked:
+        print(f"  {name:<18} {value:.3f}")
+    print(
+        "\nReading: vanilla GCN sits at the bottom — its deep stack has "
+        "washed out the input (over-smoothing), the paper's core premise. "
+        "Architectures whose classifier sees multiple layers (JK-Net, "
+        "Lasagne) retain far more. Note an honest deviation from the "
+        "paper's Fig. 6: under our KSG estimator JK-Net's raw concat "
+        "scores highest, not Lasagne — Lasagne's aggregated layers trade "
+        "some raw input information for class-relevant structure, which "
+        "shows up as higher *accuracy* (see fig5/table3) rather than "
+        "higher input MI."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+"""Production scenario: short-video classification on a user-video graph.
+
+Mirrors the paper's Tencent experiment (§5.1.1, Table 5): a bipartite
+graph where "hot" videos are watched by most users and therefore
+over-smooth under uniform deep aggregation, while video nodes carry no
+informative features of their own — the label signal must travel through
+user neighborhoods.
+
+The script contrasts a 4-layer GCN with 4-layer Lasagne (stochastic) and
+then inspects the learned stochastic gates of the hottest vs coldest
+videos, reproducing the §5.2.2 locality analysis on production-like data.
+
+Run:
+    python examples/tencent_recommendation.py
+"""
+
+import numpy as np
+
+from repro.core import Lasagne
+from repro.datasets import load_dataset
+from repro.models import GCN
+from repro.training import Trainer, TrainConfig, hyperparams_for
+
+
+def main() -> None:
+    graph = load_dataset("tencent", scale=0.02, seed=0)
+    hp = hyperparams_for("tencent")
+    degrees = graph.degrees()
+    num_items = int(np.flatnonzero(graph.train_mask | graph.val_mask | graph.test_mask).max()) + 1
+    print(graph)
+    print(
+        f"hottest video degree: {degrees[:num_items].max():.0f}, "
+        f"median video degree: {np.median(degrees[:num_items]):.0f}\n"
+    )
+
+    cfg = TrainConfig(
+        lr=hp.lr, weight_decay=hp.weight_decay,
+        epochs=150, patience=hp.patience, seed=0,
+    )
+
+    gcn = GCN(
+        graph.num_features, hp.hidden, graph.num_classes,
+        num_layers=4, dropout=hp.dropout, seed=0,
+    )
+    gcn_result = Trainer(cfg).fit(gcn, graph)
+    print(f"GCN (4 layers):               test {100 * gcn_result.test_acc:5.1f}%")
+
+    lasagne = Lasagne(
+        graph.num_features, hp.hidden, graph.num_classes,
+        num_layers=4, aggregator="stochastic", dropout=hp.dropout, seed=0,
+    )
+    lasagne_result = Trainer(cfg).fit(lasagne, graph)
+    print(f"Lasagne (stochastic, 4 layers): test {100 * lasagne_result.test_acc:5.1f}%")
+
+    # Locality analysis on the production graph: how deep do hot vs cold
+    # videos aggregate?
+    probs = lasagne.stochastic_probabilities()
+    item_degrees = degrees[:num_items]
+    hot = int(np.argmax(item_degrees))
+    cold_candidates = np.flatnonzero(item_degrees > 0)
+    cold = int(cold_candidates[np.argmin(item_degrees[cold_candidates])])
+
+    def fmt(v):
+        return "[" + ", ".join(f"{x:.2f}" for x in v) + "]"
+
+    print("\nlearned layer-activation probabilities P (layers 1..3):")
+    print(f"  hottest video (degree {item_degrees[hot]:4.0f}): {fmt(probs[hot])}")
+    print(f"  coldest video (degree {item_degrees[cold]:4.0f}): {fmt(probs[cold])}")
+    print(
+        "\nHot hubs can suppress deep layers to avoid over-smoothing; cold "
+        "videos keep them to reach enough users — the node-aware behaviour "
+        "the paper argues is essential on production graphs."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setup entry point.
+
+Kept so that ``pip install -e .`` works in offline environments lacking the
+``wheel`` package (PEP 660 editable installs require it; the legacy
+``setup.py develop`` path does not).  All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,22 @@
+"""Reproduction of "Lasagne: A Multi-Layer Graph Convolutional Network
+Framework via Node-aware Deep Architecture" (ICDE 2022).
+
+The package is layered bottom-up:
+
+- :mod:`repro.tensor` — numpy reverse-mode autograd (the PyTorch substitute).
+- :mod:`repro.nn` — modules, initializers, optimizers.
+- :mod:`repro.graphs` — graph container, normalization, metrics, sampling.
+- :mod:`repro.datasets` — synthetic stand-ins for the paper's 11 datasets.
+- :mod:`repro.models` — the baseline GNN zoo (GCN, GAT, JK-Net, ...).
+- :mod:`repro.core` — the paper's contribution: Lasagne aggregators,
+  the GC-FM layer and the Lasagne model.
+- :mod:`repro.training` — trainer, per-dataset hyperparameters, evaluation.
+- :mod:`repro.info` — mutual-information estimators (Figs. 2 and 6).
+- :mod:`repro.experiments` — one harness per table/figure of the paper.
+"""
+
+__version__ = "1.0.0"
+
+from repro.tensor import Tensor, SparseMatrix
+
+__all__ = ["Tensor", "SparseMatrix", "__version__"]

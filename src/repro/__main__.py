@@ -1,0 +1,148 @@
+"""Unified command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``datasets``      print the Table 2 dataset overview (optionally scaled)
+``train``         train one model on one dataset and report accuracy
+``select``        run the aggregator bake-off on a dataset
+``experiments``   run the paper's tables/figures (delegates to run_all)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _cmd_datasets(args: argparse.Namespace) -> int:
+    from repro.datasets import dataset_summary
+
+    print(dataset_summary(scale=args.scale))
+    return 0
+
+
+def _cmd_train(args: argparse.Namespace) -> int:
+    from repro.core import Lasagne
+    from repro.datasets import load_dataset
+    from repro.models import build_model, model_names
+    from repro.training import TrainConfig, Trainer, hyperparams_for
+
+    graph = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
+    hp = hyperparams_for(args.dataset)
+    print(graph)
+
+    if args.model == "lasagne":
+        model = Lasagne(
+            graph.num_features, hp.hidden, graph.num_classes,
+            num_layers=args.layers, aggregator=args.aggregator,
+            dropout=hp.dropout, fm_rank=hp.fm_rank, seed=args.seed,
+        )
+    elif args.model in model_names():
+        model = build_model(
+            args.model, graph.num_features, graph.num_classes,
+            hidden=hp.hidden, num_layers=args.layers,
+            dropout=hp.dropout, seed=args.seed,
+        )
+    else:
+        print(
+            f"unknown model {args.model!r}; options: lasagne, "
+            + ", ".join(model_names()),
+            file=sys.stderr,
+        )
+        return 2
+
+    config = TrainConfig(
+        lr=hp.lr, weight_decay=hp.weight_decay,
+        epochs=args.epochs if args.epochs else hp.epochs,
+        patience=hp.patience, seed=args.seed,
+    )
+    result = Trainer(config).fit(model, graph, inductive=args.inductive)
+    print(
+        f"{args.model}: test {100 * result.test_acc:.1f}% "
+        f"(val {100 * result.best_val_acc:.1f}%, "
+        f"{result.epochs_run} epochs, "
+        f"{1000 * result.mean_epoch_time:.1f} ms/epoch)"
+    )
+    if args.checkpoint:
+        from repro import nn
+
+        path = nn.save_module(
+            model, args.checkpoint,
+            metadata={"dataset": args.dataset, "test_acc": result.test_acc},
+        )
+        print(f"checkpoint written to {path}")
+    return 0
+
+
+def _cmd_select(args: argparse.Namespace) -> int:
+    from repro.core import select_aggregator
+    from repro.datasets import load_dataset
+    from repro.training import hyperparams_for
+
+    graph = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
+    hp = hyperparams_for(args.dataset)
+    report = select_aggregator(
+        graph, hp,
+        num_layers=args.layers,
+        budget_epochs=args.budget,
+        seed=args.seed,
+        inductive=args.inductive,
+    )
+    print(f"ranking (by validation accuracy, budget {report.budget_epochs} epochs):")
+    for name in report.ranking():
+        print(
+            f"  {name:<11} val {100 * report.validation_accuracy[name]:5.1f}%  "
+            f"test {100 * report.test_accuracy[name]:5.1f}%"
+        )
+    print(f"selected: {report.best}")
+    return 0
+
+
+def _cmd_experiments(args: argparse.Namespace) -> int:
+    from repro.experiments.run_all import run_all
+
+    run_all(args.preset, only=args.only)
+    return 0
+
+
+def main(argv=None) -> int:
+    """Dispatch the `python -m repro` subcommands; returns the exit code."""
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("datasets", help="print the Table 2 dataset overview")
+    p.add_argument("--scale", type=float, default=None)
+    p.set_defaults(func=_cmd_datasets)
+
+    p = sub.add_parser("train", help="train one model on one dataset")
+    p.add_argument("dataset")
+    p.add_argument("--model", default="lasagne")
+    p.add_argument("--aggregator", default="stochastic")
+    p.add_argument("--layers", type=int, default=5)
+    p.add_argument("--epochs", type=int, default=None)
+    p.add_argument("--scale", type=float, default=None)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--inductive", action="store_true")
+    p.add_argument("--checkpoint", default=None)
+    p.set_defaults(func=_cmd_train)
+
+    p = sub.add_parser("select", help="aggregator bake-off on a dataset")
+    p.add_argument("dataset")
+    p.add_argument("--layers", type=int, default=5)
+    p.add_argument("--budget", type=int, default=60)
+    p.add_argument("--scale", type=float, default=None)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--inductive", action="store_true")
+    p.set_defaults(func=_cmd_select)
+
+    p = sub.add_parser("experiments", help="run the paper's tables/figures")
+    p.add_argument("--preset", default="quick")
+    p.add_argument("--only", nargs="+", default=None)
+    p.set_defaults(func=_cmd_experiments)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,37 @@
+"""The paper's contribution: Lasagne, a node-aware multi-layer GCN.
+
+- :mod:`repro.core.aggregators` — the three node-aware layer aggregators
+  (Weighted / Max-pooling / Stochastic, §4.1).
+- :mod:`repro.core.gcfm` — the GC-FM layer-interaction layer (§4.2).
+- :mod:`repro.core.lasagne` — the full Lasagne model, generic over the
+  base convolution (GCN / SGC / GAT message passing, Table 7).
+"""
+
+from repro.core.aggregators import (
+    AttentionAggregator,
+    LayerAggregator,
+    MaxPoolingAggregator,
+    MeanAggregator,
+    StochasticAggregator,
+    StochasticGate,
+    WeightedAggregator,
+    AGGREGATORS,
+)
+from repro.core.gcfm import GCFMLayer
+from repro.core.lasagne import Lasagne
+from repro.core.selection import SelectionReport, select_aggregator
+
+__all__ = [
+    "Lasagne",
+    "GCFMLayer",
+    "LayerAggregator",
+    "WeightedAggregator",
+    "MaxPoolingAggregator",
+    "StochasticAggregator",
+    "StochasticGate",
+    "MeanAggregator",
+    "AttentionAggregator",
+    "AGGREGATORS",
+    "SelectionReport",
+    "select_aggregator",
+]

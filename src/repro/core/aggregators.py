@@ -1,0 +1,324 @@
+"""Node-aware layer aggregators (paper §4.1).
+
+Each aggregator replaces layer ``l``'s output with a per-node combination
+of *all* layers so far (Eq. 4):
+
+.. math::
+    H^{(l)} = \\mathrm{Aggregator}(C^{(l)}, H^{(1)}, ..., H^{(l)})
+
+The per-node weights ``C`` are what makes the architecture node-aware:
+hub ("central") nodes can learn to rely on shallow layers (their
+neighborhoods explode quickly and deep aggregation over-smooths them)
+while peripheral nodes can pull from deep layers to gather enough signal.
+
+Three instances are implemented:
+
+- :class:`WeightedAggregator` — Eq. (5): trainable ``C^{(l)} ∈ R^{N×l}``;
+  previous layers pass through an extra graph-convolutional transform
+  ``Â (c_i ⊗ H^{(i)}) W^{(il)}``, which also removes the equal-width
+  restriction of ResGCN/DenseGCN.
+- :class:`MaxPoolingAggregator` — coordinate-wise max over layers; a
+  0/1-constrained special case of the weighted aggregator with **no**
+  extra parameters (and therefore the only variant usable inductively).
+- :class:`StochasticAggregator` — Eq. (6): per-node per-layer Bernoulli
+  gates with trainable activation logits ``P ∈ R^{N×(L-1)}``; a learnable
+  stochastic-depth ensemble.  Training uses straight-through gradients;
+  evaluation uses the activation probabilities (expected gate).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro import nn
+from repro.nn.module import Module, Parameter
+from repro.nn import init as init_schemes
+from repro.tensor import ops
+from repro.tensor.sparse import SparseMatrix
+from repro.tensor.tensor import Tensor
+
+
+class LayerAggregator(Module):
+    """Interface: combine ``hidden[0..l-1]`` into the new ``H^{(l)}``."""
+
+    #: whether the aggregator owns parameters tied to specific node ids
+    #: (True ⇒ transductive only, cf. Table 4 discussion in the paper).
+    node_bound: bool = True
+
+    def forward(self, adj: SparseMatrix, hidden: Sequence[Tensor]) -> Tensor:
+        raise NotImplementedError
+
+
+class WeightedAggregator(LayerAggregator):
+    """Eq. (5): per-node weighted sum with an extra GC transform.
+
+    Parameters
+    ----------
+    layer_index:
+        1-based index ``l`` of the layer whose output is aggregated; the
+        aggregator consumes ``l`` hidden matrices.
+    dims:
+        Output dims of layers ``1..l`` (flexible widths are supported —
+        previous layers are projected to ``dims[-1]`` by ``W^{(il)}``).
+    num_nodes:
+        ``N`` — the contribution matrix is ``N×l``.
+    gc_transform:
+        When True (Eq. 5, the paper's design), previous layers pass
+        through ``Â (c ⊗ H) W``; when False they are mixed by the plain
+        per-node weighted sum (a JK-Net-style linear combination) — the
+        ablation of the "additional GC transformation" called out in
+        §4.1.1 and DESIGN.md §5.  Disabling it forces equal layer widths.
+    """
+
+    def __init__(
+        self,
+        layer_index: int,
+        dims: Sequence[int],
+        num_nodes: int,
+        rng: Optional[np.random.Generator] = None,
+        gc_transform: bool = True,
+    ) -> None:
+        super().__init__()
+        if layer_index < 2:
+            raise ValueError("aggregators start at the second layer (l >= 2)")
+        if len(dims) != layer_index:
+            raise ValueError(
+                f"need one dim per layer: got {len(dims)} dims for l={layer_index}"
+            )
+        if rng is None:
+            rng = np.random.default_rng()
+        self.layer_index = layer_index
+        out_dim = dims[-1]
+        # Start close to the identity (current layer weight 1, history small)
+        # so early training mimics a plain GCN and the history is learned.
+        init_c = np.full((num_nodes, layer_index), 0.1)
+        init_c[:, -1] = 1.0
+        self.contributions = Parameter(init_c, name=f"agg{layer_index}.C")
+        self.gc_transform = gc_transform
+        if gc_transform:
+            self.transforms = nn.ModuleList(
+                [
+                    nn.Linear(dims[i], out_dim, bias=False, rng=rng)
+                    for i in range(layer_index - 1)
+                ]
+            )
+        else:
+            if len(set(dims)) != 1:
+                raise ValueError(
+                    "plain weighted sum (gc_transform=False) requires equal "
+                    f"layer widths, got {list(dims)}"
+                )
+            self.transforms = nn.ModuleList()
+
+    def forward(self, adj: SparseMatrix, hidden: Sequence[Tensor]) -> Tensor:
+        if len(hidden) != self.layer_index:
+            raise ValueError(
+                f"expected {self.layer_index} hidden layers, got {len(hidden)}"
+            )
+        weights = self.contributions
+        out = hidden[-1] * weights[:, self.layer_index - 1 :]
+        for i in range(self.layer_index - 1):
+            scaled = hidden[i] * weights[:, i : i + 1]
+            if self.gc_transform:
+                out = out + (adj @ self.transforms[i](scaled))
+            else:
+                out = out + scaled
+        return out
+
+
+class MaxPoolingAggregator(LayerAggregator):
+    """Coordinate-wise max over all layers so far (no parameters).
+
+    Adaptive per node *and* per feature coordinate: the most informative
+    layer wins each coordinate.  Requires equal layer widths (the 0/1
+    one-hot constraint of §4.1.2 is only defined on a shared basis).
+    """
+
+    node_bound = False
+
+    def __init__(self, layer_index: int, dims: Sequence[int]) -> None:
+        super().__init__()
+        if len(set(dims)) != 1:
+            raise ValueError(
+                f"max pooling requires equal layer widths, got {list(dims)}"
+            )
+        self.layer_index = layer_index
+
+    def forward(self, adj: SparseMatrix, hidden: Sequence[Tensor]) -> Tensor:
+        if len(hidden) == 1:
+            return hidden[0]
+        return ops.stack(list(hidden), axis=0).max(axis=0)
+
+
+class StochasticGate(Module):
+    """Shared trainable logits ``P ∈ R^{N×(L-1)}`` for Bernoulli gates.
+
+    Eq. (6): the activation probability of layer ``j`` at node ``i`` is
+    ``exp(P_ij) / max_j' exp(P_ij')`` — the per-node argmax layer is
+    always kept, others are kept proportionally.
+    """
+
+    def __init__(self, num_nodes: int, num_layers: int) -> None:
+        super().__init__()
+        # Zero logits give uniform probability 1 for every layer at init;
+        # training then learns which layers to drop per node.
+        self.logits = Parameter(
+            np.zeros((num_nodes, num_layers)), name="stochastic.P"
+        )
+
+    def probabilities(self, upto: int) -> Tensor:
+        """Activation probabilities for layers ``1..upto`` (Tensor, N×upto)."""
+        scores = self.logits[:, :upto].exp()
+        peak = scores.max(axis=1, keepdims=True)
+        return scores / peak
+
+    def probabilities_numpy(self) -> np.ndarray:
+        """Full probability matrix as plain numpy (for analysis, §5.2.2)."""
+        scores = np.exp(self.logits.data)
+        return scores / scores.max(axis=1, keepdims=True)
+
+
+class StochasticAggregator(LayerAggregator):
+    """Eq. (6): learnable per-node stochastic depth.
+
+    Identical in form to the weighted aggregator but the contribution
+    entries are Bernoulli samples; gradients reach the gate logits via the
+    straight-through estimator, and evaluation replaces samples with their
+    probabilities (an implicit ensemble over depths, as in Stochastic
+    Depth ResNet).
+    """
+
+    def __init__(
+        self,
+        layer_index: int,
+        dims: Sequence[int],
+        gate: StochasticGate,
+        rng: Optional[np.random.Generator] = None,
+        sample_rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        if layer_index < 2:
+            raise ValueError("aggregators start at the second layer (l >= 2)")
+        if rng is None:
+            rng = np.random.default_rng()
+        self.layer_index = layer_index
+        self.gate = gate
+        self._sample_rng = sample_rng if sample_rng is not None else np.random.default_rng()
+        out_dim = dims[-1]
+        self.transforms = nn.ModuleList(
+            [
+                nn.Linear(dims[i], out_dim, bias=False, rng=rng)
+                for i in range(layer_index - 1)
+            ]
+        )
+
+    def forward(self, adj: SparseMatrix, hidden: Sequence[Tensor]) -> Tensor:
+        if len(hidden) != self.layer_index:
+            raise ValueError(
+                f"expected {self.layer_index} hidden layers, got {len(hidden)}"
+            )
+        probs = self.gate.probabilities(self.layer_index)
+        if self.training:
+            # Straight-through Bernoulli: forward uses the hard sample,
+            # backward flows through the probability.
+            sample = (
+                self._sample_rng.random(probs.shape) < probs.data
+            ).astype(np.float64)
+            gates = probs + Tensor(sample - probs.data)
+        else:
+            gates = probs
+        out = hidden[-1] * gates[:, self.layer_index - 1 :]
+        for i, transform in enumerate(self.transforms):
+            scaled = hidden[i] * gates[:, i : i + 1]
+            out = out + (adj @ transform(scaled))
+        return out
+
+
+class MeanAggregator(LayerAggregator):
+    """Uniform mean over all layers so far (parameter-free).
+
+    One of the "other custom aggregation operations (e.g., mean, LSTM)"
+    the paper mentions as possible (§4.1).  Not node-aware — every node
+    mixes layers identically — so it serves as the natural control for
+    measuring how much the node-awareness itself contributes.
+    """
+
+    node_bound = False
+
+    def __init__(self, layer_index: int, dims: Sequence[int]) -> None:
+        super().__init__()
+        if len(set(dims)) != 1:
+            raise ValueError(
+                f"mean aggregation requires equal layer widths, got {list(dims)}"
+            )
+        self.layer_index = layer_index
+
+    def forward(self, adj: SparseMatrix, hidden: Sequence[Tensor]) -> Tensor:
+        if len(hidden) == 1:
+            return hidden[0]
+        total = hidden[0]
+        for h in hidden[1:]:
+            total = total + h
+        return total * (1.0 / len(hidden))
+
+
+class AttentionAggregator(LayerAggregator):
+    """Feature-conditioned attention over layers (an LSTM-aggregator
+    substitute in the spirit of JK-Net's LSTM variant).
+
+    Per node ``i`` and layer ``l`` the score is
+    ``s_il = v · tanh(W h_i^{(l)})``; a softmax over layers yields the
+    mixing weights.  Node-aware like the Weighted aggregator, but the
+    weights are *computed from the representations* instead of stored per
+    node id — so, unlike Weighted/Stochastic, it transfers to unseen
+    nodes and is usable inductively.
+    """
+
+    node_bound = False
+
+    def __init__(
+        self,
+        layer_index: int,
+        dims: Sequence[int],
+        attention_dim: int = 16,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        if len(set(dims)) != 1:
+            raise ValueError(
+                f"attention aggregation requires equal layer widths, "
+                f"got {list(dims)}"
+            )
+        if rng is None:
+            rng = np.random.default_rng()
+        self.layer_index = layer_index
+        self.score_proj = Parameter(
+            init_schemes.glorot_uniform((dims[-1], attention_dim), rng),
+            name=f"attagg{layer_index}.W",
+        )
+        self.score_vec = Parameter(
+            init_schemes.glorot_uniform((attention_dim,), rng),
+            name=f"attagg{layer_index}.v",
+        )
+
+    def forward(self, adj: SparseMatrix, hidden: Sequence[Tensor]) -> Tensor:
+        if len(hidden) == 1:
+            return hidden[0]
+        # Scores: (N, L) — one column per layer.
+        scores = [
+            ((h @ self.score_proj).tanh() * self.score_vec).sum(
+                axis=1, keepdims=True
+            )
+            for h in hidden
+        ]
+        stacked_scores = ops.concat(scores, axis=1)  # (N, L)
+        weights = ops.softmax(stacked_scores, axis=1)
+        out = hidden[0] * weights[:, 0:1]
+        for l in range(1, len(hidden)):
+            out = out + hidden[l] * weights[:, l : l + 1]
+        return out
+
+
+AGGREGATORS = ("weighted", "maxpool", "stochastic", "mean", "attention")

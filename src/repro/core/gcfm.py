@@ -1,0 +1,109 @@
+"""The GC-FM layer (paper §4.2, Eq. 7).
+
+A factorization-machine interaction over the per-layer embeddings: for
+each node, the concatenated hidden representations ``[h^(1) ... h^(L-1)]``
+pass through (a) a linear term and (b) pairwise inner-product interactions
+between coordinates of *different* layers, factorized through rank-``k``
+latent vectors ``V``.  The interacted output is then propagated once more
+with the localized spectral filter Â — "a convolution in the depth
+direction".
+
+Efficiency: the double sum over layer pairs ``p < q`` is computed with the
+classic FM identity ``Σ_{p<q} s_p s_q = ((Σ_p s_p)² − Σ_p s_p²) / 2``
+applied to the per-layer projections ``S_p = H_p V_p``, so the cost is
+linear in the number of layers.  Per-layer ``V_p`` matrices also let the
+interaction handle flexible layer widths, which Eq. (7)'s shared-width
+notation glosses over.
+
+Note: Eq. (7) writes ``H^(L) = ReLU(Â O)``; like the reference GCN
+implementation (which omits the nonlinearity on the output layer despite
+Eq. (2) suggesting otherwise) we return the pre-activation ``Â O`` as
+class logits so the softmax classifier sees both signs.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.nn.module import Module, Parameter
+from repro.nn import init as init_schemes
+from repro.tensor import ops
+from repro.tensor.sparse import SparseMatrix
+from repro.tensor.tensor import Tensor
+
+
+class GCFMLayer(Module):
+    """Final Lasagne layer: FM interaction across layers + one GC step.
+
+    Parameters
+    ----------
+    layer_dims:
+        Widths of the ``L-1`` hidden layers fed into the interaction.
+    num_classes:
+        Output dimension ``F``.
+    fm_rank:
+        Latent rank ``k`` of the factorization (the paper uses 5).
+    """
+
+    def __init__(
+        self,
+        layer_dims: Sequence[int],
+        num_classes: int,
+        fm_rank: int = 5,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        if not layer_dims:
+            raise ValueError("GC-FM needs at least one hidden layer")
+        if fm_rank < 1:
+            raise ValueError(f"fm_rank must be >= 1, got {fm_rank}")
+        if rng is None:
+            rng = np.random.default_rng()
+        self.layer_dims = tuple(layer_dims)
+        self.num_classes = num_classes
+        self.fm_rank = fm_rank
+        total = sum(layer_dims)
+        self.linear_weight = Parameter(
+            init_schemes.glorot_uniform((total, num_classes), rng),
+            name="gcfm.W",
+        )
+        self.bias = Parameter(np.zeros(num_classes), name="gcfm.bias")
+        # One factor matrix per layer: V_p ∈ R^{D_p × (F·k)}.  Scaled-down
+        # init keeps second-order terms small relative to the linear term.
+        self.factors = []
+        for p, dim in enumerate(layer_dims):
+            factor = Parameter(
+                init_schemes.glorot_uniform((dim, num_classes * fm_rank), rng) * 0.1,
+                name=f"gcfm.V{p}",
+            )
+            setattr(self, f"factor_{p}", factor)
+            self.factors.append(factor)
+
+    def forward(self, adj: SparseMatrix, hidden: Sequence[Tensor]) -> Tensor:
+        if len(hidden) != len(self.layer_dims):
+            raise ValueError(
+                f"expected {len(self.layer_dims)} hidden layers, got {len(hidden)}"
+            )
+        flat = hidden[0] if len(hidden) == 1 else ops.concat(list(hidden), axis=1)
+        linear = flat @ self.linear_weight + self.bias
+
+        # FM identity over per-layer projections S_p = H_p V_p.
+        projections = [h @ v for h, v in zip(hidden, self.factors)]
+        total = projections[0]
+        square_sum = projections[0] * projections[0]
+        for s in projections[1:]:
+            total = total + s
+            square_sum = square_sum + s * s
+        interaction = (total * total - square_sum) * 0.5  # (N, F·k)
+        n = flat.shape[0]
+        interaction = interaction.reshape(n, self.num_classes, self.fm_rank).sum(axis=2)
+
+        return adj @ (linear + interaction)
+
+    def __repr__(self) -> str:
+        return (
+            f"GCFMLayer(layers={len(self.layer_dims)}, "
+            f"classes={self.num_classes}, rank={self.fm_rank})"
+        )

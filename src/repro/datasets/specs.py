@@ -1,0 +1,143 @@
+"""Per-dataset specifications mirroring Table 2 of the paper.
+
+Every spec records the original statistics plus the generator knobs
+(homophily, degree power-law exponent, feature signal strength) used by
+the DC-SBM simulator, and a ``default_scale`` that shrinks the largest
+graphs to single-CPU size.  ``scale=1.0`` regenerates full-size graphs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Tuple
+
+
+@dataclasses.dataclass(frozen=True)
+class DatasetSpec:
+    """Static description of one dataset (original numbers from Table 2)."""
+
+    name: str
+    num_nodes: int
+    num_features: int
+    num_edges: int
+    num_classes: int
+    splits: Tuple[int, int, int]  # train / val / test sizes
+    task: str  # "transductive" | "inductive"
+    description: str
+    homophily: float = 0.8  # target edge homophily of the generator
+    degree_exponent: float = 2.5  # power-law exponent for degree propensities
+    feature_signal: float = 0.8  # fraction of active features from the class signature
+    features_per_node: int = 20  # average active features (bag-of-words sparsity)
+    default_scale: float = 1.0  # shrink factor applied unless overridden
+
+    def scaled(self, scale: float) -> "ScaledSpec":
+        """Resolve generator sizes for a given scale factor."""
+        if not 0 < scale <= 1.0:
+            raise ValueError(f"scale must be in (0, 1], got {scale}")
+        nodes = max(int(self.num_nodes * scale), self.num_classes * 8)
+        edges = max(int(self.num_edges * scale), nodes)
+        # Feature count shrinks slower than nodes but never below the
+        # class count (the feature generator needs one signature block
+        # per class) or 32.
+        features = max(
+            int(self.num_features * min(1.0, scale * 4)), 32, self.num_classes
+        )
+        train = max(int(self.splits[0] * scale), self.num_classes * 2)
+        val = max(int(self.splits[1] * scale), self.num_classes)
+        test = max(int(self.splits[2] * scale), self.num_classes)
+        # Splits can never exceed the node budget.
+        total = train + val + test
+        if total > nodes:
+            shrink = nodes / (total * 1.25)
+            train = max(int(train * shrink), self.num_classes)
+            val = max(int(val * shrink), self.num_classes)
+            test = max(int(test * shrink), self.num_classes)
+        return ScaledSpec(
+            base=self,
+            num_nodes=nodes,
+            num_features=features,
+            num_edges=edges,
+            splits=(train, val, test),
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class ScaledSpec:
+    """Concrete generation sizes after applying a scale factor."""
+
+    base: DatasetSpec
+    num_nodes: int
+    num_features: int
+    num_edges: int
+    splits: Tuple[int, int, int]
+
+
+def _spec(*args, **kwargs) -> DatasetSpec:
+    return DatasetSpec(*args, **kwargs)
+
+
+DATASETS: Dict[str, DatasetSpec] = {
+    spec.name: spec
+    for spec in [
+        _spec(
+            "cora", 2708, 1433, 5429, 7, (140, 500, 1000),
+            "transductive", "citation network",
+            homophily=0.81, features_per_node=18,
+        ),
+        _spec(
+            "citeseer", 3327, 3703, 4732, 6, (120, 500, 1000),
+            "transductive", "citation network",
+            homophily=0.74, features_per_node=32,
+        ),
+        _spec(
+            "pubmed", 19717, 500, 44338, 3, (60, 500, 1000),
+            "transductive", "citation network",
+            homophily=0.80, features_per_node=50, default_scale=0.25,
+        ),
+        _spec(
+            "nell", 65755, 61278, 266144, 210, (6575, 500, 1000),
+            "transductive", "knowledge graph",
+            homophily=0.9, features_per_node=10, default_scale=0.05,
+        ),
+        _spec(
+            "amazon-computer", 13381, 767, 245778, 10, (200, 300, 12881),
+            "transductive", "co-purchase graph",
+            homophily=0.78, degree_exponent=2.2, default_scale=0.3,
+        ),
+        _spec(
+            "amazon-photo", 7487, 745, 119043, 8, (160, 240, 7087),
+            "transductive", "co-purchase graph",
+            homophily=0.83, degree_exponent=2.2, default_scale=0.4,
+        ),
+        _spec(
+            "coauthor-cs", 18333, 6805, 81894, 15, (300, 450, 17583),
+            "transductive", "citation network",
+            homophily=0.81, default_scale=0.2,
+        ),
+        _spec(
+            "coauthor-physics", 34493, 8415, 247962, 5, (100, 150, 34243),
+            "transductive", "citation network",
+            homophily=0.85, default_scale=0.1,
+        ),
+        _spec(
+            "flickr", 89250, 500, 899756, 7, (44625, 22312, 22312),
+            "inductive", "image network",
+            homophily=0.32, feature_signal=0.55, default_scale=0.05,
+        ),
+        _spec(
+            "reddit", 232965, 602, 11606919, 41, (155310, 23297, 54358),
+            "inductive", "social network",
+            homophily=0.76, degree_exponent=2.0, default_scale=0.02,
+        ),
+        _spec(
+            "tencent", 1000000, 64, 1434382, 253, (5000, 10000, 30000),
+            "transductive", "user-video graph (bipartite, production)",
+            degree_exponent=1.8, default_scale=0.02,
+        ),
+    ]
+}
+
+
+def dataset_names() -> Tuple[str, ...]:
+    """Names of all available datasets, in Table 2 order."""
+    return tuple(DATASETS)

@@ -1,0 +1,119 @@
+"""Train/val/test split builders.
+
+Two protocols appear in the paper:
+
+- the *standard planted splits* of Table 2 (fixed train/val/test sizes,
+  class-stratified training set — the Kipf & Welling convention), and
+- the *label-rate sweeps* of Table 8 (5/10/15/20 labels per class on Cora;
+  0.1%/1%/10% label fractions on NELL).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+
+def per_class_split(
+    labels: np.ndarray,
+    train_per_class: int,
+    val_size: int,
+    test_size: int,
+    rng: Optional[np.random.Generator] = None,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Stratified split: ``train_per_class`` labels per class, then random
+    validation/test pools from the remainder.
+
+    Returns three boolean masks.  Raises if a class has too few nodes.
+    """
+    if rng is None:
+        rng = np.random.default_rng()
+    labels = np.asarray(labels)
+    n = labels.shape[0]
+    num_classes = int(labels.max()) + 1
+
+    train_idx = []
+    for c in range(num_classes):
+        members = np.flatnonzero(labels == c)
+        if members.size < train_per_class:
+            raise ValueError(
+                f"class {c} has only {members.size} nodes, cannot take "
+                f"{train_per_class} training labels"
+            )
+        train_idx.append(rng.choice(members, size=train_per_class, replace=False))
+    train_idx = np.concatenate(train_idx)
+
+    rest = np.setdiff1d(np.arange(n), train_idx)
+    if val_size + test_size > rest.size:
+        raise ValueError(
+            f"val+test ({val_size}+{test_size}) exceeds remaining "
+            f"{rest.size} nodes"
+        )
+    rest = rng.permutation(rest)
+    val_idx = rest[:val_size]
+    test_idx = rest[val_size : val_size + test_size]
+    return _masks(n, train_idx, val_idx, test_idx)
+
+
+def fraction_split(
+    labels: np.ndarray,
+    train_size: int,
+    val_size: int,
+    test_size: int,
+    rng: Optional[np.random.Generator] = None,
+    eligible: Optional[np.ndarray] = None,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Split by total sizes with class-stratified training sampling.
+
+    ``eligible`` optionally restricts all three pools to a node subset
+    (used by the bipartite Tencent graph, where only item nodes carry
+    evaluation labels).
+    """
+    if rng is None:
+        rng = np.random.default_rng()
+    labels = np.asarray(labels)
+    n = labels.shape[0]
+    pool = np.arange(n) if eligible is None else np.asarray(eligible)
+    if train_size + val_size + test_size > pool.size:
+        raise ValueError(
+            f"split sizes ({train_size}+{val_size}+{test_size}) exceed "
+            f"eligible pool of {pool.size}"
+        )
+
+    # Stratify training picks: round-robin classes by frequency in pool.
+    pool = rng.permutation(pool)
+    pool_labels = labels[pool]
+    order = np.argsort(pool_labels, kind="stable")
+    # Interleave classes so a prefix of `pool_interleaved` is stratified.
+    by_class = [pool[order[pool_labels[order] == c]] for c in range(labels.max() + 1)]
+    interleaved = []
+    cursor = 0
+    while len(interleaved) < pool.size:
+        advanced = False
+        for members in by_class:
+            if cursor < len(members):
+                interleaved.append(members[cursor])
+                advanced = True
+        cursor += 1
+        if not advanced:
+            break
+    interleaved = np.asarray(interleaved[: pool.size])
+
+    train_idx = interleaved[:train_size]
+    rest = rng.permutation(np.setdiff1d(pool, train_idx))
+    val_idx = rest[:val_size]
+    test_idx = rest[val_size : val_size + test_size]
+    return _masks(n, train_idx, val_idx, test_idx)
+
+
+def _masks(
+    n: int, train_idx: np.ndarray, val_idx: np.ndarray, test_idx: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    train = np.zeros(n, dtype=bool)
+    val = np.zeros(n, dtype=bool)
+    test = np.zeros(n, dtype=bool)
+    train[train_idx] = True
+    val[val_idx] = True
+    test[test_idx] = True
+    return train, val, test

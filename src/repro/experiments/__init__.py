@@ -1,0 +1,21 @@
+"""Experiment harness: one module per table/figure of the paper.
+
+Each module exposes ``run(**knobs) -> ExperimentResult`` plus a CLI
+(``python -m repro.experiments.<name>``); the ``benchmarks/`` directory
+wraps the same runners with CPU-friendly settings.  See DESIGN.md §4 for
+the experiment index and EXPERIMENTS.md for paper-vs-measured results.
+"""
+
+from repro.experiments.common import (
+    ExperimentResult,
+    build_lasagne,
+    render_table,
+    save_result,
+)
+
+__all__ = [
+    "ExperimentResult",
+    "build_lasagne",
+    "render_table",
+    "save_result",
+]

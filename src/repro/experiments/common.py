@@ -1,0 +1,185 @@
+"""Shared utilities for the experiment harness."""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import pathlib
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core import Lasagne
+from repro.graphs.graph import Graph
+from repro.models import build_model
+from repro.training import HyperParams, TrainConfig, hyperparams_for, run_repeated
+from repro.training.evaluate import RepeatedResult
+
+
+@dataclasses.dataclass
+class ExperimentResult:
+    """Uniform result container: an id, a rendered table and raw data."""
+
+    experiment_id: str
+    title: str
+    headers: List[str]
+    rows: List[List[str]]
+    data: Dict
+
+    def render(self) -> str:
+        banner = f"== {self.experiment_id}: {self.title} =="
+        return banner + "\n" + render_table(self.headers, self.rows)
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
+    """Fixed-width ASCII table."""
+    columns = [list(map(str, col)) for col in zip(headers, *rows)]
+    widths = [max(len(cell) for cell in col) for col in columns]
+    def fmt(row):
+        return "  ".join(str(c).ljust(w) for c, w in zip(row, widths))
+    line = "  ".join("-" * w for w in widths)
+    return "\n".join([fmt(headers), line] + [fmt(r) for r in rows])
+
+
+def save_result(result: ExperimentResult, directory: str = "results") -> pathlib.Path:
+    """Persist an experiment result as JSON next to the repo root."""
+    out_dir = pathlib.Path(directory)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    path = out_dir / f"{result.experiment_id}.json"
+    payload = dataclasses.asdict(result)
+    path.write_text(json.dumps(payload, indent=2, default=_jsonable))
+    return path
+
+
+def _jsonable(value):
+    if isinstance(value, (np.floating, np.integer)):
+        return value.item()
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    raise TypeError(f"not JSON serializable: {type(value)}")
+
+
+def build_lasagne(
+    graph: Graph,
+    hp: HyperParams,
+    aggregator: str,
+    num_layers: int = 5,
+    base_conv: str = "gcn",
+    use_gcfm: bool = True,
+    seed: int = 0,
+) -> Lasagne:
+    """Construct a Lasagne model with the paper's per-dataset settings."""
+    return Lasagne(
+        graph.num_features,
+        hp.hidden,
+        graph.num_classes,
+        num_layers=num_layers,
+        aggregator=aggregator,
+        base_conv=base_conv,
+        dropout=hp.dropout,
+        use_gcfm=use_gcfm,
+        fm_rank=hp.fm_rank,
+        seed=seed,
+    )
+
+
+def baseline_factory(
+    name: str, graph: Graph, hp: HyperParams, num_layers: int = 2, **kwargs
+) -> Callable[[int], object]:
+    """Factory of factories: fresh baseline per seed with dataset HP."""
+
+    def factory(seed: int):
+        return build_model(
+            name,
+            graph.num_features,
+            graph.num_classes,
+            hidden=hp.hidden,
+            num_layers=num_layers,
+            dropout=hp.dropout,
+            seed=seed,
+            **kwargs,
+        )
+
+    return factory
+
+
+def lasagne_factory(
+    graph: Graph,
+    hp: HyperParams,
+    aggregator: str,
+    num_layers: int = 5,
+    base_conv: str = "gcn",
+    use_gcfm: bool = True,
+) -> Callable[[int], Lasagne]:
+    """Factory of factories: fresh Lasagne per seed with dataset HP."""
+
+    def factory(seed: int):
+        return build_lasagne(
+            graph, hp, aggregator,
+            num_layers=num_layers, base_conv=base_conv,
+            use_gcfm=use_gcfm, seed=seed,
+        )
+
+    return factory
+
+
+def evaluate(
+    factory: Callable[[int], object],
+    graph: Graph,
+    hp: HyperParams,
+    repeats: int,
+    epochs: Optional[int] = None,
+    inductive: bool = False,
+    seed: int = 0,
+) -> RepeatedResult:
+    """Run the standard repeated-training evaluation for one model."""
+    cfg = TrainConfig(
+        lr=hp.lr,
+        weight_decay=hp.weight_decay,
+        epochs=epochs if epochs is not None else hp.epochs,
+        patience=hp.patience,
+        seed=seed,
+    )
+    return run_repeated(factory, graph, cfg, repeats=repeats, inductive=inductive)
+
+
+# ---------------------------------------------------------------------------
+# Literature numbers carried into Table 3, exactly as the paper does for
+# the baselines it did not re-run (rows without '*' in the paper).
+# ---------------------------------------------------------------------------
+PAPER_REPORTED_TABLE3: Dict[str, Dict[str, str]] = {
+    "GPNN": {"cora": "81.8", "citeseer": "69.7", "pubmed": "79.3"},
+    "NGCN": {"cora": "83.0", "citeseer": "72.2", "pubmed": "79.5"},
+    "DGCN": {"cora": "83.5", "citeseer": "72.6", "pubmed": "80"},
+    "DropEdge": {"cora": "82.8", "citeseer": "72.3", "pubmed": "79.6"},
+    "STGCN": {"cora": "83.6", "citeseer": "72.6", "pubmed": "79.5"},
+    "DGI": {"cora": "82.3±0.6", "citeseer": "71.8±0.7", "pubmed": "76.8±0.6"},
+    "GMI": {"cora": "82.7±0.2", "citeseer": "73.0±0.3", "pubmed": "80.1±0.2"},
+    "GIN": {"cora": "77.6±1.1", "citeseer": "66.1±0.9", "pubmed": "77.0±1.2"},
+    "SGC": {"cora": "81.0±0.0", "citeseer": "71.9±0.1", "pubmed": "78.9±0.0"},
+    "LGCN": {"cora": "83.3±0.5", "citeseer": "73.0±0.6", "pubmed": "79.5±0.2"},
+    "APPNP": {"cora": "83.3±0.5", "citeseer": "71.8±0.5", "pubmed": "80.1±0.2"},
+    "GAT": {"cora": "83.0±0.7", "citeseer": "72.5±0.7", "pubmed": "79.0±0.3"},
+}
+
+PAPER_TABLE3_STARRED: Dict[str, Dict[str, str]] = {
+    "Pairnorm*": {"cora": "81.4±0.6", "citeseer": "68.5±0.9", "pubmed": "79.1±0.5"},
+    "MixHop*": {"cora": "82.1±0.4", "citeseer": "71.4±0.8", "pubmed": "80.0±1.1"},
+    "MADReg*": {"cora": "82.3±0.8", "citeseer": "71.6±0.9", "pubmed": "79.5±0.6"},
+    "GCN*": {"cora": "81.8±0.5", "citeseer": "70.8±0.5", "pubmed": "79.3±0.7"},
+    "JK-Net*": {"cora": "81.8±0.5", "citeseer": "70.7±0.7", "pubmed": "78.8±0.7"},
+    "ResGCN*": {"cora": "82.2±0.6", "citeseer": "70.8±0.7", "pubmed": "78.3±0.6"},
+    "DenseGCN*": {"cora": "82.1±0.5", "citeseer": "70.9±0.8", "pubmed": "79.1±0.9"},
+    "Lasagne (Weighted)*": {
+        "cora": "84.1±0.2", "citeseer": "73.2±0.5", "pubmed": "79.5±0.4"
+    },
+    "Lasagne (Stochastic)*": {
+        "cora": "84.2±0.5", "citeseer": "73.1±0.6", "pubmed": "80.2±0.5"
+    },
+    "Lasagne (Max pooling)*": {
+        "cora": "84.1±0.8", "citeseer": "73.3±0.5", "pubmed": "79.6±0.6"
+    },
+}

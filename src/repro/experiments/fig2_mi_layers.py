@@ -1,0 +1,91 @@
+"""Figure 2: mutual information of each hidden layer with the input, for
+10-layer GCN / ResGCN / JK-Net / DenseGCN on Cora, after convergence.
+
+The paper's reading: vanilla GCN's MI collapses toward the last layer
+(over-smoothing); ResGCN preserves shallow-layer information; JK-Net
+boosts the final two layers; DenseGCN lifts the whole profile.  The same
+ordering should hold here.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Dict, List, Optional
+
+from repro.datasets import load_dataset
+from repro.experiments.common import ExperimentResult, save_result
+from repro.info import layer_mi_profile
+from repro.models import build_model
+from repro.training import TrainConfig, Trainer, hyperparams_for
+
+MODELS = ["gcn", "resgcn", "jknet", "densegcn"]
+
+
+def run(
+    dataset: str = "cora",
+    scale: Optional[float] = None,
+    num_layers: int = 10,
+    epochs: Optional[int] = None,
+    seed: int = 0,
+    models: Optional[List[str]] = None,
+) -> ExperimentResult:
+    """Train each model to convergence and profile per-layer MI."""
+    graph = load_dataset(dataset, scale=scale, seed=seed)
+    hp = hyperparams_for(dataset)
+    cfg = TrainConfig(
+        lr=hp.lr,
+        weight_decay=hp.weight_decay,
+        epochs=epochs if epochs is not None else hp.epochs,
+        patience=hp.patience,
+        seed=seed,
+    )
+
+    profiles: Dict[str, List[float]] = {}
+    for name in models or MODELS:
+        model = build_model(
+            name, graph.num_features, graph.num_classes,
+            hidden=hp.hidden, num_layers=num_layers, dropout=hp.dropout, seed=seed,
+        )
+        Trainer(cfg).fit(model, graph)
+        hidden = model.hidden_representations()
+        profiles[name] = layer_mi_profile(graph.features, hidden, seed=seed)
+
+    max_depth = max(len(p) for p in profiles.values())
+    headers = ["Model"] + [f"L{i + 1}" for i in range(max_depth)]
+    rows = []
+    for name, profile in profiles.items():
+        cells = [f"{v:.3f}" for v in profile]
+        cells += ["-"] * (max_depth - len(cells))
+        rows.append([name] + cells)
+
+    return ExperimentResult(
+        experiment_id="fig2",
+        title=f"MI(X; H^l) per layer, {num_layers}-layer models on {dataset}",
+        headers=headers,
+        rows=rows,
+        data={"profiles": profiles, "dataset": dataset, "scale": scale},
+    )
+
+
+def main() -> None:
+    """CLI entry point (argparse flags mirror run()'s keyword knobs)."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--dataset", default="cora")
+    parser.add_argument("--scale", type=float, default=None)
+    parser.add_argument("--layers", type=int, default=10)
+    parser.add_argument("--epochs", type=int, default=None)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+    result = run(
+        dataset=args.dataset,
+        scale=args.scale,
+        num_layers=args.layers,
+        epochs=args.epochs,
+        seed=args.seed,
+    )
+    print(result.render())
+    save_result(result)
+
+
+if __name__ == "__main__":
+    main()

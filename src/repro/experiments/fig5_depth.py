@@ -1,0 +1,131 @@
+"""Figure 5: influence of model depth (2–10 layers) on accuracy.
+
+GCN / ResGCN / DenseGCN / JK-Net vs the three Lasagne variants on the
+citation datasets.  Expected shape: GCN peaks at 2 layers and collapses
+with depth; the deep baselines degrade slowly; Lasagne stays flat or
+improves and reaches its best accuracy beyond 5 layers.  The per-dataset
+average path length (Eq. 8) motivates the 10-layer cap.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Dict, List, Optional, Sequence
+
+from repro.datasets import load_dataset
+from repro.experiments.common import (
+    ExperimentResult,
+    baseline_factory,
+    evaluate,
+    lasagne_factory,
+    save_result,
+)
+from repro.graphs import average_path_length
+from repro.training import hyperparams_for
+
+BASELINES = [
+    ("GCN", "gcn"),
+    ("ResGCN", "resgcn"),
+    ("DenseGCN", "densegcn"),
+    ("JK-Net", "jknet"),
+]
+
+LASAGNE_VARIANTS = [
+    ("Lasagne (Weighted)", "weighted"),
+    ("Lasagne (Stochastic)", "stochastic"),
+    ("Lasagne (Max pooling)", "maxpool"),
+]
+
+
+def run(
+    dataset: str = "cora",
+    depths: Sequence[int] = (2, 4, 6, 8, 10),
+    scale: Optional[float] = None,
+    repeats: int = 2,
+    epochs: Optional[int] = None,
+    seed: int = 0,
+) -> ExperimentResult:
+    """Depth sweep on one dataset (run per dataset as the figure does)."""
+    graph = load_dataset(dataset, scale=scale, seed=seed)
+    hp = hyperparams_for(dataset)
+    apl = average_path_length(
+        graph.adj, sample_sources=min(graph.num_nodes, 400)
+    )
+
+    series: Dict[str, List[float]] = {}
+    for label, model_name in BASELINES:
+        series[label] = []
+        for depth in depths:
+            r = evaluate(
+                baseline_factory(model_name, graph, hp, num_layers=depth),
+                graph, hp, repeats=repeats, epochs=epochs, seed=seed,
+            )
+            series[label].append(r.mean)
+    for label, aggregator in LASAGNE_VARIANTS:
+        series[label] = []
+        for depth in depths:
+            r = evaluate(
+                lasagne_factory(graph, hp, aggregator, num_layers=depth),
+                graph, hp, repeats=repeats, epochs=epochs, seed=seed,
+            )
+            series[label].append(r.mean)
+
+    headers = ["Model"] + [f"L={d}" for d in depths]
+    rows = [
+        [label] + [f"{100 * v:.1f}" for v in values]
+        for label, values in series.items()
+    ]
+
+    return ExperimentResult(
+        experiment_id=f"fig5_{dataset}",
+        title=(
+            f"Accuracy (%) vs depth on {dataset} "
+            f"(APL={apl:.1f}, sampled estimate)"
+        ),
+        headers=headers,
+        rows=rows,
+        data={
+            "series": series,
+            "depths": list(depths),
+            "apl": apl,
+            "dataset": dataset,
+            "scale": scale,
+        },
+    )
+
+
+def main() -> None:
+    """CLI entry point (argparse flags mirror run()'s keyword knobs)."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--dataset", default="cora")
+    parser.add_argument("--depths", nargs="+", type=int, default=[2, 4, 6, 8, 10])
+    parser.add_argument("--scale", type=float, default=None)
+    parser.add_argument("--repeats", type=int, default=2)
+    parser.add_argument("--epochs", type=int, default=None)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+    result = run(
+        dataset=args.dataset,
+        depths=tuple(args.depths),
+        scale=args.scale,
+        repeats=args.repeats,
+        epochs=args.epochs,
+        seed=args.seed,
+    )
+    print(result.render())
+    from repro.experiments.plotting import line_chart
+
+    print()
+    print(
+        line_chart(
+            {k: [100 * v for v in vs] for k, vs in result.data["series"].items()},
+            x_labels=[f"L={d}" for d in result.data["depths"]],
+            title=f"Accuracy (%) vs depth on {args.dataset}",
+            y_format="{:.1f}",
+        )
+    )
+    save_result(result)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,120 @@
+"""Node-locality analysis of the stochastic aggregator (§5.2.2).
+
+Trains a 5-layer Lasagne (Stochastic) on Cora, collects the learned gate
+probabilities ``P`` and relates them to PageRank: the paper reports the
+most central node preferring nearby layers (P ≈ [1.00, 0.95, 0.89]) and
+the least central node preferring distant ones (P ≈ [0.67, 0.86, 1.00]).
+
+We report the learned distributions of the extreme-PageRank nodes plus the
+rank correlation between PageRank and each node's *center of mass* over
+layers (negative = central nodes lean shallow, the paper's hypothesis).
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Optional
+
+import numpy as np
+from scipy import stats
+
+from repro.datasets import load_dataset
+from repro.experiments.common import (
+    ExperimentResult,
+    build_lasagne,
+    save_result,
+)
+from repro.graphs import pagerank
+from repro.training import TrainConfig, Trainer, hyperparams_for
+
+
+def layer_center_of_mass(probs: np.ndarray) -> np.ndarray:
+    """Expected layer index under each node's (normalized) gate profile."""
+    layers = np.arange(1, probs.shape[1] + 1)
+    weights = probs / probs.sum(axis=1, keepdims=True)
+    return weights @ layers
+
+
+def run(
+    dataset: str = "cora",
+    scale: Optional[float] = None,
+    num_layers: int = 5,
+    epochs: Optional[int] = None,
+    seed: int = 0,
+) -> ExperimentResult:
+    """Train Lasagne (Stochastic) and correlate gates with PageRank."""
+    graph = load_dataset(dataset, scale=scale, seed=seed)
+    hp = hyperparams_for(dataset)
+    cfg = TrainConfig(
+        lr=hp.lr,
+        weight_decay=hp.weight_decay,
+        epochs=epochs if epochs is not None else hp.epochs,
+        patience=hp.patience,
+        seed=seed,
+    )
+    model = build_lasagne(
+        graph, hp, "stochastic", num_layers=num_layers, seed=seed
+    )
+    Trainer(cfg).fit(model, graph)
+
+    probs = model.stochastic_probabilities()  # (N, L-1)
+    pr = pagerank(graph.adj)
+    center = layer_center_of_mass(probs)
+    correlation, pvalue = stats.spearmanr(pr, center)
+
+    most_central = int(np.argmax(pr))
+    least_central = int(np.argmin(pr))
+
+    def fmt(vec):
+        return "[" + ", ".join(f"{v:.2f}" for v in vec) + "]"
+
+    headers = ["Quantity", "Value"]
+    rows = [
+        ["most-central node id", str(most_central)],
+        ["  its PageRank", f"{pr[most_central]:.5f}"],
+        ["  its P distribution", fmt(probs[most_central])],
+        ["least-central node id", str(least_central)],
+        ["  its PageRank", f"{pr[least_central]:.5f}"],
+        ["  its P distribution", fmt(probs[least_central])],
+        ["Spearman(PR, layer center of mass)", f"{correlation:.3f}"],
+        ["  p-value", f"{pvalue:.2e}"],
+    ]
+
+    return ExperimentResult(
+        experiment_id="locality",
+        title=f"Stochastic-gate locality analysis on {dataset} ({num_layers} layers)",
+        headers=headers,
+        rows=rows,
+        data={
+            "pagerank": pr,
+            "probabilities": probs,
+            "spearman": float(correlation),
+            "pvalue": float(pvalue),
+            "dataset": dataset,
+            "scale": scale,
+        },
+    )
+
+
+def main() -> None:
+    """CLI entry point (argparse flags mirror run()'s keyword knobs)."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--dataset", default="cora")
+    parser.add_argument("--scale", type=float, default=None)
+    parser.add_argument("--layers", type=int, default=5)
+    parser.add_argument("--epochs", type=int, default=None)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+    result = run(
+        dataset=args.dataset,
+        scale=args.scale,
+        num_layers=args.layers,
+        epochs=args.epochs,
+        seed=args.seed,
+    )
+    print(result.render())
+    save_result(result)
+
+
+if __name__ == "__main__":
+    main()

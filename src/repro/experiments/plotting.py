@@ -1,0 +1,92 @@
+"""Terminal plotting: render the paper's figures as ASCII charts.
+
+The reproduction is headless, so figures (accuracy-vs-depth curves,
+MI-over-training traces, per-epoch-time bars) are drawn as fixed-width
+character charts — good enough to eyeball every shape the paper's plots
+communicate, and diffable in CI logs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+_MARKERS = "ox+*#@%&"
+
+
+def line_chart(
+    series: Dict[str, Sequence[float]],
+    x_labels: Optional[Sequence] = None,
+    width: int = 64,
+    height: int = 16,
+    title: str = "",
+    y_format: str = "{:.2f}",
+) -> str:
+    """Render one or more equal-length series as an ASCII line chart.
+
+    Each series gets a marker character; the legend maps markers back to
+    names.  Points are plotted (no interpolation) on a ``height``-row
+    grid spanning the global min/max.
+    """
+    if not series:
+        raise ValueError("need at least one series")
+    lengths = {len(v) for v in series.values()}
+    if len(lengths) != 1:
+        raise ValueError(f"series lengths differ: {sorted(lengths)}")
+    n_points = lengths.pop()
+    if n_points == 0:
+        raise ValueError("series are empty")
+
+    values = [v for vs in series.values() for v in vs]
+    lo, hi = min(values), max(values)
+    if hi == lo:
+        hi = lo + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for idx, (name, vs) in enumerate(series.items()):
+        marker = _MARKERS[idx % len(_MARKERS)]
+        for i, v in enumerate(vs):
+            col = 0 if n_points == 1 else round(i * (width - 1) / (n_points - 1))
+            row = round((hi - v) / (hi - lo) * (height - 1))
+            grid[row][col] = marker
+
+    left_labels = [y_format.format(hi)] + [""] * (height - 2) + [y_format.format(lo)]
+    label_width = max(len(s) for s in left_labels)
+    lines = []
+    if title:
+        lines.append(title)
+    for label, row in zip(left_labels, grid):
+        lines.append(f"{label:>{label_width}} |" + "".join(row))
+    lines.append(" " * label_width + " +" + "-" * width)
+    if x_labels is not None:
+        if len(x_labels) != n_points:
+            raise ValueError("x_labels length must match the series length")
+        first, last = str(x_labels[0]), str(x_labels[-1])
+        axis = first + " " * max(width - len(first) - len(last), 1) + last
+        lines.append(" " * label_width + "  " + axis)
+    legend = "   ".join(
+        f"{_MARKERS[i % len(_MARKERS)]}={name}" for i, name in enumerate(series)
+    )
+    lines.append(" " * label_width + "  " + legend)
+    return "\n".join(lines)
+
+
+def bar_chart(
+    values: Dict[str, float],
+    width: int = 48,
+    title: str = "",
+    value_format: str = "{:.3g}",
+) -> str:
+    """Render a labelled horizontal bar chart (e.g. per-epoch times)."""
+    if not values:
+        raise ValueError("need at least one bar")
+    peak = max(values.values())
+    if peak <= 0:
+        peak = 1.0
+    label_width = max(len(k) for k in values)
+    lines = [title] if title else []
+    for name, value in values.items():
+        bar = "#" * max(int(width * value / peak), 0)
+        lines.append(
+            f"{name:>{label_width}} |{bar} {value_format.format(value)}"
+        )
+    return "\n".join(lines)

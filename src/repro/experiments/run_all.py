@@ -1,0 +1,120 @@
+"""Run every experiment of the paper in sequence.
+
+``python -m repro.experiments.run_all --preset quick`` regenerates all
+tables and figures at CPU-friendly settings; ``--preset paper`` uses the
+full protocol (expect hours on a laptop).  Each result is printed and
+saved under ``results/``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+from typing import Callable, Dict, List
+
+from repro.experiments import save_result
+from repro.experiments import (
+    extension_aggregators,
+    fig1_expansion,
+    info_plane,
+    fig2_mi_layers,
+    fig5_depth,
+    fig6_mi_training,
+    fig7_efficiency,
+    locality_analysis,
+    robustness,
+    table3_citation,
+    table4_inductive,
+    table5_other_datasets,
+    table6_gcfm_ablation,
+    table7_other_gnns,
+    table8_label_rate,
+)
+
+PRESETS: Dict[str, Dict] = {
+    # Everything small: minutes, shapes only.
+    "quick": dict(scale=0.12, repeats=1, epochs=30, layers=4, depths=(2, 5, 8)),
+    # Reasonable single-CPU evening run.
+    "default": dict(scale=0.5, repeats=3, epochs=150, layers=5, depths=(2, 4, 6, 8, 10)),
+    # The paper's protocol (scale 1.0, 10 repeats, 400-epoch budget).
+    "paper": dict(scale=1.0, repeats=10, epochs=None, layers=5, depths=(2, 4, 6, 8, 10)),
+}
+
+
+def build_plan(preset: Dict) -> List:
+    """The experiment list with preset-resolved keyword arguments."""
+    scale = preset["scale"]
+    repeats = preset["repeats"]
+    epochs = preset["epochs"]
+    layers = preset["layers"]
+    depths = preset["depths"]
+    mi_epochs = epochs if epochs is not None else 150
+    return [
+        ("table3", lambda: table3_citation.run(
+            scale=scale, repeats=repeats, epochs=epochs, lasagne_layers=layers)),
+        ("table4", lambda: table4_inductive.run(
+            scale=min(scale, 0.05), repeats=repeats, epochs=epochs)),
+        ("table5", lambda: table5_other_datasets.run(
+            scale=None, repeats=repeats, epochs=epochs, lasagne_layers=layers)),
+        ("table6", lambda: table6_gcfm_ablation.run(
+            scale=scale, repeats=repeats, epochs=epochs, lasagne_layers=layers)),
+        ("table7", lambda: table7_other_gnns.run(
+            scale=scale, repeats=repeats, epochs=epochs, lasagne_layers=layers)),
+        ("table8", lambda: table8_label_rate.run(
+            scale=scale, repeats=repeats, epochs=epochs, lasagne_layers=layers)),
+        ("fig2", lambda: fig2_mi_layers.run(
+            scale=scale, num_layers=10, epochs=mi_epochs)),
+        ("fig5", lambda: fig5_depth.run(
+            dataset="cora", depths=depths, scale=scale,
+            repeats=repeats, epochs=epochs)),
+        ("fig6", lambda: fig6_mi_training.run(
+            scale=scale, num_layers=10, epochs=min(mi_epochs, 100))),
+        ("fig7", lambda: fig7_efficiency.run(scale=None, timing_epochs=5)),
+        ("locality", lambda: locality_analysis.run(
+            scale=scale, num_layers=5, epochs=mi_epochs)),
+        ("fig1", lambda: fig1_expansion.run(scale=min(scale * 2, 1.0))),
+        # Extensions beyond the paper (ablations + robustness).
+        ("ext_aggregators", lambda: extension_aggregators.run(
+            scale=scale, repeats=repeats, epochs=epochs)),
+        ("robustness", lambda: robustness.run(
+            scale=scale, epochs=epochs if epochs else 100)),
+        ("info_plane", lambda: info_plane.run(
+            scale=scale, epochs=min(epochs or 60, 60))),
+    ]
+
+
+def run_all(preset_name: str = "quick", only: List[str] = None) -> List:
+    """Execute the plan; returns the list of ExperimentResults."""
+    if preset_name not in PRESETS:
+        raise KeyError(f"unknown preset {preset_name!r}; options: {sorted(PRESETS)}")
+    plan = build_plan(PRESETS[preset_name])
+    if only:
+        plan = [(name, fn) for name, fn in plan if name in only]
+        if not plan:
+            raise ValueError(f"no experiments match {only}")
+    results = []
+    for name, fn in plan:
+        start = time.perf_counter()
+        result = fn()
+        elapsed = time.perf_counter() - start
+        print(result.render())
+        print(f"[{name} finished in {elapsed:.1f}s]\n")
+        save_result(result)
+        results.append(result)
+    return results
+
+
+def main() -> None:
+    """CLI entry point (argparse flags mirror run()'s keyword knobs)."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--preset", default="quick", choices=sorted(PRESETS))
+    parser.add_argument(
+        "--only", nargs="+", default=None,
+        help="subset of experiment ids (table3 ... fig7, locality)",
+    )
+    args = parser.parse_args()
+    run_all(args.preset, only=args.only)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,181 @@
+"""Table 5: test accuracy on Amazon Computer/Photo, Coauthor CS/Physics
+and the Tencent production graph.
+
+GAT/GCN/JK-Net/ResGCN/DenseGCN (2-layer, the depth that favours them)
+against the three Lasagne variants.  On Tencent, hot-video hubs make
+over-smoothing acute, which is where node-aware aggregation pays the most.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Dict, Optional, Sequence
+
+from repro.datasets import load_dataset
+from repro.experiments.common import (
+    ExperimentResult,
+    baseline_factory,
+    evaluate,
+    lasagne_factory,
+    save_result,
+)
+from repro.training import hyperparams_for
+
+PAPER_TABLE5 = {
+    "GAT*": {
+        "amazon-computer": "80.1±0.6", "amazon-photo": "85.7±1.0",
+        "coauthor-cs": "87.4±0.2", "coauthor-physics": "90.2±1.4",
+        "tencent": "46.8±0.7",
+    },
+    "GCN*": {
+        "amazon-computer": "82.4±0.4", "amazon-photo": "85.9±0.6",
+        "coauthor-cs": "90.7±0.2", "coauthor-physics": "92.7±1.1",
+        "tencent": "45.9±0.4",
+    },
+    "JK-Net*": {
+        "amazon-computer": "82.0±0.6", "amazon-photo": "85.9±0.7",
+        "coauthor-cs": "89.5±0.6", "coauthor-physics": "92.5±0.4",
+        "tencent": "47.2±0.3",
+    },
+    "ResGCN*": {
+        "amazon-computer": "81.1±0.7", "amazon-photo": "85.3±0.9",
+        "coauthor-cs": "87.9±0.6", "coauthor-physics": "92.2±1.5",
+        "tencent": "46.8±0.5",
+    },
+    "DenseGCN*": {
+        "amazon-computer": "81.3±0.9", "amazon-photo": "84.9±1.1",
+        "coauthor-cs": "88.4±0.8", "coauthor-physics": "91.9±1.4",
+        "tencent": "46.5±0.6",
+    },
+    "Lasagne (Weighted)*": {
+        "amazon-computer": "83.9±0.7", "amazon-photo": "87.4±0.4",
+        "coauthor-cs": "92.4±0.6", "coauthor-physics": "93.8±0.5",
+        "tencent": "47.6±0.3",
+    },
+    "Lasagne (Stochastic)*": {
+        "amazon-computer": "84.5±0.7", "amazon-photo": "88.2±0.4",
+        "coauthor-cs": "92.5±0.5", "coauthor-physics": "94.1±0.6",
+        "tencent": "48.7±0.5",
+    },
+    "Lasagne (Max pooling)*": {
+        "amazon-computer": "84.1±0.4", "amazon-photo": "88.7±0.8",
+        "coauthor-cs": "92.1±0.5", "coauthor-physics": "93.8±0.5",
+        "tencent": "48.1±0.6",
+    },
+}
+
+# GAT runs with 4 heads here: at hidden width 100 the full 8-head edge
+# tensors on the (scaled) Tencent graph exceed laptop memory — the same
+# blow-up the paper reports against a 24 GB GPU (§5.3).
+BASELINES = [
+    ("GAT*", "gat", {"num_heads": 4}),
+    ("GCN*", "gcn", {}),
+    ("JK-Net*", "jknet", {}),
+    ("ResGCN*", "resgcn", {}),
+    ("DenseGCN*", "densegcn", {}),
+]
+
+LASAGNE_VARIANTS = [
+    ("Lasagne (Weighted)*", "weighted"),
+    ("Lasagne (Stochastic)*", "stochastic"),
+    ("Lasagne (Max pooling)*", "maxpool"),
+]
+
+DEFAULT_DATASETS = (
+    "amazon-computer",
+    "amazon-photo",
+    "coauthor-cs",
+    "coauthor-physics",
+    "tencent",
+)
+
+
+def run(
+    datasets: Sequence[str] = DEFAULT_DATASETS,
+    scale=None,
+    repeats: int = 2,
+    epochs: Optional[int] = None,
+    lasagne_layers: int = 4,
+    seed: int = 0,
+) -> ExperimentResult:
+    """Regenerate Table 5.
+
+    ``scale`` may be a float (applied to every dataset), ``None``
+    (per-dataset defaults), or a dict mapping dataset names to scales —
+    useful because Tencent is 75× larger than Amazon-Photo and dominates
+    runtime otherwise.
+    """
+    def scale_for(name):
+        if isinstance(scale, dict):
+            return scale.get(name)
+        return scale
+
+    measured: Dict[str, Dict[str, str]] = {}
+    graphs = {
+        name: load_dataset(name, scale=scale_for(name), seed=seed)
+        for name in datasets
+    }
+
+    for label, model_name, kwargs in BASELINES:
+        measured[label] = {}
+        for ds in datasets:
+            hp = hyperparams_for(ds)
+            result = evaluate(
+                baseline_factory(
+                    model_name, graphs[ds], hp, num_layers=2, **kwargs
+                ),
+                graphs[ds], hp, repeats=repeats, epochs=epochs, seed=seed,
+            )
+            measured[label][ds] = str(result)
+
+    for label, aggregator in LASAGNE_VARIANTS:
+        measured[label] = {}
+        for ds in datasets:
+            hp = hyperparams_for(ds)
+            result = evaluate(
+                lasagne_factory(graphs[ds], hp, aggregator, num_layers=lasagne_layers),
+                graphs[ds], hp, repeats=repeats, epochs=epochs, seed=seed,
+            )
+            measured[label][ds] = str(result)
+
+    headers = ["Models"] + list(datasets) + ["source"]
+    rows = []
+    for label, values in PAPER_TABLE5.items():
+        if all(d in values for d in datasets):
+            rows.append([label] + [values[d] for d in datasets] + ["paper"])
+    for label, values in measured.items():
+        rows.append([label] + [values[d] for d in datasets] + ["measured"])
+
+    return ExperimentResult(
+        experiment_id="table5",
+        title="Other datasets test accuracy (%)",
+        headers=headers,
+        rows=rows,
+        data={"measured": measured, "repeats": repeats, "scale": scale},
+    )
+
+
+def main() -> None:
+    """CLI entry point (argparse flags mirror run()'s keyword knobs)."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=None)
+    parser.add_argument("--repeats", type=int, default=2)
+    parser.add_argument("--epochs", type=int, default=None)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--datasets", nargs="+", default=list(DEFAULT_DATASETS)
+    )
+    args = parser.parse_args()
+    result = run(
+        datasets=tuple(args.datasets),
+        scale=args.scale,
+        repeats=args.repeats,
+        epochs=args.epochs,
+        seed=args.seed,
+    )
+    print(result.render())
+    save_result(result)
+
+
+if __name__ == "__main__":
+    main()

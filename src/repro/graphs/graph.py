@@ -1,0 +1,213 @@
+"""The :class:`Graph` container used across datasets, models and experiments.
+
+A graph bundles an undirected adjacency (scipy CSR, no self-loops stored),
+node features, integer labels, and boolean train/val/test masks — the same
+information the paper's Table 2 describes per dataset.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+import numpy as np
+import scipy.sparse as sp
+
+
+@dataclasses.dataclass
+class Graph:
+    """An attributed, labeled, undirected graph with a data split.
+
+    Attributes
+    ----------
+    adj:
+        ``(N, N)`` symmetric CSR adjacency with zero diagonal (self-loops
+        are added by normalization, not stored).
+    features:
+        ``(N, M)`` float node-feature matrix (``X`` in the paper).
+    labels:
+        ``(N,)`` integer class labels.
+    train_mask / val_mask / test_mask:
+        Boolean masks over nodes; disjoint by construction in the dataset
+        generators.
+    name:
+        Dataset name for reporting.
+    num_classes:
+        Number of label classes (``F`` in the paper); inferred from labels
+        when not given.
+    """
+
+    adj: sp.csr_matrix
+    features: np.ndarray
+    labels: np.ndarray
+    train_mask: np.ndarray
+    val_mask: np.ndarray
+    test_mask: np.ndarray
+    name: str = "graph"
+    num_classes: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        self.adj = self.adj.tocsr()
+        self.features = np.asarray(self.features, dtype=np.float64)
+        self.labels = np.asarray(self.labels, dtype=np.int64)
+        n = self.adj.shape[0]
+        if self.adj.shape != (n, n):
+            raise ValueError(f"adjacency must be square, got {self.adj.shape}")
+        if self.features.shape[0] != n:
+            raise ValueError(
+                f"features rows ({self.features.shape[0]}) != num nodes ({n})"
+            )
+        if self.labels.shape != (n,):
+            raise ValueError(f"labels must have shape ({n},), got {self.labels.shape}")
+        for mask_name in ("train_mask", "val_mask", "test_mask"):
+            mask = np.asarray(getattr(self, mask_name), dtype=bool)
+            if mask.shape != (n,):
+                raise ValueError(f"{mask_name} must have shape ({n},)")
+            setattr(self, mask_name, mask)
+        if self.num_classes is None:
+            self.num_classes = int(self.labels.max()) + 1 if n else 0
+
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        return self.adj.shape[0]
+
+    @property
+    def num_edges(self) -> int:
+        """Number of undirected edges (each stored twice in CSR)."""
+        return self.adj.nnz // 2
+
+    @property
+    def num_features(self) -> int:
+        return self.features.shape[1]
+
+    def degrees(self) -> np.ndarray:
+        """Node degrees (number of neighbors)."""
+        return np.asarray(self.adj.getnnz(axis=1)).ravel()
+
+    def train_indices(self) -> np.ndarray:
+        return np.flatnonzero(self.train_mask)
+
+    def val_indices(self) -> np.ndarray:
+        return np.flatnonzero(self.val_mask)
+
+    def test_indices(self) -> np.ndarray:
+        return np.flatnonzero(self.test_mask)
+
+    def split_sizes(self) -> tuple:
+        return (
+            int(self.train_mask.sum()),
+            int(self.val_mask.sum()),
+            int(self.test_mask.sum()),
+        )
+
+    # ------------------------------------------------------------------
+    def subgraph(self, nodes: np.ndarray, name: Optional[str] = None) -> "Graph":
+        """Induced subgraph on ``nodes`` (masks are restricted likewise)."""
+        nodes = np.asarray(nodes)
+        if nodes.dtype == bool:
+            nodes = np.flatnonzero(nodes)
+        sub_adj = self.adj[nodes][:, nodes]
+        return Graph(
+            adj=sub_adj,
+            features=self.features[nodes],
+            labels=self.labels[nodes],
+            train_mask=self.train_mask[nodes],
+            val_mask=self.val_mask[nodes],
+            test_mask=self.test_mask[nodes],
+            name=name or f"{self.name}/sub",
+            num_classes=self.num_classes,
+        )
+
+    def training_subgraph(self) -> "Graph":
+        """The train-node-induced subgraph (the inductive training view).
+
+        In the inductive protocol (Flickr/Reddit in the paper, following
+        GraphSAINT) the model may only see edges among training nodes while
+        training; validation/test run on the full graph.
+        """
+        return self.subgraph(self.train_mask, name=f"{self.name}/train")
+
+    def edge_index(self) -> np.ndarray:
+        """``(2, E*2)`` array of directed edge endpoints (both directions)."""
+        coo = self.adj.tocoo()
+        return np.vstack([coo.row, coo.col])
+
+    def validate(self) -> None:
+        """Check structural invariants; raises ``ValueError`` on violation."""
+        if (self.adj != self.adj.T).nnz != 0:
+            raise ValueError("adjacency must be symmetric")
+        if self.adj.diagonal().sum() != 0:
+            raise ValueError("adjacency must not contain self-loops")
+        overlap = (
+            (self.train_mask & self.val_mask).any()
+            or (self.train_mask & self.test_mask).any()
+            or (self.val_mask & self.test_mask).any()
+        )
+        if overlap:
+            raise ValueError("train/val/test masks must be disjoint")
+        if self.labels.min() < 0 or self.labels.max() >= self.num_classes:
+            raise ValueError("labels out of range for num_classes")
+
+    # ------------------------------------------------------------------
+    def save(self, path) -> "pathlib.Path":
+        """Persist the graph (adjacency, features, labels, masks) as .npz.
+
+        The archive is pure numpy (no pickle), so snapshots of generated
+        datasets can be shared and reloaded bit-exactly across machines.
+        """
+        import pathlib
+
+        path = pathlib.Path(path)
+        if path.suffix != ".npz":
+            path = path.with_suffix(".npz")
+        coo = self.adj.tocoo()
+        path.parent.mkdir(parents=True, exist_ok=True)
+        np.savez_compressed(
+            path,
+            adj_row=coo.row,
+            adj_col=coo.col,
+            adj_data=coo.data,
+            num_nodes=np.asarray(self.num_nodes),
+            features=self.features,
+            labels=self.labels,
+            train_mask=self.train_mask,
+            val_mask=self.val_mask,
+            test_mask=self.test_mask,
+            name=np.frombuffer(self.name.encode("utf-8"), dtype=np.uint8),
+            num_classes=np.asarray(self.num_classes),
+        )
+        return path
+
+    @classmethod
+    def load(cls, path) -> "Graph":
+        """Reload a graph saved by :meth:`save`."""
+        import pathlib
+
+        path = pathlib.Path(path)
+        if not path.exists() and path.suffix != ".npz":
+            path = path.with_suffix(".npz")
+        with np.load(path) as archive:
+            n = int(archive["num_nodes"])
+            adj = sp.coo_matrix(
+                (archive["adj_data"], (archive["adj_row"], archive["adj_col"])),
+                shape=(n, n),
+            ).tocsr()
+            return cls(
+                adj=adj,
+                features=archive["features"],
+                labels=archive["labels"],
+                train_mask=archive["train_mask"],
+                val_mask=archive["val_mask"],
+                test_mask=archive["test_mask"],
+                name=bytes(archive["name"].tobytes()).decode("utf-8"),
+                num_classes=int(archive["num_classes"]),
+            )
+
+    def __repr__(self) -> str:
+        tr, va, te = self.split_sizes()
+        return (
+            f"Graph(name={self.name!r}, nodes={self.num_nodes}, "
+            f"edges={self.num_edges}, features={self.num_features}, "
+            f"classes={self.num_classes}, split={tr}/{va}/{te})"
+        )

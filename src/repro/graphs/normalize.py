@@ -1,0 +1,57 @@
+"""Adjacency and feature normalization for graph convolutions.
+
+Implements the pre-processing step of Eq. (2) in the paper:
+:math:`\\hat{A} = \\tilde{D}^{-1/2} \\tilde{A} \\tilde{D}^{-1/2}` with
+:math:`\\tilde{A} = A + I`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.tensor.sparse import SparseMatrix
+
+
+def add_self_loops(adj: sp.spmatrix, weight: float = 1.0) -> sp.csr_matrix:
+    """Return ``A + weight * I`` (Ã in the paper)."""
+    n = adj.shape[0]
+    return (adj + weight * sp.identity(n, format="csr")).tocsr()
+
+
+def gcn_norm(adj: sp.spmatrix, self_loops: bool = True) -> SparseMatrix:
+    """Symmetric GCN normalization ``D̃^{-1/2} Ã D̃^{-1/2}``.
+
+    Parameters
+    ----------
+    adj:
+        Raw adjacency (no self-loops expected; adding them twice is
+        harmless only if ``self_loops=False``).
+    self_loops:
+        Whether to add the identity first (the standard GCN recipe).
+    """
+    a = add_self_loops(adj) if self_loops else adj.tocsr()
+    degrees = np.asarray(a.sum(axis=1)).ravel()
+    with np.errstate(divide="ignore"):
+        inv_sqrt = 1.0 / np.sqrt(degrees)
+    inv_sqrt[~np.isfinite(inv_sqrt)] = 0.0
+    d_inv_sqrt = sp.diags(inv_sqrt)
+    return SparseMatrix(d_inv_sqrt @ a @ d_inv_sqrt)
+
+
+def row_norm(adj: sp.spmatrix, self_loops: bool = True) -> SparseMatrix:
+    """Random-walk normalization ``D̃^{-1} Ã`` (used by some baselines)."""
+    a = add_self_loops(adj) if self_loops else adj.tocsr()
+    degrees = np.asarray(a.sum(axis=1)).ravel()
+    with np.errstate(divide="ignore"):
+        inv = 1.0 / degrees
+    inv[~np.isfinite(inv)] = 0.0
+    return SparseMatrix(sp.diags(inv) @ a)
+
+
+def normalize_features(features: np.ndarray) -> np.ndarray:
+    """Row-normalize features to unit L1 mass (the standard GCN recipe)."""
+    features = np.asarray(features, dtype=np.float64)
+    row_sums = np.abs(features).sum(axis=1, keepdims=True)
+    row_sums[row_sums == 0] = 1.0
+    return features / row_sums

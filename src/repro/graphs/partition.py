@@ -1,0 +1,91 @@
+"""Graph partitioning for ClusterGCN.
+
+The original ClusterGCN uses METIS; this implementation uses multi-source
+BFS region growing ("graph growing" partitioning), which also produces
+connected, roughly balanced parts with low edge cut on community-structured
+graphs — the property ClusterGCN relies on to keep most neighbors inside a
+partition.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import List, Optional
+
+import numpy as np
+import scipy.sparse as sp
+
+
+def partition_graph(
+    adj: sp.spmatrix,
+    num_parts: int,
+    rng: Optional[np.random.Generator] = None,
+) -> List[np.ndarray]:
+    """Partition nodes into ``num_parts`` balanced BFS-grown regions.
+
+    Returns a list of index arrays covering all nodes exactly once.
+    Seeds are random; each BFS front claims unassigned neighbors, and
+    any leftovers (isolated nodes) are round-robined to the smallest
+    parts at the end.
+    """
+    n = adj.shape[0]
+    if num_parts < 1:
+        raise ValueError(f"num_parts must be >= 1, got {num_parts}")
+    if num_parts == 1 or n <= num_parts:
+        if num_parts >= n:
+            return [np.array([i]) for i in range(n)] + [
+                np.array([], dtype=int) for _ in range(num_parts - n)
+            ]
+        return [np.arange(n)]
+    if rng is None:
+        rng = np.random.default_rng(0)
+
+    csr = adj.tocsr()
+    assignment = np.full(n, -1, dtype=np.int64)
+    target = int(np.ceil(n / num_parts))
+    seeds = rng.choice(n, size=num_parts, replace=False)
+    queues = [deque([int(s)]) for s in seeds]
+    sizes = np.zeros(num_parts, dtype=np.int64)
+    for part, seed in enumerate(seeds):
+        if assignment[seed] == -1:
+            assignment[seed] = part
+            sizes[part] += 1
+
+    active = True
+    while active:
+        active = False
+        for part, queue in enumerate(queues):
+            if sizes[part] >= target:
+                continue
+            while queue and sizes[part] < target:
+                node = queue.popleft()
+                row = csr.indices[csr.indptr[node] : csr.indptr[node + 1]]
+                for neighbor in row:
+                    if assignment[neighbor] == -1:
+                        assignment[neighbor] = part
+                        sizes[part] += 1
+                        queue.append(int(neighbor))
+                        active = True
+                        if sizes[part] >= target:
+                            break
+
+    # Leftovers: unreachable or capacity-stranded nodes go to smallest parts.
+    for node in np.flatnonzero(assignment == -1):
+        part = int(sizes.argmin())
+        assignment[node] = part
+        sizes[part] += 1
+
+    return [np.flatnonzero(assignment == p) for p in range(num_parts)]
+
+
+def edge_cut_fraction(adj: sp.spmatrix, parts: List[np.ndarray]) -> float:
+    """Fraction of edges crossing partition boundaries (quality metric)."""
+    n = adj.shape[0]
+    assignment = np.empty(n, dtype=np.int64)
+    for part_id, nodes in enumerate(parts):
+        assignment[nodes] = part_id
+    coo = adj.tocoo()
+    if coo.nnz == 0:
+        return 0.0
+    crossing = assignment[coo.row] != assignment[coo.col]
+    return float(crossing.mean())

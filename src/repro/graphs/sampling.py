@@ -1,0 +1,235 @@
+"""Sampling utilities for the sampled-training baselines.
+
+- :func:`drop_edge` — DropEdge (Rong et al., ICLR 2020): random symmetric
+  edge removal per epoch.
+- :func:`sample_neighbors` — GraphSAGE fixed-fanout neighbor sampling.
+- :func:`fastgcn_layer_sample` — FastGCN importance sampling of nodes per
+  layer with probability proportional to the squared column norm of Â.
+- :func:`saint_node_sample` / :func:`saint_edge_sample` — GraphSAINT
+  subgraph samplers (node and edge variants).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+
+def drop_edge(
+    adj: sp.spmatrix, p: float, rng: Optional[np.random.Generator] = None
+) -> sp.csr_matrix:
+    """Remove each undirected edge independently with probability ``p``.
+
+    Removal is symmetric: the edge survives or dies in both directions,
+    preserving undirectedness for the subsequent GCN normalization.
+    """
+    if not 0.0 <= p < 1.0:
+        raise ValueError(f"drop probability must be in [0, 1), got {p}")
+    if p == 0.0:
+        return adj.tocsr()
+    if rng is None:
+        rng = np.random.default_rng()
+    coo = adj.tocoo()
+    upper = coo.row < coo.col
+    rows, cols, vals = coo.row[upper], coo.col[upper], coo.data[upper]
+    keep = rng.random(rows.size) >= p
+    rows, cols, vals = rows[keep], cols[keep], vals[keep]
+    n = adj.shape[0]
+    half = sp.coo_matrix((vals, (rows, cols)), shape=(n, n))
+    return (half + half.T).tocsr()
+
+
+def sample_neighbors(
+    adj: sp.spmatrix,
+    nodes: np.ndarray,
+    fanout: int,
+    rng: Optional[np.random.Generator] = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Sample up to ``fanout`` neighbors per node (GraphSAGE style).
+
+    Returns ``(sources, targets)`` directed pairs where ``targets`` are the
+    query nodes and ``sources`` the sampled neighbors (with replacement if
+    degree < fanout, matching the original implementation).
+    """
+    if fanout < 1:
+        raise ValueError(f"fanout must be >= 1, got {fanout}")
+    if rng is None:
+        rng = np.random.default_rng()
+    csr = adj.tocsr()
+    sources: List[np.ndarray] = []
+    targets: List[np.ndarray] = []
+    for node in np.asarray(nodes):
+        row = csr.indices[csr.indptr[node] : csr.indptr[node + 1]]
+        if row.size == 0:
+            # Isolated node: self-message keeps the batch well-formed.
+            chosen = np.full(fanout, node)
+        elif row.size >= fanout:
+            chosen = rng.choice(row, size=fanout, replace=False)
+        else:
+            chosen = rng.choice(row, size=fanout, replace=True)
+        sources.append(chosen)
+        targets.append(np.full(fanout, node))
+    return np.concatenate(sources), np.concatenate(targets)
+
+
+def fastgcn_layer_sample(
+    norm_adj: sp.spmatrix,
+    num_samples: int,
+    rng: Optional[np.random.Generator] = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """FastGCN importance sampling: pick nodes w.p. ∝ ||Â[:, v]||².
+
+    Returns ``(sampled_nodes, weights)`` where ``weights = 1 / (q_v * s)``
+    makes the sampled aggregation an unbiased estimator of the full one.
+    """
+    if num_samples < 1:
+        raise ValueError(f"num_samples must be >= 1, got {num_samples}")
+    if rng is None:
+        rng = np.random.default_rng()
+    csc = norm_adj.tocsc()
+    col_norms = np.asarray(csc.multiply(csc).sum(axis=0)).ravel()
+    total = col_norms.sum()
+    if total <= 0:
+        raise ValueError("normalized adjacency has no mass to sample from")
+    probs = col_norms / total
+    n = norm_adj.shape[0]
+    num_samples = min(num_samples, n)
+    sampled = rng.choice(n, size=num_samples, replace=False, p=probs)
+    weights = 1.0 / (probs[sampled] * num_samples)
+    return sampled, weights
+
+
+def random_walks(
+    adj: sp.spmatrix,
+    walks_per_node: int,
+    walk_length: int,
+    rng: Optional[np.random.Generator] = None,
+) -> np.ndarray:
+    """Uniform random walks from every node, vectorized per step.
+
+    Returns an ``(N * walks_per_node, walk_length + 1)`` array of node
+    ids.  Walks stop-in-place at isolated nodes (self-transition), which
+    keeps the array rectangular without special-casing.
+    """
+    if walks_per_node < 1 or walk_length < 1:
+        raise ValueError("walks_per_node and walk_length must be >= 1")
+    if rng is None:
+        rng = np.random.default_rng()
+    csr = adj.tocsr()
+    n = csr.shape[0]
+    starts = np.repeat(np.arange(n), walks_per_node)
+    walks = np.empty((starts.size, walk_length + 1), dtype=np.int64)
+    walks[:, 0] = starts
+    degrees = np.diff(csr.indptr)
+    for step in range(walk_length):
+        current = walks[:, step]
+        deg = degrees[current]
+        # Draw a random neighbor slot per walk; isolated nodes self-loop.
+        offsets = (rng.random(current.size) * np.maximum(deg, 1)).astype(np.int64)
+        if csr.indices.size:
+            gather = np.minimum(
+                csr.indptr[current] + offsets, csr.indices.size - 1
+            )
+            candidates = csr.indices[gather]
+        else:
+            candidates = current
+        walks[:, step + 1] = np.where(deg > 0, candidates, current)
+    return walks
+
+
+def ppmi_matrix(
+    adj: sp.spmatrix,
+    walks_per_node: int = 8,
+    walk_length: int = 8,
+    window: int = 3,
+    rng: Optional[np.random.Generator] = None,
+) -> sp.csr_matrix:
+    """Positive pointwise mutual information matrix from random walks.
+
+    The DGCN baseline (Zhuang & Ma, WWW 2018) encodes *global*
+    consistency by convolving over a PPMI matrix estimated from
+    random-walk co-occurrence counts:
+    ``PPMI_uv = max(0, log( p(u,v) / (p(u) p(v)) ))``.
+    """
+    if window < 1:
+        raise ValueError(f"window must be >= 1, got {window}")
+    if rng is None:
+        rng = np.random.default_rng()
+    n = adj.shape[0]
+    walks = random_walks(adj, walks_per_node, walk_length, rng=rng)
+
+    rows_list, cols_list = [], []
+    for offset in range(1, window + 1):
+        rows_list.append(walks[:, :-offset].ravel())
+        cols_list.append(walks[:, offset:].ravel())
+    rows = np.concatenate(rows_list)
+    cols = np.concatenate(cols_list)
+    # Self co-occurrences (walk backtracking to its source) carry no
+    # relational information and distort the marginals; drop them before
+    # normalizing, as PPMI implementations conventionally do.
+    off_diagonal = rows != cols
+    rows, cols = rows[off_diagonal], cols[off_diagonal]
+    counts = sp.coo_matrix(
+        (np.ones(rows.size), (rows, cols)), shape=(n, n)
+    ).tocsr()
+    counts = counts + counts.T  # symmetric co-occurrence
+
+    total = counts.sum()
+    if total == 0:
+        return sp.csr_matrix((n, n))
+    row_sums = np.asarray(counts.sum(axis=1)).ravel()
+    coo = counts.tocoo()
+    p_joint = coo.data / total
+    p_row = row_sums[coo.row] / total
+    p_col = row_sums[coo.col] / total
+    pmi = np.log(np.maximum(p_joint / (p_row * p_col), 1e-12))
+    keep = pmi > 0
+    ppmi = sp.coo_matrix(
+        (pmi[keep], (coo.row[keep], coo.col[keep])), shape=(n, n)
+    ).tocsr()
+    ppmi.setdiag(0)
+    ppmi.eliminate_zeros()
+    return ppmi
+
+
+def saint_node_sample(
+    adj: sp.spmatrix,
+    budget: int,
+    rng: Optional[np.random.Generator] = None,
+) -> np.ndarray:
+    """GraphSAINT node sampler: nodes w.p. ∝ degree (without replacement)."""
+    if rng is None:
+        rng = np.random.default_rng()
+    n = adj.shape[0]
+    budget = min(budget, n)
+    degrees = np.asarray(adj.getnnz(axis=1)).ravel().astype(np.float64) + 1.0
+    probs = degrees / degrees.sum()
+    return np.sort(rng.choice(n, size=budget, replace=False, p=probs))
+
+
+def saint_edge_sample(
+    adj: sp.spmatrix,
+    budget: int,
+    rng: Optional[np.random.Generator] = None,
+) -> np.ndarray:
+    """GraphSAINT edge sampler: sample edges, return their incident nodes.
+
+    Edge probability follows the paper's ``1/deg(u) + 1/deg(v)`` recipe,
+    which favours edges between low-degree nodes for variance reduction.
+    """
+    if rng is None:
+        rng = np.random.default_rng()
+    coo = adj.tocoo()
+    upper = coo.row < coo.col
+    rows, cols = coo.row[upper], coo.col[upper]
+    if rows.size == 0:
+        return np.arange(min(budget, adj.shape[0]))
+    degrees = np.asarray(adj.getnnz(axis=1)).ravel().astype(np.float64)
+    degrees[degrees == 0] = 1.0
+    scores = 1.0 / degrees[rows] + 1.0 / degrees[cols]
+    probs = scores / scores.sum()
+    budget = min(budget, rows.size)
+    chosen = rng.choice(rows.size, size=budget, replace=False, p=probs)
+    return np.unique(np.concatenate([rows[chosen], cols[chosen]]))

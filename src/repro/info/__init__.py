@@ -1,0 +1,21 @@
+"""Information-theoretic analysis tools (paper §3.2, Figs. 2 and 6)."""
+
+from repro.info.mi import (
+    ksg_mi,
+    histogram_mi,
+    pca_reduce,
+    representation_mi,
+    layer_mi_profile,
+    label_mi,
+    gaussian_mi,
+)
+
+__all__ = [
+    "ksg_mi",
+    "histogram_mi",
+    "pca_reduce",
+    "representation_mi",
+    "layer_mi_profile",
+    "label_mi",
+    "gaussian_mi",
+]

@@ -1,0 +1,255 @@
+"""Mutual-information estimation between representations.
+
+The paper interprets deep GCNs through the MI between each hidden layer
+``H^(l)`` and the input features ``X`` (Fig. 2) and traces the last
+layer's MI during training (Fig. 6): over-smoothing manifests as MI
+collapse in deep layers, and Lasagne's aggregators are shown to preserve
+it.
+
+Estimators:
+
+- :func:`ksg_mi` — the Kraskov–Stögbauer–Grassberger (KSG) k-NN estimator
+  for continuous variables (works in moderate dimensions).
+- :func:`histogram_mi` — classic plug-in estimator on binned 1-D signals.
+- :func:`representation_mi` — the pipeline used by the experiments:
+  PCA-reduce both matrices to a handful of components (high-dimensional
+  k-NN MI estimation is hopeless otherwise), then KSG.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+from scipy.spatial import cKDTree
+from scipy.special import digamma
+
+
+def pca_reduce(matrix: np.ndarray, num_components: int) -> np.ndarray:
+    """Project rows onto the top principal components (via SVD).
+
+    Degenerate inputs (fewer columns than requested components, or zero
+    variance) are handled by truncation/zero-padding so downstream MI
+    estimation always receives the requested width.
+    """
+    matrix = np.asarray(matrix, dtype=np.float64)
+    n, d = matrix.shape
+    k = min(num_components, d, n)
+    centered = matrix - matrix.mean(axis=0, keepdims=True)
+    if k == 0 or not np.any(centered):
+        return np.zeros((n, num_components))
+    # Economy SVD; components = rows of Vt.
+    u, s, vt = np.linalg.svd(centered, full_matrices=False)
+    reduced = centered @ vt[:k].T
+    if k < num_components:
+        reduced = np.hstack([reduced, np.zeros((n, num_components - k))])
+    return reduced
+
+
+def ksg_mi(
+    x: np.ndarray,
+    y: np.ndarray,
+    k: int = 3,
+    rng: Optional[np.random.Generator] = None,
+    jitter: float = 1e-10,
+) -> float:
+    """KSG estimator (algorithm 1) of I(X; Y) in nats.
+
+    Parameters
+    ----------
+    x, y:
+        ``(N, dx)`` and ``(N, dy)`` continuous samples (1-D arrays are
+        promoted to columns).
+    k:
+        Neighbor order; small k = low bias / higher variance.
+    jitter:
+        Tiny noise added to break ties (the estimator assumes continuous
+        distributions; repeated points otherwise give spurious results).
+    """
+    x = np.atleast_2d(np.asarray(x, dtype=np.float64))
+    y = np.atleast_2d(np.asarray(y, dtype=np.float64))
+    if x.shape[0] == 1:
+        x = x.T
+    if y.shape[0] == 1:
+        y = y.T
+    n = x.shape[0]
+    if y.shape[0] != n:
+        raise ValueError(f"sample counts differ: {n} vs {y.shape[0]}")
+    if k >= n:
+        raise ValueError(f"k={k} must be smaller than the sample count {n}")
+    if rng is None:
+        rng = np.random.default_rng(0)
+    x = x + jitter * rng.standard_normal(x.shape)
+    y = y + jitter * rng.standard_normal(y.shape)
+
+    joint = np.hstack([x, y])
+    joint_tree = cKDTree(joint)
+    # Distance to the k-th neighbor in the joint space (Chebyshev metric).
+    eps, _ = joint_tree.query(joint, k=k + 1, p=np.inf)
+    eps = eps[:, -1]
+
+    x_tree = cKDTree(x)
+    y_tree = cKDTree(y)
+    nx = np.array(
+        [
+            len(x_tree.query_ball_point(x[i], eps[i] - 1e-12, p=np.inf)) - 1
+            for i in range(n)
+        ]
+    )
+    ny = np.array(
+        [
+            len(y_tree.query_ball_point(y[i], eps[i] - 1e-12, p=np.inf)) - 1
+            for i in range(n)
+        ]
+    )
+    mi = (
+        digamma(k)
+        + digamma(n)
+        - np.mean(digamma(nx + 1) + digamma(ny + 1))
+    )
+    return float(max(mi, 0.0))
+
+
+def histogram_mi(x: np.ndarray, y: np.ndarray, bins: int = 16) -> float:
+    """Plug-in MI estimate for two 1-D signals via joint histograms (nats)."""
+    x = np.asarray(x, dtype=np.float64).ravel()
+    y = np.asarray(y, dtype=np.float64).ravel()
+    if x.shape != y.shape:
+        raise ValueError("x and y must have the same length")
+    joint, _, _ = np.histogram2d(x, y, bins=bins)
+    joint = joint / joint.sum()
+    px = joint.sum(axis=1, keepdims=True)
+    py = joint.sum(axis=0, keepdims=True)
+    mask = joint > 0
+    ratio = joint[mask] / (px @ py)[mask]
+    return float((joint[mask] * np.log(ratio)).sum())
+
+
+def label_mi(
+    representations: np.ndarray,
+    labels: np.ndarray,
+    k: int = 3,
+    num_components: int = 4,
+    max_samples: int = 1500,
+    rng: Optional[np.random.Generator] = None,
+    jitter: float = 1e-10,
+) -> float:
+    """MI between a continuous representation and *discrete* labels.
+
+    Ross (2014) mixed estimator: for each sample, find the distance to
+    its k-th neighbor **within its own class**, count how many samples of
+    *any* class fall inside that radius (m_i), and combine
+
+    .. math::
+        I = \\psi(N) - \\langle\\psi(N_{y_i})\\rangle
+            + \\psi(k) - \\langle\\psi(m_i)\\rangle .
+
+    This measures how class-informative a hidden layer is — the second
+    axis of the information plane (I(X;H) being the first).
+    """
+    h = np.asarray(representations, dtype=np.float64)
+    labels = np.asarray(labels)
+    if h.shape[0] != labels.shape[0]:
+        raise ValueError("representations and labels must cover the same nodes")
+    if rng is None:
+        rng = np.random.default_rng(0)
+    n = h.shape[0]
+    if n > max_samples:
+        picks = rng.choice(n, size=max_samples, replace=False)
+        h, labels = h[picks], labels[picks]
+        n = max_samples
+    h = pca_reduce(h, num_components)
+    h = h + jitter * rng.standard_normal(h.shape)
+
+    full_tree = cKDTree(h)
+    psi_class = np.empty(n)
+    m_counts = np.empty(n)
+    for c in np.unique(labels):
+        members = np.flatnonzero(labels == c)
+        n_c = members.size
+        psi_class[members] = digamma(n_c)
+        if n_c <= k:
+            # Degenerate class: use the farthest same-class neighbor.
+            kk = max(n_c - 1, 1)
+        else:
+            kk = k
+        class_tree = cKDTree(h[members])
+        dist, _ = class_tree.query(h[members], k=kk + 1, p=np.inf)
+        radius = dist[:, -1]
+        for row, idx in enumerate(members):
+            m_counts[idx] = (
+                len(full_tree.query_ball_point(h[idx], radius[row] + 1e-12, p=np.inf))
+                - 1
+            )
+    mi = (
+        digamma(n)
+        - psi_class.mean()
+        + digamma(k)
+        - digamma(np.maximum(m_counts, 1)).mean()
+    )
+    return float(max(mi, 0.0))
+
+
+def gaussian_mi(rho: float) -> float:
+    """Closed-form MI of a bivariate Gaussian with correlation ``rho``."""
+    if not -1.0 < rho < 1.0:
+        raise ValueError(f"rho must be in (-1, 1), got {rho}")
+    return -0.5 * np.log(1.0 - rho ** 2)
+
+
+def representation_mi(
+    features: np.ndarray,
+    hidden: np.ndarray,
+    num_components: int = 4,
+    k: int = 3,
+    max_samples: int = 1500,
+    rng: Optional[np.random.Generator] = None,
+) -> float:
+    """MI between a layer's representation and the input features.
+
+    Both matrices are PCA-reduced to ``num_components`` dimensions and a
+    common row subsample of at most ``max_samples`` is used, then the KSG
+    estimator is applied — the standard practical recipe for estimating
+    MI between high-dimensional deep representations.
+    """
+    features = np.asarray(features)
+    hidden = np.asarray(hidden)
+    if features.shape[0] != hidden.shape[0]:
+        raise ValueError("features and hidden must cover the same nodes")
+    if rng is None:
+        rng = np.random.default_rng(0)
+    n = features.shape[0]
+    if n > max_samples:
+        picks = rng.choice(n, size=max_samples, replace=False)
+        features = features[picks]
+        hidden = hidden[picks]
+    x = pca_reduce(features, num_components)
+    y = pca_reduce(hidden, num_components)
+    return ksg_mi(x, y, k=k, rng=rng)
+
+
+def layer_mi_profile(
+    features: np.ndarray,
+    hidden_layers: Sequence[np.ndarray],
+    num_components: int = 4,
+    k: int = 3,
+    max_samples: int = 1500,
+    seed: int = 0,
+) -> List[float]:
+    """MI(X; H^(l)) for every layer — the curves of Fig. 2."""
+    rng = np.random.default_rng(seed)
+    n = features.shape[0]
+    picks = None
+    if n > max_samples:
+        picks = rng.choice(n, size=max_samples, replace=False)
+    profile = []
+    for hidden in hidden_layers:
+        f = features if picks is None else features[picks]
+        h = hidden if picks is None else hidden[picks]
+        profile.append(
+            representation_mi(
+                f, h, num_components=num_components, k=k,
+                max_samples=max_samples, rng=np.random.default_rng(seed),
+            )
+        )
+    return profile

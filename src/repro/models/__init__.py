@@ -1,0 +1,147 @@
+"""The baseline GNN zoo and model registry.
+
+Every model the paper re-implements (starred rows of Tables 3–5) plus the
+inductive/sampled baselines of Table 4.  :func:`build_model` constructs a
+model from its registry name and a dataset's dimensions, applying each
+architecture's conventional defaults.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Type
+
+from repro.models.base import GNNModel
+from repro.models.convs import GATConv, GINConv, GraphConv, SAGEConv
+from repro.models.gcn import GCN
+from repro.models.deep_variants import DenseGCN, JKNet, ResGCN
+from repro.models.sgc import SGC
+from repro.models.gat import GAT
+from repro.models.graphsage import GraphSAGE
+from repro.models.appnp import APPNP
+from repro.models.mixhop import MixHop, NGCN
+from repro.models.gin import GIN
+from repro.models.regularized import DropEdgeGCN, MADRegGCN, PairNormGCN
+from repro.models.sampled import ClusterGCN, FastGCN, GraphSAINT
+from repro.models.contrastive import DGIClassifier
+from repro.models.dgcn import DGCN
+from repro.models.lgcn import LGCN
+from repro.models.stgcn import SnowballGCN, TruncatedKrylovGCN
+from repro.models.gpnn import GPNN
+from repro.models.gmi import GMIClassifier
+from repro.models.adsf import ADSF
+from repro.models.controls import MLP, LabelPropagation
+
+MODELS: Dict[str, Type[GNNModel]] = {
+    "gcn": GCN,
+    "resgcn": ResGCN,
+    "densegcn": DenseGCN,
+    "jknet": JKNet,
+    "sgc": SGC,
+    "gat": GAT,
+    "graphsage": GraphSAGE,
+    "appnp": APPNP,
+    "mixhop": MixHop,
+    "ngcn": NGCN,
+    "gin": GIN,
+    "dropedge": DropEdgeGCN,
+    "pairnorm": PairNormGCN,
+    "madreg": MADRegGCN,
+    "fastgcn": FastGCN,
+    "clustergcn": ClusterGCN,
+    "graphsaint": GraphSAINT,
+    "dgi": DGIClassifier,
+    "dgcn": DGCN,
+    "lgcn": LGCN,
+    "stgcn": SnowballGCN,
+    "krylovgcn": TruncatedKrylovGCN,
+    "gpnn": GPNN,
+    "gmi": GMIClassifier,
+    "adsf": ADSF,
+    "mlp": MLP,
+    "labelprop": LabelPropagation,
+}
+
+# Constructor signature groups: most models take (in, hidden, classes) but
+# SGC has no hidden layer and APPNP/MixHop/NGCN fix their own depth.
+_NO_DEPTH = {"sgc", "appnp", "mixhop", "ngcn"}
+
+
+def build_model(
+    name: str,
+    in_features: int,
+    num_classes: int,
+    hidden: int = 32,
+    num_layers: int = 2,
+    dropout: float = 0.5,
+    seed: int = 0,
+    **kwargs,
+) -> GNNModel:
+    """Construct a registered model for a dataset's dimensions.
+
+    ``num_layers`` is forwarded to depth-parametric architectures and
+    translated to the equivalent knob for the rest (``k_hops`` for SGC,
+    ``k_steps`` for APPNP); MixHop/NGCN have fixed internal depth.
+    """
+    key = name.lower()
+    if key not in MODELS:
+        raise KeyError(f"unknown model {name!r}; available: {sorted(MODELS)}")
+    cls = MODELS[key]
+    if key == "sgc":
+        return cls(in_features, num_classes, k_hops=num_layers, seed=seed, **kwargs)
+    if key == "appnp":
+        return cls(
+            in_features, hidden, num_classes,
+            k_steps=max(num_layers, 2), dropout=dropout, seed=seed, **kwargs,
+        )
+    if key in ("mixhop", "ngcn"):
+        return cls(
+            in_features, hidden, num_classes, dropout=dropout, seed=seed, **kwargs
+        )
+    return cls(
+        in_features, hidden, num_classes,
+        num_layers=num_layers, dropout=dropout, seed=seed, **kwargs,
+    )
+
+
+def model_names():
+    """All registered baseline names."""
+    return tuple(MODELS)
+
+
+__all__ = [
+    "GNNModel",
+    "GraphConv",
+    "SAGEConv",
+    "GATConv",
+    "GINConv",
+    "GCN",
+    "ResGCN",
+    "DenseGCN",
+    "JKNet",
+    "SGC",
+    "GAT",
+    "GraphSAGE",
+    "APPNP",
+    "MixHop",
+    "NGCN",
+    "GIN",
+    "DropEdgeGCN",
+    "PairNormGCN",
+    "MADRegGCN",
+    "FastGCN",
+    "ClusterGCN",
+    "GraphSAINT",
+    "DGIClassifier",
+    "DGCN",
+    "LGCN",
+    "SnowballGCN",
+    "TruncatedKrylovGCN",
+    "GPNN",
+    "GMIClassifier",
+    "ADSF",
+    "MLP",
+    "LabelPropagation",
+    "MODELS",
+    "build_model",
+    "model_names",
+]

@@ -1,0 +1,120 @@
+"""The model protocol shared by every GNN in the zoo.
+
+A :class:`GNNModel` is a :class:`~repro.nn.Module` that additionally knows
+how to attach itself to a :class:`~repro.graphs.Graph` (``setup`` /
+``attach``), refresh any stochastic view of the graph at each epoch
+(``begin_epoch`` — DropEdge, FastGCN, ClusterGCN, GraphSAINT override
+this), and expose the per-layer hidden representations needed by the
+mutual-information analyses of Figs. 2 and 6
+(``forward(..., return_hidden=True)``).
+
+Two protocols build on this:
+
+- *Transductive* training calls ``setup(graph)`` once.
+- *Inductive* training (Flickr/Reddit, Table 4) alternates
+  ``attach(train_subgraph)`` for the loss pass and ``attach(full_graph)``
+  for evaluation; ``attach`` caches the per-graph precomputation so the
+  swap is cheap.  Models whose parameters depend on the node count (the
+  node-aware Weighted/Stochastic Lasagne aggregators) refuse re-attachment
+  to a different-sized graph — matching the paper's observation that those
+  aggregators are unsuitable for inductive tasks.
+
+Sampled-training models train on a *subset* of nodes per epoch, so
+``training_batch`` returns both logits and the global node ids they refer
+to; the trainer masks the loss accordingly.  Full-batch models return all
+nodes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro import nn
+from repro.graphs.graph import Graph
+from repro.graphs.normalize import gcn_norm
+from repro.tensor import no_grad
+from repro.tensor.sparse import SparseMatrix
+from repro.tensor.tensor import Tensor
+
+
+class GNNModel(nn.Module):
+    """Base class: full-batch training on the attached graph view."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.graph: Optional[Graph] = None
+        self._norm_adj = None
+        self._features: Optional[Tensor] = None
+        self._view_cache: Dict[int, tuple] = {}
+
+    # ------------------------------------------------------------------
+    def setup(self, graph: Graph) -> "GNNModel":
+        """Attach the model to a graph; precompute the message operator."""
+        return self.attach(graph)
+
+    def attach(self, graph: Graph) -> "GNNModel":
+        """Switch the active graph view (cached per graph object)."""
+        key = id(graph)
+        if key not in self._view_cache:
+            self._view_cache[key] = (
+                graph,
+                self.build_operator(graph),
+                Tensor(graph.features),
+            )
+        self.graph, self._norm_adj, self._features = self._view_cache[key]
+        self.on_attach(graph)
+        return self
+
+    def build_operator(self, graph: Graph):
+        """The message-passing operator; Â by default (Eq. 2)."""
+        return gcn_norm(graph.adj)
+
+    def on_attach(self, graph: Graph) -> None:
+        """Hook for per-graph precomputation beyond the operator."""
+
+    def begin_epoch(self, rng: np.random.Generator) -> None:
+        """Hook for per-epoch stochastic graph views (default: none)."""
+
+    # ------------------------------------------------------------------
+    def training_batch(self) -> Tuple[Tensor, np.ndarray]:
+        """Logits used for the loss plus the global node ids they cover."""
+        logits = self.forward(self._norm_adj, self._features)
+        return logits, np.arange(self.graph.num_nodes)
+
+    def predict(self) -> np.ndarray:
+        """Full-view logits in eval mode without building a tape."""
+        was_training = self.training
+        self.eval()
+        with no_grad():
+            logits = self.forward(self._norm_adj, self._features)
+        if was_training:
+            self.train()
+        return logits.data
+
+    def hidden_representations(self) -> List[np.ndarray]:
+        """Per-layer hidden matrices of a full eval-mode pass (for MI)."""
+        was_training = self.training
+        self.eval()
+        with no_grad():
+            _, hidden = self.forward(
+                self._norm_adj, self._features, return_hidden=True
+            )
+        if was_training:
+            self.train()
+        return [h.data for h in hidden]
+
+    def auxiliary_loss(self) -> Optional[Tensor]:
+        """Extra regularization term added to the loss (MADReg uses this)."""
+        return None
+
+    # ------------------------------------------------------------------
+    def forward(self, adj, x, return_hidden: bool = False):
+        raise NotImplementedError
+
+    @staticmethod
+    def _maybe_hidden(logits, hidden, return_hidden):
+        if return_hidden:
+            return logits, hidden
+        return logits

@@ -1,0 +1,100 @@
+"""Control baselines: how much does the graph (or the features) matter?
+
+- :class:`MLP` — features only, no message passing.  If a GNN cannot
+  beat this, the graph added nothing.
+- :class:`LabelPropagation` — labels only, no features: iterate
+  ``Y ← α Â Y + (1-α) Y⁰`` from the one-hot training labels.  If a GNN
+  cannot beat this, the features added nothing.
+
+Neither appears in the paper's tables, but both are the standard sanity
+controls for semi-supervised node classification and the dataset tests
+use them to certify that the synthetic benchmarks require *both* signals
+(as the real ones do).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro import nn
+from repro.graphs.graph import Graph
+from repro.models.base import GNNModel
+from repro.tensor import Tensor
+
+
+class MLP(GNNModel):
+    """Two fully-connected layers on raw features (graph ignored)."""
+
+    def __init__(
+        self,
+        in_features: int,
+        hidden: int,
+        num_classes: int,
+        num_layers: int = 2,
+        dropout: float = 0.5,
+        seed: Optional[int] = None,
+    ) -> None:
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        dims = [in_features] + [hidden] * (num_layers - 1) + [num_classes]
+        self.layers = nn.ModuleList(
+            [nn.Linear(dims[i], dims[i + 1], rng=rng) for i in range(num_layers)]
+        )
+        self.dropout = nn.Dropout(dropout, rng=np.random.default_rng(rng.integers(2**31)))
+        self.num_layers = num_layers
+
+    def forward(self, adj, x, return_hidden: bool = False):
+        hidden_states = []
+        h = x
+        for i, lin in enumerate(self.layers):
+            h = lin(self.dropout(h))
+            if i < self.num_layers - 1:
+                h = h.relu()
+            hidden_states.append(h)
+        return self._maybe_hidden(h, hidden_states, return_hidden)
+
+
+class LabelPropagation(GNNModel):
+    """Parameter-free label spreading from the training set.
+
+    ``predict`` runs the propagation directly; ``training_batch`` returns
+    the propagated scores so the standard trainer protocol still works
+    (there is nothing to optimize — a dummy parameter keeps optimizers
+    happy).
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        hidden: int = 0,
+        num_classes: int = 2,
+        num_layers: int = 50,  # propagation iterations
+        alpha: float = 0.9,
+        dropout: float = 0.0,
+        seed: Optional[int] = None,
+    ) -> None:
+        super().__init__()
+        if not 0.0 < alpha < 1.0:
+            raise ValueError(f"alpha must be in (0, 1), got {alpha}")
+        self.iterations = max(num_layers, 1)
+        self.alpha = alpha
+        self.num_classes = num_classes
+        # Optimizers require at least one parameter; this one is unused.
+        self.dummy = nn.Parameter(np.zeros(1))
+        self._scores: Optional[np.ndarray] = None
+
+    def on_attach(self, graph: Graph) -> None:
+        seed_labels = np.zeros((graph.num_nodes, self.num_classes))
+        train_idx = graph.train_indices()
+        seed_labels[train_idx, graph.labels[train_idx]] = 1.0
+        scores = seed_labels.copy()
+        operator = self._norm_adj.csr
+        for _ in range(self.iterations):
+            scores = self.alpha * (operator @ scores) + (1.0 - self.alpha) * seed_labels
+        self._scores = scores
+
+    def forward(self, adj, x, return_hidden: bool = False):
+        logits = Tensor(self._scores) + self.dummy * 0.0
+        return self._maybe_hidden(logits, [logits], return_hidden)

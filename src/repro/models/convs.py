@@ -1,0 +1,156 @@
+"""Graph convolution layers shared by the model zoo.
+
+- :class:`GraphConv` — the GCN layer of Eq. (1): ``Â H W (+ b)``.
+- :class:`SAGEConv` — GraphSAGE mean aggregator with self-concatenation.
+- :class:`GATConv` — multi-head additive attention over edges.
+- :class:`GINConv` — sum aggregation through an MLP with a learnable ε.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro import nn
+from repro.nn.module import Module, Parameter
+from repro.nn import init as init_schemes
+from repro.tensor import ops
+from repro.tensor.sparse import SparseMatrix
+from repro.tensor.tensor import Tensor
+
+
+class GraphConv(Module):
+    """The GCN layer ``Â H W (+ b)`` (activation applied by the caller)."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        bias: bool = True,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        if rng is None:
+            rng = np.random.default_rng()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(
+            init_schemes.glorot_uniform((in_features, out_features), rng),
+            name="gcn.weight",
+        )
+        self.bias = Parameter(np.zeros(out_features), name="gcn.bias") if bias else None
+
+    def forward(self, adj: SparseMatrix, x: Tensor) -> Tensor:
+        out = adj @ (x @ self.weight)
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+    def __repr__(self) -> str:
+        return f"GraphConv(in={self.in_features}, out={self.out_features})"
+
+
+class SAGEConv(Module):
+    """GraphSAGE-mean: ``[h_v ; mean_{u∈N(v)} h_u] W``.
+
+    The mean over neighbors is computed with a row-normalized adjacency,
+    which the caller provides (``row_norm(adj, self_loops=False)``).
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        if rng is None:
+            rng = np.random.default_rng()
+        self.lin = nn.Linear(2 * in_features, out_features, rng=rng)
+
+    def forward(self, mean_adj: SparseMatrix, x: Tensor) -> Tensor:
+        neighbor_mean = mean_adj @ x
+        return self.lin(ops.concat([x, neighbor_mean], axis=1))
+
+
+class GATConv(Module):
+    """Multi-head graph attention (Velickovic et al., ICLR 2018).
+
+    Works on an explicit directed edge list (with self-loops added by the
+    caller): per-head projections, LeakyReLU additive attention logits,
+    per-target softmax, weighted message aggregation.  Head outputs are
+    concatenated (hidden layers) or averaged (final layer).
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        num_heads: int = 1,
+        concat_heads: bool = True,
+        negative_slope: float = 0.2,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        if rng is None:
+            rng = np.random.default_rng()
+        self.num_heads = num_heads
+        self.out_features = out_features
+        self.concat_heads = concat_heads
+        self.negative_slope = negative_slope
+        self.weight = Parameter(
+            init_schemes.glorot_uniform((in_features, num_heads * out_features), rng),
+            name="gat.weight",
+        )
+        self.att_src = Parameter(
+            init_schemes.glorot_uniform((num_heads, out_features), rng),
+            name="gat.att_src",
+        )
+        self.att_dst = Parameter(
+            init_schemes.glorot_uniform((num_heads, out_features), rng),
+            name="gat.att_dst",
+        )
+
+    def forward(self, edge_index: np.ndarray, num_nodes: int, x: Tensor) -> Tensor:
+        src, dst = edge_index[0], edge_index[1]
+        h = (x @ self.weight).reshape(num_nodes, self.num_heads, self.out_features)
+        # Additive attention: e_uv = LeakyReLU(a_src·h_u + a_dst·h_v).
+        alpha_src = (h * self.att_src).sum(axis=2)  # (N, heads)
+        alpha_dst = (h * self.att_dst).sum(axis=2)
+        logits = ops.leaky_relu(
+            alpha_src[src] + alpha_dst[dst], self.negative_slope
+        )  # (E, heads)
+        attention = ops.segment_softmax(logits, dst, num_nodes)
+        messages = h[src] * attention.reshape(src.shape[0], self.num_heads, 1)
+        out = ops.scatter_rows(messages, dst, num_nodes)  # (N, heads, D)
+        if self.concat_heads:
+            return out.reshape(num_nodes, self.num_heads * self.out_features)
+        return out.mean(axis=1)
+
+
+class GINConv(Module):
+    """GIN layer: ``MLP((1 + ε) h_v + Σ_{u∈N(v)} h_u)`` (Xu et al. 2019)."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        rng: Optional[np.random.Generator] = None,
+        train_eps: bool = True,
+    ) -> None:
+        super().__init__()
+        if rng is None:
+            rng = np.random.default_rng()
+        self.mlp_in = nn.Linear(in_features, out_features, rng=rng)
+        self.mlp_out = nn.Linear(out_features, out_features, rng=rng)
+        if train_eps:
+            self.eps = Parameter(np.zeros(1), name="gin.eps")
+        else:
+            self.eps = None
+
+    def forward(self, sum_adj: SparseMatrix, x: Tensor) -> Tensor:
+        neighbor_sum = sum_adj @ x
+        eps = self.eps if self.eps is not None else 0.0
+        combined = x * (1.0 + eps) + neighbor_sum
+        return self.mlp_out(self.mlp_in(combined).relu())

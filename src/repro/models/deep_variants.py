@@ -1,0 +1,143 @@
+"""Deep-GCN baselines ported from CNN architecture tricks (paper §2.2):
+
+- :class:`ResGCN` — residual connections between hidden layers (ResNet).
+- :class:`DenseGCN` — dense concatenation of all previous layers
+  (DenseNet); treats every node the same way, the contrast to Lasagne.
+- :class:`JKNet` — jumping-knowledge combination of all layer outputs
+  before the classifier (GoogleNet-style multi-level merge); the paper
+  uses the concatenation aggregator.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro import nn
+from repro.models.base import GNNModel
+from repro.models.convs import GraphConv
+from repro.tensor import ops
+
+
+class ResGCN(GNNModel):
+    """GCN with identity skip connections where dimensions match.
+
+    The vertex-wise addition forces all hidden layers to share one width
+    (the restriction Lasagne removes, §4).
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        hidden: int,
+        num_classes: int,
+        num_layers: int = 2,
+        dropout: float = 0.5,
+        seed: Optional[int] = None,
+    ) -> None:
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        dims = [in_features] + [hidden] * (num_layers - 1) + [num_classes]
+        self.convs = nn.ModuleList(
+            [GraphConv(dims[i], dims[i + 1], rng=rng) for i in range(num_layers)]
+        )
+        self.dropout = nn.Dropout(dropout, rng=np.random.default_rng(rng.integers(2**31)))
+        self.num_layers = num_layers
+
+    def forward(self, adj, x, return_hidden: bool = False):
+        hidden_states = []
+        h = x
+        for i, conv in enumerate(self.convs):
+            h_in = h
+            h = self.dropout(h)
+            h = conv(adj, h)
+            if i < self.num_layers - 1:
+                h = h.relu()
+            if h.shape == h_in.shape:
+                h = h + h_in  # residual skip
+            hidden_states.append(h)
+        return self._maybe_hidden(h, hidden_states, return_hidden)
+
+
+class DenseGCN(GNNModel):
+    """DenseNet-style GCN: layer l consumes ``[x, H^(1), ..., H^(l-1)]``.
+
+    The vertex-wise concatenation treats every node identically — the
+    paper's motivating counterexample to node-aware aggregation.
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        hidden: int,
+        num_classes: int,
+        num_layers: int = 2,
+        dropout: float = 0.5,
+        seed: Optional[int] = None,
+    ) -> None:
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self.convs = nn.ModuleList()
+        running = in_features
+        for _ in range(num_layers - 1):
+            self.convs.append(GraphConv(running, hidden, rng=rng))
+            running += hidden
+        self.classifier = GraphConv(running, num_classes, rng=rng)
+        self.dropout = nn.Dropout(dropout, rng=np.random.default_rng(rng.integers(2**31)))
+        self.num_layers = num_layers
+
+    def forward(self, adj, x, return_hidden: bool = False):
+        hidden_states = []
+        collected = [x]
+        for conv in self.convs:
+            inp = collected[0] if len(collected) == 1 else ops.concat(collected, axis=1)
+            h = conv(adj, self.dropout(inp)).relu()
+            collected.append(h)
+            hidden_states.append(h)
+        final_in = collected[0] if len(collected) == 1 else ops.concat(collected, axis=1)
+        logits = self.classifier(adj, self.dropout(final_in))
+        hidden_states.append(logits)
+        return self._maybe_hidden(logits, hidden_states, return_hidden)
+
+
+class JKNet(GNNModel):
+    """Jumping Knowledge network with concatenation aggregation.
+
+    L GC layers of equal width; all layer outputs are concatenated and
+    passed to a linear classifier (the paper picks concatenation as it
+    performs best on citation graphs, §5.1.3).
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        hidden: int,
+        num_classes: int,
+        num_layers: int = 2,
+        dropout: float = 0.5,
+        seed: Optional[int] = None,
+    ) -> None:
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        dims = [in_features] + [hidden] * num_layers
+        self.convs = nn.ModuleList(
+            [GraphConv(dims[i], dims[i + 1], rng=rng) for i in range(num_layers)]
+        )
+        self.classifier = nn.Linear(hidden * num_layers, num_classes, rng=rng)
+        self.dropout = nn.Dropout(dropout, rng=np.random.default_rng(rng.integers(2**31)))
+        self.num_layers = num_layers
+
+    def forward(self, adj, x, return_hidden: bool = False):
+        hidden_states = []
+        h = x
+        for conv in self.convs:
+            h = conv(adj, self.dropout(h)).relu()
+            hidden_states.append(h)
+        jumped = (
+            hidden_states[0]
+            if len(hidden_states) == 1
+            else ops.concat(hidden_states, axis=1)
+        )
+        logits = self.classifier(self.dropout(jumped))
+        return self._maybe_hidden(logits, hidden_states + [logits], return_hidden)

@@ -1,0 +1,95 @@
+"""DGCN (Zhuang & Ma, WWW 2018): dual graph convolutional networks.
+
+Combines *local* consistency (convolution over the normalized adjacency
+Â) with *global* consistency (convolution over a normalized PPMI matrix
+estimated from random walks).  The two towers share input features; the
+supervised loss is computed on the adjacency tower while an MSE
+regularizer pulls the two towers' predictions together.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro import nn
+from repro.graphs.graph import Graph
+from repro.graphs.normalize import gcn_norm
+from repro.graphs.sampling import ppmi_matrix
+from repro.models.base import GNNModel
+from repro.models.convs import GraphConv
+from repro.tensor import Tensor
+from repro.tensor.sparse import SparseMatrix
+
+
+class DGCN(GNNModel):
+    """Two 2-layer GC towers (Â and PPMI) with a consistency regularizer."""
+
+    def __init__(
+        self,
+        in_features: int,
+        hidden: int,
+        num_classes: int,
+        num_layers: int = 2,
+        dropout: float = 0.5,
+        consistency_weight: float = 0.1,
+        walks_per_node: int = 6,
+        walk_length: int = 6,
+        window: int = 3,
+        seed: Optional[int] = None,
+    ) -> None:
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        dims = [in_features] + [hidden] * (num_layers - 1) + [num_classes]
+        self.adj_tower = nn.ModuleList(
+            [GraphConv(dims[i], dims[i + 1], rng=rng) for i in range(num_layers)]
+        )
+        self.ppmi_tower = nn.ModuleList(
+            [GraphConv(dims[i], dims[i + 1], rng=rng) for i in range(num_layers)]
+        )
+        self.dropout = nn.Dropout(dropout, rng=np.random.default_rng(rng.integers(2**31)))
+        self.num_layers = num_layers
+        self.consistency_weight = consistency_weight
+        self.walks_per_node = walks_per_node
+        self.walk_length = walk_length
+        self.window = window
+        self._walk_seed = int(rng.integers(2 ** 31))
+        self._ppmi_cache = {}
+        self._ppmi_op: Optional[SparseMatrix] = None
+        self._last_consistency: Optional[Tensor] = None
+
+    def on_attach(self, graph: Graph) -> None:
+        key = id(graph)
+        if key not in self._ppmi_cache:
+            ppmi = ppmi_matrix(
+                graph.adj,
+                walks_per_node=self.walks_per_node,
+                walk_length=self.walk_length,
+                window=self.window,
+                rng=np.random.default_rng(self._walk_seed),
+            )
+            self._ppmi_cache[key] = gcn_norm(ppmi, self_loops=True)
+        self._ppmi_op = self._ppmi_cache[key]
+
+    def _tower(self, convs, operator, x):
+        h = x
+        hidden = []
+        for i, conv in enumerate(convs):
+            h = conv(operator, self.dropout(h))
+            if i < self.num_layers - 1:
+                h = h.relu()
+            hidden.append(h)
+        return h, hidden
+
+    def forward(self, adj, x, return_hidden: bool = False):
+        local_logits, hidden = self._tower(self.adj_tower, adj, x)
+        global_logits, _ = self._tower(self.ppmi_tower, self._ppmi_op, x)
+        diff = local_logits - global_logits
+        self._last_consistency = (diff * diff).mean()
+        return self._maybe_hidden(local_logits, hidden, return_hidden)
+
+    def auxiliary_loss(self) -> Optional[Tensor]:
+        if self._last_consistency is None:
+            return None
+        return self._last_consistency * self.consistency_weight

@@ -1,0 +1,70 @@
+"""GAT (Velickovic et al., ICLR 2018) — edge-wise attention baseline.
+
+The paper's efficiency analysis (Fig. 7) contrasts GAT's per-edge
+attention matrices with Lasagne's per-node layer weights: GAT learns an
+individual aggregation pattern at much higher cost.  This implementation
+materializes attention per directed edge (with self-loops), so its cost
+grows with E × heads — reproducing the asymptotic gap.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro import nn
+from repro.graphs.graph import Graph
+from repro.models.base import GNNModel
+from repro.models.convs import GATConv
+
+
+class GAT(GNNModel):
+    """Multi-head GAT: concat heads on hidden layers, average on output."""
+
+    def __init__(
+        self,
+        in_features: int,
+        hidden: int,
+        num_classes: int,
+        num_layers: int = 2,
+        num_heads: int = 8,
+        dropout: float = 0.5,
+        seed: Optional[int] = None,
+    ) -> None:
+        super().__init__()
+        if num_layers < 1:
+            raise ValueError(f"num_layers must be >= 1, got {num_layers}")
+        rng = np.random.default_rng(seed)
+        self.convs = nn.ModuleList()
+        last_dim = in_features
+        for i in range(num_layers - 1):
+            self.convs.append(
+                GATConv(last_dim, hidden, num_heads=num_heads, concat_heads=True, rng=rng)
+            )
+            last_dim = hidden * num_heads
+        self.convs.append(
+            GATConv(last_dim, num_classes, num_heads=num_heads, concat_heads=False, rng=rng)
+        )
+        self.dropout = nn.Dropout(dropout, rng=np.random.default_rng(rng.integers(2**31)))
+        self.num_layers = num_layers
+
+    def build_operator(self, graph: Graph):
+        """GAT consumes the directed edge list with self-loops."""
+        edges = graph.edge_index()
+        self_loops = np.tile(np.arange(graph.num_nodes), (2, 1))
+        return np.hstack([edges, self_loops])
+
+    def forward(self, adj, x, return_hidden: bool = False):
+        num_nodes = x.shape[0]
+        hidden_states = []
+        h = x
+        for i, conv in enumerate(self.convs):
+            h = self.dropout(h)
+            h = conv(adj, num_nodes, h)
+            if i < self.num_layers - 1:
+                from repro.tensor import ops
+
+                h = ops.elu(h)
+            hidden_states.append(h)
+        return self._maybe_hidden(h, hidden_states, return_hidden)

@@ -1,0 +1,65 @@
+"""Vanilla GCN (Kipf & Welling, ICLR 2017) — Eq. (2) of the paper."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro import nn
+from repro.models.base import GNNModel
+from repro.models.convs import GraphConv
+
+
+def layer_dims(
+    in_features: int, hidden: int, num_classes: int, num_layers: int
+) -> Sequence[int]:
+    """Dimension chain ``in → hidden × (L-1) → classes``."""
+    if num_layers < 1:
+        raise ValueError(f"num_layers must be >= 1, got {num_layers}")
+    return [in_features] + [hidden] * (num_layers - 1) + [num_classes]
+
+
+class GCN(GNNModel):
+    """L-layer GCN: ``H^(l) = ReLU(Â H^(l-1) W^(l))`` with input dropout.
+
+    Parameters
+    ----------
+    in_features, hidden, num_classes:
+        Feature dimensions (``M``, ``D^(l)``, ``F`` in the paper).
+    num_layers:
+        Depth ``L``; the paper sweeps 2–10 in Fig. 5.
+    dropout:
+        Applied to the input of every GC layer (§5.1.3).
+    seed:
+        Initialization/dropout seed for reproducible runs.
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        hidden: int,
+        num_classes: int,
+        num_layers: int = 2,
+        dropout: float = 0.5,
+        seed: Optional[int] = None,
+    ) -> None:
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        dims = layer_dims(in_features, hidden, num_classes, num_layers)
+        self.convs = nn.ModuleList(
+            [GraphConv(dims[i], dims[i + 1], rng=rng) for i in range(num_layers)]
+        )
+        self.dropout = nn.Dropout(dropout, rng=np.random.default_rng(rng.integers(2**31)))
+        self.num_layers = num_layers
+
+    def forward(self, adj, x, return_hidden: bool = False):
+        hidden_states = []
+        h = x
+        for i, conv in enumerate(self.convs):
+            h = self.dropout(h)
+            h = conv(adj, h)
+            if i < self.num_layers - 1:
+                h = h.relu()
+            hidden_states.append(h)
+        return self._maybe_hidden(h, hidden_states, return_hidden)

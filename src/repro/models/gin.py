@@ -1,0 +1,52 @@
+"""GIN (Xu et al., ICLR 2019): sum aggregation through MLPs.
+
+Maximally expressive under the WL test; included as a Table 3 baseline.
+Uses the raw (unnormalized) adjacency, as multiset sums require.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro import nn
+from repro.graphs.graph import Graph
+from repro.models.base import GNNModel
+from repro.models.convs import GINConv
+from repro.tensor.sparse import SparseMatrix
+
+
+class GIN(GNNModel):
+    """L GIN layers + linear classifier on the final representation."""
+
+    def __init__(
+        self,
+        in_features: int,
+        hidden: int,
+        num_classes: int,
+        num_layers: int = 2,
+        dropout: float = 0.5,
+        seed: Optional[int] = None,
+    ) -> None:
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        dims = [in_features] + [hidden] * num_layers
+        self.convs = nn.ModuleList(
+            [GINConv(dims[i], dims[i + 1], rng=rng) for i in range(num_layers)]
+        )
+        self.classifier = nn.Linear(hidden, num_classes, rng=rng)
+        self.dropout = nn.Dropout(dropout, rng=np.random.default_rng(rng.integers(2**31)))
+
+    def build_operator(self, graph: Graph) -> SparseMatrix:
+        """Raw adjacency: GIN aggregates neighbor multisets by sum."""
+        return SparseMatrix(graph.adj)
+
+    def forward(self, adj, x, return_hidden: bool = False):
+        hidden_states = []
+        h = x
+        for conv in self.convs:
+            h = conv(adj, self.dropout(h))
+            hidden_states.append(h)
+        logits = self.classifier(self.dropout(h))
+        return self._maybe_hidden(logits, hidden_states + [logits], return_hidden)

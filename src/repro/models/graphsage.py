@@ -1,0 +1,55 @@
+"""GraphSAGE (Hamilton et al., NeurIPS 2017) — inductive mean aggregator.
+
+This full-batch variant uses the exact neighborhood mean (the fixed-point
+of fanout sampling); the sampled mini-batch machinery lives in
+:mod:`repro.graphs.sampling` and is exercised by its own tests.  SAGE is
+the canonical inductive baseline of Table 4.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro import nn
+from repro.graphs.graph import Graph
+from repro.graphs.normalize import row_norm
+from repro.models.base import GNNModel
+from repro.models.convs import SAGEConv
+
+
+class GraphSAGE(GNNModel):
+    """L SAGE-mean layers with ReLU + dropout between them."""
+
+    def __init__(
+        self,
+        in_features: int,
+        hidden: int,
+        num_classes: int,
+        num_layers: int = 2,
+        dropout: float = 0.5,
+        seed: Optional[int] = None,
+    ) -> None:
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        dims = [in_features] + [hidden] * (num_layers - 1) + [num_classes]
+        self.convs = nn.ModuleList(
+            [SAGEConv(dims[i], dims[i + 1], rng=rng) for i in range(num_layers)]
+        )
+        self.dropout = nn.Dropout(dropout, rng=np.random.default_rng(rng.integers(2**31)))
+        self.num_layers = num_layers
+
+    def build_operator(self, graph: Graph):
+        """Neighbor-mean operator ``D^{-1} A`` without self-loops."""
+        return row_norm(graph.adj, self_loops=False)
+
+    def forward(self, adj, x, return_hidden: bool = False):
+        hidden_states = []
+        h = x
+        for i, conv in enumerate(self.convs):
+            h = conv(adj, self.dropout(h))
+            if i < self.num_layers - 1:
+                h = h.relu()
+            hidden_states.append(h)
+        return self._maybe_hidden(h, hidden_states, return_hidden)

@@ -1,0 +1,111 @@
+"""Higher-order mixing baselines:
+
+- :class:`MixHop` (Abu-El-Haija et al., ICML 2019) — each layer
+  concatenates ``Â^p H W_p`` over a set of powers ``p``.
+- :class:`NGCN` (Abu-El-Haija et al., 2018) — several small GCNs run over
+  different adjacency powers (random-walk distances); their outputs are
+  merged by a learned linear combination.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro import nn
+from repro.graphs.graph import Graph
+from repro.graphs.normalize import gcn_norm
+from repro.models.base import GNNModel
+from repro.models.convs import GraphConv
+from repro.models.gcn import GCN
+from repro.tensor import ops
+
+
+class MixHop(GNNModel):
+    """Two MixHop layers over powers ``(0, 1, 2)`` + linear classifier."""
+
+    def __init__(
+        self,
+        in_features: int,
+        hidden: int,
+        num_classes: int,
+        powers: Sequence[int] = (0, 1, 2),
+        dropout: float = 0.5,
+        seed: Optional[int] = None,
+    ) -> None:
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self.powers = tuple(powers)
+        self.layer1 = nn.ModuleList(
+            [nn.Linear(in_features, hidden, rng=rng) for _ in self.powers]
+        )
+        width = hidden * len(self.powers)
+        self.layer2 = nn.ModuleList(
+            [nn.Linear(width, hidden, rng=rng) for _ in self.powers]
+        )
+        self.classifier = nn.Linear(width, num_classes, rng=rng)
+        self.dropout = nn.Dropout(dropout, rng=np.random.default_rng(rng.integers(2**31)))
+
+    def build_operator(self, graph: Graph) -> Tuple:
+        """Precompute the required powers of Â."""
+        base = gcn_norm(graph.adj)
+        return tuple(base.power(p) for p in self.powers)
+
+    def forward(self, adj_powers, x, return_hidden: bool = False):
+        h = self.dropout(x)
+        parts = [
+            adj_powers[i] @ lin(h) for i, lin in enumerate(self.layer1)
+        ]
+        h1 = ops.concat(parts, axis=1).relu()
+        h1 = self.dropout(h1)
+        parts = [
+            adj_powers[i] @ lin(h1) for i, lin in enumerate(self.layer2)
+        ]
+        h2 = ops.concat(parts, axis=1).relu()
+        logits = self.classifier(self.dropout(h2))
+        return self._maybe_hidden(logits, [h1, h2, logits], return_hidden)
+
+
+class NGCN(GNNModel):
+    """Three 2-layer GCN instances over ``Â``, ``Â²``, ``Â³``, merged."""
+
+    def __init__(
+        self,
+        in_features: int,
+        hidden: int,
+        num_classes: int,
+        num_instances: int = 3,
+        dropout: float = 0.5,
+        seed: Optional[int] = None,
+    ) -> None:
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self.num_instances = num_instances
+        self.instances = nn.ModuleList(
+            [
+                GCN(
+                    in_features,
+                    hidden,
+                    hidden,
+                    num_layers=2,
+                    dropout=dropout,
+                    seed=int(rng.integers(2**31)),
+                )
+                for _ in range(num_instances)
+            ]
+        )
+        self.classifier = nn.Linear(hidden * num_instances, num_classes, rng=rng)
+
+    def build_operator(self, graph: Graph) -> Tuple:
+        base = gcn_norm(graph.adj)
+        return tuple(base.power(p + 1) for p in range(self.num_instances))
+
+    def forward(self, adj_powers, x, return_hidden: bool = False):
+        outputs = [
+            instance.forward(adj_powers[i], x)
+            for i, instance in enumerate(self.instances)
+        ]
+        merged = ops.concat(outputs, axis=1)
+        logits = self.classifier(merged)
+        return self._maybe_hidden(logits, outputs + [logits], return_hidden)

@@ -1,0 +1,117 @@
+"""Sampled-training baselines for large graphs (Tables 3–4):
+
+- :class:`FastGCN` — per-epoch importance-sampled node subset
+  (probability ∝ squared column norm of Â), trained on the re-normalized
+  induced subgraph with inverse-probability weights.
+- :class:`ClusterGCN` — graph is partitioned once; each epoch trains on
+  one randomly chosen cluster's induced subgraph.
+- :class:`GraphSAINT` — degree-biased node sampler induces a fresh
+  training subgraph per epoch.
+
+All three evaluate full-batch on the complete graph, matching the papers'
+protocols.  Simplification vs the originals (documented in DESIGN.md):
+FastGCN samples one node set per epoch instead of an independent set per
+layer; GraphSAINT omits the loss/aggregation variance-normalization
+coefficients.  Both retain the mechanism the paper's comparison is about —
+training on cheap sampled subgraphs and paying for it with incomplete
+neighborhood information.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.graphs.normalize import gcn_norm
+from repro.graphs.partition import partition_graph
+from repro.graphs.sampling import fastgcn_layer_sample, saint_node_sample
+from repro.models.gcn import GCN
+from repro.tensor.sparse import SparseMatrix
+from repro.tensor.tensor import Tensor
+
+
+class _SubgraphSampledGCN(GCN):
+    """Shared machinery: train on a per-epoch node subset, eval on all."""
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self._batch_nodes: Optional[np.ndarray] = None
+        self._batch_adj: Optional[SparseMatrix] = None
+        self._batch_features: Optional[Tensor] = None
+
+    def _set_batch(self, nodes: np.ndarray) -> None:
+        nodes = np.asarray(nodes)
+        sub = self.graph.adj[nodes][:, nodes]
+        self._batch_nodes = nodes
+        self._batch_adj = gcn_norm(sub)
+        self._batch_features = Tensor(self.graph.features[nodes])
+
+    def training_batch(self):
+        if self._batch_nodes is None:
+            return super().training_batch()
+        logits = self.forward(self._batch_adj, self._batch_features)
+        return logits, self._batch_nodes
+
+
+class FastGCN(_SubgraphSampledGCN):
+    """Importance-sampled training subsets (Chen et al., ICLR 2018)."""
+
+    def __init__(self, *args, sample_size: int = 512, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        if sample_size < 1:
+            raise ValueError(f"sample_size must be >= 1, got {sample_size}")
+        self.sample_size = sample_size
+
+    def begin_epoch(self, rng: np.random.Generator) -> None:
+        # Keep all training nodes (they carry the loss) and fill the rest
+        # of the budget with importance-sampled support nodes.
+        train_nodes = self.graph.train_indices()
+        sampled, _ = fastgcn_layer_sample(
+            self._norm_adj.csr, min(self.sample_size, self.graph.num_nodes), rng=rng
+        )
+        nodes = np.union1d(train_nodes, sampled)
+        self._set_batch(nodes)
+
+
+class ClusterGCN(_SubgraphSampledGCN):
+    """Partition-restricted training (Chiang et al., KDD 2019)."""
+
+    def __init__(self, *args, num_parts: int = 4, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        if num_parts < 1:
+            raise ValueError(f"num_parts must be >= 1, got {num_parts}")
+        self.num_parts = num_parts
+        self._parts = None
+        self._parts_cache = {}
+
+    def on_attach(self, graph) -> None:
+        key = id(graph)
+        if key not in self._parts_cache:
+            self._parts_cache[key] = partition_graph(
+                graph.adj, self.num_parts, rng=np.random.default_rng(0)
+            )
+        self._parts = self._parts_cache[key]
+
+    def begin_epoch(self, rng: np.random.Generator) -> None:
+        # Pick a random cluster that actually contains training signal.
+        candidates = [
+            p for p in self._parts if self.graph.train_mask[p].any()
+        ] or list(self._parts)
+        part = candidates[rng.integers(len(candidates))]
+        self._set_batch(part)
+
+
+class GraphSAINT(_SubgraphSampledGCN):
+    """Sampled-subgraph training (Zeng et al., ICLR 2020), node sampler."""
+
+    def __init__(self, *args, budget: int = 512, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        if budget < 1:
+            raise ValueError(f"budget must be >= 1, got {budget}")
+        self.budget = budget
+
+    def begin_epoch(self, rng: np.random.Generator) -> None:
+        sampled = saint_node_sample(self.graph.adj, self.budget, rng=rng)
+        nodes = np.union1d(self.graph.train_indices(), sampled)
+        self._set_batch(nodes)

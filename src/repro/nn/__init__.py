@@ -1,0 +1,49 @@
+"""Neural-network building blocks on top of :mod:`repro.tensor`.
+
+Provides the module system (:class:`Module`, :class:`Parameter`), common
+layers (:class:`Linear`, :class:`Dropout`), weight initializers and the
+optimizers used in the paper's experiments (Adam with L2 regularization).
+"""
+
+from repro.nn.module import Module, Parameter, ModuleList, Sequential
+from repro.nn.layers import BatchNorm, Linear, Dropout, Identity, PairNorm
+from repro.nn import init
+from repro.nn.optim import SGD, Adam, Optimizer
+from repro.nn.schedulers import (
+    CosineAnnealingLR,
+    LRScheduler,
+    StepLR,
+    WarmupLR,
+    clip_grad_norm,
+)
+from repro.nn.serialization import (
+    load_module,
+    optimizer_state,
+    restore_optimizer,
+    save_module,
+)
+
+__all__ = [
+    "Module",
+    "Parameter",
+    "ModuleList",
+    "Sequential",
+    "Linear",
+    "Dropout",
+    "Identity",
+    "PairNorm",
+    "BatchNorm",
+    "init",
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "LRScheduler",
+    "StepLR",
+    "CosineAnnealingLR",
+    "WarmupLR",
+    "clip_grad_norm",
+    "save_module",
+    "load_module",
+    "optimizer_state",
+    "restore_optimizer",
+]

@@ -1,0 +1,58 @@
+"""Weight initialization schemes.
+
+GCN and its descendants conventionally use Glorot (Xavier) initialization;
+He initialization is provided for ReLU-heavy stacks.  All functions take an
+explicit numpy Generator so experiments are reproducible.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+
+def _fans(shape: Tuple[int, ...]) -> Tuple[int, int]:
+    if len(shape) < 1:
+        raise ValueError("init shapes must have at least one dimension")
+    if len(shape) == 1:
+        return shape[0], shape[0]
+    receptive = int(np.prod(shape[2:])) if len(shape) > 2 else 1
+    return shape[0] * receptive, shape[1] * receptive
+
+
+def glorot_uniform(shape: Tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+    """Uniform(-a, a) with a = sqrt(6 / (fan_in + fan_out))."""
+    fan_in, fan_out = _fans(shape)
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=shape)
+
+
+def glorot_normal(shape: Tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+    """Normal(0, sqrt(2 / (fan_in + fan_out)))."""
+    fan_in, fan_out = _fans(shape)
+    std = np.sqrt(2.0 / (fan_in + fan_out))
+    return rng.normal(0.0, std, size=shape)
+
+
+def he_uniform(shape: Tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+    """Uniform(-a, a) with a = sqrt(6 / fan_in), for ReLU networks."""
+    fan_in, _ = _fans(shape)
+    limit = np.sqrt(6.0 / fan_in)
+    return rng.uniform(-limit, limit, size=shape)
+
+
+def he_normal(shape: Tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+    """Normal(0, sqrt(2 / fan_in)), for ReLU networks."""
+    fan_in, _ = _fans(shape)
+    return rng.normal(0.0, np.sqrt(2.0 / fan_in), size=shape)
+
+
+def zeros(shape: Tuple[int, ...], rng: np.random.Generator = None) -> np.ndarray:
+    """All-zero init (biases; rng accepted for interface uniformity)."""
+    return np.zeros(shape)
+
+
+def ones(shape: Tuple[int, ...], rng: np.random.Generator = None) -> np.ndarray:
+    """All-ones init (scale parameters such as BatchNorm gamma)."""
+    return np.ones(shape)

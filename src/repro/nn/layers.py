@@ -1,0 +1,153 @@
+"""Common layers: Linear, Dropout, Identity, PairNorm."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.nn import init as init_schemes
+from repro.nn.module import Module, Parameter
+from repro.tensor import ops
+from repro.tensor.tensor import Tensor
+
+
+class Linear(Module):
+    """Affine map ``x @ W + b`` with Glorot-uniform initialization.
+
+    Parameters
+    ----------
+    in_features, out_features:
+        Input/output dimensionality.
+    bias:
+        Whether to learn an additive bias (default True).
+    rng:
+        Generator for reproducible init; a fresh default is used otherwise.
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        bias: bool = True,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        if rng is None:
+            rng = np.random.default_rng()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(
+            init_schemes.glorot_uniform((in_features, out_features), rng),
+            name="linear.weight",
+        )
+        if bias:
+            self.bias = Parameter(np.zeros(out_features), name="linear.bias")
+        else:
+            self.bias = None
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = x @ self.weight
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+    def __repr__(self) -> str:
+        return (
+            f"Linear(in={self.in_features}, out={self.out_features}, "
+            f"bias={self.bias is not None})"
+        )
+
+
+class Dropout(Module):
+    """Inverted dropout honoring the module's ``training`` flag."""
+
+    def __init__(self, p: float, rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        if not 0.0 <= p < 1.0:
+            raise ValueError(f"dropout rate must be in [0, 1), got {p}")
+        self.p = p
+        self.rng = rng if rng is not None else np.random.default_rng()
+
+    def forward(self, x: Tensor) -> Tensor:
+        return ops.dropout(x, self.p, training=self.training, rng=self.rng)
+
+    def __repr__(self) -> str:
+        return f"Dropout(p={self.p})"
+
+
+class Identity(Module):
+    """Pass-through layer (useful as an ablation placeholder)."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x
+
+
+class BatchNorm(Module):
+    """Batch normalization over the node axis (feature-wise).
+
+    §3.2 of the paper cites batch normalization as the standard fix for
+    vanishing gradients in deep stacks; some deep-GCN implementations
+    insert it between convolutions.  Running statistics follow the usual
+    exponential moving average and are used in eval mode.
+    """
+
+    def __init__(
+        self, num_features: int, momentum: float = 0.1, eps: float = 1e-5
+    ) -> None:
+        super().__init__()
+        if not 0.0 < momentum <= 1.0:
+            raise ValueError(f"momentum must be in (0, 1], got {momentum}")
+        self.gamma = Parameter(np.ones(num_features), name="bn.gamma")
+        self.beta = Parameter(np.zeros(num_features), name="bn.beta")
+        self.momentum = momentum
+        self.eps = eps
+        self.running_mean = np.zeros(num_features)
+        self.running_var = np.ones(num_features)
+
+    def forward(self, x: Tensor) -> Tensor:
+        if self.training:
+            mean = x.mean(axis=0, keepdims=True)
+            centered = x - mean
+            var = (centered * centered).mean(axis=0, keepdims=True)
+            # Update running stats outside the tape.
+            self.running_mean *= 1.0 - self.momentum
+            self.running_mean += self.momentum * mean.data.ravel()
+            self.running_var *= 1.0 - self.momentum
+            self.running_var += self.momentum * var.data.ravel()
+            normalized = centered * ((var + self.eps) ** -0.5)
+        else:
+            normalized = (x - self.running_mean) * (
+                (self.running_var + self.eps) ** -0.5
+            )
+        return normalized * self.gamma + self.beta
+
+    def __repr__(self) -> str:
+        return f"BatchNorm(features={self.gamma.size})"
+
+
+class PairNorm(Module):
+    """PairNorm (Zhao & Akoglu, ICLR 2020), a baseline in Table 3.
+
+    Centers features across nodes and rescales every node's representation
+    to a shared norm ``s``, preventing all representations from collapsing
+    to the same point (over-smoothing) as depth grows:
+
+    .. math::
+        \\tilde{x}_i = x_i - \\bar{x}, \\qquad
+        \\hat{x}_i = s \\cdot \\sqrt{n} \\cdot
+            \\tilde{x}_i / \\|\\tilde{X}\\|_F
+    """
+
+    def __init__(self, scale: float = 1.0, eps: float = 1e-6) -> None:
+        super().__init__()
+        self.scale = scale
+        self.eps = eps
+
+    def forward(self, x: Tensor) -> Tensor:
+        centered = x - x.mean(axis=0, keepdims=True)
+        # Mean squared norm over nodes; rsqrt rescales to shared scale.
+        mean_sq = (centered * centered).sum(axis=1, keepdims=True).mean(
+            axis=0, keepdims=True
+        )
+        return centered * (self.scale / ((mean_sq + self.eps) ** 0.5))

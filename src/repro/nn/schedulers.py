@@ -1,0 +1,101 @@
+"""Learning-rate schedules and gradient utilities.
+
+The paper trains with a fixed learning rate, but a reusable library needs
+the standard knobs: step decay, cosine annealing, linear warmup, and
+global-norm gradient clipping for the deeper (8–10 layer) configurations
+where early updates can spike.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List
+
+import numpy as np
+
+from repro.nn.optim import Optimizer
+from repro.tensor.tensor import Tensor
+
+
+class LRScheduler:
+    """Base class: mutates ``optimizer.lr`` on each ``step()``."""
+
+    def __init__(self, optimizer: Optimizer) -> None:
+        self.optimizer = optimizer
+        self.base_lr = optimizer.lr
+        self.epoch = 0
+
+    def step(self) -> float:
+        """Advance one epoch and return the new learning rate."""
+        self.epoch += 1
+        self.optimizer.lr = self.compute_lr(self.epoch)
+        return self.optimizer.lr
+
+    def compute_lr(self, epoch: int) -> float:
+        raise NotImplementedError
+
+
+class StepLR(LRScheduler):
+    """Multiply the LR by ``gamma`` every ``step_size`` epochs."""
+
+    def __init__(self, optimizer: Optimizer, step_size: int, gamma: float = 0.5) -> None:
+        super().__init__(optimizer)
+        if step_size < 1:
+            raise ValueError(f"step_size must be >= 1, got {step_size}")
+        self.step_size = step_size
+        self.gamma = gamma
+
+    def compute_lr(self, epoch: int) -> float:
+        return self.base_lr * self.gamma ** (epoch // self.step_size)
+
+
+class CosineAnnealingLR(LRScheduler):
+    """Cosine decay from the base LR to ``min_lr`` over ``total_epochs``."""
+
+    def __init__(
+        self, optimizer: Optimizer, total_epochs: int, min_lr: float = 0.0
+    ) -> None:
+        super().__init__(optimizer)
+        if total_epochs < 1:
+            raise ValueError(f"total_epochs must be >= 1, got {total_epochs}")
+        self.total_epochs = total_epochs
+        self.min_lr = min_lr
+
+    def compute_lr(self, epoch: int) -> float:
+        progress = min(epoch / self.total_epochs, 1.0)
+        return self.min_lr + 0.5 * (self.base_lr - self.min_lr) * (
+            1.0 + math.cos(math.pi * progress)
+        )
+
+
+class WarmupLR(LRScheduler):
+    """Linear ramp from 0 to the base LR over ``warmup_epochs``, then flat."""
+
+    def __init__(self, optimizer: Optimizer, warmup_epochs: int) -> None:
+        super().__init__(optimizer)
+        if warmup_epochs < 1:
+            raise ValueError(f"warmup_epochs must be >= 1, got {warmup_epochs}")
+        self.warmup_epochs = warmup_epochs
+
+    def compute_lr(self, epoch: int) -> float:
+        if epoch >= self.warmup_epochs:
+            return self.base_lr
+        return self.base_lr * epoch / self.warmup_epochs
+
+
+def clip_grad_norm(params: Iterable[Tensor], max_norm: float) -> float:
+    """Scale gradients so their global L2 norm is at most ``max_norm``.
+
+    Returns the pre-clip norm (useful for logging/diagnostics).
+    """
+    if max_norm <= 0:
+        raise ValueError(f"max_norm must be positive, got {max_norm}")
+    grads: List[np.ndarray] = [p.grad for p in params if p.grad is not None]
+    if not grads:
+        return 0.0
+    total = math.sqrt(sum(float((g * g).sum()) for g in grads))
+    if total > max_norm:
+        scale = max_norm / (total + 1e-12)
+        for g in grads:
+            g *= scale
+    return total

@@ -1,0 +1,81 @@
+"""Checkpoint serialization for modules and optimizers.
+
+State dicts are stored as ``.npz`` archives (pure numpy, no pickle of
+code objects), so checkpoints are portable across library versions and
+safe to load from untrusted sources.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Dict, Optional, Union
+
+import numpy as np
+
+from repro.nn.module import Module
+from repro.nn.optim import Adam, Optimizer
+
+PathLike = Union[str, pathlib.Path]
+
+_META_KEY = "__checkpoint_meta__"
+
+
+def save_module(module: Module, path: PathLike, metadata: Optional[Dict] = None) -> pathlib.Path:
+    """Write a module's parameters (plus optional JSON metadata) to ``path``.
+
+    The ``.npz`` suffix is appended when missing.  Parameter names are
+    the dotted names from :meth:`Module.named_parameters`.
+    """
+    path = pathlib.Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(path.suffix + ".npz") if path.suffix else path.with_suffix(".npz")
+    payload = dict(module.state_dict())
+    meta = {"format": "repro-checkpoint-v1"}
+    if metadata:
+        meta.update(metadata)
+    payload[_META_KEY] = np.frombuffer(
+        json.dumps(meta).encode("utf-8"), dtype=np.uint8
+    )
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez(path, **payload)
+    return path
+
+
+def load_module(module: Module, path: PathLike) -> Dict:
+    """Load parameters saved by :func:`save_module` into ``module``.
+
+    Returns the stored metadata dict.  Shapes and names are validated by
+    :meth:`Module.load_state_dict` (strict).
+    """
+    path = pathlib.Path(path)
+    if not path.exists() and path.suffix != ".npz":
+        path = path.with_suffix(".npz")
+    with np.load(path) as archive:
+        state = {k: archive[k] for k in archive.files if k != _META_KEY}
+        if _META_KEY in archive.files:
+            meta = json.loads(bytes(archive[_META_KEY].tobytes()).decode("utf-8"))
+        else:
+            meta = {}
+    module.load_state_dict(state)
+    return meta
+
+
+def optimizer_state(optimizer: Optimizer) -> Dict[str, np.ndarray]:
+    """Snapshot an optimizer's internal state (Adam moments + step)."""
+    state: Dict[str, np.ndarray] = {}
+    if isinstance(optimizer, Adam):
+        state["t"] = np.asarray(optimizer._t)
+        for i, (m, v) in enumerate(zip(optimizer._m, optimizer._v)):
+            state[f"m{i}"] = m.copy()
+            state[f"v{i}"] = v.copy()
+    return state
+
+
+def restore_optimizer(optimizer: Optimizer, state: Dict[str, np.ndarray]) -> None:
+    """Restore a snapshot produced by :func:`optimizer_state`."""
+    if isinstance(optimizer, Adam) and "t" in state:
+        optimizer._t = int(state["t"])
+        for i in range(len(optimizer._m)):
+            optimizer._m[i][...] = state[f"m{i}"]
+            optimizer._v[i][...] = state[f"v{i}"]

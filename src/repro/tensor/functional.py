@@ -1,0 +1,147 @@
+"""Losses and classification helpers built on the autograd engine."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.tensor.tensor import Tensor, _as_tensor
+from repro.tensor.ops import log_softmax
+
+
+def nll_loss(log_probs: Tensor, targets: np.ndarray) -> Tensor:
+    """Mean negative log-likelihood of integer ``targets``.
+
+    ``log_probs`` has shape ``(N, F)`` (rows of log-probabilities);
+    ``targets`` has shape ``(N,)`` with class indices.
+    """
+    log_probs = _as_tensor(log_probs)
+    targets = np.asarray(targets, dtype=np.int64)
+    n = log_probs.shape[0]
+    if targets.shape != (n,):
+        raise ValueError(
+            f"targets shape {targets.shape} incompatible with log_probs rows {n}"
+        )
+    out_data = -log_probs.data[np.arange(n), targets].mean()
+    if not log_probs._needs_tape():
+        return Tensor(out_data)
+
+    def backward_fn(grad: np.ndarray) -> None:
+        full = np.zeros_like(log_probs.data)
+        full[np.arange(n), targets] = -grad / n
+        log_probs.accumulate_grad(full)
+
+    return Tensor(np.asarray(out_data), True, (log_probs,), backward_fn, name="nll")
+
+
+def cross_entropy(logits: Tensor, targets: np.ndarray) -> Tensor:
+    """Softmax cross-entropy over class logits (Eq. 3 of the paper)."""
+    return nll_loss(log_softmax(logits, axis=-1), targets)
+
+
+def binary_cross_entropy_with_logits(logits: Tensor, targets: np.ndarray) -> Tensor:
+    """Mean binary cross-entropy on raw logits (used by DGI-style objectives)."""
+    logits = _as_tensor(logits)
+    targets = np.asarray(targets, dtype=np.float64)
+    x = logits.data
+    # log(1 + exp(-|x|)) formulation is stable for both signs.
+    out_data = (np.maximum(x, 0) - x * targets + np.log1p(np.exp(-np.abs(x)))).mean()
+    if not logits._needs_tape():
+        return Tensor(out_data)
+
+    sig = 1.0 / (1.0 + np.exp(-np.clip(x, -500, 500)))
+    n = x.size
+
+    def backward_fn(grad: np.ndarray) -> None:
+        logits.accumulate_grad(grad * (sig - targets) / n)
+
+    return Tensor(np.asarray(out_data), True, (logits,), backward_fn, name="bce")
+
+
+def l2_penalty(tensors) -> Tensor:
+    """Sum of squared entries over an iterable of tensors (L2 regularizer)."""
+    total: Optional[Tensor] = None
+    for t in tensors:
+        term = (t * t).sum()
+        total = term if total is None else total + term
+    if total is None:
+        return Tensor(np.asarray(0.0))
+    return total
+
+
+def accuracy(logits, targets: np.ndarray) -> float:
+    """Fraction of rows whose argmax equals the target class."""
+    data = logits.data if isinstance(logits, Tensor) else np.asarray(logits)
+    predictions = data.argmax(axis=-1)
+    targets = np.asarray(targets)
+    return float((predictions == targets).mean())
+
+
+def micro_f1(logits, targets: np.ndarray) -> float:
+    """Micro-averaged F1; equals accuracy for single-label classification.
+
+    Provided because the inductive baselines (GraphSAGE/GraphSAINT) report
+    micro-F1 on Flickr/Reddit.
+    """
+    return accuracy(logits, targets)
+
+
+def confusion_matrix(logits, targets: np.ndarray, num_classes: Optional[int] = None) -> np.ndarray:
+    """``(C, C)`` count matrix with rows = true class, cols = predicted."""
+    data = logits.data if isinstance(logits, Tensor) else np.asarray(logits)
+    predictions = data.argmax(axis=-1) if data.ndim > 1 else data.astype(np.int64)
+    targets = np.asarray(targets, dtype=np.int64)
+    if num_classes is None:
+        num_classes = int(max(predictions.max(initial=0), targets.max(initial=0))) + 1
+    matrix = np.zeros((num_classes, num_classes), dtype=np.int64)
+    np.add.at(matrix, (targets, predictions), 1)
+    return matrix
+
+
+def macro_f1(logits, targets: np.ndarray, num_classes: Optional[int] = None) -> float:
+    """Unweighted mean of per-class F1 scores.
+
+    Classes absent from both predictions and targets are skipped (their
+    F1 is undefined), matching scikit-learn's default behaviour closely
+    enough for balanced benchmark splits.
+    """
+    matrix = confusion_matrix(logits, targets, num_classes=num_classes)
+    true_pos = np.diag(matrix).astype(np.float64)
+    predicted = matrix.sum(axis=0).astype(np.float64)
+    actual = matrix.sum(axis=1).astype(np.float64)
+    present = (predicted + actual) > 0
+    if not present.any():
+        return 0.0
+    precision = np.divide(
+        true_pos, predicted, out=np.zeros_like(true_pos), where=predicted > 0
+    )
+    recall = np.divide(
+        true_pos, actual, out=np.zeros_like(true_pos), where=actual > 0
+    )
+    denom = precision + recall
+    f1 = np.divide(
+        2 * precision * recall, denom, out=np.zeros_like(true_pos), where=denom > 0
+    )
+    return float(f1[present].mean())
+
+
+def classification_report(logits, targets: np.ndarray) -> str:
+    """Human-readable per-class precision/recall/F1 table."""
+    matrix = confusion_matrix(logits, targets)
+    lines = [f"{'class':>6} {'precision':>10} {'recall':>8} {'f1':>7} {'support':>8}"]
+    true_pos = np.diag(matrix).astype(np.float64)
+    predicted = matrix.sum(axis=0).astype(np.float64)
+    actual = matrix.sum(axis=1).astype(np.float64)
+    for c in range(matrix.shape[0]):
+        p = true_pos[c] / predicted[c] if predicted[c] else 0.0
+        r = true_pos[c] / actual[c] if actual[c] else 0.0
+        f1 = 2 * p * r / (p + r) if (p + r) else 0.0
+        lines.append(
+            f"{c:>6} {p:>10.3f} {r:>8.3f} {f1:>7.3f} {int(actual[c]):>8}"
+        )
+    lines.append(
+        f"{'total':>6} {'':>10} {'':>8} "
+        f"{macro_f1(logits, targets):>7.3f} {int(actual.sum()):>8}"
+    )
+    return "\n".join(lines)

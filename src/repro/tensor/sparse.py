@@ -1,0 +1,92 @@
+"""Sparse operands for graph convolutions.
+
+The normalized adjacency :math:`\\hat{A} = \\tilde{D}^{-1/2} \\tilde{A}
+\\tilde{D}^{-1/2}` is a constant of the optimization problem, so it is
+represented as a :class:`SparseMatrix` wrapping a scipy CSR matrix.  The
+autograd-aware product :func:`spmm` propagates gradients only into the
+dense operand (``grad_H = Âᵀ grad_out``), which is exactly what GCN
+training needs and keeps the sparse structure out of the tape.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.tensor.tensor import Tensor, _as_tensor
+
+
+class SparseMatrix:
+    """An immutable sparse matrix operand (CSR) for message passing.
+
+    Parameters
+    ----------
+    matrix:
+        Any scipy sparse matrix (converted to CSR) or a dense 2-D array.
+    """
+
+    __slots__ = ("csr",)
+
+    def __init__(self, matrix: Union[sp.spmatrix, np.ndarray]) -> None:
+        if sp.issparse(matrix):
+            csr = matrix.tocsr()
+        else:
+            dense = np.asarray(matrix, dtype=np.float64)
+            if dense.ndim != 2:
+                raise ValueError(
+                    f"SparseMatrix must be 2-dimensional, got ndim={dense.ndim}"
+                )
+            csr = sp.csr_matrix(dense)
+        self.csr = csr.astype(np.float64)
+
+    @property
+    def shape(self):
+        return self.csr.shape
+
+    @property
+    def nnz(self) -> int:
+        return self.csr.nnz
+
+    @property
+    def T(self) -> "SparseMatrix":
+        return SparseMatrix(self.csr.T)
+
+    def __repr__(self) -> str:
+        return f"SparseMatrix(shape={self.shape}, nnz={self.nnz})"
+
+    def __matmul__(self, dense: Tensor) -> Tensor:
+        return spmm(self, dense)
+
+    def todense(self) -> np.ndarray:
+        return np.asarray(self.csr.todense())
+
+    def power(self, k: int) -> "SparseMatrix":
+        """Return the k-th matrix power (used by SGC / MixHop)."""
+        if k < 0:
+            raise ValueError("power must be non-negative")
+        result = sp.identity(self.shape[0], format="csr")
+        base = self.csr
+        for _ in range(k):
+            result = result @ base
+        return SparseMatrix(result)
+
+    def rowsum(self) -> np.ndarray:
+        return np.asarray(self.csr.sum(axis=1)).ravel()
+
+
+def spmm(a: SparseMatrix, h: Tensor) -> Tensor:
+    """Sparse–dense product ``a @ h`` with gradient ``aᵀ @ grad``.
+
+    ``a`` is treated as a constant; gradients flow only to ``h``.
+    """
+    h = _as_tensor(h)
+    out_data = a.csr @ h.data
+    if not h._needs_tape():
+        return Tensor(out_data)
+
+    def backward_fn(grad: np.ndarray) -> None:
+        h.accumulate_grad(a.csr.T @ grad)
+
+    return Tensor(out_data, True, (h,), backward_fn, name="spmm")

@@ -1,0 +1,31 @@
+"""Training harness: trainer with early stopping, per-dataset
+hyperparameters (paper §5.1.3) and repeated-run evaluation."""
+
+from repro.training.trainer import TrainConfig, TrainResult, Trainer
+from repro.training.hyperparams import hyperparams_for, HyperParams
+from repro.training.evaluate import RepeatedResult, run_repeated, format_mean_std
+from repro.training.sweep import SweepEntry, SweepReport, grid_sweep
+from repro.training.minibatch import (
+    MiniBatchResult,
+    MiniBatchSAGE,
+    MiniBatchTrainer,
+    NeighborSampler,
+)
+
+__all__ = [
+    "Trainer",
+    "TrainConfig",
+    "TrainResult",
+    "HyperParams",
+    "hyperparams_for",
+    "RepeatedResult",
+    "run_repeated",
+    "format_mean_std",
+    "SweepEntry",
+    "SweepReport",
+    "grid_sweep",
+    "NeighborSampler",
+    "MiniBatchSAGE",
+    "MiniBatchTrainer",
+    "MiniBatchResult",
+]

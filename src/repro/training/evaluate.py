@@ -1,0 +1,58 @@
+"""Repeated-run evaluation: the paper reports mean ± std over 10 runs."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from repro.graphs.graph import Graph
+from repro.models.base import GNNModel
+from repro.training.trainer import TrainConfig, Trainer, TrainResult
+
+
+@dataclasses.dataclass
+class RepeatedResult:
+    """Mean/std test accuracy over several seeds, plus per-run details."""
+
+    mean: float
+    std: float
+    runs: List[TrainResult]
+
+    @property
+    def accuracies(self) -> List[float]:
+        return [r.test_acc for r in self.runs]
+
+    def __str__(self) -> str:
+        return format_mean_std(self.mean, self.std)
+
+
+def format_mean_std(mean: float, std: float) -> str:
+    """Render accuracy as the paper does, e.g. ``84.2±0.5`` (percent)."""
+    return f"{100 * mean:.1f}±{100 * std:.1f}"
+
+
+def run_repeated(
+    model_factory: Callable[[int], GNNModel],
+    graph: Graph,
+    config: TrainConfig,
+    repeats: int = 10,
+    inductive: bool = False,
+) -> RepeatedResult:
+    """Train ``repeats`` fresh models with distinct seeds.
+
+    ``model_factory(seed)`` must build a newly initialized model; the
+    trainer seed is offset identically so every repeat is independent yet
+    reproducible.
+    """
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    runs: List[TrainResult] = []
+    for r in range(repeats):
+        model = model_factory(config.seed + r)
+        cfg = dataclasses.replace(config, seed=config.seed + r)
+        result = Trainer(cfg).fit(model, graph, inductive=inductive)
+        runs.append(result)
+    accs = np.array([r.test_acc for r in runs])
+    return RepeatedResult(mean=float(accs.mean()), std=float(accs.std()), runs=runs)

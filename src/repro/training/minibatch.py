@@ -1,0 +1,262 @@
+"""Mini-batch training with layered neighbor sampling (GraphSAGE protocol).
+
+The full-batch :class:`~repro.models.graphsage.GraphSAGE` uses the exact
+neighborhood mean; the *original* GraphSAGE instead trains on mini-batches
+of target nodes whose k-hop computation graphs are subsampled with fixed
+fanouts.  This module implements that protocol faithfully:
+
+- :class:`NeighborSampler` builds, for a batch of seed nodes, a stack of
+  bipartite *blocks* — one per layer, from the input layer inward — where
+  each block connects sampled source nodes to the destination nodes of
+  the next layer.
+- :class:`MiniBatchSAGE` runs SAGE-mean layers over such blocks, and can
+  also run full-graph inference with the same weights (for evaluation).
+- :class:`MiniBatchTrainer` drives epochs of shuffled seed batches with
+  the usual early-stopping protocol.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro import nn
+from repro.graphs.graph import Graph
+from repro.graphs.normalize import row_norm
+from repro.models.convs import SAGEConv
+from repro.tensor import Tensor, no_grad, ops
+from repro.tensor import functional as F
+
+
+@dataclasses.dataclass
+class Block:
+    """One bipartite message-passing layer of a sampled computation graph.
+
+    ``src_nodes`` (global ids) feed messages to ``dst_nodes`` (a prefix
+    of ``src_nodes`` — every destination is also a source so self
+    features are available).  ``edge_src_local`` / ``edge_dst_local``
+    index into the local orderings.
+    """
+
+    src_nodes: np.ndarray
+    dst_nodes: np.ndarray
+    edge_src_local: np.ndarray
+    edge_dst_local: np.ndarray
+
+    @property
+    def num_src(self) -> int:
+        return self.src_nodes.size
+
+    @property
+    def num_dst(self) -> int:
+        return self.dst_nodes.size
+
+
+class NeighborSampler:
+    """Fixed-fanout layered sampling over a graph's CSR adjacency."""
+
+    def __init__(
+        self,
+        graph: Graph,
+        fanouts: Sequence[int],
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        if not fanouts or any(f < 1 for f in fanouts):
+            raise ValueError(f"fanouts must be positive, got {fanouts}")
+        self.graph = graph
+        self.fanouts = list(fanouts)
+        self.rng = rng if rng is not None else np.random.default_rng()
+        self._csr = graph.adj.tocsr()
+
+    def _sample_one_layer(self, frontier: np.ndarray, fanout: int) -> Block:
+        csr = self._csr
+        src_chunks = [frontier]
+        edge_src: List[np.ndarray] = []
+        edge_dst: List[np.ndarray] = []
+        for local_dst, node in enumerate(frontier):
+            row = csr.indices[csr.indptr[node] : csr.indptr[node + 1]]
+            if row.size == 0:
+                continue
+            if row.size > fanout:
+                chosen = self.rng.choice(row, size=fanout, replace=False)
+            else:
+                chosen = row
+            edge_src.append(chosen)
+            edge_dst.append(np.full(chosen.size, local_dst))
+        if edge_src:
+            flat_src = np.concatenate(edge_src)
+            flat_dst = np.concatenate(edge_dst)
+        else:
+            flat_src = np.zeros(0, dtype=np.int64)
+            flat_dst = np.zeros(0, dtype=np.int64)
+
+        # Local ids: destinations first, then newly introduced sources.
+        extra = np.setdiff1d(flat_src, frontier)
+        src_nodes = np.concatenate([frontier, extra])
+        position = {int(n): i for i, n in enumerate(src_nodes)}
+        edge_src_local = np.array([position[int(n)] for n in flat_src], dtype=np.int64)
+        return Block(
+            src_nodes=src_nodes,
+            dst_nodes=frontier,
+            edge_src_local=edge_src_local,
+            edge_dst_local=flat_dst,
+        )
+
+    def sample(self, seeds: np.ndarray) -> List[Block]:
+        """Blocks ordered input-first (apply layer 0 to ``blocks[0]``)."""
+        seeds = np.asarray(seeds)
+        blocks: List[Block] = []
+        frontier = seeds
+        for fanout in reversed(self.fanouts):
+            block = self._sample_one_layer(frontier, fanout)
+            blocks.append(block)
+            frontier = block.src_nodes
+        return list(reversed(blocks))
+
+
+class MiniBatchSAGE(nn.Module):
+    """SAGE-mean layers over sampled blocks, full-graph eval built in."""
+
+    def __init__(
+        self,
+        in_features: int,
+        hidden: int,
+        num_classes: int,
+        num_layers: int = 2,
+        dropout: float = 0.3,
+        seed: Optional[int] = None,
+    ) -> None:
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        dims = [in_features] + [hidden] * (num_layers - 1) + [num_classes]
+        self.convs = nn.ModuleList(
+            [SAGEConv(dims[i], dims[i + 1], rng=rng) for i in range(num_layers)]
+        )
+        self.dropout = nn.Dropout(dropout, rng=np.random.default_rng(rng.integers(2**31)))
+        self.num_layers = num_layers
+
+    def forward_blocks(self, blocks: List[Block], features: np.ndarray) -> Tensor:
+        """Logits for the seed nodes of the innermost block."""
+        if len(blocks) != self.num_layers:
+            raise ValueError(
+                f"expected {self.num_layers} blocks, got {len(blocks)}"
+            )
+        h = Tensor(features[blocks[0].src_nodes])
+        for i, (conv, block) in enumerate(zip(self.convs, blocks)):
+            h = self.dropout(h)
+            messages = h[block.edge_src_local]
+            summed = ops.scatter_rows(messages, block.edge_dst_local, block.num_dst)
+            counts = np.zeros(block.num_dst)
+            np.add.at(counts, block.edge_dst_local, 1.0)
+            inv = 1.0 / np.maximum(counts, 1.0)
+            neighbor_mean = summed * inv.reshape(-1, 1)
+            self_feats = h[np.arange(block.num_dst)]
+            h = conv.lin(ops.concat([self_feats, neighbor_mean], axis=1))
+            if i < self.num_layers - 1:
+                h = h.relu()
+        return h
+
+    def full_inference(self, graph: Graph) -> np.ndarray:
+        """Exact-neighborhood logits for every node (evaluation)."""
+        mean_adj = row_norm(graph.adj, self_loops=False)
+        was_training = self.training
+        self.eval()
+        with no_grad():
+            h = Tensor(graph.features)
+            for i, conv in enumerate(self.convs):
+                h = conv(mean_adj, h)
+                if i < self.num_layers - 1:
+                    h = h.relu()
+        if was_training:
+            self.train()
+        return h.data
+
+
+@dataclasses.dataclass
+class MiniBatchResult:
+    """Outcome of mini-batch training."""
+
+    best_val_acc: float
+    test_acc: float
+    epochs_run: int
+    batch_losses: List[float]
+
+
+class MiniBatchTrainer:
+    """Shuffled seed batches + patience-based early stopping."""
+
+    def __init__(
+        self,
+        fanouts: Sequence[int] = (10, 10),
+        batch_size: int = 128,
+        lr: float = 0.01,
+        weight_decay: float = 0.0,
+        epochs: int = 50,
+        patience: int = 10,
+        seed: int = 0,
+    ) -> None:
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        self.fanouts = list(fanouts)
+        self.batch_size = batch_size
+        self.lr = lr
+        self.weight_decay = weight_decay
+        self.epochs = epochs
+        self.patience = patience
+        self.seed = seed
+
+    def fit(self, model: MiniBatchSAGE, graph: Graph) -> MiniBatchResult:
+        if len(self.fanouts) != model.num_layers:
+            raise ValueError(
+                f"fanouts ({len(self.fanouts)}) must match model layers "
+                f"({model.num_layers})"
+            )
+        rng = np.random.default_rng(self.seed)
+        sampler = NeighborSampler(graph, self.fanouts, rng=rng)
+        optimizer = nn.Adam(
+            model.parameters(), lr=self.lr, weight_decay=self.weight_decay
+        )
+        train_nodes = graph.train_indices()
+        best_val = -1.0
+        best_state = model.state_dict()
+        stale = 0
+        losses: List[float] = []
+        epochs_run = 0
+        for epoch in range(self.epochs):
+            epochs_run = epoch + 1
+            model.train()
+            order = rng.permutation(train_nodes)
+            for start in range(0, order.size, self.batch_size):
+                seeds = order[start : start + self.batch_size]
+                blocks = sampler.sample(seeds)
+                logits = model.forward_blocks(blocks, graph.features)
+                loss = F.cross_entropy(logits, graph.labels[seeds])
+                optimizer.zero_grad()
+                loss.backward()
+                optimizer.step()
+                losses.append(loss.item())
+            predictions = model.full_inference(graph)
+            val_acc = F.accuracy(
+                predictions[graph.val_mask], graph.labels[graph.val_mask]
+            )
+            if val_acc > best_val:
+                best_val = val_acc
+                best_state = model.state_dict()
+                stale = 0
+            else:
+                stale += 1
+                if stale >= self.patience:
+                    break
+        model.load_state_dict(best_state)
+        predictions = model.full_inference(graph)
+        test_acc = F.accuracy(
+            predictions[graph.test_mask], graph.labels[graph.test_mask]
+        )
+        return MiniBatchResult(
+            best_val_acc=best_val,
+            test_acc=test_acc,
+            epochs_run=epochs_run,
+            batch_losses=losses,
+        )

@@ -1,0 +1,96 @@
+"""Grid search over training/model hyperparameters.
+
+The paper's §4.1.1 points at NAS/AutoML work showing the hidden dimension
+is a crucial search-space component (one motivation for Lasagne's
+flexible widths).  This module provides the minimal tool for that kind of
+exploration: a deterministic grid sweep with validation-based ranking.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+from typing import Callable, Dict, List, Sequence
+
+from repro.graphs.graph import Graph
+from repro.models.base import GNNModel
+from repro.training.trainer import TrainConfig, Trainer, TrainResult
+
+
+@dataclasses.dataclass
+class SweepEntry:
+    """One grid point and its outcome."""
+
+    params: Dict
+    result: TrainResult
+
+    @property
+    def val_acc(self) -> float:
+        return self.result.best_val_acc
+
+    @property
+    def test_acc(self) -> float:
+        return self.result.test_acc
+
+
+@dataclasses.dataclass
+class SweepReport:
+    """All grid points, ranked by validation accuracy."""
+
+    entries: List[SweepEntry]
+
+    @property
+    def best(self) -> SweepEntry:
+        return max(self.entries, key=lambda e: e.val_acc)
+
+    def ranking(self) -> List[SweepEntry]:
+        return sorted(self.entries, key=lambda e: e.val_acc, reverse=True)
+
+    def table(self) -> str:
+        lines = [f"{'params':<50} {'val':>6} {'test':>6}"]
+        for entry in self.ranking():
+            desc = ", ".join(f"{k}={v}" for k, v in entry.params.items())
+            lines.append(
+                f"{desc:<50} {100 * entry.val_acc:>5.1f}% "
+                f"{100 * entry.test_acc:>5.1f}%"
+            )
+        return "\n".join(lines)
+
+
+def grid_sweep(
+    model_factory: Callable[..., GNNModel],
+    graph: Graph,
+    grid: Dict[str, Sequence],
+    train_grid: Dict[str, Sequence] = None,
+    epochs: int = 100,
+    patience: int = 20,
+    seed: int = 0,
+) -> SweepReport:
+    """Exhaustive sweep over the cartesian product of ``grid`` values.
+
+    ``model_factory(**params, seed=seed)`` builds a model per grid point;
+    ``train_grid`` optionally sweeps TrainConfig fields (``lr``,
+    ``weight_decay``) jointly.
+    """
+    if not grid and not train_grid:
+        raise ValueError("provide at least one grid dimension")
+    train_grid = train_grid or {}
+
+    model_keys = list(grid)
+    train_keys = list(train_grid)
+    model_values = [grid[k] for k in model_keys]
+    train_values = [train_grid[k] for k in train_keys]
+
+    entries: List[SweepEntry] = []
+    for combo in itertools.product(*model_values, *train_values):
+        model_params = dict(zip(model_keys, combo[: len(model_keys)]))
+        train_params = dict(zip(train_keys, combo[len(model_keys):]))
+        model = model_factory(**model_params, seed=seed)
+        config = TrainConfig(
+            epochs=epochs, patience=patience, seed=seed, **train_params
+        )
+        result = Trainer(config).fit(model, graph)
+        entries.append(
+            SweepEntry(params={**model_params, **train_params}, result=result)
+        )
+    return SweepReport(entries=entries)

@@ -1,0 +1,202 @@
+"""Tests for the extension aggregators (mean, attention) and the
+aggregator-selection utility — the paper's stated future-work items."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.core import (
+    AGGREGATORS,
+    AttentionAggregator,
+    Lasagne,
+    MeanAggregator,
+    select_aggregator,
+)
+from repro.core.selection import candidate_order, degree_skew
+from repro.datasets import generate_dcsbm_graph, generate_features
+from repro.datasets.splits import per_class_split
+from repro.graphs import Graph, gcn_norm
+from repro.tensor import Tensor
+from repro.tensor.tensor import parameter
+from repro.training import hyperparams_for
+
+RNG = np.random.default_rng(17)
+
+
+def ring_norm(n):
+    rows = np.arange(n)
+    cols = (rows + 1) % n
+    adj = sp.coo_matrix((np.ones(n), (rows, cols)), shape=(n, n))
+    return gcn_norm((adj + adj.T).tocsr())
+
+
+@pytest.fixture(scope="module")
+def small_graph():
+    rng = np.random.default_rng(23)
+    adj, labels = generate_dcsbm_graph(160, 3, 600, homophily=0.9, rng=rng)
+    features = generate_features(labels, 36, signal=0.9, rng=rng)
+    train, val, test = per_class_split(labels, 8, 40, 80, rng=rng)
+    return Graph(
+        adj=adj, features=features, labels=labels,
+        train_mask=train, val_mask=val, test_mask=test, name="ext",
+    )
+
+
+class TestMeanAggregator:
+    def test_averages_layers(self):
+        agg = MeanAggregator(2, (4, 4))
+        h1 = Tensor(np.full((5, 4), 2.0))
+        h2 = Tensor(np.full((5, 4), 6.0))
+        out = agg(ring_norm(5), [h1, h2])
+        np.testing.assert_allclose(out.data, np.full((5, 4), 4.0))
+
+    def test_single_layer_passthrough(self):
+        agg = MeanAggregator(2, (4, 4))
+        h = Tensor(RNG.normal(size=(5, 4)))
+        assert agg(None, [h]) is h
+
+    def test_no_parameters(self):
+        assert MeanAggregator(3, (8, 8, 8)).num_parameters() == 0
+
+    def test_rejects_unequal_dims(self):
+        with pytest.raises(ValueError):
+            MeanAggregator(2, (4, 8))
+
+    def test_not_node_bound(self):
+        assert not MeanAggregator(2, (4, 4)).node_bound
+
+
+class TestAttentionAggregator:
+    def make(self, l=2, d=4):
+        return AttentionAggregator(l, (d,) * l, rng=np.random.default_rng(0))
+
+    def test_output_shape(self):
+        agg = self.make(3)
+        hidden = [Tensor(RNG.normal(size=(6, 4))) for _ in range(3)]
+        assert agg(ring_norm(6), hidden).shape == (6, 4)
+
+    def test_weights_are_convex_combination(self):
+        # With identical layers the output must equal the shared value
+        # regardless of the attention weights (softmax weights sum to 1).
+        agg = self.make(3)
+        shared = RNG.normal(size=(6, 4))
+        hidden = [Tensor(shared.copy()) for _ in range(3)]
+        out = agg(ring_norm(6), hidden)
+        np.testing.assert_allclose(out.data, shared, rtol=1e-10)
+
+    def test_gradients_reach_attention_params(self):
+        agg = self.make(2)
+        hidden = [parameter(RNG.normal(size=(6, 4))) for _ in range(2)]
+        agg(ring_norm(6), hidden).sum().backward()
+        assert agg.score_proj.grad is not None
+        assert agg.score_vec.grad is not None
+
+    def test_rejects_unequal_dims(self):
+        with pytest.raises(ValueError):
+            AttentionAggregator(2, (4, 8))
+
+    def test_not_node_bound(self):
+        assert not self.make().node_bound
+
+    def test_single_layer_passthrough(self):
+        agg = self.make()
+        h = Tensor(RNG.normal(size=(5, 4)))
+        assert agg(None, [h]) is h
+
+
+class TestLasagneWithExtensions:
+    @pytest.mark.parametrize("aggregator", ["mean", "attention"])
+    def test_forward_backward(self, small_graph, aggregator):
+        model = Lasagne(
+            small_graph.num_features, 12, small_graph.num_classes,
+            num_layers=4, aggregator=aggregator, dropout=0.1, seed=0,
+        )
+        model.setup(small_graph)
+        logits, _ = model.training_batch()
+        logits.sum().backward()
+        assert all(p.grad is not None for p in model.parameters())
+
+    @pytest.mark.parametrize("aggregator", ["mean", "attention"])
+    def test_inductive_attach_allowed(self, small_graph, aggregator):
+        model = Lasagne(
+            small_graph.num_features, 12, small_graph.num_classes,
+            num_layers=3, aggregator=aggregator, seed=0,
+        )
+        model.setup(small_graph)
+        model.attach(small_graph.training_subgraph())
+        logits, idx = model.training_batch()
+        assert len(idx) == int(small_graph.train_mask.sum())
+
+    def test_aggregators_registry_lists_five(self):
+        assert set(AGGREGATORS) == {
+            "weighted", "maxpool", "stochastic", "mean", "attention"
+        }
+
+
+class TestSelection:
+    def test_degree_skew_star_vs_ring(self):
+        n = 20
+        rows = np.zeros(n - 1, dtype=int)
+        cols = np.arange(1, n)
+        star = sp.coo_matrix((np.ones(n - 1), (rows, cols)), shape=(n, n))
+        star = (star + star.T).tocsr()
+        ring = sp.coo_matrix(
+            (np.ones(n), (np.arange(n), (np.arange(n) + 1) % n)), shape=(n, n)
+        )
+        ring = (ring + ring.T).tocsr()
+        g_star = Graph(
+            adj=star, features=np.zeros((n, 2)), labels=np.zeros(n, dtype=int),
+            train_mask=np.zeros(n, bool), val_mask=np.zeros(n, bool),
+            test_mask=np.zeros(n, bool),
+        )
+        g_ring = Graph(
+            adj=ring, features=np.zeros((n, 2)), labels=np.zeros(n, dtype=int),
+            train_mask=np.zeros(n, bool), val_mask=np.zeros(n, bool),
+            test_mask=np.zeros(n, bool),
+        )
+        assert degree_skew(g_star) > degree_skew(g_ring)
+
+    def test_candidate_order_prefers_node_aware_on_hubby_graphs(self, small_graph):
+        # Force the prior by monkeying the skew through a star graph.
+        order = candidate_order(small_graph, ["maxpool", "stochastic"])
+        assert set(order) == {"maxpool", "stochastic"}
+
+    def test_select_runs_and_picks_best_val(self, small_graph):
+        hp = hyperparams_for("cora")
+        report = select_aggregator(
+            small_graph, hp,
+            candidates=("maxpool", "mean"),
+            num_layers=3, budget_epochs=15, seed=0,
+        )
+        assert report.best in ("maxpool", "mean")
+        assert set(report.validation_accuracy) == {"maxpool", "mean"}
+        assert report.validation_accuracy[report.best] == max(
+            report.validation_accuracy.values()
+        )
+        assert report.ranking()[0] == report.best
+
+    def test_select_inductive_drops_node_bound(self, small_graph):
+        hp = hyperparams_for("cora")
+        report = select_aggregator(
+            small_graph, hp,
+            candidates=("weighted", "stochastic", "maxpool"),
+            num_layers=3, budget_epochs=10, seed=0, inductive=True,
+        )
+        assert set(report.validation_accuracy) == {"maxpool"}
+
+    def test_select_inductive_all_node_bound_raises(self, small_graph):
+        hp = hyperparams_for("cora")
+        with pytest.raises(ValueError):
+            select_aggregator(
+                small_graph, hp, candidates=("weighted",), inductive=True
+            )
+
+    def test_select_unknown_candidate(self, small_graph):
+        hp = hyperparams_for("cora")
+        with pytest.raises(ValueError):
+            select_aggregator(small_graph, hp, candidates=("lstm",))
+
+    def test_select_bad_budget(self, small_graph):
+        hp = hyperparams_for("cora")
+        with pytest.raises(ValueError):
+            select_aggregator(small_graph, hp, budget_epochs=0)

@@ -1,0 +1,281 @@
+"""Tests for the synthetic dataset generators and the registry."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    DATASETS,
+    dataset_names,
+    dataset_summary,
+    fraction_split,
+    generate_dcsbm_graph,
+    generate_features,
+    generate_tencent_graph,
+    load_dataset,
+    per_class_split,
+)
+from repro.graphs import edge_homophily
+
+
+class TestDCSBM:
+    def test_shapes_and_labels(self):
+        adj, labels = generate_dcsbm_graph(
+            200, 4, 800, rng=np.random.default_rng(0)
+        )
+        assert adj.shape == (200, 200)
+        assert labels.shape == (200,)
+        assert set(np.unique(labels)) == {0, 1, 2, 3}
+
+    def test_balanced_classes(self):
+        _, labels = generate_dcsbm_graph(400, 4, 800, rng=np.random.default_rng(0))
+        counts = np.bincount(labels)
+        assert counts.max() - counts.min() <= 1
+
+    def test_symmetric_no_self_loops(self):
+        adj, _ = generate_dcsbm_graph(150, 3, 600, rng=np.random.default_rng(1))
+        assert (adj != adj.T).nnz == 0
+        assert adj.diagonal().sum() == 0
+
+    def test_homophily_controls_edges(self):
+        rng = np.random.default_rng(2)
+        adj_h, labels_h = generate_dcsbm_graph(300, 3, 1500, homophily=0.9, rng=rng)
+        adj_l, labels_l = generate_dcsbm_graph(300, 3, 1500, homophily=0.2, rng=rng)
+        assert edge_homophily(adj_h, labels_h) > 0.7
+        assert edge_homophily(adj_l, labels_l) < 0.5
+
+    def test_edge_budget_approximate(self):
+        adj, _ = generate_dcsbm_graph(500, 5, 2000, rng=np.random.default_rng(3))
+        realized = adj.nnz // 2
+        assert 0.6 * 2000 < realized < 1.4 * 2000
+
+    def test_power_law_produces_hubs(self):
+        adj, _ = generate_dcsbm_graph(
+            1000, 2, 5000, degree_exponent=2.0, rng=np.random.default_rng(4)
+        )
+        degrees = np.asarray(adj.getnnz(axis=1)).ravel()
+        # Heavy tail: max degree far above the mean.
+        assert degrees.max() > 5 * degrees.mean()
+
+    def test_rejects_too_few_nodes(self):
+        with pytest.raises(ValueError):
+            generate_dcsbm_graph(3, 5, 10)
+
+    def test_rejects_bad_homophily(self):
+        with pytest.raises(ValueError):
+            generate_dcsbm_graph(10, 2, 20, homophily=1.5)
+
+    def test_deterministic_given_seed(self):
+        a1, l1 = generate_dcsbm_graph(100, 2, 300, rng=np.random.default_rng(9))
+        a2, l2 = generate_dcsbm_graph(100, 2, 300, rng=np.random.default_rng(9))
+        assert (a1 != a2).nnz == 0
+        np.testing.assert_array_equal(l1, l2)
+
+
+class TestFeatures:
+    def test_shape_and_normalization(self):
+        labels = np.arange(50) % 5
+        x = generate_features(labels, 100, rng=np.random.default_rng(0))
+        assert x.shape == (50, 100)
+        np.testing.assert_allclose(x.sum(axis=1), np.ones(50), rtol=1e-9)
+
+    def test_class_signature_separability(self):
+        # Mean feature vectors of different classes should be far apart
+        # compared to within-class spread when signal is high.
+        labels = np.arange(200) % 2
+        x = generate_features(labels, 60, signal=0.95, rng=np.random.default_rng(1))
+        mean0 = x[labels == 0].mean(axis=0)
+        mean1 = x[labels == 1].mean(axis=0)
+        assert np.linalg.norm(mean0 - mean1) > 0.05
+
+    def test_zero_signal_no_separability(self):
+        labels = np.arange(200) % 2
+        x = generate_features(labels, 60, signal=0.0, rng=np.random.default_rng(2))
+        mean0 = x[labels == 0].mean(axis=0)
+        mean1 = x[labels == 1].mean(axis=0)
+        assert np.linalg.norm(mean0 - mean1) < 0.05
+
+    def test_rejects_too_few_features(self):
+        with pytest.raises(ValueError):
+            generate_features(np.arange(10) % 5, 3)
+
+    def test_rejects_bad_signal(self):
+        with pytest.raises(ValueError):
+            generate_features(np.zeros(5, dtype=int), 10, signal=2.0)
+
+
+class TestSplits:
+    def test_per_class_split_counts(self):
+        labels = np.arange(100) % 4
+        train, val, test = per_class_split(
+            labels, 5, 20, 30, rng=np.random.default_rng(0)
+        )
+        assert train.sum() == 20
+        assert val.sum() == 20
+        assert test.sum() == 30
+
+    def test_per_class_split_stratified(self):
+        labels = np.arange(100) % 4
+        train, _, _ = per_class_split(labels, 5, 20, 30, rng=np.random.default_rng(0))
+        counts = np.bincount(labels[train])
+        np.testing.assert_array_equal(counts, [5, 5, 5, 5])
+
+    def test_per_class_split_disjoint(self):
+        labels = np.arange(100) % 4
+        train, val, test = per_class_split(
+            labels, 5, 20, 30, rng=np.random.default_rng(0)
+        )
+        assert not (train & val).any()
+        assert not (train & test).any()
+        assert not (val & test).any()
+
+    def test_per_class_split_rejects_small_class(self):
+        labels = np.array([0, 0, 1])
+        with pytest.raises(ValueError):
+            per_class_split(labels, 2, 0, 0)
+
+    def test_fraction_split_sizes(self):
+        labels = np.arange(200) % 5
+        train, val, test = fraction_split(
+            labels, 50, 30, 40, rng=np.random.default_rng(0)
+        )
+        assert (train.sum(), val.sum(), test.sum()) == (50, 30, 40)
+
+    def test_fraction_split_train_stratified(self):
+        labels = np.arange(200) % 5
+        train, _, _ = fraction_split(labels, 50, 30, 40, rng=np.random.default_rng(0))
+        counts = np.bincount(labels[train])
+        assert counts.max() - counts.min() <= 1
+
+    def test_fraction_split_eligible_pool(self):
+        labels = np.arange(100) % 2
+        eligible = np.arange(40)
+        train, val, test = fraction_split(
+            labels, 10, 10, 10, rng=np.random.default_rng(0), eligible=eligible
+        )
+        chosen = np.flatnonzero(train | val | test)
+        assert chosen.max() < 40
+
+    def test_fraction_split_rejects_oversize(self):
+        labels = np.arange(10) % 2
+        with pytest.raises(ValueError):
+            fraction_split(labels, 8, 8, 8)
+
+
+class TestTencent:
+    def make(self, **kwargs):
+        defaults = dict(
+            num_nodes=2000,
+            num_classes=20,
+            splits=(40, 60, 100),
+            rng=np.random.default_rng(0),
+        )
+        defaults.update(kwargs)
+        return generate_tencent_graph(**defaults)
+
+    def test_structure_valid(self):
+        g = self.make()
+        g.validate()
+
+    def test_bipartite_no_item_item_edges(self):
+        g = self.make()
+        num_items = int(2000 * 0.57022)
+        item_block = g.adj[:num_items][:, :num_items]
+        assert item_block.nnz == 0
+
+    def test_masks_only_on_items(self):
+        g = self.make()
+        num_items = int(2000 * 0.57022)
+        eval_nodes = np.flatnonzero(g.train_mask | g.val_mask | g.test_mask)
+        assert eval_nodes.max() < num_items
+
+    def test_hot_videos_exist(self):
+        g = self.make()
+        num_items = int(2000 * 0.57022)
+        item_degrees = g.degrees()[:num_items]
+        assert item_degrees.max() > 10 * max(item_degrees.mean(), 1e-9)
+
+    def test_item_features_uninformative(self):
+        # Per-class mean item features should be statistically flat: label
+        # signal must come through the graph, not the item features.
+        g = self.make(num_nodes=4000, num_classes=4)
+        num_items = int(4000 * 0.57022)
+        feats = g.features[:num_items]
+        labels = g.labels[:num_items]
+        means = np.stack([feats[labels == c].mean(axis=0) for c in range(4)])
+        assert np.abs(means).max() < 0.05
+
+    def test_class_shrinks_when_too_few_items(self):
+        g = generate_tencent_graph(
+            num_nodes=300, num_classes=253, splits=(10, 10, 10),
+            rng=np.random.default_rng(0),
+        )
+        assert g.num_classes < 253
+
+
+class TestRegistry:
+    def test_all_eleven_datasets_present(self):
+        assert len(dataset_names()) == 11
+        assert "cora" in dataset_names()
+        assert "tencent" in dataset_names()
+
+    def test_specs_match_table2_cora(self):
+        spec = DATASETS["cora"]
+        assert (spec.num_nodes, spec.num_features, spec.num_edges) == (
+            2708,
+            1433,
+            5429,
+        )
+        assert spec.splits == (140, 500, 1000)
+
+    def test_specs_match_table2_reddit(self):
+        spec = DATASETS["reddit"]
+        assert spec.num_nodes == 232965
+        assert spec.num_classes == 41
+        assert spec.task == "inductive"
+
+    def test_load_cora_full_size(self):
+        g = load_dataset("cora", scale=1.0, seed=0)
+        assert g.num_nodes == 2708
+        assert g.num_features == 1433
+        assert g.num_classes == 7
+        assert g.split_sizes() == (140, 500, 1000)
+        g.validate()
+
+    def test_load_scaled(self):
+        g = load_dataset("pubmed", scale=0.1, seed=0)
+        assert g.num_nodes == pytest.approx(1971, abs=5)
+        g.validate()
+
+    def test_load_is_cached(self):
+        a = load_dataset("cora", scale=0.2, seed=3)
+        b = load_dataset("cora", scale=0.2, seed=3)
+        assert a is b
+
+    def test_load_unknown_raises(self):
+        with pytest.raises(KeyError):
+            load_dataset("imagenet")
+
+    def test_load_case_insensitive(self):
+        assert load_dataset("Cora", scale=0.2).name == "cora"
+
+    def test_scaled_spec_split_fits_nodes(self):
+        for spec in DATASETS.values():
+            sized = spec.scaled(0.02)
+            assert sum(sized.splits) <= sized.num_nodes
+
+    def test_scale_validation(self):
+        with pytest.raises(ValueError):
+            DATASETS["cora"].scaled(0.0)
+
+    def test_summary_renders(self):
+        text = dataset_summary()
+        assert "cora" in text
+        assert "232,965" in text
+
+    def test_summary_with_scale(self):
+        text = dataset_summary(scale=0.1)
+        assert "@scale=0.1" in text
+
+    def test_homophily_of_generated_cora(self):
+        g = load_dataset("cora", scale=0.5, seed=0)
+        assert edge_homophily(g.adj, g.labels) > 0.6

@@ -1,0 +1,98 @@
+"""CLI entry-point tests for the experiment modules.
+
+Each experiment's ``main()`` parses argparse flags, runs with the given
+knobs, prints the rendered table (plus ASCII charts for the figures) and
+writes the JSON dump.  These tests exercise the full CLI path with micro
+settings into a temp results directory.
+"""
+
+import json
+
+import pytest
+
+from repro.experiments import common
+
+
+@pytest.fixture(autouse=True)
+def isolated_results(tmp_path, monkeypatch):
+    """Redirect save_result's default directory into tmp."""
+    original = common.save_result
+
+    def patched(result, directory=None):
+        return original(result, directory=str(tmp_path))
+
+    # Each experiment module imported save_result by name; patch them all.
+    import repro.experiments.fig1_expansion as fig1
+    import repro.experiments.fig5_depth as fig5
+    import repro.experiments.locality_analysis as loc
+    import repro.experiments.robustness as rob
+    import repro.experiments.table3_citation as t3
+
+    for module in (fig1, fig5, loc, rob, t3):
+        monkeypatch.setattr(module, "save_result", patched)
+    yield tmp_path
+
+
+def run_cli(module, argv, monkeypatch, capsys):
+    monkeypatch.setattr("sys.argv", ["prog"] + argv)
+    module.main()
+    return capsys.readouterr().out
+
+
+class TestCLIs:
+    def test_fig1_cli(self, monkeypatch, capsys, isolated_results):
+        from repro.experiments import fig1_expansion
+
+        out = run_cli(fig1_expansion, ["--scale", "0.15"], monkeypatch, capsys)
+        assert "Neighborhood expansion" in out
+        assert (isolated_results / "fig1.json").exists()
+
+    def test_fig5_cli_renders_chart(self, monkeypatch, capsys, isolated_results):
+        from repro.experiments import fig5_depth
+
+        out = run_cli(
+            fig5_depth,
+            ["--depths", "2", "3", "--scale", "0.1", "--repeats", "1",
+             "--epochs", "4"],
+            monkeypatch, capsys,
+        )
+        assert "Accuracy (%) vs depth" in out
+        assert "o=GCN" in out  # the ASCII chart legend
+        payload = json.loads((isolated_results / "fig5_cora.json").read_text())
+        assert payload["data"]["depths"] == [2, 3]
+
+    def test_locality_cli(self, monkeypatch, capsys, isolated_results):
+        from repro.experiments import locality_analysis
+
+        out = run_cli(
+            locality_analysis,
+            ["--scale", "0.12", "--layers", "3", "--epochs", "8"],
+            monkeypatch, capsys,
+        )
+        assert "Spearman" in out
+
+    def test_robustness_cli(self, monkeypatch, capsys, isolated_results):
+        from repro.experiments import robustness
+
+        monkeypatch.setattr("sys.argv", [
+            "prog", "--scale", "0.1", "--epochs", "4",
+        ])
+        # Narrow the sweep via run() defaults by calling main (defaults
+        # cover 6 corruption settings; epochs=4 keeps it cheap).
+        robustness.main()
+        out = capsys.readouterr().out
+        assert "edge rewiring" in out
+
+    def test_table3_cli_no_extra(self, monkeypatch, capsys, isolated_results):
+        from repro.experiments import table3_citation
+
+        out = run_cli(
+            table3_citation,
+            ["--scale", "0.1", "--repeats", "1", "--epochs", "4",
+             "--layers", "3", "--no-extra"],
+            monkeypatch, capsys,
+        )
+        assert "paper-reported" in out
+        assert "measured" in out
+        payload = json.loads((isolated_results / "table3.json").read_text())
+        assert "paper_starred" in payload["data"]

@@ -1,0 +1,201 @@
+"""Integration tests for the experiment harness.
+
+Each runner is exercised end-to-end with micro settings (tiny scale, one
+repeat, a handful of epochs) — enough to validate plumbing, result
+shapes and rendering without benchmark-level runtimes.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.experiments import render_table, save_result
+from repro.experiments.common import ExperimentResult
+from repro.experiments import (
+    fig2_mi_layers,
+    fig5_depth,
+    fig6_mi_training,
+    fig7_efficiency,
+    locality_analysis,
+    table3_citation,
+    table4_inductive,
+    table5_other_datasets,
+    table6_gcfm_ablation,
+    table7_other_gnns,
+    table8_label_rate,
+)
+
+MICRO = dict(scale=0.1, repeats=1, epochs=6)
+
+
+class TestCommon:
+    def test_render_table_alignment(self):
+        text = render_table(["a", "bbb"], [["1", "2"], ["333", "4"]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert all(len(line) == len(lines[0]) for line in lines[1:])
+
+    def test_save_result_roundtrip(self, tmp_path):
+        result = ExperimentResult(
+            experiment_id="unit",
+            title="t",
+            headers=["h"],
+            rows=[["1"]],
+            data={"x": np.float64(1.5), "arr": np.array([1, 2])},
+        )
+        path = save_result(result, directory=str(tmp_path))
+        payload = json.loads(path.read_text())
+        assert payload["data"]["x"] == 1.5
+        assert payload["data"]["arr"] == [1, 2]
+
+    def test_result_render_has_banner(self):
+        result = ExperimentResult("id1", "Title", ["h"], [["v"]], {})
+        assert "== id1: Title ==" in result.render()
+
+
+class TestTable3:
+    def test_micro_run(self):
+        result = table3_citation.run(
+            datasets=("cora",), include_extra=False, **MICRO
+        )
+        measured = result.data["measured"]
+        assert "Lasagne (Weighted)*" in measured
+        assert "GCN*" in measured
+        # paper-reported rows are included by default
+        assert any(r[-1] == "paper-reported" for r in result.rows)
+
+    def test_no_reported_rows_option(self):
+        result = table3_citation.run(
+            datasets=("cora",), include_extra=False, include_reported=False,
+            **MICRO,
+        )
+        assert all(r[-1] == "measured" for r in result.rows)
+
+
+class TestTable4:
+    def test_micro_run(self):
+        result = table4_inductive.run(scale=0.015, repeats=1, epochs=6)
+        assert "Lasagne (Max pooling)*" in result.data["measured"]
+
+
+class TestTable5:
+    def test_micro_run(self):
+        result = table5_other_datasets.run(
+            datasets=("amazon-photo",), scale=0.08, repeats=1, epochs=6
+        )
+        measured = result.data["measured"]
+        assert set(measured) >= {"GCN*", "Lasagne (Stochastic)*"}
+
+
+class TestTable6:
+    def test_micro_run(self):
+        result = table6_gcfm_ablation.run(
+            datasets=("cora",), lasagne_layers=3, **MICRO
+        )
+        for values in result.data["measured"].values():
+            assert "cora/+GC-FM" in values
+            assert "cora/baseline" in values
+
+
+class TestTable7:
+    def test_micro_run(self):
+        result = table7_other_gnns.run(
+            datasets=("cora",), lasagne_layers=3, **MICRO
+        )
+        assert set(result.data["measured"]) == {"GCN", "SGC", "GAT"}
+
+
+class TestTable8:
+    def test_micro_run_cora_only(self):
+        result = table8_label_rate.run(
+            scale=0.2, repeats=1, epochs=6, lasagne_layers=3,
+            cora_labels=(5,), include_nell=False,
+        )
+        some_row = next(iter(result.data["measured"].values()))
+        assert "cora@5/class" in some_row
+
+    def test_micro_run_with_nell(self):
+        result = table8_label_rate.run(
+            scale=0.2, nell_scale=0.01, repeats=1, epochs=4,
+            lasagne_layers=3, cora_labels=(5,), nell_fractions=(0.01,),
+        )
+        some_row = next(iter(result.data["measured"].values()))
+        assert any(k.startswith("nell@") for k in some_row)
+
+    def test_resplit_per_class_counts(self):
+        from repro.datasets import load_dataset
+
+        graph = load_dataset("cora", scale=0.3, seed=0)
+        new = table8_label_rate.resplit_per_class(graph, 5, seed=1)
+        assert new.train_mask.sum() == 5 * graph.num_classes
+        new.validate()
+
+    def test_resplit_fraction(self):
+        from repro.datasets import load_dataset
+
+        graph = load_dataset("cora", scale=0.3, seed=0)
+        new = table8_label_rate.resplit_fraction(graph, 0.05, seed=1)
+        expected = max(int(graph.num_nodes * 0.05), graph.num_classes)
+        assert new.train_mask.sum() == expected
+        new.validate()
+
+
+class TestFig2:
+    def test_micro_run(self):
+        result = fig2_mi_layers.run(scale=0.1, num_layers=4, epochs=6)
+        profiles = result.data["profiles"]
+        assert set(profiles) == {"gcn", "resgcn", "jknet", "densegcn"}
+        assert len(profiles["gcn"]) == 4
+        assert all(v >= 0 for p in profiles.values() for v in p)
+
+
+class TestFig5:
+    def test_micro_run(self):
+        result = fig5_depth.run(
+            dataset="cora", depths=(2, 3), scale=0.1, repeats=1, epochs=6
+        )
+        assert result.data["apl"] > 0
+        assert all(len(v) == 2 for v in result.data["series"].values())
+
+
+class TestFig6:
+    def test_micro_run(self):
+        result = fig6_mi_training.run(
+            scale=0.1, num_layers=4, epochs=10, trace_every=5
+        )
+        traces = result.data["traces"]
+        assert "lasagne(weighted)" in traces
+        assert all(len(t) == 2 for t in traces.values())
+
+    def test_without_lasagne(self):
+        result = fig6_mi_training.run(
+            scale=0.1, num_layers=3, epochs=5, trace_every=5,
+            include_lasagne=False,
+        )
+        assert "lasagne(weighted)" not in result.data["traces"]
+
+
+class TestFig7:
+    def test_micro_run(self):
+        result = fig7_efficiency.run(
+            datasets=("cora",), depth=3, depth_sweep=(2, 3),
+            scale=0.1, timing_epochs=2,
+        )
+        ratios = result.data["ratios"]["cora"]
+        assert ratios["gat/gcn"] > 0
+        assert ratios["lasagne/gcn"] > 0
+        assert len(result.data["panel_b_seconds"]["gcn"]) == 2
+
+
+class TestLocality:
+    def test_micro_run(self):
+        result = locality_analysis.run(scale=0.15, num_layers=4, epochs=15)
+        probs = result.data["probabilities"]
+        assert probs.shape[1] == 3
+        assert np.isfinite(result.data["spearman"])
+
+    def test_center_of_mass(self):
+        probs = np.array([[1.0, 0.0], [0.0, 1.0], [0.5, 0.5]])
+        com = locality_analysis.layer_center_of_mass(probs)
+        np.testing.assert_allclose(com, [1.0, 2.0, 1.5])

@@ -1,0 +1,72 @@
+"""Tests for the mixed discrete–continuous MI estimator and the
+information-plane experiment."""
+
+import numpy as np
+import pytest
+
+from repro.info import label_mi
+
+
+RNG = np.random.default_rng(0)
+
+
+class TestLabelMI:
+    def test_independent_near_zero(self):
+        h = RNG.standard_normal((800, 4))
+        y = RNG.integers(0, 3, size=800)
+        assert label_mi(h, y) < 0.1
+
+    def test_separable_clusters_high(self):
+        y = np.repeat([0, 1, 2], 200)
+        centers = np.array([[0, 0], [6, 0], [0, 6]], dtype=float)
+        h = centers[y] + 0.3 * RNG.standard_normal((600, 2))
+        estimate = label_mi(h, y)
+        # Perfectly separable 3-way clusters carry ~log(3) ≈ 1.10 nats.
+        assert estimate > 0.8
+
+    def test_monotone_in_separation(self):
+        y = np.repeat([0, 1], 300)
+        estimates = []
+        for gap in (0.5, 2.0, 6.0):
+            h = (y * gap).reshape(-1, 1) + RNG.standard_normal((600, 1))
+            estimates.append(label_mi(h, y))
+        assert estimates[0] < estimates[1] < estimates[2]
+
+    def test_bounded_by_label_entropy(self):
+        y = np.repeat([0, 1], 400)
+        h = (y * 10.0).reshape(-1, 1) + 0.01 * RNG.standard_normal((800, 1))
+        assert label_mi(h, y) <= np.log(2) + 0.15
+
+    def test_subsampling_path(self):
+        y = np.repeat([0, 1], 2000)
+        h = (y * 5.0).reshape(-1, 1) + RNG.standard_normal((4000, 1))
+        assert label_mi(h, y, max_samples=400) > 0.3
+
+    def test_tiny_class_does_not_crash(self):
+        y = np.array([0] * 50 + [1] * 2)
+        h = RNG.standard_normal((52, 3))
+        value = label_mi(h, y)
+        assert np.isfinite(value) and value >= 0.0
+
+    def test_rejects_mismatch(self):
+        with pytest.raises(ValueError):
+            label_mi(np.zeros((5, 2)), np.zeros(6, dtype=int))
+
+    def test_non_negative(self):
+        h = RNG.standard_normal((100, 3))
+        y = RNG.integers(0, 4, size=100)
+        assert label_mi(h, y) >= 0.0
+
+
+class TestInfoPlaneExperiment:
+    def test_micro_run(self):
+        from repro.experiments.info_plane import run
+
+        result = run(scale=0.1, num_layers=3, epochs=10, trace_every=5)
+        assert set(result.data["input_mi"]) == {
+            "gcn", "jknet", "lasagne(weighted)"
+        }
+        for name, xs in result.data["input_mi"].items():
+            assert len(xs) == 2
+            assert len(result.data["label_mi"][name]) == 2
+        assert all(v >= 0 for vs in result.data["label_mi"].values() for v in vs)

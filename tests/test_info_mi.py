@@ -1,0 +1,175 @@
+"""Tests for the mutual-information estimators."""
+
+import numpy as np
+import pytest
+
+from repro.info import (
+    gaussian_mi,
+    histogram_mi,
+    ksg_mi,
+    layer_mi_profile,
+    pca_reduce,
+    representation_mi,
+)
+
+RNG = np.random.default_rng(0)
+
+
+def correlated_gaussians(n, rho, rng):
+    x = rng.standard_normal(n)
+    y = rho * x + np.sqrt(1 - rho ** 2) * rng.standard_normal(n)
+    return x, y
+
+
+class TestPCAReduce:
+    def test_shape(self):
+        out = pca_reduce(RNG.normal(size=(50, 20)), 4)
+        assert out.shape == (50, 4)
+
+    def test_pads_when_rank_deficient(self):
+        out = pca_reduce(RNG.normal(size=(50, 2)), 5)
+        assert out.shape == (50, 5)
+        np.testing.assert_allclose(out[:, 2:], 0.0)
+
+    def test_zero_matrix(self):
+        out = pca_reduce(np.zeros((10, 4)), 3)
+        np.testing.assert_allclose(out, 0.0)
+
+    def test_captures_dominant_direction(self):
+        # Data on a line: first component carries all the variance.
+        t = RNG.normal(size=100)
+        data = np.outer(t, [3.0, 4.0])
+        out = pca_reduce(data, 2)
+        assert out[:, 0].std() > 100 * max(out[:, 1].std(), 1e-12)
+
+
+class TestKSG:
+    def test_independent_near_zero(self):
+        x = RNG.standard_normal((800, 1))
+        y = RNG.standard_normal((800, 1))
+        assert ksg_mi(x, y, k=3) < 0.1
+
+    @pytest.mark.parametrize("rho", [0.5, 0.9])
+    def test_matches_gaussian_closed_form(self, rho):
+        rng = np.random.default_rng(1)
+        x, y = correlated_gaussians(1200, rho, rng)
+        estimate = ksg_mi(x, y, k=3)
+        assert estimate == pytest.approx(gaussian_mi(rho), abs=0.12)
+
+    def test_monotone_in_correlation(self):
+        rng = np.random.default_rng(2)
+        estimates = []
+        for rho in (0.2, 0.6, 0.95):
+            x, y = correlated_gaussians(800, rho, rng)
+            estimates.append(ksg_mi(x, y, k=3))
+        assert estimates[0] < estimates[1] < estimates[2]
+
+    def test_deterministic_function_high_mi(self):
+        x = RNG.standard_normal(600)
+        assert ksg_mi(x, x ** 3) > 1.5
+
+    def test_multidimensional(self):
+        rng = np.random.default_rng(3)
+        x = rng.standard_normal((700, 3))
+        y = x @ rng.standard_normal((3, 2)) + 0.1 * rng.standard_normal((700, 2))
+        assert ksg_mi(x, y) > 1.0
+
+    def test_rejects_mismatched_samples(self):
+        with pytest.raises(ValueError):
+            ksg_mi(np.zeros((10, 1)), np.zeros((11, 1)))
+
+    def test_rejects_large_k(self):
+        with pytest.raises(ValueError):
+            ksg_mi(np.zeros((5, 1)), np.zeros((5, 1)), k=5)
+
+    def test_non_negative(self):
+        x = RNG.standard_normal((100, 2))
+        y = RNG.standard_normal((100, 2))
+        assert ksg_mi(x, y) >= 0.0
+
+
+class TestHistogramMI:
+    def test_independent_near_zero(self):
+        x = RNG.standard_normal(5000)
+        y = RNG.standard_normal(5000)
+        assert histogram_mi(x, y) < 0.05
+
+    def test_identity_high(self):
+        x = RNG.standard_normal(5000)
+        assert histogram_mi(x, x) > 1.5
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(ValueError):
+            histogram_mi(np.zeros(5), np.zeros(6))
+
+
+class TestGaussianMI:
+    def test_zero_correlation(self):
+        assert gaussian_mi(0.0) == 0.0
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            gaussian_mi(1.0)
+
+
+class TestRepresentationMI:
+    def test_identity_layers_have_high_mi(self):
+        x = RNG.normal(size=(400, 30))
+        assert representation_mi(x, x.copy()) > 1.0
+
+    def test_random_layers_have_low_mi(self):
+        x = RNG.normal(size=(400, 30))
+        h = RNG.normal(size=(400, 16))
+        assert representation_mi(x, h) < 0.3
+
+    def _low_rank_data(self, n, d, rank, rng):
+        # Anisotropic data (low-rank + noise) — the regime real features
+        # live in, where PCA directions are meaningful.
+        latent = rng.normal(size=(n, rank))
+        basis = rng.normal(size=(rank, d))
+        return latent @ basis + 0.05 * rng.normal(size=(n, d))
+
+    def test_linear_transform_preserves_mi(self):
+        rng = np.random.default_rng(8)
+        x = self._low_rank_data(400, 30, 3, rng)
+        h = x @ rng.normal(size=(30, 8))
+        assert representation_mi(x, h) > 0.8
+
+    def test_subsampling_path(self):
+        rng = np.random.default_rng(9)
+        x = self._low_rank_data(2000, 10, 3, rng)
+        h = x @ rng.normal(size=(10, 4))
+        value = representation_mi(x, h, max_samples=300)
+        assert value > 0.5
+
+    def test_rejects_row_mismatch(self):
+        with pytest.raises(ValueError):
+            representation_mi(np.zeros((10, 3)), np.zeros((11, 3)))
+
+    def test_profile_over_layers(self):
+        x = RNG.normal(size=(300, 20))
+        noisy = x @ RNG.normal(size=(20, 8)) + 3.0 * RNG.normal(size=(300, 8))
+        pure_noise = RNG.normal(size=(300, 8))
+        profile = layer_mi_profile(x, [x.copy(), noisy, pure_noise])
+        assert len(profile) == 3
+        # Information decreases along this synthetic "depth".
+        assert profile[0] > profile[1] > profile[2] - 0.05
+
+
+class TestOverSmoothingSignature:
+    def test_repeated_propagation_loses_information(self):
+        """Repeatedly applying Â must shrink MI(X; H) — the Fig. 2 premise."""
+        from repro.datasets import generate_dcsbm_graph, generate_features
+        from repro.graphs import gcn_norm
+
+        rng = np.random.default_rng(4)
+        adj, labels = generate_dcsbm_graph(500, 3, 2500, homophily=0.85, rng=rng)
+        x = generate_features(labels, 60, signal=0.8, rng=rng)
+        op = gcn_norm(adj).csr
+        h = x.copy()
+        mi_values = []
+        for step in range(12):
+            h = op @ h
+            if step in (0, 11):
+                mi_values.append(representation_mi(x, h))
+        assert mi_values[-1] < mi_values[0]

@@ -1,0 +1,137 @@
+"""Tests for classification metrics and extended graph statistics."""
+
+import numpy as np
+import networkx as nx
+import pytest
+import scipy.sparse as sp
+
+from repro.graphs.metrics import (
+    clustering_coefficient,
+    degree_assortativity,
+    k_core_numbers,
+)
+from repro.tensor import functional as F
+
+
+class TestConfusionMatrix:
+    def test_perfect_predictions_diagonal(self):
+        logits = np.eye(3)[np.array([0, 1, 2, 0])]
+        targets = np.array([0, 1, 2, 0])
+        matrix = F.confusion_matrix(logits, targets)
+        np.testing.assert_array_equal(matrix, np.diag([2, 1, 1]))
+
+    def test_off_diagonal_errors(self):
+        logits = np.array([[0.1, 0.9], [0.1, 0.9]])
+        targets = np.array([0, 1])
+        matrix = F.confusion_matrix(logits, targets)
+        np.testing.assert_array_equal(matrix, [[0, 1], [0, 1]])
+
+    def test_explicit_num_classes(self):
+        matrix = F.confusion_matrix(
+            np.array([[1.0, 0.0]]), np.array([0]), num_classes=4
+        )
+        assert matrix.shape == (4, 4)
+
+    def test_counts_sum_to_samples(self):
+        rng = np.random.default_rng(0)
+        logits = rng.normal(size=(50, 5))
+        targets = rng.integers(0, 5, size=50)
+        assert F.confusion_matrix(logits, targets).sum() == 50
+
+
+class TestMacroF1:
+    def test_perfect_is_one(self):
+        logits = np.eye(3)[np.array([0, 1, 2])]
+        assert F.macro_f1(logits, np.array([0, 1, 2])) == 1.0
+
+    def test_all_wrong_is_zero(self):
+        logits = np.array([[0.0, 1.0], [1.0, 0.0]])
+        assert F.macro_f1(logits, np.array([0, 1])) == 0.0
+
+    def test_imbalanced_macro_below_micro(self):
+        # 9 correct on class 0, class 1 fully missed: micro 0.9, macro low.
+        logits = np.eye(2)[np.zeros(10, dtype=int)]
+        targets = np.array([0] * 9 + [1])
+        micro = F.accuracy(logits, targets)
+        macro = F.macro_f1(logits, targets)
+        assert micro == pytest.approx(0.9)
+        assert macro < micro
+
+    def test_empty_edge_case(self):
+        assert F.macro_f1(np.zeros((0, 2)), np.zeros(0, dtype=int)) == 0.0
+
+    def test_classification_report_renders(self):
+        rng = np.random.default_rng(1)
+        logits = rng.normal(size=(30, 3))
+        targets = rng.integers(0, 3, size=30)
+        report = F.classification_report(logits, targets)
+        assert "precision" in report
+        assert report.count("\n") >= 4
+
+
+def from_nx(g):
+    # to_scipy_sparse_array returns the new csr_array type; the library
+    # API is defined on classic spmatrix, so convert.
+    return sp.csr_matrix(nx.to_scipy_sparse_array(g, format="csr"))
+
+
+class TestClusteringCoefficient:
+    def test_triangle_is_one(self):
+        assert clustering_coefficient(from_nx(nx.complete_graph(3))) == pytest.approx(1.0)
+
+    def test_star_is_zero(self):
+        assert clustering_coefficient(from_nx(nx.star_graph(5))) == 0.0
+
+    def test_matches_networkx_transitivity(self):
+        g = nx.gnm_random_graph(40, 120, seed=3)
+        expected = nx.transitivity(g)
+        assert clustering_coefficient(from_nx(g)) == pytest.approx(expected, rel=1e-9)
+
+    def test_empty_graph(self):
+        assert clustering_coefficient(sp.csr_matrix((4, 4))) == 0.0
+
+
+class TestAssortativity:
+    def test_matches_networkx(self):
+        g = nx.barabasi_albert_graph(60, 3, seed=5)
+        expected = nx.degree_assortativity_coefficient(g)
+        assert degree_assortativity(from_nx(g)) == pytest.approx(expected, abs=1e-9)
+
+    def test_regular_graph_degenerate(self):
+        # All degrees equal → zero variance → defined as 0 here.
+        assert degree_assortativity(from_nx(nx.cycle_graph(10))) == 0.0
+
+    def test_empty(self):
+        assert degree_assortativity(sp.csr_matrix((3, 3))) == 0.0
+
+
+class TestKCore:
+    def test_matches_networkx(self):
+        g = nx.gnm_random_graph(50, 150, seed=7)
+        expected = nx.core_number(g)
+        ours = k_core_numbers(from_nx(g))
+        for node, core in expected.items():
+            assert ours[node] == core
+
+    def test_clique_core(self):
+        ours = k_core_numbers(from_nx(nx.complete_graph(5)))
+        np.testing.assert_array_equal(ours, np.full(5, 4))
+
+    def test_star_core(self):
+        ours = k_core_numbers(from_nx(nx.star_graph(6)))
+        np.testing.assert_array_equal(ours, np.ones(7))
+
+    def test_isolated_nodes_zero(self):
+        ours = k_core_numbers(sp.csr_matrix((4, 4)))
+        np.testing.assert_array_equal(ours, np.zeros(4))
+
+    def test_hub_nodes_have_higher_core_on_sbm(self):
+        from repro.datasets import generate_dcsbm_graph
+
+        adj, _ = generate_dcsbm_graph(
+            300, 3, 2000, rng=np.random.default_rng(0)
+        )
+        cores = k_core_numbers(adj)
+        degrees = np.asarray(adj.getnnz(axis=1)).ravel()
+        hubs = degrees >= np.percentile(degrees, 90)
+        assert cores[hubs].mean() > cores[~hubs].mean()

@@ -1,0 +1,154 @@
+"""Tests for BatchNorm and the over-smoothing diagnostics
+(k-hop neighborhood expansion, MAD / MADGap)."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro import nn
+from repro.datasets import generate_dcsbm_graph
+from repro.graphs import gcn_norm
+from repro.graphs.metrics import (
+    khop_neighborhood_sizes,
+    mean_average_distance,
+    pagerank,
+)
+from repro.tensor import Tensor
+from repro.tensor.tensor import parameter
+
+RNG = np.random.default_rng(5)
+
+
+class TestBatchNorm:
+    def test_train_output_standardized(self):
+        bn = nn.BatchNorm(6)
+        x = Tensor(RNG.normal(loc=3.0, scale=2.0, size=(200, 6)))
+        out = bn(x)
+        np.testing.assert_allclose(out.data.mean(axis=0), 0.0, atol=1e-10)
+        np.testing.assert_allclose(out.data.std(axis=0), 1.0, atol=1e-3)
+
+    def test_running_stats_track_batch(self):
+        bn = nn.BatchNorm(3, momentum=1.0)  # copy batch stats directly
+        x = Tensor(RNG.normal(loc=5.0, size=(500, 3)))
+        bn(x)
+        np.testing.assert_allclose(bn.running_mean, x.data.mean(axis=0), rtol=1e-9)
+
+    def test_eval_uses_running_stats(self):
+        bn = nn.BatchNorm(3, momentum=1.0)
+        train_batch = Tensor(RNG.normal(loc=2.0, size=(300, 3)))
+        bn(train_batch)
+        bn.eval()
+        # Same distribution at eval: output approx standardized.
+        out = bn(Tensor(RNG.normal(loc=2.0, size=(300, 3))))
+        assert abs(out.data.mean()) < 0.2
+
+    def test_gamma_beta_learnable(self):
+        bn = nn.BatchNorm(4)
+        x = parameter(RNG.normal(size=(20, 4)))
+        bn(x).sum().backward()
+        assert bn.gamma.grad is not None
+        assert bn.beta.grad is not None
+
+    def test_bad_momentum(self):
+        with pytest.raises(ValueError):
+            nn.BatchNorm(3, momentum=0.0)
+
+
+def ring(n):
+    rows = np.arange(n)
+    cols = (rows + 1) % n
+    adj = sp.coo_matrix((np.ones(n), (rows, cols)), shape=(n, n))
+    return (adj + adj.T).tocsr()
+
+
+class TestKhopNeighborhoods:
+    def test_zero_hops_is_self(self):
+        np.testing.assert_array_equal(
+            khop_neighborhood_sizes(ring(8), 0), np.ones(8)
+        )
+
+    def test_ring_growth(self):
+        sizes = khop_neighborhood_sizes(ring(12), 2)
+        np.testing.assert_array_equal(sizes, np.full(12, 5))  # self + 2 each side
+
+    def test_star_center_covers_everything_in_one_hop(self):
+        n = 10
+        rows = np.zeros(n - 1, dtype=int)
+        cols = np.arange(1, n)
+        star = sp.coo_matrix((np.ones(n - 1), (rows, cols)), shape=(n, n))
+        star = (star + star.T).tocsr()
+        sizes = khop_neighborhood_sizes(star, 1)
+        assert sizes[0] == n
+        assert (sizes[1:] == 2).all()
+
+    def test_saturates_at_component_size(self):
+        sizes = khop_neighborhood_sizes(ring(6), 50)
+        np.testing.assert_array_equal(sizes, np.full(6, 6))
+
+    def test_negative_k_rejected(self):
+        with pytest.raises(ValueError):
+            khop_neighborhood_sizes(ring(4), -1)
+
+    def test_fig1_premise_hubs_expand_faster(self):
+        """Central nodes cover more of the graph in 2 hops (Fig. 1)."""
+        adj, _ = generate_dcsbm_graph(
+            400, 3, 2400, degree_exponent=2.0, rng=np.random.default_rng(0)
+        )
+        pr = pagerank(adj)
+        sizes = khop_neighborhood_sizes(adj, 2)
+        top = pr >= np.quantile(pr, 0.9)
+        bottom = pr <= np.quantile(pr, 0.1)
+        assert sizes[top].mean() > 2 * sizes[bottom].mean()
+
+
+class TestMAD:
+    def test_identical_rows_zero_distance(self):
+        h = np.tile(RNG.normal(size=(1, 4)), (6, 1))
+        assert mean_average_distance(h, adj=ring(6)) == pytest.approx(0.0, abs=1e-9)
+
+    def test_orthogonal_pairs_distance_one(self):
+        h = np.eye(4)
+        pairs = np.array([[0, 1], [2, 3]])
+        assert mean_average_distance(h, pairs=pairs) == pytest.approx(1.0)
+
+    def test_requires_some_input(self):
+        with pytest.raises(ValueError):
+            mean_average_distance(np.ones((3, 2)))
+
+    def test_pairs_shape_validated(self):
+        with pytest.raises(ValueError):
+            mean_average_distance(np.ones((3, 2)), pairs=np.ones((3, 3)))
+
+    def test_empty_adj(self):
+        assert mean_average_distance(np.ones((3, 2)), adj=sp.csr_matrix((3, 3))) == 0.0
+
+    def test_oversmoothing_shrinks_neighbor_mad(self):
+        """Repeated Â propagation must drive neighbor MAD toward zero —
+        the smoothness collapse MADReg fights."""
+        adj, labels = generate_dcsbm_graph(
+            300, 3, 1500, rng=np.random.default_rng(1)
+        )
+        rng = np.random.default_rng(2)
+        h = rng.normal(size=(300, 16))
+        op = gcn_norm(adj).csr
+        before = mean_average_distance(h, adj=adj)
+        for _ in range(10):
+            h = op @ h
+        after = mean_average_distance(h, adj=adj)
+        assert after < before * 0.5
+
+    def test_madgap_positive_on_clustered_embeddings(self):
+        # Embeddings equal to one-hot labels: neighbors (mostly same
+        # class) are close, random remote pairs often differ.
+        adj, labels = generate_dcsbm_graph(
+            300, 3, 1800, homophily=0.9, rng=np.random.default_rng(3)
+        )
+        h = np.eye(3)[labels]
+        rng = np.random.default_rng(4)
+        remote = np.stack([
+            rng.integers(0, 300, size=500), rng.integers(0, 300, size=500)
+        ])
+        madgap = mean_average_distance(h, pairs=remote) - mean_average_distance(
+            h, adj=adj
+        )
+        assert madgap > 0.1

@@ -1,0 +1,148 @@
+"""Tests for the mini-batch GraphSAGE protocol (sampler, model, trainer)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import generate_dcsbm_graph, generate_features
+from repro.datasets.splits import per_class_split
+from repro.graphs import Graph
+from repro.training.minibatch import (
+    MiniBatchSAGE,
+    MiniBatchTrainer,
+    NeighborSampler,
+)
+
+
+@pytest.fixture(scope="module")
+def graph():
+    rng = np.random.default_rng(81)
+    adj, labels = generate_dcsbm_graph(200, 3, 900, homophily=0.9, rng=rng)
+    features = generate_features(labels, 32, signal=0.9, rng=rng)
+    train, val, test = per_class_split(labels, 15, 50, 90, rng=rng)
+    return Graph(
+        adj=adj, features=features, labels=labels,
+        train_mask=train, val_mask=val, test_mask=test,
+    )
+
+
+class TestNeighborSampler:
+    def test_block_count_matches_fanouts(self, graph):
+        sampler = NeighborSampler(graph, [5, 5], rng=np.random.default_rng(0))
+        blocks = sampler.sample(np.array([0, 1, 2]))
+        assert len(blocks) == 2
+
+    def test_innermost_dst_are_seeds(self, graph):
+        sampler = NeighborSampler(graph, [5, 5], rng=np.random.default_rng(0))
+        seeds = np.array([3, 7, 11])
+        blocks = sampler.sample(seeds)
+        np.testing.assert_array_equal(blocks[-1].dst_nodes, seeds)
+
+    def test_dst_prefix_of_src(self, graph):
+        sampler = NeighborSampler(graph, [4], rng=np.random.default_rng(0))
+        blocks = sampler.sample(np.array([0, 5]))
+        block = blocks[0]
+        np.testing.assert_array_equal(
+            block.src_nodes[: block.num_dst], block.dst_nodes
+        )
+
+    def test_edges_are_real_graph_edges(self, graph):
+        sampler = NeighborSampler(graph, [6], rng=np.random.default_rng(0))
+        seeds = np.arange(10)
+        block = sampler.sample(seeds)[0]
+        for src_local, dst_local in zip(block.edge_src_local, block.edge_dst_local):
+            u = block.src_nodes[src_local]
+            v = block.dst_nodes[dst_local]
+            assert graph.adj[v, u] == 1.0
+
+    def test_fanout_respected(self, graph):
+        fanout = 3
+        sampler = NeighborSampler(graph, [fanout], rng=np.random.default_rng(0))
+        block = sampler.sample(np.arange(20))[0]
+        counts = np.bincount(block.edge_dst_local, minlength=block.num_dst)
+        assert counts.max() <= fanout
+
+    def test_chained_layers_expand_frontier(self, graph):
+        sampler = NeighborSampler(graph, [4, 4], rng=np.random.default_rng(0))
+        blocks = sampler.sample(np.array([0]))
+        assert blocks[0].num_src >= blocks[1].num_src >= 1
+
+    def test_invalid_fanouts(self, graph):
+        with pytest.raises(ValueError):
+            NeighborSampler(graph, [])
+        with pytest.raises(ValueError):
+            NeighborSampler(graph, [0])
+
+
+class TestMiniBatchSAGE:
+    def test_forward_blocks_shape(self, graph):
+        model = MiniBatchSAGE(graph.num_features, 16, graph.num_classes, seed=0)
+        sampler = NeighborSampler(graph, [5, 5], rng=np.random.default_rng(0))
+        seeds = np.arange(8)
+        logits = model.forward_blocks(sampler.sample(seeds), graph.features)
+        assert logits.shape == (8, graph.num_classes)
+
+    def test_block_count_validated(self, graph):
+        model = MiniBatchSAGE(graph.num_features, 16, graph.num_classes, seed=0)
+        sampler = NeighborSampler(graph, [5], rng=np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            model.forward_blocks(sampler.sample(np.arange(4)), graph.features)
+
+    def test_gradients_flow(self, graph):
+        model = MiniBatchSAGE(graph.num_features, 16, graph.num_classes, seed=0)
+        sampler = NeighborSampler(graph, [5, 5], rng=np.random.default_rng(0))
+        logits = model.forward_blocks(sampler.sample(np.arange(6)), graph.features)
+        logits.sum().backward()
+        assert all(p.grad is not None for p in model.parameters())
+
+    def test_full_inference_shape(self, graph):
+        model = MiniBatchSAGE(graph.num_features, 16, graph.num_classes, seed=0)
+        out = model.full_inference(graph)
+        assert out.shape == (graph.num_nodes, graph.num_classes)
+
+    def test_large_fanout_matches_full_inference(self, graph):
+        """With fanout ≥ max degree and dropout off, the sampled forward
+        must equal exact-neighborhood inference on the seed nodes."""
+        model = MiniBatchSAGE(
+            graph.num_features, 16, graph.num_classes, dropout=0.0, seed=0
+        )
+        model.eval()
+        max_degree = int(graph.degrees().max())
+        sampler = NeighborSampler(
+            graph, [max_degree + 1, max_degree + 1], rng=np.random.default_rng(0)
+        )
+        seeds = np.arange(12)
+        sampled = model.forward_blocks(sampler.sample(seeds), graph.features)
+        exact = model.full_inference(graph)[seeds]
+        np.testing.assert_allclose(sampled.data, exact, rtol=1e-8, atol=1e-10)
+
+
+class TestMiniBatchTrainer:
+    def test_trains_above_chance(self, graph):
+        model = MiniBatchSAGE(
+            graph.num_features, 16, graph.num_classes, dropout=0.1, seed=0
+        )
+        trainer = MiniBatchTrainer(
+            fanouts=(5, 5), batch_size=32, lr=0.02, epochs=15, patience=15, seed=0
+        )
+        result = trainer.fit(model, graph)
+        assert result.test_acc > 0.6
+        assert result.epochs_run <= 15
+        assert len(result.batch_losses) > 0
+
+    def test_fanout_layer_mismatch(self, graph):
+        model = MiniBatchSAGE(graph.num_features, 16, graph.num_classes, seed=0)
+        trainer = MiniBatchTrainer(fanouts=(5,), epochs=2)
+        with pytest.raises(ValueError):
+            trainer.fit(model, graph)
+
+    def test_batch_size_validated(self):
+        with pytest.raises(ValueError):
+            MiniBatchTrainer(batch_size=0)
+
+    def test_early_stopping(self, graph):
+        model = MiniBatchSAGE(graph.num_features, 16, graph.num_classes, seed=0)
+        trainer = MiniBatchTrainer(
+            fanouts=(5, 5), batch_size=64, epochs=50, patience=2, seed=0
+        )
+        result = trainer.fit(model, graph)
+        assert result.epochs_run < 50

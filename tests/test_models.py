@@ -1,0 +1,280 @@
+"""Tests for the baseline model zoo.
+
+A small, easy synthetic graph (high homophily, strong features) is shared
+across tests; every registered model must run forward/backward, expose
+hidden representations, and learn to beat chance on it.
+"""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.datasets import generate_dcsbm_graph, generate_features
+from repro.datasets.splits import per_class_split
+from repro.graphs import Graph
+from repro.models import (
+    GCN,
+    MODELS,
+    DenseGCN,
+    DropEdgeGCN,
+    JKNet,
+    MADRegGCN,
+    ResGCN,
+    build_model,
+    model_names,
+)
+from repro.tensor import functional as F
+
+
+@pytest.fixture(scope="module")
+def easy_graph():
+    rng = np.random.default_rng(7)
+    adj, labels = generate_dcsbm_graph(
+        240, 3, 900, homophily=0.9, rng=rng
+    )
+    features = generate_features(labels, 48, signal=0.9, rng=rng)
+    train, val, test = per_class_split(labels, 10, 60, 120, rng=rng)
+    return Graph(
+        adj=adj,
+        features=features,
+        labels=labels,
+        train_mask=train,
+        val_mask=val,
+        test_mask=test,
+        name="easy",
+    )
+
+
+def train_model(model, graph, epochs=40, lr=0.02, seed=0):
+    model.setup(graph)
+    rng = np.random.default_rng(seed)
+    opt = nn.Adam(model.parameters(), lr=lr, weight_decay=5e-4)
+    for _ in range(epochs):
+        model.train()
+        model.begin_epoch(rng)
+        logits, index = model.training_batch()
+        mask = graph.train_mask[index]
+        loss = F.cross_entropy(
+            logits[np.flatnonzero(mask)], graph.labels[index][mask]
+        )
+        aux = model.auxiliary_loss()
+        if aux is not None:
+            loss = loss + aux
+        opt.zero_grad()
+        loss.backward()
+        opt.step()
+    preds = model.predict()
+    return F.accuracy(preds[graph.test_mask], graph.labels[graph.test_mask])
+
+
+class TestRegistry:
+    def test_model_registry_complete(self):
+        assert len(model_names()) == 27
+        assert {
+            "dgi", "dgcn", "lgcn", "stgcn", "krylovgcn", "gpnn", "gmi",
+            "adsf", "mlp", "labelprop",
+        } <= set(model_names())
+
+    def test_build_unknown_raises(self):
+        with pytest.raises(KeyError):
+            build_model("transformer", 8, 2)
+
+    def test_build_case_insensitive(self):
+        assert isinstance(build_model("GCN", 8, 2), GCN)
+
+
+@pytest.mark.parametrize("name", model_names())
+class TestEveryModel:
+    def test_forward_shape(self, name, easy_graph):
+        model = build_model(
+            name, easy_graph.num_features, easy_graph.num_classes,
+            hidden=16, num_layers=3, seed=0,
+        )
+        model.setup(easy_graph)
+        logits, index = model.training_batch()
+        assert logits.shape == (len(index), easy_graph.num_classes)
+
+    def test_all_params_receive_grads(self, name, easy_graph):
+        model = build_model(
+            name, easy_graph.num_features, easy_graph.num_classes,
+            hidden=16, num_layers=3, seed=0,
+        )
+        model.setup(easy_graph)
+        model.train()
+        model.begin_epoch(np.random.default_rng(0))
+        logits, index = model.training_batch()
+        mask = easy_graph.train_mask[index]
+        loss = F.cross_entropy(
+            logits[np.flatnonzero(mask)], easy_graph.labels[index][mask]
+        )
+        aux = model.auxiliary_loss()
+        if aux is not None:
+            loss = loss + aux
+        loss.backward()
+        missing = [
+            pname
+            for pname, p in model.named_parameters()
+            if p.grad is None or not np.isfinite(p.grad).all()
+        ]
+        assert not missing, f"params without finite grads: {missing}"
+
+    def test_learns_above_chance(self, name, easy_graph):
+        model = build_model(
+            name, easy_graph.num_features, easy_graph.num_classes,
+            hidden=16, num_layers=2, dropout=0.2, seed=0,
+        )
+        accuracy = train_model(model, easy_graph, epochs=40)
+        assert accuracy > 0.5, f"{name} test accuracy {accuracy:.3f} ≤ chance"
+
+    def test_hidden_representations_available(self, name, easy_graph):
+        model = build_model(
+            name, easy_graph.num_features, easy_graph.num_classes,
+            hidden=16, num_layers=3, seed=0,
+        )
+        model.setup(easy_graph)
+        hidden = model.hidden_representations()
+        assert len(hidden) >= 1
+        assert all(h.shape[0] == easy_graph.num_nodes for h in hidden)
+
+    def test_predict_is_deterministic_in_eval(self, name, easy_graph):
+        model = build_model(
+            name, easy_graph.num_features, easy_graph.num_classes,
+            hidden=16, num_layers=2, seed=0,
+        )
+        model.setup(easy_graph)
+        np.testing.assert_array_equal(model.predict(), model.predict())
+
+
+class TestArchitectureSpecifics:
+    def test_gcn_rejects_zero_layers(self):
+        with pytest.raises(ValueError):
+            GCN(8, 16, 2, num_layers=0)
+
+    def test_gcn_depth_parameter(self, easy_graph):
+        model = GCN(easy_graph.num_features, 16, 3, num_layers=5, seed=0)
+        model.setup(easy_graph)
+        assert len(model.hidden_representations()) == 5
+
+    def test_resgcn_residual_active(self, easy_graph):
+        # With 3+ layers, the middle hidden layers have matching dims, so
+        # residual paths exist; check the model is not identical to GCN.
+        res = ResGCN(easy_graph.num_features, 16, 3, num_layers=4, seed=0)
+        plain = GCN(easy_graph.num_features, 16, 3, num_layers=4, seed=0)
+        res.setup(easy_graph)
+        plain.setup(easy_graph)
+        res.eval()
+        plain.eval()
+        assert not np.allclose(res.predict(), plain.predict())
+
+    def test_densegcn_growing_width(self):
+        model = DenseGCN(10, 8, 3, num_layers=4, seed=0)
+        widths = [conv.in_features for conv in model.convs]
+        assert widths == [10, 18, 26]
+        assert model.classifier.in_features == 34
+
+    def test_jknet_classifier_consumes_all_layers(self):
+        model = JKNet(10, 8, 3, num_layers=5, seed=0)
+        assert model.classifier.in_features == 8 * 5
+
+    def test_dropedge_resamples_operator(self, easy_graph):
+        model = DropEdgeGCN(
+            easy_graph.num_features, 16, 3, num_layers=2, drop_rate=0.5, seed=0
+        )
+        model.setup(easy_graph)
+        model.begin_epoch(np.random.default_rng(0))
+        first = model._train_adj.csr.copy()
+        model.begin_epoch(np.random.default_rng(1))
+        second = model._train_adj.csr
+        assert (first != second).nnz > 0
+
+    def test_dropedge_invalid_rate(self):
+        with pytest.raises(ValueError):
+            DropEdgeGCN(8, 16, 2, drop_rate=1.0)
+
+    def test_madreg_auxiliary_loss_exists(self, easy_graph):
+        model = MADRegGCN(easy_graph.num_features, 16, 3, num_layers=2, seed=0)
+        model.setup(easy_graph)
+        logits, _ = model.training_batch()
+        aux = model.auxiliary_loss()
+        assert aux is not None
+        assert np.isfinite(aux.item())
+
+    def test_clustergcn_trains_on_subset(self, easy_graph):
+        model = build_model(
+            "clustergcn", easy_graph.num_features, easy_graph.num_classes,
+            hidden=16, num_layers=2, seed=0, num_parts=4,
+        )
+        model.setup(easy_graph)
+        model.begin_epoch(np.random.default_rng(0))
+        logits, index = model.training_batch()
+        assert len(index) < easy_graph.num_nodes
+        assert logits.shape[0] == len(index)
+
+    def test_fastgcn_batch_includes_train_nodes(self, easy_graph):
+        model = build_model(
+            "fastgcn", easy_graph.num_features, easy_graph.num_classes,
+            hidden=16, num_layers=2, seed=0, sample_size=30,
+        )
+        model.setup(easy_graph)
+        model.begin_epoch(np.random.default_rng(0))
+        _, index = model.training_batch()
+        assert set(easy_graph.train_indices()) <= set(index)
+
+    def test_graphsaint_budget_respected(self, easy_graph):
+        model = build_model(
+            "graphsaint", easy_graph.num_features, easy_graph.num_classes,
+            hidden=16, num_layers=2, seed=0, budget=50,
+        )
+        model.setup(easy_graph)
+        model.begin_epoch(np.random.default_rng(0))
+        _, index = model.training_batch()
+        # train nodes (30) + ≤50 sampled
+        assert len(index) <= 30 + 50
+
+    def test_sgc_caches_propagation_per_view(self, easy_graph):
+        model = build_model("sgc", easy_graph.num_features, easy_graph.num_classes)
+        model.setup(easy_graph)
+        first = model._propagated
+        model.attach(easy_graph)
+        assert model._propagated is first
+
+    def test_appnp_alpha_validation(self):
+        from repro.models import APPNP
+
+        with pytest.raises(ValueError):
+            APPNP(8, 16, 2, alpha=0.0)
+
+    def test_gat_operator_includes_self_loops(self, easy_graph):
+        model = build_model(
+            "gat", easy_graph.num_features, easy_graph.num_classes, seed=0
+        )
+        model.setup(easy_graph)
+        edges = model._norm_adj
+        self_loop_count = (edges[0] == edges[1]).sum()
+        assert self_loop_count == easy_graph.num_nodes
+
+    def test_inductive_attach_swaps_views(self, easy_graph):
+        model = GCN(easy_graph.num_features, 16, 3, num_layers=2, seed=0)
+        model.setup(easy_graph)
+        sub = easy_graph.training_subgraph()
+        model.attach(sub)
+        logits, index = model.training_batch()
+        assert len(index) == sub.num_nodes
+        model.attach(easy_graph)
+        assert model.predict().shape[0] == easy_graph.num_nodes
+
+
+class TestDepthBehaviour:
+    def test_deep_gcn_degrades_vs_shallow(self, easy_graph):
+        """The over-smoothing premise: 8-layer GCN ≤ 2-layer GCN."""
+        shallow = train_model(
+            GCN(easy_graph.num_features, 16, 3, num_layers=2, dropout=0.1, seed=0),
+            easy_graph,
+            epochs=60,
+        )
+        deep = train_model(
+            GCN(easy_graph.num_features, 16, 3, num_layers=8, dropout=0.1, seed=0),
+            easy_graph,
+            epochs=60,
+        )
+        assert shallow >= deep - 0.02

@@ -1,0 +1,122 @@
+"""Tests for ADSF: structural fingerprints, affinities, gated attention."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.datasets import generate_dcsbm_graph, generate_features
+from repro.datasets.splits import per_class_split
+from repro.graphs import Graph
+from repro.models import ADSF
+from repro.models.adsf import edge_structural_affinity, structural_fingerprints
+
+
+@pytest.fixture(scope="module")
+def graph():
+    rng = np.random.default_rng(71)
+    adj, labels = generate_dcsbm_graph(120, 3, 500, homophily=0.9, rng=rng)
+    features = generate_features(labels, 24, signal=0.9, rng=rng)
+    train, val, test = per_class_split(labels, 8, 30, 50, rng=rng)
+    return Graph(
+        adj=adj, features=features, labels=labels,
+        train_mask=train, val_mask=val, test_mask=test,
+    )
+
+
+def ring(n=10):
+    rows = np.arange(n)
+    cols = (rows + 1) % n
+    adj = sp.coo_matrix((np.ones(n), (rows, cols)), shape=(n, n))
+    return (adj + adj.T).tocsr()
+
+
+class TestFingerprints:
+    def test_rows_are_distributions(self):
+        f = structural_fingerprints(ring(10))
+        sums = np.asarray(f.sum(axis=1)).ravel()
+        # RWR mass is (approximately) conserved within the truncation.
+        assert (sums > 0.5).all() and (sums <= 1.0 + 1e-9).all()
+
+    def test_self_mass_dominates(self):
+        f = structural_fingerprints(ring(10), restart=0.5)
+        diag = f.diagonal()
+        dense = np.asarray(f.todense())
+        off = dense - np.diag(diag)
+        assert (diag >= off.max(axis=1)).all()
+
+    def test_restricted_to_khop(self):
+        f = structural_fingerprints(ring(12), hops=2)
+        dense = np.asarray(f.todense())
+        # Node 0's fingerprint lives on {10, 11, 0, 1, 2} only.
+        support = set(np.flatnonzero(dense[0]))
+        assert support <= {10, 11, 0, 1, 2}
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            structural_fingerprints(ring(), hops=0)
+        with pytest.raises(ValueError):
+            structural_fingerprints(ring(), restart=0.0)
+
+
+class TestAffinity:
+    def test_self_affinity_is_one(self):
+        f = structural_fingerprints(ring(8))
+        edges = np.stack([np.arange(8), np.arange(8)])
+        affinity = edge_structural_affinity(f, edges)
+        np.testing.assert_allclose(affinity, np.ones(8), rtol=1e-9)
+
+    def test_symmetric(self):
+        f = structural_fingerprints(ring(8))
+        forward = edge_structural_affinity(f, np.array([[0], [1]]))
+        backward = edge_structural_affinity(f, np.array([[1], [0]]))
+        assert forward[0] == pytest.approx(backward[0])
+
+    def test_in_unit_interval(self, graph):
+        f = structural_fingerprints(graph.adj)
+        edges = graph.edge_index()
+        affinity = edge_structural_affinity(f, edges)
+        assert (affinity >= 0).all() and (affinity <= 1.0 + 1e-9).all()
+
+    def test_adjacent_more_similar_than_distant(self):
+        n = 20
+        f = structural_fingerprints(ring(n), hops=2)
+        near = edge_structural_affinity(f, np.array([[0], [1]]))[0]
+        far = edge_structural_affinity(f, np.array([[0], [n // 2]]))[0]
+        assert near > far
+
+
+class TestADSFModel:
+    def test_forward_shape(self, graph):
+        model = ADSF(graph.num_features, 8, graph.num_classes, seed=0)
+        model.setup(graph)
+        logits, _ = model.training_batch()
+        assert logits.shape == (graph.num_nodes, graph.num_classes)
+
+    def test_gates_receive_gradients(self, graph):
+        model = ADSF(graph.num_features, 8, graph.num_classes, seed=0)
+        model.setup(graph)
+        logits, _ = model.training_batch()
+        logits.sum().backward()
+        assert model.convs[0].gate_feature.grad is not None
+        assert model.convs[0].gate_structure.grad is not None
+
+    def test_affinity_cached_per_view(self, graph):
+        model = ADSF(graph.num_features, 8, graph.num_classes, seed=0)
+        model.setup(graph)
+        first = model._structure_logits
+        model.attach(graph)
+        assert model._structure_logits is first
+
+    def test_learns(self, graph):
+        from repro.training import TrainConfig, Trainer
+
+        model = ADSF(graph.num_features, 8, graph.num_classes,
+                     dropout=0.2, seed=0)
+        result = Trainer(TrainConfig(epochs=40, patience=40, seed=0)).fit(
+            model, graph
+        )
+        assert result.test_acc > 0.5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ADSF(8, 16, 3, num_layers=0)

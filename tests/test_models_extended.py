@@ -1,0 +1,196 @@
+"""Tests for the random-walk substrate and the DGI / DGCN baselines."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.datasets import generate_dcsbm_graph, generate_features
+from repro.datasets.splits import per_class_split
+from repro.graphs import Graph
+from repro.graphs.sampling import ppmi_matrix, random_walks
+from repro.models import DGCN, DGIClassifier, build_model
+
+
+@pytest.fixture(scope="module")
+def graph():
+    rng = np.random.default_rng(41)
+    adj, labels = generate_dcsbm_graph(150, 3, 600, homophily=0.9, rng=rng)
+    features = generate_features(labels, 30, signal=0.9, rng=rng)
+    train, val, test = per_class_split(labels, 8, 40, 70, rng=rng)
+    return Graph(
+        adj=adj, features=features, labels=labels,
+        train_mask=train, val_mask=val, test_mask=test,
+    )
+
+
+def ring(n=12):
+    rows = np.arange(n)
+    cols = (rows + 1) % n
+    adj = sp.coo_matrix((np.ones(n), (rows, cols)), shape=(n, n))
+    return (adj + adj.T).tocsr()
+
+
+class TestRandomWalks:
+    def test_shape(self):
+        walks = random_walks(ring(10), 3, 5, rng=np.random.default_rng(0))
+        assert walks.shape == (30, 6)
+
+    def test_steps_follow_edges(self):
+        adj = ring(10)
+        walks = random_walks(adj, 2, 4, rng=np.random.default_rng(0))
+        for row in walks:
+            for a, b in zip(row[:-1], row[1:]):
+                assert adj[a, b] == 1.0 or a == b
+
+    def test_isolated_node_self_loops(self):
+        adj = sp.csr_matrix((3, 3))
+        walks = random_walks(adj, 1, 3, rng=np.random.default_rng(0))
+        for row in walks:
+            assert (row == row[0]).all()
+
+    def test_starts_cover_all_nodes(self):
+        walks = random_walks(ring(7), 2, 2, rng=np.random.default_rng(0))
+        assert set(walks[:, 0]) == set(range(7))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            random_walks(ring(), 0, 3)
+        with pytest.raises(ValueError):
+            random_walks(ring(), 1, 0)
+
+
+class TestPPMI:
+    def test_shape_and_symmetry(self):
+        ppmi = ppmi_matrix(ring(12), rng=np.random.default_rng(0))
+        assert ppmi.shape == (12, 12)
+        assert (abs(ppmi - ppmi.T) > 1e-9).nnz == 0
+
+    def test_nonnegative_entries(self):
+        ppmi = ppmi_matrix(ring(12), rng=np.random.default_rng(0))
+        assert (ppmi.data >= 0).all()
+
+    def test_no_diagonal(self):
+        ppmi = ppmi_matrix(ring(12), rng=np.random.default_rng(0))
+        assert ppmi.diagonal().sum() == 0
+
+    def test_community_structure_preserved(self):
+        # Two disconnected cliques: PPMI must have zero cross-block mass.
+        block = np.ones((5, 5)) - np.eye(5)
+        adj = sp.block_diag([block, block]).tocsr()
+        ppmi = ppmi_matrix(adj, rng=np.random.default_rng(0))
+        cross = ppmi[:5, 5:]
+        assert cross.nnz == 0
+
+    def test_community_mass_dominates(self, graph):
+        # The property DGCN relies on: random-walk PPMI concentrates its
+        # mass within label communities (global consistency signal).
+        ppmi = ppmi_matrix(
+            graph.adj, walks_per_node=5, walk_length=6, window=3,
+            rng=np.random.default_rng(0),
+        )
+        coo = ppmi.tocoo()
+        same = graph.labels[coo.row] == graph.labels[coo.col]
+        within = coo.data[same].sum()
+        between = coo.data[~same].sum()
+        assert within > 2 * between
+
+    def test_empty_graph(self):
+        ppmi = ppmi_matrix(sp.csr_matrix((4, 4)), rng=np.random.default_rng(0))
+        assert ppmi.nnz == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ppmi_matrix(ring(), window=0)
+
+
+class TestDGI:
+    def test_pretrain_loss_decreases(self, graph):
+        model = DGIClassifier(
+            graph.num_features, 16, graph.num_classes,
+            pretrain_epochs=60, seed=0,
+        )
+        model.graph = graph
+        model._norm_adj = model.build_operator(graph)
+        from repro.tensor import Tensor
+
+        model._features = Tensor(graph.features)
+        losses = model.pretrain(graph)
+        assert losses[-1] < losses[0]
+
+    def test_embeddings_frozen_for_probe(self, graph):
+        model = DGIClassifier(
+            graph.num_features, 16, graph.num_classes,
+            pretrain_epochs=10, seed=0,
+        )
+        model.setup(graph)
+        logits, _ = model.training_batch()
+        logits.sum().backward()
+        # Probe gets gradients; the encoder does not (it is frozen).
+        assert model.probe.weight.grad is not None
+
+    def test_pretrains_once_per_view(self, graph):
+        model = DGIClassifier(
+            graph.num_features, 16, graph.num_classes,
+            pretrain_epochs=5, seed=0,
+        )
+        model.setup(graph)
+        first = model.encoder.conv.weight.data.copy()
+        model.attach(graph)  # same view: no re-pretraining
+        np.testing.assert_array_equal(model.encoder.conv.weight.data, first)
+
+    def test_registry_build(self, graph):
+        model = build_model(
+            "dgi", graph.num_features, graph.num_classes,
+            hidden=16, seed=0, pretrain_epochs=5,
+        )
+        model.setup(graph)
+        assert model.predict().shape == (graph.num_nodes, graph.num_classes)
+
+
+class TestDGCN:
+    def test_forward_and_consistency(self, graph):
+        model = DGCN(graph.num_features, 16, graph.num_classes, seed=0)
+        model.setup(graph)
+        logits, _ = model.training_batch()
+        assert logits.shape == (graph.num_nodes, graph.num_classes)
+        aux = model.auxiliary_loss()
+        assert aux is not None and aux.item() >= 0.0
+
+    def test_ppmi_cached_per_view(self, graph):
+        model = DGCN(graph.num_features, 16, graph.num_classes, seed=0)
+        model.setup(graph)
+        first = model._ppmi_op
+        model.attach(graph)
+        assert model._ppmi_op is first
+
+    def test_consistency_weight_scales_aux(self, graph):
+        low = DGCN(graph.num_features, 16, graph.num_classes,
+                   consistency_weight=0.01, seed=0)
+        high = DGCN(graph.num_features, 16, graph.num_classes,
+                    consistency_weight=1.0, seed=0)
+        for model in (low, high):
+            model.setup(graph)
+            model.training_batch()
+        ratio = high.auxiliary_loss().item() / max(low.auxiliary_loss().item(), 1e-12)
+        assert ratio == pytest.approx(100.0, rel=1e-6)
+
+    def test_learns(self, graph):
+        from repro import nn
+        from repro.tensor import functional as F
+
+        model = DGCN(graph.num_features, 16, graph.num_classes,
+                     dropout=0.2, seed=0)
+        model.setup(graph)
+        opt = nn.Adam(model.parameters(), lr=0.02, weight_decay=5e-4)
+        for _ in range(40):
+            model.train()
+            logits, _ = model.training_batch()
+            mask = graph.train_mask
+            loss = F.cross_entropy(
+                logits[np.flatnonzero(mask)], graph.labels[mask]
+            ) + model.auxiliary_loss()
+            opt.zero_grad()
+            loss.backward()
+            opt.step()
+        acc = F.accuracy(model.predict()[graph.test_mask], graph.labels[graph.test_mask])
+        assert acc > 0.5

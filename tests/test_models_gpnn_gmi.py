@@ -1,0 +1,159 @@
+"""Tests specific to the GPNN and GMI baselines (plus LGCN/STGCN extras)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import generate_dcsbm_graph, generate_features
+from repro.datasets.splits import per_class_split
+from repro.graphs import Graph
+from repro.models import GMIClassifier, GPNN, LGCN, SnowballGCN, TruncatedKrylovGCN
+from repro.models.gpnn import split_intra_cut
+from repro.models.lgcn import top_k_neighbor_features
+from repro.graphs.partition import partition_graph
+from repro.tensor import Tensor
+
+
+@pytest.fixture(scope="module")
+def graph():
+    rng = np.random.default_rng(61)
+    adj, labels = generate_dcsbm_graph(140, 3, 600, homophily=0.9, rng=rng)
+    features = generate_features(labels, 30, signal=0.9, rng=rng)
+    train, val, test = per_class_split(labels, 8, 35, 60, rng=rng)
+    return Graph(
+        adj=adj, features=features, labels=labels,
+        train_mask=train, val_mask=val, test_mask=test,
+    )
+
+
+class TestGPNN:
+    def test_split_intra_cut_partitions_edges(self, graph):
+        parts = partition_graph(graph.adj, 3, rng=np.random.default_rng(0))
+        assignment = np.empty(graph.num_nodes, dtype=np.int64)
+        for pid, nodes in enumerate(parts):
+            assignment[nodes] = pid
+        intra, cut = split_intra_cut(graph.adj, assignment)
+        assert intra.nnz + cut.nnz == graph.adj.nnz
+        # Intra edges connect same-partition nodes only.
+        coo = intra.tocoo()
+        assert (assignment[coo.row] == assignment[coo.col]).all()
+        coo = cut.tocoo()
+        if coo.nnz:
+            assert (assignment[coo.row] != assignment[coo.col]).all()
+
+    def test_forward_shape(self, graph):
+        model = GPNN(graph.num_features, 16, graph.num_classes, seed=0)
+        model.setup(graph)
+        logits, idx = model.training_batch()
+        assert logits.shape == (graph.num_nodes, graph.num_classes)
+
+    def test_operators_cached(self, graph):
+        model = GPNN(graph.num_features, 16, graph.num_classes, seed=0)
+        model.setup(graph)
+        first = model._intra_op
+        model.attach(graph)
+        assert model._intra_op is first
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GPNN(8, 16, 3, num_parts=0)
+        with pytest.raises(ValueError):
+            GPNN(8, 16, 3, intra_steps=0)
+
+
+class TestGMI:
+    def test_pretrain_loss_decreases(self, graph):
+        model = GMIClassifier(
+            graph.num_features, 16, graph.num_classes,
+            pretrain_epochs=50, seed=0,
+        )
+        model.graph = graph
+        model._norm_adj = model.build_operator(graph)
+        model._features = Tensor(graph.features)
+        losses = model.pretrain(graph)
+        assert losses[-1] < losses[0]
+
+    def test_probe_receives_grads(self, graph):
+        model = GMIClassifier(
+            graph.num_features, 16, graph.num_classes,
+            pretrain_epochs=5, seed=0,
+        )
+        model.setup(graph)
+        logits, _ = model.training_batch()
+        logits.sum().backward()
+        assert model.probe.weight.grad is not None
+
+    def test_embeddings_separate_classes(self, graph):
+        """After pretraining, same-class embeddings should be more similar
+        than cross-class ones (the MI objective aligns neighborhoods)."""
+        model = GMIClassifier(
+            graph.num_features, 16, graph.num_classes,
+            pretrain_epochs=80, seed=0,
+        )
+        model.setup(graph)
+        h = model._embeddings.data
+        h = h / (np.linalg.norm(h, axis=1, keepdims=True) + 1e-12)
+        same_sims, diff_sims = [], []
+        rng = np.random.default_rng(0)
+        for _ in range(2000):
+            a, b = rng.integers(0, graph.num_nodes, size=2)
+            sim = float(h[a] @ h[b])
+            if graph.labels[a] == graph.labels[b]:
+                same_sims.append(sim)
+            else:
+                diff_sims.append(sim)
+        assert np.mean(same_sims) > np.mean(diff_sims)
+
+
+class TestLGCNInternals:
+    def test_top_k_selection_sorted_descending(self, graph):
+        out = top_k_neighbor_features(graph.features, graph.adj, k=3)
+        assert out.shape == (graph.num_nodes, 3, graph.num_features)
+        diffs = out[:, :-1] - out[:, 1:]
+        assert (diffs >= -1e-12).all()
+
+    def test_isolated_nodes_zero_padded(self):
+        import scipy.sparse as sp
+
+        features = np.ones((3, 2))
+        out = top_k_neighbor_features(features, sp.csr_matrix((3, 3)), k=2)
+        np.testing.assert_allclose(out, 0.0)
+
+    def test_k_validation(self, graph):
+        with pytest.raises(ValueError):
+            top_k_neighbor_features(graph.features, graph.adj, k=0)
+
+    def test_lgcn_forward_backward(self, graph):
+        model = LGCN(graph.num_features, 12, graph.num_classes, k=3, seed=0)
+        model.setup(graph)
+        logits, _ = model.training_batch()
+        logits.sum().backward()
+        assert all(p.grad is not None for p in model.parameters())
+
+
+class TestSTGCNInternals:
+    def test_snowball_widths_grow(self):
+        model = SnowballGCN(10, 8, 3, num_layers=4, seed=0)
+        widths = [lin.in_features for lin in model.convs]
+        assert widths == [10, 18, 26]
+        assert model.classifier.in_features == 34
+
+    def test_krylov_block_width(self, graph):
+        model = TruncatedKrylovGCN(
+            graph.num_features, 12, graph.num_classes, krylov_order=3, seed=0
+        )
+        assert model.layers[0].in_features == graph.num_features * 3
+
+    def test_krylov_validation(self):
+        with pytest.raises(ValueError):
+            TruncatedKrylovGCN(8, 16, 3, krylov_order=0)
+
+    def test_krylov_learns(self, graph):
+        from repro.training import TrainConfig, Trainer
+
+        model = TruncatedKrylovGCN(
+            graph.num_features, 16, graph.num_classes, dropout=0.2, seed=0
+        )
+        result = Trainer(TrainConfig(epochs=40, patience=40, seed=0)).fit(
+            model, graph
+        )
+        assert result.test_acc > 0.5

@@ -1,0 +1,279 @@
+"""Tests for the nn substrate: modules, layers, init, optimizers."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn import init
+from repro.tensor import Tensor
+from repro.tensor import functional as F
+
+RNG = np.random.default_rng(0)
+
+
+class TinyNet(nn.Module):
+    def __init__(self):
+        super().__init__()
+        self.fc1 = nn.Linear(4, 8, rng=np.random.default_rng(1))
+        self.drop = nn.Dropout(0.5, rng=np.random.default_rng(2))
+        self.fc2 = nn.Linear(8, 3, rng=np.random.default_rng(3))
+
+    def forward(self, x):
+        return self.fc2(self.drop(self.fc1(x).relu()))
+
+
+class TestModuleSystem:
+    def test_parameter_registration(self):
+        net = TinyNet()
+        names = [n for n, _ in net.named_parameters()]
+        assert "fc1.weight" in names and "fc2.bias" in names
+        assert len(names) == 4
+
+    def test_num_parameters(self):
+        net = TinyNet()
+        assert net.num_parameters() == 4 * 8 + 8 + 8 * 3 + 3
+
+    def test_modules_iteration(self):
+        net = TinyNet()
+        kinds = {type(m).__name__ for m in net.modules()}
+        assert {"TinyNet", "Linear", "Dropout"} <= kinds
+
+    def test_train_eval_propagates(self):
+        net = TinyNet()
+        net.eval()
+        assert not net.drop.training
+        net.train()
+        assert net.drop.training
+
+    def test_zero_grad(self):
+        net = TinyNet()
+        out = net(Tensor(RNG.normal(size=(5, 4))))
+        out.sum().backward()
+        assert net.fc1.weight.grad is not None
+        net.zero_grad()
+        assert net.fc1.weight.grad is None
+
+    def test_state_dict_roundtrip(self):
+        net1, net2 = TinyNet(), TinyNet()
+        net2.load_state_dict(net1.state_dict())
+        np.testing.assert_allclose(net2.fc1.weight.data, net1.fc1.weight.data)
+
+    def test_state_dict_is_a_copy(self):
+        net = TinyNet()
+        state = net.state_dict()
+        state["fc1.weight"][...] = 0.0
+        assert not np.allclose(net.fc1.weight.data, 0.0)
+
+    def test_load_state_dict_strict_keys(self):
+        net = TinyNet()
+        state = net.state_dict()
+        state.pop("fc1.weight")
+        with pytest.raises(KeyError):
+            net.load_state_dict(state)
+
+    def test_load_state_dict_shape_check(self):
+        net = TinyNet()
+        state = net.state_dict()
+        state["fc1.weight"] = np.zeros((2, 2))
+        with pytest.raises(ValueError):
+            net.load_state_dict(state)
+
+    def test_module_list(self):
+        ml = nn.ModuleList([nn.Identity(), nn.Identity()])
+        ml.append(nn.Identity())
+        assert len(ml) == 3
+        assert isinstance(ml[0], nn.Identity)
+        assert len(list(ml)) == 3
+
+    def test_module_list_params_discovered(self):
+        ml = nn.ModuleList([nn.Linear(2, 2), nn.Linear(2, 2)])
+        assert len(ml.parameters()) == 4
+
+    def test_sequential(self):
+        seq = nn.Sequential(
+            nn.Linear(3, 5, rng=np.random.default_rng(0)),
+            nn.Linear(5, 2, rng=np.random.default_rng(1)),
+        )
+        out = seq(Tensor(np.ones((4, 3))))
+        assert out.shape == (4, 2)
+
+
+class TestLayers:
+    def test_linear_shapes(self):
+        layer = nn.Linear(4, 7, rng=np.random.default_rng(0))
+        assert layer(Tensor(np.ones((3, 4)))).shape == (3, 7)
+
+    def test_linear_no_bias(self):
+        layer = nn.Linear(4, 7, bias=False)
+        assert layer.bias is None
+        assert len(layer.parameters()) == 1
+
+    def test_linear_matches_manual(self):
+        layer = nn.Linear(3, 2, rng=np.random.default_rng(0))
+        x = RNG.normal(size=(5, 3))
+        expected = x @ layer.weight.data + layer.bias.data
+        np.testing.assert_allclose(layer(Tensor(x)).data, expected)
+
+    def test_dropout_eval_identity(self):
+        layer = nn.Dropout(0.9)
+        layer.eval()
+        x = Tensor(np.ones((5, 5)))
+        assert layer(x) is x
+
+    def test_dropout_invalid_rate(self):
+        with pytest.raises(ValueError):
+            nn.Dropout(1.0)
+
+    def test_identity(self):
+        x = Tensor(np.ones(3))
+        assert nn.Identity()(x) is x
+
+    def test_pairnorm_centers_and_scales(self):
+        x = Tensor(RNG.normal(size=(50, 8)) + 5.0)
+        out = nn.PairNorm(scale=1.0)(x)
+        np.testing.assert_allclose(out.data.mean(axis=0), np.zeros(8), atol=1e-10)
+        mean_sq_norm = (out.data ** 2).sum(axis=1).mean()
+        assert mean_sq_norm == pytest.approx(1.0, rel=1e-4)
+
+    def test_pairnorm_backward_flows(self):
+        from repro.nn.module import Parameter
+
+        x = Parameter(RNG.normal(size=(10, 4)))
+        nn.PairNorm()(x).sum().backward()
+        assert x.grad is not None
+
+
+class TestInit:
+    def test_glorot_uniform_bounds(self):
+        w = init.glorot_uniform((100, 50), np.random.default_rng(0))
+        limit = np.sqrt(6.0 / 150)
+        assert np.abs(w).max() <= limit
+
+    def test_glorot_normal_std(self):
+        w = init.glorot_normal((500, 500), np.random.default_rng(0))
+        assert w.std() == pytest.approx(np.sqrt(2.0 / 1000), rel=0.05)
+
+    def test_he_uniform_bounds(self):
+        w = init.he_uniform((100, 50), np.random.default_rng(0))
+        assert np.abs(w).max() <= np.sqrt(6.0 / 100)
+
+    def test_he_normal_std(self):
+        w = init.he_normal((1000, 10), np.random.default_rng(0))
+        assert w.std() == pytest.approx(np.sqrt(2.0 / 1000), rel=0.05)
+
+    def test_1d_shape(self):
+        w = init.glorot_uniform((10,), np.random.default_rng(0))
+        assert w.shape == (10,)
+
+    def test_empty_shape_rejected(self):
+        with pytest.raises(ValueError):
+            init.glorot_uniform((), np.random.default_rng(0))
+
+    def test_deterministic_given_rng(self):
+        a = init.glorot_uniform((4, 4), np.random.default_rng(7))
+        b = init.glorot_uniform((4, 4), np.random.default_rng(7))
+        np.testing.assert_array_equal(a, b)
+
+    def test_zeros_ones(self):
+        assert init.zeros((2, 2)).sum() == 0
+        assert init.ones((2, 2)).sum() == 4
+
+
+def quadratic_loss(param):
+    # Simple convex objective: ||p - 3||^2
+    diff = param - 3.0
+    return (diff * diff).sum()
+
+
+class TestOptim:
+    def test_sgd_converges_on_quadratic(self):
+        from repro.nn.module import Parameter
+
+        p = Parameter(np.zeros(4))
+        opt = nn.SGD([p], lr=0.1)
+        for _ in range(200):
+            opt.zero_grad()
+            quadratic_loss(p).backward()
+            opt.step()
+        np.testing.assert_allclose(p.data, np.full(4, 3.0), atol=1e-4)
+
+    def test_sgd_momentum_faster_than_plain(self):
+        from repro.nn.module import Parameter
+
+        losses = {}
+        for momentum in (0.0, 0.9):
+            p = Parameter(np.zeros(4))
+            opt = nn.SGD([p], lr=0.01, momentum=momentum)
+            for _ in range(50):
+                opt.zero_grad()
+                loss = quadratic_loss(p)
+                loss.backward()
+                opt.step()
+            losses[momentum] = quadratic_loss(p).item()
+        assert losses[0.9] < losses[0.0]
+
+    def test_adam_converges_on_quadratic(self):
+        from repro.nn.module import Parameter
+
+        p = Parameter(np.zeros(4))
+        opt = nn.Adam([p], lr=0.1)
+        for _ in range(300):
+            opt.zero_grad()
+            quadratic_loss(p).backward()
+            opt.step()
+        np.testing.assert_allclose(p.data, np.full(4, 3.0), atol=1e-3)
+
+    def test_adam_weight_decay_shrinks_solution(self):
+        from repro.nn.module import Parameter
+
+        solutions = {}
+        for wd in (0.0, 1.0):
+            p = Parameter(np.zeros(1))
+            opt = nn.Adam([p], lr=0.05, weight_decay=wd)
+            for _ in range(500):
+                opt.zero_grad()
+                quadratic_loss(p).backward()
+                opt.step()
+            solutions[wd] = float(p.data[0])
+        assert solutions[1.0] < solutions[0.0]
+
+    def test_optimizer_requires_params(self):
+        with pytest.raises(ValueError):
+            nn.SGD([], lr=0.1)
+
+    def test_bad_lr_rejected(self):
+        from repro.nn.module import Parameter
+
+        with pytest.raises(ValueError):
+            nn.Adam([Parameter(np.zeros(1))], lr=-1.0)
+
+    def test_bad_betas_rejected(self):
+        from repro.nn.module import Parameter
+
+        with pytest.raises(ValueError):
+            nn.Adam([Parameter(np.zeros(1))], betas=(1.0, 0.999))
+
+    def test_step_with_missing_grad_is_noop_for_sgd(self):
+        from repro.nn.module import Parameter
+
+        p = Parameter(np.ones(2))
+        nn.SGD([p], lr=0.5).step()
+        np.testing.assert_allclose(p.data, np.ones(2))
+
+    def test_training_reduces_classification_loss(self):
+        # End-to-end sanity: TinyNet fits a random 3-class problem.
+        rng = np.random.default_rng(5)
+        x = rng.normal(size=(30, 4))
+        y = rng.integers(0, 3, size=30)
+        net = TinyNet()
+        net.drop.p = 0.0  # deterministic fit
+        opt = nn.Adam(net.parameters(), lr=0.05)
+        first = None
+        for step in range(100):
+            opt.zero_grad()
+            loss = F.cross_entropy(net(Tensor(x)), y)
+            if first is None:
+                first = loss.item()
+            loss.backward()
+            opt.step()
+        assert loss.item() < first * 0.5

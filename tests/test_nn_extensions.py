@@ -1,0 +1,168 @@
+"""Tests for serialization, LR schedulers and gradient clipping."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.core import Lasagne
+from repro.datasets import generate_dcsbm_graph, generate_features
+from repro.datasets.splits import per_class_split
+from repro.graphs import Graph
+from repro.models import GCN
+from repro.nn.module import Parameter
+from repro.tensor import Tensor
+
+
+@pytest.fixture()
+def graph():
+    rng = np.random.default_rng(31)
+    adj, labels = generate_dcsbm_graph(100, 2, 300, homophily=0.9, rng=rng)
+    features = generate_features(labels, 20, rng=rng)
+    train, val, test = per_class_split(labels, 5, 20, 40, rng=rng)
+    return Graph(
+        adj=adj, features=features, labels=labels,
+        train_mask=train, val_mask=val, test_mask=test,
+    )
+
+
+class TestSerialization:
+    def test_roundtrip_gcn(self, tmp_path, graph):
+        model = GCN(graph.num_features, 8, 2, num_layers=2, seed=0)
+        path = nn.save_module(model, tmp_path / "ckpt")
+        assert path.suffix == ".npz"
+        clone = GCN(graph.num_features, 8, 2, num_layers=2, seed=99)
+        nn.load_module(clone, path)
+        for (n1, p1), (n2, p2) in zip(
+            model.named_parameters(), clone.named_parameters()
+        ):
+            assert n1 == n2
+            np.testing.assert_array_equal(p1.data, p2.data)
+
+    def test_metadata_roundtrip(self, tmp_path, graph):
+        model = GCN(graph.num_features, 8, 2, seed=0)
+        path = nn.save_module(model, tmp_path / "m.npz", metadata={"epoch": 7})
+        meta = nn.load_module(
+            GCN(graph.num_features, 8, 2, seed=1), path
+        )
+        assert meta["epoch"] == 7
+        assert meta["format"] == "repro-checkpoint-v1"
+
+    def test_load_rejects_mismatched_architecture(self, tmp_path, graph):
+        model = GCN(graph.num_features, 8, 2, num_layers=2, seed=0)
+        path = nn.save_module(model, tmp_path / "m")
+        other = GCN(graph.num_features, 8, 2, num_layers=3, seed=0)
+        with pytest.raises(KeyError):
+            nn.load_module(other, path)
+
+    def test_lasagne_checkpoint_after_setup(self, tmp_path, graph):
+        # Node-aware params exist only after setup; the checkpoint must
+        # carry them and restore into an identically-attached clone.
+        model = Lasagne(graph.num_features, 8, 2, num_layers=3,
+                        aggregator="weighted", seed=0)
+        model.setup(graph)
+        path = nn.save_module(model, tmp_path / "lasagne")
+        clone = Lasagne(graph.num_features, 8, 2, num_layers=3,
+                        aggregator="weighted", seed=5)
+        clone.setup(graph)
+        nn.load_module(clone, path)
+        np.testing.assert_array_equal(model.predict(), clone.predict())
+
+    def test_optimizer_state_roundtrip(self):
+        p = Parameter(np.ones(3))
+        opt = nn.Adam([p], lr=0.1)
+        for _ in range(5):
+            opt.zero_grad()
+            (p * p).sum().backward()
+            opt.step()
+        snapshot = nn.optimizer_state(opt)
+        data_after_5 = p.data.copy()
+
+        # Continue 3 more steps, then rewind and replay: must match.
+        for _ in range(3):
+            opt.zero_grad()
+            (p * p).sum().backward()
+            opt.step()
+        replay_target = p.data.copy()
+
+        p.data[...] = data_after_5
+        nn.restore_optimizer(opt, snapshot)
+        for _ in range(3):
+            opt.zero_grad()
+            (p * p).sum().backward()
+            opt.step()
+        np.testing.assert_allclose(p.data, replay_target)
+
+
+class TestSchedulers:
+    def make(self):
+        p = Parameter(np.ones(1))
+        return nn.Adam([p], lr=0.1)
+
+    def test_step_lr_halves(self):
+        opt = self.make()
+        sched = nn.StepLR(opt, step_size=2, gamma=0.5)
+        lrs = [sched.step() for _ in range(4)]
+        assert lrs == [0.1, 0.05, 0.05, 0.025]
+
+    def test_step_lr_validation(self):
+        with pytest.raises(ValueError):
+            nn.StepLR(self.make(), step_size=0)
+
+    def test_cosine_endpoints(self):
+        opt = self.make()
+        sched = nn.CosineAnnealingLR(opt, total_epochs=10, min_lr=0.01)
+        for _ in range(10):
+            final = sched.step()
+        assert final == pytest.approx(0.01)
+
+    def test_cosine_monotone_decreasing(self):
+        opt = self.make()
+        sched = nn.CosineAnnealingLR(opt, total_epochs=20)
+        lrs = [sched.step() for _ in range(20)]
+        assert all(a >= b for a, b in zip(lrs, lrs[1:]))
+
+    def test_warmup_ramps(self):
+        opt = self.make()
+        sched = nn.WarmupLR(opt, warmup_epochs=5)
+        lrs = [sched.step() for _ in range(6)]
+        assert lrs[0] == pytest.approx(0.02)
+        assert lrs[4] == pytest.approx(0.1)
+        assert lrs[5] == pytest.approx(0.1)
+
+    def test_warmup_validation(self):
+        with pytest.raises(ValueError):
+            nn.WarmupLR(self.make(), warmup_epochs=0)
+
+
+class TestClipGradNorm:
+    def test_no_clip_below_threshold(self):
+        p = Parameter(np.zeros(2))
+        p.grad = np.array([0.3, 0.4])  # norm 0.5
+        norm = nn.clip_grad_norm([p], max_norm=1.0)
+        assert norm == pytest.approx(0.5)
+        np.testing.assert_allclose(p.grad, [0.3, 0.4])
+
+    def test_clips_above_threshold(self):
+        p = Parameter(np.zeros(2))
+        p.grad = np.array([3.0, 4.0])  # norm 5
+        nn.clip_grad_norm([p], max_norm=1.0)
+        assert np.linalg.norm(p.grad) == pytest.approx(1.0, rel=1e-6)
+
+    def test_handles_missing_grads(self):
+        p = Parameter(np.zeros(2))
+        assert nn.clip_grad_norm([p], max_norm=1.0) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            nn.clip_grad_norm([], max_norm=0.0)
+
+    def test_global_norm_across_params(self):
+        a = Parameter(np.zeros(1))
+        b = Parameter(np.zeros(1))
+        a.grad = np.array([3.0])
+        b.grad = np.array([4.0])
+        norm = nn.clip_grad_norm([a, b], max_norm=2.5)
+        assert norm == pytest.approx(5.0)
+        # Both scaled by the same factor 0.5.
+        np.testing.assert_allclose(a.grad, [1.5])
+        np.testing.assert_allclose(b.grad, [2.0])

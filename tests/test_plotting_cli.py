@@ -1,0 +1,147 @@
+"""Tests for the ASCII plotting helpers and the unified CLI."""
+
+import numpy as np
+import pytest
+
+from repro.__main__ import main as cli_main
+from repro.experiments.plotting import bar_chart, line_chart
+
+
+class TestLineChart:
+    def test_renders_title_and_legend(self):
+        text = line_chart({"gcn": [1, 2, 3], "lasagne": [3, 2, 1]}, title="T")
+        assert text.startswith("T")
+        assert "o=gcn" in text and "x=lasagne" in text
+
+    def test_y_extremes_labelled(self):
+        text = line_chart({"a": [0.0, 10.0]}, y_format="{:.1f}")
+        assert "10.0" in text and "0.0" in text
+
+    def test_x_labels(self):
+        text = line_chart({"a": [1, 2]}, x_labels=["L=2", "L=10"])
+        assert "L=2" in text and "L=10" in text
+
+    def test_single_point(self):
+        text = line_chart({"a": [5.0]})
+        assert "o" in text
+
+    def test_constant_series_no_division_error(self):
+        text = line_chart({"a": [2.0, 2.0, 2.0]})
+        assert "o" in text
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            line_chart({})
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            line_chart({"a": [1, 2], "b": [1]})
+
+    def test_rejects_bad_x_labels(self):
+        with pytest.raises(ValueError):
+            line_chart({"a": [1, 2]}, x_labels=["only-one"])
+
+    def test_rejects_empty_series(self):
+        with pytest.raises(ValueError):
+            line_chart({"a": []})
+
+    def test_marker_positions_monotone(self):
+        # An increasing series must render top-right higher than left.
+        text = line_chart({"a": [0.0, 1.0]}, width=10, height=5)
+        rows = [l for l in text.splitlines() if "|" in l]
+        first_row_with_marker = next(i for i, r in enumerate(rows) if "o" in r)
+        last_row_with_marker = max(i for i, r in enumerate(rows) if "o" in r)
+        # Higher value = earlier (upper) row and later column.
+        assert rows[first_row_with_marker].rindex("o") > rows[
+            last_row_with_marker
+        ].index("o")
+
+
+class TestBarChart:
+    def test_renders_values(self):
+        text = bar_chart({"gcn": 0.1, "gat": 1.0}, title="times")
+        assert text.startswith("times")
+        assert "gcn" in text and "gat" in text
+
+    def test_longest_bar_for_max(self):
+        text = bar_chart({"small": 1.0, "big": 10.0}, width=20)
+        small_line = next(l for l in text.splitlines() if "small" in l)
+        big_line = next(l for l in text.splitlines() if "big" in l)
+        assert big_line.count("#") > small_line.count("#")
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            bar_chart({})
+
+    def test_zero_values_safe(self):
+        text = bar_chart({"a": 0.0})
+        assert "a" in text
+
+
+class TestCLI:
+    def test_datasets_command(self, capsys):
+        assert cli_main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        assert "cora" in out and "tencent" in out
+
+    def test_datasets_with_scale(self, capsys):
+        assert cli_main(["datasets", "--scale", "0.1"]) == 0
+        assert "@scale=0.1" in capsys.readouterr().out
+
+    def test_train_gcn(self, capsys):
+        code = cli_main([
+            "train", "cora", "--model", "gcn", "--layers", "2",
+            "--scale", "0.1", "--epochs", "5",
+        ])
+        assert code == 0
+        assert "test" in capsys.readouterr().out
+
+    def test_train_lasagne_with_checkpoint(self, tmp_path, capsys):
+        ckpt = tmp_path / "model"
+        code = cli_main([
+            "train", "cora", "--model", "lasagne", "--aggregator", "maxpool",
+            "--layers", "3", "--scale", "0.1", "--epochs", "5",
+            "--checkpoint", str(ckpt),
+        ])
+        assert code == 0
+        assert (tmp_path / "model.npz").exists()
+
+    def test_train_unknown_model(self, capsys):
+        code = cli_main([
+            "train", "cora", "--model", "resnet50", "--scale", "0.1",
+        ])
+        assert code == 2
+
+    def test_select_command(self, capsys):
+        code = cli_main([
+            "select", "cora", "--layers", "3", "--budget", "4",
+            "--scale", "0.1",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "selected:" in out
+
+
+class TestRunAll:
+    def test_unknown_preset(self):
+        from repro.experiments.run_all import run_all
+
+        with pytest.raises(KeyError):
+            run_all("warp-speed")
+
+    def test_only_filter_unknown(self):
+        from repro.experiments.run_all import run_all
+
+        with pytest.raises(ValueError):
+            run_all("quick", only=["table99"])
+
+    def test_plan_covers_all_experiments(self):
+        from repro.experiments.run_all import PRESETS, build_plan
+
+        plan = build_plan(PRESETS["quick"])
+        names = [name for name, _ in plan]
+        assert names == [
+            "table3", "table4", "table5", "table6", "table7", "table8",
+            "fig2", "fig5", "fig6", "fig7", "locality",
+            "fig1", "ext_aggregators", "robustness", "info_plane",
+        ]

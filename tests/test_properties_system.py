@@ -1,0 +1,215 @@
+"""Hypothesis property tests for system-level invariants: dataset
+generators, splits, normalization, aggregators, and the GC-FM identity."""
+
+import numpy as np
+import scipy.sparse as sp
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import GCFMLayer, MaxPoolingAggregator, MeanAggregator
+from repro.datasets import generate_dcsbm_graph, generate_features
+from repro.datasets.splits import per_class_split
+from repro.graphs import gcn_norm, row_norm
+from repro.tensor import Tensor
+
+
+graph_params = st.tuples(
+    st.integers(min_value=20, max_value=120),   # nodes
+    st.integers(min_value=2, max_value=5),      # classes
+    st.floats(min_value=0.1, max_value=0.95),   # homophily
+    st.integers(min_value=0, max_value=10_000), # seed
+)
+
+
+@settings(max_examples=25, deadline=None)
+@given(graph_params)
+def test_dcsbm_always_valid_graph(params):
+    n, classes, homophily, seed = params
+    adj, labels = generate_dcsbm_graph(
+        n, classes, n * 3, homophily=homophily,
+        rng=np.random.default_rng(seed),
+    )
+    assert adj.shape == (n, n)
+    assert (adj != adj.T).nnz == 0          # symmetric
+    assert adj.diagonal().sum() == 0         # no self-loops
+    assert set(np.unique(labels)) <= set(range(classes))
+    assert (adj.data == 1.0).all()           # simple graph
+
+
+@settings(max_examples=25, deadline=None)
+@given(graph_params)
+def test_gcn_norm_spectrum_bounded(params):
+    n, classes, homophily, seed = params
+    adj, _ = generate_dcsbm_graph(
+        n, classes, n * 3, homophily=homophily,
+        rng=np.random.default_rng(seed),
+    )
+    dense = gcn_norm(adj).todense()
+    eigenvalues = np.linalg.eigvalsh(dense)
+    assert eigenvalues.max() <= 1.0 + 1e-8
+    assert eigenvalues.min() >= -1.0 - 1e-8
+
+
+@settings(max_examples=25, deadline=None)
+@given(graph_params)
+def test_row_norm_is_stochastic(params):
+    n, classes, homophily, seed = params
+    adj, _ = generate_dcsbm_graph(
+        n, classes, n * 3, homophily=homophily,
+        rng=np.random.default_rng(seed),
+    )
+    dense = row_norm(adj).todense()
+    np.testing.assert_allclose(dense.sum(axis=1), np.ones(n), rtol=1e-9)
+    assert (dense >= 0).all()
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.integers(min_value=2, max_value=4),
+    st.integers(min_value=40, max_value=100),
+    st.integers(min_value=0, max_value=1000),
+)
+def test_per_class_split_partition_properties(classes, n, seed):
+    labels = np.arange(n) % classes
+    rng = np.random.default_rng(seed)
+    per_class = 3
+    val = 5
+    test = 5
+    train_mask, val_mask, test_mask = per_class_split(
+        labels, per_class, val, test, rng=rng
+    )
+    assert train_mask.sum() == per_class * classes
+    assert not (train_mask & val_mask).any()
+    assert not (train_mask & test_mask).any()
+    assert not (val_mask & test_mask).any()
+    counts = np.bincount(labels[train_mask], minlength=classes)
+    assert (counts == per_class).all()
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.integers(min_value=10, max_value=60),
+    st.integers(min_value=2, max_value=4),
+    st.integers(min_value=0, max_value=1000),
+)
+def test_features_row_normalized_and_nonnegative(n, classes, seed):
+    labels = np.arange(n) % classes
+    x = generate_features(labels, 24, rng=np.random.default_rng(seed))
+    assert (x >= 0).all()
+    np.testing.assert_allclose(x.sum(axis=1), np.ones(n), rtol=1e-9)
+
+
+def _random_hidden(draw_seed, n=8, d=5, layers=3):
+    rng = np.random.default_rng(draw_seed)
+    return [Tensor(rng.normal(size=(n, d))) for _ in range(layers)]
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(min_value=0, max_value=10_000))
+def test_maxpool_dominates_every_layer(seed):
+    hidden = _random_hidden(seed)
+    agg = MaxPoolingAggregator(3, (5, 5, 5))
+    out = agg(None, hidden).data
+    for h in hidden:
+        assert (out >= h.data - 1e-12).all()
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(min_value=0, max_value=10_000))
+def test_maxpool_selects_existing_values(seed):
+    hidden = _random_hidden(seed)
+    agg = MaxPoolingAggregator(3, (5, 5, 5))
+    out = agg(None, hidden).data
+    stacked = np.stack([h.data for h in hidden])
+    np.testing.assert_allclose(out, stacked.max(axis=0))
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(min_value=0, max_value=10_000))
+def test_mean_between_min_and_max(seed):
+    hidden = _random_hidden(seed)
+    agg = MeanAggregator(3, (5, 5, 5))
+    out = agg(None, hidden).data
+    stacked = np.stack([h.data for h in hidden])
+    assert (out <= stacked.max(axis=0) + 1e-12).all()
+    assert (out >= stacked.min(axis=0) - 1e-12).all()
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(min_value=0, max_value=10_000))
+def test_gcfm_fm_identity_property(seed):
+    """The linear-time FM computation equals the explicit pair sum."""
+    rng = np.random.default_rng(seed)
+    n, d, layers, classes, rank = 5, 3, 3, 2, 2
+    layer = GCFMLayer((d,) * layers, classes, fm_rank=rank, rng=rng)
+    hidden = [rng.normal(size=(n, d)) for _ in range(layers)]
+    projections = [h @ v.data for h, v in zip(hidden, layer.factors)]
+    brute = np.zeros((n, classes * rank))
+    for p in range(layers):
+        for q in range(p + 1, layers):
+            brute += projections[p] * projections[q]
+    brute = brute.reshape(n, classes, rank).sum(axis=2)
+
+    flat = np.concatenate(hidden, axis=1)
+    linear = flat @ layer.linear_weight.data + layer.bias.data
+
+    identity = gcn_norm(sp.csr_matrix((n, n)), self_loops=True)
+    out = layer(identity, [Tensor(h) for h in hidden]).data
+    np.testing.assert_allclose(out, linear + brute, rtol=1e-9, atol=1e-9)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    st.integers(min_value=1, max_value=6),
+    st.integers(min_value=0, max_value=1000),
+)
+def test_neighbor_sampler_invariants(fanout, seed):
+    from repro.datasets import generate_dcsbm_graph, generate_features
+    from repro.datasets.splits import per_class_split
+    from repro.graphs import Graph
+    from repro.training.minibatch import NeighborSampler
+
+    rng = np.random.default_rng(seed)
+    adj, labels = generate_dcsbm_graph(60, 2, 200, rng=rng)
+    g = Graph(
+        adj=adj,
+        features=generate_features(labels, 16, rng=rng),
+        labels=labels,
+        train_mask=np.zeros(60, bool),
+        val_mask=np.zeros(60, bool),
+        test_mask=np.zeros(60, bool),
+    )
+    sampler = NeighborSampler(g, [fanout, fanout], rng=rng)
+    seeds = rng.choice(60, size=8, replace=False)
+    blocks = sampler.sample(seeds)
+    # Innermost destinations are exactly the seeds; fanout is respected;
+    # destinations are a prefix of sources in every block.
+    np.testing.assert_array_equal(blocks[-1].dst_nodes, seeds)
+    for block in blocks:
+        np.testing.assert_array_equal(
+            block.src_nodes[: block.num_dst], block.dst_nodes
+        )
+        if block.edge_dst_local.size:
+            counts = np.bincount(block.edge_dst_local, minlength=block.num_dst)
+            assert counts.max() <= fanout
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(min_value=0, max_value=1000))
+def test_tencent_generator_invariants(seed):
+    from repro.datasets import generate_tencent_graph
+
+    g = generate_tencent_graph(
+        num_nodes=800, num_classes=8, splits=(16, 24, 40),
+        rng=np.random.default_rng(seed),
+    )
+    g.validate()
+    num_items = int(800 * 0.57022)
+    # Bipartite: no item-item or user-user edges.
+    assert g.adj[:num_items][:, :num_items].nnz == 0
+    assert g.adj[num_items:][:, num_items:].nnz == 0
+    # Every item watched at least once.
+    assert (g.degrees()[:num_items] >= 1).all()
+    # Masks restricted to items.
+    eval_nodes = np.flatnonzero(g.train_mask | g.val_mask | g.test_mask)
+    assert eval_nodes.max() < num_items

@@ -1,0 +1,65 @@
+"""Package-level smoke tests: every module imports, every ``__all__``
+symbol resolves, and the version metadata is consistent."""
+
+import importlib
+import pkgutil
+
+import pytest
+
+import repro
+
+ALL_MODULES = [
+    name
+    for _, name, _ in pkgutil.walk_packages(repro.__path__, prefix="repro.")
+]
+
+
+@pytest.mark.parametrize("module_name", ALL_MODULES)
+def test_module_imports(module_name):
+    importlib.import_module(module_name)
+
+
+PACKAGES_WITH_ALL = [
+    "repro",
+    "repro.tensor",
+    "repro.nn",
+    "repro.graphs",
+    "repro.datasets",
+    "repro.models",
+    "repro.core",
+    "repro.training",
+    "repro.info",
+    "repro.experiments",
+]
+
+
+@pytest.mark.parametrize("package_name", PACKAGES_WITH_ALL)
+def test_all_symbols_resolve(package_name):
+    package = importlib.import_module(package_name)
+    exported = getattr(package, "__all__", [])
+    assert exported, f"{package_name} should declare __all__"
+    for symbol in exported:
+        assert hasattr(package, symbol), f"{package_name}.{symbol} missing"
+
+
+def test_version():
+    assert repro.__version__ == "1.0.0"
+
+
+def test_model_count_consistent_with_docs():
+    from repro.models import model_names
+
+    # README/DESIGN promise 25 paper baselines + 2 controls.
+    assert len(model_names()) == 27
+
+
+def test_aggregator_count():
+    from repro.core import AGGREGATORS
+
+    assert len(AGGREGATORS) == 5
+
+
+def test_dataset_count_matches_table2():
+    from repro.datasets import dataset_names
+
+    assert len(dataset_names()) == 11

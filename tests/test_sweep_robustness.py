@@ -1,0 +1,146 @@
+"""Tests for the grid-sweep utility and the corruption-robustness tools."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import generate_dcsbm_graph, generate_features
+from repro.datasets.splits import per_class_split
+from repro.experiments.robustness import add_feature_noise, rewire_edges
+from repro.graphs import Graph, edge_homophily
+from repro.models import GCN
+from repro.training.sweep import grid_sweep
+
+
+@pytest.fixture(scope="module")
+def graph():
+    rng = np.random.default_rng(51)
+    adj, labels = generate_dcsbm_graph(140, 2, 500, homophily=0.9, rng=rng)
+    features = generate_features(labels, 24, signal=0.9, rng=rng)
+    train, val, test = per_class_split(labels, 8, 30, 60, rng=rng)
+    return Graph(
+        adj=adj, features=features, labels=labels,
+        train_mask=train, val_mask=val, test_mask=test,
+    )
+
+
+class TestGridSweep:
+    def factory(self, graph):
+        def make(hidden=16, num_layers=2, seed=0):
+            return GCN(
+                graph.num_features, hidden, graph.num_classes,
+                num_layers=num_layers, dropout=0.2, seed=seed,
+            )
+        return make
+
+    def test_covers_full_grid(self, graph):
+        report = grid_sweep(
+            self.factory(graph), graph,
+            grid={"hidden": [8, 16], "num_layers": [2, 3]},
+            epochs=8, patience=8,
+        )
+        assert len(report.entries) == 4
+        params = {tuple(sorted(e.params.items())) for e in report.entries}
+        assert len(params) == 4
+
+    def test_best_is_max_val(self, graph):
+        report = grid_sweep(
+            self.factory(graph), graph,
+            grid={"hidden": [4, 16]}, epochs=10, patience=10,
+        )
+        assert report.best.val_acc == max(e.val_acc for e in report.entries)
+
+    def test_train_grid_joint(self, graph):
+        report = grid_sweep(
+            self.factory(graph), graph,
+            grid={"hidden": [8]},
+            train_grid={"lr": [0.02, 0.001]},
+            epochs=8, patience=8,
+        )
+        assert len(report.entries) == 2
+        assert {e.params["lr"] for e in report.entries} == {0.02, 0.001}
+
+    def test_empty_grid_rejected(self, graph):
+        with pytest.raises(ValueError):
+            grid_sweep(self.factory(graph), graph, grid={})
+
+    def test_table_renders(self, graph):
+        report = grid_sweep(
+            self.factory(graph), graph, grid={"hidden": [8]}, epochs=5, patience=5
+        )
+        text = report.table()
+        assert "hidden=8" in text
+        assert "%" in text
+
+    def test_ranking_sorted(self, graph):
+        report = grid_sweep(
+            self.factory(graph), graph,
+            grid={"hidden": [4, 8, 16]}, epochs=8, patience=8,
+        )
+        ranked = report.ranking()
+        assert all(
+            a.val_acc >= b.val_acc for a, b in zip(ranked, ranked[1:])
+        )
+
+
+class TestRewireEdges:
+    def test_zero_fraction_identity(self, graph):
+        out = rewire_edges(graph, 0.0, np.random.default_rng(0))
+        assert (out.adj != graph.adj).nnz == 0
+
+    def test_full_rewire_destroys_homophily(self, graph):
+        out = rewire_edges(graph, 1.0, np.random.default_rng(0))
+        assert edge_homophily(out.adj, out.labels) < edge_homophily(
+            graph.adj, graph.labels
+        )
+
+    def test_preserves_validity(self, graph):
+        out = rewire_edges(graph, 0.5, np.random.default_rng(0))
+        out.validate()
+
+    def test_edge_count_roughly_preserved(self, graph):
+        out = rewire_edges(graph, 0.5, np.random.default_rng(0))
+        assert out.num_edges >= graph.num_edges * 0.8
+
+    def test_bad_fraction(self, graph):
+        with pytest.raises(ValueError):
+            rewire_edges(graph, 1.5, np.random.default_rng(0))
+
+    def test_does_not_mutate_original(self, graph):
+        before = graph.adj.copy()
+        rewire_edges(graph, 0.5, np.random.default_rng(0))
+        assert (graph.adj != before).nnz == 0
+
+
+class TestFeatureNoise:
+    def test_zero_noise_identity(self, graph):
+        out = add_feature_noise(graph, 0.0, np.random.default_rng(0))
+        np.testing.assert_array_equal(out.features, graph.features)
+
+    def test_noise_changes_features(self, graph):
+        out = add_feature_noise(graph, 0.5, np.random.default_rng(0))
+        assert not np.allclose(out.features, graph.features)
+
+    def test_negative_rejected(self, graph):
+        with pytest.raises(ValueError):
+            add_feature_noise(graph, -0.1, np.random.default_rng(0))
+
+    def test_full_noise_uncorrelated_with_classes(self, graph):
+        out = add_feature_noise(graph, 1.0, np.random.default_rng(0))
+        mean0 = out.features[out.labels == 0].mean(axis=0)
+        mean1 = out.features[out.labels == 1].mean(axis=0)
+        # Class-mean separation collapses relative to the clean features.
+        clean0 = graph.features[graph.labels == 0].mean(axis=0)
+        clean1 = graph.features[graph.labels == 1].mean(axis=0)
+        assert np.linalg.norm(mean0 - mean1) < np.linalg.norm(clean0 - clean1)
+
+
+class TestRobustnessExperiment:
+    def test_micro_run(self):
+        from repro.experiments.robustness import run
+
+        result = run(
+            scale=0.1, edge_noise=(0.0, 0.5), feature_noise=(0.0,),
+            epochs=5, num_layers=3,
+        )
+        assert len(result.data["labels"]) == 3
+        assert set(result.data["series"]) == {"gcn", "lasagne(stochastic)"}

@@ -1,0 +1,324 @@
+"""Unit tests for the autograd Tensor core: arithmetic, shape ops, backward."""
+
+import numpy as np
+import pytest
+
+from repro.tensor import Tensor, no_grad, is_grad_enabled
+from repro.tensor.tensor import parameter, unbroadcast
+
+
+class TestConstruction:
+    def test_from_list(self):
+        t = Tensor([1.0, 2.0, 3.0])
+        assert t.shape == (3,)
+        assert t.dtype == np.float64
+
+    def test_from_int_array_promotes_to_float(self):
+        t = Tensor(np.array([1, 2, 3]))
+        assert t.dtype.kind == "f"
+
+    def test_requires_grad_default_false(self):
+        assert not Tensor([1.0]).requires_grad
+
+    def test_parameter_requires_grad(self):
+        assert parameter(np.zeros(3)).requires_grad
+
+    def test_repr_contains_shape(self):
+        assert "shape=(2,)" in repr(Tensor([1.0, 2.0]))
+
+    def test_detach_cuts_tape(self):
+        a = parameter([1.0, 2.0])
+        b = (a * 2.0).detach()
+        assert not b.requires_grad
+        assert b._parents == ()
+
+    def test_item_scalar(self):
+        assert Tensor(3.5).item() == 3.5
+
+    def test_len(self):
+        assert len(Tensor(np.zeros((4, 2)))) == 4
+
+
+class TestArithmetic:
+    def test_add_values(self):
+        out = Tensor([1.0, 2.0]) + Tensor([3.0, 4.0])
+        np.testing.assert_allclose(out.data, [4.0, 6.0])
+
+    def test_add_scalar(self):
+        out = Tensor([1.0, 2.0]) + 1.0
+        np.testing.assert_allclose(out.data, [2.0, 3.0])
+
+    def test_radd(self):
+        out = 1.0 + Tensor([1.0])
+        np.testing.assert_allclose(out.data, [2.0])
+
+    def test_sub(self):
+        out = Tensor([5.0]) - Tensor([3.0])
+        np.testing.assert_allclose(out.data, [2.0])
+
+    def test_rsub(self):
+        out = 10.0 - Tensor([3.0])
+        np.testing.assert_allclose(out.data, [7.0])
+
+    def test_mul(self):
+        out = Tensor([2.0, 3.0]) * Tensor([4.0, 5.0])
+        np.testing.assert_allclose(out.data, [8.0, 15.0])
+
+    def test_div(self):
+        out = Tensor([8.0]) / Tensor([2.0])
+        np.testing.assert_allclose(out.data, [4.0])
+
+    def test_rtruediv(self):
+        out = 8.0 / Tensor([2.0])
+        np.testing.assert_allclose(out.data, [4.0])
+
+    def test_pow(self):
+        out = Tensor([3.0]) ** 2
+        np.testing.assert_allclose(out.data, [9.0])
+
+    def test_pow_rejects_tensor_exponent(self):
+        with pytest.raises(TypeError):
+            Tensor([3.0]) ** Tensor([2.0])
+
+    def test_neg(self):
+        np.testing.assert_allclose((-Tensor([1.0, -2.0])).data, [-1.0, 2.0])
+
+    def test_matmul(self):
+        a = Tensor(np.arange(6, dtype=float).reshape(2, 3))
+        b = Tensor(np.arange(12, dtype=float).reshape(3, 4))
+        np.testing.assert_allclose((a @ b).data, a.data @ b.data)
+
+
+class TestBackwardBasics:
+    def test_add_backward(self):
+        a = parameter([1.0, 2.0])
+        b = parameter([3.0, 4.0])
+        (a + b).sum().backward()
+        np.testing.assert_allclose(a.grad, [1.0, 1.0])
+        np.testing.assert_allclose(b.grad, [1.0, 1.0])
+
+    def test_mul_backward(self):
+        a = parameter([2.0, 3.0])
+        b = parameter([5.0, 7.0])
+        (a * b).sum().backward()
+        np.testing.assert_allclose(a.grad, [5.0, 7.0])
+        np.testing.assert_allclose(b.grad, [2.0, 3.0])
+
+    def test_reused_node_accumulates(self):
+        a = parameter([2.0])
+        out = a * a  # d/da = 2a
+        out.sum().backward()
+        np.testing.assert_allclose(a.grad, [4.0])
+
+    def test_diamond_graph(self):
+        a = parameter([3.0])
+        b = a * 2.0
+        c = a * 5.0
+        (b + c).sum().backward()
+        np.testing.assert_allclose(a.grad, [7.0])
+
+    def test_backward_requires_scalar(self):
+        a = parameter([1.0, 2.0])
+        with pytest.raises(ValueError):
+            (a * 2.0).backward()
+
+    def test_backward_explicit_grad(self):
+        a = parameter([1.0, 2.0])
+        out = a * 3.0
+        out.backward(np.array([1.0, 10.0]))
+        np.testing.assert_allclose(a.grad, [3.0, 30.0])
+
+    def test_grad_accumulates_across_backwards(self):
+        a = parameter([1.0])
+        (a * 2.0).sum().backward()
+        (a * 2.0).sum().backward()
+        np.testing.assert_allclose(a.grad, [4.0])
+
+    def test_zero_grad(self):
+        a = parameter([1.0])
+        (a * 2.0).sum().backward()
+        a.zero_grad()
+        assert a.grad is None
+
+    def test_matmul_backward(self):
+        a = parameter(np.random.default_rng(0).normal(size=(2, 3)))
+        b = parameter(np.random.default_rng(1).normal(size=(3, 4)))
+        (a @ b).sum().backward()
+        ones = np.ones((2, 4))
+        np.testing.assert_allclose(a.grad, ones @ b.data.T)
+        np.testing.assert_allclose(b.grad, a.data.T @ ones)
+
+    def test_deep_chain_no_recursion_error(self):
+        # Iterative topological sort must survive 5000-deep chains.
+        a = parameter([1.0])
+        out = a
+        for _ in range(5000):
+            out = out + 0.0
+        out.sum().backward()
+        np.testing.assert_allclose(a.grad, [1.0])
+
+
+class TestBroadcastGradients:
+    def test_unbroadcast_identity(self):
+        g = np.ones((2, 3))
+        assert unbroadcast(g, (2, 3)).shape == (2, 3)
+
+    def test_unbroadcast_prepended_axis(self):
+        g = np.ones((4, 2, 3))
+        np.testing.assert_allclose(unbroadcast(g, (2, 3)), np.full((2, 3), 4.0))
+
+    def test_unbroadcast_stretched_axis(self):
+        g = np.ones((2, 3))
+        np.testing.assert_allclose(unbroadcast(g, (2, 1)), np.full((2, 1), 3.0))
+
+    def test_broadcast_add_column(self):
+        a = parameter(np.zeros((3, 4)))
+        col = parameter(np.zeros((3, 1)))
+        (a + col).sum().backward()
+        np.testing.assert_allclose(col.grad, np.full((3, 1), 4.0))
+
+    def test_broadcast_mul_row(self):
+        a = parameter(np.ones((3, 4)))
+        row = parameter(np.full((4,), 2.0))
+        (a * row).sum().backward()
+        np.testing.assert_allclose(row.grad, np.full((4,), 3.0))
+
+
+class TestShapeOps:
+    def test_reshape_roundtrip_grad(self):
+        a = parameter(np.arange(6, dtype=float))
+        a.reshape(2, 3).sum().backward()
+        np.testing.assert_allclose(a.grad, np.ones(6))
+
+    def test_reshape_accepts_tuple(self):
+        a = Tensor(np.arange(6, dtype=float))
+        assert a.reshape((2, 3)).shape == (2, 3)
+
+    def test_transpose_grad(self):
+        a = parameter(np.arange(6, dtype=float).reshape(2, 3))
+        scale = np.arange(6, dtype=float).reshape(3, 2)
+        (a.T * Tensor(scale)).sum().backward()
+        np.testing.assert_allclose(a.grad, scale.T)
+
+    def test_T_property(self):
+        a = Tensor(np.zeros((2, 5)))
+        assert a.T.shape == (5, 2)
+
+    def test_getitem_rows(self):
+        a = parameter(np.arange(12, dtype=float).reshape(4, 3))
+        idx = np.array([0, 2])
+        a[idx].sum().backward()
+        expected = np.zeros((4, 3))
+        expected[[0, 2]] = 1.0
+        np.testing.assert_allclose(a.grad, expected)
+
+    def test_getitem_repeated_indices_scatter_add(self):
+        a = parameter(np.zeros((3, 2)))
+        idx = np.array([1, 1, 1])
+        a[idx].sum().backward()
+        expected = np.zeros((3, 2))
+        expected[1] = 3.0
+        np.testing.assert_allclose(a.grad, expected)
+
+
+class TestReductions:
+    def test_sum_axis(self):
+        a = Tensor(np.arange(6, dtype=float).reshape(2, 3))
+        np.testing.assert_allclose(a.sum(axis=0).data, [3.0, 5.0, 7.0])
+
+    def test_sum_keepdims_grad(self):
+        a = parameter(np.ones((2, 3)))
+        a.sum(axis=1, keepdims=True).sum().backward()
+        np.testing.assert_allclose(a.grad, np.ones((2, 3)))
+
+    def test_mean_grad(self):
+        a = parameter(np.ones((4,)))
+        a.mean().backward()
+        np.testing.assert_allclose(a.grad, np.full(4, 0.25))
+
+    def test_mean_axis_tuple(self):
+        a = Tensor(np.ones((2, 3, 4)))
+        assert a.mean(axis=(0, 2)).shape == (3,)
+
+    def test_max_values(self):
+        a = Tensor(np.array([[1.0, 5.0], [7.0, 2.0]]))
+        np.testing.assert_allclose(a.max(axis=0).data, [7.0, 5.0])
+
+    def test_max_grad_goes_to_argmax(self):
+        a = parameter(np.array([[1.0, 5.0], [7.0, 2.0]]))
+        a.max(axis=0).sum().backward()
+        np.testing.assert_allclose(a.grad, [[0.0, 1.0], [1.0, 0.0]])
+
+    def test_max_keepdims(self):
+        a = Tensor(np.ones((2, 3)))
+        assert a.max(axis=1, keepdims=True).shape == (2, 1)
+
+
+class TestNoGrad:
+    def test_flag_toggles(self):
+        assert is_grad_enabled()
+        with no_grad():
+            assert not is_grad_enabled()
+        assert is_grad_enabled()
+
+    def test_ops_inside_no_grad_have_no_tape(self):
+        a = parameter([1.0])
+        with no_grad():
+            out = a * 2.0
+        assert not out.requires_grad
+        assert out._backward_fn is None
+
+    def test_nested_restores(self):
+        with no_grad():
+            with no_grad():
+                pass
+            assert not is_grad_enabled()
+        assert is_grad_enabled()
+
+
+class TestMiscTensor:
+    def test_copy_is_leaf_with_own_data(self):
+        a = parameter([1.0, 2.0])
+        b = a.copy()
+        b.data[0] = 99.0
+        assert a.data[0] == 1.0
+        assert b.requires_grad
+        assert b._parents == ()
+
+    def test_numpy_returns_same_buffer(self):
+        a = Tensor([1.0, 2.0])
+        a.numpy()[0] = 5.0
+        assert a.data[0] == 5.0
+
+    def test_parameter_factory_name(self):
+        from repro.tensor.tensor import parameter as make_param
+
+        p = make_param([1.0], name="w")
+        assert p.name == "w"
+        assert p.requires_grad
+
+    def test_ndim_size_properties(self):
+        a = Tensor(np.zeros((2, 3, 4)))
+        assert a.ndim == 3
+        assert a.size == 24
+
+    def test_accumulate_grad_ignored_without_requires_grad(self):
+        a = Tensor([1.0])
+        a.accumulate_grad(np.array([5.0]))
+        assert a.grad is None
+
+    def test_dropout_default_rng_settable(self):
+        from repro.tensor import ops
+
+        ops.set_default_rng(np.random.default_rng(123))
+        x = Tensor(np.ones(1000))
+        out = ops.dropout(x, 0.5, training=True)
+        assert 0.3 < (out.data == 0).mean() < 0.7
+        ops.set_default_rng(np.random.default_rng(0))
+
+    def test_backward_through_non_grad_root(self):
+        # Root built from a parameter times a constant still reaches it.
+        a = parameter([2.0])
+        out = (a * 3.0).detach() + a  # detach cuts one path, keeps other
+        out.sum().backward()
+        np.testing.assert_allclose(a.grad, [1.0])

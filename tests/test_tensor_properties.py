@@ -1,0 +1,128 @@
+"""Hypothesis property tests for autograd invariants.
+
+These verify algebraic identities of the engine (linearity of backward,
+softmax invariances, unbroadcast correctness) over randomly generated
+shapes and values rather than hand-picked cases.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays, array_shapes
+
+from repro.tensor import Tensor, ops
+from repro.tensor.tensor import parameter, unbroadcast
+
+finite_floats = st.floats(
+    min_value=-10.0, max_value=10.0, allow_nan=False, allow_infinity=False, width=64
+)
+
+
+def matrices(max_side=5):
+    return arrays(
+        dtype=np.float64,
+        shape=array_shapes(min_dims=2, max_dims=2, min_side=1, max_side=max_side),
+        elements=finite_floats,
+    )
+
+
+@settings(max_examples=50, deadline=None)
+@given(matrices())
+def test_sum_grad_is_ones(data):
+    x = parameter(data)
+    x.sum().backward()
+    np.testing.assert_allclose(x.grad, np.ones_like(data))
+
+
+@settings(max_examples=50, deadline=None)
+@given(matrices(), st.floats(min_value=-3, max_value=3, allow_nan=False))
+def test_backward_is_linear_in_seed(data, scale):
+    x1 = parameter(data.copy())
+    (x1 * x1).sum().backward()
+    x2 = parameter(data.copy())
+    loss = (x2 * x2).sum() * scale
+    loss.backward()
+    np.testing.assert_allclose(x2.grad, scale * x1.grad, rtol=1e-9, atol=1e-9)
+
+
+@settings(max_examples=50, deadline=None)
+@given(matrices())
+def test_softmax_shift_invariance(data):
+    a = ops.softmax(Tensor(data), axis=-1)
+    b = ops.softmax(Tensor(data + 100.0), axis=-1)
+    np.testing.assert_allclose(a.data, b.data, rtol=1e-9, atol=1e-12)
+
+
+@settings(max_examples=50, deadline=None)
+@given(matrices())
+def test_log_softmax_exp_sums_to_one(data):
+    out = ops.log_softmax(Tensor(data), axis=-1)
+    np.testing.assert_allclose(
+        np.exp(out.data).sum(axis=-1), np.ones(data.shape[0]), rtol=1e-9
+    )
+
+
+@settings(max_examples=50, deadline=None)
+@given(matrices())
+def test_relu_idempotent(data):
+    once = ops.relu(Tensor(data))
+    twice = ops.relu(once)
+    np.testing.assert_allclose(once.data, twice.data)
+
+
+@settings(max_examples=50, deadline=None)
+@given(matrices(), matrices())
+def test_add_backward_symmetric(a_data, b_data):
+    # Gradient of sum(a + b) w.r.t. each operand is all-ones regardless of
+    # the other operand (after broadcasting is undone).
+    if a_data.shape != b_data.shape:
+        return
+    a, b = parameter(a_data), parameter(b_data)
+    (a + b).sum().backward()
+    np.testing.assert_allclose(a.grad, b.grad)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    arrays(
+        dtype=np.float64,
+        shape=array_shapes(min_dims=1, max_dims=3, min_side=1, max_side=4),
+        elements=finite_floats,
+    )
+)
+def test_unbroadcast_total_mass_preserved(grad):
+    # Summing down to a smaller shape must preserve the total gradient mass.
+    target_shape = tuple(1 for _ in range(max(0, grad.ndim - 1)))
+    if not target_shape:
+        target_shape = (1,) if grad.ndim else ()
+    reduced = unbroadcast(grad, target_shape)
+    np.testing.assert_allclose(reduced.sum(), grad.sum(), rtol=1e-9)
+
+
+@settings(max_examples=50, deadline=None)
+@given(matrices())
+def test_concat_split_roundtrip(data):
+    if data.shape[1] < 2:
+        return
+    k = data.shape[1] // 2
+    a = Tensor(data[:, :k])
+    b = Tensor(data[:, k:])
+    np.testing.assert_allclose(ops.concat([a, b], axis=1).data, data)
+
+
+@settings(max_examples=50, deadline=None)
+@given(matrices())
+def test_stack_max_upper_bounds_parts(data):
+    a = Tensor(data)
+    b = Tensor(data - 1.0)
+    pooled = ops.stack([a, b], axis=0).max(axis=0)
+    np.testing.assert_allclose(pooled.data, data)
+
+
+@settings(max_examples=30, deadline=None)
+@given(matrices(max_side=4), matrices(max_side=4))
+def test_matmul_matches_numpy(a_data, b_data):
+    if a_data.shape[1] != b_data.shape[0]:
+        b_data = np.resize(b_data, (a_data.shape[1], 3))
+    out = Tensor(a_data) @ Tensor(b_data)
+    np.testing.assert_allclose(out.data, a_data @ b_data, rtol=1e-9, atol=1e-9)

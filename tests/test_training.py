@@ -1,0 +1,230 @@
+"""Tests for the trainer, hyperparameters and repeated evaluation."""
+
+import numpy as np
+import pytest
+
+from repro.core import Lasagne
+from repro.datasets import generate_dcsbm_graph, generate_features
+from repro.datasets.splits import per_class_split
+from repro.graphs import Graph
+from repro.models import GCN, build_model
+from repro.training import (
+    TrainConfig,
+    Trainer,
+    format_mean_std,
+    hyperparams_for,
+    run_repeated,
+)
+
+
+@pytest.fixture(scope="module")
+def graph():
+    rng = np.random.default_rng(21)
+    adj, labels = generate_dcsbm_graph(200, 3, 800, homophily=0.9, rng=rng)
+    features = generate_features(labels, 40, signal=0.9, rng=rng)
+    train, val, test = per_class_split(labels, 8, 60, 90, rng=rng)
+    return Graph(
+        adj=adj, features=features, labels=labels,
+        train_mask=train, val_mask=val, test_mask=test, name="train-fixture",
+    )
+
+
+class TestHyperparams:
+    def test_citation_settings(self):
+        hp = hyperparams_for("cora")
+        assert hp.lr == 0.02
+        assert hp.weight_decay == 5e-4
+        assert hp.dropout == 0.8
+        assert hp.hidden == 32
+
+    def test_reddit_settings(self):
+        hp = hyperparams_for("reddit")
+        assert hp.lr == 0.005
+        assert hp.dropout == 0.2
+        assert hp.hidden == 100
+
+    def test_tencent_settings(self):
+        hp = hyperparams_for("tencent")
+        assert hp.lr == 0.02
+        assert hp.dropout == 0.5
+        assert hp.weight_decay == 1e-5
+
+    def test_other_settings(self):
+        hp = hyperparams_for("amazon-photo")
+        assert hp.lr == 0.01
+        assert hp.dropout == 0.3
+
+    def test_defaults(self):
+        hp = hyperparams_for("cora")
+        assert hp.epochs == 400
+        assert hp.patience == 20
+        assert hp.fm_rank == 5
+
+
+class TestTrainer:
+    def test_trains_to_high_accuracy(self, graph):
+        model = GCN(graph.num_features, 16, 3, num_layers=2, dropout=0.2, seed=0)
+        cfg = TrainConfig(lr=0.02, weight_decay=5e-4, epochs=120, patience=30, seed=0)
+        result = Trainer(cfg).fit(model, graph)
+        assert result.test_acc > 0.7
+        assert result.best_val_acc > 0.7
+
+    def test_early_stopping_triggers(self, graph):
+        model = GCN(graph.num_features, 16, 3, num_layers=2, dropout=0.2, seed=0)
+        cfg = TrainConfig(epochs=400, patience=5, seed=0)
+        result = Trainer(cfg).fit(model, graph)
+        assert result.epochs_run < 400
+
+    def test_restores_best_state(self, graph):
+        model = GCN(graph.num_features, 16, 3, num_layers=2, dropout=0.2, seed=0)
+        cfg = TrainConfig(epochs=60, patience=60, seed=0)
+        result = Trainer(cfg).fit(model, graph)
+        # After restore, the reported val accuracy must be achievable now.
+        from repro.tensor import functional as F
+
+        val_acc = F.accuracy(
+            model.predict()[graph.val_mask], graph.labels[graph.val_mask]
+        )
+        assert val_acc == pytest.approx(result.best_val_acc)
+
+    def test_histories_recorded(self, graph):
+        model = GCN(graph.num_features, 16, 3, num_layers=2, seed=0)
+        cfg = TrainConfig(epochs=10, patience=10, seed=0)
+        result = Trainer(cfg).fit(model, graph)
+        assert len(result.train_losses) == result.epochs_run
+        assert len(result.val_accuracies) == result.epochs_run
+        assert len(result.epoch_times) == result.epochs_run
+        assert result.mean_epoch_time > 0
+
+    def test_epoch_callback_invoked(self, graph):
+        model = GCN(graph.num_features, 16, 3, num_layers=2, seed=0)
+        seen = []
+        cfg = TrainConfig(epochs=5, patience=10, seed=0)
+        Trainer(cfg).fit(model, graph, epoch_callback=lambda e, m: seen.append(e))
+        assert seen == list(range(5))
+
+    def test_inductive_protocol(self, graph):
+        model = GCN(graph.num_features, 16, 3, num_layers=2, dropout=0.2, seed=0)
+        cfg = TrainConfig(epochs=60, patience=60, seed=0)
+        result = Trainer(cfg).fit(model, graph, inductive=True)
+        assert result.test_acc > 0.5
+        # Final attach is the full graph.
+        assert model.graph.num_nodes == graph.num_nodes
+
+    def test_inductive_lasagne_maxpool(self, graph):
+        model = Lasagne(
+            graph.num_features, 16, graph.num_classes,
+            num_layers=3, aggregator="maxpool", dropout=0.1, seed=0,
+        )
+        cfg = TrainConfig(epochs=40, patience=40, seed=0)
+        result = Trainer(cfg).fit(model, graph, inductive=True)
+        assert result.test_acc > 0.5
+
+    def test_inductive_lasagne_weighted_rejected(self, graph):
+        model = Lasagne(
+            graph.num_features, 16, graph.num_classes,
+            num_layers=3, aggregator="weighted", seed=0,
+        )
+        cfg = TrainConfig(epochs=5, seed=0)
+        with pytest.raises(ValueError, match="inductive"):
+            Trainer(cfg).fit(model, graph, inductive=True)
+
+    def test_deterministic_given_seed(self, graph):
+        results = []
+        for _ in range(2):
+            model = GCN(graph.num_features, 16, 3, num_layers=2, seed=7)
+            cfg = TrainConfig(epochs=15, patience=15, seed=7)
+            results.append(Trainer(cfg).fit(model, graph).test_acc)
+        assert results[0] == results[1]
+
+
+class TestRepeatedEvaluation:
+    def test_runs_and_aggregates(self, graph):
+        cfg = TrainConfig(epochs=25, patience=25, seed=0)
+        result = run_repeated(
+            lambda seed: GCN(
+                graph.num_features, 16, 3, num_layers=2, dropout=0.2, seed=seed
+            ),
+            graph,
+            cfg,
+            repeats=3,
+        )
+        assert len(result.runs) == 3
+        assert 0.0 <= result.mean <= 1.0
+        assert result.std >= 0.0
+        assert len(result.accuracies) == 3
+
+    def test_seeds_differ_across_repeats(self, graph):
+        cfg = TrainConfig(epochs=10, patience=10, seed=0)
+        result = run_repeated(
+            lambda seed: GCN(graph.num_features, 16, 3, seed=seed),
+            graph,
+            cfg,
+            repeats=3,
+        )
+        # With distinct seeds, at least two runs should differ.
+        assert len(set(result.accuracies)) >= 2 or result.std == 0.0
+
+    def test_rejects_zero_repeats(self, graph):
+        with pytest.raises(ValueError):
+            run_repeated(
+                lambda seed: GCN(graph.num_features, 16, 3, seed=seed),
+                graph,
+                TrainConfig(),
+                repeats=0,
+            )
+
+    def test_format_mean_std(self):
+        assert format_mean_std(0.842, 0.005) == "84.2±0.5"
+        assert format_mean_std(0.7, 0.0) == "70.0±0.0"
+
+
+class TestTrainerExtensions:
+    def test_grad_clipping_runs(self, graph):
+        model = GCN(graph.num_features, 16, 3, num_layers=2, seed=0)
+        cfg = TrainConfig(epochs=10, patience=10, seed=0, max_grad_norm=1.0)
+        result = Trainer(cfg).fit(model, graph)
+        assert result.epochs_run == 10
+
+    def test_cosine_schedule_decays_lr(self, graph):
+        model = GCN(graph.num_features, 16, 3, num_layers=2, seed=0)
+        cfg = TrainConfig(
+            lr=0.02, epochs=20, patience=20, seed=0, lr_schedule="cosine"
+        )
+        trainer = Trainer(cfg)
+        trainer.fit(model, graph)
+        # Scheduler exists and is valid; lr decays via the optimizer —
+        # indirectly verified by constructing the scheduler directly.
+        from repro import nn as _nn
+
+        opt = _nn.Adam(model.parameters(), lr=0.02)
+        sched = trainer._make_scheduler(opt)
+        for _ in range(20):
+            sched.step()
+        assert opt.lr < 0.02
+
+    def test_step_schedule_supported(self, graph):
+        model = GCN(graph.num_features, 16, 3, num_layers=2, seed=0)
+        cfg = TrainConfig(epochs=8, patience=8, seed=0, lr_schedule="step")
+        Trainer(cfg).fit(model, graph)
+
+    def test_unknown_schedule_rejected(self, graph):
+        model = GCN(graph.num_features, 16, 3, num_layers=2, seed=0)
+        cfg = TrainConfig(epochs=5, seed=0, lr_schedule="warp")
+        with pytest.raises(ValueError):
+            Trainer(cfg).fit(model, graph)
+
+    def test_checkpoint_written(self, tmp_path, graph):
+        model = GCN(graph.num_features, 16, 3, num_layers=2, seed=0)
+        path = tmp_path / "best"
+        cfg = TrainConfig(
+            epochs=10, patience=10, seed=0, checkpoint_path=str(path)
+        )
+        result = Trainer(cfg).fit(model, graph)
+        from repro import nn as _nn
+
+        clone = GCN(graph.num_features, 16, 3, num_layers=2, seed=1)
+        clone.setup(graph)
+        meta = _nn.load_module(clone, tmp_path / "best.npz")
+        assert meta["best_val_acc"] == pytest.approx(result.best_val_acc)
+        np.testing.assert_array_equal(clone.predict(), model.predict())
