@@ -1,0 +1,117 @@
+"""Guard: the op profiler must cost nothing while disabled.
+
+The profiler patches the tensor primitives only between ``enable()`` and
+``disable()``; outside that window the originals are back in place and
+the tape's backward hook is ``None``.  These checks pin that contract so
+the observability subsystem can never silently slow the hot path:
+
+- identity: after a profiled window, every patched attribute is the
+  exact original function object again;
+- timing: a training epoch after profiler construction + a profiled
+  window is within a loose factor of the same epoch measured before the
+  profiler ever existed (the disabled path is the identical code, so
+  this only fails if someone breaks the restore logic);
+- a ``benchmark`` entry for the profiled epoch itself, making the
+  *enabled* overhead visible in the benchmark report over time.
+"""
+
+import time
+
+import numpy as np
+
+from repro import nn
+from repro.core import Lasagne
+from repro.datasets import load_dataset
+from repro.obs import OpProfiler
+from repro.tensor import ops
+from repro.tensor import functional as F
+from repro.tensor import tensor as tensor_mod
+from repro.tensor.tensor import Tensor
+
+GRAPH = load_dataset("synthetic", seed=0)
+
+# Loose by design: both sides run identical code, so this only trips on
+# a real regression (e.g. wrappers left installed), not on CI jitter.
+DISABLED_OVERHEAD_FACTOR = 1.75
+
+
+def _make_model():
+    model = Lasagne(
+        GRAPH.num_features, 16, GRAPH.num_classes,
+        num_layers=4, aggregator="stochastic", dropout=0.2, seed=0,
+    )
+    model.setup(GRAPH)
+    return model, nn.Adam(model.parameters(), lr=0.01)
+
+
+def _epoch(model, optimizer, rng):
+    model.train()
+    model.begin_epoch(rng)
+    logits, index = model.training_batch()
+    mask = model.graph.train_mask[index]
+    loss = F.cross_entropy(
+        logits[np.flatnonzero(mask)], model.graph.labels[index][mask]
+    )
+    optimizer.zero_grad()
+    loss.backward()
+    optimizer.step()
+    return loss.item()
+
+
+def _best_epoch_time(repeats: int = 7) -> float:
+    """Min-of-N epoch wall time (min is robust to scheduler noise)."""
+    model, optimizer = _make_model()
+    rng = np.random.default_rng(0)
+    _epoch(model, optimizer, rng)  # warm up allocations / caches
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        _epoch(model, optimizer, rng)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_disable_restores_exact_originals():
+    originals = {
+        name: getattr(Tensor, name)
+        for name in ("__add__", "__mul__", "__matmul__", "relu", "sum")
+    }
+    original_log_softmax = ops.log_softmax
+    profiler = OpProfiler()
+    with profiler.profile():
+        model, optimizer = _make_model()
+        _epoch(model, optimizer, np.random.default_rng(0))
+    for name, fn in originals.items():
+        assert getattr(Tensor, name) is fn, f"Tensor.{name} not restored"
+    assert ops.log_softmax is original_log_softmax
+    assert tensor_mod._BACKWARD_HOOK is None
+    assert profiler.accounted_s > 0  # it did measure while enabled
+
+
+def test_disabled_profiler_overhead_below_threshold():
+    baseline = _best_epoch_time()
+    # Construct, enable and disable a profiler, then measure again: the
+    # disabled path must be indistinguishable (loose factor for CI).
+    profiler = OpProfiler()
+    with profiler.profile():
+        model, optimizer = _make_model()
+        _epoch(model, optimizer, np.random.default_rng(0))
+    after = _best_epoch_time()
+    assert after <= baseline * DISABLED_OVERHEAD_FACTOR, (
+        f"disabled-profiler epoch {1000 * after:.2f} ms vs baseline "
+        f"{1000 * baseline:.2f} ms exceeds factor {DISABLED_OVERHEAD_FACTOR}"
+    )
+
+
+def test_profiled_epoch(benchmark):
+    """Benchmark the *enabled* profiler so its cost stays visible."""
+    model, optimizer = _make_model()
+    rng = np.random.default_rng(0)
+    profiler = OpProfiler()
+
+    def profiled_epoch():
+        with profiler.profile():
+            return _epoch(model, optimizer, rng)
+
+    benchmark(profiled_epoch)
+    assert profiler.stats["spmm"].calls > 0

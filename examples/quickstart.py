@@ -1,4 +1,8 @@
-"""Quickstart: train Lasagne on (synthetic) Cora in ~30 lines.
+"""Quickstart: train Lasagne on (synthetic) Cora with full observability.
+
+Trains the paper's default model, streams one structured JSONL record
+per epoch to ``results/runs/`` and profiles every tensor op, printing
+the five most expensive ones at the end.
 
 Run:
     python examples/quickstart.py
@@ -6,6 +10,7 @@ Run:
 
 from repro.core import Lasagne
 from repro.datasets import load_dataset
+from repro.obs import OpProfiler, RunLogger, new_run_id
 from repro.training import Trainer, TrainConfig, hyperparams_for
 
 
@@ -31,12 +36,17 @@ def main() -> None:
     print(model)
 
     # 3. Train with the paper's protocol: Adam + early stopping on
-    #    validation accuracy (patience 20 of max 400 epochs).
+    #    validation accuracy (patience 20 of max 400 epochs).  The
+    #    RunLogger writes one JSONL record per epoch (loss, val acc, lr,
+    #    grad norm, gate stats); the OpProfiler times every tensor op.
     config = TrainConfig(
         lr=hp.lr, weight_decay=hp.weight_decay,
         epochs=200, patience=hp.patience, seed=0,
     )
-    result = Trainer(config).fit(model, graph)
+    logger = RunLogger(run_id=new_run_id("quickstart-cora"))
+    profiler = OpProfiler()
+    result = Trainer(config).fit(model, graph, logger=logger, profiler=profiler)
+    logger.close()
 
     print(
         f"\ntrained {result.epochs_run} epochs "
@@ -44,6 +54,15 @@ def main() -> None:
     )
     print(f"best validation accuracy: {100 * result.best_val_acc:.1f}%")
     print(f"test accuracy:            {100 * result.test_acc:.1f}%")
+
+    # 4. Where did the time go?  Top-5 ops by forward + backward cost.
+    print("\ntop-5 ops by total time:")
+    for stat in profiler.top(5):
+        print(
+            f"  {stat.name:<12} {1000 * stat.total_s:8.1f} ms "
+            f"({stat.calls} calls, {stat.output_bytes / 1e6:.1f} MB out)"
+        )
+    print(f"\nrun log: {logger.path}")
 
 
 if __name__ == "__main__":

@@ -13,6 +13,8 @@ The package is layered bottom-up:
 - :mod:`repro.training` — trainer, per-dataset hyperparameters, evaluation.
 - :mod:`repro.info` — mutual-information estimators (Figs. 2 and 6).
 - :mod:`repro.experiments` — one harness per table/figure of the paper.
+- :mod:`repro.obs` — observability: metrics registry, structured JSONL
+  run logging, and op-level autograd profiling.
 """
 
 __version__ = "1.0.0"

@@ -5,6 +5,8 @@ Commands
 ``datasets``      print the Table 2 dataset overview (optionally scaled)
 ``train``         train one model on one dataset and report accuracy
 ``select``        run the aggregator bake-off on a dataset
+``profile``       train a few epochs under the op profiler, print the
+                  per-op cost table and write a JSONL run log
 ``experiments``   run the paper's tables/figures (delegates to run_all)
 """
 
@@ -21,34 +23,41 @@ def _cmd_datasets(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_train(args: argparse.Namespace) -> int:
+def _build_model(args: argparse.Namespace, graph, hp):
+    """Build the model named by ``args.model`` (or None + error message)."""
     from repro.core import Lasagne
-    from repro.datasets import load_dataset
     from repro.models import build_model, model_names
+
+    if args.model == "lasagne":
+        return Lasagne(
+            graph.num_features, hp.hidden, graph.num_classes,
+            num_layers=args.layers, aggregator=args.aggregator,
+            dropout=hp.dropout, fm_rank=hp.fm_rank, seed=args.seed,
+        )
+    if args.model in model_names():
+        return build_model(
+            args.model, graph.num_features, graph.num_classes,
+            hidden=hp.hidden, num_layers=args.layers,
+            dropout=hp.dropout, seed=args.seed,
+        )
+    print(
+        f"unknown model {args.model!r}; options: lasagne, "
+        + ", ".join(model_names()),
+        file=sys.stderr,
+    )
+    return None
+
+
+def _cmd_train(args: argparse.Namespace) -> int:
+    from repro.datasets import load_dataset
     from repro.training import TrainConfig, Trainer, hyperparams_for
 
     graph = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
     hp = hyperparams_for(args.dataset)
     print(graph)
 
-    if args.model == "lasagne":
-        model = Lasagne(
-            graph.num_features, hp.hidden, graph.num_classes,
-            num_layers=args.layers, aggregator=args.aggregator,
-            dropout=hp.dropout, fm_rank=hp.fm_rank, seed=args.seed,
-        )
-    elif args.model in model_names():
-        model = build_model(
-            args.model, graph.num_features, graph.num_classes,
-            hidden=hp.hidden, num_layers=args.layers,
-            dropout=hp.dropout, seed=args.seed,
-        )
-    else:
-        print(
-            f"unknown model {args.model!r}; options: lasagne, "
-            + ", ".join(model_names()),
-            file=sys.stderr,
-        )
+    model = _build_model(args, graph, hp)
+    if model is None:
         return 2
 
     config = TrainConfig(
@@ -98,6 +107,54 @@ def _cmd_select(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from repro.datasets import load_dataset
+    from repro.obs import DEFAULT_RUN_DIR, OpProfiler, RunLogger, new_run_id
+    from repro.training import TrainConfig, Trainer, hyperparams_for
+
+    graph = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
+    hp = hyperparams_for(args.dataset)
+    print(graph)
+
+    model = _build_model(args, graph, hp)
+    if model is None:
+        return 2
+
+    # patience >= epochs: profile every requested epoch, no early stop.
+    config = TrainConfig(
+        lr=hp.lr, weight_decay=hp.weight_decay,
+        epochs=args.epochs, patience=args.epochs, seed=args.seed,
+    )
+    logger = None
+    if not args.no_log:
+        logger = RunLogger(
+            run_id=new_run_id(f"profile-{args.dataset}-{args.model}"),
+            directory=args.run_dir or DEFAULT_RUN_DIR,
+            metadata={
+                "command": "profile",
+                "dataset": args.dataset,
+                "model": args.model,
+                "layers": args.layers,
+                "epochs": args.epochs,
+                "seed": args.seed,
+            },
+        )
+    profiler = OpProfiler()
+    result = Trainer(config).fit(model, graph, logger=logger, profiler=profiler)
+
+    print()
+    print(profiler.report(top=args.top))
+    print(
+        f"\n{args.model}: {result.epochs_run} profiled epochs, "
+        f"{1000 * result.mean_epoch_time:.1f} ms/epoch "
+        f"(val {100 * result.best_val_acc:.1f}%)"
+    )
+    if logger is not None:
+        logger.close()
+        print(f"run log: {logger.path}")
+    return 0
+
+
 def _cmd_experiments(args: argparse.Namespace) -> int:
     from repro.experiments.run_all import run_all
 
@@ -134,6 +191,24 @@ def main(argv=None) -> int:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--inductive", action="store_true")
     p.set_defaults(func=_cmd_select)
+
+    p = sub.add_parser(
+        "profile", help="train a few epochs under the op-level profiler"
+    )
+    p.add_argument("dataset")
+    p.add_argument("--model", default="lasagne")
+    p.add_argument("--aggregator", default="stochastic")
+    p.add_argument("--layers", type=int, default=4)
+    p.add_argument("--epochs", type=int, default=5)
+    p.add_argument("--scale", type=float, default=None)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--top", type=int, default=None,
+                   help="show only the N most expensive ops")
+    p.add_argument("--run-dir", default=None,
+                   help="directory for the JSONL run log (default results/runs)")
+    p.add_argument("--no-log", action="store_true",
+                   help="skip writing the JSONL run log")
+    p.set_defaults(func=_cmd_profile)
 
     p = sub.add_parser("experiments", help="run the paper's tables/figures")
     p.add_argument("--preset", default="quick")

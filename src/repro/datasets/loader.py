@@ -8,7 +8,7 @@ from typing import Optional
 
 import numpy as np
 
-from repro.datasets.specs import DATASETS, DatasetSpec
+from repro.datasets.specs import DATASETS, SYNTHETIC, DatasetSpec
 from repro.datasets.splits import fraction_split
 from repro.datasets.synthetic import generate_dcsbm_graph, generate_features
 from repro.datasets.tencent import generate_tencent_graph
@@ -36,11 +36,15 @@ def load_dataset(
         fixed "released split" is reproducible across experiments.
     """
     key = name.lower()
-    if key not in DATASETS:
+    if key == SYNTHETIC.name:
+        spec = SYNTHETIC  # profiling/CI stand-in, not part of Table 2
+    elif key in DATASETS:
+        spec = DATASETS[key]
+    else:
         raise KeyError(
-            f"unknown dataset {name!r}; available: {sorted(DATASETS)}"
+            f"unknown dataset {name!r}; available: "
+            f"{sorted(DATASETS) + [SYNTHETIC.name]}"
         )
-    spec = DATASETS[key]
     if scale is None:
         scale = spec.default_scale
     return _load_cached(key, float(scale), int(seed))
@@ -48,7 +52,7 @@ def load_dataset(
 
 @functools.lru_cache(maxsize=32)
 def _load_cached(key: str, scale: float, seed: int) -> Graph:
-    spec = DATASETS[key]
+    spec = SYNTHETIC if key == SYNTHETIC.name else DATASETS[key]
     # zlib.crc32, not hash(): Python string hashing is randomized per
     # process, which would make "seeded" datasets differ across runs.
     rng = np.random.default_rng(seed + zlib.crc32(key.encode("utf-8")) % (2 ** 16))

@@ -138,6 +138,17 @@ DATASETS: Dict[str, DatasetSpec] = {
 }
 
 
+# A small DC-SBM benchmark graph that is *not* part of Table 2: the
+# profiler CLI (``python -m repro profile synthetic``), the observability
+# tests and the benchmark guards use it to get a fast, seed-stable
+# workload without touching the paper's dataset registry.
+SYNTHETIC: DatasetSpec = _spec(
+    "synthetic", 800, 64, 3200, 6, (120, 160, 320),
+    "transductive", "DC-SBM benchmark graph (profiling/CI; not in Table 2)",
+    homophily=0.8, features_per_node=12,
+)
+
+
 def dataset_names() -> Tuple[str, ...]:
     """Names of all available datasets, in Table 2 order."""
     return tuple(DATASETS)

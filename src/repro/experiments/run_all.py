@@ -10,9 +10,10 @@ from __future__ import annotations
 
 import argparse
 import time
-from typing import Callable, Dict, List
+from typing import Callable, Dict, List, Optional
 
 from repro.experiments import save_result
+from repro.obs.runlog import RunLogger, new_run_id
 from repro.experiments import (
     extension_aggregators,
     fig1_expansion,
@@ -83,8 +84,18 @@ def build_plan(preset: Dict) -> List:
     ]
 
 
-def run_all(preset_name: str = "quick", only: List[str] = None) -> List:
-    """Execute the plan; returns the list of ExperimentResults."""
+def run_all(
+    preset_name: str = "quick",
+    only: List[str] = None,
+    logger: Optional[RunLogger] = None,
+) -> List:
+    """Execute the plan; returns the list of ExperimentResults.
+
+    Every table/figure is timestamped into a structured JSONL event
+    stream (``results/runs/experiments-<preset>-....jsonl``); pass an
+    existing :class:`~repro.obs.RunLogger` to merge the events into a
+    larger run instead.
+    """
     if preset_name not in PRESETS:
         raise KeyError(f"unknown preset {preset_name!r}; options: {sorted(PRESETS)}")
     plan = build_plan(PRESETS[preset_name])
@@ -92,15 +103,36 @@ def run_all(preset_name: str = "quick", only: List[str] = None) -> List:
         plan = [(name, fn) for name, fn in plan if name in only]
         if not plan:
             raise ValueError(f"no experiments match {only}")
+    own_logger = logger is None
+    if own_logger:
+        logger = RunLogger(
+            run_id=new_run_id(f"experiments-{preset_name}"),
+            metadata={"preset": preset_name, "only": only,
+                      "planned": [name for name, _ in plan]},
+        )
     results = []
-    for name, fn in plan:
-        start = time.perf_counter()
-        result = fn()
-        elapsed = time.perf_counter() - start
-        print(result.render())
-        print(f"[{name} finished in {elapsed:.1f}s]\n")
-        save_result(result)
-        results.append(result)
+    try:
+        for name, fn in plan:
+            logger.log("experiment_start", experiment=name)
+            start = time.perf_counter()
+            result = fn()
+            elapsed = time.perf_counter() - start
+            print(result.render())
+            print(f"[{name} finished in {elapsed:.1f}s]\n")
+            path = save_result(result)
+            logger.log(
+                "experiment_end",
+                experiment=name,
+                experiment_id=result.experiment_id,
+                elapsed=elapsed,
+                saved=str(path),
+            )
+            results.append(result)
+        logger.log("run_all_end", completed=[name for name, _ in plan])
+    finally:
+        if own_logger:
+            logger.close()
+            print(f"run log: {logger.path}")
     return results
 
 

@@ -15,6 +15,7 @@ from repro.nn.schedulers import (
     StepLR,
     WarmupLR,
     clip_grad_norm,
+    grad_norm,
 )
 from repro.nn.serialization import (
     load_module,
@@ -42,6 +43,7 @@ __all__ = [
     "CosineAnnealingLR",
     "WarmupLR",
     "clip_grad_norm",
+    "grad_norm",
     "save_module",
     "load_module",
     "optimizer_state",

@@ -83,6 +83,14 @@ class WarmupLR(LRScheduler):
         return self.base_lr * epoch / self.warmup_epochs
 
 
+def grad_norm(params: Iterable[Tensor]) -> float:
+    """Global L2 norm of all existing gradients (read-only)."""
+    grads: List[np.ndarray] = [p.grad for p in params if p.grad is not None]
+    if not grads:
+        return 0.0
+    return math.sqrt(sum(float((g * g).sum()) for g in grads))
+
+
 def clip_grad_norm(params: Iterable[Tensor], max_norm: float) -> float:
     """Scale gradients so their global L2 norm is at most ``max_norm``.
 
@@ -91,9 +99,7 @@ def clip_grad_norm(params: Iterable[Tensor], max_norm: float) -> float:
     if max_norm <= 0:
         raise ValueError(f"max_norm must be positive, got {max_norm}")
     grads: List[np.ndarray] = [p.grad for p in params if p.grad is not None]
-    if not grads:
-        return 0.0
-    total = math.sqrt(sum(float((g * g).sum()) for g in grads))
+    total = grad_norm(params)
     if total > max_norm:
         scale = max_norm / (total + 1e-12)
         for g in grads:

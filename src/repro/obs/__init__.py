@@ -1,0 +1,47 @@
+"""Observability for the reproduction stack.
+
+Three layers, usable independently or together:
+
+- :mod:`repro.obs.metrics` — in-process counters, gauges and
+  histograms/timers with summary statistics (:class:`MetricsRegistry`).
+- :mod:`repro.obs.runlog` — structured JSONL event logging
+  (:class:`RunLogger`), one record per epoch/experiment under
+  ``results/runs/<run_id>.jsonl``.
+- :mod:`repro.obs.profiler` — op-level autograd profiling
+  (:class:`OpProfiler`): per-op forward/backward wall-time, call counts
+  and output bytes, with a zero-overhead guarantee while disabled.
+
+:mod:`repro.obs.console` routes human-readable progress through stdlib
+``logging`` under the ``repro.obs`` namespace.  See
+``docs/observability.md`` for the JSONL schema and a worked example.
+"""
+
+from repro.obs.console import get_logger, set_level
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Timer,
+    get_registry,
+)
+from repro.obs.profiler import OpProfiler, OpStat, profile
+from repro.obs.runlog import DEFAULT_RUN_DIR, RunLogger, new_run_id, read_run
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Timer",
+    "MetricsRegistry",
+    "get_registry",
+    "RunLogger",
+    "read_run",
+    "new_run_id",
+    "DEFAULT_RUN_DIR",
+    "OpProfiler",
+    "OpStat",
+    "profile",
+    "get_logger",
+    "set_level",
+]

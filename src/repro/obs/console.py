@@ -1,0 +1,55 @@
+"""Console logging under the ``repro.obs`` namespace.
+
+Thin wrapper over stdlib :mod:`logging`: :func:`get_logger` returns a
+child of the ``repro.obs`` logger, which is configured once with a
+message-only stdout handler so trainer output looks exactly like the
+``print`` calls it replaces.  The handler resolves ``sys.stdout`` at
+emit time, so stream redirection (pytest's capsys, ``contextlib.
+redirect_stdout``) sees the records too.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import Optional
+
+ROOT_NAME = "repro.obs"
+
+
+class _StdoutHandler(logging.StreamHandler):
+    """StreamHandler bound to whatever ``sys.stdout`` currently is."""
+
+    @property
+    def stream(self):
+        return sys.stdout
+
+    @stream.setter
+    def stream(self, value):  # StreamHandler.__init__ assigns; ignore it
+        pass
+
+
+def _root() -> logging.Logger:
+    root = logging.getLogger(ROOT_NAME)
+    if not any(isinstance(h, _StdoutHandler) for h in root.handlers):
+        handler = _StdoutHandler()
+        handler.setFormatter(logging.Formatter("%(message)s"))
+        root.addHandler(handler)
+        root.setLevel(logging.INFO)
+        # The repro.obs tree is self-contained; don't double-emit through
+        # whatever handlers the application put on the logging root.
+        root.propagate = False
+    return root
+
+
+def get_logger(name: Optional[str] = None) -> logging.Logger:
+    """Logger ``repro.obs`` or ``repro.obs.<name>`` with stdout output."""
+    root = _root()
+    if name is None:
+        return root
+    return root.getChild(name)
+
+
+def set_level(level: int) -> None:
+    """Set the verbosity of the whole ``repro.obs`` tree."""
+    _root().setLevel(level)

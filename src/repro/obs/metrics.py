@@ -1,0 +1,221 @@
+"""In-process metrics: counters, gauges and histograms with summaries.
+
+The registry is deliberately tiny — a dictionary of named instruments —
+but mirrors the shape of production metric systems (Prometheus-style
+counter/gauge/histogram split) so the trainer, profiler and experiment
+harness can share one vocabulary.  Everything is plain Python; recording
+a value is a couple of attribute updates, cheap enough for per-epoch and
+per-op call sites.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from typing import Dict, List, Optional, Union
+
+import numpy as np
+
+Number = Union[int, float]
+
+
+class Counter:
+    """Monotonically increasing count (events, calls, bytes)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, amount: Number = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease (got {amount})")
+        self.value += amount
+
+    def snapshot(self) -> Dict:
+        return {"type": "counter", "value": self.value}
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name!r}, value={self.value})"
+
+
+class Gauge:
+    """Last-write-wins instantaneous value (lr, queue depth, gate mean)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: Optional[float] = None
+
+    def set(self, value: Number) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: Number = 1) -> None:
+        self.value = (self.value or 0.0) + amount
+
+    def dec(self, amount: Number = 1) -> None:
+        self.inc(-amount)
+
+    def snapshot(self) -> Dict:
+        return {"type": "gauge", "value": self.value}
+
+    def __repr__(self) -> str:
+        return f"Gauge({self.name!r}, value={self.value})"
+
+
+class Histogram:
+    """Distribution of observed values with streaming min/max/sum.
+
+    Raw observations are kept (runs here are thousands of epochs at
+    most), which makes exact percentiles possible; ``summary()`` reports
+    the usual count / total / mean / std / min / max / p50 / p95 / p99.
+    """
+
+    __slots__ = ("name", "values")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.values: List[float] = []
+
+    def observe(self, value: Number) -> None:
+        self.values.append(float(value))
+
+    # -- derived statistics -------------------------------------------
+    @property
+    def count(self) -> int:
+        return len(self.values)
+
+    @property
+    def total(self) -> float:
+        return float(sum(self.values))
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.values else 0.0
+
+    @property
+    def std(self) -> float:
+        if len(self.values) < 2:
+            return 0.0
+        m = self.mean
+        return math.sqrt(sum((v - m) ** 2 for v in self.values) / len(self.values))
+
+    @property
+    def min(self) -> float:
+        return min(self.values) if self.values else 0.0
+
+    @property
+    def max(self) -> float:
+        return max(self.values) if self.values else 0.0
+
+    def percentile(self, q: Number) -> float:
+        """Exact q-th percentile (linear interpolation), q in [0, 100]."""
+        if not self.values:
+            return 0.0
+        return float(np.percentile(np.asarray(self.values), q))
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "count": self.count,
+            "total": self.total,
+            "mean": self.mean,
+            "std": self.std,
+            "min": self.min,
+            "max": self.max,
+            "p50": self.percentile(50),
+            "p95": self.percentile(95),
+            "p99": self.percentile(99),
+        }
+
+    def snapshot(self) -> Dict:
+        return {"type": "histogram", **self.summary()}
+
+    def __repr__(self) -> str:
+        return f"Histogram({self.name!r}, count={self.count}, mean={self.mean:.6g})"
+
+
+class Timer:
+    """Context manager observing elapsed seconds into a histogram.
+
+    >>> with registry.timer("epoch") as t:
+    ...     work()
+    >>> t.last  # seconds of the most recent timing
+    """
+
+    __slots__ = ("histogram", "last", "_start")
+
+    def __init__(self, histogram: Histogram) -> None:
+        self.histogram = histogram
+        self.last: Optional[float] = None
+        self._start: Optional[float] = None
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.last = time.perf_counter() - self._start
+        self.histogram.observe(self.last)
+        return False
+
+
+class MetricsRegistry:
+    """Named instruments with get-or-create semantics.
+
+    Asking twice for the same name returns the same object; asking for an
+    existing name with a different instrument type is an error (the usual
+    metric-registry contract).
+    """
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, object] = {}
+
+    def _get(self, name: str, cls):
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = cls(name)
+            self._metrics[name] = metric
+        elif not isinstance(metric, cls):
+            raise TypeError(
+                f"metric {name!r} already registered as "
+                f"{type(metric).__name__}, requested {cls.__name__}"
+            )
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get(name, Histogram)
+
+    def timer(self, name: str) -> Timer:
+        """A fresh Timer bound to the histogram called ``name``."""
+        return Timer(self.histogram(name))
+
+    def names(self) -> List[str]:
+        return sorted(self._metrics)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def snapshot(self) -> Dict[str, Dict]:
+        """Plain-dict view of every instrument (JSON-serializable)."""
+        return {name: m.snapshot() for name, m in sorted(self._metrics.items())}
+
+    def reset(self) -> None:
+        self._metrics.clear()
+
+
+# The process-wide default registry, shared by trainer and profiler call
+# sites that are not handed an explicit one.
+_DEFAULT_REGISTRY = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """Return the process-wide default :class:`MetricsRegistry`."""
+    return _DEFAULT_REGISTRY

@@ -1,0 +1,253 @@
+"""Op-level autograd profiling.
+
+:class:`OpProfiler` answers the per-layer-cost question behind the
+paper's efficiency study (Fig. 7): *where does an epoch's time go?*  It
+instruments the autograd substrate two ways:
+
+- **forward**: while enabled, the primitive tensor operations
+  (``Tensor.__matmul__``, ``ops.log_softmax``, ``sparse.spmm``, ...) are
+  replaced by timing wrappers that record wall-time, call count and
+  output-array bytes per op name.  Composite helpers (``mean``,
+  ``softmax``, ``__sub__``) are *not* patched — their primitive calls
+  record instead, so nothing is double-counted, and a re-entrancy guard
+  attributes nested calls to the outermost primitive only.
+- **backward**: the tape hook in :mod:`repro.tensor.tensor`
+  (:func:`~repro.tensor.tensor.set_backward_hook`) times every backward
+  closure as ``Tensor.backward`` walks the graph, keyed by the node's op
+  name.  This covers *all* tape nodes, including ones created inside
+  composite helpers.
+
+When disabled the originals are restored and the hook cleared: the
+forward path runs the exact original code objects and the backward walk
+pays one ``None`` check per node, so training is bitwise identical to an
+unprofiled run.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import dataclasses
+import time
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.tensor import functional as functional_mod
+from repro.tensor import ops as ops_mod
+from repro.tensor import sparse as sparse_mod
+from repro.tensor import tensor as tensor_mod
+from repro.tensor.tensor import Tensor
+
+# Patch table: (owner object, attribute, op name as it appears on the
+# tape).  Method names map onto the ``name=`` labels their backward
+# closures carry so forward and backward time aggregate under one key.
+_TENSOR_METHODS: Tuple[Tuple[str, str], ...] = (
+    ("__add__", "add"),
+    ("__neg__", "neg"),
+    ("__mul__", "mul"),
+    ("__truediv__", "div"),
+    ("__pow__", "pow"),
+    ("__matmul__", "matmul"),
+    ("reshape", "reshape"),
+    ("transpose", "transpose"),
+    ("__getitem__", "getitem"),
+    ("sum", "sum"),
+    ("max", "max"),
+    ("relu", "relu"),
+    ("exp", "exp"),
+    ("log", "log"),
+    ("sigmoid", "sigmoid"),
+    ("tanh", "tanh"),
+)
+_OPS_FUNCTIONS: Tuple[str, ...] = (
+    "leaky_relu",
+    "elu",
+    "log_softmax",
+    "concat",
+    "stack",
+    "dropout",
+    "maximum",
+    "scatter_rows",
+    "segment_softmax",
+)
+
+
+def _patch_table() -> List[Tuple[object, str, str]]:
+    table: List[Tuple[object, str, str]] = [
+        (Tensor, attr, name) for attr, name in _TENSOR_METHODS
+    ]
+    table.extend((ops_mod, fn, fn) for fn in _OPS_FUNCTIONS)
+    table.append((sparse_mod, "spmm", "spmm"))
+    # functional.py binds log_softmax by name at import time, so patch
+    # its reference too (same wrapper name: stats merge).
+    table.append((functional_mod, "log_softmax", "log_softmax"))
+    return table
+
+
+@dataclasses.dataclass
+class OpStat:
+    """Aggregated cost of one op name across the profiled window."""
+
+    name: str
+    calls: int = 0
+    forward_s: float = 0.0
+    backward_calls: int = 0
+    backward_s: float = 0.0
+    output_bytes: int = 0
+
+    @property
+    def total_s(self) -> float:
+        return self.forward_s + self.backward_s
+
+    def as_dict(self) -> Dict:
+        return {
+            "name": self.name,
+            "calls": self.calls,
+            "forward_s": self.forward_s,
+            "backward_calls": self.backward_calls,
+            "backward_s": self.backward_s,
+            "total_s": self.total_s,
+            "output_bytes": self.output_bytes,
+        }
+
+
+class OpProfiler:
+    """Records per-op forward/backward wall-time while enabled.
+
+    Use as a context manager (stats accumulate across windows)::
+
+        profiler = OpProfiler()
+        with profiler.profile():
+            trainer.fit(model, graph)
+        print(profiler.report())
+    """
+
+    def __init__(self) -> None:
+        self.stats: Dict[str, OpStat] = {}
+        self.wall_s = 0.0  # total wall time spent inside enabled windows
+        self.enabled = False
+        self._originals: List[Tuple[object, str, Callable]] = []
+        self._depth = 0
+        self._window_start: Optional[float] = None
+
+    # -- recording -----------------------------------------------------
+    def _stat(self, name: str) -> OpStat:
+        stat = self.stats.get(name)
+        if stat is None:
+            stat = OpStat(name)
+            self.stats[name] = stat
+        return stat
+
+    def _record_backward(self, name: str, seconds: float) -> None:
+        stat = self._stat(name or "<leaf>")
+        stat.backward_calls += 1
+        stat.backward_s += seconds
+
+    def _wrap(self, name: str, original: Callable) -> Callable:
+        def profiled(*args, **kwargs):
+            if self._depth:  # nested primitive: outermost call attributes
+                return original(*args, **kwargs)
+            self._depth += 1
+            start = time.perf_counter()
+            try:
+                out = original(*args, **kwargs)
+            finally:
+                elapsed = time.perf_counter() - start
+                self._depth -= 1
+            stat = self._stat(name)
+            stat.calls += 1
+            stat.forward_s += elapsed
+            if isinstance(out, Tensor):
+                stat.output_bytes += out.data.nbytes
+            return out
+
+        profiled.__name__ = getattr(original, "__name__", name)
+        profiled.__profiled_original__ = original
+        return profiled
+
+    # -- enable / disable ---------------------------------------------
+    def enable(self) -> None:
+        if self.enabled:
+            raise RuntimeError("OpProfiler is already enabled")
+        for owner, attr, name in _patch_table():
+            original = getattr(owner, attr)
+            self._originals.append((owner, attr, original))
+            setattr(owner, attr, self._wrap(name, original))
+        tensor_mod.set_backward_hook(self._record_backward)
+        self._window_start = time.perf_counter()
+        self.enabled = True
+
+    def disable(self) -> None:
+        if not self.enabled:
+            return
+        for owner, attr, original in self._originals:
+            setattr(owner, attr, original)
+        self._originals.clear()
+        tensor_mod.set_backward_hook(None)
+        self.wall_s += time.perf_counter() - self._window_start
+        self._window_start = None
+        self.enabled = False
+
+    @contextlib.contextmanager
+    def profile(self):
+        """Context manager enabling the profiler for the block."""
+        self.enable()
+        try:
+            yield self
+        finally:
+            self.disable()
+
+    def reset(self) -> None:
+        """Drop accumulated stats (keeps the enabled state)."""
+        self.stats.clear()
+        self.wall_s = 0.0
+
+    # -- reporting -----------------------------------------------------
+    @property
+    def accounted_s(self) -> float:
+        return sum(s.total_s for s in self.stats.values())
+
+    def top(self, n: Optional[int] = None) -> List[OpStat]:
+        """Op stats sorted by total (forward + backward) time, descending."""
+        ranked = sorted(self.stats.values(), key=lambda s: -s.total_s)
+        return ranked if n is None else ranked[:n]
+
+    def summary(self) -> Dict[str, Dict]:
+        """JSON-serializable snapshot of every op's aggregate cost."""
+        return {s.name: s.as_dict() for s in self.top()}
+
+    def report(self, top: Optional[int] = None) -> str:
+        """Fixed-width per-op cost table, most expensive first."""
+        header = (
+            f"{'op':<16}{'calls':>8}{'fwd ms':>10}{'bwd calls':>11}"
+            f"{'bwd ms':>10}{'total ms':>10}{'%':>7}{'out MB':>9}"
+        )
+        lines = [header, "-" * len(header)]
+        accounted = self.accounted_s
+        for stat in self.top(top):
+            share = 100.0 * stat.total_s / accounted if accounted else 0.0
+            lines.append(
+                f"{stat.name:<16}{stat.calls:>8}{1000 * stat.forward_s:>10.2f}"
+                f"{stat.backward_calls:>11}{1000 * stat.backward_s:>10.2f}"
+                f"{1000 * stat.total_s:>10.2f}{share:>7.1f}"
+                f"{stat.output_bytes / 1e6:>9.1f}"
+            )
+        lines.append("-" * len(header))
+        pct = 100.0 * accounted / self.wall_s if self.wall_s else 0.0
+        lines.append(
+            f"accounted {1000 * accounted:.1f} ms of {1000 * self.wall_s:.1f} ms "
+            f"profiled wall time ({pct:.1f}%)"
+        )
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (
+            f"OpProfiler(enabled={self.enabled}, ops={len(self.stats)}, "
+            f"accounted_s={self.accounted_s:.4f})"
+        )
+
+
+@contextlib.contextmanager
+def profile():
+    """One-shot convenience: ``with obs.profile() as p: ...; p.report()``."""
+    profiler = OpProfiler()
+    with profiler.profile():
+        yield profiler

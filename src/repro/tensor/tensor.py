@@ -14,6 +14,7 @@ the forward pass, its gradient is summed back down to the original shape
 from __future__ import annotations
 
 import contextlib
+import time
 from typing import Callable, Iterable, Optional, Sequence, Tuple, Union
 
 import numpy as np
@@ -21,6 +22,26 @@ import numpy as np
 Arrayish = Union["Tensor", np.ndarray, float, int]
 
 _GRAD_ENABLED = True
+
+# Optional observer of backward execution, installed by the op profiler
+# (:mod:`repro.obs.profiler`).  When set, ``Tensor.backward`` calls it as
+# ``hook(op_name, seconds)`` after running each node's backward closure.
+# When ``None`` (the default) the tape behaves exactly as before — the
+# only cost is one ``None`` comparison per node.
+_BACKWARD_HOOK: Optional[Callable[[str, float], None]] = None
+
+
+def set_backward_hook(
+    hook: Optional[Callable[[str, float], None]]
+) -> Optional[Callable[[str, float], None]]:
+    """Install (or clear, with ``None``) the tape's backward timing hook.
+
+    Returns the previously installed hook so callers can restore it.
+    """
+    global _BACKWARD_HOOK
+    previous = _BACKWARD_HOOK
+    _BACKWARD_HOOK = hook
+    return previous
 
 
 def is_grad_enabled() -> bool:
@@ -207,13 +228,19 @@ class Tensor:
         # Seed explicitly so backward also works when this tensor itself
         # does not require grad but its parents do.
         seeds = {id(self): grad}
+        hook = _BACKWARD_HOOK
         for node in order:
             node_grad = seeds.pop(id(node), None)
             if node_grad is None:
                 node_grad = node.grad if node.requires_grad else None
             if node_grad is None or node._backward_fn is None:
                 continue
-            node._backward_fn(node_grad)
+            if hook is None:
+                node._backward_fn(node_grad)
+            else:
+                start = time.perf_counter()
+                node._backward_fn(node_grad)
+                hook(node.name, time.perf_counter() - start)
 
     def _topological_order(self) -> list:
         """Nodes reachable from self, ordered so parents come after children."""

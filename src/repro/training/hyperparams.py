@@ -31,6 +31,12 @@ class HyperParams:
 def hyperparams_for(dataset: str) -> HyperParams:
     """Resolve the paper's hyperparameters for a dataset name."""
     name = dataset.lower()
+    if name == "synthetic":
+        # Profiling/CI stand-in graph (not in the paper): small hidden
+        # width and budget keep profiled runs comfortably sub-minute.
+        return HyperParams(
+            lr=0.01, weight_decay=1e-5, dropout=0.3, hidden=32, epochs=100
+        )
     if name in CITATION:
         lr = 0.02
     elif name == "tencent":

@@ -15,6 +15,7 @@ Both evaluation protocols are supported:
 
 from __future__ import annotations
 
+import contextlib
 import dataclasses
 import time
 from typing import Callable, List, Optional
@@ -24,7 +25,12 @@ import numpy as np
 from repro import nn
 from repro.graphs.graph import Graph
 from repro.models.base import GNNModel
+from repro.obs import get_logger
+from repro.obs.profiler import OpProfiler
+from repro.obs.runlog import RunLogger
 from repro.tensor import functional as F
+
+_LOG = get_logger("trainer")
 
 
 @dataclasses.dataclass
@@ -65,6 +71,23 @@ class TrainResult:
         return float(np.mean(self.epoch_times)) if self.epoch_times else 0.0
 
 
+def _gate_stats(model: GNNModel) -> dict:
+    """Stochastic-aggregator gate summary for the epoch record.
+
+    Lasagne's stochastic variant keeps per-node layer-activation
+    probabilities in ``model.gate``; other models contribute nothing.
+    """
+    gate = getattr(model, "gate", None)
+    if gate is None or not hasattr(gate, "probabilities_numpy"):
+        return {}
+    probs = gate.probabilities_numpy()
+    return {
+        "gate_mean": float(probs.mean()),
+        "gate_min": float(probs.min()),
+        "gate_max": float(probs.max()),
+    }
+
+
 class Trainer:
     """Train a :class:`~repro.models.base.GNNModel` on a :class:`Graph`."""
 
@@ -89,11 +112,21 @@ class Trainer:
         graph: Graph,
         inductive: bool = False,
         epoch_callback: Optional[Callable[[int, GNNModel], None]] = None,
+        logger: Optional[RunLogger] = None,
+        profiler: Optional[OpProfiler] = None,
     ) -> TrainResult:
         """Train ``model`` on ``graph`` and return the result.
 
         ``epoch_callback(epoch, model)`` runs after each epoch — the MI
         experiments (Fig. 6) use it to trace hidden representations.
+
+        ``logger`` (a :class:`repro.obs.RunLogger`) receives one
+        structured ``epoch`` record per epoch — loss, validation
+        accuracy, learning rate, global gradient norm, epoch time and
+        (for the stochastic aggregator) gate-probability statistics —
+        framed by ``fit_start``/``fit_end`` events.  ``profiler`` (a
+        :class:`repro.obs.OpProfiler`) is enabled for the duration of
+        the fit; both default to off and add nothing when omitted.
         """
         cfg = self.config
         rng = np.random.default_rng(cfg.seed)
@@ -108,78 +141,126 @@ class Trainer:
         )
         scheduler = self._make_scheduler(optimizer)
 
+        if logger is not None:
+            logger.log(
+                "fit_start",
+                model=repr(model),
+                dataset=getattr(graph, "name", None),
+                num_nodes=graph.num_nodes,
+                epochs=cfg.epochs,
+                patience=cfg.patience,
+                lr=cfg.lr,
+                weight_decay=cfg.weight_decay,
+                lr_schedule=cfg.lr_schedule,
+                seed=cfg.seed,
+                inductive=inductive,
+            )
+
         best_val = -1.0
         best_state = model.state_dict()
         stale = 0
         losses: List[float] = []
         val_accs: List[float] = []
         times: List[float] = []
+        lrs: List[float] = []
+        grad_norms: List[float] = []
         epochs_run = 0
 
-        for epoch in range(cfg.epochs):
-            epochs_run = epoch + 1
-            start = time.perf_counter()
-            model.train()
-            model.begin_epoch(rng)
-            logits, index = model.training_batch()
-            batch_graph = model.graph
-            mask = batch_graph.train_mask[index]
-            if not mask.any():
-                raise RuntimeError("training batch contains no labeled nodes")
-            loss = F.cross_entropy(
-                logits[np.flatnonzero(mask)], batch_graph.labels[index][mask]
-            )
-            aux = model.auxiliary_loss()
-            if aux is not None:
-                loss = loss + aux
-            optimizer.zero_grad()
-            loss.backward()
-            if cfg.max_grad_norm is not None:
-                nn.clip_grad_norm(optimizer.params, cfg.max_grad_norm)
-            optimizer.step()
-            if scheduler is not None:
-                scheduler.step()
-            times.append(time.perf_counter() - start)
-            losses.append(loss.item())
+        profile_ctx = (
+            profiler.profile() if profiler is not None else contextlib.nullcontext()
+        )
+        with profile_ctx:
+            for epoch in range(cfg.epochs):
+                epochs_run = epoch + 1
+                start = time.perf_counter()
+                model.train()
+                model.begin_epoch(rng)
+                logits, index = model.training_batch()
+                batch_graph = model.graph
+                mask = batch_graph.train_mask[index]
+                if not mask.any():
+                    raise RuntimeError("training batch contains no labeled nodes")
+                loss = F.cross_entropy(
+                    logits[np.flatnonzero(mask)], batch_graph.labels[index][mask]
+                )
+                aux = model.auxiliary_loss()
+                if aux is not None:
+                    loss = loss + aux
+                optimizer.zero_grad()
+                loss.backward()
+                if cfg.max_grad_norm is not None:
+                    grad_total = nn.clip_grad_norm(
+                        optimizer.params, cfg.max_grad_norm
+                    )
+                else:
+                    grad_total = nn.grad_norm(optimizer.params)
+                lr_used = optimizer.lr  # the rate this step applied
+                optimizer.step()
+                if scheduler is not None:
+                    scheduler.step()
+                times.append(time.perf_counter() - start)
+                losses.append(loss.item())
+                lrs.append(lr_used)
+                grad_norms.append(grad_total)
 
-            # Validation (on the full graph for inductive protocols).
+                # Validation (on the full graph for inductive protocols).
+                if inductive:
+                    model.attach(graph)
+                predictions = model.predict()
+                val_acc = F.accuracy(
+                    predictions[graph.val_mask], graph.labels[graph.val_mask]
+                )
+                val_accs.append(val_acc)
+                if epoch_callback is not None:
+                    epoch_callback(epoch, model)
+                if inductive:
+                    model.attach(train_view)
+
+                if logger is not None:
+                    logger.log_epoch(
+                        epoch,
+                        loss=losses[-1],
+                        val_acc=val_acc,
+                        lr=lr_used,
+                        grad_norm=grad_total,
+                        epoch_time=times[-1],
+                        **_gate_stats(model),
+                    )
+
+                if val_acc > best_val:
+                    best_val = val_acc
+                    best_state = model.state_dict()
+                    stale = 0
+                else:
+                    stale += 1
+                    if stale >= cfg.patience:
+                        break
+                if cfg.verbose and epoch % 20 == 0:
+                    _LOG.info(
+                        "epoch %4d  loss %.4f  val %.4f",
+                        epoch, loss.item(), val_acc,
+                    )
+
+            model.load_state_dict(best_state)
+            if cfg.checkpoint_path:
+                nn.save_module(
+                    model, cfg.checkpoint_path,
+                    metadata={"best_val_acc": best_val, "epochs_run": epochs_run},
+                )
             if inductive:
                 model.attach(graph)
             predictions = model.predict()
-            val_acc = F.accuracy(
-                predictions[graph.val_mask], graph.labels[graph.val_mask]
+            test_acc = F.accuracy(
+                predictions[graph.test_mask], graph.labels[graph.test_mask]
             )
-            val_accs.append(val_acc)
-            if epoch_callback is not None:
-                epoch_callback(epoch, model)
-            if inductive:
-                model.attach(train_view)
-
-            if val_acc > best_val:
-                best_val = val_acc
-                best_state = model.state_dict()
-                stale = 0
-            else:
-                stale += 1
-                if stale >= cfg.patience:
-                    break
-            if cfg.verbose and epoch % 20 == 0:
-                print(
-                    f"epoch {epoch:4d}  loss {loss.item():.4f}  val {val_acc:.4f}"
-                )
-
-        model.load_state_dict(best_state)
-        if cfg.checkpoint_path:
-            nn.save_module(
-                model, cfg.checkpoint_path,
-                metadata={"best_val_acc": best_val, "epochs_run": epochs_run},
+        if logger is not None:
+            logger.log(
+                "fit_end",
+                best_val_acc=best_val,
+                test_acc=test_acc,
+                epochs_run=epochs_run,
+                mean_epoch_time=float(np.mean(times)) if times else 0.0,
             )
-        if inductive:
-            model.attach(graph)
-        predictions = model.predict()
-        test_acc = F.accuracy(
-            predictions[graph.test_mask], graph.labels[graph.test_mask]
-        )
         return TrainResult(
             best_val_acc=best_val,
             test_acc=test_acc,
@@ -187,5 +268,10 @@ class Trainer:
             train_losses=losses,
             val_accuracies=val_accs,
             epoch_times=times,
-            history={"loss": losses, "val_acc": val_accs},
+            history={
+                "loss": losses,
+                "val_acc": val_accs,
+                "lr": lrs,
+                "grad_norm": grad_norms,
+            },
         )

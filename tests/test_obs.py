@@ -1,0 +1,380 @@
+"""Tests for the observability subsystem (repro.obs).
+
+Covers the metrics registry math, the JSONL run-logger round-trip, the
+op profiler's zero-overhead-when-off contract (bitwise identical
+gradients and losses), the trainer integration and the ``python -m
+repro profile`` CLI.
+"""
+
+import json
+import logging
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.core import Lasagne
+from repro.datasets import load_dataset
+from repro.obs import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    OpProfiler,
+    RunLogger,
+    get_logger,
+    get_registry,
+    new_run_id,
+    profile,
+    read_run,
+)
+from repro.tensor import Tensor, ops
+from repro.tensor import functional as F
+from repro.tensor import tensor as tensor_mod
+from repro.training import TrainConfig, Trainer
+
+
+# ---------------------------------------------------------------------------
+# Metrics registry
+# ---------------------------------------------------------------------------
+class TestMetrics:
+    def test_counter_increments_and_rejects_decrease(self):
+        c = Counter("calls")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_gauge_set_inc_dec(self):
+        g = Gauge("lr")
+        assert g.value is None
+        g.set(0.02)
+        assert g.value == 0.02
+        g.inc(0.01)
+        g.dec(0.02)
+        assert g.value == pytest.approx(0.01)
+
+    def test_histogram_summary_math(self):
+        h = Histogram("t")
+        for v in [1.0, 2.0, 3.0, 4.0]:
+            h.observe(v)
+        assert h.count == 4
+        assert h.total == 10.0
+        assert h.mean == 2.5
+        assert h.min == 1.0
+        assert h.max == 4.0
+        assert h.percentile(50) == 2.5
+        assert h.percentile(0) == 1.0
+        assert h.percentile(100) == 4.0
+        # population std of [1,2,3,4] is sqrt(1.25)
+        assert h.std == pytest.approx(np.sqrt(1.25))
+        summary = h.summary()
+        assert summary["count"] == 4 and summary["p50"] == 2.5
+
+    def test_empty_histogram_is_all_zero(self):
+        h = Histogram("empty")
+        assert h.count == 0 and h.mean == 0.0 and h.percentile(95) == 0.0
+
+    def test_timer_records_elapsed(self):
+        registry = MetricsRegistry()
+        with registry.timer("sleep") as t:
+            sum(range(1000))
+        assert t.last is not None and t.last >= 0.0
+        assert registry.histogram("sleep").count == 1
+
+    def test_registry_get_or_create_and_type_collision(self):
+        registry = MetricsRegistry()
+        c1 = registry.counter("x")
+        assert registry.counter("x") is c1
+        with pytest.raises(TypeError):
+            registry.gauge("x")
+        assert "x" in registry and registry.names() == ["x"]
+
+    def test_registry_snapshot_and_reset(self):
+        registry = MetricsRegistry()
+        registry.counter("a").inc(2)
+        registry.gauge("b").set(1.5)
+        registry.histogram("c").observe(3.0)
+        snap = registry.snapshot()
+        assert snap["a"] == {"type": "counter", "value": 2}
+        assert snap["b"] == {"type": "gauge", "value": 1.5}
+        assert snap["c"]["mean"] == 3.0
+        json.dumps(snap)  # must be JSON-serializable
+        registry.reset()
+        assert registry.names() == []
+
+    def test_default_registry_is_shared(self):
+        assert get_registry() is get_registry()
+
+
+# ---------------------------------------------------------------------------
+# RunLogger JSONL round-trip
+# ---------------------------------------------------------------------------
+class TestRunLogger:
+    def test_round_trip(self, tmp_path):
+        logger = RunLogger(run_id="t1", directory=tmp_path, metadata={"k": 1})
+        logger.log("epoch", epoch=0, loss=1.5)
+        logger.log_epoch(1, loss=np.float64(1.25), acc=np.int64(3))
+        logger.close()
+
+        records = read_run(tmp_path / "t1.jsonl")
+        assert [r["event"] for r in records] == ["run_start", "epoch", "epoch"]
+        assert records[0]["k"] == 1
+        assert [r["seq"] for r in records] == [0, 1, 2]
+        assert records[2]["loss"] == 1.25 and records[2]["acc"] == 3
+        assert all("ts" in r and "elapsed" in r for r in records)
+
+    def test_numpy_arrays_serialize(self, tmp_path):
+        with RunLogger(run_id="t2", directory=tmp_path) as logger:
+            logger.log("stats", values=np.arange(3, dtype=np.float64))
+        records = read_run(tmp_path / "t2.jsonl")
+        assert records[1]["values"] == [0.0, 1.0, 2.0]
+
+    def test_closed_logger_refuses_writes(self, tmp_path):
+        logger = RunLogger(run_id="t3", directory=tmp_path)
+        logger.close()
+        assert logger.closed
+        with pytest.raises(RuntimeError):
+            logger.log("late")
+
+    def test_run_ids_are_unique(self):
+        assert new_run_id() != new_run_id()
+
+
+# ---------------------------------------------------------------------------
+# Op profiler
+# ---------------------------------------------------------------------------
+def _loss_and_grads(profiler=None):
+    """A small fixed computation; returns (loss value, list of grads)."""
+    rng = np.random.default_rng(7)
+    w = Tensor(rng.normal(size=(8, 4)), requires_grad=True)
+    b = Tensor(np.zeros(4), requires_grad=True)
+    x = Tensor(rng.normal(size=(16, 8)))
+    targets = rng.integers(0, 4, size=16)
+
+    def compute():
+        h = (x @ w + b).relu()
+        h = ops.concat([h, h * 0.5], axis=1)
+        logits = h @ Tensor(rng.normal(size=(8, 4))) - h.mean(axis=1, keepdims=True)
+        return F.cross_entropy(logits, targets)
+
+    if profiler is None:
+        loss = compute()
+    else:
+        with profiler.profile():
+            loss = compute()
+            loss.backward()
+            return loss.item(), [w.grad.copy(), b.grad.copy()]
+    loss.backward()
+    return loss.item(), [w.grad.copy(), b.grad.copy()]
+
+
+class TestProfiler:
+    def test_profiled_run_matches_unprofiled_bitwise(self):
+        loss_plain, grads_plain = _loss_and_grads()
+        loss_prof, grads_prof = _loss_and_grads(OpProfiler())
+        assert loss_plain == loss_prof  # exact, not approx
+        for a, b in zip(grads_plain, grads_prof):
+            assert np.array_equal(a, b)
+
+    def test_disable_restores_originals(self):
+        original_add = Tensor.__add__
+        original_matmul = Tensor.__matmul__
+        original_log_softmax = ops.log_softmax
+        profiler = OpProfiler()
+        with profiler.profile():
+            assert Tensor.__add__ is not original_add
+            assert getattr(Tensor.__add__, "__profiled_original__") is original_add
+            assert tensor_mod._BACKWARD_HOOK is not None
+        assert Tensor.__add__ is original_add
+        assert Tensor.__matmul__ is original_matmul
+        assert ops.log_softmax is original_log_softmax
+        assert tensor_mod._BACKWARD_HOOK is None
+
+    def test_stats_and_report(self):
+        profiler = OpProfiler()
+        _loss_and_grads(profiler)
+        stats = profiler.summary()
+        # forward + backward recorded under the tape's op names
+        assert stats["matmul"]["calls"] >= 2
+        assert stats["matmul"]["backward_calls"] >= 2
+        assert stats["matmul"]["output_bytes"] > 0
+        assert "relu" in stats and "concat" in stats
+        # nll appears backward-only (created inside cross_entropy)
+        assert stats["nll"]["backward_calls"] >= 1
+        assert 0 < profiler.accounted_s <= profiler.wall_s
+        report = profiler.report(top=5)
+        assert "matmul" in report and "accounted" in report
+        assert len(profiler.top(3)) == 3
+
+    def test_composites_do_not_double_count(self):
+        profiler = OpProfiler()
+        x = Tensor(np.ones((4, 4)), requires_grad=True)
+        with profiler.profile():
+            (x - x * 0.5).mean().backward()
+        # __sub__ and mean are composition helpers: their primitives
+        # (add/neg/mul/sum) record instead, under the tape names.
+        assert "sub" not in profiler.stats and "mean" not in profiler.stats
+        assert profiler.stats["add"].calls == 1
+        assert profiler.stats["sum"].calls == 1
+
+    def test_nested_enable_raises(self):
+        profiler = OpProfiler()
+        with profiler.profile():
+            with pytest.raises(RuntimeError):
+                profiler.enable()
+
+    def test_module_level_profile_context(self):
+        with profile() as p:
+            (Tensor(np.ones(3), requires_grad=True) * 2.0).sum().backward()
+        assert p.stats["mul"].calls == 1
+        assert not p.enabled
+
+    def test_reset_clears_stats(self):
+        profiler = OpProfiler()
+        _loss_and_grads(profiler)
+        profiler.reset()
+        assert profiler.stats == {} and profiler.accounted_s == 0.0
+
+
+# ---------------------------------------------------------------------------
+# Trainer integration
+# ---------------------------------------------------------------------------
+GRAPH = load_dataset("synthetic", seed=0)
+
+
+def _model(seed=0):
+    return Lasagne(
+        GRAPH.num_features, 16, GRAPH.num_classes,
+        num_layers=3, aggregator="stochastic", dropout=0.2, seed=seed,
+    )
+
+
+class TestTrainerIntegration:
+    def test_epoch_records_and_history(self, tmp_path):
+        logger = RunLogger(run_id="fit", directory=tmp_path)
+        config = TrainConfig(lr=0.01, epochs=4, patience=4, seed=0)
+        result = Trainer(config).fit(_model(), GRAPH, logger=logger)
+        logger.close()
+
+        records = read_run(tmp_path / "fit.jsonl")
+        events = [r["event"] for r in records]
+        assert events[0] == "run_start" and events[1] == "fit_start"
+        assert events[-1] == "fit_end"
+        epochs = [r for r in records if r["event"] == "epoch"]
+        assert len(epochs) == result.epochs_run
+        for record in epochs:
+            for key in ("loss", "val_acc", "lr", "grad_norm", "epoch_time",
+                        "gate_mean", "gate_min", "gate_max"):
+                assert key in record, key
+            assert record["grad_norm"] > 0
+        assert records[-1]["test_acc"] == result.test_acc
+
+        # Satellite: lr and grad_norm live in the history too.
+        assert len(result.history["lr"]) == result.epochs_run
+        assert len(result.history["grad_norm"]) == result.epochs_run
+        assert result.history["lr"][0] == 0.01
+        assert result.history["grad_norm"] == [
+            r["grad_norm"] for r in epochs
+        ]
+
+    def test_lr_history_tracks_scheduler(self):
+        config = TrainConfig(
+            lr=0.02, epochs=6, patience=6, seed=0, lr_schedule="cosine"
+        )
+        result = Trainer(config).fit(_model(), GRAPH)
+        lrs = result.history["lr"]
+        assert lrs[0] == 0.02  # first step uses the base rate
+        assert lrs[-1] < lrs[0]  # cosine decays
+
+    def test_profiled_training_is_bitwise_identical(self):
+        config = TrainConfig(lr=0.01, epochs=3, patience=3, seed=0)
+        plain = Trainer(config).fit(_model(seed=1), GRAPH)
+        profiler = OpProfiler()
+        profiled = Trainer(config).fit(
+            _model(seed=1), GRAPH, profiler=profiler
+        )
+        assert plain.train_losses == profiled.train_losses  # exact
+        assert plain.val_accuracies == profiled.val_accuracies
+        assert profiler.stats["spmm"].calls > 0
+
+    def test_verbose_goes_through_obs_logging(self, capsys):
+        config = TrainConfig(lr=0.01, epochs=2, patience=2, seed=0, verbose=True)
+        Trainer(config).fit(_model(), GRAPH)
+        out = capsys.readouterr().out
+        assert "epoch    0" in out and "loss" in out and "val" in out
+
+    def test_obs_logger_namespace(self):
+        log = get_logger("trainer")
+        assert log.name == "repro.obs.trainer"
+        root = logging.getLogger("repro.obs")
+        assert root.propagate is False and root.handlers
+
+
+# ---------------------------------------------------------------------------
+# CLI smoke test
+# ---------------------------------------------------------------------------
+class TestProfileCLI:
+    def test_profile_command(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        run_dir = tmp_path / "runs"
+        code = main([
+            "profile", "synthetic", "--model", "lasagne", "--layers", "3",
+            "--epochs", "2", "--top", "5", "--run-dir", str(run_dir),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "accounted" in out and "profiled wall time" in out
+        assert "spmm" in out or "matmul" in out
+        assert "run log:" in out
+
+        logs = list(run_dir.glob("*.jsonl"))
+        assert len(logs) == 1
+        records = read_run(logs[0])
+        assert sum(1 for r in records if r["event"] == "epoch") == 2
+        # profiling must be off again after the command returns
+        assert tensor_mod._BACKWARD_HOOK is None
+
+    def test_profile_command_no_log(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        code = main([
+            "profile", "synthetic", "--model", "gcn", "--layers", "2",
+            "--epochs", "1", "--no-log", "--run-dir", str(tmp_path / "r"),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "run log:" not in out
+        assert not (tmp_path / "r").exists()
+
+    def test_profile_unknown_model_errors(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        code = main([
+            "profile", "synthetic", "--model", "nope", "--no-log",
+        ])
+        assert code == 2
+
+
+# ---------------------------------------------------------------------------
+# Synthetic dataset plumbing used by the profiler CLI
+# ---------------------------------------------------------------------------
+class TestSyntheticDataset:
+    def test_loads_and_is_seed_stable(self):
+        g1 = load_dataset("synthetic", seed=0)
+        g2 = load_dataset("synthetic", seed=0)
+        assert g1.num_nodes == 800 and g1.num_classes == 6
+        assert np.array_equal(g1.features, g2.features)
+
+    def test_not_in_table2_registry(self):
+        from repro.datasets import dataset_names
+
+        assert "synthetic" not in dataset_names()
+
+    def test_hyperparams(self):
+        from repro.training import hyperparams_for
+
+        hp = hyperparams_for("synthetic")
+        assert hp.hidden == 32 and hp.epochs == 100

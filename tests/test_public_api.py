@@ -30,6 +30,7 @@ PACKAGES_WITH_ALL = [
     "repro.training",
     "repro.info",
     "repro.experiments",
+    "repro.obs",
 ]
 
 
