@@ -1,0 +1,126 @@
+"""Guard: resilience machinery must cost nothing while disabled.
+
+``Trainer.fit`` grew guard/checkpoint hooks in the robustness PR.  With
+``guards=None`` and ``checkpoint_every=None`` (the defaults) those hooks
+reduce to a couple of ``is not None`` checks per epoch, so a default
+``fit()`` must stay within noise of the seed-era trainer throughput —
+mirroring the PR-1 guard for the disabled op profiler:
+
+- timing: mean fit-epoch wall time with everything off is within a loose
+  factor of a bare train-step loop (which is strictly *less* work per
+  epoch — no validation, no history bookkeeping — so the bound is
+  conservative and only trips on a real hot-path regression);
+- ``benchmark`` entries for a guarded+checkpointed fit and a single
+  checkpoint save, making the *enabled* cost visible in reports.
+"""
+
+import time
+
+import numpy as np
+
+from repro import nn
+from repro.core import Lasagne
+from repro.datasets import load_dataset
+from repro.resilience import CheckpointManager, GuardConfig
+from repro.tensor import functional as F
+from repro.training import TrainConfig, Trainer
+from repro.training.trainer import _Bookkeeping  # noqa: F401 — import sanity
+
+GRAPH = load_dataset("synthetic", seed=0)
+
+EPOCHS = 8
+
+# Loose by design: a fit epoch additionally runs validation + metrics, so
+# the disabled-resilience path only trips this on a real regression
+# (e.g. snapshots taken when no guard is active), not on CI jitter.
+DISABLED_OVERHEAD_FACTOR = 3.0
+
+
+def _make_model():
+    model = Lasagne(
+        GRAPH.num_features, 16, GRAPH.num_classes,
+        num_layers=4, aggregator="stochastic", dropout=0.2, seed=0,
+    )
+    model.setup(GRAPH)
+    return model, nn.Adam(model.parameters(), lr=0.01)
+
+
+def _bare_epoch(model, optimizer, rng):
+    model.train()
+    model.begin_epoch(rng)
+    logits, index = model.training_batch()
+    mask = model.graph.train_mask[index]
+    loss = F.cross_entropy(
+        logits[np.flatnonzero(mask)], model.graph.labels[index][mask]
+    )
+    optimizer.zero_grad()
+    loss.backward()
+    optimizer.step()
+    return loss.item()
+
+
+def _best_bare_epoch_time(repeats: int = 7) -> float:
+    """Min-of-N bare train-step wall time (min is robust to noise)."""
+    model, optimizer = _make_model()
+    rng = np.random.default_rng(0)
+    _bare_epoch(model, optimizer, rng)  # warm up allocations / caches
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        _bare_epoch(model, optimizer, rng)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _fit(**kwargs):
+    cfg = TrainConfig(lr=0.01, epochs=EPOCHS, patience=EPOCHS, seed=0)
+    model = Lasagne(
+        GRAPH.num_features, 16, GRAPH.num_classes,
+        num_layers=4, aggregator="stochastic", dropout=0.2, seed=0,
+    )
+    return Trainer(cfg).fit(model, GRAPH, **kwargs)
+
+
+def test_default_fit_has_no_resilience_overhead():
+    bare = _best_bare_epoch_time()
+    _fit()  # warm up
+    start = time.perf_counter()
+    result = _fit()
+    per_epoch = (time.perf_counter() - start) / result.epochs_run
+    assert result.rollbacks == 0
+    assert per_epoch <= bare * DISABLED_OVERHEAD_FACTOR, (
+        f"default fit epoch {1000 * per_epoch:.2f} ms vs bare train step "
+        f"{1000 * bare:.2f} ms exceeds factor {DISABLED_OVERHEAD_FACTOR}"
+    )
+
+
+def test_guarded_checkpointed_fit(benchmark, tmp_path):
+    """Benchmark the *enabled* path so its cost stays visible."""
+    counter = [0]
+
+    def guarded_fit():
+        counter[0] += 1
+        return _fit(
+            guards=GuardConfig(grad_limit=1e6),
+            checkpoint_every=2,
+            checkpoint_dir=tmp_path / f"run-{counter[0]}",
+        )
+
+    result = benchmark.pedantic(guarded_fit, rounds=3, iterations=1)
+    assert result.epochs_run == EPOCHS
+    assert np.isfinite(result.train_losses).all()
+
+
+def test_checkpoint_save(benchmark, tmp_path):
+    """Benchmark one atomic checkpoint write (fsync + replace + manifest)."""
+    model, optimizer = _make_model()
+    manager = CheckpointManager(tmp_path, keep_last=3)
+    arrays = {f"model.{k}": v for k, v in model.state_dict().items()}
+    step = [0]
+
+    def save():
+        step[0] += 1
+        return manager.save(step[0], arrays, meta={"epoch": step[0]})
+
+    benchmark(save)
+    assert manager.load_latest() is not None

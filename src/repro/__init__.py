@@ -15,6 +15,9 @@ The package is layered bottom-up:
 - :mod:`repro.experiments` — one harness per table/figure of the paper.
 - :mod:`repro.obs` — observability: metrics registry, structured JSONL
   run logging, and op-level autograd profiling.
+- :mod:`repro.resilience` — crash-safe checkpoints, divergence guards
+  with rollback + LR backoff, fault-tolerant experiment runs, and the
+  fault-injection harness that tests them.
 """
 
 __version__ = "1.0.0"

@@ -4,10 +4,15 @@ Commands
 --------
 ``datasets``      print the Table 2 dataset overview (optionally scaled)
 ``train``         train one model on one dataset and report accuracy
+                  (``--checkpoint-every``/``--guard`` make it crash-safe)
+``resume``        continue an interrupted ``train --checkpoint-every`` run
+                  from its newest valid checkpoint, bitwise-identically
 ``select``        run the aggregator bake-off on a dataset
 ``profile``       train a few epochs under the op profiler, print the
                   per-op cost table and write a JSONL run log
-``experiments``   run the paper's tables/figures (delegates to run_all)
+``experiments``   run the paper's tables/figures (delegates to run_all;
+                  ``--resume``/``--keep-going``/``--retries`` for fault
+                  tolerance)
 """
 
 from __future__ import annotations
@@ -48,8 +53,28 @@ def _build_model(args: argparse.Namespace, graph, hp):
     return None
 
 
-def _cmd_train(args: argparse.Namespace) -> int:
+def _train_cli_metadata(args: argparse.Namespace, epochs: int) -> dict:
+    """The invocation record stored in every checkpoint, so ``resume``
+    can rebuild the graph/model/config without the original command."""
+    return {
+        "cli": {
+            "dataset": args.dataset,
+            "model": args.model,
+            "aggregator": args.aggregator,
+            "layers": args.layers,
+            "epochs": epochs,
+            "scale": args.scale,
+            "seed": args.seed,
+            "inductive": args.inductive,
+            "checkpoint_every": args.checkpoint_every,
+        }
+    }
+
+
+def _run_train(args: argparse.Namespace, resume_from=None) -> int:
+    """Shared train/resume driver: build, fit (with resilience), report."""
     from repro.datasets import load_dataset
+    from repro.resilience import GuardConfig, TrainingDiverged
     from repro.training import TrainConfig, Trainer, hyperparams_for
 
     graph = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
@@ -60,18 +85,45 @@ def _cmd_train(args: argparse.Namespace) -> int:
     if model is None:
         return 2
 
+    epochs = args.epochs if args.epochs else hp.epochs
+    guards = None
+    if args.guard:
+        guards = GuardConfig(max_retries=args.guard_retries)
     config = TrainConfig(
         lr=hp.lr, weight_decay=hp.weight_decay,
-        epochs=args.epochs if args.epochs else hp.epochs,
-        patience=hp.patience, seed=args.seed,
+        epochs=epochs, patience=hp.patience, seed=args.seed,
+        guards=guards,
     )
-    result = Trainer(config).fit(model, graph, inductive=args.inductive)
+    checkpoint_dir = args.checkpoint_dir
+    if args.checkpoint_every and not checkpoint_dir:
+        checkpoint_dir = (
+            f"results/checkpoints/{args.dataset}-{args.model}-seed{args.seed}"
+        )
+    try:
+        result = Trainer(config).fit(
+            model, graph, inductive=args.inductive,
+            checkpoint_every=args.checkpoint_every,
+            checkpoint_dir=checkpoint_dir,
+            resume_from=resume_from,
+            checkpoint_metadata=_train_cli_metadata(args, epochs),
+        )
+    except TrainingDiverged as exc:
+        print(f"training diverged: {exc}", file=sys.stderr)
+        print(f"failure record: {exc.failure.as_dict()}", file=sys.stderr)
+        return 3
+    resumed = (
+        f", resumed from epoch {result.resumed_from_epoch}"
+        if result.resumed_from_epoch is not None else ""
+    )
     print(
         f"{args.model}: test {100 * result.test_acc:.1f}% "
         f"(val {100 * result.best_val_acc:.1f}%, "
         f"{result.epochs_run} epochs, "
-        f"{1000 * result.mean_epoch_time:.1f} ms/epoch)"
+        f"{1000 * result.mean_epoch_time:.1f} ms/epoch"
+        f"{resumed})"
     )
+    if checkpoint_dir and args.checkpoint_every:
+        print(f"checkpoints under {checkpoint_dir}")
     if args.checkpoint:
         from repro import nn
 
@@ -81,6 +133,53 @@ def _cmd_train(args: argparse.Namespace) -> int:
         )
         print(f"checkpoint written to {path}")
     return 0
+
+
+def _cmd_train(args: argparse.Namespace) -> int:
+    return _run_train(args)
+
+
+def _cmd_resume(args: argparse.Namespace) -> int:
+    from repro.nn.serialization import CheckpointError
+    from repro.resilience import CheckpointManager
+
+    manager = CheckpointManager(args.run_dir)
+    ckpt = manager.load_latest()
+    if ckpt is None:
+        print(f"no usable checkpoint under {args.run_dir}", file=sys.stderr)
+        return 2
+    cli = ckpt.meta.get("extra", {}).get("metadata", {}).get("cli")
+    if not cli:
+        print(
+            f"checkpoint {ckpt.path} carries no CLI metadata; resume "
+            f"programmatically via Trainer.fit(resume_from=...)",
+            file=sys.stderr,
+        )
+        return 2
+    print(
+        f"resuming {cli['dataset']}/{cli['model']} from epoch "
+        f"{ckpt.step} ({ckpt.path.name})"
+    )
+    resumed = argparse.Namespace(
+        dataset=cli["dataset"],
+        model=cli["model"],
+        aggregator=cli.get("aggregator", "stochastic"),
+        layers=cli.get("layers", 5),
+        epochs=args.epochs if args.epochs else cli.get("epochs"),
+        scale=cli.get("scale"),
+        seed=cli.get("seed", 0),
+        inductive=cli.get("inductive", False),
+        checkpoint_every=cli.get("checkpoint_every"),
+        checkpoint_dir=str(args.run_dir),
+        guard=args.guard,
+        guard_retries=args.guard_retries,
+        checkpoint=None,
+    )
+    try:
+        return _run_train(resumed, resume_from=manager)
+    except CheckpointError as exc:
+        print(f"resume failed: {exc}", file=sys.stderr)
+        return 2
 
 
 def _cmd_select(args: argparse.Namespace) -> int:
@@ -158,8 +257,12 @@ def _cmd_profile(args: argparse.Namespace) -> int:
 def _cmd_experiments(args: argparse.Namespace) -> int:
     from repro.experiments.run_all import run_all
 
-    run_all(args.preset, only=args.only)
-    return 0
+    summary = run_all(
+        args.preset, only=args.only,
+        resume=args.resume, keep_going=args.keep_going,
+        retries=args.retries, retry_wait=args.retry_wait,
+    )
+    return 0 if summary.ok else 1
 
 
 def main(argv=None) -> int:
@@ -181,7 +284,26 @@ def main(argv=None) -> int:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--inductive", action="store_true")
     p.add_argument("--checkpoint", default=None)
+    p.add_argument("--checkpoint-every", type=int, default=None,
+                   help="write a crash-safe checkpoint every N epochs")
+    p.add_argument("--checkpoint-dir", default=None,
+                   help="checkpoint directory (default results/checkpoints/...)")
+    p.add_argument("--guard", action="store_true",
+                   help="enable NaN/divergence rollback with LR backoff")
+    p.add_argument("--guard-retries", type=int, default=3,
+                   help="rollback budget before aborting (with --guard)")
     p.set_defaults(func=_cmd_train)
+
+    p = sub.add_parser(
+        "resume", help="continue an interrupted train run from its checkpoints"
+    )
+    p.add_argument("run_dir", help="checkpoint directory of the interrupted run")
+    p.add_argument("--epochs", type=int, default=None,
+                   help="override the total epoch budget of the resumed run")
+    p.add_argument("--guard", action="store_true",
+                   help="enable NaN/divergence rollback with LR backoff")
+    p.add_argument("--guard-retries", type=int, default=3)
+    p.set_defaults(func=_cmd_resume)
 
     p = sub.add_parser("select", help="aggregator bake-off on a dataset")
     p.add_argument("dataset")
@@ -213,6 +335,14 @@ def main(argv=None) -> int:
     p = sub.add_parser("experiments", help="run the paper's tables/figures")
     p.add_argument("--preset", default="quick")
     p.add_argument("--only", nargs="+", default=None)
+    p.add_argument("--resume", action="store_true",
+                   help="skip experiments already recorded as completed")
+    p.add_argument("--keep-going", action="store_true",
+                   help="collect failures into a summary instead of aborting")
+    p.add_argument("--retries", type=int, default=0,
+                   help="retries per failing experiment (exponential backoff)")
+    p.add_argument("--retry-wait", type=float, default=0.5,
+                   help="initial backoff between retries, seconds")
     p.set_defaults(func=_cmd_experiments)
 
     args = parser.parse_args(argv)

@@ -1,19 +1,35 @@
-"""Run every experiment of the paper in sequence.
+"""Run every experiment of the paper in sequence, fault-tolerantly.
 
 ``python -m repro.experiments.run_all --preset quick`` regenerates all
 tables and figures at CPU-friendly settings; ``--preset paper`` uses the
 full protocol (expect hours on a laptop).  Each result is printed and
 saved under ``results/``.
+
+Long sweeps survive individual failures instead of dying on the first
+one (see ``docs/resilience.md``):
+
+- every experiment runs in its own try/except with
+  ``--retries N`` retry-with-backoff for transient failures;
+- a persisted JSON manifest (``results/run_all_manifest.json``) records
+  per-experiment status, so ``--resume`` skips already-completed
+  entries after an interruption;
+- ``--keep-going`` collects failures into the final summary instead of
+  aborting, so one broken experiment cannot discard ten finished ones.
 """
 
 from __future__ import annotations
 
 import argparse
+import dataclasses
+import pathlib
 import time
-from typing import Callable, Dict, List, Optional
+import traceback
+from typing import Callable, Dict, List, Optional, Tuple, Union
 
 from repro.experiments import save_result
+from repro.obs import get_logger
 from repro.obs.runlog import RunLogger, new_run_id
+from repro.resilience.manifest import RunManifest
 from repro.experiments import (
     extension_aggregators,
     fig1_expansion,
@@ -31,6 +47,10 @@ from repro.experiments import (
     table7_other_gnns,
     table8_label_rate,
 )
+
+_LOG = get_logger("run_all")
+
+DEFAULT_MANIFEST = pathlib.Path("results") / "run_all_manifest.json"
 
 PRESETS: Dict[str, Dict] = {
     # Everything small: minutes, shapes only.
@@ -84,56 +104,206 @@ def build_plan(preset: Dict) -> List:
     ]
 
 
+@dataclasses.dataclass
+class ExperimentFailure:
+    """One experiment that exhausted its retries."""
+
+    name: str
+    error: str
+    attempts: int
+    elapsed: float
+
+
+@dataclasses.dataclass
+class RunAllSummary:
+    """Outcome of a (possibly partial) ``run_all`` sweep.
+
+    Iterating/indexing yields the completed ``ExperimentResult`` objects,
+    so existing list-style callers keep working.
+    """
+
+    results: List
+    completed: List[str]
+    skipped: List[str]
+    failed: List[ExperimentFailure]
+
+    def __iter__(self):
+        return iter(self.results)
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def __getitem__(self, index):
+        return self.results[index]
+
+    @property
+    def ok(self) -> bool:
+        return not self.failed
+
+    def render(self) -> str:
+        lines = [
+            f"run_all summary: {len(self.completed)} completed, "
+            f"{len(self.skipped)} skipped (already done), "
+            f"{len(self.failed)} failed"
+        ]
+        for failure in self.failed:
+            lines.append(
+                f"  FAILED {failure.name} after {failure.attempts} attempt(s): "
+                f"{failure.error}"
+            )
+        return "\n".join(lines)
+
+
+def _attempt(
+    name: str,
+    fn: Callable,
+    retries: int,
+    retry_wait: float,
+    logger: RunLogger,
+) -> Tuple[Optional[object], Optional[str], int]:
+    """Run one experiment with retry-with-backoff isolation.
+
+    Returns ``(result, error, attempts)`` — exactly one of
+    ``result``/``error`` is set.
+    """
+    error = None
+    for attempt in range(1, retries + 2):
+        try:
+            return fn(), None, attempt
+        except KeyboardInterrupt:
+            raise
+        except Exception as exc:  # noqa: BLE001 — isolation boundary
+            error = f"{type(exc).__name__}: {exc}"
+            _LOG.warning("experiment %s attempt %d failed: %s", name, attempt, error)
+            logger.log(
+                "experiment_error",
+                experiment=name,
+                attempt=attempt,
+                error=error,
+                traceback=traceback.format_exc(limit=8),
+            )
+            if attempt <= retries:
+                wait = retry_wait * 2 ** (attempt - 1)
+                if wait > 0:
+                    time.sleep(wait)
+    return None, error, retries + 1
+
+
 def run_all(
     preset_name: str = "quick",
-    only: List[str] = None,
+    only: Optional[List[str]] = None,
     logger: Optional[RunLogger] = None,
-) -> List:
-    """Execute the plan; returns the list of ExperimentResults.
+    *,
+    keep_going: bool = False,
+    resume: bool = False,
+    retries: int = 0,
+    retry_wait: float = 0.5,
+    manifest_path: Union[None, str, pathlib.Path] = None,
+    plan: Optional[List[Tuple[str, Callable]]] = None,
+) -> RunAllSummary:
+    """Execute the plan; returns a :class:`RunAllSummary`.
 
     Every table/figure is timestamped into a structured JSONL event
     stream (``results/runs/experiments-<preset>-....jsonl``); pass an
     existing :class:`~repro.obs.RunLogger` to merge the events into a
     larger run instead.
+
+    ``resume`` skips experiments the manifest records as completed;
+    ``keep_going`` turns failures into summary entries instead of
+    exceptions; ``retries``/``retry_wait`` retry each failing
+    experiment with exponential backoff before giving up; ``plan``
+    overrides the built-in experiment list (the fault-injection tests
+    use this to add deliberately failing entries).
     """
     if preset_name not in PRESETS:
         raise KeyError(f"unknown preset {preset_name!r}; options: {sorted(PRESETS)}")
-    plan = build_plan(PRESETS[preset_name])
+    if plan is None:
+        plan = build_plan(PRESETS[preset_name])
     if only:
         plan = [(name, fn) for name, fn in plan if name in only]
         if not plan:
             raise ValueError(f"no experiments match {only}")
+    manifest = RunManifest(manifest_path or DEFAULT_MANIFEST)
     own_logger = logger is None
     if own_logger:
         logger = RunLogger(
             run_id=new_run_id(f"experiments-{preset_name}"),
             metadata={"preset": preset_name, "only": only,
-                      "planned": [name for name, _ in plan]},
+                      "planned": [name for name, _ in plan],
+                      "resume": resume, "keep_going": keep_going},
         )
     results = []
+    completed: List[str] = []
+    skipped: List[str] = []
+    failed: List[ExperimentFailure] = []
     try:
         for name, fn in plan:
+            if resume and manifest.status(name) == "completed":
+                skipped.append(name)
+                logger.log("experiment_skipped", experiment=name)
+                print(f"[{name} already completed; skipping]\n")
+                continue
             logger.log("experiment_start", experiment=name)
+            manifest.mark_started(name, preset=preset_name)
             start = time.perf_counter()
-            result = fn()
+            result, error, attempts = _attempt(
+                name, fn, retries=retries, retry_wait=retry_wait, logger=logger
+            )
             elapsed = time.perf_counter() - start
+            if result is None:
+                manifest.mark_failed(
+                    name, error=error, attempts=attempts, preset=preset_name
+                )
+                failure = ExperimentFailure(
+                    name=name, error=error, attempts=attempts, elapsed=elapsed
+                )
+                if not keep_going:
+                    logger.log(
+                        "run_all_end", completed=completed,
+                        skipped=skipped, failed=[name],
+                    )
+                    raise RuntimeError(
+                        f"experiment {name!r} failed after {attempts} "
+                        f"attempt(s): {error} (use keep_going=True to continue "
+                        f"past failures, resume=True to retry later without "
+                        f"repeating finished work)"
+                    )
+                failed.append(failure)
+                print(f"[{name} FAILED after {attempts} attempt(s): {error}]\n")
+                continue
             print(result.render())
             print(f"[{name} finished in {elapsed:.1f}s]\n")
             path = save_result(result)
+            manifest.mark_completed(
+                name, elapsed=elapsed, saved=str(path),
+                attempts=attempts, preset=preset_name,
+            )
             logger.log(
                 "experiment_end",
                 experiment=name,
                 experiment_id=result.experiment_id,
                 elapsed=elapsed,
+                attempts=attempts,
                 saved=str(path),
             )
             results.append(result)
-        logger.log("run_all_end", completed=[name for name, _ in plan])
+            completed.append(name)
+        logger.log(
+            "run_all_end",
+            completed=completed,
+            skipped=skipped,
+            failed=[f.name for f in failed],
+        )
     finally:
         if own_logger:
             logger.close()
             print(f"run log: {logger.path}")
-    return results
+    summary = RunAllSummary(
+        results=results, completed=completed, skipped=skipped, failed=failed
+    )
+    if failed or skipped:
+        print(summary.render())
+    return summary
 
 
 def main() -> None:
@@ -144,8 +314,29 @@ def main() -> None:
         "--only", nargs="+", default=None,
         help="subset of experiment ids (table3 ... fig7, locality)",
     )
+    parser.add_argument(
+        "--resume", action="store_true",
+        help="skip experiments the manifest records as completed",
+    )
+    parser.add_argument(
+        "--keep-going", action="store_true",
+        help="collect failures into the final summary instead of aborting",
+    )
+    parser.add_argument(
+        "--retries", type=int, default=0,
+        help="retry each failing experiment this many times (exponential backoff)",
+    )
+    parser.add_argument(
+        "--retry-wait", type=float, default=0.5,
+        help="initial backoff between retries, in seconds",
+    )
     args = parser.parse_args()
-    run_all(args.preset, only=args.only)
+    summary = run_all(
+        args.preset, only=args.only,
+        resume=args.resume, keep_going=args.keep_going,
+        retries=args.retries, retry_wait=args.retry_wait,
+    )
+    raise SystemExit(0 if summary.ok else 1)
 
 
 if __name__ == "__main__":

@@ -18,10 +18,14 @@ from repro.nn.schedulers import (
     grad_norm,
 )
 from repro.nn.serialization import (
+    CheckpointError,
     load_module,
     optimizer_state,
     restore_optimizer,
+    restore_rng,
+    rng_state,
     save_module,
+    write_npz_atomic,
 )
 
 __all__ = [
@@ -48,4 +52,8 @@ __all__ = [
     "load_module",
     "optimizer_state",
     "restore_optimizer",
+    "CheckpointError",
+    "rng_state",
+    "restore_rng",
+    "write_npz_atomic",
 ]

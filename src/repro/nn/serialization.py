@@ -1,31 +1,116 @@
-"""Checkpoint serialization for modules and optimizers.
+"""Checkpoint serialization for modules, optimizers and RNG state.
 
 State dicts are stored as ``.npz`` archives (pure numpy, no pickle of
 code objects), so checkpoints are portable across library versions and
 safe to load from untrusted sources.
+
+Robustness contract (see ``docs/resilience.md``):
+
+- every write is *atomic* — the archive is assembled in a same-directory
+  temp file, fsynced, then moved into place with :func:`os.replace`, so
+  a crash mid-write can never leave a truncated checkpoint behind;
+- every read failure is *diagnosable* — a corrupt or unreadable archive
+  raises :class:`CheckpointError` naming the file and the underlying
+  cause, and a key/shape mismatch lists the offending parameter names
+  instead of surfacing a raw numpy exception;
+- optimizer snapshots round-trip everything needed to continue a run
+  bitwise-identically: Adam moments and step (or SGD velocities),
+  the live learning rate, the scheduler epoch, and numpy RNG state.
 """
 
 from __future__ import annotations
 
 import json
+import os
 import pathlib
+import zipfile
 from typing import Dict, Optional, Union
 
 import numpy as np
 
 from repro.nn.module import Module
-from repro.nn.optim import Adam, Optimizer
+from repro.nn.optim import SGD, Adam, Optimizer
+from repro.nn.schedulers import LRScheduler
 
 PathLike = Union[str, pathlib.Path]
 
 _META_KEY = "__checkpoint_meta__"
 
 
+class CheckpointError(RuntimeError):
+    """A checkpoint file is missing, corrupt, or otherwise unreadable."""
+
+
+# ---------------------------------------------------------------------------
+# Atomic npz primitives (shared by save_module and the CheckpointManager)
+# ---------------------------------------------------------------------------
+
+def write_npz_atomic(path: PathLike, payload: Dict[str, np.ndarray]) -> pathlib.Path:
+    """Write ``payload`` as an ``.npz`` archive atomically.
+
+    The archive lands in a same-directory temp file first and is renamed
+    into place with :func:`os.replace`, so readers only ever observe the
+    previous complete file or the new complete file — never a torso.
+    """
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.parent / f".{path.name}.{os.getpid()}.tmp"
+    try:
+        with open(tmp, "wb") as fh:
+            np.savez(fh, **payload)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    finally:
+        if tmp.exists():
+            tmp.unlink()
+    return path
+
+
+def read_npz(path: PathLike) -> Dict[str, np.ndarray]:
+    """Load an ``.npz`` archive, raising :class:`CheckpointError` if corrupt."""
+    path = pathlib.Path(path)
+    if not path.exists():
+        raise CheckpointError(f"checkpoint not found: {path}")
+    try:
+        with np.load(path) as archive:
+            return {k: archive[k] for k in archive.files}
+    except (zipfile.BadZipFile, OSError, ValueError, EOFError, KeyError) as exc:
+        raise CheckpointError(
+            f"corrupt or unreadable checkpoint {path}: {exc}"
+        ) from exc
+
+
+def _to_builtin(value):
+    if isinstance(value, (np.floating, np.integer)):
+        return value.item()
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    raise TypeError(f"not JSON serializable: {type(value)}")
+
+
+def pack_json(meta: Dict) -> np.ndarray:
+    """Encode a JSON-able dict as a uint8 array (npz-storable metadata)."""
+    return np.frombuffer(
+        json.dumps(meta, default=_to_builtin).encode("utf-8"), dtype=np.uint8
+    )
+
+
+def unpack_json(blob: np.ndarray) -> Dict:
+    """Decode an array produced by :func:`pack_json`."""
+    return json.loads(bytes(blob.tobytes()).decode("utf-8"))
+
+
+# ---------------------------------------------------------------------------
+# Module checkpoints
+# ---------------------------------------------------------------------------
+
 def save_module(module: Module, path: PathLike, metadata: Optional[Dict] = None) -> pathlib.Path:
     """Write a module's parameters (plus optional JSON metadata) to ``path``.
 
     The ``.npz`` suffix is appended when missing.  Parameter names are
-    the dotted names from :meth:`Module.named_parameters`.
+    the dotted names from :meth:`Module.named_parameters`.  The write is
+    atomic (temp file + :func:`os.replace`).
     """
     path = pathlib.Path(path)
     if path.suffix != ".npz":
@@ -34,48 +119,101 @@ def save_module(module: Module, path: PathLike, metadata: Optional[Dict] = None)
     meta = {"format": "repro-checkpoint-v1"}
     if metadata:
         meta.update(metadata)
-    payload[_META_KEY] = np.frombuffer(
-        json.dumps(meta).encode("utf-8"), dtype=np.uint8
-    )
-    path.parent.mkdir(parents=True, exist_ok=True)
-    np.savez(path, **payload)
-    return path
+    payload[_META_KEY] = pack_json(meta)
+    return write_npz_atomic(path, payload)
 
 
 def load_module(module: Module, path: PathLike) -> Dict:
     """Load parameters saved by :func:`save_module` into ``module``.
 
-    Returns the stored metadata dict.  Shapes and names are validated by
-    :meth:`Module.load_state_dict` (strict).
+    Returns the stored metadata dict.  A corrupt or missing archive
+    raises :class:`CheckpointError`; a key mismatch raises ``KeyError``
+    listing the missing/unexpected parameter names; a shape mismatch
+    raises ``ValueError`` naming the parameter — never a raw numpy
+    deserialization error.
     """
     path = pathlib.Path(path)
     if not path.exists() and path.suffix != ".npz":
         path = path.with_suffix(".npz")
-    with np.load(path) as archive:
-        state = {k: archive[k] for k in archive.files if k != _META_KEY}
-        if _META_KEY in archive.files:
-            meta = json.loads(bytes(archive[_META_KEY].tobytes()).decode("utf-8"))
-        else:
-            meta = {}
-    module.load_state_dict(state)
+    arrays = read_npz(path)
+    meta = unpack_json(arrays.pop(_META_KEY)) if _META_KEY in arrays else {}
+    try:
+        module.load_state_dict(arrays)
+    except KeyError as exc:
+        raise KeyError(f"checkpoint {path}: {exc.args[0]}") from exc
+    except ValueError as exc:
+        raise ValueError(f"checkpoint {path}: {exc}") from exc
     return meta
 
 
-def optimizer_state(optimizer: Optimizer) -> Dict[str, np.ndarray]:
-    """Snapshot an optimizer's internal state (Adam moments + step)."""
+# ---------------------------------------------------------------------------
+# Optimizer / scheduler / RNG state
+# ---------------------------------------------------------------------------
+
+def rng_state(rng: np.random.Generator) -> Dict:
+    """JSON-able snapshot of a numpy Generator's bit-generator state."""
+    return json.loads(json.dumps(rng.bit_generator.state, default=int))
+
+
+def restore_rng(rng: np.random.Generator, state: Dict) -> None:
+    """Restore a snapshot from :func:`rng_state` in place."""
+    rng.bit_generator.state = state
+
+
+def optimizer_state(
+    optimizer: Optimizer,
+    scheduler: Optional[LRScheduler] = None,
+    rng: Optional[np.random.Generator] = None,
+) -> Dict[str, np.ndarray]:
+    """Snapshot an optimizer's internal state.
+
+    Covers Adam moments + step or SGD velocities, the live learning
+    rate (which divergence-guard backoff may have changed), and — when
+    provided — the scheduler epoch/base LR and numpy RNG state, so a
+    resumed run continues bitwise-identically.
+    """
     state: Dict[str, np.ndarray] = {}
     if isinstance(optimizer, Adam):
         state["t"] = np.asarray(optimizer._t)
         for i, (m, v) in enumerate(zip(optimizer._m, optimizer._v)):
             state[f"m{i}"] = m.copy()
             state[f"v{i}"] = v.copy()
+    elif isinstance(optimizer, SGD):
+        for i, vel in enumerate(optimizer._velocity):
+            state[f"velocity{i}"] = vel.copy()
+    if hasattr(optimizer, "lr"):
+        state["lr"] = np.asarray(optimizer.lr)
+    if scheduler is not None:
+        state["sched_epoch"] = np.asarray(scheduler.epoch)
+        state["sched_base_lr"] = np.asarray(scheduler.base_lr)
+    if rng is not None:
+        state["rng_state"] = pack_json(rng_state(rng))
     return state
 
 
-def restore_optimizer(optimizer: Optimizer, state: Dict[str, np.ndarray]) -> None:
-    """Restore a snapshot produced by :func:`optimizer_state`."""
+def restore_optimizer(
+    optimizer: Optimizer,
+    state: Dict[str, np.ndarray],
+    scheduler: Optional[LRScheduler] = None,
+    rng: Optional[np.random.Generator] = None,
+) -> None:
+    """Restore a snapshot produced by :func:`optimizer_state`.
+
+    Restores only the pieces present in ``state``, so snapshots taken
+    before the scheduler/RNG extension still load.
+    """
     if isinstance(optimizer, Adam) and "t" in state:
         optimizer._t = int(state["t"])
         for i in range(len(optimizer._m)):
             optimizer._m[i][...] = state[f"m{i}"]
             optimizer._v[i][...] = state[f"v{i}"]
+    elif isinstance(optimizer, SGD) and "velocity0" in state:
+        for i in range(len(optimizer._velocity)):
+            optimizer._velocity[i][...] = state[f"velocity{i}"]
+    if "lr" in state:
+        optimizer.lr = float(state["lr"])
+    if scheduler is not None and "sched_epoch" in state:
+        scheduler.epoch = int(state["sched_epoch"])
+        scheduler.base_lr = float(state["sched_base_lr"])
+    if rng is not None and "rng_state" in state:
+        restore_rng(rng, unpack_json(state["rng_state"]))

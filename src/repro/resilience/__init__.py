@@ -1,0 +1,76 @@
+"""Resilience: crash-safe checkpoints, divergence guards, fault injection.
+
+The training and experiment layers survive the failure modes that long
+multi-seed sweeps actually hit — NaN losses in deep stacks, processes
+killed mid-run, checkpoints truncated by a crash mid-write:
+
+- :mod:`repro.resilience.checkpoint` — :class:`CheckpointManager`:
+  atomic, checksummed, rotated ``.npz`` checkpoints plus full
+  training-state capture (parameters, optimizer, scheduler, every RNG
+  stream) for bitwise-identical resume;
+- :mod:`repro.resilience.guards` — :class:`GuardConfig` /
+  :class:`DivergenceGuard`: NaN/exploding-gradient detection, rollback
+  to the last good state with LR backoff, and a structured
+  :class:`TrainFailure` once the retry budget is spent;
+- :mod:`repro.resilience.manifest` — :class:`RunManifest`: persisted
+  per-experiment status so ``run_all --resume`` skips finished work;
+- :mod:`repro.resilience.faults` — deterministic fault injectors (NaN
+  gradients, mid-epoch crashes, file truncation) so every recovery path
+  above is exercised by tests rather than trusted on faith.
+
+See ``docs/resilience.md`` for the checkpoint format and workflows.
+"""
+
+from repro.resilience.checkpoint import (
+    Checkpoint,
+    CheckpointManager,
+    arrays_to_state,
+    capture_training_state,
+    file_sha256,
+    module_rng_states,
+    restore_module_rngs,
+    restore_training_state,
+    state_to_arrays,
+)
+from repro.resilience.faults import (
+    ExplodingGradient,
+    FailNTimes,
+    FaultSchedule,
+    InjectedFault,
+    MidEpochCrash,
+    NaNGradient,
+    corrupt_file,
+    truncate_file,
+)
+from repro.resilience.guards import (
+    DivergenceGuard,
+    GuardConfig,
+    TrainFailure,
+    TrainingDiverged,
+)
+from repro.resilience.manifest import RunManifest
+
+__all__ = [
+    "CheckpointManager",
+    "Checkpoint",
+    "capture_training_state",
+    "restore_training_state",
+    "state_to_arrays",
+    "arrays_to_state",
+    "module_rng_states",
+    "restore_module_rngs",
+    "file_sha256",
+    "GuardConfig",
+    "DivergenceGuard",
+    "TrainFailure",
+    "TrainingDiverged",
+    "RunManifest",
+    "NaNGradient",
+    "ExplodingGradient",
+    "MidEpochCrash",
+    "FaultSchedule",
+    "FailNTimes",
+    "InjectedFault",
+    "truncate_file",
+    "corrupt_file",
+]

@@ -1,0 +1,335 @@
+"""Crash-safe checkpointing: atomic writes, checksums, rotation.
+
+A :class:`CheckpointManager` owns one directory of numbered ``.npz``
+checkpoints plus a ``manifest.json`` describing them:
+
+    results/checkpoints/cora-lasagne/
+    ├── ckpt-000004.npz
+    ├── ckpt-000009.npz
+    ├── ckpt-000014.npz
+    └── manifest.json        {"checkpoints": [{"file": ..., "sha256": ...}]}
+
+Safety properties:
+
+- **atomic** — archives and the manifest are written to a
+  same-directory temp file and moved into place with ``os.replace``;
+  a crash mid-write can never leave a truncated file that a later
+  resume would trip over;
+- **verified** — each manifest entry records the archive's SHA-256;
+  :meth:`load_latest` walks entries newest-first and returns the first
+  checkpoint whose checksum matches *and* whose archive deserializes,
+  silently skipping corrupt or deleted files;
+- **bounded** — ``keep_last`` rotates old checkpoints out (files
+  removed, manifest pruned) so long runs don't fill the disk.
+
+:func:`capture_training_state` / :func:`restore_training_state` bundle
+everything a bitwise-identical resume needs: model parameters, best
+validation parameters, optimizer moments, scheduler epoch, the
+trainer's RNG stream *and* the RNG streams buried inside stochastic
+modules (dropout masks, stochastic-aggregator samplers).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import pathlib
+import re
+from typing import Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.nn.module import Module
+from repro.nn.optim import Optimizer
+from repro.nn.schedulers import LRScheduler
+from repro.nn.serialization import (
+    CheckpointError,
+    optimizer_state,
+    pack_json,
+    read_npz,
+    restore_optimizer,
+    restore_rng,
+    rng_state,
+    unpack_json,
+    write_npz_atomic,
+)
+from repro.obs import get_logger
+
+PathLike = Union[str, pathlib.Path]
+
+_LOG = get_logger("resilience")
+
+MANIFEST_NAME = "manifest.json"
+_META_KEY = "__checkpoint_meta__"
+_FORMAT = "repro-ckpt-v1"
+
+
+def file_sha256(path: PathLike) -> str:
+    """SHA-256 hex digest of a file's bytes."""
+    digest = hashlib.sha256()
+    with open(path, "rb") as fh:
+        for chunk in iter(lambda: fh.read(1 << 20), b""):
+            digest.update(chunk)
+    return digest.hexdigest()
+
+
+@dataclasses.dataclass
+class Checkpoint:
+    """One loaded checkpoint: step number, arrays, JSON metadata."""
+
+    path: pathlib.Path
+    step: int
+    arrays: Dict[str, np.ndarray]
+    meta: Dict
+
+
+class CheckpointManager:
+    """Numbered, checksummed, rotated checkpoints in one directory."""
+
+    def __init__(
+        self,
+        directory: PathLike,
+        keep_last: int = 3,
+        prefix: str = "ckpt",
+    ) -> None:
+        if keep_last < 1:
+            raise ValueError(f"keep_last must be >= 1, got {keep_last}")
+        self.directory = pathlib.Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.keep_last = keep_last
+        self.prefix = prefix
+
+    # -- manifest ------------------------------------------------------
+    @property
+    def manifest_path(self) -> pathlib.Path:
+        return self.directory / MANIFEST_NAME
+
+    def read_manifest(self) -> Dict:
+        """The manifest dict; empty skeleton when missing or corrupt."""
+        empty = {"format": _FORMAT, "checkpoints": []}
+        if not self.manifest_path.exists():
+            return empty
+        try:
+            manifest = json.loads(self.manifest_path.read_text(encoding="utf-8"))
+        except (json.JSONDecodeError, OSError):
+            _LOG.warning("corrupt manifest at %s; rescanning", self.manifest_path)
+            return empty
+        manifest.setdefault("checkpoints", [])
+        return manifest
+
+    def _write_manifest(self, manifest: Dict) -> None:
+        tmp = self.directory / f".{MANIFEST_NAME}.{os.getpid()}.tmp"
+        try:
+            tmp.write_text(json.dumps(manifest, indent=2), encoding="utf-8")
+            os.replace(tmp, self.manifest_path)
+        finally:
+            if tmp.exists():
+                tmp.unlink()
+
+    # -- write ---------------------------------------------------------
+    def save(
+        self,
+        step: int,
+        arrays: Dict[str, np.ndarray],
+        meta: Optional[Dict] = None,
+    ) -> pathlib.Path:
+        """Atomically write checkpoint ``step`` and rotate old ones."""
+        payload = dict(arrays)
+        payload[_META_KEY] = pack_json(
+            {"format": _FORMAT, "step": int(step), **(meta or {})}
+        )
+        path = self.directory / f"{self.prefix}-{int(step):06d}.npz"
+        write_npz_atomic(path, payload)
+        manifest = self.read_manifest()
+        entries = [e for e in manifest["checkpoints"] if e["file"] != path.name]
+        entries.append(
+            {
+                "file": path.name,
+                "step": int(step),
+                "sha256": file_sha256(path),
+                "bytes": path.stat().st_size,
+            }
+        )
+        entries.sort(key=lambda e: e["step"])
+        # Rotation: drop the oldest beyond keep_last, files included.
+        while len(entries) > self.keep_last:
+            stale = entries.pop(0)
+            stale_path = self.directory / stale["file"]
+            if stale_path.exists():
+                stale_path.unlink()
+        manifest["checkpoints"] = entries
+        self._write_manifest(manifest)
+        return path
+
+    # -- read ----------------------------------------------------------
+    def entries(self) -> List[Dict]:
+        """Manifest entries (oldest first), rescanning the directory when
+        the manifest is missing so a manifest-less dir still resumes."""
+        entries = self.read_manifest()["checkpoints"]
+        if entries:
+            return entries
+        pattern = re.compile(rf"^{re.escape(self.prefix)}-(\d+)\.npz$")
+        scanned = []
+        for path in sorted(self.directory.glob(f"{self.prefix}-*.npz")):
+            match = pattern.match(path.name)
+            if match:
+                scanned.append({"file": path.name, "step": int(match.group(1))})
+        return sorted(scanned, key=lambda e: e["step"])
+
+    def verify(self, entry: Dict) -> bool:
+        """Does the entry's file exist with a matching checksum?"""
+        path = self.directory / entry["file"]
+        if not path.exists():
+            return False
+        expected = entry.get("sha256")
+        if expected is not None and file_sha256(path) != expected:
+            return False
+        return True
+
+    def load(self, path: PathLike) -> Checkpoint:
+        """Load one specific checkpoint archive (raises on corruption)."""
+        path = pathlib.Path(path)
+        arrays = read_npz(path)
+        meta = unpack_json(arrays.pop(_META_KEY)) if _META_KEY in arrays else {}
+        return Checkpoint(
+            path=path, step=int(meta.get("step", -1)), arrays=arrays, meta=meta
+        )
+
+    def load_latest(self) -> Optional[Checkpoint]:
+        """The newest checkpoint that verifies *and* deserializes.
+
+        Corrupt, truncated or missing files are skipped (with a warning)
+        in favor of the next older one; ``None`` when nothing survives.
+        """
+        for entry in reversed(self.entries()):
+            path = self.directory / entry["file"]
+            if not self.verify(entry):
+                _LOG.warning("skipping corrupt checkpoint %s", path)
+                continue
+            try:
+                return self.load(path)
+            except CheckpointError:
+                _LOG.warning("skipping unreadable checkpoint %s", path)
+        return None
+
+
+# ---------------------------------------------------------------------------
+# Full training-state capture (model + optimizer + scheduler + RNG streams)
+# ---------------------------------------------------------------------------
+
+def module_rng_states(module: Module) -> Dict[str, Dict]:
+    """RNG state of every Generator attached anywhere in a module tree.
+
+    Keys are ``<module-index>:<attribute>`` over the deterministic
+    depth-first ``modules()`` order, so an identically-constructed model
+    maps states back onto the same generators.
+    """
+    states: Dict[str, Dict] = {}
+    for i, m in enumerate(module.modules()):
+        for attr in sorted(vars(m)):
+            value = vars(m)[attr]
+            if isinstance(value, np.random.Generator):
+                states[f"{i}:{attr}"] = rng_state(value)
+    return states
+
+
+def restore_module_rngs(module: Module, states: Dict[str, Dict]) -> None:
+    """Restore generator states captured by :func:`module_rng_states`."""
+    modules = list(module.modules())
+    for key, state in states.items():
+        index, attr = key.split(":", 1)
+        value = vars(modules[int(index)]).get(attr)
+        if isinstance(value, np.random.Generator):
+            restore_rng(value, state)
+
+
+def capture_training_state(
+    model: Module,
+    optimizer: Optimizer,
+    scheduler: Optional[LRScheduler],
+    rng: np.random.Generator,
+    epoch: int,
+    extra: Optional[Dict] = None,
+) -> Dict:
+    """Everything a bitwise-identical resume needs, as one in-memory dict.
+
+    ``extra`` carries the trainer-loop bookkeeping (best_val, stale
+    counter, histories, user metadata); it must be JSON-serializable
+    except for the ``best_state`` key, which holds parameter arrays.
+    """
+    extra = dict(extra or {})
+    best_state = extra.pop("best_state", None)
+    return {
+        "epoch": int(epoch),
+        "model": model.state_dict(),
+        "best_state": {k: v.copy() for k, v in best_state.items()}
+        if best_state is not None
+        else None,
+        "optimizer": optimizer_state(optimizer, scheduler=scheduler, rng=rng),
+        "module_rngs": module_rng_states(model),
+        "extra": extra,
+    }
+
+
+def restore_training_state(
+    snapshot: Dict,
+    model: Module,
+    optimizer: Optimizer,
+    scheduler: Optional[LRScheduler],
+    rng: np.random.Generator,
+) -> Dict:
+    """Apply :func:`capture_training_state` output; returns ``extra``."""
+    model.load_state_dict(snapshot["model"])
+    restore_optimizer(
+        optimizer, snapshot["optimizer"], scheduler=scheduler, rng=rng
+    )
+    restore_module_rngs(model, snapshot["module_rngs"])
+    return dict(snapshot["extra"])
+
+
+def state_to_arrays(snapshot: Dict) -> Tuple[Dict, Dict]:
+    """Split an in-memory snapshot into (npz arrays, JSON meta)."""
+    arrays: Dict[str, np.ndarray] = {}
+    for name, value in snapshot["model"].items():
+        arrays[f"model.{name}"] = value
+    if snapshot.get("best_state"):
+        for name, value in snapshot["best_state"].items():
+            arrays[f"best.{name}"] = value
+    for name, value in snapshot["optimizer"].items():
+        arrays[f"opt.{name}"] = value
+    meta = {
+        "epoch": snapshot["epoch"],
+        "module_rngs": snapshot["module_rngs"],
+        "extra": snapshot["extra"],
+        "has_best": bool(snapshot.get("best_state")),
+    }
+    return arrays, meta
+
+
+def arrays_to_state(arrays: Dict[str, np.ndarray], meta: Dict) -> Dict:
+    """Inverse of :func:`state_to_arrays` (from a loaded Checkpoint)."""
+    model_state = {
+        name[len("model."):]: value
+        for name, value in arrays.items()
+        if name.startswith("model.")
+    }
+    best_state = {
+        name[len("best."):]: value
+        for name, value in arrays.items()
+        if name.startswith("best.")
+    }
+    opt_state = {
+        name[len("opt."):]: value
+        for name, value in arrays.items()
+        if name.startswith("opt.")
+    }
+    return {
+        "epoch": int(meta["epoch"]),
+        "model": model_state,
+        "best_state": best_state if meta.get("has_best") else None,
+        "optimizer": opt_state,
+        "module_rngs": meta.get("module_rngs", {}),
+        "extra": dict(meta.get("extra", {})),
+    }

@@ -1,0 +1,156 @@
+"""Deterministic fault injection for exercising every recovery path.
+
+Recovery code that is never executed is recovery code that does not
+work.  This module provides the failure modes the resilience tests (and
+chaos-style manual runs) inject on purpose:
+
+- :class:`NaNGradient` / :class:`ExplodingGradient` — corrupt gradients
+  right after the backward pass, at a chosen epoch, tripping the
+  divergence guard;
+- :class:`MidEpochCrash` — raise :class:`InjectedFault` mid-epoch,
+  simulating a SIGKILL-style interruption (the process "dies" between
+  two checkpoints);
+- :func:`truncate_file` / :func:`corrupt_file` — damage checkpoint
+  archives on disk so the manifest's checksum skip-logic is exercised;
+- :class:`FailNTimes` — a callable wrapper for experiment plans that
+  fails a configurable number of calls before succeeding, driving
+  ``run_all``'s retry and ``--keep-going`` paths.
+
+Trainer-level faults plug into ``Trainer.fit(fault_hook=...)``, which
+calls ``hook(epoch, model, optimizer)`` between the backward pass and
+the guard check.  The seam costs nothing when unused (``None`` check).
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+from typing import Callable, Optional, Union
+
+import numpy as np
+
+PathLike = Union[str, pathlib.Path]
+
+
+class InjectedFault(RuntimeError):
+    """The exception every injected crash raises (easy to pytest.raises)."""
+
+
+class NaNGradient:
+    """Overwrite one parameter's gradient with NaN at ``at_epoch``.
+
+    ``once=True`` (default) fires only the first time the epoch is
+    executed, so a rollback + retry of the same epoch proceeds cleanly —
+    the shape of a transient numerical blow-up.  ``once=False`` models a
+    persistent fault that exhausts the retry budget.
+    """
+
+    def __init__(self, at_epoch: int, once: bool = True, param_index: int = 0) -> None:
+        self.at_epoch = at_epoch
+        self.once = once
+        self.param_index = param_index
+        self.fired = 0
+
+    def __call__(self, epoch: int, model, optimizer) -> None:
+        if epoch == self.at_epoch and (not self.once or self.fired == 0):
+            self.fired += 1
+            param = optimizer.params[self.param_index]
+            if param.grad is None:
+                param.grad = np.zeros_like(param.data)
+            param.grad[...] = np.nan
+
+
+class ExplodingGradient:
+    """Scale every gradient by ``factor`` at ``at_epoch`` (grad_limit trip)."""
+
+    def __init__(self, at_epoch: int, factor: float = 1e12, once: bool = True) -> None:
+        self.at_epoch = at_epoch
+        self.factor = factor
+        self.once = once
+        self.fired = 0
+
+    def __call__(self, epoch: int, model, optimizer) -> None:
+        if epoch == self.at_epoch and (not self.once or self.fired == 0):
+            self.fired += 1
+            for param in optimizer.params:
+                if param.grad is not None:
+                    param.grad *= self.factor
+
+
+class MidEpochCrash:
+    """Raise :class:`InjectedFault` when ``at_epoch`` begins executing."""
+
+    def __init__(self, at_epoch: int, message: str = "injected mid-epoch crash") -> None:
+        self.at_epoch = at_epoch
+        self.message = message
+
+    def __call__(self, epoch: int, model, optimizer) -> None:
+        if epoch == self.at_epoch:
+            raise InjectedFault(f"{self.message} (epoch {epoch})")
+
+
+class FaultSchedule:
+    """Compose several fault injectors into one ``fault_hook``."""
+
+    def __init__(self, *faults: Callable) -> None:
+        self.faults = list(faults)
+
+    def __call__(self, epoch: int, model, optimizer) -> None:
+        for fault in self.faults:
+            fault(epoch, model, optimizer)
+
+
+# ---------------------------------------------------------------------------
+# On-disk damage
+# ---------------------------------------------------------------------------
+
+def truncate_file(path: PathLike, keep_bytes: Optional[int] = None) -> pathlib.Path:
+    """Cut a file short, as a crash mid-write (non-atomic writer) would.
+
+    Keeps half the bytes by default.
+    """
+    path = pathlib.Path(path)
+    size = path.stat().st_size
+    keep = size // 2 if keep_bytes is None else min(keep_bytes, size)
+    with open(path, "rb+") as fh:
+        fh.truncate(keep)
+    return path
+
+
+def corrupt_file(path: PathLike, offset: int = 0, length: int = 64) -> pathlib.Path:
+    """Overwrite ``length`` bytes at ``offset`` with garbage (bit rot)."""
+    path = pathlib.Path(path)
+    size = path.stat().st_size
+    offset = min(offset, max(size - 1, 0))
+    with open(path, "rb+") as fh:
+        fh.seek(offset)
+        fh.write(os.urandom(min(length, size - offset)))
+    return path
+
+
+# ---------------------------------------------------------------------------
+# Experiment-level faults (run_all)
+# ---------------------------------------------------------------------------
+
+class FailNTimes:
+    """Wrap a zero-arg callable so its first ``failures`` calls raise.
+
+    Drives ``run_all``'s retry-with-backoff and ``--keep-going`` paths:
+    ``FailNTimes(fn, failures=1)`` succeeds on the first retry, while
+    ``failures=10**9`` is effectively a permanently broken experiment.
+    """
+
+    def __init__(
+        self, fn: Callable, failures: int = 1,
+        message: str = "injected experiment failure",
+    ) -> None:
+        self.fn = fn
+        self.failures = failures
+        self.message = message
+        self.calls = 0
+
+    def __call__(self):
+        self.calls += 1
+        if self.calls <= self.failures:
+            raise InjectedFault(f"{self.message} (call {self.calls})")
+        return self.fn()

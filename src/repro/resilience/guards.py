@@ -1,0 +1,168 @@
+"""Divergence guards: detect NaN/exploding training, roll back, back off.
+
+Deep GCN stacks are exactly the regime where training diverges — the
+over-smoothing literature (Sun et al.; DAGNN) documents instability
+growing with depth — and a single NaN loss used to poison the rest of a
+400-epoch run silently.  The guard turns that failure mode into a
+bounded, observable recovery loop:
+
+1. after every backward pass the trainer asks
+   :meth:`DivergenceGuard.check` whether the step is safe (finite loss,
+   finite gradient norm, norm under ``grad_limit``) *before* the
+   optimizer applies it;
+2. on divergence the guard restores the last good snapshot (parameters,
+   optimizer moments, scheduler epoch, every RNG stream) and multiplies
+   the learning rate by ``lr_backoff``;
+3. after ``max_retries`` rollbacks (or once the LR sinks below
+   ``min_lr``) the guard aborts cleanly with
+   :class:`TrainingDiverged` carrying a structured
+   :class:`TrainFailure` record instead of crashing or looping forever.
+
+Every detection/rollback emits a ``divergence`` / ``rollback`` event to
+the run logger and bumps ``trainer.divergence`` / ``trainer.rollback``
+counters in the default metrics registry, so dashboards built on the
+PR-1 observability layer see recoveries, not just final accuracy.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Dict, List, Optional
+
+from repro.obs import get_logger, get_registry
+
+_LOG = get_logger("resilience")
+
+
+@dataclasses.dataclass
+class GuardConfig:
+    """Divergence-detection and recovery policy for one training run.
+
+    ``grad_limit`` is the exploding-gradient threshold (``None`` checks
+    finiteness only); ``snapshot_every`` controls how often the
+    in-memory last-good snapshot refreshes (1 = every good epoch).
+    """
+
+    grad_limit: Optional[float] = None
+    max_retries: int = 3
+    lr_backoff: float = 0.5
+    min_lr: float = 1e-7
+    snapshot_every: int = 1
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {self.max_retries}")
+        if not 0.0 < self.lr_backoff < 1.0:
+            raise ValueError(
+                f"lr_backoff must be in (0, 1), got {self.lr_backoff}"
+            )
+        if self.snapshot_every < 1:
+            raise ValueError(
+                f"snapshot_every must be >= 1, got {self.snapshot_every}"
+            )
+
+
+@dataclasses.dataclass
+class TrainFailure:
+    """Structured record of an unrecoverable training divergence."""
+
+    reason: str
+    epoch: int
+    loss: float
+    grad_norm: float
+    retries_used: int
+    lr: float
+    rollback_epoch: Optional[int]
+    lr_history: List[float] = dataclasses.field(default_factory=list)
+
+    def as_dict(self) -> Dict:
+        return dataclasses.asdict(self)
+
+
+class TrainingDiverged(RuntimeError):
+    """Raised when training diverged beyond the guard's retry budget.
+
+    Carries the :class:`TrainFailure` record as ``.failure`` so callers
+    (e.g. the fault-tolerant ``run_all``) can report it structurally.
+    """
+
+    def __init__(self, failure: TrainFailure) -> None:
+        super().__init__(
+            f"training diverged ({failure.reason}) at epoch {failure.epoch} "
+            f"after {failure.retries_used} rollback(s); "
+            f"loss={failure.loss!r}, grad_norm={failure.grad_norm!r}, "
+            f"lr={failure.lr:g}"
+        )
+        self.failure = failure
+
+
+class DivergenceGuard:
+    """Detection + rollback bookkeeping used inside ``Trainer.fit``.
+
+    The guard owns the in-memory last-good snapshot; the trainer feeds
+    it one candidate step per epoch (:meth:`check`) and one good-state
+    snapshot per completed epoch (:meth:`record_good`).
+    """
+
+    def __init__(self, config: GuardConfig) -> None:
+        self.config = config
+        self.retries_used = 0
+        self.snapshot: Optional[Dict] = None
+        self.lr_history: List[float] = []
+        # Cumulative backoff applied on top of the snapshot's stored LR.
+        # Reset when the snapshot refreshes: a post-rollback snapshot
+        # already embeds every backoff applied so far.
+        self.lr_scale = 1.0
+
+    # -- detection -----------------------------------------------------
+    def diagnose(self, loss: float, grad_norm: float) -> Optional[str]:
+        """The divergence reason for this step, or ``None`` when safe."""
+        if not math.isfinite(loss):
+            return "nan_loss"
+        if not math.isfinite(grad_norm):
+            return "nan_grad"
+        limit = self.config.grad_limit
+        if limit is not None and grad_norm > limit:
+            return "grad_explosion"
+        return None
+
+    # -- bookkeeping ---------------------------------------------------
+    def record_good(self, epoch: int, snapshot: Dict) -> None:
+        """Refresh the rollback target after a guarded-good epoch."""
+        if epoch % self.config.snapshot_every == 0 or self.snapshot is None:
+            self.snapshot = snapshot
+            self.lr_scale = 1.0
+
+    def can_retry(self, lr: float) -> bool:
+        return (
+            self.retries_used < self.config.max_retries
+            and self.snapshot is not None
+            and lr * self.config.lr_backoff >= self.config.min_lr
+        )
+
+    def failure(
+        self, reason: str, epoch: int, loss: float, grad_norm: float, lr: float
+    ) -> TrainFailure:
+        return TrainFailure(
+            reason=reason,
+            epoch=epoch,
+            loss=float(loss),
+            grad_norm=float(grad_norm),
+            retries_used=self.retries_used,
+            lr=float(lr),
+            rollback_epoch=self.snapshot["epoch"] if self.snapshot else None,
+            lr_history=list(self.lr_history),
+        )
+
+    # -- observability -------------------------------------------------
+    @staticmethod
+    def emit(event: str, logger, **fields) -> None:
+        """Send one guard event to the run logger + metrics registry."""
+        get_registry().counter(f"trainer.{event}").inc()
+        if logger is not None:
+            logger.log(event, **fields)
+        _LOG.warning(
+            "%s: %s", event,
+            ", ".join(f"{k}={v}" for k, v in fields.items()),
+        )

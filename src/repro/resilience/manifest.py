@@ -1,0 +1,100 @@
+"""Persisted experiment manifest: which runs finished, which failed.
+
+A :class:`RunManifest` is a small JSON status board (atomic writes)
+keyed by experiment name:
+
+    {
+      "format": "repro-runall-manifest-v1",
+      "entries": {
+        "table3": {"status": "completed", "elapsed": 12.3, ...},
+        "fig5":   {"status": "failed", "error": "...", "attempts": 3}
+      }
+    }
+
+``run_all --resume`` consults it to skip already-completed experiments,
+so a sweep interrupted nine experiments in loses nothing but the one in
+flight.  Entries survive process death because every mutation rewrites
+the file through a temp file + ``os.replace``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import time
+from typing import Dict, List, Optional, Union
+
+PathLike = Union[str, pathlib.Path]
+
+_FORMAT = "repro-runall-manifest-v1"
+
+COMPLETED = "completed"
+FAILED = "failed"
+STARTED = "started"
+
+
+class RunManifest:
+    """Atomic JSON record of per-experiment completion status."""
+
+    def __init__(self, path: PathLike) -> None:
+        self.path = pathlib.Path(path)
+        self.data: Dict = {"format": _FORMAT, "entries": {}}
+        if self.path.exists():
+            try:
+                loaded = json.loads(self.path.read_text(encoding="utf-8"))
+                if isinstance(loaded.get("entries"), dict):
+                    self.data = loaded
+            except (json.JSONDecodeError, OSError):
+                # A corrupt manifest only costs resume-skips, never a run.
+                pass
+
+    # -- queries -------------------------------------------------------
+    def entry(self, name: str) -> Optional[Dict]:
+        return self.data["entries"].get(name)
+
+    def status(self, name: str) -> Optional[str]:
+        entry = self.entry(name)
+        return entry["status"] if entry else None
+
+    def completed(self) -> List[str]:
+        return sorted(
+            name
+            for name, entry in self.data["entries"].items()
+            if entry["status"] == COMPLETED
+        )
+
+    def failed(self) -> List[str]:
+        return sorted(
+            name
+            for name, entry in self.data["entries"].items()
+            if entry["status"] == FAILED
+        )
+
+    # -- mutations (each one persists atomically) ----------------------
+    def mark_started(self, name: str, **info) -> None:
+        self._set(name, STARTED, **info)
+
+    def mark_completed(self, name: str, **info) -> None:
+        self._set(name, COMPLETED, **info)
+
+    def mark_failed(self, name: str, error: str, **info) -> None:
+        self._set(name, FAILED, error=error, **info)
+
+    def _set(self, name: str, status: str, **info) -> None:
+        self.data["entries"][name] = {
+            "status": status,
+            "ts": round(time.time(), 6),
+            **info,
+        }
+        self._write()
+
+    def _write(self) -> None:
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = self.path.parent / f".{self.path.name}.{os.getpid()}.tmp"
+        try:
+            tmp.write_text(json.dumps(self.data, indent=2), encoding="utf-8")
+            os.replace(tmp, self.path)
+        finally:
+            if tmp.exists():
+                tmp.unlink()

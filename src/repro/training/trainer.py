@@ -1,4 +1,4 @@
-"""Full-graph trainer with validation early stopping.
+"""Full-graph trainer with validation early stopping and fault recovery.
 
 Implements the paper's protocol (§5.1.3): Adam, up to 400 epochs,
 training stops when validation accuracy has not improved for 20
@@ -11,23 +11,51 @@ Both evaluation protocols are supported:
 - *inductive* (``inductive=True``, Flickr/Reddit in Table 4): the loss
   pass sees only the training-node-induced subgraph, evaluation attaches
   the full graph.
+
+Resilience (see ``docs/resilience.md``):
+
+- ``checkpoint_every=N, checkpoint_dir=...`` writes an atomic,
+  checksummed checkpoint of the *complete* training state (parameters,
+  best-epoch parameters, optimizer moments, scheduler epoch, every RNG
+  stream, early-stopping counters) every N epochs;
+- ``resume_from=...`` restores the newest valid checkpoint and
+  continues the run bitwise-identically to an uninterrupted one;
+- ``guards=GuardConfig(...)`` detects NaN/Inf loss or exploding
+  gradient norms *before* the optimizer applies the step, rolls back to
+  the last good state with learning-rate backoff, and — once the retry
+  budget is spent — aborts with a structured
+  :class:`~repro.resilience.TrainingDiverged` instead of poisoning the
+  run;
+- ``fault_hook=`` is the deterministic fault-injection seam used by the
+  resilience tests (``repro.resilience.faults``); it costs nothing when
+  unset.
 """
 
 from __future__ import annotations
 
 import contextlib
 import dataclasses
+import pathlib
 import time
-from typing import Callable, List, Optional
+from typing import Callable, List, Optional, Union
 
 import numpy as np
 
 from repro import nn
 from repro.graphs.graph import Graph
 from repro.models.base import GNNModel
-from repro.obs import get_logger
+from repro.nn.serialization import CheckpointError
+from repro.obs import get_logger, get_registry
 from repro.obs.profiler import OpProfiler
 from repro.obs.runlog import RunLogger
+from repro.resilience.checkpoint import (
+    CheckpointManager,
+    arrays_to_state,
+    capture_training_state,
+    restore_training_state,
+    state_to_arrays,
+)
+from repro.resilience.guards import DivergenceGuard, GuardConfig, TrainingDiverged
 from repro.tensor import functional as F
 
 _LOG = get_logger("trainer")
@@ -40,7 +68,9 @@ class TrainConfig:
     ``max_grad_norm`` enables global-norm gradient clipping (useful for
     the deepest configurations); ``lr_schedule`` is one of ``None``,
     ``"cosine"`` or ``"step"``; ``checkpoint_path`` writes the best
-    validation state to disk as an ``.npz`` checkpoint.
+    validation state to disk as an ``.npz`` checkpoint; ``guards``
+    attaches a divergence-recovery policy
+    (:class:`~repro.resilience.GuardConfig`) to every ``fit``.
     """
 
     lr: float = 0.02
@@ -52,6 +82,7 @@ class TrainConfig:
     max_grad_norm: Optional[float] = None
     lr_schedule: Optional[str] = None
     checkpoint_path: Optional[str] = None
+    guards: Optional[GuardConfig] = None
 
 
 @dataclasses.dataclass
@@ -65,6 +96,8 @@ class TrainResult:
     val_accuracies: List[float]
     epoch_times: List[float]
     history: dict
+    rollbacks: int = 0
+    resumed_from_epoch: Optional[int] = None
 
     @property
     def mean_epoch_time(self) -> float:
@@ -88,6 +121,47 @@ def _gate_stats(model: GNNModel) -> dict:
     }
 
 
+class _Bookkeeping:
+    """The trainer-loop state that must survive rollback and resume."""
+
+    def __init__(self, model: GNNModel) -> None:
+        self.best_val = -1.0
+        self.best_state = model.state_dict()
+        self.stale = 0
+        self.losses: List[float] = []
+        self.val_accs: List[float] = []
+        self.times: List[float] = []
+        self.lrs: List[float] = []
+        self.grad_norms: List[float] = []
+
+    def extra(self, metadata: Optional[dict] = None) -> dict:
+        """The JSON-able (plus ``best_state`` arrays) snapshot payload."""
+        payload = {
+            "best_val": self.best_val,
+            "best_state": self.best_state,
+            "stale": self.stale,
+            "losses": list(self.losses),
+            "val_accs": list(self.val_accs),
+            "times": list(self.times),
+            "lrs": list(self.lrs),
+            "grad_norms": list(self.grad_norms),
+        }
+        if metadata:
+            payload["metadata"] = metadata
+        return payload
+
+    def restore(self, extra: dict, best_state: Optional[dict]) -> None:
+        self.best_val = float(extra["best_val"])
+        self.stale = int(extra["stale"])
+        self.losses[:] = extra["losses"]
+        self.val_accs[:] = extra["val_accs"]
+        self.times[:] = extra["times"]
+        self.lrs[:] = extra["lrs"]
+        self.grad_norms[:] = extra["grad_norms"]
+        if best_state:
+            self.best_state = best_state
+
+
 class Trainer:
     """Train a :class:`~repro.models.base.GNNModel` on a :class:`Graph`."""
 
@@ -106,6 +180,28 @@ class Trainer:
             f"unknown lr_schedule {schedule!r}; options: None, 'cosine', 'step'"
         )
 
+    @staticmethod
+    def _resolve_resume(resume_from) -> dict:
+        """Load the training-state snapshot named by ``resume_from``.
+
+        Accepts a checkpoint directory (newest valid checkpoint wins,
+        corrupt files skipped), a single ``.npz`` checkpoint path, or a
+        :class:`CheckpointManager`.
+        """
+        if isinstance(resume_from, CheckpointManager):
+            ckpt = resume_from.load_latest()
+        else:
+            path = pathlib.Path(resume_from)
+            if path.is_dir():
+                ckpt = CheckpointManager(path).load_latest()
+            else:
+                ckpt = CheckpointManager(path.parent).load(path)
+        if ckpt is None:
+            raise CheckpointError(
+                f"no usable checkpoint found under {resume_from}"
+            )
+        return arrays_to_state(ckpt.arrays, ckpt.meta)
+
     def fit(
         self,
         model: GNNModel,
@@ -114,6 +210,12 @@ class Trainer:
         epoch_callback: Optional[Callable[[int, GNNModel], None]] = None,
         logger: Optional[RunLogger] = None,
         profiler: Optional[OpProfiler] = None,
+        checkpoint_every: Optional[int] = None,
+        checkpoint_dir: Union[None, str, pathlib.Path, CheckpointManager] = None,
+        resume_from: Union[None, str, pathlib.Path, CheckpointManager] = None,
+        guards: Optional[GuardConfig] = None,
+        fault_hook: Optional[Callable[[int, GNNModel, nn.Optimizer], None]] = None,
+        checkpoint_metadata: Optional[dict] = None,
     ) -> TrainResult:
         """Train ``model`` on ``graph`` and return the result.
 
@@ -121,12 +223,20 @@ class Trainer:
         experiments (Fig. 6) use it to trace hidden representations.
 
         ``logger`` (a :class:`repro.obs.RunLogger`) receives one
-        structured ``epoch`` record per epoch — loss, validation
-        accuracy, learning rate, global gradient norm, epoch time and
-        (for the stochastic aggregator) gate-probability statistics —
-        framed by ``fit_start``/``fit_end`` events.  ``profiler`` (a
+        structured ``epoch`` record per epoch plus ``divergence`` /
+        ``rollback`` / ``checkpoint`` resilience events; ``profiler`` (a
         :class:`repro.obs.OpProfiler`) is enabled for the duration of
         the fit; both default to off and add nothing when omitted.
+
+        ``checkpoint_every=N`` + ``checkpoint_dir`` writes a crash-safe
+        checkpoint every N epochs; ``resume_from`` continues from the
+        newest valid checkpoint bitwise-identically; ``guards``
+        (falling back to ``config.guards``) enables divergence rollback
+        with LR backoff; ``fault_hook(epoch, model, optimizer)`` is the
+        fault-injection seam used by the resilience tests;
+        ``checkpoint_metadata`` rides along in every checkpoint (the CLI
+        stores the invocation there so ``python -m repro resume`` can
+        rebuild the model).
         """
         cfg = self.config
         rng = np.random.default_rng(cfg.seed)
@@ -141,6 +251,36 @@ class Trainer:
         )
         scheduler = self._make_scheduler(optimizer)
 
+        guard_cfg = guards if guards is not None else cfg.guards
+        guard = DivergenceGuard(guard_cfg) if guard_cfg is not None else None
+
+        manager: Optional[CheckpointManager] = None
+        if checkpoint_every is not None:
+            if checkpoint_every < 1:
+                raise ValueError(
+                    f"checkpoint_every must be >= 1, got {checkpoint_every}"
+                )
+            if checkpoint_dir is None:
+                raise ValueError("checkpoint_every requires checkpoint_dir")
+            manager = (
+                checkpoint_dir
+                if isinstance(checkpoint_dir, CheckpointManager)
+                else CheckpointManager(checkpoint_dir)
+            )
+
+        book = _Bookkeeping(model)
+        start_epoch = 0
+        resumed_from: Optional[int] = None
+        if resume_from is not None:
+            snapshot = self._resolve_resume(resume_from)
+            extra = restore_training_state(
+                snapshot, model, optimizer, scheduler, rng
+            )
+            book.restore(extra, snapshot.get("best_state"))
+            start_epoch = snapshot["epoch"] + 1
+            resumed_from = snapshot["epoch"]
+            _LOG.info("resumed from checkpoint epoch %d", resumed_from)
+
         if logger is not None:
             logger.log(
                 "fit_start",
@@ -154,23 +294,26 @@ class Trainer:
                 lr_schedule=cfg.lr_schedule,
                 seed=cfg.seed,
                 inductive=inductive,
+                resumed_from_epoch=resumed_from,
+                guarded=guard is not None,
+                checkpoint_every=checkpoint_every,
             )
 
-        best_val = -1.0
-        best_state = model.state_dict()
-        stale = 0
-        losses: List[float] = []
-        val_accs: List[float] = []
-        times: List[float] = []
-        lrs: List[float] = []
-        grad_norms: List[float] = []
-        epochs_run = 0
+        # The guard needs a rollback target before the first good epoch.
+        if guard is not None and guard.snapshot is None:
+            guard.snapshot = capture_training_state(
+                model, optimizer, scheduler, rng, epoch=start_epoch - 1,
+                extra=book.extra(checkpoint_metadata),
+            )
+
+        epochs_run = start_epoch
 
         profile_ctx = (
             profiler.profile() if profiler is not None else contextlib.nullcontext()
         )
         with profile_ctx:
-            for epoch in range(cfg.epochs):
+            epoch = start_epoch
+            while epoch < cfg.epochs:
                 epochs_run = epoch + 1
                 start = time.perf_counter()
                 model.train()
@@ -188,20 +331,33 @@ class Trainer:
                     loss = loss + aux
                 optimizer.zero_grad()
                 loss.backward()
+                if fault_hook is not None:
+                    fault_hook(epoch, model, optimizer)
                 if cfg.max_grad_norm is not None:
                     grad_total = nn.clip_grad_norm(
                         optimizer.params, cfg.max_grad_norm
                     )
                 else:
                     grad_total = nn.grad_norm(optimizer.params)
+                loss_val = loss.item()
+
+                if guard is not None:
+                    reason = guard.diagnose(loss_val, grad_total)
+                    if reason is not None:
+                        epoch = self._handle_divergence(
+                            guard, reason, epoch, loss_val, grad_total,
+                            model, optimizer, scheduler, rng, book, logger,
+                        )
+                        continue
+
                 lr_used = optimizer.lr  # the rate this step applied
                 optimizer.step()
                 if scheduler is not None:
                     scheduler.step()
-                times.append(time.perf_counter() - start)
-                losses.append(loss.item())
-                lrs.append(lr_used)
-                grad_norms.append(grad_total)
+                book.times.append(time.perf_counter() - start)
+                book.losses.append(loss_val)
+                book.lrs.append(lr_used)
+                book.grad_norms.append(grad_total)
 
                 # Validation (on the full graph for inductive protocols).
                 if inductive:
@@ -210,7 +366,7 @@ class Trainer:
                 val_acc = F.accuracy(
                     predictions[graph.val_mask], graph.labels[graph.val_mask]
                 )
-                val_accs.append(val_acc)
+                book.val_accs.append(val_acc)
                 if epoch_callback is not None:
                     epoch_callback(epoch, model)
                 if inductive:
@@ -219,33 +375,60 @@ class Trainer:
                 if logger is not None:
                     logger.log_epoch(
                         epoch,
-                        loss=losses[-1],
+                        loss=loss_val,
                         val_acc=val_acc,
                         lr=lr_used,
                         grad_norm=grad_total,
-                        epoch_time=times[-1],
+                        epoch_time=book.times[-1],
                         **_gate_stats(model),
                     )
 
-                if val_acc > best_val:
-                    best_val = val_acc
-                    best_state = model.state_dict()
-                    stale = 0
+                if val_acc > book.best_val:
+                    book.best_val = val_acc
+                    book.best_state = model.state_dict()
+                    book.stale = 0
                 else:
-                    stale += 1
-                    if stale >= cfg.patience:
-                        break
+                    book.stale += 1
+
+                if guard is not None or (
+                    manager is not None
+                    and (epoch + 1) % checkpoint_every == 0
+                ):
+                    snapshot = capture_training_state(
+                        model, optimizer, scheduler, rng, epoch,
+                        extra=book.extra(checkpoint_metadata),
+                    )
+                    if guard is not None:
+                        guard.record_good(epoch, snapshot)
+                    if (
+                        manager is not None
+                        and (epoch + 1) % checkpoint_every == 0
+                    ):
+                        arrays, meta = state_to_arrays(snapshot)
+                        path = manager.save(epoch, arrays, meta)
+                        get_registry().counter("trainer.checkpoint").inc()
+                        if logger is not None:
+                            logger.log(
+                                "checkpoint", epoch=epoch, path=str(path)
+                            )
+
+                if book.stale >= cfg.patience:
+                    break
                 if cfg.verbose and epoch % 20 == 0:
                     _LOG.info(
                         "epoch %4d  loss %.4f  val %.4f",
-                        epoch, loss.item(), val_acc,
+                        epoch, loss_val, val_acc,
                     )
+                epoch += 1
 
-            model.load_state_dict(best_state)
+            model.load_state_dict(book.best_state)
             if cfg.checkpoint_path:
                 nn.save_module(
                     model, cfg.checkpoint_path,
-                    metadata={"best_val_acc": best_val, "epochs_run": epochs_run},
+                    metadata={
+                        "best_val_acc": book.best_val,
+                        "epochs_run": epochs_run,
+                    },
                 )
             if inductive:
                 model.attach(graph)
@@ -256,22 +439,78 @@ class Trainer:
         if logger is not None:
             logger.log(
                 "fit_end",
-                best_val_acc=best_val,
+                best_val_acc=book.best_val,
                 test_acc=test_acc,
                 epochs_run=epochs_run,
-                mean_epoch_time=float(np.mean(times)) if times else 0.0,
+                mean_epoch_time=float(np.mean(book.times)) if book.times else 0.0,
+                rollbacks=guard.retries_used if guard is not None else 0,
             )
         return TrainResult(
-            best_val_acc=best_val,
+            best_val_acc=book.best_val,
             test_acc=test_acc,
             epochs_run=epochs_run,
-            train_losses=losses,
-            val_accuracies=val_accs,
-            epoch_times=times,
+            train_losses=book.losses,
+            val_accuracies=book.val_accs,
+            epoch_times=book.times,
             history={
-                "loss": losses,
-                "val_acc": val_accs,
-                "lr": lrs,
-                "grad_norm": grad_norms,
+                "loss": book.losses,
+                "val_acc": book.val_accs,
+                "lr": book.lrs,
+                "grad_norm": book.grad_norms,
             },
+            rollbacks=guard.retries_used if guard is not None else 0,
+            resumed_from_epoch=resumed_from,
         )
+
+    @staticmethod
+    def _handle_divergence(
+        guard: DivergenceGuard,
+        reason: str,
+        epoch: int,
+        loss_val: float,
+        grad_total: float,
+        model: GNNModel,
+        optimizer,
+        scheduler,
+        rng: np.random.Generator,
+        book: _Bookkeeping,
+        logger: Optional[RunLogger],
+    ) -> int:
+        """Roll back to the last good state; returns the epoch to retry.
+
+        Raises :class:`TrainingDiverged` with a structured
+        :class:`TrainFailure` once the retry budget (or LR floor) is
+        exhausted.
+        """
+        guard.emit(
+            "divergence", logger,
+            epoch=epoch, reason=reason, loss=loss_val,
+            grad_norm=grad_total, lr=optimizer.lr,
+        )
+        if not guard.can_retry(optimizer.lr):
+            failure = guard.failure(
+                reason, epoch, loss_val, grad_total, optimizer.lr
+            )
+            guard.emit("train_failure", logger, **failure.as_dict())
+            raise TrainingDiverged(failure)
+
+        snapshot = guard.snapshot
+        extra = restore_training_state(
+            snapshot, model, optimizer, scheduler, rng
+        )
+        book.restore(extra, snapshot.get("best_state"))
+        # Backoff compounds across rollbacks even when the rollback
+        # target (and its stored LR) has not advanced in between.
+        guard.lr_scale *= guard.config.lr_backoff
+        optimizer.lr *= guard.lr_scale
+        if scheduler is not None:
+            scheduler.base_lr *= guard.lr_scale
+        optimizer.zero_grad()
+        guard.retries_used += 1
+        guard.lr_history.append(optimizer.lr)
+        guard.emit(
+            "rollback", logger,
+            from_epoch=epoch, to_epoch=snapshot["epoch"],
+            retries_used=guard.retries_used, lr=optimizer.lr,
+        )
+        return snapshot["epoch"] + 1

@@ -1,0 +1,500 @@
+"""The recovery matrix: every resilience path exercised by injected faults.
+
+- checkpoint atomicity, checksums, rotation, corrupt-file skipping;
+- kill-and-resume reproduces the uninterrupted run bitwise;
+- NaN/exploding-gradient rollback with LR backoff (and clean structured
+  failure once the budget is spent);
+- fault-tolerant ``run_all``: retry, --keep-going, --resume manifest;
+- the ``python -m repro resume`` CLI subcommand.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.core import Lasagne
+from repro.datasets import generate_dcsbm_graph, generate_features
+from repro.datasets.splits import per_class_split
+from repro.experiments.common import ExperimentResult
+from repro.experiments.run_all import run_all
+from repro.graphs import Graph
+from repro.models import GCN
+from repro.nn.module import Parameter
+from repro.nn.serialization import CheckpointError
+from repro.obs import RunLogger, read_run
+from repro.resilience import (
+    CheckpointManager,
+    ExplodingGradient,
+    FailNTimes,
+    GuardConfig,
+    InjectedFault,
+    MidEpochCrash,
+    NaNGradient,
+    RunManifest,
+    TrainingDiverged,
+    corrupt_file,
+    truncate_file,
+)
+from repro.training import TrainConfig, Trainer
+
+
+@pytest.fixture()
+def graph():
+    rng = np.random.default_rng(7)
+    adj, labels = generate_dcsbm_graph(120, 3, 420, homophily=0.9, rng=rng)
+    features = generate_features(labels, 16, rng=rng)
+    train, val, test = per_class_split(labels, 6, 12, 30, rng=rng)
+    return Graph(
+        adj=adj, features=features, labels=labels,
+        train_mask=train, val_mask=val, test_mask=test,
+    )
+
+
+def lasagne(graph, seed=0):
+    model = Lasagne(
+        graph.num_features, 8, graph.num_classes,
+        num_layers=3, aggregator="stochastic", dropout=0.3, seed=seed,
+    )
+    return model
+
+
+def config(epochs=10, **kwargs):
+    return TrainConfig(
+        lr=0.05, epochs=epochs, patience=max(epochs, 50), seed=0, **kwargs
+    )
+
+
+def params_of(model):
+    return {k: v.copy() for k, v in sorted(model.state_dict().items())}
+
+
+def assert_bitwise_equal(a, b):
+    assert sorted(a) == sorted(b)
+    for key in a:
+        np.testing.assert_array_equal(a[key], b[key], err_msg=key)
+
+
+# ---------------------------------------------------------------------------
+# CheckpointManager
+# ---------------------------------------------------------------------------
+
+class TestCheckpointManager:
+    def test_save_load_roundtrip(self, tmp_path):
+        mgr = CheckpointManager(tmp_path)
+        arrays = {"w": np.arange(6.0).reshape(2, 3)}
+        path = mgr.save(4, arrays, meta={"note": "hello"})
+        assert path.exists()
+        ckpt = mgr.load_latest()
+        assert ckpt.step == 4
+        assert ckpt.meta["note"] == "hello"
+        np.testing.assert_array_equal(ckpt.arrays["w"], arrays["w"])
+
+    def test_no_temp_files_left_behind(self, tmp_path):
+        mgr = CheckpointManager(tmp_path)
+        mgr.save(0, {"w": np.ones(3)})
+        leftovers = [p for p in tmp_path.iterdir() if ".tmp" in p.name]
+        assert not leftovers
+
+    def test_rotation_keeps_last_n(self, tmp_path):
+        mgr = CheckpointManager(tmp_path, keep_last=2)
+        for step in range(5):
+            mgr.save(step, {"w": np.full(2, float(step))})
+        files = sorted(p.name for p in tmp_path.glob("ckpt-*.npz"))
+        assert files == ["ckpt-000003.npz", "ckpt-000004.npz"]
+        entries = mgr.read_manifest()["checkpoints"]
+        assert [e["step"] for e in entries] == [3, 4]
+
+    def test_latest_skips_truncated_file(self, tmp_path):
+        mgr = CheckpointManager(tmp_path)
+        mgr.save(1, {"w": np.ones(4)})
+        newest = mgr.save(2, {"w": np.full(4, 2.0)})
+        truncate_file(newest)
+        ckpt = mgr.load_latest()
+        assert ckpt is not None and ckpt.step == 1
+
+    def test_latest_skips_bitrot(self, tmp_path):
+        mgr = CheckpointManager(tmp_path)
+        mgr.save(1, {"w": np.ones(4)})
+        newest = mgr.save(2, {"w": np.full(4, 2.0)})
+        corrupt_file(newest, offset=30)
+        ckpt = mgr.load_latest()
+        assert ckpt is not None and ckpt.step == 1
+
+    def test_all_corrupt_returns_none(self, tmp_path):
+        mgr = CheckpointManager(tmp_path)
+        truncate_file(mgr.save(0, {"w": np.ones(2)}), keep_bytes=10)
+        assert mgr.load_latest() is None
+
+    def test_manifestless_directory_rescans(self, tmp_path):
+        mgr = CheckpointManager(tmp_path)
+        mgr.save(3, {"w": np.ones(2)})
+        (tmp_path / "manifest.json").unlink()
+        ckpt = CheckpointManager(tmp_path).load_latest()
+        assert ckpt is not None and ckpt.step == 3
+
+    def test_corrupt_manifest_is_survivable(self, tmp_path):
+        mgr = CheckpointManager(tmp_path)
+        mgr.save(1, {"w": np.ones(2)})
+        (tmp_path / "manifest.json").write_text("{not json")
+        assert CheckpointManager(tmp_path).load_latest().step == 1
+
+
+# ---------------------------------------------------------------------------
+# Serialization hardening
+# ---------------------------------------------------------------------------
+
+class TestSerializationHardening:
+    def test_corrupt_module_checkpoint_raises_checkpoint_error(self, tmp_path, graph):
+        model = GCN(graph.num_features, 8, graph.num_classes, seed=0)
+        path = nn.save_module(model, tmp_path / "m.npz")
+        truncate_file(path)
+        with pytest.raises(CheckpointError, match="corrupt or unreadable"):
+            nn.load_module(model, path)
+
+    def test_missing_checkpoint_raises_checkpoint_error(self, tmp_path, graph):
+        model = GCN(graph.num_features, 8, graph.num_classes, seed=0)
+        with pytest.raises(CheckpointError, match="not found"):
+            nn.load_module(model, tmp_path / "nope.npz")
+
+    def test_key_mismatch_names_keys_and_path(self, tmp_path, graph):
+        model = GCN(graph.num_features, 8, graph.num_classes, num_layers=2, seed=0)
+        path = nn.save_module(model, tmp_path / "m.npz")
+        other = GCN(graph.num_features, 8, graph.num_classes, num_layers=3, seed=0)
+        with pytest.raises(KeyError, match="missing="):
+            nn.load_module(other, path)
+
+    def test_shape_mismatch_names_parameter(self, tmp_path):
+        class Tiny(nn.Module):
+            def __init__(self, n):
+                super().__init__()
+                self.w = Parameter(np.ones(n))
+
+        path = nn.save_module(Tiny(3), tmp_path / "t.npz")
+        with pytest.raises(ValueError, match="shape mismatch for w"):
+            nn.load_module(Tiny(4), path)
+
+    def test_optimizer_state_roundtrips_scheduler_and_rng(self):
+        p = Parameter(np.ones(3))
+        opt = nn.Adam([p], lr=0.1)
+        sched = nn.StepLR(opt, step_size=2)
+        rng = np.random.default_rng(0)
+        rng.normal(size=5)
+        for _ in range(3):
+            opt.zero_grad()
+            (p * p).sum().backward()
+            opt.step()
+            sched.step()
+        state = nn.optimizer_state(opt, scheduler=sched, rng=rng)
+
+        opt2 = nn.Adam([Parameter(np.ones(3))], lr=999.0)
+        sched2 = nn.StepLR(opt2, step_size=2)
+        rng2 = np.random.default_rng(123)
+        nn.restore_optimizer(opt2, state, scheduler=sched2, rng=rng2)
+        assert opt2._t == opt._t
+        assert opt2.lr == opt.lr
+        assert sched2.epoch == 3 and sched2.base_lr == 0.1
+        np.testing.assert_array_equal(rng2.normal(size=4), rng.normal(size=4))
+
+    def test_sgd_velocity_roundtrip(self):
+        p = Parameter(np.ones(3))
+        opt = nn.SGD([p], lr=0.1, momentum=0.9)
+        opt.zero_grad()
+        (p * p).sum().backward()
+        opt.step()
+        state = nn.optimizer_state(opt)
+        opt2 = nn.SGD([Parameter(np.ones(3))], lr=0.1, momentum=0.9)
+        nn.restore_optimizer(opt2, state)
+        np.testing.assert_array_equal(opt2._velocity[0], opt._velocity[0])
+
+
+# ---------------------------------------------------------------------------
+# Atomic run logs
+# ---------------------------------------------------------------------------
+
+class TestAtomicRunLog:
+    def test_every_line_is_complete_json(self, tmp_path):
+        logger = RunLogger(run_id="atomic", directory=tmp_path)
+        for i in range(5):
+            logger.log("tick", i=i)
+            # The on-disk file parses cleanly after *every* write.
+            for line in logger.path.read_text().splitlines():
+                json.loads(line)
+        logger.close()
+        assert len(read_run(logger.path)) == 6  # run_start + 5 ticks
+
+    def test_no_temp_files_left(self, tmp_path):
+        logger = RunLogger(run_id="clean", directory=tmp_path)
+        logger.log("x")
+        logger.close()
+        assert not [p for p in tmp_path.iterdir() if ".tmp" in p.name]
+
+    def test_read_run_tolerates_truncated_tail(self, tmp_path):
+        path = tmp_path / "r.jsonl"
+        path.write_text('{"event": "a", "seq": 0}\n{"event": "b", "se')
+        records = read_run(path)
+        assert [r["event"] for r in records] == ["a"]
+
+    def test_read_run_rejects_mid_file_corruption(self, tmp_path):
+        path = tmp_path / "r.jsonl"
+        path.write_text('{"event": "a"}\nGARBAGE\n{"event": "c"}\n')
+        with pytest.raises(json.JSONDecodeError):
+            read_run(path)
+
+
+# ---------------------------------------------------------------------------
+# Kill-and-resume: bitwise-identical continuation
+# ---------------------------------------------------------------------------
+
+class TestKillAndResume:
+    def test_resume_is_bitwise_identical(self, tmp_path, graph):
+        cfg = config(epochs=10)
+        reference = lasagne(graph)
+        ref_result = Trainer(cfg).fit(reference, graph)
+
+        crashed = lasagne(graph)
+        with pytest.raises(InjectedFault):
+            Trainer(cfg).fit(
+                crashed, graph,
+                checkpoint_every=3, checkpoint_dir=tmp_path / "ck",
+                fault_hook=MidEpochCrash(at_epoch=7),
+            )
+
+        resumed = lasagne(graph)
+        res = Trainer(cfg).fit(
+            resumed, graph,
+            checkpoint_every=3, checkpoint_dir=tmp_path / "ck",
+            resume_from=tmp_path / "ck",
+        )
+        assert res.resumed_from_epoch == 5
+        assert res.epochs_run == ref_result.epochs_run
+        assert res.train_losses == ref_result.train_losses
+        assert res.val_accuracies == ref_result.val_accuracies
+        assert_bitwise_equal(params_of(reference), params_of(resumed))
+
+    def test_resume_skips_corrupt_newest_checkpoint(self, tmp_path, graph):
+        cfg = config(epochs=8)
+        reference = lasagne(graph)
+        Trainer(cfg).fit(reference, graph)
+
+        crashed = lasagne(graph)
+        with pytest.raises(InjectedFault):
+            Trainer(cfg).fit(
+                crashed, graph,
+                checkpoint_every=2, checkpoint_dir=tmp_path / "ck",
+                fault_hook=MidEpochCrash(at_epoch=7),
+            )
+        mgr = CheckpointManager(tmp_path / "ck")
+        newest = tmp_path / "ck" / mgr.entries()[-1]["file"]
+        truncate_file(newest)
+
+        resumed = lasagne(graph)
+        res = Trainer(cfg).fit(resumed, graph, resume_from=tmp_path / "ck")
+        assert res.resumed_from_epoch == 3  # newest good one, not the torso
+        assert_bitwise_equal(params_of(reference), params_of(resumed))
+
+    def test_resume_from_empty_dir_fails_clearly(self, tmp_path, graph):
+        (tmp_path / "ck").mkdir()
+        with pytest.raises(CheckpointError, match="no usable checkpoint"):
+            Trainer(config()).fit(
+                lasagne(graph), graph, resume_from=tmp_path / "ck"
+            )
+
+    def test_checkpoint_every_requires_dir(self, graph):
+        with pytest.raises(ValueError, match="requires checkpoint_dir"):
+            Trainer(config()).fit(lasagne(graph), graph, checkpoint_every=2)
+
+
+# ---------------------------------------------------------------------------
+# Divergence guards
+# ---------------------------------------------------------------------------
+
+class TestDivergenceGuards:
+    def test_nan_rollback_recovers_and_completes(self, tmp_path, graph):
+        logger = RunLogger(run_id="guarded", directory=tmp_path)
+        model = lasagne(graph)
+        res = Trainer(config(epochs=10)).fit(
+            model, graph,
+            guards=GuardConfig(max_retries=2, lr_backoff=0.5),
+            fault_hook=NaNGradient(at_epoch=5),
+            logger=logger,
+        )
+        logger.close()
+        assert res.rollbacks == 1
+        assert res.epochs_run == 10
+        assert np.isfinite(res.train_losses).all()
+        assert all(np.isfinite(v).all() for v in params_of(model).values())
+        events = [r["event"] for r in read_run(logger.path)]
+        assert "divergence" in events and "rollback" in events
+        rollback = next(r for r in read_run(logger.path) if r["event"] == "rollback")
+        assert rollback["to_epoch"] == 4
+        assert rollback["lr"] == pytest.approx(0.025)  # 0.05 backed off once
+
+    def test_persistent_nan_exhausts_budget_with_structured_failure(self, graph):
+        with pytest.raises(TrainingDiverged) as excinfo:
+            Trainer(config(epochs=10)).fit(
+                lasagne(graph), graph,
+                guards=GuardConfig(max_retries=2),
+                fault_hook=NaNGradient(at_epoch=5, once=False),
+            )
+        failure = excinfo.value.failure
+        assert failure.reason == "nan_grad"
+        assert failure.epoch == 5
+        assert failure.retries_used == 2
+        assert failure.rollback_epoch == 4
+        assert len(failure.lr_history) == 2
+        # Record is JSON-serializable for run logs / manifests.
+        json.dumps(failure.as_dict())
+
+    def test_exploding_gradient_trips_grad_limit(self, graph):
+        res = Trainer(config(epochs=8)).fit(
+            lasagne(graph), graph,
+            guards=GuardConfig(grad_limit=1e6, max_retries=1),
+            fault_hook=ExplodingGradient(at_epoch=3, factor=1e12),
+        )
+        assert res.rollbacks == 1
+        assert np.isfinite(res.train_losses).all()
+
+    def test_divergence_at_epoch_zero_rolls_back_to_init(self, graph):
+        res = Trainer(config(epochs=6)).fit(
+            lasagne(graph), graph,
+            guards=GuardConfig(max_retries=1),
+            fault_hook=NaNGradient(at_epoch=0),
+        )
+        assert res.rollbacks == 1
+        assert res.epochs_run == 6
+
+    def test_unguarded_run_unaffected_by_guard_config_default(self, graph):
+        res = Trainer(config(epochs=4)).fit(lasagne(graph), graph)
+        assert res.rollbacks == 0 and res.resumed_from_epoch is None
+
+    def test_lr_floor_aborts_instead_of_spinning(self, graph):
+        with pytest.raises(TrainingDiverged):
+            Trainer(config(epochs=10)).fit(
+                lasagne(graph), graph,
+                guards=GuardConfig(max_retries=50, min_lr=0.04),
+                fault_hook=NaNGradient(at_epoch=3, once=False),
+            )
+
+
+# ---------------------------------------------------------------------------
+# Fault-tolerant run_all
+# ---------------------------------------------------------------------------
+
+def _fake_experiment(name):
+    def run():
+        return ExperimentResult(
+            experiment_id=name, title=name, headers=["v"], rows=[["1"]], data={}
+        )
+    return run
+
+
+class TestRunAllFaultTolerance:
+    def test_keep_going_collects_failure_without_losing_others(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        monkeypatch.chdir(tmp_path)
+        plan = [
+            ("ok_a", _fake_experiment("ok_a")),
+            ("broken", FailNTimes(_fake_experiment("broken"), failures=10 ** 9)),
+            ("ok_b", _fake_experiment("ok_b")),
+        ]
+        summary = run_all("quick", plan=plan, keep_going=True, retry_wait=0.0)
+        assert summary.completed == ["ok_a", "ok_b"]
+        assert [f.name for f in summary.failed] == ["broken"]
+        assert not summary.ok
+        assert "FAILED" in summary.render()
+        assert "InjectedFault" in summary.failed[0].error
+        # list-style access still works for legacy callers
+        assert len(summary) == 2 and summary[0].experiment_id == "ok_a"
+
+    def test_resume_skips_completed_entries(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        calls = {"n": 0}
+
+        def counting():
+            calls["n"] += 1
+            return _fake_experiment("ok_a")()
+
+        plan = [
+            ("ok_a", counting),
+            ("broken", FailNTimes(_fake_experiment("broken"), failures=10 ** 9)),
+        ]
+        first = run_all("quick", plan=plan, keep_going=True, retry_wait=0.0)
+        assert first.completed == ["ok_a"] and calls["n"] == 1
+
+        # Second pass: the fault is gone (transient outage), resume skips ok_a.
+        plan2 = [
+            ("ok_a", counting),
+            ("broken", _fake_experiment("broken")),
+        ]
+        second = run_all("quick", plan=plan2, resume=True, retry_wait=0.0)
+        assert calls["n"] == 1  # not re-run
+        assert second.skipped == ["ok_a"]
+        assert second.completed == ["broken"]
+        manifest = RunManifest(tmp_path / "results" / "run_all_manifest.json")
+        assert manifest.completed() == ["broken", "ok_a"]
+
+    def test_retry_with_backoff_heals_transient_failure(
+        self, tmp_path, monkeypatch
+    ):
+        monkeypatch.chdir(tmp_path)
+        flaky = FailNTimes(_fake_experiment("flaky"), failures=2)
+        summary = run_all(
+            "quick", plan=[("flaky", flaky)], retries=2, retry_wait=0.0
+        )
+        assert summary.completed == ["flaky"]
+        assert flaky.calls == 3
+
+    def test_fail_fast_raises_with_guidance(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        plan = [
+            ("broken", FailNTimes(_fake_experiment("broken"), failures=10 ** 9)),
+            ("never_reached", _fake_experiment("never_reached")),
+        ]
+        with pytest.raises(RuntimeError, match="keep_going"):
+            run_all("quick", plan=plan, retry_wait=0.0)
+        manifest = RunManifest(tmp_path / "results" / "run_all_manifest.json")
+        assert manifest.failed() == ["broken"]
+
+    def test_manifest_survives_corruption(self, tmp_path):
+        path = tmp_path / "m.json"
+        manifest = RunManifest(path)
+        manifest.mark_completed("a")
+        path.write_text("{broken")
+        fresh = RunManifest(path)
+        assert fresh.completed() == []
+        fresh.mark_completed("b")
+        assert RunManifest(path).completed() == ["b"]
+
+
+# ---------------------------------------------------------------------------
+# CLI: python -m repro resume <run_dir>
+# ---------------------------------------------------------------------------
+
+class TestResumeCLI:
+    def test_train_then_resume_roundtrip(self, tmp_path, monkeypatch, capsys):
+        from repro.__main__ import main
+
+        monkeypatch.chdir(tmp_path)
+        rc = main([
+            "train", "synthetic", "--model", "gcn", "--layers", "2",
+            "--epochs", "6", "--checkpoint-every", "2",
+            "--checkpoint-dir", "ck",
+        ])
+        assert rc == 0
+        rc = main(["resume", "ck", "--epochs", "9"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "resuming synthetic/gcn from epoch 5" in out
+        assert "resumed from epoch 5" in out
+
+    def test_resume_empty_dir_exits_cleanly(self, tmp_path, monkeypatch, capsys):
+        from repro.__main__ import main
+
+        monkeypatch.chdir(tmp_path)
+        (tmp_path / "ck").mkdir()
+        rc = main(["resume", "ck"])
+        assert rc == 2
+        assert "no usable checkpoint" in capsys.readouterr().err
