@@ -1,0 +1,104 @@
+"""Performance-regression guards for the ``repro.perf`` layer.
+
+Marked ``bench`` (timing-sensitive), so they are excluded from the
+default run by the ``-m 'not slow and not bench'`` addopts; run with::
+
+    pytest benchmarks/test_perf_guard.py -m bench -q
+
+The core guard enforces the point of the propagation cache: a cache hit
+must never be slower than recomputing the propagation.  Timings use
+best-of-N to shed scheduler noise.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.datasets import load_dataset
+from repro.graphs.normalize import gcn_norm
+from repro.perf import PropagationCache, perf_mode
+from repro.perf.bench import run_bench
+from repro.perf.fused import fused_gcn_layer
+from repro.tensor import Tensor, spmm
+
+pytestmark = pytest.mark.bench
+
+REPEATS = 30
+
+
+def _best_of(fn, repeats=REPEATS):
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+@pytest.fixture(scope="module")
+def operands():
+    graph = load_dataset("synthetic")
+    adj = gcn_norm(graph.adj)
+    return graph, adj
+
+
+def test_cached_propagation_not_slower_than_uncached(operands):
+    graph, adj = operands
+    x = graph.features
+    cache = PropagationCache()
+    cache.propagate(adj, x, k=2)  # warm the entry
+
+    cached = _best_of(lambda: cache.propagate(adj, x, k=2))
+    uncached = _best_of(lambda: adj.csr @ (adj.csr @ x))
+    assert cached <= uncached, (
+        f"cache hit ({1e6 * cached:.1f}µs) slower than recomputing "
+        f"({1e6 * uncached:.1f}µs) — the propagation cache lost its point"
+    )
+
+
+def test_fused_layer_not_slower_than_unfused(operands):
+    graph, adj = operands
+    rng = np.random.default_rng(0)
+    x = Tensor(graph.features)
+    w = Tensor(rng.standard_normal((graph.num_features, 32)), requires_grad=True)
+    b = Tensor(np.zeros(32), requires_grad=True)
+
+    def unfused():
+        (spmm(adj, x @ w) + b).relu().sum().backward()
+        w.zero_grad()
+        b.zero_grad()
+
+    def fused():
+        fused_gcn_layer(adj, x, w, b, activation="relu").sum().backward()
+        w.zero_grad()
+        b.zero_grad()
+
+    unfused()  # warm BLAS
+    fused()
+    t_unfused = _best_of(unfused)
+    t_fused = _best_of(fused)
+    # 10% slack: the guard catches regressions, not timer jitter.
+    assert t_fused <= t_unfused * 1.1, (
+        f"fused layer ({1e6 * t_fused:.1f}µs) slower than unfused "
+        f"({1e6 * t_unfused:.1f}µs)"
+    )
+
+
+def test_fast_path_epoch_speedup(operands):
+    # The PR's headline acceptance: float32 + fused + cached training is
+    # at least 1.5× faster per epoch than the float64 reference on the
+    # synthetic benchmark (GCN, the canonical model).
+    result = run_bench(models=("gcn",), epochs=8, repeats=10, write=False)
+    speedup = result["train"]["speedup"]["gcn"]
+    assert speedup is not None and speedup >= 1.5, (
+        f"optimized epoch speedup {speedup}× below the 1.5× floor"
+    )
+
+
+def test_fast_path_inference_speedup(operands):
+    result = run_bench(models=("gcn",), epochs=2, repeats=15, write=False)
+    speedup = result["infer"]["speedup"]["gcn"]
+    assert speedup is not None and speedup >= 1.5, (
+        f"optimized inference speedup {speedup}× below the 1.5× floor"
+    )

@@ -13,6 +13,10 @@ Commands
 ``experiments``   run the paper's tables/figures (delegates to run_all;
                   ``--resume``/``--keep-going``/``--retries`` for fault
                   tolerance)
+``bench``         time micro-ops, training epochs and full-graph
+                  inference in reference (float64) vs optimized
+                  (float32 + fused + cached) mode; writes
+                  ``BENCH_train.json`` / ``BENCH_infer.json``
 """
 
 from __future__ import annotations
@@ -254,6 +258,27 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.perf.bench import format_report, run_bench
+
+    result = run_bench(
+        dataset=args.dataset,
+        models=tuple(args.models),
+        epochs=args.epochs,
+        repeats=args.repeats,
+        scale=args.scale,
+        seed=args.seed,
+        out_dir=args.out_dir,
+        write=not args.no_write,
+    )
+    print(format_report(result))
+    if result["paths"]:
+        print()
+        for path in result["paths"]:
+            print(f"wrote {path}")
+    return 0
+
+
 def _cmd_experiments(args: argparse.Namespace) -> int:
     from repro.experiments.run_all import run_all
 
@@ -331,6 +356,23 @@ def main(argv=None) -> int:
     p.add_argument("--no-log", action="store_true",
                    help="skip writing the JSONL run log")
     p.set_defaults(func=_cmd_profile)
+
+    p = sub.add_parser(
+        "bench", help="reference-vs-optimized performance benchmark"
+    )
+    p.add_argument("dataset", nargs="?", default="synthetic")
+    p.add_argument("--models", nargs="+", default=["gcn", "sgc", "lasagne"])
+    p.add_argument("--epochs", type=int, default=10,
+                   help="train-step epochs per model per mode (no early stop)")
+    p.add_argument("--repeats", type=int, default=20,
+                   help="micro-op and inference repetitions")
+    p.add_argument("--scale", type=float, default=None)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--out-dir", default=".",
+                   help="directory for BENCH_train.json / BENCH_infer.json")
+    p.add_argument("--no-write", action="store_true",
+                   help="print the report without touching the filesystem")
+    p.set_defaults(func=_cmd_bench)
 
     p = sub.add_parser("experiments", help="run the paper's tables/figures")
     p.add_argument("--preset", default="quick")

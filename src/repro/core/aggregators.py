@@ -225,7 +225,7 @@ class StochasticAggregator(LayerAggregator):
             # backward flows through the probability.
             sample = (
                 self._sample_rng.random(probs.shape) < probs.data
-            ).astype(np.float64)
+            ).astype(probs.data.dtype)
             gates = probs + Tensor(sample - probs.data)
         else:
             gates = probs

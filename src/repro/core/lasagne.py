@@ -224,14 +224,28 @@ class Lasagne(GNNModel):
         self._node_count = num_nodes
 
     # ------------------------------------------------------------------
-    def _apply_conv(self, conv, op: LasagneOperator, h: Tensor) -> Tensor:
+    def _apply_conv(
+        self, conv, op: LasagneOperator, h: Tensor, layer: int = -1
+    ) -> Tensor:
         if self.base_conv == "gat":
             out = conv(op.edges, op.num_nodes, h)
             return ops.elu(out)
+        # SGC base: linear propagation, no activation.
+        activation = "relu" if self.base_conv == "gcn" else None
+        if layer == 0:
+            # First layer over the constant features (dropout inactive):
+            # reuse the memoized Â x and skip the spmm entirely.
+            px = self._propagated_input(op.adj, h)
+            if px is not None:
+                return conv.forward_propagated(px, activation=activation)
+        from repro.perf import config as perf_config
+
+        if perf_config.fused_enabled():
+            return conv.fused_forward(op.adj, h, activation=activation)
         out = conv(op.adj, h)
-        if self.base_conv == "gcn":
+        if activation is not None:
             out = out.relu()
-        return out  # SGC base: linear propagation, no activation
+        return out
 
     def forward(self, op: LasagneOperator, x, return_hidden: bool = False):
         if self.aggregators is None:
@@ -239,7 +253,7 @@ class Lasagne(GNNModel):
         hidden: List[Tensor] = []
         h = x
         for l, conv in enumerate(self.convs):
-            h = self._apply_conv(conv, op, self.dropout(h))
+            h = self._apply_conv(conv, op, self.dropout(h), layer=l)
             hidden.append(h)
             if l >= 1:
                 h = self.aggregators[l - 1](op.adj, hidden)

@@ -48,6 +48,7 @@ class GNNModel(nn.Module):
         self._norm_adj = None
         self._features: Optional[Tensor] = None
         self._view_cache: Dict[int, tuple] = {}
+        self._prop_tensors: Dict[tuple, Tensor] = {}
 
     # ------------------------------------------------------------------
     def setup(self, graph: Graph) -> "GNNModel":
@@ -108,6 +109,36 @@ class GNNModel(nn.Module):
     def auxiliary_loss(self) -> Optional[Tensor]:
         """Extra regularization term added to the loss (MADReg uses this)."""
         return None
+
+    # ------------------------------------------------------------------
+    def _propagated_input(self, adj, x, k: int = 1) -> Optional[Tensor]:
+        """Memoized ``Â^k x`` when ``x`` is the attached constant features.
+
+        Returns ``None`` whenever the cached path is ineligible: the
+        propagation cache is off, ``x`` is not (by identity) the attached
+        feature tensor — e.g. it came out of an active dropout — or the
+        operator is not a plain :class:`SparseMatrix`.  The returned
+        tensor is a shared constant (no grad), so callers must not
+        mutate it; the product itself comes from the process-global
+        :class:`repro.perf.PropagationCache` and is shared across model
+        instances on equal graphs.
+        """
+        from repro.perf import config as perf_config
+        from repro.perf import propcache
+
+        if not perf_config.propagation_cache_enabled():
+            return None
+        if self._features is None or x is not self._features:
+            return None
+        if not isinstance(adj, SparseMatrix):
+            return None
+        key = (id(adj), k)
+        cached = self._prop_tensors.get(key)
+        if cached is None:
+            data = propcache.propagated_features(adj, self._features.data, k=k)
+            cached = Tensor(data)
+            self._prop_tensors[key] = cached
+        return cached
 
     # ------------------------------------------------------------------
     def forward(self, adj, x, return_hidden: bool = False):

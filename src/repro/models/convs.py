@@ -47,6 +47,31 @@ class GraphConv(Module):
             out = out + self.bias
         return out
 
+    def fused_forward(
+        self, adj: SparseMatrix, x: Tensor, activation: Optional[str] = None
+    ) -> Tensor:
+        """Single-tape-node forward including the caller's activation.
+
+        Gradcheck-identical to ``forward`` followed by relu; see
+        :mod:`repro.perf.fused`.
+        """
+        from repro.perf.fused import fused_gcn_layer
+
+        return fused_gcn_layer(adj, x, self.weight, self.bias, activation)
+
+    def forward_propagated(
+        self, px: Tensor, activation: Optional[str] = None
+    ) -> Tensor:
+        """Layer output given an already-propagated input ``px = Â x``.
+
+        By associativity ``Â (x W) = (Â x) W``, so when ``Â x`` is a
+        memoized constant (:mod:`repro.perf.propcache`) the layer
+        reduces to a dense transform with no spmm at all.
+        """
+        from repro.perf.fused import fused_dense_layer
+
+        return fused_dense_layer(px, self.weight, self.bias, activation)
+
     def __repr__(self) -> str:
         return f"GraphConv(in={self.in_features}, out={self.out_features})"
 

@@ -9,6 +9,7 @@ import numpy as np
 from repro import nn
 from repro.models.base import GNNModel
 from repro.models.convs import GraphConv
+from repro.perf import config as perf_config
 
 
 def layer_dims(
@@ -57,9 +58,23 @@ class GCN(GNNModel):
         hidden_states = []
         h = x
         for i, conv in enumerate(self.convs):
-            h = self.dropout(h)
-            h = conv(adj, h)
-            if i < self.num_layers - 1:
-                h = h.relu()
+            h_in = self.dropout(h)
+            activation = "relu" if i < self.num_layers - 1 else None
+            out = None
+            if i == 0:
+                # With dropout inactive (eval / p=0), the first layer's
+                # propagation operand is the constant feature matrix —
+                # reuse the memoized Â x when the cache is enabled.
+                px = self._propagated_input(adj, h_in)
+                if px is not None:
+                    out = conv.forward_propagated(px, activation=activation)
+            if out is None:
+                if perf_config.fused_enabled():
+                    out = conv.fused_forward(adj, h_in, activation=activation)
+                else:
+                    out = conv(adj, h_in)
+                    if activation is not None:
+                        out = out.relu()
+            h = out
             hidden_states.append(h)
         return self._maybe_hidden(h, hidden_states, return_hidden)

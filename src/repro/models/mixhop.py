@@ -48,8 +48,13 @@ class MixHop(GNNModel):
         self.dropout = nn.Dropout(dropout, rng=np.random.default_rng(rng.integers(2**31)))
 
     def build_operator(self, graph: Graph) -> Tuple:
-        """Precompute the required powers of Â."""
+        """Precompute the required powers of Â (shared via the perf cache)."""
         base = gcn_norm(graph.adj)
+        from repro.perf import config as perf_config
+        from repro.perf import propcache
+
+        if perf_config.propagation_cache_enabled():
+            return tuple(propcache.adjacency_power(base, p) for p in self.powers)
         return tuple(base.power(p) for p in self.powers)
 
     def forward(self, adj_powers, x, return_hidden: bool = False):
@@ -99,6 +104,14 @@ class NGCN(GNNModel):
 
     def build_operator(self, graph: Graph) -> Tuple:
         base = gcn_norm(graph.adj)
+        from repro.perf import config as perf_config
+        from repro.perf import propcache
+
+        if perf_config.propagation_cache_enabled():
+            return tuple(
+                propcache.adjacency_power(base, p + 1)
+                for p in range(self.num_instances)
+            )
         return tuple(base.power(p + 1) for p in range(self.num_instances))
 
     def forward(self, adj_powers, x, return_hidden: bool = False):

@@ -37,11 +37,21 @@ class SGC(GNNModel):
     def on_attach(self, graph: Graph) -> None:
         key = id(graph)
         if key not in self._prop_cache:
-            x = graph.features
-            propagated = x
-            csr = self._norm_adj.csr
-            for _ in range(self.k_hops):
-                propagated = csr @ propagated
+            from repro.perf import config as perf_config
+            from repro.perf import propcache
+
+            if perf_config.propagation_cache_enabled():
+                # Content-keyed global cache: a second SGC (or a GCN with
+                # cached first-layer propagation) on an equal graph view
+                # reuses the same Â^k X buffers.
+                propagated = propcache.propagated_features(
+                    self._norm_adj, self._features.data, k=self.k_hops
+                )
+            else:
+                propagated = self._features.data
+                csr = self._norm_adj.csr
+                for _ in range(self.k_hops):
+                    propagated = csr @ propagated
             self._prop_cache[key] = Tensor(propagated)
         self._propagated = self._prop_cache[key]
 

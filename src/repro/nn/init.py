@@ -3,6 +3,12 @@
 GCN and its descendants conventionally use Glorot (Xavier) initialization;
 He initialization is provided for ReLU-heavy stacks.  All functions take an
 explicit numpy Generator so experiments are reproducible.
+
+Random draws are always made in float64 and then cast to the policy
+default dtype (:func:`repro.tensor.dtype.get_default_dtype`).  Drawing
+before casting means a float32 fast-path run consumes the *same* RNG
+stream as the float64 reference run, so the two start from bitwise-
+comparable weights — a property the equivalence tests rely on.
 """
 
 from __future__ import annotations
@@ -10,6 +16,12 @@ from __future__ import annotations
 from typing import Tuple
 
 import numpy as np
+
+from repro.tensor.dtype import get_default_dtype
+
+
+def _cast(values: np.ndarray) -> np.ndarray:
+    return values.astype(get_default_dtype(), copy=False)
 
 
 def _fans(shape: Tuple[int, ...]) -> Tuple[int, int]:
@@ -25,34 +37,34 @@ def glorot_uniform(shape: Tuple[int, ...], rng: np.random.Generator) -> np.ndarr
     """Uniform(-a, a) with a = sqrt(6 / (fan_in + fan_out))."""
     fan_in, fan_out = _fans(shape)
     limit = np.sqrt(6.0 / (fan_in + fan_out))
-    return rng.uniform(-limit, limit, size=shape)
+    return _cast(rng.uniform(-limit, limit, size=shape))
 
 
 def glorot_normal(shape: Tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
     """Normal(0, sqrt(2 / (fan_in + fan_out)))."""
     fan_in, fan_out = _fans(shape)
     std = np.sqrt(2.0 / (fan_in + fan_out))
-    return rng.normal(0.0, std, size=shape)
+    return _cast(rng.normal(0.0, std, size=shape))
 
 
 def he_uniform(shape: Tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
     """Uniform(-a, a) with a = sqrt(6 / fan_in), for ReLU networks."""
     fan_in, _ = _fans(shape)
     limit = np.sqrt(6.0 / fan_in)
-    return rng.uniform(-limit, limit, size=shape)
+    return _cast(rng.uniform(-limit, limit, size=shape))
 
 
 def he_normal(shape: Tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
     """Normal(0, sqrt(2 / fan_in)), for ReLU networks."""
     fan_in, _ = _fans(shape)
-    return rng.normal(0.0, np.sqrt(2.0 / fan_in), size=shape)
+    return _cast(rng.normal(0.0, np.sqrt(2.0 / fan_in), size=shape))
 
 
 def zeros(shape: Tuple[int, ...], rng: np.random.Generator = None) -> np.ndarray:
     """All-zero init (biases; rng accepted for interface uniformity)."""
-    return np.zeros(shape)
+    return np.zeros(shape, dtype=get_default_dtype())
 
 
 def ones(shape: Tuple[int, ...], rng: np.random.Generator = None) -> np.ndarray:
     """All-ones init (scale parameters such as BatchNorm gamma)."""
-    return np.ones(shape)
+    return np.ones(shape, dtype=get_default_dtype())

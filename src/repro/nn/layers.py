@@ -102,8 +102,10 @@ class BatchNorm(Module):
         self.beta = Parameter(np.zeros(num_features), name="bn.beta")
         self.momentum = momentum
         self.eps = eps
-        self.running_mean = np.zeros(num_features)
-        self.running_var = np.ones(num_features)
+        # Running stats follow the policy dtype so eval-mode arithmetic
+        # does not upcast a float32 fast-path forward back to float64.
+        self.running_mean = init_schemes.zeros((num_features,))
+        self.running_var = init_schemes.ones((num_features,))
 
     def forward(self, x: Tensor) -> Tensor:
         if self.training:

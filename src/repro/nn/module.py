@@ -6,6 +6,7 @@ from typing import Dict, Iterable, Iterator, List, Tuple
 
 import numpy as np
 
+from repro.tensor.dtype import get_default_dtype
 from repro.tensor.tensor import Tensor
 
 
@@ -13,10 +14,14 @@ class Parameter(Tensor):
     """A :class:`Tensor` that is trainable by construction.
 
     Modules auto-register any :class:`Parameter` assigned as an attribute.
+    Data is stored in the policy default dtype (float64 reference or the
+    float32 fast path).
     """
 
     def __init__(self, data, name: str = "") -> None:
-        super().__init__(np.asarray(data, dtype=np.float64), requires_grad=True, name=name)
+        super().__init__(
+            np.asarray(data, dtype=get_default_dtype()), requires_grad=True, name=name
+        )
 
 
 class Module:

@@ -32,6 +32,9 @@ class Optimizer:
 
     def _grad(self, p: Tensor, weight_decay: float) -> np.ndarray:
         grad = p.grad if p.grad is not None else np.zeros_like(p.data)
+        # Guard against upcast leaks: a stray float64 gradient reaching a
+        # float32 parameter would silently promote the moment buffers.
+        grad = grad.astype(p.data.dtype, copy=False)
         if weight_decay:
             grad = grad + weight_decay * p.data
         return grad

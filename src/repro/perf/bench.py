@@ -1,0 +1,329 @@
+"""The ``python -m repro bench`` harness.
+
+Measures the repository's performance trajectory in three tiers —
+
+1. **micro-ops**: the raw kernels (spmm, one fused vs unfused GCN layer
+   forward+backward, cached vs recomputed propagation);
+2. **training**: mean per-epoch train-step time for each model over a
+   fixed epoch budget (no early stopping, so reference and optimized
+   runs do identical work);
+3. **inference**: repeated full-graph ``predict()`` calls —
+
+each in two modes: *reference* (float64, unfused, uncached: the
+repository's historical behaviour, bit-for-bit) and *optimized* (the
+full :func:`repro.perf.perf_mode` fast path).  Results are written as
+``BENCH_train.json`` and ``BENCH_infer.json``; ``docs/performance.md``
+explains how to read them.
+
+All timings come from the PR-1 observability instruments
+(:class:`repro.obs.metrics.Histogram` via a private registry), so the
+summaries carry the same count/mean/p50/p95 fields as the run logs.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import time
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.obs.metrics import MetricsRegistry
+from repro.perf import config as perf_config
+from repro.perf import propcache
+from repro.perf.fused import fused_gcn_layer
+
+SCHEMA_TRAIN = "repro.bench.train/v1"
+SCHEMA_INFER = "repro.bench.infer/v1"
+DEFAULT_MODELS = ("gcn", "sgc", "lasagne")
+
+#: perf-switch settings of the two benchmark modes.
+MODES = {
+    "reference": {"dtype": "float64", "fused": False, "propagation_cache": False},
+    "optimized": {"dtype": "float32", "fused": True, "propagation_cache": True},
+}
+
+
+def _summary(histogram) -> Dict[str, float]:
+    stats = histogram.summary()
+    return {
+        "count": int(stats["count"]),
+        "total_s": stats["total"],
+        "mean_s": stats["mean"],
+        "p50_s": stats["p50"],
+        "p95_s": stats["p95"],
+        "min_s": stats["min"],
+        "max_s": stats["max"],
+    }
+
+
+def _speedup(reference: Optional[float], optimized: Optional[float]) -> Optional[float]:
+    if not reference or not optimized:
+        return None
+    return round(reference / optimized, 3)
+
+
+def _build(name: str, graph, hp, seed: int):
+    from repro.core import Lasagne
+    from repro.models import build_model
+
+    if name == "lasagne":
+        return Lasagne(
+            graph.num_features, hp.hidden, graph.num_classes,
+            num_layers=4, aggregator="weighted",
+            dropout=hp.dropout, fm_rank=hp.fm_rank, seed=seed,
+        )
+    return build_model(
+        name, graph.num_features, graph.num_classes,
+        hidden=hp.hidden, num_layers=2, dropout=hp.dropout, seed=seed,
+    )
+
+
+# ----------------------------------------------------------------------
+def _micro_ops(graph, repeats: int, registry: MetricsRegistry) -> Dict[str, dict]:
+    """Kernel-level timings, reference vs optimized, plus the cache guard
+    numbers (cached propagate vs recomputed spmm at equal dtype)."""
+    from repro.graphs.normalize import gcn_norm
+    from repro.nn import init as init_schemes
+    from repro.tensor.tensor import Tensor
+
+    results: Dict[str, dict] = {}
+    for mode, settings in MODES.items():
+        with perf_config.perf_mode(**settings):
+            adj = gcn_norm(graph.adj)
+            x = Tensor(graph.features)
+            rng = np.random.default_rng(0)
+            weight = Tensor(
+                init_schemes.glorot_uniform((graph.num_features, 32), rng),
+                requires_grad=True,
+            )
+            bias = Tensor(init_schemes.zeros((32,)), requires_grad=True)
+
+            spmm_timer = registry.timer(f"micro.spmm.{mode}")
+            for _ in range(repeats):
+                with spmm_timer:
+                    adj.csr @ x.data
+
+            unfused_timer = registry.timer(f"micro.layer_unfused.{mode}")
+            for _ in range(repeats):
+                with unfused_timer:
+                    out = (adj @ (x @ weight) + bias).relu()
+                    out.sum().backward()
+                weight.zero_grad()
+                bias.zero_grad()
+
+            fused_timer = registry.timer(f"micro.layer_fused.{mode}")
+            for _ in range(repeats):
+                with fused_timer:
+                    out = fused_gcn_layer(adj, x, weight, bias, activation="relu")
+                    out.sum().backward()
+                weight.zero_grad()
+                bias.zero_grad()
+
+            # Cache guard pair: a hit must beat recomputing the spmm.
+            cache = propcache.PropagationCache()
+            cache.propagate(adj, x.data, k=2)  # warm
+            cached_timer = registry.timer(f"micro.propagate_cached.{mode}")
+            for _ in range(repeats):
+                with cached_timer:
+                    cache.propagate(adj, x.data, k=2)
+            uncached_timer = registry.timer(f"micro.propagate_uncached.{mode}")
+            for _ in range(repeats):
+                with uncached_timer:
+                    adj.csr @ (adj.csr @ x.data)
+
+        results.setdefault("spmm_forward", {})[mode] = _summary(spmm_timer.histogram)
+        results.setdefault("gcn_layer_unfused", {})[mode] = _summary(
+            unfused_timer.histogram
+        )
+        results.setdefault("gcn_layer_fused", {})[mode] = _summary(
+            fused_timer.histogram
+        )
+        results.setdefault("propagate_cached", {})[mode] = _summary(
+            cached_timer.histogram
+        )
+        results.setdefault("propagate_uncached", {})[mode] = _summary(
+            uncached_timer.histogram
+        )
+    for entry in results.values():
+        entry["speedup"] = _speedup(
+            entry["reference"]["mean_s"], entry["optimized"]["mean_s"]
+        )
+    return results
+
+
+# ----------------------------------------------------------------------
+def _train_mode(
+    graph, hp, models: Sequence[str], epochs: int, seed: int
+) -> Dict[str, dict]:
+    from repro.training import TrainConfig, Trainer
+
+    # patience = epochs: no early stopping, so both modes run the exact
+    # same number of train steps and the comparison is like-for-like.
+    config = TrainConfig(
+        lr=hp.lr, weight_decay=hp.weight_decay,
+        epochs=epochs, patience=epochs, seed=seed,
+    )
+    out: Dict[str, dict] = {}
+    for name in models:
+        model = _build(name, graph, hp, seed)
+        result = Trainer(config).fit(model, graph)
+        times = result.epoch_times
+        steady = times[1:] if len(times) > 1 else times  # drop warm-up epoch
+        out[name] = {
+            "epochs_run": result.epochs_run,
+            "mean_epoch_s": float(np.mean(steady)),
+            "p50_epoch_s": float(np.median(steady)),
+            "total_s": float(np.sum(times)),
+            "best_val_acc": result.best_val_acc,
+        }
+    return out
+
+
+def _infer_mode(
+    graph, hp, models: Sequence[str], repeats: int, seed: int,
+    registry: MetricsRegistry, mode: str,
+) -> Dict[str, dict]:
+    out: Dict[str, dict] = {}
+    for name in models:
+        model = _build(name, graph, hp, seed).setup(graph)
+        model.predict()  # warm caches and BLAS
+        timer = registry.timer(f"infer.{name}.{mode}")
+        for _ in range(repeats):
+            with timer:
+                model.predict()
+        stats = _summary(timer.histogram)
+        out[name] = {
+            "calls": stats["count"],
+            "mean_call_s": stats["mean_s"],
+            "p50_call_s": stats["p50_s"],
+            "total_s": stats["total_s"],
+        }
+    return out
+
+
+# ----------------------------------------------------------------------
+def run_bench(
+    dataset: str = "synthetic",
+    models: Sequence[str] = DEFAULT_MODELS,
+    epochs: int = 10,
+    repeats: int = 20,
+    scale: Optional[float] = None,
+    seed: int = 0,
+    out_dir: str = ".",
+    write: bool = True,
+) -> dict:
+    """Run the full benchmark; returns (and optionally writes) both docs.
+
+    The returned dict has keys ``train``, ``infer`` (the two JSON
+    documents) and ``paths`` (written files; empty when ``write`` is
+    False, in which case the filesystem is untouched).
+    """
+    from repro.datasets import load_dataset
+    from repro.training import hyperparams_for
+
+    graph = load_dataset(dataset, scale=scale, seed=seed)
+    hp = hyperparams_for(dataset)
+    registry = MetricsRegistry()
+    settings = {
+        "models": list(models),
+        "epochs": epochs,
+        "repeats": repeats,
+        "scale": scale,
+        "seed": seed,
+        "num_nodes": graph.num_nodes,
+        "num_edges": int(graph.adj.nnz // 2),
+        "num_features": graph.num_features,
+    }
+
+    micro = _micro_ops(graph, repeats, registry)
+
+    train_modes: Dict[str, dict] = {}
+    infer_modes: Dict[str, dict] = {}
+    for mode, mode_settings in MODES.items():
+        with perf_config.perf_mode(**mode_settings):
+            train_modes[mode] = {
+                "perf": perf_config.settings(),
+                "models": _train_mode(graph, hp, models, epochs, seed),
+            }
+            infer_modes[mode] = {
+                "perf": perf_config.settings(),
+                "models": _infer_mode(
+                    graph, hp, models, repeats, seed, registry, mode
+                ),
+            }
+
+    train_doc = {
+        "schema": SCHEMA_TRAIN,
+        "dataset": dataset,
+        "units": "seconds",
+        "settings": settings,
+        "modes": train_modes,
+        "speedup": {
+            name: _speedup(
+                train_modes["reference"]["models"][name]["mean_epoch_s"],
+                train_modes["optimized"]["models"][name]["mean_epoch_s"],
+            )
+            for name in models
+        },
+        "micro_ops": micro,
+    }
+    infer_doc = {
+        "schema": SCHEMA_INFER,
+        "dataset": dataset,
+        "units": "seconds",
+        "settings": settings,
+        "modes": infer_modes,
+        "speedup": {
+            name: _speedup(
+                infer_modes["reference"]["models"][name]["mean_call_s"],
+                infer_modes["optimized"]["models"][name]["mean_call_s"],
+            )
+            for name in models
+        },
+    }
+
+    paths = []
+    if write:
+        out = pathlib.Path(out_dir)
+        out.mkdir(parents=True, exist_ok=True)
+        for stem, doc in (("BENCH_train", train_doc), ("BENCH_infer", infer_doc)):
+            path = out / f"{stem}.json"
+            path.write_text(json.dumps(doc, indent=2) + "\n")
+            paths.append(str(path))
+    return {"train": train_doc, "infer": infer_doc, "paths": paths}
+
+
+def format_report(result: dict) -> str:
+    """Human-readable summary of a :func:`run_bench` result."""
+    train, infer = result["train"], result["infer"]
+    lines = [
+        f"bench: {train['dataset']} "
+        f"(nodes={train['settings']['num_nodes']}, "
+        f"epochs={train['settings']['epochs']}, "
+        f"repeats={train['settings']['repeats']})",
+        "",
+        f"{'model':<10} {'ref ms/epoch':>13} {'opt ms/epoch':>13} "
+        f"{'speedup':>8}   {'ref ms/infer':>13} {'opt ms/infer':>13} {'speedup':>8}",
+    ]
+    for name in train["settings"]["models"]:
+        ref_t = train["modes"]["reference"]["models"][name]["mean_epoch_s"]
+        opt_t = train["modes"]["optimized"]["models"][name]["mean_epoch_s"]
+        ref_i = infer["modes"]["reference"]["models"][name]["mean_call_s"]
+        opt_i = infer["modes"]["optimized"]["models"][name]["mean_call_s"]
+        lines.append(
+            f"{name:<10} {1000 * ref_t:>13.2f} {1000 * opt_t:>13.2f} "
+            f"{train['speedup'][name] or 0:>7.2f}x   "
+            f"{1000 * ref_i:>13.2f} {1000 * opt_i:>13.2f} "
+            f"{infer['speedup'][name] or 0:>7.2f}x"
+        )
+    lines.append("")
+    lines.append(f"{'micro-op':<22} {'ref µs':>10} {'opt µs':>10} {'speedup':>8}")
+    for op, entry in result["train"]["micro_ops"].items():
+        lines.append(
+            f"{op:<22} {1e6 * entry['reference']['mean_s']:>10.1f} "
+            f"{1e6 * entry['optimized']['mean_s']:>10.1f} "
+            f"{entry['speedup'] or 0:>7.2f}x"
+        )
+    return "\n".join(lines)

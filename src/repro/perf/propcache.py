@@ -1,0 +1,158 @@
+"""Memoized propagation products ``Â^k X`` and adjacency powers.
+
+The normalized adjacency and the input features are both constants of
+the optimization problem, so every product of the form ``Â^k X`` (SGC's
+precomputation, the first propagation of a GCN layer whose input is the
+raw features, MixHop/NGCN's ``Â^p`` operators) can be computed once and
+shared — across epochs, across model instances, and across models, as
+long as the operands are equal by *content*.
+
+Keys are content fingerprints (:attr:`SparseMatrix.fingerprint` plus a
+sha1 of the feature buffer), not object identities, so two models that
+independently normalize the same graph still share work.  Entries are
+plain float arrays detached from the tape — correct because gradients
+never flow into ``Â`` or ``X``.
+
+The cache is LRU-bounded and process-global (:func:`get_cache`); tests
+use :meth:`PropagationCache.clear` for isolation.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+from typing import Tuple
+
+import numpy as np
+
+from repro.tensor.sparse import SparseMatrix
+
+
+def array_fingerprint(array: np.ndarray) -> str:
+    """Content digest of a dense array (dtype, shape, raw bytes)."""
+    digest = hashlib.sha1()
+    digest.update(str(array.dtype).encode())
+    digest.update(np.asarray(array.shape, dtype=np.int64).tobytes())
+    digest.update(np.ascontiguousarray(array).tobytes())
+    return digest.hexdigest()
+
+
+class PropagationCache:
+    """LRU cache of ``Â^k X`` products and ``Â^p`` sparse powers."""
+
+    def __init__(self, capacity: int = 64) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._entries: "OrderedDict[Tuple, object]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+    def _get(self, key: Tuple):
+        try:
+            value = self._entries[key]
+        except KeyError:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return value
+
+    def _put(self, key: Tuple, value) -> None:
+        self._entries[key] = value
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+
+    # ------------------------------------------------------------------
+    def propagate(
+        self, adj: SparseMatrix, features: np.ndarray, k: int = 1
+    ) -> np.ndarray:
+        """Return ``Â^k X`` as a constant float array, memoized.
+
+        Intermediate powers are cached too, so asking for ``k=2`` after
+        ``k=1`` performs a single additional spmm.  The result must be
+        treated as read-only by callers (it is shared).
+        """
+        if k < 1:
+            raise ValueError(f"propagation power must be >= 1, got {k}")
+        features = np.ascontiguousarray(features)
+        base_key = (adj.fingerprint, array_fingerprint(features))
+        # Walk down from k to the deepest cached power.
+        start = k
+        result = None
+        while start > 0:
+            cached = self._get(base_key + (start,))
+            if cached is not None:
+                result = cached
+                break
+            start -= 1
+        if result is None:
+            result = features
+        for power in range(start + 1, k + 1):
+            result = adj.csr @ result
+            result.setflags(write=False)
+            self._put(base_key + (power,), result)
+        return result
+
+    def adjacency_power(self, adj: SparseMatrix, k: int) -> SparseMatrix:
+        """Return ``Â^k`` as a :class:`SparseMatrix`, memoized.
+
+        ``k=1`` returns the operand itself (no copy); ``k=0`` is the
+        identity and is cached like any other power.
+        """
+        if k < 0:
+            raise ValueError(f"adjacency power must be >= 0, got {k}")
+        if k == 1:
+            return adj
+        key = (adj.fingerprint, "power", k)
+        cached = self._get(key)
+        if cached is not None:
+            return cached
+        result = adj.power(k)
+        self._put(key, result)
+        return result
+
+    # ------------------------------------------------------------------
+    def clear(self) -> None:
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def info(self) -> dict:
+        return {
+            "entries": len(self._entries),
+            "capacity": self.capacity,
+            "hits": self.hits,
+            "misses": self.misses,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"PropagationCache(entries={len(self._entries)}, "
+            f"hits={self.hits}, misses={self.misses})"
+        )
+
+
+_GLOBAL_CACHE = PropagationCache()
+
+
+def get_cache() -> PropagationCache:
+    """The process-global propagation cache used by models."""
+    return _GLOBAL_CACHE
+
+
+def propagated_features(
+    adj: SparseMatrix, features: np.ndarray, k: int = 1
+) -> np.ndarray:
+    """Convenience wrapper over ``get_cache().propagate(...)``."""
+    return _GLOBAL_CACHE.propagate(adj, features, k=k)
+
+
+def adjacency_power(adj: SparseMatrix, k: int) -> SparseMatrix:
+    """Convenience wrapper over ``get_cache().adjacency_power(...)``."""
+    return _GLOBAL_CACHE.adjacency_power(adj, k)

@@ -13,6 +13,8 @@ It provides:
 - :mod:`~repro.tensor.functional` — losses and classification helpers.
 - :mod:`~repro.tensor.gradcheck` — finite-difference gradient verification
   used by the test suite.
+- :mod:`~repro.tensor.dtype` — the floating-point construction policy
+  (float64 reference vs the float32 fast path used by ``repro.perf``).
 """
 
 from repro.tensor.tensor import Tensor, no_grad, is_grad_enabled
@@ -20,6 +22,13 @@ from repro.tensor.sparse import SparseMatrix, spmm
 from repro.tensor import ops
 from repro.tensor import functional
 from repro.tensor.gradcheck import gradcheck
+from repro.tensor.dtype import (
+    default_dtype,
+    get_default_dtype,
+    gradcheck_tolerances,
+    is_reference_dtype,
+    set_default_dtype,
+)
 
 __all__ = [
     "Tensor",
@@ -30,4 +39,9 @@ __all__ = [
     "gradcheck",
     "no_grad",
     "is_grad_enabled",
+    "default_dtype",
+    "get_default_dtype",
+    "set_default_dtype",
+    "is_reference_dtype",
+    "gradcheck_tolerances",
 ]

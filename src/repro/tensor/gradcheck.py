@@ -3,60 +3,89 @@
 Used throughout the test suite to certify that every autograd op computes
 exact gradients: we compare the analytic gradient produced by
 ``backward()`` against a central-difference approximation.
+
+The checker is precision-aware.  In the float64 reference mode the
+historical tight defaults apply (``eps=1e-6``, ``atol=1e-5``).  For the
+float32 fast path (see :mod:`repro.tensor.dtype`) the probe step must be
+much larger — a 1e-6 perturbation of a float32 entry is at the edge of
+representability and the loss only carries ~7 significant digits — so
+:func:`repro.tensor.dtype.gradcheck_tolerances` supplies a coarser step
+and looser accept thresholds, and the central difference divides by the
+*realized* step (``x⁺ − x⁻`` after rounding to the leaf dtype) rather
+than the nominal ``2·eps``.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Sequence
+from typing import Callable, Optional, Sequence
 
 import numpy as np
 
+from repro.tensor.dtype import gradcheck_tolerances
 from repro.tensor.tensor import Tensor
 
 
 def numeric_gradient(
     fn: Callable[[], Tensor], leaf: Tensor, eps: float = 1e-6
 ) -> np.ndarray:
-    """Central-difference gradient of scalar ``fn()`` w.r.t. ``leaf``."""
-    grad = np.zeros_like(leaf.data)
+    """Central-difference gradient of scalar ``fn()`` w.r.t. ``leaf``.
+
+    The divisor is the realized perturbation ``x⁺ − x⁻`` (exact after
+    rounding to the leaf dtype), which keeps the estimate unbiased for
+    low-precision leaves where ``x ± eps`` does not round-trip.
+    """
+    grad = np.zeros(leaf.data.shape, dtype=np.float64)
     flat = leaf.data.ravel()
     grad_flat = grad.ravel()
     for i in range(flat.size):
         original = flat[i]
         flat[i] = original + eps
+        hi = float(flat[i])
         f_plus = float(fn().data)
         flat[i] = original - eps
+        lo = float(flat[i])
         f_minus = float(fn().data)
         flat[i] = original
-        grad_flat[i] = (f_plus - f_minus) / (2.0 * eps)
-    return grad
+        grad_flat[i] = (f_plus - f_minus) / (hi - lo)
+    return grad.astype(leaf.data.dtype, copy=False)
 
 
 def gradcheck(
     fn: Callable[[], Tensor],
     leaves: Sequence[Tensor],
-    eps: float = 1e-6,
-    atol: float = 1e-5,
-    rtol: float = 1e-4,
+    eps: Optional[float] = None,
+    atol: Optional[float] = None,
+    rtol: Optional[float] = None,
 ) -> bool:
     """Verify analytic vs numeric gradients for every leaf.
 
     ``fn`` must be a deterministic closure returning a scalar Tensor that
     depends on the given leaves.  Raises ``AssertionError`` with a helpful
     message on mismatch; returns ``True`` on success.
+
+    Tolerances default per leaf dtype via
+    :func:`repro.tensor.dtype.gradcheck_tolerances` — the float64
+    defaults are the historical ``eps=1e-6, atol=1e-5, rtol=1e-4``;
+    float32 leaves get the loose fast-path settings.  Explicit keyword
+    values override the per-dtype defaults.
     """
     for leaf in leaves:
         leaf.zero_grad()
     loss = fn()
     loss.backward()
     for idx, leaf in enumerate(leaves):
+        defaults = gradcheck_tolerances(leaf.data.dtype)
+        leaf_eps = eps if eps is not None else defaults["eps"]
+        leaf_atol = atol if atol is not None else defaults["atol"]
+        leaf_rtol = rtol if rtol is not None else defaults["rtol"]
         analytic = leaf.grad if leaf.grad is not None else np.zeros_like(leaf.data)
-        numeric = numeric_gradient(fn, leaf, eps=eps)
-        if not np.allclose(analytic, numeric, atol=atol, rtol=rtol):
+        numeric = numeric_gradient(fn, leaf, eps=leaf_eps)
+        if not np.allclose(analytic, numeric, atol=leaf_atol, rtol=leaf_rtol):
             worst = np.abs(analytic - numeric).max()
             raise AssertionError(
                 f"gradcheck failed for leaf #{idx} "
-                f"(name={leaf.name!r}): max abs error {worst:.3e}\n"
+                f"(name={leaf.name!r}, dtype={leaf.data.dtype}): "
+                f"max abs error {worst:.3e}\n"
                 f"analytic:\n{analytic}\nnumeric:\n{numeric}"
             )
     return True

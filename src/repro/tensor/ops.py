@@ -139,7 +139,9 @@ def dropout(
         raise ValueError(f"dropout probability must be < 1, got {p}")
     if rng is None:
         rng = _DEFAULT_RNG
-    keep = (rng.random(x.shape) >= p) / (1.0 - p)
+    # Masks follow the input dtype so a float32 fast-path forward is not
+    # silently upcast back to float64 by the float64 random draw.
+    keep = ((rng.random(x.shape) >= p) / (1.0 - p)).astype(x.data.dtype, copy=False)
     out_data = x.data * keep
     if not x._needs_tape():
         return Tensor(out_data)

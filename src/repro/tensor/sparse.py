@@ -6,15 +6,23 @@ represented as a :class:`SparseMatrix` wrapping a scipy CSR matrix.  The
 autograd-aware product :func:`spmm` propagates gradients only into the
 dense operand (``grad_H = Âᵀ grad_out``), which is exactly what GCN
 training needs and keeps the sparse structure out of the tape.
+
+Because the operand is immutable, two derived quantities are computed at
+most once per instance and then cached: the CSR transpose (``.T``, which
+previously paid a full CSC→CSR conversion on every access) and a content
+fingerprint used by :class:`repro.perf.PropagationCache` to share
+``Â^k X`` products across model instances.
 """
 
 from __future__ import annotations
 
-from typing import Union
+import hashlib
+from typing import Optional, Union
 
 import numpy as np
 import scipy.sparse as sp
 
+from repro.tensor.dtype import get_default_dtype
 from repro.tensor.tensor import Tensor, _as_tensor
 
 
@@ -25,21 +33,26 @@ class SparseMatrix:
     ----------
     matrix:
         Any scipy sparse matrix (converted to CSR) or a dense 2-D array.
+        Values are stored in the policy default dtype
+        (:func:`repro.tensor.dtype.get_default_dtype`).
     """
 
-    __slots__ = ("csr",)
+    __slots__ = ("csr", "_transpose", "_fingerprint")
 
     def __init__(self, matrix: Union[sp.spmatrix, np.ndarray]) -> None:
+        dtype = get_default_dtype()
         if sp.issparse(matrix):
             csr = matrix.tocsr()
         else:
-            dense = np.asarray(matrix, dtype=np.float64)
+            dense = np.asarray(matrix, dtype=dtype)
             if dense.ndim != 2:
                 raise ValueError(
                     f"SparseMatrix must be 2-dimensional, got ndim={dense.ndim}"
                 )
             csr = sp.csr_matrix(dense)
-        self.csr = csr.astype(np.float64)
+        self.csr = csr.astype(dtype, copy=False)
+        self._transpose: Optional["SparseMatrix"] = None
+        self._fingerprint: Optional[str] = None
 
     @property
     def shape(self):
@@ -50,8 +63,39 @@ class SparseMatrix:
         return self.csr.nnz
 
     @property
+    def dtype(self):
+        return self.csr.dtype
+
+    @property
     def T(self) -> "SparseMatrix":
-        return SparseMatrix(self.csr.T)
+        """The CSR transpose, built once on first access and cached.
+
+        The transpose of the transpose is the original object, so
+        repeated ``.T.T`` round-trips allocate nothing.
+        """
+        if self._transpose is None:
+            transpose = SparseMatrix(self.csr.T)
+            transpose._transpose = self
+            self._transpose = transpose
+        return self._transpose
+
+    @property
+    def fingerprint(self) -> str:
+        """Content digest (dtype, shape and CSR buffers), computed once.
+
+        Two :class:`SparseMatrix` instances wrapping equal matrices have
+        equal fingerprints, which is what lets the propagation cache
+        share work across independently-normalized graph views.
+        """
+        if self._fingerprint is None:
+            digest = hashlib.sha1()
+            digest.update(str(self.csr.dtype).encode())
+            digest.update(np.asarray(self.csr.shape, dtype=np.int64).tobytes())
+            digest.update(np.ascontiguousarray(self.csr.indptr).tobytes())
+            digest.update(np.ascontiguousarray(self.csr.indices).tobytes())
+            digest.update(np.ascontiguousarray(self.csr.data).tobytes())
+            self._fingerprint = digest.hexdigest()
+        return self._fingerprint
 
     def __repr__(self) -> str:
         return f"SparseMatrix(shape={self.shape}, nnz={self.nnz})"

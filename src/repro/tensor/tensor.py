@@ -19,6 +19,8 @@ from typing import Callable, Iterable, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro.tensor.dtype import get_default_dtype
+
 Arrayish = Union["Tensor", np.ndarray, float, int]
 
 _GRAD_ENABLED = True
@@ -86,16 +88,16 @@ def unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
     return grad.reshape(shape)
 
 
-def _as_array(value: Arrayish, dtype=np.float64) -> np.ndarray:
+def _as_array(value: Arrayish, dtype=None) -> np.ndarray:
     if isinstance(value, Tensor):
         return value.data
-    return np.asarray(value, dtype=dtype)
+    return np.asarray(value, dtype=dtype if dtype is not None else get_default_dtype())
 
 
 def _as_tensor(value: Arrayish) -> "Tensor":
     if isinstance(value, Tensor):
         return value
-    return Tensor(np.asarray(value, dtype=np.float64))
+    return Tensor(np.asarray(value, dtype=get_default_dtype()))
 
 
 class Tensor:
@@ -104,8 +106,12 @@ class Tensor:
     Parameters
     ----------
     data:
-        Array-like payload; converted to a float64 numpy array unless it
-        already is an ndarray (whose dtype is preserved).
+        Array-like payload; converted to the policy default dtype (see
+        :mod:`repro.tensor.dtype`, float64 unless changed) unless it
+        already is a float ndarray.  Under the float64 reference policy
+        float ndarrays keep their dtype untouched; under a float32
+        policy float64 payloads are cast down so the fast path threads
+        through every construction site.
     requires_grad:
         Whether gradients should be accumulated into ``self.grad``.
     parents:
@@ -130,10 +136,16 @@ class Tensor:
     ) -> None:
         if isinstance(data, Tensor):
             data = data.data
+        default = get_default_dtype()
         if not isinstance(data, np.ndarray):
-            data = np.asarray(data, dtype=np.float64)
+            data = np.asarray(data, dtype=default)
         elif data.dtype.kind != "f":
-            data = data.astype(np.float64)
+            data = data.astype(default)
+        elif data.dtype != default and default.itemsize < 8:
+            # Coercive only below the float64 reference precision, so the
+            # legacy "float arrays pass through untouched" behaviour is
+            # preserved for the default policy.
+            data = data.astype(default)
         self.data: np.ndarray = data
         self.grad: Optional[np.ndarray] = None
         self.requires_grad = bool(requires_grad) and _GRAD_ENABLED
@@ -510,5 +522,7 @@ class Tensor:
 
 def parameter(data: Arrayish, name: str = "") -> Tensor:
     """Create a trainable leaf tensor (``requires_grad=True``)."""
-    t = Tensor(np.asarray(data, dtype=np.float64), requires_grad=True, name=name)
+    t = Tensor(
+        np.asarray(data, dtype=get_default_dtype()), requires_grad=True, name=name
+    )
     return t

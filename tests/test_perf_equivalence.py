@@ -1,0 +1,104 @@
+"""Fast-path equivalence: optimized runs must match the reference.
+
+Satellite (b) of the performance PR: a full training run under the
+float32 + fused + cached fast path must reach the same validation
+accuracy (±0.5 pt) and the *identical* predictions argmax as the
+float64, unfused, uncached reference on ``synthetic``.  The guarantees
+that make this exact-match test stable are deliberate design decisions
+of the dtype policy:
+
+- initializers and dropout draw from the RNG in float64 and cast
+  afterwards, so both precisions consume identical random streams;
+- ``patience = epochs`` pins both runs to the same number of steps;
+- the synthetic task is separable, so the trained decision boundary has
+  slack far exceeding float32 rounding.
+
+A second pair of tests checks the cached/fused paths at float64, where
+the equivalence is near-bitwise (only the first layer's matmul
+association differs).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import Lasagne
+from repro.datasets import load_dataset
+from repro.models import build_model
+from repro.perf import get_cache, perf_mode
+from repro.training import TrainConfig, Trainer, hyperparams_for
+
+EPOCHS = 30
+SCALE = 0.5
+VAL_TOLERANCE = 0.005  # ±0.5 accuracy points
+
+
+def _train(name, graph, hp, seed=0):
+    if name == "lasagne":
+        model = Lasagne(
+            graph.num_features, 16, graph.num_classes,
+            num_layers=4, aggregator="weighted",
+            dropout=hp.dropout, seed=seed,
+        )
+    else:
+        model = build_model(
+            name, graph.num_features, graph.num_classes,
+            hidden=hp.hidden, num_layers=2, dropout=hp.dropout, seed=seed,
+        )
+    config = TrainConfig(
+        lr=hp.lr, weight_decay=hp.weight_decay,
+        epochs=EPOCHS, patience=EPOCHS, seed=seed,  # fixed step count
+    )
+    result = Trainer(config).fit(model, graph)
+    return result, model.predict()
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return load_dataset("synthetic", scale=SCALE)
+
+
+@pytest.fixture(scope="module")
+def hp():
+    return hyperparams_for("synthetic")
+
+
+@pytest.mark.parametrize("name", ["gcn", "sgc", "lasagne"])
+def test_fp32_fast_path_matches_reference(name, graph, hp):
+    reference, ref_pred = _train(name, graph, hp)
+    get_cache().clear()
+    with perf_mode():  # float32 + fused + propagation cache
+        optimized, opt_pred = _train(name, graph, hp)
+    get_cache().clear()
+
+    assert opt_pred.dtype == np.float32
+    assert abs(reference.best_val_acc - optimized.best_val_acc) <= VAL_TOLERANCE
+    np.testing.assert_array_equal(ref_pred.argmax(axis=1), opt_pred.argmax(axis=1))
+
+
+def test_float64_cached_fused_run_is_equivalent(graph, hp):
+    # Same precision, only the kernels/caching differ: the training
+    # trajectory must agree to float64 round-off.
+    reference, ref_pred = _train("gcn", graph, hp)
+    get_cache().clear()
+    with perf_mode(dtype="float64"):
+        optimized, opt_pred = _train("gcn", graph, hp)
+    get_cache().clear()
+
+    assert opt_pred.dtype == np.float64
+    np.testing.assert_allclose(ref_pred, opt_pred, atol=1e-6)
+    np.testing.assert_array_equal(ref_pred.argmax(axis=1), opt_pred.argmax(axis=1))
+    assert abs(reference.best_val_acc - optimized.best_val_acc) <= VAL_TOLERANCE
+
+
+def test_cache_reuse_does_not_leak_between_dtypes(graph, hp):
+    # float64 and float32 cache entries are fingerprint-distinct: a
+    # float32 run right after a float64 one must not pick up f64 buffers.
+    get_cache().clear()
+    with perf_mode(dtype="float64"):
+        _, pred64 = _train("sgc", graph, hp)
+    with perf_mode(dtype="float32"):
+        _, pred32 = _train("sgc", graph, hp)
+    get_cache().clear()
+    assert pred64.dtype == np.float64
+    assert pred32.dtype == np.float32
+    np.testing.assert_array_equal(pred64.argmax(axis=1), pred32.argmax(axis=1))
