@@ -1,0 +1,115 @@
+"""Guard: the serving wrapper must stay cheap relative to the forward.
+
+The degradation ladder wraps every ``/predict`` in validation, a
+deadline, the breaker protocol, and metrics bookkeeping.  All of that is
+a few dict/deque operations around one full-graph forward, so the
+in-process serving path (``parse_predict_request`` +
+``InferenceEngine.predict``) must cost at most 10% over the bare
+model forward it wraps.  Timings use best-of-N to shed scheduler noise;
+the HTTP layer is excluded on purpose — socket costs are environment
+noise, the guard is about the robustness machinery itself.
+
+Marked ``bench`` (timing-sensitive), so excluded from tier-1 by the
+``-m 'not slow and not bench'`` addopts; run with::
+
+    pytest benchmarks/test_serve_overhead.py -m bench -q
+"""
+
+import json
+import time
+
+import numpy as np
+import pytest
+
+from repro.datasets import load_dataset
+from repro.models import build_model
+from repro.obs import MetricsRegistry
+from repro.serve import InferenceEngine, ShallowFallback, parse_predict_request
+from repro.tensor import no_grad
+
+pytestmark = pytest.mark.bench
+
+REPEATS = 30
+
+# The ladder adds JSON parsing + breaker/deadline/metrics bookkeeping
+# around the forward; on the synthetic graph that is microseconds against
+# a multi-millisecond spmm stack.
+MAX_SERVE_OVERHEAD = 1.10
+
+
+def _best_of(fn, repeats=REPEATS):
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+@pytest.fixture(scope="module")
+def served():
+    graph = load_dataset("synthetic", seed=0)
+    # Deep enough that the forward dominates — the guard measures the
+    # wrapper's *relative* cost on a realistically-sized model, not on a
+    # toy whose whole forward is microseconds.
+    model = build_model(
+        "gcn", graph.num_features, graph.num_classes,
+        hidden=64, num_layers=4, dropout=0.0, seed=0,
+    )
+    engine = InferenceEngine(
+        model, graph,
+        fallback=ShallowFallback(graph, k_hops=2),
+        registry=MetricsRegistry(),
+    )
+    raw = json.dumps({"nodes": list(range(32))}).encode()
+    return graph, model, engine, raw
+
+
+def test_serving_ladder_overhead(served):
+    graph, model, engine, raw = served
+
+    def bare_forward():
+        model.eval()
+        with no_grad():
+            return model.forward(model._norm_adj, model._features)
+
+    def served_predict():
+        request = parse_predict_request(
+            raw, num_nodes=graph.num_nodes, num_features=graph.num_features
+        )
+        return engine.predict(request)
+
+    bare_forward()  # warm caches / allocations
+    served_predict()
+    bare = _best_of(bare_forward)
+    served_time = _best_of(served_predict)
+    assert served_time <= bare * MAX_SERVE_OVERHEAD, (
+        f"served predict {1000 * served_time:.3f} ms vs bare forward "
+        f"{1000 * bare:.3f} ms exceeds {MAX_SERVE_OVERHEAD:.2f}x"
+    )
+
+
+def test_degraded_path_is_cheaper_than_full(served):
+    """The fallback exists to be cheap: cached Â^k X rows + one matmul."""
+    graph, model, engine, raw = served
+    request = parse_predict_request(
+        raw, num_nodes=graph.num_nodes, num_features=graph.num_features
+    )
+    engine.predict(request)  # warm
+    full = _best_of(lambda: engine.predict(request))
+    degraded = _best_of(lambda: engine.fallback.logits(request.nodes))
+    assert degraded < full, (
+        f"degraded path {1000 * degraded:.3f} ms is not cheaper than the "
+        f"full path {1000 * full:.3f} ms"
+    )
+
+
+def test_validation_cost_is_microscopic(served):
+    """Validation alone must be far below a millisecond per request."""
+    graph, _, _, raw = served
+    parse = lambda: parse_predict_request(  # noqa: E731
+        raw, num_nodes=graph.num_nodes, num_features=graph.num_features
+    )
+    parse()
+    best = _best_of(parse, repeats=200)
+    assert best < 5e-4, f"validation took {1e6 * best:.1f} us"

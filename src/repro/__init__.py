@@ -18,6 +18,11 @@ The package is layered bottom-up:
 - :mod:`repro.resilience` — crash-safe checkpoints, divergence guards
   with rollback + LR backoff, fault-tolerant experiment runs, and the
   fault-injection harness that tests them.
+- :mod:`repro.perf` — opt-in float32 fast path, fused kernels, and the
+  content-fingerprinted ``Â^k X`` propagation cache.
+- :mod:`repro.serve` — fault-tolerant inference serving: request
+  validation, deadlines, circuit breaker, load shedding, and graceful
+  degradation to a cached shallow predictor.
 """
 
 __version__ = "1.0.0"

@@ -17,6 +17,10 @@ Commands
                   inference in reference (float64) vs optimized
                   (float32 + fused + cached) mode; writes
                   ``BENCH_train.json`` / ``BENCH_infer.json``
+``serve``         start the fault-tolerant JSON inference server
+                  (``/predict``, ``/healthz``, ``/readyz``,
+                  ``/metrics``) from a checkpoint directory, a module
+                  checkpoint, or a freshly (quick-)trained model
 """
 
 from __future__ import annotations
@@ -279,6 +283,81 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.datasets import load_dataset
+    from repro.serve import (
+        CircuitBreaker,
+        InferenceEngine,
+        ModelServer,
+        ShallowFallback,
+        engine_from_checkpoint_dir,
+    )
+    from repro.training import TrainConfig, Trainer, hyperparams_for
+
+    breaker = CircuitBreaker(
+        failure_threshold=args.breaker_threshold,
+        window=args.breaker_window,
+        cooldown_s=args.breaker_cooldown,
+    )
+    fallback_k = None if args.no_fallback else args.fallback_k
+    if args.checkpoint_dir:
+        engine = engine_from_checkpoint_dir(
+            args.checkpoint_dir, fallback_k=fallback_k, breaker=breaker,
+        )
+        if engine is None:
+            print(
+                f"no usable checkpoint under {args.checkpoint_dir}",
+                file=sys.stderr,
+            )
+            return 2
+    else:
+        graph = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
+        hp = hyperparams_for(args.dataset)
+        model = _build_model(args, graph, hp)
+        if model is None:
+            return 2
+        if args.checkpoint:
+            from repro import nn
+
+            model.setup(graph)
+            nn.load_module(model, args.checkpoint)
+        elif args.train_epochs:
+            config = TrainConfig(
+                lr=hp.lr, weight_decay=hp.weight_decay,
+                epochs=args.train_epochs, patience=args.train_epochs,
+                seed=args.seed,
+            )
+            result = Trainer(config).fit(model, graph)
+            print(
+                f"quick-trained {args.model}: "
+                f"val {100 * result.best_val_acc:.1f}%"
+            )
+        fallback = (
+            ShallowFallback(graph, k_hops=fallback_k)
+            if fallback_k is not None else None
+        )
+        engine = InferenceEngine(model, graph, fallback=fallback, breaker=breaker)
+
+    server = ModelServer(
+        engine, host=args.host, port=args.port,
+        max_inflight=args.max_inflight,
+        max_body_bytes=args.max_body_bytes,
+        max_nodes=args.max_nodes,
+        default_deadline_ms=args.deadline_ms,
+    )
+    print(f"serving {engine.info()['model']} on {server.url}")
+    print("endpoints: POST /predict   GET /healthz /readyz /metrics")
+    if args.dry_run:
+        server.stop()
+        return 0
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down")
+        server.stop()
+    return 0
+
+
 def _cmd_experiments(args: argparse.Namespace) -> int:
     from repro.experiments.run_all import run_all
 
@@ -373,6 +452,49 @@ def main(argv=None) -> int:
     p.add_argument("--no-write", action="store_true",
                    help="print the report without touching the filesystem")
     p.set_defaults(func=_cmd_bench)
+
+    p = sub.add_parser(
+        "serve", help="start the fault-tolerant JSON inference server"
+    )
+    p.add_argument("dataset", nargs="?", default="synthetic")
+    p.add_argument("--model", default="lasagne")
+    p.add_argument("--aggregator", default="stochastic")
+    p.add_argument("--layers", type=int, default=5)
+    p.add_argument("--scale", type=float, default=None)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--checkpoint", default=None,
+                   help="load weights from an nn.save_module .npz file")
+    p.add_argument("--checkpoint-dir", default=None,
+                   help="serve the newest valid checkpoint of a "
+                        "train --checkpoint-every run (corrupt files skipped)")
+    p.add_argument("--train-epochs", type=int, default=0,
+                   help="quick-train this many epochs when no checkpoint "
+                        "is given (0 serves an untrained model)")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8080)
+    p.add_argument("--deadline-ms", type=float, default=250.0,
+                   help="default per-request deadline (requests may "
+                        "override with deadline_ms)")
+    p.add_argument("--max-inflight", type=int, default=8,
+                   help="concurrent request ceiling; excess sheds with 429")
+    p.add_argument("--max-nodes", type=int, default=4096,
+                   help="max node ids per predict request")
+    p.add_argument("--max-body-bytes", type=int, default=1 << 20,
+                   help="max request body size (413 beyond)")
+    p.add_argument("--fallback-k", type=int, default=2,
+                   help="propagation depth of the degraded Â^k X path")
+    p.add_argument("--no-fallback", action="store_true",
+                   help="disable graceful degradation (503 instead)")
+    p.add_argument("--breaker-threshold", type=float, default=0.5,
+                   help="failure-rate threshold that opens the breaker")
+    p.add_argument("--breaker-window", type=int, default=20,
+                   help="sliding window of full-path outcomes")
+    p.add_argument("--breaker-cooldown", type=float, default=5.0,
+                   help="seconds the breaker stays open before half-open")
+    p.add_argument("--dry-run", action="store_true",
+                   help="build the engine and bind the port, then exit")
+    p.set_defaults(func=_cmd_serve, epochs=None, inductive=False,
+                   checkpoint_every=None)
 
     p = sub.add_parser("experiments", help="run the paper's tables/figures")
     p.add_argument("--preset", default="quick")

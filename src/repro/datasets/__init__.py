@@ -9,7 +9,12 @@ split sizes, homophily, hub structure) match the originals.  See DESIGN.md
 """
 
 from repro.datasets.specs import DatasetSpec, DATASETS, dataset_names
-from repro.datasets.loader import load_dataset, dataset_summary
+from repro.datasets.loader import (
+    DatasetError,
+    dataset_summary,
+    load_dataset,
+    load_graph_file,
+)
 from repro.datasets.synthetic import generate_dcsbm_graph, generate_features
 from repro.datasets.splits import per_class_split, fraction_split
 from repro.datasets.tencent import generate_tencent_graph
@@ -19,6 +24,8 @@ __all__ = [
     "DATASETS",
     "dataset_names",
     "load_dataset",
+    "load_graph_file",
+    "DatasetError",
     "dataset_summary",
     "generate_dcsbm_graph",
     "generate_features",

@@ -14,12 +14,19 @@ plain float arrays detached from the tape — correct because gradients
 never flow into ``Â`` or ``X``.
 
 The cache is LRU-bounded and process-global (:func:`get_cache`); tests
-use :meth:`PropagationCache.clear` for isolation.
+use :meth:`PropagationCache.clear` for isolation.  It is also
+**thread-safe**: the serving layer shares one cache across all request
+worker threads, so every public operation holds an internal lock —
+including the spmm walk inside :meth:`PropagationCache.propagate`, which
+keeps a miss atomic (two threads asking for the same product do the
+work once, and the LRU order/size bookkeeping can never be corrupted
+mid-update).
 """
 
 from __future__ import annotations
 
 import hashlib
+import threading
 from collections import OrderedDict
 from typing import Tuple
 
@@ -45,6 +52,7 @@ class PropagationCache:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
         self.capacity = capacity
         self._entries: "OrderedDict[Tuple, object]" = OrderedDict()
+        self._lock = threading.RLock()
         self.hits = 0
         self.misses = 0
 
@@ -79,22 +87,23 @@ class PropagationCache:
             raise ValueError(f"propagation power must be >= 1, got {k}")
         features = np.ascontiguousarray(features)
         base_key = (adj.fingerprint, array_fingerprint(features))
-        # Walk down from k to the deepest cached power.
-        start = k
-        result = None
-        while start > 0:
-            cached = self._get(base_key + (start,))
-            if cached is not None:
-                result = cached
-                break
-            start -= 1
-        if result is None:
-            result = features
-        for power in range(start + 1, k + 1):
-            result = adj.csr @ result
-            result.setflags(write=False)
-            self._put(base_key + (power,), result)
-        return result
+        with self._lock:
+            # Walk down from k to the deepest cached power.
+            start = k
+            result = None
+            while start > 0:
+                cached = self._get(base_key + (start,))
+                if cached is not None:
+                    result = cached
+                    break
+                start -= 1
+            if result is None:
+                result = features
+            for power in range(start + 1, k + 1):
+                result = adj.csr @ result
+                result.setflags(write=False)
+                self._put(base_key + (power,), result)
+            return result
 
     def adjacency_power(self, adj: SparseMatrix, k: int) -> SparseMatrix:
         """Return ``Â^k`` as a :class:`SparseMatrix`, memoized.
@@ -107,29 +116,33 @@ class PropagationCache:
         if k == 1:
             return adj
         key = (adj.fingerprint, "power", k)
-        cached = self._get(key)
-        if cached is not None:
-            return cached
-        result = adj.power(k)
-        self._put(key, result)
-        return result
+        with self._lock:
+            cached = self._get(key)
+            if cached is not None:
+                return cached
+            result = adj.power(k)
+            self._put(key, result)
+            return result
 
     # ------------------------------------------------------------------
     def clear(self) -> None:
-        self._entries.clear()
-        self.hits = 0
-        self.misses = 0
+        with self._lock:
+            self._entries.clear()
+            self.hits = 0
+            self.misses = 0
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def info(self) -> dict:
-        return {
-            "entries": len(self._entries),
-            "capacity": self.capacity,
-            "hits": self.hits,
-            "misses": self.misses,
-        }
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "capacity": self.capacity,
+                "hits": self.hits,
+                "misses": self.misses,
+            }
 
     def __repr__(self) -> str:
         return (

@@ -33,12 +33,15 @@ from repro.resilience.checkpoint import (
     state_to_arrays,
 )
 from repro.resilience.faults import (
+    CrashForward,
     ExplodingGradient,
     FailNTimes,
     FaultSchedule,
     InjectedFault,
     MidEpochCrash,
+    NaNForward,
     NaNGradient,
+    SlowForward,
     corrupt_file,
     truncate_file,
 )
@@ -68,6 +71,9 @@ __all__ = [
     "NaNGradient",
     "ExplodingGradient",
     "MidEpochCrash",
+    "SlowForward",
+    "NaNForward",
+    "CrashForward",
     "FaultSchedule",
     "FailNTimes",
     "InjectedFault",

@@ -19,12 +19,20 @@ chaos-style manual runs) inject on purpose:
 Trainer-level faults plug into ``Trainer.fit(fault_hook=...)``, which
 calls ``hook(epoch, model, optimizer)`` between the backward pass and
 the guard check.  The seam costs nothing when unused (``None`` check).
+
+Serving-level faults (:class:`SlowForward`, :class:`NaNForward`,
+:class:`CrashForward`) plug into
+``InferenceEngine(fault_hook=...)``, which calls ``hook(logits)`` on
+every full-model forward — they drive the degradation-ladder tests:
+deadline overruns, NaN logits tripping the circuit breaker, and
+half-open recovery once the fault burns out.
 """
 
 from __future__ import annotations
 
 import os
 import pathlib
+import time
 from typing import Callable, Optional, Union
 
 import numpy as np
@@ -98,6 +106,66 @@ class FaultSchedule:
     def __call__(self, epoch: int, model, optimizer) -> None:
         for fault in self.faults:
             fault(epoch, model, optimizer)
+
+
+# ---------------------------------------------------------------------------
+# Serving faults (InferenceEngine.fault_hook: called as hook(logits))
+# ---------------------------------------------------------------------------
+
+class SlowForward:
+    """Delay the full-model forward by ``delay_s`` (deadline overrun).
+
+    ``times=None`` fires on every call; ``times=N`` fires on the first
+    N calls only — the shape of a transient latency spike that the
+    breaker's half-open probe should recover from.
+    """
+
+    def __init__(self, delay_s: float = 0.05, times: Optional[int] = None) -> None:
+        self.delay_s = delay_s
+        self.times = times
+        self.fired = 0
+
+    def _active(self) -> bool:
+        if self.times is not None and self.fired >= self.times:
+            return False
+        self.fired += 1
+        return True
+
+    def __call__(self, logits: np.ndarray) -> Optional[np.ndarray]:
+        if self._active():
+            time.sleep(self.delay_s)
+        return None  # logits unchanged
+
+
+class NaNForward(SlowForward):
+    """Corrupt the full-model logits with NaN (a poisoned model).
+
+    Same ``times`` semantics as :class:`SlowForward`; returns a NaN-
+    filled copy so the engine's output check trips and the breaker
+    records a failure.
+    """
+
+    def __init__(self, times: Optional[int] = None) -> None:
+        super().__init__(delay_s=0.0, times=times)
+
+    def __call__(self, logits: np.ndarray) -> Optional[np.ndarray]:
+        if self._active():
+            return np.full_like(logits, np.nan)
+        return None
+
+
+class CrashForward(SlowForward):
+    """Raise :class:`InjectedFault` from inside the full forward."""
+
+    def __init__(self, times: Optional[int] = None,
+                 message: str = "injected forward crash") -> None:
+        super().__init__(delay_s=0.0, times=times)
+        self.message = message
+
+    def __call__(self, logits: np.ndarray) -> Optional[np.ndarray]:
+        if self._active():
+            raise InjectedFault(f"{self.message} (call {self.fired})")
+        return None
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,75 @@
+"""Fault-tolerant inference serving for trained models.
+
+The serving workload the ROADMAP asks for: a stdlib-only, thread-based
+HTTP service that survives malformed requests, slow forwards, NaN
+models, and corrupt checkpoints — every response is structured JSON
+with a deliberate status code, never a traceback.
+
+- :mod:`repro.serve.validate` — request validation/sanitization
+  (NaN/Inf features, out-of-range node ids, shape mismatches, oversized
+  payloads → structured 4xx);
+- :mod:`repro.serve.guard` — per-request deadlines, a failure-rate
+  circuit breaker (closed → open → half-open), and bounded admission
+  with load shedding;
+- :mod:`repro.serve.engine` — the degradation ladder: full deep forward
+  → cached shallow ``Â^k X`` fallback (``degraded: true``) → structured
+  503; startup checkpoint loading that skips corrupt archives;
+- :mod:`repro.serve.server` — ``ThreadingHTTPServer`` with ``/predict``,
+  ``/healthz``, ``/readyz``, ``/metrics`` (the PR-1 metrics registry);
+- :mod:`repro.serve.client` — a retrying client (exponential backoff +
+  jitter, idempotent-only retries).
+
+See ``docs/serving.md`` for endpoints, error codes, breaker states and
+degradation semantics; ``python -m repro serve`` starts a server.
+"""
+
+from repro.serve.client import ServeClient, ServeClientError
+from repro.serve.engine import (
+    InferenceEngine,
+    ShallowFallback,
+    engine_from_checkpoint_dir,
+    model_from_cli_meta,
+)
+from repro.serve.errors import (
+    CircuitOpenError,
+    DeadlineExceeded,
+    ModelFault,
+    ModelUnavailable,
+    Overloaded,
+    PayloadTooLarge,
+    ServeError,
+    ValidationError,
+)
+from repro.serve.guard import CircuitBreaker, Deadline, LoadShedder
+from repro.serve.server import ModelServer
+from repro.serve.validate import (
+    DEFAULT_MAX_BODY_BYTES,
+    DEFAULT_MAX_NODES,
+    PredictRequest,
+    parse_predict_request,
+)
+
+__all__ = [
+    "ModelServer",
+    "InferenceEngine",
+    "ShallowFallback",
+    "engine_from_checkpoint_dir",
+    "model_from_cli_meta",
+    "CircuitBreaker",
+    "Deadline",
+    "LoadShedder",
+    "PredictRequest",
+    "parse_predict_request",
+    "DEFAULT_MAX_BODY_BYTES",
+    "DEFAULT_MAX_NODES",
+    "ServeClient",
+    "ServeClientError",
+    "ServeError",
+    "ValidationError",
+    "PayloadTooLarge",
+    "Overloaded",
+    "CircuitOpenError",
+    "ModelUnavailable",
+    "DeadlineExceeded",
+    "ModelFault",
+]

@@ -1,0 +1,165 @@
+"""A retrying JSON client for the model server (stdlib ``urllib``).
+
+Retry policy — the conservative production default:
+
+- **idempotent requests only.**  GETs always qualify; ``predict`` is a
+  pure function of its payload on this server, so it defaults to
+  idempotent too, but callers can pass ``idempotent=False`` to forbid
+  replays (e.g. if a deployment adds side effects).
+- retried failures: connection errors and the *retryable* status codes
+  (429 load-shed, 503 breaker/unready) — a 4xx validation error will
+  fail identically on every replay, so it is surfaced immediately.
+- **exponential backoff with jitter**: ``backoff_s * 2^attempt`` capped
+  at ``max_backoff_s``, multiplied by ``1 + jitter * U(0, 1)`` so a
+  thundering herd of retrying clients decorrelates.  The RNG and the
+  sleep function are injectable for deterministic tests.
+
+On final failure :class:`ServeClientError` carries the last status and
+decoded JSON body (or the transport error message).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+
+class ServeClientError(Exception):
+    """The request failed after exhausting the retry budget."""
+
+    def __init__(self, message: str, status: Optional[int] = None, body=None) -> None:
+        super().__init__(message)
+        self.status = status
+        self.body = body
+
+
+class ServeClient:
+    """Minimal client for :class:`~repro.serve.ModelServer` endpoints."""
+
+    def __init__(
+        self,
+        base_url: str,
+        retries: int = 3,
+        backoff_s: float = 0.05,
+        max_backoff_s: float = 2.0,
+        jitter: float = 0.5,
+        timeout_s: float = 10.0,
+        retry_statuses: Sequence[int] = (429, 503),
+        rng: Optional[np.random.Generator] = None,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.retries = retries
+        self.backoff_s = backoff_s
+        self.max_backoff_s = max_backoff_s
+        self.jitter = jitter
+        self.timeout_s = timeout_s
+        self.retry_statuses = frozenset(retry_statuses)
+        self.rng = rng if rng is not None else np.random.default_rng()
+        self.sleep = sleep
+
+    # -- transport -----------------------------------------------------
+    def _once(self, method: str, path: str, payload: Optional[dict]) -> tuple:
+        data = None
+        headers = {"Accept": "application/json"}
+        if payload is not None:
+            data = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(
+            self.base_url + path, data=data, headers=headers, method=method
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout_s) as resp:
+                return resp.status, _decode(resp.read())
+        except urllib.error.HTTPError as exc:
+            return exc.code, _decode(exc.read())
+
+    def _backoff(self, attempt: int) -> float:
+        base = min(self.backoff_s * (2 ** attempt), self.max_backoff_s)
+        return base * (1.0 + self.jitter * float(self.rng.random()))
+
+    def request(
+        self,
+        method: str,
+        path: str,
+        payload: Optional[dict] = None,
+        idempotent: bool = True,
+    ) -> tuple:
+        """``(status, body)`` with retries; raises only on transport failure."""
+        last_error: Optional[Exception] = None
+        status, body = None, None
+        for attempt in range(self.retries + 1):
+            try:
+                status, body = self._once(method, path, payload)
+                last_error = None
+            except (urllib.error.URLError, ConnectionError, TimeoutError) as exc:
+                last_error = exc
+                status, body = None, None
+            retryable = (
+                idempotent
+                and attempt < self.retries
+                and (last_error is not None or status in self.retry_statuses)
+            )
+            if not retryable:
+                break
+            self.sleep(self._backoff(attempt))
+        if last_error is not None:
+            raise ServeClientError(
+                f"{method} {path} failed after {self.retries + 1} attempt(s): "
+                f"{last_error}",
+            )
+        return status, body
+
+    def _checked(self, method, path, payload=None, idempotent=True) -> dict:
+        status, body = self.request(method, path, payload, idempotent=idempotent)
+        if status is None or status >= 400:
+            code = (body or {}).get("error", {}).get("code", "unknown")
+            raise ServeClientError(
+                f"{method} {path} -> {status} ({code})", status=status, body=body
+            )
+        return body
+
+    # -- endpoints -----------------------------------------------------
+    def predict(
+        self,
+        nodes,
+        features=None,
+        deadline_ms: Optional[float] = None,
+        return_probabilities: bool = False,
+        idempotent: bool = True,
+    ) -> dict:
+        """POST ``/predict``; returns the decoded response body.
+
+        Raises :class:`ServeClientError` (with ``.status`` and ``.body``)
+        once the retry budget is spent or on any non-retryable error.
+        """
+        payload: dict = {"nodes": list(nodes)}
+        if features is not None:
+            payload["features"] = np.asarray(features).tolist()
+        if deadline_ms is not None:
+            payload["deadline_ms"] = deadline_ms
+        if return_probabilities:
+            payload["return_probabilities"] = True
+        return self._checked("POST", "/predict", payload, idempotent=idempotent)
+
+    def health(self) -> dict:
+        return self._checked("GET", "/healthz")
+
+    def ready(self) -> bool:
+        status, _ = self.request("GET", "/readyz")
+        return status == 200
+
+    def metrics(self) -> dict:
+        return self._checked("GET", "/metrics")
+
+
+def _decode(raw: bytes):
+    try:
+        return json.loads(raw.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError):
+        return {"error": {"code": "non_json_response", "message": repr(raw[:200])}}

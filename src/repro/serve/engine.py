@@ -1,0 +1,387 @@
+"""Inference engine: full model path, shallow fallback, degradation ladder.
+
+The engine owns one trained model attached to one graph and answers
+validated :class:`~repro.serve.validate.PredictRequest`s through a
+three-rung ladder:
+
+1. **Full path** — the deep model's forward (Lasagne, GCN, ...) guarded
+   by the circuit breaker and the request deadline.  Non-finite logits,
+   exceptions, and blown deadlines all count as full-path *failures*.
+2. **Degraded path** — when the full path fails, the breaker is open,
+   or the latency estimate says the deadline cannot be met, the request
+   is answered from the :class:`ShallowFallback`: an SGC-style linear
+   head over the cached ``Â^k X`` propagation
+   (:mod:`repro.perf.propcache`).  Lasagne's decoupled view of deep
+   GCNs is what makes this principled — a shallow precomputed
+   propagation still produces correctly-shaped, usefully-ranked logits
+   at a fraction of the cost.  Responses carry ``degraded: true`` plus
+   the reason.
+3. **Structured refusal** — with no fallback available the request
+   fails with a 503-mapped :class:`~repro.serve.errors.ServeError`
+   (never a traceback).
+
+Startup loads models via the PR-2 :class:`CheckpointManager` —
+:func:`engine_from_checkpoint_dir` walks checkpoints newest-first and
+silently skips corrupt archives, so a server always boots from the
+newest *valid* state.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import time
+from typing import Callable, Optional, Union
+
+import numpy as np
+
+from repro.graphs.graph import Graph
+from repro.graphs.normalize import gcn_norm
+from repro.obs import MetricsRegistry, get_logger, get_registry
+from repro.perf import propcache
+from repro.resilience.checkpoint import CheckpointManager, arrays_to_state
+from repro.serve.errors import (
+    CircuitOpenError,
+    DeadlineExceeded,
+    ModelFault,
+    ModelUnavailable,
+    ServeError,
+)
+from repro.serve.guard import CircuitBreaker, Deadline
+from repro.serve.validate import PredictRequest
+from repro.tensor import no_grad
+from repro.tensor.tensor import Tensor
+
+_LOG = get_logger("serve")
+
+PathLike = Union[str, pathlib.Path]
+
+
+def _softmax(logits: np.ndarray) -> np.ndarray:
+    shifted = logits - logits.max(axis=1, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=1, keepdims=True)
+
+
+class ShallowFallback:
+    """SGC-style degraded predictor: a closed-form head over ``Â^k X``.
+
+    The propagation ``P = Â^k X`` comes from the process-global
+    :class:`~repro.perf.PropagationCache` (shared with any SGC/GCN model
+    serving the same graph), and the linear map ``P W + b`` is fit in
+    closed form as a ridge regression onto one-hot training labels — no
+    training loop, a few milliseconds at startup, and every degraded
+    response afterwards is one small matmul over precomputed rows.
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        adj=None,
+        k_hops: int = 2,
+        ridge: float = 1e-3,
+    ) -> None:
+        if k_hops < 1:
+            raise ValueError(f"k_hops must be >= 1, got {k_hops}")
+        self.graph = graph
+        self.k_hops = k_hops
+        self.adj = adj if adj is not None else gcn_norm(graph.adj)
+        # Cached, shared, read-only Â^k X for the stored features.
+        self._propagated = propcache.propagated_features(
+            self.adj, graph.features, k=k_hops
+        )
+        train = graph.train_indices()
+        onehot = np.zeros((train.size, graph.num_classes))
+        onehot[np.arange(train.size), graph.labels[train]] = 1.0
+        design = np.hstack(
+            [self._propagated[train], np.ones((train.size, 1))]
+        )
+        gram = design.T @ design
+        gram[np.diag_indices_from(gram)] += ridge
+        solution = np.linalg.solve(gram, design.T @ onehot)
+        self.weight = solution[:-1]
+        self.bias = solution[-1]
+
+    def logits(
+        self,
+        nodes: np.ndarray,
+        features_override: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Degraded logits for ``nodes`` (rows align with ``nodes``)."""
+        if features_override is None:
+            rows = self._propagated[nodes]
+        else:
+            # Overridden features perturb the whole propagation; recompute
+            # directly (k spmms) without polluting the shared cache.
+            x = self.graph.features.copy()
+            x[nodes] = features_override
+            for _ in range(self.k_hops):
+                x = self.adj.csr @ x
+            rows = x[nodes]
+        return rows @ self.weight + self.bias
+
+
+class InferenceEngine:
+    """One model + one graph + the degradation ladder."""
+
+    def __init__(
+        self,
+        model,
+        graph: Graph,
+        fallback: Optional[ShallowFallback] = None,
+        breaker: Optional[CircuitBreaker] = None,
+        registry: Optional[MetricsRegistry] = None,
+        fault_hook: Optional[Callable[[np.ndarray], Optional[np.ndarray]]] = None,
+        latency_ema_alpha: float = 0.3,
+        preempt_margin: float = 1.0,
+        clock: Callable[[], float] = time.perf_counter,
+    ) -> None:
+        self.model = model
+        self.graph = graph
+        model.setup(graph)
+        self.fallback = fallback
+        self.breaker = breaker if breaker is not None else CircuitBreaker()
+        self.registry = registry if registry is not None else get_registry()
+        self.fault_hook = fault_hook
+        self.latency_ema_alpha = latency_ema_alpha
+        self.preempt_margin = preempt_margin
+        self._clock = clock
+        self._latency_ema: Optional[float] = None
+
+    # -- full path -----------------------------------------------------
+    def _full_logits(self, request: PredictRequest) -> np.ndarray:
+        """Full-graph logits from the deep model (eval mode, no tape)."""
+        model = self.model
+        if request.features is None:
+            x = model._features
+        else:
+            patched = self.graph.features.copy()
+            patched[request.nodes] = request.features
+            x = Tensor(patched)
+        was_training = model.training
+        model.eval()
+        try:
+            with no_grad():
+                logits = model.forward(model._norm_adj, x)
+        finally:
+            if was_training:
+                model.train()
+        data = logits.data
+        if self.fault_hook is not None:
+            mutated = self.fault_hook(data)
+            if mutated is not None:
+                data = mutated
+        return data
+
+    def _update_latency(self, elapsed: float) -> None:
+        if self._latency_ema is None:
+            self._latency_ema = elapsed
+        else:
+            a = self.latency_ema_alpha
+            self._latency_ema = a * elapsed + (1 - a) * self._latency_ema
+
+    @property
+    def full_latency_estimate(self) -> Optional[float]:
+        """EMA of recent full-forward wall time, seconds (None until warm)."""
+        return self._latency_ema
+
+    def _attempt_full(
+        self, request: PredictRequest, deadline: Optional[Deadline]
+    ) -> np.ndarray:
+        start = self._clock()
+        logits = self._full_logits(request)
+        elapsed = self._clock() - start
+        self._update_latency(elapsed)
+        selected = logits[request.nodes]
+        if not np.isfinite(selected).all():
+            raise ModelFault("full model produced non-finite logits")
+        if deadline is not None and deadline.expired:
+            raise DeadlineExceeded(
+                f"full forward took {1000 * elapsed:.1f} ms, over the "
+                f"{1000 * deadline.budget_s:.0f} ms budget"
+            )
+        return selected
+
+    # -- the ladder ----------------------------------------------------
+    def predict(
+        self, request: PredictRequest, deadline: Optional[Deadline] = None
+    ) -> dict:
+        """Answer a validated request via the degradation ladder."""
+        reason: Optional[str] = None
+        if not self.breaker.allow():
+            reason = "breaker_open"
+            self.registry.counter("serve.breaker.short_circuit").inc()
+        elif (
+            deadline is not None
+            and self._latency_ema is not None
+            and deadline.remaining() < self._latency_ema * self.preempt_margin
+        ):
+            # The full path cannot plausibly meet the budget: degrade
+            # up-front instead of burning the budget to find out.
+            reason = "deadline_preempted"
+            self.registry.counter("serve.deadline.preempted").inc()
+
+        if reason is None:
+            try:
+                selected = self._attempt_full(request, deadline)
+                self.breaker.record_success()
+                self.registry.counter("serve.predict.full").inc()
+                return self._result(request, selected, degraded=False)
+            except Exception as exc:  # any full-path failure degrades
+                self.breaker.record_failure()
+                self.registry.counter("serve.predict.failures").inc()
+                reason = exc.code if isinstance(exc, ServeError) else "model_fault"
+                _LOG.warning("full path failed (%s): %s", reason, exc)
+
+        if self.fallback is None:
+            if reason == "breaker_open":
+                raise CircuitOpenError(
+                    "circuit breaker is open and no degraded fallback is "
+                    "configured; retry after cool-down",
+                    detail=self.breaker.snapshot(),
+                )
+            raise ModelUnavailable(
+                f"full model failed ({reason}) and no degraded fallback is "
+                "configured",
+                detail={"reason": reason},
+            )
+        try:
+            selected = self.fallback.logits(request.nodes, request.features)
+        except Exception as exc:
+            raise ModelUnavailable(
+                f"degraded fallback failed: {exc}", detail={"reason": reason}
+            ) from exc
+        self.registry.counter("serve.predict.degraded").inc()
+        return self._result(request, selected, degraded=True, reason=reason)
+
+    def _result(
+        self,
+        request: PredictRequest,
+        logits: np.ndarray,
+        degraded: bool,
+        reason: Optional[str] = None,
+    ) -> dict:
+        result = {
+            "nodes": request.nodes.tolist(),
+            "classes": np.argmax(logits, axis=1).astype(int).tolist(),
+            "degraded": degraded,
+            "model": "fallback-sgc" if degraded else type(self.model).__name__.lower(),
+        }
+        if reason is not None:
+            result["reason"] = reason
+        if request.return_probabilities:
+            result["probabilities"] = _softmax(logits).round(6).tolist()
+        return result
+
+    def info(self) -> dict:
+        """Status view used by ``/readyz`` and ``/metrics``."""
+        return {
+            "model": type(self.model).__name__,
+            "graph": self.graph.name,
+            "num_nodes": self.graph.num_nodes,
+            "num_features": self.graph.num_features,
+            "fallback": self.fallback is not None,
+            "latency_ema_s": self._latency_ema,
+            "breaker": self.breaker.snapshot(),
+        }
+
+
+# ---------------------------------------------------------------------------
+# Startup loading (nn.serialization + PR-2 CheckpointManager)
+# ---------------------------------------------------------------------------
+
+def model_from_cli_meta(cli: dict, graph: Graph):
+    """Rebuild the trained model from a checkpoint's CLI metadata.
+
+    Mirrors the ``python -m repro train`` model construction so a
+    checkpoint written by ``train --checkpoint-every`` can be served
+    without repeating the original command line.
+    """
+    from repro.core import Lasagne
+    from repro.models import build_model, model_names
+    from repro.training import hyperparams_for
+
+    hp = hyperparams_for(cli["dataset"])
+    name = cli.get("model", "lasagne")
+    if name == "lasagne":
+        return Lasagne(
+            graph.num_features, hp.hidden, graph.num_classes,
+            num_layers=cli.get("layers", 5),
+            aggregator=cli.get("aggregator", "stochastic"),
+            dropout=hp.dropout, fm_rank=hp.fm_rank,
+            seed=cli.get("seed", 0),
+        )
+    if name in model_names():
+        return build_model(
+            name, graph.num_features, graph.num_classes,
+            hidden=hp.hidden, num_layers=cli.get("layers", 5),
+            dropout=hp.dropout, seed=cli.get("seed", 0),
+        )
+    raise ModelUnavailable(f"checkpoint names unknown model {name!r}")
+
+
+def engine_from_checkpoint_dir(
+    directory: Union[PathLike, CheckpointManager],
+    graph: Optional[Graph] = None,
+    *,
+    fallback_k: Optional[int] = 2,
+    breaker: Optional[CircuitBreaker] = None,
+    registry: Optional[MetricsRegistry] = None,
+    **engine_kwargs,
+) -> Optional[InferenceEngine]:
+    """Build an engine from the newest *valid* training checkpoint.
+
+    ``CheckpointManager.load_latest`` skips corrupt/truncated archives
+    (checksum + deserialization verified), so a server pointed at a
+    damaged checkpoint directory boots from the newest surviving state.
+    Returns ``None`` when nothing usable exists — callers decide whether
+    that means "refuse to start" (CLI) or "start unready" (tests).
+
+    ``fallback_k=None`` disables the degraded path.
+    """
+    manager = (
+        directory
+        if isinstance(directory, CheckpointManager)
+        else CheckpointManager(directory)
+    )
+    ckpt = manager.load_latest()
+    if ckpt is None:
+        _LOG.warning("no usable checkpoint under %s", manager.directory)
+        return None
+    cli = ckpt.meta.get("extra", {}).get("metadata", {}).get("cli")
+    if graph is None:
+        if not cli:
+            _LOG.warning(
+                "checkpoint %s carries no CLI metadata and no graph was "
+                "supplied", ckpt.path,
+            )
+            return None
+        from repro.datasets import load_dataset
+
+        graph = load_dataset(
+            cli["dataset"], scale=cli.get("scale"), seed=cli.get("seed", 0)
+        )
+    if cli:
+        model = model_from_cli_meta(cli, graph)
+    else:
+        raise ModelUnavailable(
+            f"checkpoint {ckpt.path} carries no CLI metadata; build the "
+            "model explicitly and use InferenceEngine(...) directly"
+        )
+    model.setup(graph)
+    state = arrays_to_state(ckpt.arrays, ckpt.meta)
+    params = state["best_state"] or state["model"]
+    model.load_state_dict(params)
+    _LOG.info(
+        "serving %s from checkpoint %s (epoch %d)",
+        type(model).__name__, ckpt.path.name, ckpt.step,
+    )
+    fallback = (
+        ShallowFallback(graph, k_hops=fallback_k)
+        if fallback_k is not None
+        else None
+    )
+    return InferenceEngine(
+        model, graph,
+        fallback=fallback, breaker=breaker, registry=registry,
+        **engine_kwargs,
+    )

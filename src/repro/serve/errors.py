@@ -1,0 +1,97 @@
+"""Structured errors for the inference service.
+
+Every failure the server can hit maps to one :class:`ServeError`
+subclass carrying an HTTP status, a stable machine-readable ``code``,
+and an optional ``detail`` payload.  The request handler turns any of
+these into a JSON body of the form::
+
+    {"error": {"code": "node_out_of_range", "message": "...", "detail": {...}}}
+
+so a client never sees a traceback — the acceptance contract of the
+serving layer is that *every* response, including failures, is
+structured JSON with a deliberate status code.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+
+class ServeError(Exception):
+    """Base class: an HTTP-mappable, JSON-serializable service error."""
+
+    status: int = 500
+    code: str = "internal"
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        status: Optional[int] = None,
+        code: Optional[str] = None,
+        detail: Optional[Dict] = None,
+    ) -> None:
+        super().__init__(message)
+        if status is not None:
+            self.status = status
+        if code is not None:
+            self.code = code
+        self.detail = detail
+
+    def to_dict(self) -> Dict:
+        error = {"code": self.code, "message": str(self)}
+        if self.detail:
+            error["detail"] = self.detail
+        return {"error": error}
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.code!r}, status={self.status})"
+
+
+class ValidationError(ServeError):
+    """The request body failed validation (malformed, wrong shape, NaN...)."""
+
+    status = 400
+    code = "invalid_request"
+
+
+class PayloadTooLarge(ServeError):
+    """The request body exceeds the configured size limit."""
+
+    status = 413
+    code = "payload_too_large"
+
+
+class Overloaded(ServeError):
+    """Load shedding: too many requests already in flight."""
+
+    status = 429
+    code = "overloaded"
+
+
+class CircuitOpenError(ServeError):
+    """The breaker is open and no degraded fallback is available."""
+
+    status = 503
+    code = "circuit_open"
+
+
+class ModelUnavailable(ServeError):
+    """No usable model (startup found no valid checkpoint, or it died)."""
+
+    status = 503
+    code = "model_unavailable"
+
+
+class DeadlineExceeded(ServeError):
+    """The per-request deadline elapsed before the full model answered."""
+
+    status = 503
+    code = "deadline_exceeded"
+
+
+class ModelFault(ServeError):
+    """The full model produced an unusable result (NaN/Inf logits, crash)."""
+
+    status = 503
+    code = "model_fault"

@@ -1,0 +1,289 @@
+"""Robustness core of the inference service.
+
+Three mechanisms, each independently testable and all thread-safe:
+
+- :class:`Deadline` — a per-request wall-clock budget.  The engine
+  checks it before committing to the expensive full forward (using its
+  latency estimate) and after the forward returns; a blown deadline is
+  a *failure* of the full path and triggers degradation.
+- :class:`CircuitBreaker` — the classic closed → open → half-open state
+  machine over a sliding window of full-path outcomes.  When the recent
+  failure rate crosses the threshold the breaker opens and the full
+  model is skipped entirely for ``cooldown_s``; afterwards a bounded
+  number of half-open probe requests test recovery, and enough probe
+  successes close the breaker again.
+- :class:`LoadShedder` — bounded admission: at most ``max_inflight``
+  requests execute concurrently; the rest are shed immediately with a
+  429 instead of queueing without bound (``ThreadingHTTPServer`` spawns
+  a thread per connection, so an explicit ceiling is the only thing
+  standing between a traffic spike and an unbounded pile of worker
+  threads all fighting for the same BLAS cores).
+
+The breaker takes an injectable ``clock`` so tests drive the cool-down
+deterministically instead of sleeping.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Callable, Optional
+
+from repro.serve.errors import Overloaded
+
+__all__ = ["Deadline", "CircuitBreaker", "LoadShedder"]
+
+
+class Deadline:
+    """A wall-clock budget for one request."""
+
+    __slots__ = ("budget_s", "_start", "_clock")
+
+    def __init__(self, budget_s: float, clock: Callable[[], float] = time.monotonic) -> None:
+        if budget_s <= 0:
+            raise ValueError(f"deadline budget must be positive, got {budget_s}")
+        self.budget_s = float(budget_s)
+        self._clock = clock
+        self._start = clock()
+
+    @classmethod
+    def from_ms(cls, budget_ms: float, clock: Callable[[], float] = time.monotonic) -> "Deadline":
+        return cls(budget_ms / 1000.0, clock=clock)
+
+    def elapsed(self) -> float:
+        return self._clock() - self._start
+
+    def remaining(self) -> float:
+        """Seconds left; negative once the deadline has passed."""
+        return self.budget_s - self.elapsed()
+
+    @property
+    def expired(self) -> bool:
+        return self.remaining() <= 0
+
+    def __repr__(self) -> str:
+        return f"Deadline(budget_s={self.budget_s}, remaining={self.remaining():.4f})"
+
+
+class CircuitBreaker:
+    """Failure-rate circuit breaker (closed → open → half-open).
+
+    Parameters
+    ----------
+    failure_threshold:
+        Open when the failure rate over the sliding window reaches this
+        fraction (and at least ``min_requests`` outcomes are recorded).
+    window:
+        Number of recent full-path outcomes considered.
+    min_requests:
+        Minimum outcomes before the rate is trusted (avoids opening on
+        the very first hiccup).
+    cooldown_s:
+        How long the breaker stays open before allowing half-open probes.
+    half_open_probes:
+        Number of probe requests admitted in half-open state; that many
+        consecutive successes close the breaker, any failure re-opens it.
+    clock:
+        Injectable monotonic clock (tests pass a fake).
+    on_transition:
+        Optional ``callback(old_state, new_state)`` — the server wires
+        this into metrics/logging.
+    """
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+    _STATE_CODES = {CLOSED: 0, OPEN: 1, HALF_OPEN: 2}
+
+    def __init__(
+        self,
+        failure_threshold: float = 0.5,
+        window: int = 20,
+        min_requests: int = 5,
+        cooldown_s: float = 30.0,
+        half_open_probes: int = 1,
+        clock: Callable[[], float] = time.monotonic,
+        on_transition: Optional[Callable[[str, str], None]] = None,
+    ) -> None:
+        if not 0.0 < failure_threshold <= 1.0:
+            raise ValueError(f"failure_threshold must be in (0, 1], got {failure_threshold}")
+        if window < 1 or min_requests < 1 or half_open_probes < 1:
+            raise ValueError("window, min_requests and half_open_probes must be >= 1")
+        self.failure_threshold = failure_threshold
+        self.window = window
+        self.min_requests = min_requests
+        self.cooldown_s = cooldown_s
+        self.half_open_probes = half_open_probes
+        self.on_transition = on_transition
+        self._clock = clock
+        self._lock = threading.RLock()
+        self._state = self.CLOSED
+        self._outcomes: deque = deque(maxlen=window)  # 1 = success, 0 = failure
+        self._opened_at: Optional[float] = None
+        self._probe_budget = 0
+        self._probe_successes = 0
+        self.opened_count = 0
+
+    # -- state ---------------------------------------------------------
+    @property
+    def state(self) -> str:
+        with self._lock:
+            # Surface the half-open transition even if no allow() call
+            # has happened since the cool-down elapsed.
+            if (
+                self._state == self.OPEN
+                and self._clock() - self._opened_at >= self.cooldown_s
+            ):
+                self._enter_half_open()
+            return self._state
+
+    @property
+    def state_code(self) -> int:
+        """0 = closed, 1 = open, 2 = half-open (gauge-friendly)."""
+        return self._STATE_CODES[self.state]
+
+    def failure_rate(self) -> float:
+        with self._lock:
+            if not self._outcomes:
+                return 0.0
+            return 1.0 - sum(self._outcomes) / len(self._outcomes)
+
+    def _to(self, new_state: str) -> None:
+        old = self._state
+        if old == new_state:
+            return
+        self._state = new_state
+        if self.on_transition is not None:
+            self.on_transition(old, new_state)
+
+    def _enter_half_open(self) -> None:
+        self._to(self.HALF_OPEN)
+        self._probe_budget = self.half_open_probes
+        self._probe_successes = 0
+
+    def _open(self) -> None:
+        self._opened_at = self._clock()
+        self.opened_count += 1
+        self._to(self.OPEN)
+
+    # -- protocol ------------------------------------------------------
+    def allow(self) -> bool:
+        """May this request attempt the full model path?"""
+        with self._lock:
+            if self._state == self.CLOSED:
+                return True
+            if self._state == self.OPEN:
+                if self._clock() - self._opened_at < self.cooldown_s:
+                    return False
+                self._enter_half_open()
+            # half-open: admit a bounded number of probes
+            if self._probe_budget > 0:
+                self._probe_budget -= 1
+                return True
+            return False
+
+    def record_success(self) -> None:
+        with self._lock:
+            if self._state == self.HALF_OPEN:
+                self._probe_successes += 1
+                if self._probe_successes >= self.half_open_probes:
+                    self._outcomes.clear()
+                    self._to(self.CLOSED)
+            elif self._state == self.CLOSED:
+                self._outcomes.append(1)
+            # OPEN: a stale result from before the trip — ignore.
+
+    def record_failure(self) -> None:
+        with self._lock:
+            if self._state == self.HALF_OPEN:
+                self._open()
+            elif self._state == self.CLOSED:
+                self._outcomes.append(0)
+                if (
+                    len(self._outcomes) >= self.min_requests
+                    and self.failure_rate() >= self.failure_threshold
+                ):
+                    self._open()
+            # OPEN: already tripped — ignore.
+
+    def snapshot(self) -> dict:
+        """JSON-friendly view for ``/metrics`` and ``/readyz``."""
+        with self._lock:
+            return {
+                "state": self.state,
+                "state_code": self.state_code,
+                "failure_rate": self.failure_rate(),
+                "window": len(self._outcomes),
+                "opened_count": self.opened_count,
+            }
+
+    def __repr__(self) -> str:
+        return (
+            f"CircuitBreaker(state={self.state!r}, "
+            f"failure_rate={self.failure_rate():.2f}, opened={self.opened_count})"
+        )
+
+
+class LoadShedder:
+    """Bounded concurrent admission; excess requests are shed with 429."""
+
+    def __init__(self, max_inflight: int = 8) -> None:
+        if max_inflight < 1:
+            raise ValueError(f"max_inflight must be >= 1, got {max_inflight}")
+        self.max_inflight = max_inflight
+        self._lock = threading.Lock()
+        self._inflight = 0
+        self.shed_count = 0
+
+    @property
+    def inflight(self) -> int:
+        with self._lock:
+            return self._inflight
+
+    def try_acquire(self) -> bool:
+        with self._lock:
+            if self._inflight >= self.max_inflight:
+                self.shed_count += 1
+                return False
+            self._inflight += 1
+            return True
+
+    def release(self) -> None:
+        with self._lock:
+            if self._inflight <= 0:
+                raise RuntimeError("release() without a matching try_acquire()")
+            self._inflight -= 1
+
+    def admit(self) -> "_Admission":
+        """Context manager: acquire a slot or raise :class:`Overloaded`."""
+        if not self.try_acquire():
+            raise Overloaded(
+                f"server at capacity ({self.max_inflight} requests in flight); "
+                "retry with backoff",
+                detail={"max_inflight": self.max_inflight},
+            )
+        return _Admission(self)
+
+    def __repr__(self) -> str:
+        return (
+            f"LoadShedder(inflight={self.inflight}/{self.max_inflight}, "
+            f"shed={self.shed_count})"
+        )
+
+
+class _Admission:
+    """Releases the shedder slot on exit (used via ``with shedder.admit():``)."""
+
+    __slots__ = ("_shedder",)
+
+    def __init__(self, shedder: LoadShedder) -> None:
+        self._shedder = shedder
+
+    def __enter__(self) -> "_Admission":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self._shedder.release()
+        return False

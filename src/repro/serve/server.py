@@ -1,0 +1,317 @@
+"""The fault-tolerant model server (stdlib ``http.server``, threads).
+
+:class:`ModelServer` binds a :class:`ThreadingHTTPServer` with four JSON
+endpoints:
+
+- ``POST /predict`` — validated inference through the degradation
+  ladder (see :mod:`repro.serve.engine`);
+- ``GET /healthz``  — liveness (200 whenever the process responds);
+- ``GET /readyz``   — readiness (503 until a usable engine exists, and
+  when the breaker is open with no fallback to serve from);
+- ``GET /metrics``  — the PR-1 :class:`~repro.obs.MetricsRegistry`
+  snapshot plus breaker/shedder/cache state.
+
+Every code path funnels through :meth:`_send_json`; an unexpected
+exception becomes a structured 500 body (code ``internal``) rather than
+the default ``http.server`` HTML traceback page — the serving contract
+is that clients only ever parse JSON.
+
+Request threads are daemonic and admission is bounded by the
+:class:`~repro.serve.guard.LoadShedder`, so a traffic spike sheds with
+429s instead of stacking unbounded worker threads.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional
+
+from repro.obs import MetricsRegistry, get_logger, get_registry
+from repro.perf import get_cache
+from repro.serve.engine import InferenceEngine
+from repro.serve.errors import (
+    ModelUnavailable,
+    Overloaded,
+    PayloadTooLarge,
+    ServeError,
+    ValidationError,
+)
+from repro.serve.guard import Deadline, LoadShedder
+from repro.serve.validate import (
+    DEFAULT_MAX_BODY_BYTES,
+    DEFAULT_MAX_NODES,
+    parse_predict_request,
+)
+
+_LOG = get_logger("serve")
+
+
+class ModelServer:
+    """Thread-based inference server wrapping one :class:`InferenceEngine`.
+
+    Parameters
+    ----------
+    engine:
+        The inference engine, or ``None`` to start *unready* (liveness
+        up, readiness and predict 503) — the state a server is in when
+        startup found no valid checkpoint.
+    host, port:
+        Bind address; ``port=0`` picks a free port (tests).
+    registry:
+        Metrics registry; defaults to the process-wide one.
+    max_inflight, max_body_bytes, max_nodes, default_deadline_ms:
+        Robustness knobs (see ``docs/serving.md``).
+    """
+
+    def __init__(
+        self,
+        engine: Optional[InferenceEngine],
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        registry: Optional[MetricsRegistry] = None,
+        max_inflight: int = 8,
+        max_body_bytes: int = DEFAULT_MAX_BODY_BYTES,
+        max_nodes: int = DEFAULT_MAX_NODES,
+        default_deadline_ms: Optional[float] = None,
+    ) -> None:
+        self.engine = engine
+        self.registry = registry if registry is not None else get_registry()
+        self.shedder = LoadShedder(max_inflight)
+        self.max_body_bytes = max_body_bytes
+        self.max_nodes = max_nodes
+        self.default_deadline_ms = default_deadline_ms
+        self._started_at = time.time()
+        self._thread: Optional[threading.Thread] = None
+        self._httpd = ThreadingHTTPServer((host, port), _Handler)
+        self._httpd.daemon_threads = True
+        self._httpd.model_server = self  # type: ignore[attr-defined]
+
+    # -- lifecycle -----------------------------------------------------
+    @property
+    def host(self) -> str:
+        return self._httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "ModelServer":
+        """Serve in a daemon thread; returns self (the port is bound)."""
+        if self._thread is not None:
+            raise RuntimeError("server already started")
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever, name="repro-serve", daemon=True
+        )
+        self._thread.start()
+        _LOG.info("serving on %s", self.url)
+        return self
+
+    def serve_forever(self) -> None:
+        """Blocking serve loop (the CLI path)."""
+        self._httpd.serve_forever()
+
+    def stop(self) -> None:
+        """Stop serving and release the port (safe in any lifecycle state).
+
+        ``HTTPServer.shutdown`` blocks until an active ``serve_forever``
+        loop notices it, so it is only issued when the background thread
+        is running; a never-started (or CLI/dry-run) server just closes
+        its socket.
+        """
+        if self._thread is not None:
+            self._httpd.shutdown()
+            self._thread.join(timeout=5)
+            self._thread = None
+        self._httpd.server_close()
+
+    def __enter__(self) -> "ModelServer":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.stop()
+        return False
+
+    # -- endpoint logic (handler-thread context) -----------------------
+    def handle_predict(self, raw: bytes) -> tuple:
+        registry = self.registry
+        registry.counter("serve.requests").inc()
+        if self.engine is None:
+            raise ModelUnavailable(
+                "no model loaded (startup found no usable checkpoint)"
+            )
+        if not self.shedder.try_acquire():
+            registry.counter("serve.shed").inc()
+            raise Overloaded(
+                f"server at capacity ({self.shedder.max_inflight} requests "
+                "in flight); retry with backoff",
+                detail={"max_inflight": self.shedder.max_inflight},
+            )
+        try:
+            registry.gauge("serve.inflight").set(self.shedder.inflight)
+            with registry.timer("serve.latency_s") as timer:
+                request = parse_predict_request(
+                    raw,
+                    num_nodes=self.engine.graph.num_nodes,
+                    num_features=self.engine.graph.num_features,
+                    max_body_bytes=self.max_body_bytes,
+                    max_nodes=self.max_nodes,
+                )
+                deadline_ms = (
+                    request.deadline_ms
+                    if request.deadline_ms is not None
+                    else self.default_deadline_ms
+                )
+                deadline = (
+                    Deadline.from_ms(deadline_ms) if deadline_ms else None
+                )
+                result = self.engine.predict(request, deadline)
+            result["latency_ms"] = round(1000 * timer.last, 3)
+            if result.get("degraded"):
+                registry.counter("serve.degraded").inc()
+            else:
+                registry.counter("serve.ok").inc()
+            return 200, result
+        finally:
+            self.shedder.release()
+            registry.gauge("serve.breaker.state").set(
+                self.engine.breaker.state_code
+            )
+
+    def handle_healthz(self) -> tuple:
+        return 200, {
+            "status": "ok",
+            "uptime_s": round(time.time() - self._started_at, 3),
+        }
+
+    def handle_readyz(self) -> tuple:
+        if self.engine is None:
+            return 503, {
+                "ready": False,
+                "reason": "no model loaded (no usable checkpoint at startup)",
+            }
+        breaker = self.engine.breaker.snapshot()
+        if breaker["state"] == "open" and self.engine.fallback is None:
+            return 503, {
+                "ready": False,
+                "reason": "circuit breaker open and no degraded fallback",
+                "breaker": breaker,
+            }
+        return 200, {
+            "ready": True,
+            "degraded_only": breaker["state"] == "open",
+            "engine": self.engine.info(),
+        }
+
+    def handle_metrics(self) -> tuple:
+        payload = {
+            "metrics": self.registry.snapshot(),
+            "inflight": self.shedder.inflight,
+            "shed_count": self.shedder.shed_count,
+            "propcache": get_cache().info(),
+        }
+        if self.engine is not None:
+            payload["breaker"] = self.engine.breaker.snapshot()
+        return 200, payload
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes requests to the owning :class:`ModelServer`."""
+
+    protocol_version = "HTTP/1.1"
+    server_version = "repro-serve/1.0"
+
+    @property
+    def model_server(self) -> ModelServer:
+        return self.server.model_server  # type: ignore[attr-defined]
+
+    # Route stdlib request logging to the obs logger at debug level
+    # instead of stderr noise.
+    def log_message(self, fmt, *args):  # noqa: N802 (stdlib name)
+        _LOG.debug("%s %s", self.address_string(), fmt % args)
+
+    def _send_json(self, status: int, payload: dict) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _dispatch(self, handler) -> None:
+        try:
+            status, payload = handler()
+        except ServeError as exc:
+            status, payload = exc.status, exc.to_dict()
+        except Exception as exc:  # structured 500, never an HTML traceback
+            _LOG.warning("unexpected serving error: %r", exc)
+            self.model_server.registry.counter("serve.internal_errors").inc()
+            status = 500
+            payload = {
+                "error": {"code": "internal", "message": str(exc) or repr(exc)}
+            }
+        try:
+            self._send_json(status, payload)
+        except (BrokenPipeError, ConnectionResetError):
+            pass  # client went away mid-response
+
+    def do_GET(self) -> None:  # noqa: N802 (stdlib name)
+        server = self.model_server
+        routes = {
+            "/healthz": server.handle_healthz,
+            "/readyz": server.handle_readyz,
+            "/metrics": server.handle_metrics,
+        }
+        handler = routes.get(self.path.split("?", 1)[0])
+        if handler is None:
+            self._dispatch(lambda: _not_found(self.path))
+        else:
+            self._dispatch(handler)
+
+    def do_POST(self) -> None:  # noqa: N802 (stdlib name)
+        server = self.model_server
+        if self.path.split("?", 1)[0] != "/predict":
+            self._dispatch(lambda: _not_found(self.path))
+            return
+
+        def predict():
+            length = self.headers.get("Content-Length")
+            if length is None:
+                raise ValidationError(
+                    "POST /predict requires a Content-Length header",
+                    code="missing_content_length", status=411,
+                )
+            length = int(length)
+            if length > server.max_body_bytes:
+                # Shed before reading the body; the connection is closed
+                # afterwards so the unread payload can't poison reuse.
+                self.close_connection = True
+                raise PayloadTooLarge(
+                    f"request body is {length} bytes, limit is "
+                    f"{server.max_body_bytes}",
+                    detail={
+                        "bytes": length, "limit": server.max_body_bytes
+                    },
+                )
+            return server.handle_predict(self.rfile.read(length))
+
+        self._dispatch(predict)
+
+
+def _not_found(path: str) -> tuple:
+    return 404, {
+        "error": {
+            "code": "not_found",
+            "message": f"unknown path {path!r}",
+            "detail": {
+                "endpoints": ["/predict", "/healthz", "/readyz", "/metrics"]
+            },
+        }
+    }

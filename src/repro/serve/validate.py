@@ -1,0 +1,194 @@
+"""Request validation and sanitization for ``/predict``.
+
+A malformed request must never reach the model: this module turns raw
+request bytes into a typed :class:`PredictRequest` or raises a
+:class:`~repro.serve.errors.ValidationError` /
+:class:`~repro.serve.errors.PayloadTooLarge` with a stable error code.
+Checks, in order:
+
+- body size against ``max_body_bytes`` (cheap reject before parsing);
+- JSON well-formedness and a top-level object with only known keys;
+- ``nodes``: a non-empty list of integer node ids (booleans rejected),
+  each within ``[0, num_nodes)``, at most ``max_nodes`` of them;
+- ``features`` (optional): one numeric row per requested node, width
+  ``num_features``, every value finite — NaN/Inf feature payloads are
+  the classic poison-pill that turns into NaN logits three layers deep,
+  so they are rejected at the door;
+- ``deadline_ms`` (optional): a positive number;
+- ``return_probabilities`` (optional): a boolean.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import Optional
+
+import numpy as np
+
+from repro.serve.errors import PayloadTooLarge, ValidationError
+
+#: Default cap on request body size (1 MiB).
+DEFAULT_MAX_BODY_BYTES = 1 << 20
+
+#: Default cap on nodes per request.
+DEFAULT_MAX_NODES = 4096
+
+_KNOWN_KEYS = frozenset(
+    {"nodes", "features", "deadline_ms", "return_probabilities"}
+)
+
+
+@dataclasses.dataclass
+class PredictRequest:
+    """A validated prediction request.
+
+    ``features``, when present, holds one replacement feature row per
+    entry of ``nodes`` (the served graph's stored features are used for
+    everything else).
+    """
+
+    nodes: np.ndarray
+    features: Optional[np.ndarray] = None
+    deadline_ms: Optional[float] = None
+    return_probabilities: bool = False
+
+
+def parse_predict_request(
+    raw: bytes,
+    *,
+    num_nodes: int,
+    num_features: int,
+    max_body_bytes: int = DEFAULT_MAX_BODY_BYTES,
+    max_nodes: int = DEFAULT_MAX_NODES,
+) -> PredictRequest:
+    """Validate raw ``/predict`` bytes into a :class:`PredictRequest`."""
+    if len(raw) > max_body_bytes:
+        raise PayloadTooLarge(
+            f"request body is {len(raw)} bytes, limit is {max_body_bytes}",
+            detail={"bytes": len(raw), "limit": max_body_bytes},
+        )
+    try:
+        body = json.loads(raw.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ValidationError(
+            f"request body is not valid JSON: {exc}", code="invalid_json"
+        ) from None
+    if not isinstance(body, dict):
+        raise ValidationError(
+            f"request body must be a JSON object, got {type(body).__name__}",
+            code="invalid_request",
+        )
+    unknown = sorted(set(body) - _KNOWN_KEYS)
+    if unknown:
+        raise ValidationError(
+            f"unknown request field(s): {', '.join(unknown)}",
+            code="unknown_field",
+            detail={"unknown": unknown, "known": sorted(_KNOWN_KEYS)},
+        )
+
+    nodes = _validate_nodes(body, num_nodes=num_nodes, max_nodes=max_nodes)
+    features = _validate_features(
+        body.get("features"), count=len(nodes), num_features=num_features
+    )
+    deadline_ms = _validate_deadline(body.get("deadline_ms"))
+    probs = body.get("return_probabilities", False)
+    if not isinstance(probs, bool):
+        raise ValidationError(
+            "return_probabilities must be a boolean",
+            code="invalid_request",
+        )
+    return PredictRequest(
+        nodes=nodes,
+        features=features,
+        deadline_ms=deadline_ms,
+        return_probabilities=probs,
+    )
+
+
+def _validate_nodes(body: dict, *, num_nodes: int, max_nodes: int) -> np.ndarray:
+    if "nodes" not in body:
+        raise ValidationError("missing required field 'nodes'", code="missing_nodes")
+    nodes = body["nodes"]
+    if not isinstance(nodes, list) or not nodes:
+        raise ValidationError(
+            "'nodes' must be a non-empty list of node ids", code="invalid_nodes"
+        )
+    if len(nodes) > max_nodes:
+        raise ValidationError(
+            f"too many nodes: {len(nodes)} > limit {max_nodes}",
+            code="too_many_nodes",
+            detail={"count": len(nodes), "limit": max_nodes},
+        )
+    for value in nodes:
+        # bool is an int subclass; reject it explicitly.
+        if isinstance(value, bool) or not isinstance(value, int):
+            raise ValidationError(
+                f"node ids must be integers, got {value!r}", code="invalid_nodes"
+            )
+    ids = np.asarray(nodes, dtype=np.int64)
+    bad = ids[(ids < 0) | (ids >= num_nodes)]
+    if bad.size:
+        raise ValidationError(
+            f"node id(s) out of range [0, {num_nodes}): "
+            f"{bad[:8].tolist()}",
+            code="node_out_of_range",
+            detail={"num_nodes": num_nodes, "offending": bad[:8].tolist()},
+        )
+    return ids
+
+
+def _validate_features(
+    features, *, count: int, num_features: int
+) -> Optional[np.ndarray]:
+    if features is None:
+        return None
+    if not isinstance(features, list):
+        raise ValidationError(
+            "'features' must be a list of feature rows", code="invalid_features"
+        )
+    try:
+        matrix = np.asarray(features, dtype=np.float64)
+    except (TypeError, ValueError) as exc:
+        raise ValidationError(
+            f"'features' is not a numeric matrix: {exc}", code="invalid_features"
+        ) from None
+    if matrix.ndim != 2:
+        raise ValidationError(
+            f"'features' must be 2-dimensional (rows of features), "
+            f"got ndim={matrix.ndim}",
+            code="feature_shape_mismatch",
+        )
+    if matrix.shape != (count, num_features):
+        raise ValidationError(
+            f"'features' must have shape ({count}, {num_features}) — one row "
+            f"per requested node — got {matrix.shape}",
+            code="feature_shape_mismatch",
+            detail={
+                "expected": [count, num_features],
+                "got": list(matrix.shape),
+            },
+        )
+    if not np.isfinite(matrix).all():
+        rows = np.flatnonzero(~np.isfinite(matrix).all(axis=1))
+        raise ValidationError(
+            f"'features' contains NaN/Inf values (rows {rows[:8].tolist()})",
+            code="nonfinite_features",
+            detail={"offending_rows": rows[:8].tolist()},
+        )
+    return matrix
+
+
+def _validate_deadline(deadline_ms) -> Optional[float]:
+    if deadline_ms is None:
+        return None
+    if isinstance(deadline_ms, bool) or not isinstance(deadline_ms, (int, float)):
+        raise ValidationError(
+            "deadline_ms must be a positive number", code="invalid_deadline"
+        )
+    if not np.isfinite(deadline_ms) or deadline_ms <= 0:
+        raise ValidationError(
+            f"deadline_ms must be positive and finite, got {deadline_ms}",
+            code="invalid_deadline",
+        )
+    return float(deadline_ms)

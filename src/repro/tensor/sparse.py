@@ -26,8 +26,44 @@ from repro.tensor.dtype import get_default_dtype
 from repro.tensor.tensor import Tensor, _as_tensor
 
 
+def _validate_csr(csr: "sp.csr_matrix") -> None:
+    """Reject malformed CSR operands with a diagnosable ``ValueError``.
+
+    Checks values (finite) and column indices (non-negative, in bounds).
+    Hand-built ``csr_matrix((data, indices, indptr))`` operands bypass
+    scipy's own construction checks, so this is the single choke point
+    every :class:`SparseMatrix` passes through.
+    """
+    if csr.data.size and not np.isfinite(csr.data).all():
+        bad = int(np.count_nonzero(~np.isfinite(csr.data)))
+        raise ValueError(
+            f"sparse matrix contains {bad} non-finite (NaN/Inf) value(s); "
+            "adjacency entries must be finite"
+        )
+    if csr.indices.size:
+        lo = int(csr.indices.min())
+        hi = int(csr.indices.max())
+        if lo < 0:
+            raise ValueError(
+                f"sparse matrix has negative column index {lo}; "
+                "indices must be >= 0"
+            )
+        if hi >= csr.shape[1]:
+            raise ValueError(
+                f"sparse matrix column index {hi} out of bounds for "
+                f"shape {csr.shape}"
+            )
+
+
 class SparseMatrix:
     """An immutable sparse matrix operand (CSR) for message passing.
+
+    Construction validates the operand — non-finite values (NaN/Inf),
+    negative column indices, and out-of-bounds column indices are
+    rejected with a clear ``ValueError`` naming the offense.  Without
+    this, a malformed adjacency (a corrupt dataset file, a bad request
+    payload) would sail into :func:`spmm` and fail deep inside scipy —
+    or worse, silently poison every downstream logit with NaN.
 
     Parameters
     ----------
@@ -50,6 +86,7 @@ class SparseMatrix:
                     f"SparseMatrix must be 2-dimensional, got ndim={dense.ndim}"
                 )
             csr = sp.csr_matrix(dense)
+        _validate_csr(csr)
         self.csr = csr.astype(dtype, copy=False)
         self._transpose: Optional["SparseMatrix"] = None
         self._fingerprint: Optional[str] = None

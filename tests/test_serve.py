@@ -1,0 +1,1078 @@
+"""The serving degradation ladder, exercised end to end with injected faults.
+
+Acceptance contract under test: a server under injected faults never
+returns a 500 with a traceback — every request gets structured JSON
+(200 normal, 200 degraded, 4xx validation, 429 shed, 503 breaker-open),
+and ``/metrics`` exposes request/degraded/shed/breaker-state counters.
+
+Also covers the riding satellites: the thread-safe
+:class:`PropagationCache`, :class:`SparseMatrix` adjacency validation,
+and :class:`DatasetError` from the dataset loader.
+"""
+
+import http.server
+import json
+import threading
+import time
+import urllib.request
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.datasets import (
+    DatasetError,
+    generate_dcsbm_graph,
+    generate_features,
+    load_dataset,
+    load_graph_file,
+)
+from repro.datasets.splits import per_class_split
+from repro.graphs import Graph
+from repro.obs import MetricsRegistry
+from repro.perf.propcache import PropagationCache
+from repro.resilience import (
+    CheckpointManager,
+    CrashForward,
+    InjectedFault,
+    NaNForward,
+    SlowForward,
+    corrupt_file,
+    truncate_file,
+)
+from repro.serve import (
+    CircuitBreaker,
+    Deadline,
+    InferenceEngine,
+    LoadShedder,
+    ModelServer,
+    ModelUnavailable,
+    Overloaded,
+    PayloadTooLarge,
+    ServeClient,
+    ServeClientError,
+    ShallowFallback,
+    ValidationError,
+    engine_from_checkpoint_dir,
+    model_from_cli_meta,
+    parse_predict_request,
+)
+from repro.tensor.sparse import SparseMatrix
+
+pytestmark = pytest.mark.serve
+
+
+# ---------------------------------------------------------------------------
+# Fixtures
+# ---------------------------------------------------------------------------
+
+@pytest.fixture(scope="module")
+def graph():
+    rng = np.random.default_rng(11)
+    adj, labels = generate_dcsbm_graph(120, 3, 420, homophily=0.9, rng=rng)
+    features = generate_features(labels, 16, rng=rng)
+    train, val, test = per_class_split(labels, 8, 12, 30, rng=rng)
+    return Graph(
+        adj=adj, features=features, labels=labels,
+        train_mask=train, val_mask=val, test_mask=test,
+        name="serve-test",
+    )
+
+
+def make_engine(graph, fault_hook=None, breaker=None, fallback=True, **kwargs):
+    from repro.models import build_model
+
+    model = build_model(
+        "gcn", graph.num_features, graph.num_classes,
+        hidden=8, num_layers=2, dropout=0.0, seed=0,
+    )
+    return InferenceEngine(
+        model, graph,
+        fallback=ShallowFallback(graph, k_hops=2) if fallback else None,
+        breaker=breaker,
+        registry=MetricsRegistry(),
+        fault_hook=fault_hook,
+        **kwargs,
+    )
+
+
+def make_server(engine, **kwargs):
+    kwargs.setdefault("registry", MetricsRegistry())
+    return ModelServer(engine, port=0, **kwargs)
+
+
+def raw_post(url, payload, headers=None):
+    """One un-retried POST; returns (status, decoded json body)."""
+    data = payload if isinstance(payload, bytes) else json.dumps(payload).encode()
+    request = urllib.request.Request(
+        url + "/predict", data=data,
+        headers={"Content-Type": "application/json", **(headers or {})},
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=10) as resp:
+            return resp.status, json.loads(resp.read().decode())
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read().decode())
+
+
+# ---------------------------------------------------------------------------
+# Validation layer
+# ---------------------------------------------------------------------------
+
+def parse(body, **kwargs):
+    kwargs.setdefault("num_nodes", 10)
+    kwargs.setdefault("num_features", 4)
+    raw = body if isinstance(body, bytes) else json.dumps(body).encode()
+    return parse_predict_request(raw, **kwargs)
+
+
+def rejects(body, code, **kwargs):
+    with pytest.raises(ValidationError) as err:
+        parse(body, **kwargs)
+    assert err.value.code == code
+    assert err.value.status in (400, 411)
+    return err.value
+
+
+class TestValidation:
+    def test_minimal_valid_request(self):
+        req = parse({"nodes": [0, 3, 9]})
+        assert req.nodes.tolist() == [0, 3, 9]
+        assert req.features is None
+        assert req.deadline_ms is None
+        assert req.return_probabilities is False
+
+    def test_full_valid_request(self):
+        req = parse({
+            "nodes": [1, 2],
+            "features": [[0.0] * 4, [1.0] * 4],
+            "deadline_ms": 50,
+            "return_probabilities": True,
+        })
+        assert req.features.shape == (2, 4)
+        assert req.deadline_ms == 50.0
+        assert req.return_probabilities is True
+
+    def test_invalid_json(self):
+        rejects(b"{not json", "invalid_json")
+
+    def test_non_object_body(self):
+        rejects([1, 2, 3], "invalid_request")
+
+    def test_unknown_field(self):
+        err = rejects({"nodes": [0], "nodez": [1]}, "unknown_field")
+        assert "nodez" in err.detail["unknown"]
+
+    def test_missing_nodes(self):
+        rejects({}, "missing_nodes")
+
+    def test_empty_and_non_list_nodes(self):
+        rejects({"nodes": []}, "invalid_nodes")
+        rejects({"nodes": "0,1"}, "invalid_nodes")
+
+    def test_bool_node_ids_rejected(self):
+        rejects({"nodes": [True]}, "invalid_nodes")
+
+    def test_float_node_ids_rejected(self):
+        rejects({"nodes": [1.5]}, "invalid_nodes")
+
+    def test_too_many_nodes(self):
+        rejects({"nodes": [0, 1, 2]}, "too_many_nodes", max_nodes=2)
+
+    def test_node_out_of_range(self):
+        err = rejects({"nodes": [0, 10]}, "node_out_of_range")
+        assert 10 in err.detail["offending"]
+        rejects({"nodes": [-1]}, "node_out_of_range")
+
+    def test_invalid_features(self):
+        rejects({"nodes": [0], "features": "abc"}, "invalid_features")
+        rejects({"nodes": [0], "features": [["x"] * 4]}, "invalid_features")
+
+    def test_feature_shape_mismatch(self):
+        rejects({"nodes": [0], "features": [0.0] * 4}, "feature_shape_mismatch")
+        err = rejects(
+            {"nodes": [0], "features": [[0.0] * 3]}, "feature_shape_mismatch"
+        )
+        assert err.detail["expected"] == [1, 4]
+
+    def test_nonfinite_features(self):
+        err = rejects(
+            {"nodes": [0, 1],
+             "features": [[0.0] * 4, [1.0, float("nan"), 0.0, 0.0]]},
+            "nonfinite_features",
+        )
+        assert err.detail["offending_rows"] == [1]
+
+    def test_infinite_features(self):
+        rejects(
+            {"nodes": [0], "features": [[float("inf"), 0, 0, 0]]},
+            "nonfinite_features",
+        )
+
+    def test_invalid_deadline(self):
+        rejects({"nodes": [0], "deadline_ms": -5}, "invalid_deadline")
+        rejects({"nodes": [0], "deadline_ms": "fast"}, "invalid_deadline")
+        rejects({"nodes": [0], "deadline_ms": True}, "invalid_deadline")
+
+    def test_invalid_return_probabilities(self):
+        rejects({"nodes": [0], "return_probabilities": 1}, "invalid_request")
+
+    def test_payload_too_large(self):
+        with pytest.raises(PayloadTooLarge) as err:
+            parse({"nodes": [0]}, max_body_bytes=4)
+        assert err.value.status == 413
+
+    def test_error_to_dict_shape(self):
+        err = rejects({"nodes": [0, 99]}, "node_out_of_range")
+        body = err.to_dict()
+        assert set(body) == {"error"}
+        assert body["error"]["code"] == "node_out_of_range"
+        assert "message" in body["error"]
+        json.dumps(body)  # must be JSON-serializable
+
+
+# ---------------------------------------------------------------------------
+# Guard primitives
+# ---------------------------------------------------------------------------
+
+class FakeClock:
+    def __init__(self, now=0.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, dt):
+        self.now += dt
+
+
+class TestDeadline:
+    def test_budget_accounting(self):
+        clock = FakeClock()
+        deadline = Deadline(0.5, clock=clock)
+        assert deadline.remaining() == pytest.approx(0.5)
+        assert not deadline.expired
+        clock.advance(0.4)
+        assert deadline.remaining() == pytest.approx(0.1)
+        clock.advance(0.2)
+        assert deadline.expired
+        assert deadline.remaining() < 0
+
+    def test_from_ms(self):
+        assert Deadline.from_ms(250).budget_s == pytest.approx(0.25)
+
+    def test_nonpositive_budget_rejected(self):
+        with pytest.raises(ValueError):
+            Deadline(0.0)
+
+
+class TestCircuitBreaker:
+    def make(self, clock, **kwargs):
+        kwargs.setdefault("failure_threshold", 0.5)
+        kwargs.setdefault("window", 10)
+        kwargs.setdefault("min_requests", 4)
+        kwargs.setdefault("cooldown_s", 10.0)
+        return CircuitBreaker(clock=clock, **kwargs)
+
+    def test_stays_closed_below_min_requests(self):
+        breaker = self.make(FakeClock())
+        for _ in range(3):
+            breaker.record_failure()
+        assert breaker.state == CircuitBreaker.CLOSED
+        assert breaker.allow()
+
+    def test_opens_at_failure_threshold(self):
+        breaker = self.make(FakeClock())
+        for _ in range(2):
+            breaker.record_success()
+        for _ in range(2):
+            breaker.record_failure()
+        assert breaker.state == CircuitBreaker.OPEN
+        assert not breaker.allow()
+        assert breaker.opened_count == 1
+
+    def test_half_open_after_cooldown_then_recovery(self):
+        clock = FakeClock()
+        transitions = []
+        breaker = self.make(clock)
+        breaker.on_transition = lambda old, new: transitions.append((old, new))
+        for _ in range(4):
+            breaker.record_failure()
+        assert breaker.state == CircuitBreaker.OPEN
+        clock.advance(10.0)
+        assert breaker.state == CircuitBreaker.HALF_OPEN
+        assert breaker.allow()  # the probe
+        assert not breaker.allow()  # probe budget spent
+        breaker.record_success()
+        assert breaker.state == CircuitBreaker.CLOSED
+        assert breaker.failure_rate() == 0.0  # window cleared on close
+        assert ("open", "half_open") in transitions
+        assert ("half_open", "closed") in transitions
+
+    def test_half_open_failure_reopens(self):
+        clock = FakeClock()
+        breaker = self.make(clock)
+        for _ in range(4):
+            breaker.record_failure()
+        clock.advance(10.0)
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == CircuitBreaker.OPEN
+        assert breaker.opened_count == 2
+        assert not breaker.allow()
+
+    def test_state_codes_and_snapshot(self):
+        clock = FakeClock()
+        breaker = self.make(clock)
+        assert breaker.state_code == 0
+        for _ in range(4):
+            breaker.record_failure()
+        assert breaker.state_code == 1
+        snap = breaker.snapshot()
+        assert snap["state"] == "open"
+        assert snap["failure_rate"] == pytest.approx(1.0)
+        assert snap["opened_count"] == 1
+        clock.advance(10.0)
+        assert breaker.state_code == 2
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(failure_threshold=0.0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(window=0)
+
+
+class TestLoadShedder:
+    def test_bounded_admission(self):
+        shedder = LoadShedder(max_inflight=2)
+        assert shedder.try_acquire()
+        assert shedder.try_acquire()
+        assert not shedder.try_acquire()
+        assert shedder.shed_count == 1
+        shedder.release()
+        assert shedder.try_acquire()
+        assert shedder.inflight == 2
+
+    def test_admit_context_manager(self):
+        shedder = LoadShedder(max_inflight=1)
+        with shedder.admit():
+            with pytest.raises(Overloaded) as err:
+                shedder.admit()
+            assert err.value.status == 429
+        assert shedder.inflight == 0
+
+    def test_release_underflow(self):
+        with pytest.raises(RuntimeError):
+            LoadShedder().release()
+
+
+# ---------------------------------------------------------------------------
+# Fallback and engine ladder
+# ---------------------------------------------------------------------------
+
+class TestShallowFallback:
+    def test_learns_train_labels(self, graph):
+        fallback = ShallowFallback(graph, k_hops=2)
+        train = graph.train_indices()
+        logits = fallback.logits(train)
+        assert logits.shape == (train.size, graph.num_classes)
+        accuracy = (logits.argmax(1) == graph.labels[train]).mean()
+        assert accuracy > 0.5  # far above 1/3 chance on a homophilous graph
+
+    def test_feature_override_changes_logits(self, graph):
+        fallback = ShallowFallback(graph, k_hops=2)
+        nodes = np.array([0, 1])
+        base = fallback.logits(nodes)
+        shifted = fallback.logits(
+            nodes, features_override=graph.features[nodes] + 5.0
+        )
+        assert not np.allclose(base, shifted)
+
+    def test_rejects_bad_k(self, graph):
+        with pytest.raises(ValueError):
+            ShallowFallback(graph, k_hops=0)
+
+
+class TestEngineLadder:
+    def test_healthy_full_path(self, graph):
+        engine = make_engine(graph)
+        request = parse({"nodes": [0, 5], "return_probabilities": True},
+                        num_nodes=graph.num_nodes,
+                        num_features=graph.num_features)
+        result = engine.predict(request)
+        assert result["degraded"] is False
+        assert len(result["classes"]) == 2
+        assert len(result["probabilities"]) == 2
+        assert all(
+            abs(sum(row) - 1.0) < 1e-6 for row in result["probabilities"]
+        )
+        assert engine.full_latency_estimate is not None
+
+    def test_nan_forward_degrades_and_records_failure(self, graph):
+        engine = make_engine(graph, fault_hook=NaNForward())
+        request = parse({"nodes": [0]}, num_nodes=graph.num_nodes,
+                        num_features=graph.num_features)
+        result = engine.predict(request)
+        assert result["degraded"] is True
+        assert result["reason"] == "model_fault"
+        assert result["model"] == "fallback-sgc"
+        assert engine.breaker.failure_rate() > 0.0
+
+    def test_crash_forward_degrades(self, graph):
+        engine = make_engine(graph, fault_hook=CrashForward())
+        request = parse({"nodes": [0]}, num_nodes=graph.num_nodes,
+                        num_features=graph.num_features)
+        result = engine.predict(request)
+        assert result["degraded"] is True
+        assert result["reason"] == "model_fault"
+
+    def test_breaker_open_short_circuits(self, graph):
+        clock = FakeClock()
+        breaker = CircuitBreaker(
+            failure_threshold=0.5, window=4, min_requests=2,
+            cooldown_s=60.0, clock=clock,
+        )
+        engine = make_engine(graph, fault_hook=NaNForward(), breaker=breaker)
+        request = parse({"nodes": [0]}, num_nodes=graph.num_nodes,
+                        num_features=graph.num_features)
+        for _ in range(2):
+            engine.predict(request)
+        assert breaker.state == CircuitBreaker.OPEN
+        calls_before = engine.fault_hook.fired
+        result = engine.predict(request)
+        assert result["reason"] == "breaker_open"
+        assert engine.fault_hook.fired == calls_before  # full path skipped
+
+    def test_no_fallback_raises_structured_errors(self, graph):
+        clock = FakeClock()
+        breaker = CircuitBreaker(
+            failure_threshold=0.5, window=4, min_requests=2,
+            cooldown_s=60.0, clock=clock,
+        )
+        engine = make_engine(
+            graph, fault_hook=NaNForward(), breaker=breaker, fallback=False
+        )
+        request = parse({"nodes": [0]}, num_nodes=graph.num_nodes,
+                        num_features=graph.num_features)
+        with pytest.raises(ModelUnavailable):
+            engine.predict(request)
+        with pytest.raises(ModelUnavailable):
+            engine.predict(request)
+        from repro.serve import CircuitOpenError
+
+        with pytest.raises(CircuitOpenError):
+            engine.predict(request)
+
+    def test_deadline_preempted_before_forward(self, graph):
+        engine = make_engine(graph)
+        engine._latency_ema = 10.0  # full path "takes" 10 s
+        request = parse({"nodes": [0]}, num_nodes=graph.num_nodes,
+                        num_features=graph.num_features)
+        result = engine.predict(request, Deadline.from_ms(20))
+        assert result["degraded"] is True
+        assert result["reason"] == "deadline_preempted"
+
+    def test_deadline_exceeded_after_forward(self, graph):
+        engine = make_engine(graph, fault_hook=SlowForward(delay_s=0.05))
+        request = parse({"nodes": [0]}, num_nodes=graph.num_nodes,
+                        num_features=graph.num_features)
+        result = engine.predict(request, Deadline.from_ms(10))
+        assert result["degraded"] is True
+        assert result["reason"] == "deadline_exceeded"
+        assert engine.breaker.failure_rate() > 0.0
+
+    def test_feature_override_full_path(self, graph):
+        engine = make_engine(graph)
+        nodes = [0, 1]
+        base = engine.predict(parse(
+            {"nodes": nodes, "return_probabilities": True},
+            num_nodes=graph.num_nodes, num_features=graph.num_features))
+        shifted = engine.predict(parse(
+            {"nodes": nodes,
+             "features": (graph.features[nodes] + 10.0).tolist(),
+             "return_probabilities": True},
+            num_nodes=graph.num_nodes, num_features=graph.num_features))
+        assert base["probabilities"] != shifted["probabilities"]
+
+
+# ---------------------------------------------------------------------------
+# End-to-end server
+# ---------------------------------------------------------------------------
+
+class TestServerEndToEnd:
+    def test_healthy_predict_and_health_endpoints(self, graph):
+        with make_server(make_engine(graph)) as server:
+            client = ServeClient(server.url, retries=0)
+            body = client.predict([0, 4, 7], return_probabilities=True)
+            assert body["degraded"] is False
+            assert len(body["classes"]) == 3
+            assert body["latency_ms"] >= 0
+            assert client.health()["status"] == "ok"
+            assert client.ready() is True
+            metrics = client.metrics()
+            assert metrics["metrics"]["serve.requests"]["value"] == 1
+            assert metrics["metrics"]["serve.ok"]["value"] == 1
+            assert "propcache" in metrics
+            assert metrics["breaker"]["state"] == "closed"
+
+    def test_validation_errors_are_structured_4xx(self, graph):
+        with make_server(make_engine(graph)) as server:
+            client = ServeClient(server.url, retries=0)
+            with pytest.raises(ServeClientError) as err:
+                client.predict([graph.num_nodes + 5])
+            assert err.value.status == 400
+            assert err.value.body["error"]["code"] == "node_out_of_range"
+            with pytest.raises(ServeClientError) as err:
+                client.predict([0], features=[[float("nan")] * graph.num_features])
+            assert err.value.body["error"]["code"] == "nonfinite_features"
+
+    def test_oversized_body_is_413(self, graph):
+        with make_server(make_engine(graph), max_body_bytes=256) as server:
+            status, body = raw_post(
+                server.url, {"nodes": list(range(100))})
+            assert status == 413
+            assert body["error"]["code"] == "payload_too_large"
+
+    def test_unknown_path_is_404_json(self, graph):
+        with make_server(make_engine(graph)) as server:
+            status, body = raw_post(server.url + "/nope", {"nodes": [0]})
+            # raw_post appends /predict; check GET on a bad path too
+            client = ServeClient(server.url, retries=0)
+            get_status, get_body = client.request("GET", "/bogus")
+            assert get_status == 404
+            assert get_body["error"]["code"] == "not_found"
+
+    def test_breaker_ladder_open_then_half_open_recovery(self, graph):
+        """The headline scenario: poisoned model -> breaker opens -> degraded
+        responses -> fault burns out -> half-open probe recovers."""
+        breaker = CircuitBreaker(
+            failure_threshold=0.5, window=4, min_requests=2, cooldown_s=0.05,
+        )
+        fault = NaNForward(times=2)  # transient: first 2 forwards poisoned
+        engine = make_engine(graph, fault_hook=fault, breaker=breaker)
+        with make_server(engine) as server:
+            client = ServeClient(server.url, retries=0)
+            # Rung 1 -> 2: failures degrade but still answer 200.
+            for _ in range(2):
+                body = client.predict([0, 1])
+                assert body["degraded"] is True
+                assert body["reason"] == "model_fault"
+            assert breaker.state == CircuitBreaker.OPEN
+            # Open: short-circuit straight to the fallback.
+            body = client.predict([0, 1])
+            assert body["degraded"] is True
+            assert body["reason"] == "breaker_open"
+            metrics = client.metrics()
+            assert metrics["breaker"]["state"] == "open"
+            assert metrics["metrics"]["serve.degraded"]["value"] == 3
+            assert metrics["metrics"]["serve.requests"]["value"] >= 3
+            # Cool-down elapses; the half-open probe hits a healed model.
+            time.sleep(0.06)
+            body = client.predict([0, 1])
+            assert body["degraded"] is False
+            assert breaker.state == CircuitBreaker.CLOSED
+            # readyz reports degraded_only=False again.
+            status, ready = client.request("GET", "/readyz")
+            assert status == 200
+            assert ready["degraded_only"] is False
+
+    def test_deadline_request_degrades_not_errors(self, graph):
+        engine = make_engine(graph, fault_hook=SlowForward(delay_s=0.05))
+        with make_server(engine) as server:
+            client = ServeClient(server.url, retries=0)
+            body = client.predict([0], deadline_ms=5)
+            assert body["degraded"] is True
+            assert body["reason"] in ("deadline_exceeded", "deadline_preempted")
+
+    def test_load_shedding_returns_429(self, graph):
+        release = threading.Event()
+        entered = threading.Event()
+
+        def blocking_hook(logits):
+            entered.set()
+            release.wait(timeout=10)
+            return None
+
+        engine = make_engine(graph, fault_hook=blocking_hook)
+        with make_server(engine, max_inflight=1) as server:
+            first = {}
+
+            def slow_request():
+                first["result"] = raw_post(server.url, {"nodes": [0]})
+
+            worker = threading.Thread(target=slow_request)
+            worker.start()
+            try:
+                assert entered.wait(timeout=10)
+                status, body = raw_post(server.url, {"nodes": [1]})
+                assert status == 429
+                assert body["error"]["code"] == "overloaded"
+                assert body["error"]["detail"]["max_inflight"] == 1
+            finally:
+                release.set()
+                worker.join(timeout=10)
+            assert first["result"][0] == 200
+            metrics = json.loads(urllib.request.urlopen(
+                server.url + "/metrics", timeout=10).read())
+            assert metrics["shed_count"] == 1
+            assert metrics["metrics"]["serve.shed"]["value"] == 1
+
+    def test_unready_server_without_engine(self):
+        with make_server(None) as server:
+            client = ServeClient(server.url, retries=0)
+            assert client.health()["status"] == "ok"  # alive but not ready
+            assert client.ready() is False
+            status, body = raw_post(server.url, {"nodes": [0]})
+            assert status == 503
+            assert body["error"]["code"] == "model_unavailable"
+
+    def test_missing_content_length_is_411(self, graph):
+        import http.client
+
+        with make_server(make_engine(graph)) as server:
+            conn = http.client.HTTPConnection(server.host, server.port, timeout=10)
+            try:
+                conn.putrequest("POST", "/predict", skip_accept_encoding=True)
+                conn.endheaders()
+                resp = conn.getresponse()
+                body = json.loads(resp.read().decode())
+                assert resp.status == 411
+                assert body["error"]["code"] == "missing_content_length"
+            finally:
+                conn.close()
+
+    def test_internal_errors_are_structured_json(self, graph):
+        engine = make_engine(graph)
+        with make_server(engine) as server:
+            # Break the engine *behind* the handler: even then the
+            # response is structured JSON, not an HTML traceback.
+            engine.breaker = None  # predict() will raise AttributeError
+            status, body = raw_post(server.url, {"nodes": [0]})
+            assert status == 500
+            assert body["error"]["code"] == "internal"
+            assert "<html" not in json.dumps(body).lower()
+
+    def test_never_a_traceback_sweep(self, graph):
+        """Garbage in -> structured JSON out, for every payload."""
+        garbage = [
+            b"",
+            b"\x00\xff\xfe",
+            b"[1,2,3]",
+            b'{"nodes": []}',
+            b'{"nodes": ["a"]}',
+            b'{"nodes": [0], "features": "x"}',
+            b'{"nodes": [0], "deadline_ms": 0}',
+            b'{"bogus": 1}',
+            json.dumps({"nodes": [99999]}).encode(),
+        ]
+        with make_server(make_engine(graph)) as server:
+            for payload in garbage:
+                status, body = raw_post(server.url, payload)
+                assert 400 <= status < 500, payload
+                assert "error" in body and "code" in body["error"], payload
+
+    def test_double_start_rejected(self, graph):
+        server = make_server(make_engine(graph))
+        try:
+            server.start()
+            with pytest.raises(RuntimeError):
+                server.start()
+        finally:
+            server.stop()
+
+    def test_stop_without_start_is_safe(self, graph):
+        make_server(make_engine(graph)).stop()
+
+
+# ---------------------------------------------------------------------------
+# Retrying client
+# ---------------------------------------------------------------------------
+
+class _ScriptedHandler(http.server.BaseHTTPRequestHandler):
+    """Answers from a per-server list of (status, body) frames."""
+
+    def _reply(self):
+        script = self.server.script  # type: ignore[attr-defined]
+        status, body = script.pop(0) if script else (200, {"ok": True})
+        payload = json.dumps(body).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(payload)))
+        self.end_headers()
+        self.wfile.write(payload)
+
+    do_GET = do_POST = lambda self: self._reply()
+
+    def log_message(self, fmt, *args):
+        pass
+
+
+class scripted_server:
+    def __init__(self, script):
+        self.httpd = http.server.ThreadingHTTPServer(("127.0.0.1", 0), _ScriptedHandler)
+        self.httpd.script = list(script)
+        self.url = "http://127.0.0.1:%d" % self.httpd.server_address[1]
+
+    def __enter__(self):
+        self.thread = threading.Thread(target=self.httpd.serve_forever, daemon=True)
+        self.thread.start()
+        return self
+
+    def __exit__(self, *exc):
+        self.httpd.shutdown()
+        self.thread.join(timeout=5)
+        self.httpd.server_close()
+
+
+class TestServeClient:
+    def test_retries_503_until_success(self):
+        script = [
+            (503, {"error": {"code": "model_unavailable", "message": "warming"}}),
+            (503, {"error": {"code": "model_unavailable", "message": "warming"}}),
+            (200, {"degraded": False, "classes": [1]}),
+        ]
+        sleeps = []
+        with scripted_server(script) as stub:
+            client = ServeClient(
+                stub.url, retries=3, backoff_s=0.01,
+                rng=np.random.default_rng(0), sleep=sleeps.append,
+            )
+            body = client.predict([0])
+        assert body["classes"] == [1]
+        assert len(sleeps) == 2
+        assert sleeps[1] > sleeps[0]  # exponential growth (jitter <= 50%)
+
+    def test_gives_up_after_budget(self):
+        script = [(429, {"error": {"code": "overloaded", "message": "full"}})] * 5
+        sleeps = []
+        with scripted_server(script) as stub:
+            client = ServeClient(
+                stub.url, retries=2, backoff_s=0.01, sleep=sleeps.append
+            )
+            with pytest.raises(ServeClientError) as err:
+                client.predict([0])
+        assert err.value.status == 429
+        assert err.value.body["error"]["code"] == "overloaded"
+        assert len(sleeps) == 2
+
+    def test_non_idempotent_never_retries(self):
+        script = [
+            (503, {"error": {"code": "model_unavailable", "message": "nope"}}),
+            (200, {"classes": [0]}),
+        ]
+        sleeps = []
+        with scripted_server(script) as stub:
+            client = ServeClient(stub.url, retries=3, sleep=sleeps.append)
+            with pytest.raises(ServeClientError) as err:
+                client.predict([0], idempotent=False)
+        assert err.value.status == 503
+        assert sleeps == []
+
+    def test_4xx_not_retried(self):
+        script = [
+            (400, {"error": {"code": "invalid_nodes", "message": "bad"}}),
+            (200, {"classes": [0]}),
+        ]
+        sleeps = []
+        with scripted_server(script) as stub:
+            client = ServeClient(stub.url, retries=3, sleep=sleeps.append)
+            with pytest.raises(ServeClientError) as err:
+                client.predict([0])
+        assert err.value.status == 400
+        assert sleeps == []
+
+    def test_connection_error_retried_then_raises(self):
+        sleeps = []
+        client = ServeClient(
+            "http://127.0.0.1:1", retries=2, backoff_s=0.001,
+            timeout_s=0.2, sleep=sleeps.append,
+        )
+        with pytest.raises(ServeClientError):
+            client.health()
+        assert len(sleeps) == 2
+
+    def test_backoff_exponential_and_capped(self):
+        class ZeroRng:
+            def random(self):
+                return 0.0
+
+        client = ServeClient(
+            "http://x", backoff_s=0.1, max_backoff_s=0.5, jitter=0.5,
+            rng=ZeroRng(),
+        )
+        delays = [client._backoff(a) for a in range(5)]
+        assert delays[:3] == pytest.approx([0.1, 0.2, 0.4])
+        assert delays[3] == delays[4] == pytest.approx(0.5)  # capped
+
+
+# ---------------------------------------------------------------------------
+# Startup from (possibly corrupt) checkpoints
+# ---------------------------------------------------------------------------
+
+def save_model_checkpoint(manager, model, step, cli):
+    arrays = {f"model.{k}": v for k, v in model.state_dict().items()}
+    return manager.save(
+        step, arrays,
+        meta={"epoch": step, "extra": {"metadata": {"cli": cli}}},
+    )
+
+
+class TestCheckpointStartup:
+    CLI = {"dataset": "synthetic", "model": "gcn", "layers": 2, "seed": 0}
+
+    def trained_pair(self, graph):
+        model = model_from_cli_meta(self.CLI, graph)
+        model.setup(graph)
+        return model
+
+    def test_serves_newest_valid_checkpoint(self, graph, tmp_path):
+        manager = CheckpointManager(tmp_path, keep_last=5)
+        model = self.trained_pair(graph)
+        save_model_checkpoint(manager, model, 1, self.CLI)
+        # Perturb a parameter so steps 1 and 2 are distinguishable.
+        name, param = next(iter(model.named_parameters()))
+        param.data[...] += 1.0
+        newest = save_model_checkpoint(manager, model, 2, self.CLI)
+        engine = engine_from_checkpoint_dir(
+            manager, graph, registry=MetricsRegistry()
+        )
+        assert engine is not None
+        loaded = dict(engine.model.named_parameters())[name].data
+        assert np.allclose(loaded, param.data)  # step 2 won
+
+    def test_corrupt_newest_falls_back_to_older(self, graph, tmp_path):
+        manager = CheckpointManager(tmp_path, keep_last=5)
+        model = self.trained_pair(graph)
+        name, param = next(iter(model.named_parameters()))
+        good = param.data.copy()
+        save_model_checkpoint(manager, model, 1, self.CLI)
+        param.data[...] += 1.0
+        newest = save_model_checkpoint(manager, model, 2, self.CLI)
+        corrupt_file(newest, offset=30, length=200)
+        engine = engine_from_checkpoint_dir(
+            manager, graph, registry=MetricsRegistry()
+        )
+        assert engine is not None
+        loaded = dict(engine.model.named_parameters())[name].data
+        assert np.allclose(loaded, good)  # the surviving step-1 state
+        # And the loaded engine actually serves.
+        request = parse({"nodes": [0]}, num_nodes=graph.num_nodes,
+                        num_features=graph.num_features)
+        assert engine.predict(request)["degraded"] is False
+
+    def test_all_corrupt_yields_none_and_unready_server(self, graph, tmp_path):
+        manager = CheckpointManager(tmp_path, keep_last=5)
+        model = self.trained_pair(graph)
+        for step in (1, 2):
+            truncate_file(save_model_checkpoint(manager, model, step, self.CLI))
+        engine = engine_from_checkpoint_dir(
+            manager, graph, registry=MetricsRegistry()
+        )
+        assert engine is None
+        with make_server(engine) as server:
+            status, body = raw_post(server.url, {"nodes": [0]})
+            assert status == 503
+            assert body["error"]["code"] == "model_unavailable"
+
+    def test_empty_directory_yields_none(self, graph, tmp_path):
+        assert engine_from_checkpoint_dir(tmp_path, graph) is None
+
+    def test_loads_dataset_from_cli_meta(self, tmp_path):
+        synthetic = load_dataset("synthetic", seed=0)
+        manager = CheckpointManager(tmp_path)
+        model = model_from_cli_meta(self.CLI, synthetic)
+        model.setup(synthetic)
+        save_model_checkpoint(manager, model, 1, self.CLI)
+        engine = engine_from_checkpoint_dir(
+            manager, registry=MetricsRegistry()  # no graph supplied
+        )
+        assert engine is not None
+        assert engine.graph.num_nodes == synthetic.num_nodes
+
+
+# ---------------------------------------------------------------------------
+# Satellite: thread-safe PropagationCache
+# ---------------------------------------------------------------------------
+
+class TestPropagationCacheConcurrency:
+    def test_concurrent_propagate_is_consistent(self, graph):
+        from repro.graphs.normalize import gcn_norm
+
+        adj = gcn_norm(graph.adj)
+        features = graph.features
+        expected = {
+            k: np.linalg.matrix_power(adj.csr.toarray(), k) @ features
+            for k in (1, 2, 3)
+        }
+        cache = PropagationCache(capacity=8)
+        errors = []
+        results = []
+        lock = threading.Lock()
+
+        def worker(seed):
+            rng = np.random.default_rng(seed)
+            try:
+                for _ in range(20):
+                    k = int(rng.integers(1, 4))
+                    out = cache.propagate(adj, features, k=k)
+                    power = cache.adjacency_power(adj, int(rng.integers(1, 4)))
+                    assert power.shape == adj.shape
+                    with lock:
+                        results.append((k, out))
+            except Exception as exc:  # pragma: no cover - the regression
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(s,)) for s in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30)
+        assert not errors
+        assert len(results) == 8 * 20
+        for k, out in results:
+            np.testing.assert_allclose(out, expected[k], rtol=1e-5, atol=1e-5)
+        assert len(cache) <= cache.capacity
+
+    def test_capacity_respected_under_threads(self, graph):
+        from repro.graphs.normalize import gcn_norm
+
+        adj = gcn_norm(graph.adj)
+        cache = PropagationCache(capacity=2)
+        rng = np.random.default_rng(3)
+        feature_sets = [
+            rng.standard_normal((graph.num_nodes, 4)) for _ in range(6)
+        ]
+
+        def worker(x):
+            for _ in range(5):
+                cache.propagate(adj, x, k=1)
+
+        threads = [
+            threading.Thread(target=worker, args=(x,)) for x in feature_sets
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30)
+        assert len(cache) <= 2
+
+
+# ---------------------------------------------------------------------------
+# Satellite: SparseMatrix adjacency validation
+# ---------------------------------------------------------------------------
+
+class TestSparseValidation:
+    def test_valid_matrix_accepted(self):
+        matrix = SparseMatrix(np.eye(3))
+        assert matrix.shape == (3, 3)
+
+    def test_nan_dense_rejected(self):
+        dense = np.eye(3)
+        dense[0, 1] = np.nan
+        with pytest.raises(ValueError, match="non-finite"):
+            SparseMatrix(dense)
+
+    def test_inf_sparse_data_rejected(self):
+        csr = sp.csr_matrix(np.eye(3))
+        csr.data[0] = np.inf
+        with pytest.raises(ValueError, match="non-finite"):
+            SparseMatrix(csr)
+
+    def test_negative_column_index_rejected(self):
+        csr = sp.csr_matrix(
+            (np.ones(2), np.array([0, -1]), np.array([0, 1, 2, 2])),
+            shape=(3, 3),
+        )
+        with pytest.raises(ValueError, match="negative column index"):
+            SparseMatrix(csr)
+
+    def test_out_of_bounds_column_index_rejected(self):
+        csr = sp.csr_matrix(
+            (np.ones(2), np.array([0, 7]), np.array([0, 1, 2, 2])),
+            shape=(3, 3),
+        )
+        with pytest.raises(ValueError, match="out of bounds"):
+            SparseMatrix(csr)
+
+
+# ---------------------------------------------------------------------------
+# Satellite: structured DatasetError from the loader
+# ---------------------------------------------------------------------------
+
+class TestDatasetErrors:
+    def test_missing_file(self, tmp_path):
+        missing = tmp_path / "nope.npz"
+        with pytest.raises(DatasetError) as err:
+            load_graph_file(missing)
+        assert err.value.path == missing
+        assert err.value.reason == "file not found"
+        assert str(missing) in str(err.value)
+
+    def test_truncated_archive(self, graph, tmp_path):
+        path = tmp_path / "snap.npz"
+        graph.save(path)
+        truncate_file(path, keep_bytes=100)
+        with pytest.raises(DatasetError) as err:
+            load_graph_file(path)
+        assert err.value.path == path
+        assert "archive" in err.value.reason or "content" in err.value.reason
+
+    def test_missing_required_array(self, tmp_path):
+        path = tmp_path / "partial.npz"
+        np.savez(path, adj_data=np.ones(1))
+        with pytest.raises(DatasetError) as err:
+            load_graph_file(path)
+        assert "missing required array" in err.value.reason
+
+    def test_load_dataset_routes_npz_paths(self, graph, tmp_path):
+        path = tmp_path / "snap.npz"
+        graph.save(path)
+        loaded = load_dataset(str(path))
+        assert loaded.num_nodes == graph.num_nodes
+        with pytest.raises(DatasetError):
+            load_dataset(str(tmp_path / "gone.npz"))
+
+    def test_unknown_registry_name_still_keyerror(self):
+        # The pre-existing contract for registry lookups is unchanged.
+        with pytest.raises(KeyError):
+            load_dataset("not-a-dataset")
+
+
+# ---------------------------------------------------------------------------
+# Soak: sustained traffic with a flapping fault (slow; excluded from tier-1)
+# ---------------------------------------------------------------------------
+
+@pytest.mark.slow
+class TestSoak:
+    def test_sustained_mixed_traffic_never_500s(self, graph):
+        class Flapper:
+            """NaN-poisons forwards in bursts, then heals, repeatedly."""
+
+            def __init__(self):
+                self.calls = 0
+
+            def __call__(self, logits):
+                self.calls += 1
+                if (self.calls // 10) % 2 == 1:  # every other burst of 10
+                    return np.full_like(logits, np.nan)
+                return None
+
+        breaker = CircuitBreaker(
+            failure_threshold=0.5, window=6, min_requests=3, cooldown_s=0.02,
+        )
+        engine = make_engine(graph, fault_hook=Flapper(), breaker=breaker)
+        with make_server(engine) as server:
+            statuses = []
+            for i in range(120):
+                status, body = raw_post(server.url, {"nodes": [i % graph.num_nodes]})
+                statuses.append(status)
+                assert status == 200
+                assert isinstance(body["degraded"], bool)
+                if i % 40 == 0:
+                    time.sleep(0.03)  # let the breaker cycle
+            metrics = json.loads(urllib.request.urlopen(
+                server.url + "/metrics", timeout=10).read())
+            served = metrics["metrics"]["serve.requests"]["value"]
+            assert served == 120
+            assert metrics["metrics"]["serve.degraded"]["value"] > 0
+            assert metrics["breaker"]["opened_count"] >= 1
