@@ -60,6 +60,11 @@ def served():
         model, graph,
         fallback=ShallowFallback(graph, k_hops=2),
         registry=MetricsRegistry(),
+        # The guard measures the ladder around a *real* forward; with the
+        # fast path on, warm predicts are cache hits and the comparison
+        # degenerates.  Throughput of the fast path itself is guarded in
+        # test_serve_throughput.py.
+        fastpath=False,
     )
     raw = json.dumps({"nodes": list(range(32))}).encode()
     return graph, model, engine, raw

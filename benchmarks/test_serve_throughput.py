@@ -1,0 +1,97 @@
+"""Guard: the serving fast path must actually be fast.
+
+Two contractual ratios from the fast-path design, measured through the
+same :func:`repro.perf.bench.run_serve_bench` harness that produces
+``BENCH_serve.json``:
+
+- a **warm** predict is a version-keyed row lookup — no forward — so its
+  mean latency must be at most 10% of a cold predict's;
+- ``concurrency`` threads stampeding a *cold* store coalesce onto one
+  single-flight forward, so their aggregate throughput must beat a
+  ``fastpath=False`` engine (one forward per thread) by at least 3x.
+
+Marked ``bench`` (timing-sensitive), so excluded from tier-1 by the
+``-m 'not slow and not bench'`` addopts; run with::
+
+    pytest benchmarks/test_serve_throughput.py -m bench -q
+
+The ``slow``-marked soak repeats the storm many more rounds to catch
+races that only surface under sustained scheduling churn.
+"""
+
+import numpy as np
+import pytest
+
+from repro.perf.bench import run_serve_bench
+
+pytestmark = pytest.mark.bench
+
+MAX_WARM_FRACTION = 0.10  # warm mean <= 0.1x cold mean
+MIN_COALESCE_RATIO = 3.0  # coalesced rps >= 3x stampede rps
+
+
+@pytest.fixture(scope="module")
+def serve_doc():
+    # Reduced sizes: the ratios under test are scale-free, so a small
+    # graph and few rounds keep the guard quick without weakening it.
+    result = run_serve_bench(
+        dataset="synthetic",
+        model="lasagne",
+        repeats=100,
+        cold_rounds=3,
+        concurrency=8,
+        stampede_rounds=2,
+        seed=0,
+        write=False,
+    )
+    return result["serve"]
+
+
+def test_warm_predict_is_a_lookup_not_a_forward(serve_doc):
+    cold = serve_doc["latency"]["cold"]["mean_s"]
+    warm = serve_doc["latency"]["warm"]["mean_s"]
+    assert warm <= cold * MAX_WARM_FRACTION, (
+        f"warm predict {1e3 * warm:.3f} ms vs cold {1e3 * cold:.3f} ms "
+        f"exceeds {MAX_WARM_FRACTION:.2f}x — the store is not bypassing "
+        f"the forward"
+    )
+
+
+def test_cold_stampede_coalesces(serve_doc):
+    coal = serve_doc["coalesce"]
+    assert coal["stampede_rps"] > 0
+    assert coal["ratio"] >= MIN_COALESCE_RATIO, (
+        f"coalesced {coal['coalesced_rps']:.0f} req/s vs stampede "
+        f"{coal['stampede_rps']:.0f} req/s — ratio {coal['ratio']} below "
+        f"{MIN_COALESCE_RATIO}x"
+    )
+
+
+def test_schema_and_bookkeeping(serve_doc):
+    assert serve_doc["schema"] == "repro.bench.serve/v1"
+    fastpath = serve_doc["fastpath"]
+    assert fastpath["enabled"] is True
+    # The storm phase clears the store (resetting its counters), so only
+    # the final round's entry is guaranteed to remain.
+    assert fastpath["store"]["entries"] >= 1
+    conc = serve_doc["concurrent_warm"]
+    assert conc["requests"] > 0
+    assert np.isfinite(conc["p99_s"]) and conc["p99_s"] > 0
+
+
+@pytest.mark.slow
+def test_soak_storm_ratios_hold_over_many_rounds():
+    """Sustained storms: the ratios are not a one-round scheduling fluke."""
+    result = run_serve_bench(
+        dataset="synthetic",
+        model="lasagne",
+        repeats=400,
+        cold_rounds=5,
+        concurrency=8,
+        stampede_rounds=10,
+        seed=0,
+        write=False,
+    )
+    doc = result["serve"]
+    assert doc["latency"]["speedup"] >= 1.0 / MAX_WARM_FRACTION
+    assert doc["coalesce"]["ratio"] >= MIN_COALESCE_RATIO

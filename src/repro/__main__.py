@@ -263,7 +263,31 @@ def _cmd_profile(args: argparse.Namespace) -> int:
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
-    from repro.perf.bench import format_report, run_bench
+    from repro.perf.bench import (
+        format_report,
+        format_serve_report,
+        run_bench,
+        run_serve_bench,
+    )
+
+    if args.serve:
+        # --models usually lists several for the train bench; the serve
+        # bench times one engine, defaulting to the paper's model.
+        model = args.models[0] if len(args.models) == 1 else "lasagne"
+        result = run_serve_bench(
+            dataset=args.dataset,
+            model=model,
+            repeats=args.repeats,
+            concurrency=args.concurrency,
+            scale=args.scale,
+            seed=args.seed,
+            out_dir=args.out_dir,
+            write=not args.no_write,
+        )
+        print(format_serve_report(result))
+        for path in result["paths"]:
+            print(f"\nwrote {path}")
+        return 0
 
     result = run_bench(
         dataset=args.dataset,
@@ -300,9 +324,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         cooldown_s=args.breaker_cooldown,
     )
     fallback_k = None if args.no_fallback else args.fallback_k
+    fastpath_kwargs = dict(
+        fastpath=not args.no_fastpath,
+        batch_window_ms=args.batch_window_ms,
+        max_batch=args.max_batch,
+    )
     if args.checkpoint_dir:
         engine = engine_from_checkpoint_dir(
             args.checkpoint_dir, fallback_k=fallback_k, breaker=breaker,
+            **fastpath_kwargs,
         )
         if engine is None:
             print(
@@ -336,7 +366,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             ShallowFallback(graph, k_hops=fallback_k)
             if fallback_k is not None else None
         )
-        engine = InferenceEngine(model, graph, fallback=fallback, breaker=breaker)
+        engine = InferenceEngine(
+            model, graph, fallback=fallback, breaker=breaker,
+            **fastpath_kwargs,
+        )
 
     server = ModelServer(
         engine, host=args.host, port=args.port,
@@ -344,9 +377,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_body_bytes=args.max_body_bytes,
         max_nodes=args.max_nodes,
         default_deadline_ms=args.deadline_ms,
+        checkpoint_source=args.checkpoint_dir or None,
     )
     print(f"serving {engine.info()['model']} on {server.url}")
-    print("endpoints: POST /predict   GET /healthz /readyz /metrics")
+    print("endpoints: POST /predict /reload   GET /healthz /readyz /metrics")
     if args.dry_run:
         server.stop()
         return 0
@@ -451,6 +485,12 @@ def main(argv=None) -> int:
                    help="directory for BENCH_train.json / BENCH_infer.json")
     p.add_argument("--no-write", action="store_true",
                    help="print the report without touching the filesystem")
+    p.add_argument("--serve", action="store_true",
+                   help="benchmark the serving fast path instead "
+                        "(cold/warm latency, coalesced vs stampede "
+                        "throughput) -> BENCH_serve.json")
+    p.add_argument("--concurrency", type=int, default=8,
+                   help="threads for the --serve concurrent phases")
     p.set_defaults(func=_cmd_bench)
 
     p = sub.add_parser(
@@ -491,6 +531,16 @@ def main(argv=None) -> int:
                    help="sliding window of full-path outcomes")
     p.add_argument("--breaker-cooldown", type=float, default=5.0,
                    help="seconds the breaker stays open before half-open")
+    p.add_argument("--no-fastpath", action="store_true",
+                   help="disable the version-keyed logit store and "
+                        "single-flight coalescing (every request pays a "
+                        "full forward)")
+    p.add_argument("--batch-window-ms", type=float, default=0.0,
+                   help="micro-batch admission window for non-memoized "
+                        "paths; 0 disables batching")
+    p.add_argument("--max-batch", type=int, default=256,
+                   help="node-id ceiling per micro-batch (reaching it "
+                        "flushes the window early)")
     p.add_argument("--dry-run", action="store_true",
                    help="build the engine and bind the port, then exit")
     p.set_defaults(func=_cmd_serve, epochs=None, inductive=False,

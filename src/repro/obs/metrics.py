@@ -6,11 +6,17 @@ counter/gauge/histogram split) so the trainer, profiler and experiment
 harness can share one vocabulary.  Everything is plain Python; recording
 a value is a couple of attribute updates, cheap enough for per-epoch and
 per-op call sites.
+
+Counters, gauges and instrument registration are lock-protected: the
+serving layer increments them from every request worker thread, where a
+lost ``+=`` update would silently under-report.  Histogram appends ride
+on the GIL-atomic ``list.append`` and stay lock-free.
 """
 
 from __future__ import annotations
 
 import math
+import threading
 import time
 from typing import Dict, List, Optional, Union
 
@@ -22,16 +28,18 @@ Number = Union[int, float]
 class Counter:
     """Monotonically increasing count (events, calls, bytes)."""
 
-    __slots__ = ("name", "value")
+    __slots__ = ("name", "value", "_lock")
 
     def __init__(self, name: str) -> None:
         self.name = name
         self.value = 0.0
+        self._lock = threading.Lock()
 
     def inc(self, amount: Number = 1) -> None:
         if amount < 0:
             raise ValueError(f"counter {self.name!r} cannot decrease (got {amount})")
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
     def snapshot(self) -> Dict:
         return {"type": "counter", "value": self.value}
@@ -43,17 +51,19 @@ class Counter:
 class Gauge:
     """Last-write-wins instantaneous value (lr, queue depth, gate mean)."""
 
-    __slots__ = ("name", "value")
+    __slots__ = ("name", "value", "_lock")
 
     def __init__(self, name: str) -> None:
         self.name = name
         self.value: Optional[float] = None
+        self._lock = threading.Lock()
 
     def set(self, value: Number) -> None:
         self.value = float(value)
 
     def inc(self, amount: Number = 1) -> None:
-        self.value = (self.value or 0.0) + amount
+        with self._lock:
+            self.value = (self.value or 0.0) + amount
 
     def dec(self, amount: Number = 1) -> None:
         self.inc(-amount)
@@ -171,18 +181,20 @@ class MetricsRegistry:
 
     def __init__(self) -> None:
         self._metrics: Dict[str, object] = {}
+        self._lock = threading.Lock()
 
     def _get(self, name: str, cls):
-        metric = self._metrics.get(name)
-        if metric is None:
-            metric = cls(name)
-            self._metrics[name] = metric
-        elif not isinstance(metric, cls):
-            raise TypeError(
-                f"metric {name!r} already registered as "
-                f"{type(metric).__name__}, requested {cls.__name__}"
-            )
-        return metric
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = cls(name)
+                self._metrics[name] = metric
+            elif not isinstance(metric, cls):
+                raise TypeError(
+                    f"metric {name!r} already registered as "
+                    f"{type(metric).__name__}, requested {cls.__name__}"
+                )
+            return metric
 
     def counter(self, name: str) -> Counter:
         return self._get(name, Counter)

@@ -10,6 +10,9 @@ Three cooperating pieces, all opt-in and all bit-transparent when off:
   instances.
 - :mod:`repro.perf.fused` — single-tape-node spmm→bias→activation
   kernels with in-place accumulation.
+- :mod:`repro.perf.logitstore` — version-keyed memoization of
+  full-graph inference logits (the serving fast path's warm store),
+  LRU-bounded by entries *and* bytes.
 
 The benchmark harness lives in :mod:`repro.perf.bench`; it is *not*
 imported here so that importing ``repro.perf`` from model code never
@@ -28,6 +31,12 @@ from repro.perf.fused import (
     fused_gcn_layer,
     fused_spmm_bias_act,
 )
+from repro.perf.logitstore import (
+    LogitStore,
+    get_logit_store,
+    model_fingerprint,
+    operator_fingerprint,
+)
 from repro.perf.propcache import (
     PropagationCache,
     adjacency_power,
@@ -43,6 +52,10 @@ __all__ = [
     "fused_enabled",
     "propagation_cache_enabled",
     "PropagationCache",
+    "LogitStore",
+    "get_logit_store",
+    "model_fingerprint",
+    "operator_fingerprint",
     "get_cache",
     "propagated_features",
     "adjacency_power",

@@ -15,6 +15,12 @@ full :func:`repro.perf.perf_mode` fast path).  Results are written as
 ``BENCH_train.json`` and ``BENCH_infer.json``; ``docs/performance.md``
 explains how to read them.
 
+``python -m repro bench --serve`` runs the *serving* benchmark instead
+(:func:`run_serve_bench` → ``BENCH_serve.json``): cold vs warm
+``predict()`` latency through the version-keyed logit store, warm tail
+latencies under concurrent load, and coalesced (single-flight) vs
+stampede (every thread pays a forward) throughput.
+
 All timings come from the PR-1 observability instruments
 (:class:`repro.obs.metrics.Histogram` via a private registry), so the
 summaries carry the same count/mean/p50/p95 fields as the run logs.
@@ -36,6 +42,7 @@ from repro.perf.fused import fused_gcn_layer
 
 SCHEMA_TRAIN = "repro.bench.train/v1"
 SCHEMA_INFER = "repro.bench.infer/v1"
+SCHEMA_SERVE = "repro.bench.serve/v1"
 DEFAULT_MODELS = ("gcn", "sgc", "lasagne")
 
 #: perf-switch settings of the two benchmark modes.
@@ -293,6 +300,200 @@ def run_bench(
             path.write_text(json.dumps(doc, indent=2) + "\n")
             paths.append(str(path))
     return {"train": train_doc, "infer": infer_doc, "paths": paths}
+
+
+# ----------------------------------------------------------------------
+def run_serve_bench(
+    dataset: str = "synthetic",
+    model: str = "lasagne",
+    repeats: int = 200,
+    cold_rounds: int = 5,
+    concurrency: int = 8,
+    stampede_rounds: int = 3,
+    scale: Optional[float] = None,
+    seed: int = 0,
+    out_dir: str = ".",
+    write: bool = True,
+) -> dict:
+    """Benchmark the serving fast path; writes ``BENCH_serve.json``.
+
+    Three measurements, all at the engine level (no HTTP, so the numbers
+    isolate the fast path from socket noise):
+
+    - **cold vs warm latency** — a single-node ``predict()`` with the
+      logit store cleared (pays the full-graph forward) vs warm (a pure
+      row lookup);
+    - **warm tail latency under concurrency** — ``concurrency`` threads
+      hammering warm single-node predicts, per-request p50/p95/p99;
+    - **coalesced vs stampede throughput** — per round, ``concurrency``
+      threads released by a barrier into a *cold* store: single-flight
+      coalesces them onto one forward, while a ``fastpath=False`` engine
+      pays one forward per thread.
+    """
+    import threading
+
+    from repro.datasets import load_dataset
+    from repro.serve import InferenceEngine, PredictRequest
+    from repro.training import hyperparams_for
+
+    graph = load_dataset(dataset, scale=scale, seed=seed)
+    hp = hyperparams_for(dataset)
+    registry = MetricsRegistry()
+
+    def fresh_engine(fastpath: bool) -> InferenceEngine:
+        m = _build(model, graph, hp, seed).setup(graph)
+        return InferenceEngine(
+            m, graph, registry=registry, fastpath=fastpath
+        )
+
+    def request(node: int) -> PredictRequest:
+        return PredictRequest(nodes=np.asarray([node % graph.num_nodes]))
+
+    engine = fresh_engine(fastpath=True)
+
+    # -- cold vs warm single-node latency ------------------------------
+    cold_timer = registry.timer("serve_bench.cold")
+    for _ in range(cold_rounds):
+        engine.logit_store.clear()
+        with cold_timer:
+            engine.predict(request(0))
+    warm_timer = registry.timer("serve_bench.warm")
+    for _ in range(repeats):
+        with warm_timer:
+            engine.predict(request(0))
+
+    # -- warm tail latency under concurrent load -----------------------
+    concurrent_hist = registry.histogram("serve_bench.warm_concurrent")
+    per_thread = max(1, repeats // concurrency)
+    barrier = threading.Barrier(concurrency + 1)
+
+    def warm_worker() -> None:
+        barrier.wait()
+        for i in range(per_thread):
+            start = time.perf_counter()
+            engine.predict(request(i))
+            concurrent_hist.observe(time.perf_counter() - start)
+
+    threads = [
+        threading.Thread(target=warm_worker) for _ in range(concurrency)
+    ]
+    for t in threads:
+        t.start()
+    barrier.wait()
+    wall_start = time.perf_counter()
+    for t in threads:
+        t.join()
+    concurrent_wall = time.perf_counter() - wall_start
+
+    # -- coalesced vs stampede throughput ------------------------------
+    def storm(eng: InferenceEngine, rounds: int) -> float:
+        """Requests/s with all threads hitting a cold store each round."""
+        total = 0.0
+        completed = 0
+        for _ in range(rounds):
+            if eng.logit_store is not None:
+                eng.logit_store.clear()
+            gate = threading.Barrier(concurrency + 1)
+
+            def storm_worker(idx: int) -> None:
+                gate.wait()
+                eng.predict(request(idx))
+
+            workers = [
+                threading.Thread(target=storm_worker, args=(i,))
+                for i in range(concurrency)
+            ]
+            for w in workers:
+                w.start()
+            gate.wait()
+            start = time.perf_counter()
+            for w in workers:
+                w.join()
+            total += time.perf_counter() - start
+            completed += concurrency
+        return completed / total if total else 0.0
+
+    coalesced_rps = storm(engine, stampede_rounds)
+    stampede_rps = storm(fresh_engine(fastpath=False), stampede_rounds)
+
+    cold = _summary(cold_timer.histogram)
+    warm = _summary(warm_timer.histogram)
+    serve_doc = {
+        "schema": SCHEMA_SERVE,
+        "dataset": dataset,
+        "units": "seconds",
+        "settings": {
+            "model": model,
+            "repeats": repeats,
+            "cold_rounds": cold_rounds,
+            "concurrency": concurrency,
+            "stampede_rounds": stampede_rounds,
+            "scale": scale,
+            "seed": seed,
+            "num_nodes": graph.num_nodes,
+            "num_edges": int(graph.adj.nnz // 2),
+            "num_features": graph.num_features,
+        },
+        "latency": {
+            "cold": cold,
+            "warm": {
+                **warm, "p99_s": warm_timer.histogram.percentile(99)
+            },
+            "speedup": _speedup(cold["mean_s"], warm["mean_s"]),
+        },
+        "concurrent_warm": {
+            "requests": concurrent_hist.count,
+            "p50_s": concurrent_hist.percentile(50),
+            "p95_s": concurrent_hist.percentile(95),
+            "p99_s": concurrent_hist.percentile(99),
+            "throughput_rps": (
+                concurrent_hist.count / concurrent_wall
+                if concurrent_wall else 0.0
+            ),
+        },
+        "coalesce": {
+            "coalesced_rps": coalesced_rps,
+            "stampede_rps": stampede_rps,
+            "ratio": (
+                round(coalesced_rps / stampede_rps, 3)
+                if stampede_rps else None
+            ),
+        },
+        "fastpath": engine.info()["fastpath"],
+    }
+
+    paths = []
+    if write:
+        out = pathlib.Path(out_dir)
+        out.mkdir(parents=True, exist_ok=True)
+        path = out / "BENCH_serve.json"
+        path.write_text(json.dumps(serve_doc, indent=2) + "\n")
+        paths.append(str(path))
+    return {"serve": serve_doc, "paths": paths}
+
+
+def format_serve_report(result: dict) -> str:
+    """Human-readable summary of a :func:`run_serve_bench` result."""
+    doc = result["serve"]
+    lat, conc, coal = doc["latency"], doc["concurrent_warm"], doc["coalesce"]
+    return "\n".join([
+        f"serve bench: {doc['dataset']} "
+        f"(nodes={doc['settings']['num_nodes']}, "
+        f"model={doc['settings']['model']}, "
+        f"concurrency={doc['settings']['concurrency']})",
+        "",
+        f"cold predict   {1000 * lat['cold']['mean_s']:>10.3f} ms  "
+        f"(full-graph forward)",
+        f"warm predict   {1000 * lat['warm']['mean_s']:>10.3f} ms  "
+        f"(logit-store lookup)  -> {lat['speedup'] or 0:.0f}x",
+        f"warm p50/p95/p99 under load: "
+        f"{1000 * conc['p50_s']:.3f} / {1000 * conc['p95_s']:.3f} / "
+        f"{1000 * conc['p99_s']:.3f} ms "
+        f"({conc['throughput_rps']:.0f} req/s)",
+        f"cold-key storm: coalesced {coal['coalesced_rps']:.0f} req/s vs "
+        f"stampede {coal['stampede_rps']:.0f} req/s  "
+        f"-> {coal['ratio'] or 0:.2f}x",
+    ])
 
 
 def format_report(result: dict) -> str:

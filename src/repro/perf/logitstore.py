@@ -1,0 +1,223 @@
+"""Version-keyed memoization of full-graph inference outputs.
+
+Transductive inference is deterministic (dropout off, fixed weights,
+fixed graph), and a full-graph forward already computes logits for every
+node — so once one request has paid for the forward, every later request
+against the *same model version* is a pure row lookup.  This module
+provides the store that makes that safe:
+
+- :func:`model_fingerprint` digests a model's parameters, so a
+  checkpoint reload or in-place weight mutation produces a different
+  version and can never alias a stale entry;
+- :class:`LogitStore` maps a *version key* — ``(model fingerprint,
+  adjacency fingerprint, feature fingerprint, perf-mode settings)`` —
+  to the full ``(N, C)`` logit matrix, LRU-evicted under both an entry
+  count and a byte budget so a server that hot-swaps many versions
+  stays bounded in memory.
+
+Entries are stored read-only (callers receive the shared array and must
+not mutate it) and the store is thread-safe: the serving layer consults
+it from every request worker thread.
+
+The serving integration lives in :mod:`repro.serve.engine`; the
+single-flight and micro-batching companions in
+:mod:`repro.serve.fastpath`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+__all__ = [
+    "LogitStore",
+    "model_fingerprint",
+    "operator_fingerprint",
+    "get_logit_store",
+]
+
+
+def model_fingerprint(model) -> str:
+    """Content digest of a model's parameters (names, dtypes, bytes).
+
+    Two models agree iff every named parameter agrees bit-for-bit, which
+    is exactly the condition under which their eval-mode forwards agree
+    — the fingerprint is what keys memoized logits to a model *version*
+    rather than a model *object*.
+    """
+    digest = hashlib.sha1()
+    for name, param in sorted(model.named_parameters()):
+        data = np.ascontiguousarray(param.data)
+        digest.update(name.encode())
+        digest.update(str(data.dtype).encode())
+        digest.update(np.asarray(data.shape, dtype=np.int64).tobytes())
+        digest.update(data.tobytes())
+    return digest.hexdigest()
+
+
+def operator_fingerprint(operator) -> Optional[str]:
+    """Content digest of a message-passing operator, or None.
+
+    Handles the two operator shapes the models produce: a bare
+    :class:`~repro.tensor.sparse.SparseMatrix` (GCN/SGC-style ``Â``) and
+    wrapper objects that carry one as ``.adj`` plus an optional
+    ``.edges`` id array (Lasagne's :class:`LasagneOperator`).  Returns
+    ``None`` for anything else — an unfingerprintable operator makes a
+    request ineligible for memoization, never incorrect.
+    """
+    from repro.tensor.sparse import SparseMatrix
+
+    if isinstance(operator, SparseMatrix):
+        return operator.fingerprint
+    inner = getattr(operator, "adj", None)
+    if isinstance(inner, SparseMatrix):
+        digest = hashlib.sha1(inner.fingerprint.encode())
+        edges = getattr(operator, "edges", None)
+        if edges is not None:
+            edges = np.ascontiguousarray(edges)
+            digest.update(str(edges.dtype).encode())
+            digest.update(edges.tobytes())
+        return digest.hexdigest()
+    return None
+
+
+class LogitStore:
+    """LRU store of full-graph logit matrices, keyed by version.
+
+    Keys are tuples whose first element is the producing model's version
+    fingerprint (see :meth:`invalidate_version`); values are dense
+    ``(N, C)`` float arrays.  Eviction is LRU under two simultaneous
+    bounds — ``max_entries`` and ``max_bytes`` — and a single matrix
+    larger than the byte budget is refused outright rather than evicting
+    everything else to make room.
+    """
+
+    def __init__(self, max_entries: int = 8, max_bytes: int = 64 << 20) -> None:
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        if max_bytes < 1:
+            raise ValueError(f"max_bytes must be >= 1, got {max_bytes}")
+        self.max_entries = max_entries
+        self.max_bytes = max_bytes
+        self._entries: "OrderedDict[Tuple, np.ndarray]" = OrderedDict()
+        self._bytes = 0
+        self._lock = threading.RLock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.rejected = 0
+        self.invalidations = 0
+
+    # ------------------------------------------------------------------
+    def get(self, key: Tuple) -> Optional[np.ndarray]:
+        """The memoized logits for ``key`` (shared, read-only) or None."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return entry
+
+    def put(self, key: Tuple, logits: np.ndarray) -> np.ndarray:
+        """Store ``logits`` under ``key``; returns the shared entry.
+
+        The array is marked read-only in place (it came off a no-grad
+        forward and has no other owner).  Oversized matrices are counted
+        in ``rejected`` and returned unstored — the caller still has a
+        perfectly good result, it just won't be memoized.
+        """
+        size = int(logits.nbytes)
+        if size > self.max_bytes:
+            with self._lock:
+                self.rejected += 1
+            return logits
+        logits.setflags(write=False)
+        with self._lock:
+            old = self._entries.pop(key, None)
+            if old is not None:
+                self._bytes -= old.nbytes
+            self._entries[key] = logits
+            self._bytes += size
+            while self._entries and (
+                len(self._entries) > self.max_entries
+                or self._bytes > self.max_bytes
+            ):
+                _, evicted = self._entries.popitem(last=False)
+                self._bytes -= evicted.nbytes
+                self.evictions += 1
+            return logits
+
+    # ------------------------------------------------------------------
+    def invalidate_version(self, version: str) -> int:
+        """Drop every entry produced by model ``version``; returns count.
+
+        Called on checkpoint reload / model swap *before* the new
+        version starts serving, so a stale logit matrix can never be
+        returned for the swapped-out weights.
+        """
+        with self._lock:
+            stale = [k for k in self._entries if k and k[0] == version]
+            for key in stale:
+                self._bytes -= self._entries.pop(key).nbytes
+            self.invalidations += len(stale)
+            return len(stale)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self._bytes = 0
+            self.hits = 0
+            self.misses = 0
+            self.evictions = 0
+            self.rejected = 0
+            self.invalidations = 0
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    @property
+    def nbytes(self) -> int:
+        with self._lock:
+            return self._bytes
+
+    def info(self) -> Dict:
+        """JSON-friendly view for ``/metrics`` and bench output."""
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "max_entries": self.max_entries,
+                "bytes": self._bytes,
+                "max_bytes": self.max_bytes,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "rejected": self.rejected,
+                "invalidations": self.invalidations,
+            }
+
+    def __repr__(self) -> str:
+        return (
+            f"LogitStore(entries={len(self)}, bytes={self.nbytes}, "
+            f"hits={self.hits}, misses={self.misses})"
+        )
+
+
+_GLOBAL_STORE = LogitStore()
+
+
+def get_logit_store() -> LogitStore:
+    """A process-global store for deployments that share one across engines.
+
+    :class:`~repro.serve.InferenceEngine` defaults to a *private* store
+    per engine (version invalidation stays local to the engine that
+    swapped models); pass ``logit_store=get_logit_store()`` to share.
+    """
+    return _GLOBAL_STORE

@@ -11,11 +11,17 @@ with a deliberate status code, never a traceback.
 - :mod:`repro.serve.guard` — per-request deadlines, a failure-rate
   circuit breaker (closed → open → half-open), and bounded admission
   with load shedding;
-- :mod:`repro.serve.engine` — the degradation ladder: full deep forward
-  → cached shallow ``Â^k X`` fallback (``degraded: true``) → structured
-  503; startup checkpoint loading that skips corrupt archives;
+- :mod:`repro.serve.fastpath` — the serving fast path's concurrency
+  primitives: single-flight coalescing of cold-cache forwards and a
+  micro-batching admission queue (the version-keyed logit store itself
+  lives in :mod:`repro.perf.logitstore`);
+- :mod:`repro.serve.engine` — the fast path + degradation ladder:
+  memoized warm lookup → full deep forward → cached shallow ``Â^k X``
+  fallback (``degraded: true``) → structured 503; startup checkpoint
+  loading that skips corrupt archives; atomic hot model swap;
 - :mod:`repro.serve.server` — ``ThreadingHTTPServer`` with ``/predict``,
-  ``/healthz``, ``/readyz``, ``/metrics`` (the PR-1 metrics registry);
+  ``/reload``, ``/healthz``, ``/readyz``, ``/metrics`` (the PR-1
+  metrics registry);
 - :mod:`repro.serve.client` — a retrying client (exponential backoff +
   jitter, idempotent-only retries).
 
@@ -28,8 +34,10 @@ from repro.serve.engine import (
     InferenceEngine,
     ShallowFallback,
     engine_from_checkpoint_dir,
+    load_checkpoint_model,
     model_from_cli_meta,
 )
+from repro.serve.fastpath import BatchClosed, MicroBatcher, SingleFlight
 from repro.serve.errors import (
     CircuitOpenError,
     DeadlineExceeded,
@@ -54,7 +62,11 @@ __all__ = [
     "InferenceEngine",
     "ShallowFallback",
     "engine_from_checkpoint_dir",
+    "load_checkpoint_model",
     "model_from_cli_meta",
+    "SingleFlight",
+    "MicroBatcher",
+    "BatchClosed",
     "CircuitBreaker",
     "Deadline",
     "LoadShedder",

@@ -147,6 +147,14 @@ class ServeClient:
             payload["return_probabilities"] = True
         return self._checked("POST", "/predict", payload, idempotent=idempotent)
 
+    def reload(self) -> dict:
+        """POST ``/reload``: hot-swap the newest valid checkpoint.
+
+        Idempotent by construction — reloading twice lands on the same
+        newest checkpoint — so transport failures are retried like GETs.
+        """
+        return self._checked("POST", "/reload")
+
     def health(self) -> dict:
         return self._checked("GET", "/healthz")
 

@@ -1,12 +1,27 @@
-"""Inference engine: full model path, shallow fallback, degradation ladder.
+"""Inference engine: fast path, full model path, shallow fallback, ladder.
 
 The engine owns one trained model attached to one graph and answers
-validated :class:`~repro.serve.validate.PredictRequest`s through a
-three-rung ladder:
+validated :class:`~repro.serve.validate.PredictRequest`s.  Requests flow
+through a memoizing *fast path* and then a three-rung degradation
+ladder:
 
-1. **Full path** — the deep model's forward (Lasagne, GCN, ...) guarded
-   by the circuit breaker and the request deadline.  Non-finite logits,
-   exceptions, and blown deadlines all count as full-path *failures*.
+0. **Warm fast path** — transductive inference is deterministic and a
+   full-graph forward computes logits for *all* N nodes, so the engine
+   memoizes that matrix in a version-keyed
+   :class:`~repro.perf.LogitStore` (key: model-parameter fingerprint +
+   adjacency fingerprint + feature fingerprint + perf-mode settings).
+   A warm request is answered by a pure row lookup — O(requested ids),
+   no forward, no breaker/latency accounting (``"cached": true``).
+1. **Full path** — on a cold key, the deep model's forward guarded by
+   the circuit breaker and the request deadline.  Concurrent cold
+   requests for the same key are *single-flighted*: one leader executes
+   the forward, followers share its result (``"coalesced": true``)
+   instead of stampeding N threads into N identical forwards.  With the
+   store disabled, an optional micro-batching admission queue coalesces
+   concurrent node-id sets into one evaluation per bounded window.
+   Non-finite logits, exceptions, and blown deadlines all count as
+   full-path *failures* — recorded on the breaker exactly once per
+   executed forward, never per coalesced consumer.
 2. **Degraded path** — when the full path fails, the breaker is open,
    or the latency estimate says the deadline cannot be met, the request
    is answered from the :class:`ShallowFallback`: an SGC-style linear
@@ -14,11 +29,19 @@ three-rung ladder:
    (:mod:`repro.perf.propcache`).  Lasagne's decoupled view of deep
    GCNs is what makes this principled — a shallow precomputed
    propagation still produces correctly-shaped, usefully-ranked logits
-   at a fraction of the cost.  Responses carry ``degraded: true`` plus
-   the reason.
+   at a fraction of the cost.  The fallback's own closed-form logits
+   are memoized under its version key too, so warm degraded responses
+   are also O(lookup).  Responses carry ``degraded: true`` plus the
+   reason.
 3. **Structured refusal** — with no fallback available the request
    fails with a 503-mapped :class:`~repro.serve.errors.ServeError`
    (never a traceback).
+
+:meth:`InferenceEngine.swap_model` hot-swaps a new checkpoint
+atomically: the old version's memoized logits are invalidated *before*
+the new weights are published, and the active ``(model, version)`` pair
+is a single tuple read, so a stale cached logit can never be served
+after a reload.
 
 Startup loads models via the PR-2 :class:`CheckpointManager` —
 :func:`engine_from_checkpoint_dir` walks checkpoints newest-first and
@@ -29,15 +52,23 @@ newest *valid* state.
 from __future__ import annotations
 
 import pathlib
+import threading
 import time
-from typing import Callable, Optional, Union
+from typing import Callable, Optional, Tuple, Union
 
 import numpy as np
 
 from repro.graphs.graph import Graph
 from repro.graphs.normalize import gcn_norm
 from repro.obs import MetricsRegistry, get_logger, get_registry
+from repro.perf import config as perf_config
 from repro.perf import propcache
+from repro.perf.logitstore import (
+    LogitStore,
+    model_fingerprint,
+    operator_fingerprint,
+)
+from repro.perf.propcache import array_fingerprint
 from repro.resilience.checkpoint import CheckpointManager, arrays_to_state
 from repro.serve.errors import (
     CircuitOpenError,
@@ -46,6 +77,7 @@ from repro.serve.errors import (
     ModelUnavailable,
     ServeError,
 )
+from repro.serve.fastpath import MicroBatcher, SingleFlight
 from repro.serve.guard import CircuitBreaker, Deadline
 from repro.serve.validate import PredictRequest
 from repro.tensor import no_grad
@@ -71,6 +103,11 @@ class ShallowFallback:
     closed form as a ridge regression onto one-hot training labels — no
     training loop, a few milliseconds at startup, and every degraded
     response afterwards is one small matmul over precomputed rows.
+
+    :attr:`version` fingerprints the fitted head (weights, bias, the
+    adjacency, and ``k_hops``), which lets the serving fast path memoize
+    :meth:`full_logits` in the same version-keyed store as the deep
+    model — warm degraded responses become pure row lookups.
     """
 
     def __init__(
@@ -100,6 +137,25 @@ class ShallowFallback:
         solution = np.linalg.solve(gram, design.T @ onehot)
         self.weight = solution[:-1]
         self.bias = solution[-1]
+        self._version: Optional[str] = None
+
+    @property
+    def version(self) -> str:
+        """Content fingerprint of the fitted head (see class docstring)."""
+        if self._version is None:
+            import hashlib
+
+            digest = hashlib.sha1()
+            digest.update(self.adj.fingerprint.encode())
+            digest.update(str(self.k_hops).encode())
+            digest.update(np.ascontiguousarray(self.weight).tobytes())
+            digest.update(np.ascontiguousarray(self.bias).tobytes())
+            self._version = "fallback:" + digest.hexdigest()
+        return self._version
+
+    def full_logits(self) -> np.ndarray:
+        """Degraded logits for *every* node (one matmul, memoizable)."""
+        return self._propagated @ self.weight + self.bias
 
     def logits(
         self,
@@ -120,8 +176,32 @@ class ShallowFallback:
         return rows @ self.weight + self.bias
 
 
+def _mark_recorded(exc: BaseException) -> BaseException:
+    """Tag an exception whose breaker outcome is already recorded."""
+    exc._breaker_recorded = True  # type: ignore[attr-defined]
+    return exc
+
+
 class InferenceEngine:
-    """One model + one graph + the degradation ladder."""
+    """One model + one graph + the fast path + the degradation ladder.
+
+    Fast-path knobs
+    ---------------
+    fastpath:
+        Enable the version-keyed logit store and single-flight
+        coalescing (the production default for ``python -m repro
+        serve``; disable to force every request through a forward).
+    logit_store:
+        The store to memoize into; a private bounded
+        :class:`~repro.perf.LogitStore` by default.  Pass
+        :func:`repro.perf.get_logit_store` to share across engines.
+    batch_window_ms, max_batch:
+        When ``batch_window_ms > 0``, requests on the non-memoized
+        evaluation paths (the degraded fallback, and the full path when
+        ``fastpath`` is off) are held up to this window and coalesced —
+        the union of queued node-id sets is evaluated once.  A batch
+        flushes early once ``max_batch`` node ids are queued.
+    """
 
     def __init__(
         self,
@@ -134,6 +214,10 @@ class InferenceEngine:
         latency_ema_alpha: float = 0.3,
         preempt_margin: float = 1.0,
         clock: Callable[[], float] = time.perf_counter,
+        fastpath: bool = True,
+        logit_store: Optional[LogitStore] = None,
+        batch_window_ms: float = 0.0,
+        max_batch: int = 256,
     ) -> None:
         self.model = model
         self.graph = graph
@@ -147,10 +231,96 @@ class InferenceEngine:
         self._clock = clock
         self._latency_ema: Optional[float] = None
 
+        # -- fast path -------------------------------------------------
+        self.fastpath = fastpath
+        if logit_store is not None:
+            self.logit_store: Optional[LogitStore] = logit_store
+        else:
+            self.logit_store = LogitStore() if fastpath else None
+        self._singleflight = SingleFlight()
+        self._feat_fp = array_fingerprint(graph.features)
+        self._swap_lock = threading.RLock()
+        # (model, parameter fingerprint, adjacency fingerprint) published
+        # as ONE tuple: predict() snapshots it once, so a concurrent
+        # swap_model can never pair old weights with a new version key.
+        self._active: Tuple = (model, model_fingerprint(model),
+                               self._adj_fingerprint(model))
+        self.batch_window_ms = batch_window_ms
+        self.max_batch = max_batch
+        window_s = batch_window_ms / 1000.0
+        self._full_batcher: Optional[MicroBatcher] = (
+            MicroBatcher(self._evaluate_full_union, window_s=window_s,
+                         max_batch=max_batch, clock=clock)
+            if batch_window_ms > 0 else None
+        )
+        self._fallback_batcher: Optional[MicroBatcher] = (
+            MicroBatcher(self._evaluate_fallback_union, window_s=window_s,
+                         max_batch=max_batch, clock=clock)
+            if batch_window_ms > 0 and fallback is not None else None
+        )
+
+    # -- versioning ----------------------------------------------------
+    @staticmethod
+    def _adj_fingerprint(model) -> Optional[str]:
+        return operator_fingerprint(getattr(model, "_norm_adj", None))
+
+    @property
+    def model_version(self) -> str:
+        """Parameter fingerprint of the currently-published model."""
+        return self._active[1]
+
+    def _store_key(self, request: PredictRequest) -> Optional[Tuple]:
+        """The logit-store key for this request, or None if ineligible.
+
+        Feature overrides perturb the forward per-request, a non-sparse
+        operator has no content fingerprint, and a disabled fast path
+        memoizes nothing — all ineligible.  The perf-mode switches are
+        part of the key because they change the computed bits.
+        """
+        if (
+            not self.fastpath
+            or self.logit_store is None
+            or request.features is not None
+        ):
+            return None
+        _, version, adj_fp = self._active
+        if adj_fp is None:
+            return None
+        perf = perf_config.settings()
+        return (
+            version, adj_fp, self._feat_fp,
+            perf["dtype"], perf["fused"], perf["propagation_cache"],
+        )
+
+    def swap_model(self, model) -> str:
+        """Atomically publish new weights; invalidates memoized logits.
+
+        The swapped-out version's store entries are dropped *before* the
+        new ``(model, version)`` pair becomes visible, and version keys
+        contain the parameter fingerprint — so a request can never be
+        answered with logits computed by the old weights once the swap
+        returns.  Returns the new version fingerprint.
+        """
+        with self._swap_lock:
+            model.setup(self.graph)
+            new_version = model_fingerprint(model)
+            _, old_version, _ = self._active
+            if self.logit_store is not None:
+                self.logit_store.invalidate_version(old_version)
+            self.model = model
+            self._active = (model, new_version, self._adj_fingerprint(model))
+            # The new model's forward cost is unknown; restart the EMA.
+            self._latency_ema = None
+            self.registry.counter("serve.reload").inc()
+            _LOG.info(
+                "model swapped: %s -> %s", old_version[:12], new_version[:12]
+            )
+            return new_version
+
     # -- full path -----------------------------------------------------
-    def _full_logits(self, request: PredictRequest) -> np.ndarray:
+    def _full_logits(self, request: PredictRequest, model=None) -> np.ndarray:
         """Full-graph logits from the deep model (eval mode, no tape)."""
-        model = self.model
+        model = self.model if model is None else model
         if request.features is None:
             x = model._features
         else:
@@ -201,11 +371,151 @@ class InferenceEngine:
             )
         return selected
 
+    def _coalesced_full(
+        self,
+        request: PredictRequest,
+        deadline: Optional[Deadline],
+        key: Tuple,
+        model,
+    ) -> Tuple[np.ndarray, bool]:
+        """Single-flighted cold-cache forward; returns (rows, coalesced).
+
+        The flight leader executes the forward, records the one breaker
+        outcome, updates the latency EMA and stores the full matrix;
+        followers share the stored matrix (or the leader's exception,
+        already breaker-recorded).
+        """
+
+        def compute() -> np.ndarray:
+            try:
+                start = self._clock()
+                logits = self._full_logits(request, model=model)
+                elapsed = self._clock() - start
+                self._update_latency(elapsed)
+                if not np.isfinite(logits).all():
+                    raise ModelFault("full model produced non-finite logits")
+                if deadline is not None and deadline.expired:
+                    raise DeadlineExceeded(
+                        f"full forward took {1000 * elapsed:.1f} ms, over "
+                        f"the {1000 * deadline.budget_s:.0f} ms budget"
+                    )
+                stored = self.logit_store.put(key, logits)
+                self.breaker.record_success()
+                return stored
+            except Exception as exc:
+                self.breaker.record_failure()
+                raise _mark_recorded(exc)
+
+        timeout = deadline.clamp() if deadline is not None else None
+        try:
+            logits, leader, waiters = self._singleflight.run(
+                key, compute, timeout_s=timeout
+            )
+        except TimeoutError as exc:
+            raise _mark_recorded(DeadlineExceeded(str(exc))) from None
+        if leader:
+            if waiters:
+                self.registry.counter(
+                    "serve.fastpath.coalesced_waiters"
+                ).inc(waiters)
+        elif deadline is not None and deadline.expired:
+            raise _mark_recorded(DeadlineExceeded(
+                "deadline expired while waiting on a coalesced forward"
+            ))
+        return logits[request.nodes], not leader
+
+    def _evaluate_full_union(self, union: np.ndarray) -> np.ndarray:
+        """Micro-batch evaluator: one full forward for a union of ids."""
+        self.registry.histogram("serve.fastpath.batch_size").observe(
+            len(union)
+        )
+        try:
+            start = self._clock()
+            logits = self._full_logits(PredictRequest(nodes=union))
+            elapsed = self._clock() - start
+            self._update_latency(elapsed)
+            selected = logits[union]
+            if not np.isfinite(selected).all():
+                raise ModelFault("full model produced non-finite logits")
+            self.breaker.record_success()
+            return selected
+        except Exception as exc:
+            self.breaker.record_failure()
+            raise _mark_recorded(exc)
+
+    def _batched_full(
+        self, request: PredictRequest, deadline: Optional[Deadline]
+    ) -> np.ndarray:
+        timeout = deadline.clamp() if deadline is not None else None
+        try:
+            rows = self._full_batcher.submit(request.nodes, timeout_s=timeout)
+        except TimeoutError as exc:
+            raise _mark_recorded(DeadlineExceeded(str(exc))) from None
+        if deadline is not None and deadline.expired:
+            raise _mark_recorded(DeadlineExceeded(
+                "deadline expired while waiting on a micro-batch"
+            ))
+        return rows
+
+    # -- degraded path -------------------------------------------------
+    def _evaluate_fallback_union(self, union: np.ndarray) -> np.ndarray:
+        self.registry.histogram("serve.fastpath.batch_size").observe(
+            len(union)
+        )
+        return self.fallback.logits(union)
+
+    def _degraded_logits(
+        self, request: PredictRequest, deadline: Optional[Deadline]
+    ) -> Tuple[np.ndarray, bool]:
+        """Fallback rows for the request; returns (rows, from_cache)."""
+        fallback = self.fallback
+        if request.features is not None:
+            return fallback.logits(request.nodes, request.features), False
+        if self.fastpath and self.logit_store is not None:
+            fkey = (fallback.version,)
+            cached = self.logit_store.get(fkey)
+            if cached is not None:
+                self.registry.counter("serve.fastpath.hits").inc()
+                return cached[request.nodes], True
+            self.registry.counter("serve.fastpath.misses").inc()
+            timeout = deadline.clamp() if deadline is not None else None
+            full, leader, waiters = self._singleflight.run(
+                fkey,
+                lambda: self.logit_store.put(fkey, fallback.full_logits()),
+                timeout_s=timeout,
+            )
+            if leader and waiters:
+                self.registry.counter(
+                    "serve.fastpath.coalesced_waiters"
+                ).inc(waiters)
+            return full[request.nodes], False
+        if self._fallback_batcher is not None:
+            timeout = deadline.clamp() if deadline is not None else None
+            return (
+                self._fallback_batcher.submit(request.nodes, timeout_s=timeout),
+                False,
+            )
+        return fallback.logits(request.nodes), False
+
     # -- the ladder ----------------------------------------------------
     def predict(
         self, request: PredictRequest, deadline: Optional[Deadline] = None
     ) -> dict:
-        """Answer a validated request via the degradation ladder."""
+        """Answer a validated request via the fast path + ladder."""
+        fast_key = self._store_key(request)
+        if fast_key is not None:
+            cached = self.logit_store.get(fast_key)
+            if cached is not None:
+                # Warm hit: no forward, no breaker or latency-EMA
+                # accounting — a lookup can't say anything about the
+                # model's health or its full-forward cost.
+                self.registry.counter("serve.fastpath.hits").inc()
+                return self._result(
+                    request, cached[request.nodes], degraded=False,
+                    cached=True,
+                )
+            self.registry.counter("serve.fastpath.misses").inc()
+
         reason: Optional[str] = None
         if not self.breaker.allow():
             reason = "breaker_open"
@@ -222,12 +532,27 @@ class InferenceEngine:
 
         if reason is None:
             try:
-                selected = self._attempt_full(request, deadline)
-                self.breaker.record_success()
+                coalesced = False
+                if fast_key is not None:
+                    model = self._active[0]
+                    selected, coalesced = self._coalesced_full(
+                        request, deadline, fast_key, model
+                    )
+                elif (
+                    self._full_batcher is not None
+                    and request.features is None
+                ):
+                    selected = self._batched_full(request, deadline)
+                else:
+                    selected = self._attempt_full(request, deadline)
+                    self.breaker.record_success()
                 self.registry.counter("serve.predict.full").inc()
-                return self._result(request, selected, degraded=False)
+                return self._result(
+                    request, selected, degraded=False, coalesced=coalesced
+                )
             except Exception as exc:  # any full-path failure degrades
-                self.breaker.record_failure()
+                if not getattr(exc, "_breaker_recorded", False):
+                    self.breaker.record_failure()
                 self.registry.counter("serve.predict.failures").inc()
                 reason = exc.code if isinstance(exc, ServeError) else "model_fault"
                 _LOG.warning("full path failed (%s): %s", reason, exc)
@@ -245,13 +570,15 @@ class InferenceEngine:
                 detail={"reason": reason},
             )
         try:
-            selected = self.fallback.logits(request.nodes, request.features)
+            selected, from_cache = self._degraded_logits(request, deadline)
         except Exception as exc:
             raise ModelUnavailable(
                 f"degraded fallback failed: {exc}", detail={"reason": reason}
             ) from exc
         self.registry.counter("serve.predict.degraded").inc()
-        return self._result(request, selected, degraded=True, reason=reason)
+        return self._result(
+            request, selected, degraded=True, reason=reason, cached=from_cache
+        )
 
     def _result(
         self,
@@ -259,13 +586,18 @@ class InferenceEngine:
         logits: np.ndarray,
         degraded: bool,
         reason: Optional[str] = None,
+        cached: bool = False,
+        coalesced: bool = False,
     ) -> dict:
         result = {
             "nodes": request.nodes.tolist(),
             "classes": np.argmax(logits, axis=1).astype(int).tolist(),
             "degraded": degraded,
+            "cached": cached,
             "model": "fallback-sgc" if degraded else type(self.model).__name__.lower(),
         }
+        if coalesced:
+            result["coalesced"] = True
         if reason is not None:
             result["reason"] = reason
         if request.return_probabilities:
@@ -274,6 +606,15 @@ class InferenceEngine:
 
     def info(self) -> dict:
         """Status view used by ``/readyz`` and ``/metrics``."""
+        fastpath: dict = {
+            "enabled": self.fastpath,
+            "model_version": self.model_version[:12],
+            "singleflight": self._singleflight.info(),
+        }
+        if self.logit_store is not None:
+            fastpath["store"] = self.logit_store.info()
+        if self._full_batcher is not None:
+            fastpath["batching"] = self._full_batcher.info()
         return {
             "model": type(self.model).__name__,
             "graph": self.graph.name,
@@ -282,6 +623,7 @@ class InferenceEngine:
             "fallback": self.fallback is not None,
             "latency_ema_s": self._latency_ema,
             "breaker": self.breaker.snapshot(),
+            "fastpath": fastpath,
         }
 
 
@@ -298,9 +640,8 @@ def model_from_cli_meta(cli: dict, graph: Graph):
     """
     from repro.core import Lasagne
     from repro.models import build_model, model_names
-    from repro.training import hyperparams_for
 
-    hp = hyperparams_for(cli["dataset"])
+    hp = hyperparams_for_cli(cli)
     name = cli.get("model", "lasagne")
     if name == "lasagne":
         return Lasagne(
@@ -317,6 +658,53 @@ def model_from_cli_meta(cli: dict, graph: Graph):
             dropout=hp.dropout, seed=cli.get("seed", 0),
         )
     raise ModelUnavailable(f"checkpoint names unknown model {name!r}")
+
+
+def hyperparams_for_cli(cli: dict):
+    from repro.training import hyperparams_for
+
+    return hyperparams_for(cli["dataset"])
+
+
+def load_checkpoint_model(
+    manager: CheckpointManager, graph: Optional[Graph] = None
+):
+    """``(model, graph, ckpt)`` from the newest valid checkpoint, or None.
+
+    Shared by cold startup (:func:`engine_from_checkpoint_dir`) and hot
+    reload (:meth:`repro.serve.ModelServer.reload_checkpoint`): walks
+    checkpoints newest-first, skips corrupt archives, rebuilds the model
+    from the embedded CLI metadata and restores the best (or last)
+    parameters.
+    """
+    ckpt = manager.load_latest()
+    if ckpt is None:
+        _LOG.warning("no usable checkpoint under %s", manager.directory)
+        return None
+    cli = ckpt.meta.get("extra", {}).get("metadata", {}).get("cli")
+    if graph is None:
+        if not cli:
+            _LOG.warning(
+                "checkpoint %s carries no CLI metadata and no graph was "
+                "supplied", ckpt.path,
+            )
+            return None
+        from repro.datasets import load_dataset
+
+        graph = load_dataset(
+            cli["dataset"], scale=cli.get("scale"), seed=cli.get("seed", 0)
+        )
+    if not cli:
+        raise ModelUnavailable(
+            f"checkpoint {ckpt.path} carries no CLI metadata; build the "
+            "model explicitly and use InferenceEngine(...) directly"
+        )
+    model = model_from_cli_meta(cli, graph)
+    model.setup(graph)
+    state = arrays_to_state(ckpt.arrays, ckpt.meta)
+    params = state["best_state"] or state["model"]
+    model.load_state_dict(params)
+    return model, graph, ckpt
 
 
 def engine_from_checkpoint_dir(
@@ -336,41 +724,19 @@ def engine_from_checkpoint_dir(
     Returns ``None`` when nothing usable exists — callers decide whether
     that means "refuse to start" (CLI) or "start unready" (tests).
 
-    ``fallback_k=None`` disables the degraded path.
+    ``fallback_k=None`` disables the degraded path.  Fast-path knobs
+    (``fastpath``, ``batch_window_ms``, ``max_batch``, ``logit_store``)
+    pass through to :class:`InferenceEngine`.
     """
     manager = (
         directory
         if isinstance(directory, CheckpointManager)
         else CheckpointManager(directory)
     )
-    ckpt = manager.load_latest()
-    if ckpt is None:
-        _LOG.warning("no usable checkpoint under %s", manager.directory)
+    loaded = load_checkpoint_model(manager, graph)
+    if loaded is None:
         return None
-    cli = ckpt.meta.get("extra", {}).get("metadata", {}).get("cli")
-    if graph is None:
-        if not cli:
-            _LOG.warning(
-                "checkpoint %s carries no CLI metadata and no graph was "
-                "supplied", ckpt.path,
-            )
-            return None
-        from repro.datasets import load_dataset
-
-        graph = load_dataset(
-            cli["dataset"], scale=cli.get("scale"), seed=cli.get("seed", 0)
-        )
-    if cli:
-        model = model_from_cli_meta(cli, graph)
-    else:
-        raise ModelUnavailable(
-            f"checkpoint {ckpt.path} carries no CLI metadata; build the "
-            "model explicitly and use InferenceEngine(...) directly"
-        )
-    model.setup(graph)
-    state = arrays_to_state(ckpt.arrays, ckpt.meta)
-    params = state["best_state"] or state["model"]
-    model.load_state_dict(params)
+    model, graph, ckpt = loaded
     _LOG.info(
         "serving %s from checkpoint %s (epoch %d)",
         type(model).__name__, ckpt.path.name, ckpt.step,

@@ -1,0 +1,248 @@
+"""Concurrency primitives of the serving fast path.
+
+Two complementary coalescing mechanisms:
+
+- :class:`SingleFlight` — when N threads race on the *same* cold cache
+  key, exactly one (the leader) executes the expensive computation and
+  the other N-1 block on a condition variable and share the leader's
+  result (or its exception).  This is the anti-stampede guard in front
+  of the :class:`~repro.perf.LogitStore`: without it a cold model
+  version under concurrent load pays N identical full-graph forwards.
+- :class:`MicroBatcher` — an admission queue that holds requests for a
+  bounded window (``window_s``) or until ``max_batch`` node ids are
+  pending, then evaluates the *union* of the queued node-id sets once
+  and hands each waiter its own rows.  Used for the degraded/fallback
+  path and for the full path when memoization is switched off — the
+  cases where requests ask for different rows of the same computation.
+
+Both take an injectable ``clock`` so tests drive window expiry and
+timeouts deterministically instead of sleeping.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["SingleFlight", "MicroBatcher", "BatchClosed"]
+
+
+class _Flight:
+    """One in-flight computation shared by a leader and its waiters."""
+
+    __slots__ = ("event", "value", "error", "waiters")
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+        self.value = None
+        self.error: Optional[BaseException] = None
+        self.waiters = 0
+
+
+class SingleFlight:
+    """Per-key request coalescing: one execution, many consumers."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._flights: Dict[object, _Flight] = {}
+        self.executed = 0
+        self.coalesced = 0
+
+    def run(
+        self,
+        key,
+        fn: Callable[[], object],
+        timeout_s: Optional[float] = None,
+    ) -> Tuple[object, bool, int]:
+        """``(result, leader, waiters)`` — run ``fn`` once per key at a time.
+
+        The leader (the first caller for a currently-idle ``key``)
+        executes ``fn``; concurrent callers with the same key wait up to
+        ``timeout_s`` and receive the same result.  If ``fn`` raises,
+        every caller of that flight sees the same exception.  A timed-out
+        waiter raises :class:`TimeoutError` without disturbing the
+        flight.  ``waiters`` reports how many followers shared a
+        leader's flight (0 for followers themselves).
+        """
+        with self._lock:
+            flight = self._flights.get(key)
+            leader = flight is None
+            if leader:
+                flight = _Flight()
+                self._flights[key] = flight
+            else:
+                flight.waiters += 1
+                self.coalesced += 1
+        if not leader:
+            if not flight.event.wait(timeout_s):
+                raise TimeoutError(
+                    f"single-flight wait for {key!r} exceeded {timeout_s}s"
+                )
+            if flight.error is not None:
+                raise flight.error
+            return flight.value, False, 0
+        try:
+            flight.value = fn()
+        except BaseException as exc:
+            flight.error = exc
+            raise
+        finally:
+            self.executed += 1
+            with self._lock:
+                del self._flights[key]
+            flight.event.set()
+        return flight.value, True, flight.waiters
+
+    def info(self) -> dict:
+        with self._lock:
+            return {
+                "inflight": len(self._flights),
+                "executed": self.executed,
+                "coalesced": self.coalesced,
+            }
+
+
+class BatchClosed(RuntimeError):
+    """Raised by :meth:`MicroBatcher.submit` after :meth:`MicroBatcher.close`."""
+
+
+class _Batch:
+    """One admission window's worth of queued node-id sets."""
+
+    __slots__ = ("requests", "size", "opened_at", "sealed", "ready",
+                 "rows", "union", "error")
+
+    def __init__(self, opened_at: float) -> None:
+        self.requests: List[np.ndarray] = []
+        self.size = 0
+        self.opened_at = opened_at
+        self.sealed = False    # no more joiners; leader is evaluating
+        self.ready = threading.Event()
+        self.rows: Optional[np.ndarray] = None
+        self.union: Optional[np.ndarray] = None
+        self.error: Optional[BaseException] = None
+
+
+class MicroBatcher:
+    """Bounded-window admission queue coalescing node-id sets.
+
+    Parameters
+    ----------
+    evaluate:
+        ``evaluate(union_ids) -> rows`` where ``union_ids`` is a sorted
+        unique int64 vector and ``rows`` aligns with it row-for-row.
+        Called exactly once per flushed batch, by the batch leader.
+    window_s:
+        How long the first request of a batch waits for joiners.  0
+        degenerates to per-request evaluation (no artificial latency).
+    max_batch:
+        Ceiling on queued node ids; reaching it flushes immediately.
+    clock:
+        Injectable monotonic clock (tests pass a fake to drive window
+        expiry without sleeping).
+    """
+
+    def __init__(
+        self,
+        evaluate: Callable[[np.ndarray], np.ndarray],
+        window_s: float = 0.0,
+        max_batch: int = 256,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if window_s < 0:
+            raise ValueError(f"window_s must be >= 0, got {window_s}")
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        self.evaluate = evaluate
+        self.window_s = window_s
+        self.max_batch = max_batch
+        self._clock = clock
+        self._cond = threading.Condition()
+        self._batch: Optional[_Batch] = None
+        self._closed = False
+        self.flushes = 0
+        self.batch_sizes: deque = deque(maxlen=1024)
+
+    # ------------------------------------------------------------------
+    def submit(
+        self, nodes: np.ndarray, timeout_s: Optional[float] = None
+    ) -> np.ndarray:
+        """Queue ``nodes`` and return their evaluated rows (aligned).
+
+        The first thread into an open batch becomes the leader: it waits
+        out the window (or until ``max_batch`` ids are queued), seals the
+        batch, evaluates the union once, and publishes rows.  Followers
+        block until the batch is ready, at most ``timeout_s``.
+        """
+        nodes = np.asarray(nodes, dtype=np.int64)
+        with self._cond:
+            if self._closed:
+                raise BatchClosed("micro-batcher is closed")
+            batch = self._batch
+            leader = batch is None or batch.sealed
+            if leader:
+                batch = _Batch(opened_at=self._clock())
+                self._batch = batch
+            batch.requests.append(nodes)
+            batch.size += len(nodes)
+            if batch.size >= self.max_batch:
+                self._cond.notify_all()  # wake the leader to flush early
+            if leader:
+                flush_at = batch.opened_at + self.window_s
+                while batch.size < self.max_batch and not self._closed:
+                    remaining = flush_at - self._clock()
+                    if remaining <= 0:
+                        break
+                    self._cond.wait(timeout=remaining)
+                batch.sealed = True
+                if self._batch is batch:
+                    self._batch = None
+                requests = list(batch.requests)
+        if not leader:
+            if not batch.ready.wait(timeout_s):
+                raise TimeoutError(
+                    f"micro-batch wait exceeded {timeout_s}s"
+                )
+            if batch.error is not None:
+                raise batch.error
+            return self._extract(batch, nodes)
+        try:
+            batch.union = np.unique(np.concatenate(requests))
+            batch.rows = self.evaluate(batch.union)
+        except BaseException as exc:
+            batch.error = exc
+            raise
+        finally:
+            self.flushes += 1
+            self.batch_sizes.append(batch.size)
+            batch.ready.set()
+        return self._extract(batch, nodes)
+
+    @staticmethod
+    def _extract(batch: _Batch, nodes: np.ndarray) -> np.ndarray:
+        positions = np.searchsorted(batch.union, nodes)
+        return batch.rows[positions]
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Refuse new submissions (pending leaders flush immediately)."""
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+
+    def info(self) -> dict:
+        with self._cond:
+            sizes = list(self.batch_sizes)
+            return {
+                "window_ms": 1000 * self.window_s,
+                "max_batch": self.max_batch,
+                "flushes": self.flushes,
+                "mean_batch_size": (
+                    float(np.mean(sizes)) if sizes else 0.0
+                ),
+                "max_batch_size": max(sizes) if sizes else 0,
+            }

@@ -5,13 +5,17 @@ Three mechanisms, each independently testable and all thread-safe:
 - :class:`Deadline` — a per-request wall-clock budget.  The engine
   checks it before committing to the expensive full forward (using its
   latency estimate) and after the forward returns; a blown deadline is
-  a *failure* of the full path and triggers degradation.
+  a *failure* of the full path and triggers degradation.  The fast
+  path's coalesced waits (single-flight followers, micro-batch joiners)
+  are bounded by :meth:`Deadline.clamp`.
 - :class:`CircuitBreaker` — the classic closed → open → half-open state
   machine over a sliding window of full-path outcomes.  When the recent
   failure rate crosses the threshold the breaker opens and the full
   model is skipped entirely for ``cooldown_s``; afterwards a bounded
   number of half-open probe requests test recovery, and enough probe
-  successes close the breaker again.
+  successes close the breaker again.  Outcomes are recorded once per
+  *executed* forward: a memoized fast-path hit or a coalesced consumer
+  of someone else's forward never touches the breaker's accounting.
 - :class:`LoadShedder` — bounded admission: at most ``max_inflight``
   requests execute concurrently; the rest are shed immediately with a
   429 instead of queueing without bound (``ThreadingHTTPServer`` spawns
@@ -57,6 +61,16 @@ class Deadline:
     def remaining(self) -> float:
         """Seconds left; negative once the deadline has passed."""
         return self.budget_s - self.elapsed()
+
+    def clamp(self, limit: Optional[float] = None) -> float:
+        """Remaining budget floored at 0, optionally capped at ``limit``.
+
+        The safe value to hand to ``Event.wait``-style timeouts: an
+        already-expired deadline waits 0 seconds instead of a negative
+        (or worse, ``None`` = forever) timeout.
+        """
+        rem = max(0.0, self.remaining())
+        return rem if limit is None else min(rem, limit)
 
     @property
     def expired(self) -> bool:

@@ -3,13 +3,19 @@
 :class:`ModelServer` binds a :class:`ThreadingHTTPServer` with four JSON
 endpoints:
 
-- ``POST /predict`` — validated inference through the degradation
-  ladder (see :mod:`repro.serve.engine`);
+- ``POST /predict`` — validated inference through the serving fast
+  path and the degradation ladder (see :mod:`repro.serve.engine`);
+  responses carry ``"cached": true`` when answered from the
+  version-keyed logit store without a forward;
+- ``POST /reload``  — hot-reload the newest valid checkpoint from the
+  configured checkpoint source and atomically swap it into the engine
+  (the old version's memoized logits are invalidated before the new
+  weights serve — see :meth:`InferenceEngine.swap_model`);
 - ``GET /healthz``  — liveness (200 whenever the process responds);
 - ``GET /readyz``   — readiness (503 until a usable engine exists, and
   when the breaker is open with no fallback to serve from);
 - ``GET /metrics``  — the PR-1 :class:`~repro.obs.MetricsRegistry`
-  snapshot plus breaker/shedder/cache state.
+  snapshot plus breaker/shedder/cache and fast-path state.
 
 Every code path funnels through :meth:`_send_json`; an unexpected
 exception becomes a structured 500 body (code ``internal``) rather than
@@ -27,11 +33,12 @@ import json
 import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Optional
+from typing import Optional, Union
 
 from repro.obs import MetricsRegistry, get_logger, get_registry
 from repro.perf import get_cache
-from repro.serve.engine import InferenceEngine
+from repro.resilience.checkpoint import CheckpointManager
+from repro.serve.engine import InferenceEngine, PathLike, load_checkpoint_model
 from repro.serve.errors import (
     ModelUnavailable,
     Overloaded,
@@ -64,6 +71,10 @@ class ModelServer:
         Metrics registry; defaults to the process-wide one.
     max_inflight, max_body_bytes, max_nodes, default_deadline_ms:
         Robustness knobs (see ``docs/serving.md``).
+    checkpoint_source:
+        Directory (or :class:`CheckpointManager`) that ``POST /reload``
+        pulls the newest valid checkpoint from; ``None`` disables the
+        endpoint (it answers 503).
     """
 
     def __init__(
@@ -77,8 +88,11 @@ class ModelServer:
         max_body_bytes: int = DEFAULT_MAX_BODY_BYTES,
         max_nodes: int = DEFAULT_MAX_NODES,
         default_deadline_ms: Optional[float] = None,
+        checkpoint_source: Optional[Union[PathLike, CheckpointManager]] = None,
     ) -> None:
         self.engine = engine
+        self.checkpoint_source = checkpoint_source
+        self._reload_lock = threading.Lock()
         self.registry = registry if registry is not None else get_registry()
         self.shedder = LoadShedder(max_inflight)
         self.max_body_bytes = max_body_bytes
@@ -219,7 +233,56 @@ class ModelServer:
         }
         if self.engine is not None:
             payload["breaker"] = self.engine.breaker.snapshot()
+            payload["fastpath"] = self.engine.info()["fastpath"]
         return 200, payload
+
+    def handle_reload(self) -> tuple:
+        return 200, self.reload_checkpoint()
+
+    def reload_checkpoint(
+        self, source: Optional[Union[PathLike, CheckpointManager]] = None
+    ) -> dict:
+        """Load the newest valid checkpoint and swap it into the engine.
+
+        The swap is atomic with respect to in-flight requests: version
+        keys pin memoized logits to the producing weights, and
+        :meth:`InferenceEngine.swap_model` invalidates the outgoing
+        version's store entries before publishing the new model — so a
+        request racing the reload gets either consistent old-version or
+        consistent new-version logits, never a stale mix.
+        """
+        source = source if source is not None else self.checkpoint_source
+        if source is None:
+            raise ModelUnavailable(
+                "reload is not configured (server started without a "
+                "checkpoint source)"
+            )
+        if self.engine is None:
+            raise ModelUnavailable(
+                "no engine to reload into (server started without a model)"
+            )
+        manager = (
+            source
+            if isinstance(source, CheckpointManager)
+            else CheckpointManager(source)
+        )
+        with self._reload_lock:
+            loaded = load_checkpoint_model(manager, self.engine.graph)
+            if loaded is None:
+                raise ModelUnavailable(
+                    f"no usable checkpoint under {manager.directory}"
+                )
+            model, _, ckpt = loaded
+            version = self.engine.swap_model(model)
+        _LOG.info(
+            "reloaded checkpoint %s (epoch %d)", ckpt.path.name, ckpt.step
+        )
+        return {
+            "reloaded": True,
+            "checkpoint": ckpt.path.name,
+            "epoch": ckpt.step,
+            "version": version[:12],
+        }
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -277,7 +340,11 @@ class _Handler(BaseHTTPRequestHandler):
 
     def do_POST(self) -> None:  # noqa: N802 (stdlib name)
         server = self.model_server
-        if self.path.split("?", 1)[0] != "/predict":
+        path = self.path.split("?", 1)[0]
+        if path == "/reload":
+            self._dispatch(server.handle_reload)
+            return
+        if path != "/predict":
             self._dispatch(lambda: _not_found(self.path))
             return
 
@@ -311,7 +378,9 @@ def _not_found(path: str) -> tuple:
             "code": "not_found",
             "message": f"unknown path {path!r}",
             "detail": {
-                "endpoints": ["/predict", "/healthz", "/readyz", "/metrics"]
+                "endpoints": [
+                    "/predict", "/reload", "/healthz", "/readyz", "/metrics"
+                ]
             },
         }
     }

@@ -1060,7 +1060,11 @@ class TestSoak:
         breaker = CircuitBreaker(
             failure_threshold=0.5, window=6, min_requests=3, cooldown_s=0.02,
         )
-        engine = make_engine(graph, fault_hook=Flapper(), breaker=breaker)
+        # fastpath off: the soak must drive the fault ladder on every
+        # request, not serve memoized logits after the first success.
+        engine = make_engine(
+            graph, fault_hook=Flapper(), breaker=breaker, fastpath=False
+        )
         with make_server(engine) as server:
             statuses = []
             for i in range(120):

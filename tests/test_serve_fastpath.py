@@ -1,0 +1,714 @@
+"""The serving fast path: logit store, single-flight, micro-batching.
+
+Covers the serving-throughput contract end to end:
+
+- :class:`LogitStore` bounds (entry + byte LRU, oversized rejection),
+  version invalidation, read-only shared entries;
+- fingerprints: parameters, operators (bare ``SparseMatrix`` and
+  Lasagne-style wrappers);
+- :class:`SingleFlight`: K racing threads → exactly one execution, all
+  consumers share identical results (and exceptions);
+- :class:`MicroBatcher` window semantics with an injectable clock,
+  max-batch early flush, row alignment over overlapping node-id sets;
+- the engine integration: a warm ``predict`` executes NO model forward
+  (forward-call counter) and returns bitwise-identical logits to the
+  uncached path; warm hits bypass the breaker; degraded responses
+  memoize too; feature overrides stay uncached;
+- the reload regression: after :meth:`InferenceEngine.swap_model` /
+  ``POST /reload`` a stale cached logit is never served.
+"""
+
+import json
+import threading
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.datasets import generate_dcsbm_graph, generate_features
+from repro.datasets.splits import per_class_split
+from repro.graphs import Graph
+from repro.graphs.normalize import gcn_norm
+from repro.obs import MetricsRegistry
+from repro.perf import (
+    LogitStore,
+    get_logit_store,
+    model_fingerprint,
+    operator_fingerprint,
+)
+from repro.resilience import CheckpointManager
+from repro.serve import (
+    BatchClosed,
+    CircuitBreaker,
+    Deadline,
+    InferenceEngine,
+    MicroBatcher,
+    ModelServer,
+    PredictRequest,
+    ServeClient,
+    ServeClientError,
+    ShallowFallback,
+    SingleFlight,
+    model_from_cli_meta,
+)
+
+pytestmark = pytest.mark.serve
+
+
+# ---------------------------------------------------------------------------
+# Fixtures and helpers
+# ---------------------------------------------------------------------------
+
+@pytest.fixture(scope="module")
+def graph():
+    rng = np.random.default_rng(7)
+    adj, labels = generate_dcsbm_graph(110, 3, 380, homophily=0.9, rng=rng)
+    features = generate_features(labels, 12, rng=rng)
+    train, val, test = per_class_split(labels, 8, 12, 30, rng=rng)
+    return Graph(
+        adj=adj, features=features, labels=labels,
+        train_mask=train, val_mask=val, test_mask=test,
+        name="fastpath-test",
+    )
+
+
+def make_model(graph, seed=0):
+    from repro.models import build_model
+
+    return build_model(
+        "gcn", graph.num_features, graph.num_classes,
+        hidden=8, num_layers=2, dropout=0.0, seed=seed,
+    )
+
+
+def make_engine(graph, model=None, fallback=True, **kwargs):
+    return InferenceEngine(
+        model if model is not None else make_model(graph),
+        graph,
+        fallback=ShallowFallback(graph, k_hops=2) if fallback else None,
+        registry=MetricsRegistry(),
+        **kwargs,
+    )
+
+
+def count_forwards(model):
+    """Patch ``model.forward`` with a calling counter; returns the counter."""
+    calls = {"n": 0}
+    original = model.forward
+
+    def counting(*args, **kwargs):
+        calls["n"] += 1
+        return original(*args, **kwargs)
+
+    model.forward = counting
+    return calls
+
+
+def request(nodes, **kwargs):
+    return PredictRequest(nodes=np.asarray(nodes), **kwargs)
+
+
+class FakeClock:
+    def __init__(self, now=0.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, dt):
+        self.now += dt
+
+
+# ---------------------------------------------------------------------------
+# LogitStore
+# ---------------------------------------------------------------------------
+
+class TestLogitStore:
+    def test_get_put_roundtrip_and_counters(self):
+        store = LogitStore(max_entries=4)
+        assert store.get(("v1",)) is None
+        logits = np.arange(12.0).reshape(4, 3)
+        stored = store.put(("v1",), logits)
+        assert stored is logits
+        assert np.array_equal(store.get(("v1",)), logits)
+        info = store.info()
+        assert info["hits"] == 1 and info["misses"] == 1
+        assert info["entries"] == 1 and info["bytes"] == logits.nbytes
+
+    def test_entries_are_read_only(self):
+        store = LogitStore()
+        entry = store.put(("v",), np.ones((3, 2)))
+        with pytest.raises(ValueError):
+            entry[0, 0] = 5.0
+
+    def test_lru_eviction_by_entry_count(self):
+        store = LogitStore(max_entries=2)
+        a, b, c = (np.full((2, 2), float(i)) for i in range(3))
+        store.put(("a",), a)
+        store.put(("b",), b)
+        store.get(("a",))  # touch: "a" is now most recent
+        store.put(("c",), c)
+        assert store.get(("b",)) is None  # LRU victim
+        assert store.get(("a",)) is not None
+        assert store.info()["evictions"] == 1
+
+    def test_lru_eviction_by_byte_budget(self):
+        row = np.zeros((4, 4))  # 128 bytes each
+        store = LogitStore(max_entries=100, max_bytes=300)
+        store.put(("a",), row.copy())
+        store.put(("b",), row.copy())
+        store.put(("c",), row.copy())  # 384 bytes -> evict "a"
+        assert store.get(("a",)) is None
+        assert store.nbytes <= 300
+
+    def test_oversized_entry_rejected_not_stored(self):
+        store = LogitStore(max_bytes=64)
+        big = np.zeros((8, 8))
+        out = store.put(("big",), big)
+        assert out is big
+        assert len(store) == 0
+        assert store.info()["rejected"] == 1
+
+    def test_invalidate_version_drops_only_that_version(self):
+        store = LogitStore()
+        store.put(("v1", "adj"), np.ones((2, 2)))
+        store.put(("v2", "adj"), np.ones((2, 2)))
+        store.put(("fallback:x",), np.ones((2, 2)))
+        assert store.invalidate_version("v1") == 1
+        assert store.get(("v1", "adj")) is None
+        assert store.get(("v2", "adj")) is not None
+        assert store.get(("fallback:x",)) is not None
+        assert store.info()["invalidations"] == 1
+
+    def test_global_store_is_a_singleton(self):
+        assert get_logit_store() is get_logit_store()
+
+
+class TestFingerprints:
+    def test_model_fingerprint_tracks_parameter_bits(self, graph):
+        a = make_model(graph).setup(graph)
+        b = make_model(graph).setup(graph)
+        assert model_fingerprint(a) == model_fingerprint(b)
+        params = dict(b.named_parameters())
+        next(iter(params.values())).data.flat[0] += 1e-6
+        assert model_fingerprint(a) != model_fingerprint(b)
+
+    def test_operator_fingerprint_shapes(self, graph):
+        adj = gcn_norm(graph.adj)
+        assert operator_fingerprint(adj) == adj.fingerprint
+
+        class Wrapper:
+            pass
+
+        w = Wrapper()
+        w.adj = adj
+        w.edges = np.array([[0, 1], [1, 2]])
+        fp = operator_fingerprint(w)
+        assert fp is not None and fp != adj.fingerprint
+        w.edges = np.array([[0, 1], [2, 2]])
+        assert operator_fingerprint(w) != fp
+        assert operator_fingerprint(object()) is None
+        assert operator_fingerprint(None) is None
+
+
+# ---------------------------------------------------------------------------
+# SingleFlight
+# ---------------------------------------------------------------------------
+
+class TestSingleFlight:
+    def test_k_threads_one_execution_identical_results(self):
+        flight = SingleFlight()
+        entered = threading.Event()
+        release = threading.Event()
+        executions = []
+
+        def compute():
+            executions.append(threading.get_ident())
+            entered.set()
+            release.wait(5)
+            return np.arange(6.0)
+
+        results = []
+        barrier = threading.Barrier(6)
+
+        def worker():
+            barrier.wait()
+            value, leader, waiters = flight.run("key", compute)
+            results.append((value, leader))
+
+        threads = [threading.Thread(target=worker) for _ in range(6)]
+        for t in threads:
+            t.start()
+        entered.wait(5)
+        while flight.info()["inflight"] and len(results) < 5:
+            if flight.info()["coalesced"] >= 5:
+                break
+        release.set()
+        for t in threads:
+            t.join()
+        assert len(executions) == 1
+        leaders = [leader for _, leader in results]
+        assert sum(leaders) == 1
+        first = results[0][0]
+        assert all(value is first for value, _ in results)
+        assert flight.info()["executed"] == 1
+
+    def test_leader_exception_propagates_to_all(self):
+        flight = SingleFlight()
+        release = threading.Event()
+        boom = RuntimeError("boom")
+
+        def compute():
+            release.wait(5)
+            raise boom
+
+        errors = []
+        barrier = threading.Barrier(4)
+
+        def worker():
+            barrier.wait()
+            try:
+                flight.run("k", compute)
+            except RuntimeError as exc:
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for t in threads:
+            t.start()
+        while flight.info()["coalesced"] < 3:
+            pass
+        release.set()
+        for t in threads:
+            t.join()
+        assert len(errors) == 4
+        assert all(exc is boom for exc in errors)
+
+    def test_waiter_timeout(self):
+        flight = SingleFlight()
+        entered = threading.Event()
+        release = threading.Event()
+
+        def compute():
+            entered.set()
+            release.wait(5)
+            return 1
+
+        leader = threading.Thread(target=lambda: flight.run("k", compute))
+        leader.start()
+        entered.wait(5)
+        with pytest.raises(TimeoutError):
+            flight.run("k", compute, timeout_s=0.01)
+        release.set()
+        leader.join()
+
+    def test_sequential_runs_execute_each_time(self):
+        flight = SingleFlight()
+        values = [flight.run("k", lambda: object())[0] for _ in range(3)]
+        assert len({id(v) for v in values}) == 3
+        assert flight.info()["executed"] == 3
+
+
+# ---------------------------------------------------------------------------
+# MicroBatcher
+# ---------------------------------------------------------------------------
+
+class TestMicroBatcher:
+    def test_window_zero_evaluates_immediately(self):
+        evaluated = []
+
+        def evaluate(union):
+            evaluated.append(union.copy())
+            return union.astype(float).reshape(-1, 1)
+
+        batcher = MicroBatcher(evaluate, window_s=0.0)
+        rows = batcher.submit(np.array([3, 1]))
+        assert np.array_equal(rows.ravel(), [3.0, 1.0])
+        assert len(evaluated) == 1
+
+    def test_max_batch_flushes_early_with_fake_clock(self):
+        clock = FakeClock()
+        evaluated = []
+
+        def evaluate(union):
+            evaluated.append(union.copy())
+            return union.astype(float).reshape(-1, 1)
+
+        # Window never expires on the fake clock: only max_batch can
+        # flush, proving the early-flush wakeup works.
+        batcher = MicroBatcher(evaluate, window_s=100.0, max_batch=4,
+                               clock=clock)
+        results = {}
+        barrier = threading.Barrier(2)
+
+        def submit(name, nodes):
+            barrier.wait()
+            results[name] = batcher.submit(np.asarray(nodes), timeout_s=10)
+
+        t1 = threading.Thread(target=submit, args=("a", [0, 1]))
+        t2 = threading.Thread(target=submit, args=("b", [2, 3]))
+        t1.start(), t2.start()
+        t1.join(10), t2.join(10)
+        assert len(evaluated) == 1
+        assert np.array_equal(evaluated[0], [0, 1, 2, 3])
+        assert np.array_equal(results["a"].ravel(), [0.0, 1.0])
+        assert np.array_equal(results["b"].ravel(), [2.0, 3.0])
+        assert batcher.info()["flushes"] == 1
+
+    def test_overlapping_sets_get_their_own_rows(self):
+        def evaluate(union):
+            return np.stack([union * 10.0, union * 10.0 + 1], axis=1)
+
+        batcher = MicroBatcher(evaluate, window_s=0.0)
+        rows = batcher.submit(np.array([5, 2, 5]))
+        assert np.array_equal(rows[:, 0], [50.0, 20.0, 50.0])
+
+    def test_evaluate_error_propagates(self):
+        def evaluate(union):
+            raise ValueError("bad batch")
+
+        batcher = MicroBatcher(evaluate, window_s=0.0)
+        with pytest.raises(ValueError, match="bad batch"):
+            batcher.submit(np.array([0]))
+
+    def test_closed_batcher_refuses(self):
+        batcher = MicroBatcher(lambda u: u, window_s=0.0)
+        batcher.close()
+        with pytest.raises(BatchClosed):
+            batcher.submit(np.array([0]))
+
+
+# ---------------------------------------------------------------------------
+# Engine integration: the warm path
+# ---------------------------------------------------------------------------
+
+class TestEngineFastPath:
+    def test_warm_predict_executes_no_forward_bitwise_identical(self, graph):
+        engine = make_engine(graph)
+        cold = engine.predict(request([0, 5, 9]))
+        assert cold["cached"] is False
+        calls = count_forwards(engine.model)
+        warm = engine.predict(request([0, 5, 9]))
+        assert calls["n"] == 0
+        assert warm["cached"] is True
+        assert warm["classes"] == cold["classes"]
+        # Bitwise identity against an uncached engine with identical weights.
+        uncached = make_engine(graph, fastpath=False)
+        key = engine._store_key(request([0, 5, 9]))
+        stored = engine.logit_store.get(key)
+        direct = uncached._full_logits(request([0, 5, 9]))
+        assert np.array_equal(stored, direct)
+
+    def test_fastpath_metrics_and_info(self, graph):
+        engine = make_engine(graph)
+        engine.predict(request([1]))
+        engine.predict(request([2]))
+        reg = engine.registry
+        assert reg.counter("serve.fastpath.misses").value == 1
+        assert reg.counter("serve.fastpath.hits").value == 1
+        info = engine.info()["fastpath"]
+        assert info["enabled"] is True
+        assert info["store"]["entries"] == 1
+        assert len(info["model_version"]) == 12
+
+    def test_warm_hits_bypass_breaker_accounting(self, graph):
+        breaker = CircuitBreaker(window=4, min_requests=2)
+        engine = make_engine(graph)
+        engine.breaker = breaker
+        engine.predict(request([0]))  # cold: one recorded success
+        for i in range(10):
+            engine.predict(request([i]))
+        assert breaker.snapshot()["window"] == 1  # only the cold forward
+
+    def test_warm_hit_served_even_when_breaker_open(self, graph):
+        engine = make_engine(graph)
+        engine.predict(request([3]))  # warm the store
+        engine.breaker._open()  # force the breaker open
+        result = engine.predict(request([3]))
+        assert result["cached"] is True
+        assert result["degraded"] is False
+
+    def test_concurrent_cold_requests_coalesce_to_one_forward(self, graph):
+        engine = make_engine(graph)
+        entered = threading.Event()
+        release = threading.Event()
+        original = engine.model.forward
+        calls = {"n": 0}
+
+        def slow_forward(*args, **kwargs):
+            calls["n"] += 1
+            entered.set()
+            release.wait(5)
+            return original(*args, **kwargs)
+
+        engine.model.forward = slow_forward
+        results = []
+        barrier = threading.Barrier(6)
+
+        def worker():
+            barrier.wait()
+            results.append(engine.predict(request([0, 1])))
+
+        threads = [threading.Thread(target=worker) for _ in range(6)]
+        for t in threads:
+            t.start()
+        entered.wait(5)
+        release.set()
+        for t in threads:
+            t.join()
+        # One leader forward; late arrivals hit the now-warm store, so
+        # the forward count stays 1 regardless of scheduling.
+        assert calls["n"] == 1
+        assert len({tuple(r["classes"]) for r in results}) == 1
+        assert all(isinstance(r["cached"], bool) for r in results)
+
+    def test_feature_override_bypasses_the_store(self, graph):
+        engine = make_engine(graph)
+        override = request(
+            [4], features=np.ones((1, graph.num_features))
+        )
+        engine.predict(override)
+        assert len(engine.logit_store) == 0
+        engine.predict(request([4]))  # plain request still memoizes
+        assert len(engine.logit_store) == 1
+        result = engine.predict(override)
+        assert result["cached"] is False
+
+    def test_fastpath_off_means_every_predict_forwards(self, graph):
+        engine = make_engine(graph, fastpath=False)
+        calls = count_forwards(engine.model)
+        engine.predict(request([0]))
+        engine.predict(request([0]))
+        assert calls["n"] == 2
+        assert engine.logit_store is None
+
+
+# ---------------------------------------------------------------------------
+# Engine integration: degraded path memoization
+# ---------------------------------------------------------------------------
+
+class TestDegradedFastPath:
+    def nan_hook(self, logits):
+        return np.full_like(logits, np.nan)
+
+    def test_degraded_responses_memoize_under_fallback_version(self, graph):
+        engine = make_engine(graph, fault_hook=self.nan_hook)
+        first = engine.predict(request([2, 7]))
+        assert first["degraded"] is True and first["cached"] is False
+        second = engine.predict(request([2, 7]))
+        assert second["degraded"] is True and second["cached"] is True
+        assert second["classes"] == first["classes"]
+        # The memoized matrix matches the fallback's direct computation.
+        fkey = (engine.fallback.version,)
+        stored = engine.logit_store.get(fkey)
+        direct = engine.fallback.logits(np.arange(graph.num_nodes))
+        assert np.allclose(stored, direct)
+        np.testing.assert_array_equal(
+            np.argmax(stored, axis=1), np.argmax(direct, axis=1)
+        )
+
+    def test_fallback_version_is_stable_and_content_keyed(self, graph):
+        a = ShallowFallback(graph, k_hops=2)
+        b = ShallowFallback(graph, k_hops=2)
+        c = ShallowFallback(graph, k_hops=3)
+        assert a.version == b.version
+        assert a.version != c.version
+        assert a.version.startswith("fallback:")
+
+    def test_model_swap_does_not_drop_fallback_entries(self, graph):
+        engine = make_engine(graph, fault_hook=self.nan_hook)
+        engine.predict(request([0]))  # degraded, memoizes fallback logits
+        assert len(engine.logit_store) == 1
+        engine.swap_model(make_model(graph, seed=3))
+        assert len(engine.logit_store) == 1  # fallback entry survives
+
+
+# ---------------------------------------------------------------------------
+# Micro-batching through the engine
+# ---------------------------------------------------------------------------
+
+class TestEngineBatching:
+    def test_batched_equals_direct_bitwise(self, graph):
+        direct = make_engine(graph, fastpath=False)
+        batched = make_engine(graph, fastpath=False, batch_window_ms=1.0)
+        nodes = [3, 11, 4]
+        a = direct.predict(request(nodes, return_probabilities=True))
+        b = batched.predict(request(nodes, return_probabilities=True))
+        assert a["classes"] == b["classes"]
+        assert a["probabilities"] == b["probabilities"]
+
+    def test_concurrent_batched_requests_share_one_forward(self, graph):
+        engine = make_engine(graph, fastpath=False, batch_window_ms=30.0)
+        calls = count_forwards(engine.model)
+        results = {}
+        barrier = threading.Barrier(4)
+
+        def worker(name, nodes):
+            barrier.wait()
+            results[name] = engine.predict(request(nodes))
+
+        threads = [
+            threading.Thread(target=worker, args=(i, [i, i + 10]))
+            for i in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        # All four either joined one batch or split across a few if the
+        # window raced; strictly fewer forwards than requests, and every
+        # answer matches the direct path.
+        assert calls["n"] < 4
+        reference = make_engine(graph, fastpath=False)
+        for i in range(4):
+            expected = reference.predict(request([i, i + 10]))
+            assert results[i]["classes"] == expected["classes"]
+        sizes = engine._full_batcher.info()
+        assert sizes["flushes"] == calls["n"]
+
+    def test_equivalence_sweep_cached_batched_uncached(self, graph):
+        nodes = [0, 17, 42, 9]
+        uncached = make_engine(graph, fastpath=False)
+        cached = make_engine(graph)
+        batched = make_engine(graph, fastpath=False, batch_window_ms=1.0)
+        expected = uncached.predict(request(nodes, return_probabilities=True))
+        cold = cached.predict(request(nodes, return_probabilities=True))
+        warm = cached.predict(request(nodes, return_probabilities=True))
+        via_batch = batched.predict(request(nodes, return_probabilities=True))
+        assert warm["cached"] is True
+        for result in (cold, warm, via_batch):
+            assert result["classes"] == expected["classes"]
+            assert result["probabilities"] == expected["probabilities"]
+
+
+# ---------------------------------------------------------------------------
+# Reload: stale logits are never served
+# ---------------------------------------------------------------------------
+
+class TestModelSwap:
+    def test_swap_invalidates_and_serves_new_weights(self, graph):
+        engine = make_engine(graph)
+        old_version = engine.model_version
+        stale = engine.predict(request([0], return_probabilities=True))
+        assert len(engine.logit_store) == 1
+
+        new_model = make_model(graph, seed=9)
+        new_version = engine.swap_model(new_model)
+        assert new_version != old_version
+        assert engine.logit_store.info()["invalidations"] == 1
+
+        fresh = engine.predict(request([0], return_probabilities=True))
+        assert fresh["cached"] is False  # the stale entry is gone
+        reference = make_engine(graph, model=make_model(graph, seed=9))
+        expected = reference.predict(request([0], return_probabilities=True))
+        assert fresh["probabilities"] == expected["probabilities"]
+        assert fresh["probabilities"] != stale["probabilities"]
+
+    def test_swap_resets_latency_estimate(self, graph):
+        engine = make_engine(graph)
+        engine.predict(request([0]))
+        assert engine.full_latency_estimate is not None
+        engine.swap_model(make_model(graph, seed=1))
+        assert engine.full_latency_estimate is None
+
+    def test_deadline_clamp(self):
+        deadline = Deadline.from_ms(50.0, clock=FakeClock())
+        assert deadline.clamp() == pytest.approx(0.05)
+        assert deadline.clamp(0.01) == pytest.approx(0.01)
+        expired = Deadline.from_ms(50.0, clock=FakeClock(0.0))
+        expired._start = -1.0
+        assert expired.clamp() == 0.0
+
+
+# ---------------------------------------------------------------------------
+# Server end-to-end
+# ---------------------------------------------------------------------------
+
+def save_model_checkpoint(manager, model, step, cli):
+    arrays = {f"model.{k}": v for k, v in model.state_dict().items()}
+    return manager.save(
+        step, arrays,
+        meta={"epoch": step, "extra": {"metadata": {"cli": cli}}},
+    )
+
+
+class TestServerEndToEnd:
+    CLI = {"dataset": "synthetic", "model": "gcn", "layers": 2, "seed": 0}
+
+    def test_predict_reports_cached_tag_and_metrics(self, graph):
+        engine = make_engine(graph)
+        with ModelServer(engine, port=0, registry=engine.registry) as server:
+            client = ServeClient(server.url, retries=0)
+            first = client.predict([0, 4])
+            second = client.predict([0, 4])
+            assert first["cached"] is False
+            assert second["cached"] is True
+            metrics = client.metrics()
+            assert metrics["fastpath"]["enabled"] is True
+            assert metrics["fastpath"]["store"]["entries"] >= 1
+            counters = metrics["metrics"]
+            assert counters["serve.fastpath.hits"]["value"] >= 1
+            assert counters["serve.fastpath.misses"]["value"] >= 1
+
+    def test_reload_endpoint_swaps_checkpoints_no_stale_serves(
+        self, graph, tmp_path
+    ):
+        manager = CheckpointManager(tmp_path, keep_last=5)
+        model_v1 = model_from_cli_meta(self.CLI, graph)
+        model_v1.setup(graph)
+        save_model_checkpoint(manager, model_v1, 1, self.CLI)
+
+        engine = make_engine(graph, model=model_v1)
+        server = ModelServer(
+            engine, port=0, registry=engine.registry,
+            checkpoint_source=tmp_path,
+        )
+        with server:
+            client = ServeClient(server.url, retries=0)
+            stale = client.predict([0], return_probabilities=True)
+            assert client.predict([0])["cached"] is True
+
+            # A newer checkpoint with visibly different weights.
+            model_v2 = model_from_cli_meta(self.CLI, graph)
+            model_v2.setup(graph)
+            for param in model_v2.parameters():
+                param.data += 0.5
+            save_model_checkpoint(manager, model_v2, 2, self.CLI)
+
+            reloaded = client.reload()
+            assert reloaded["reloaded"] is True
+            assert reloaded["epoch"] == 2
+
+            fresh = client.predict([0], return_probabilities=True)
+            assert fresh["cached"] is False  # regression: no stale entry
+            assert fresh["probabilities"] != stale["probabilities"]
+
+            expected_engine = make_engine(graph, model=model_v2)
+            expected = expected_engine.predict(
+                request([0], return_probabilities=True)
+            )
+            assert fresh["probabilities"] == expected["probabilities"]
+
+    def test_reload_unconfigured_is_a_structured_503(self, graph):
+        engine = make_engine(graph)
+        with ModelServer(engine, port=0, registry=engine.registry) as server:
+            client = ServeClient(server.url, retries=0)
+            with pytest.raises(ServeClientError) as exc_info:
+                client.reload()
+            assert exc_info.value.status == 503
+
+    def test_reload_endpoint_listed_in_404_body(self, graph):
+        engine = make_engine(graph)
+        with ModelServer(engine, port=0, registry=engine.registry) as server:
+            req = urllib.request.Request(
+                server.url + "/nope", data=b"{}",
+                headers={"Content-Type": "application/json"},
+            )
+            try:
+                urllib.request.urlopen(req, timeout=10)
+                raise AssertionError("expected 404")
+            except urllib.error.HTTPError as exc:
+                body = json.loads(exc.read().decode())
+                assert "/reload" in body["error"]["detail"]["endpoints"]
+
+
+import urllib.error  # noqa: E402  (used by the 404 test above)
