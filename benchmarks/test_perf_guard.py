@@ -8,8 +8,20 @@ default run by the ``-m 'not slow and not bench'`` addopts; run with::
 The core guard enforces the point of the propagation cache: a cache hit
 must never be slower than recomputing the propagation.  Timings use
 best-of-N to shed scheduler noise.
+
+Since PR 6 the repo also commits schema-versioned baseline reports
+(``BENCH_train.json`` / ``BENCH_infer.json`` / ``BENCH_serve.json`` at
+the repo root, regenerated with ``python -m repro bench`` and
+``python -m repro bench --serve``).  The baseline guards compare a fresh
+run's *speedup ratios* against the committed ones — ratios, unlike raw
+milliseconds, transfer across machines — with a generous tolerance so
+only a real regression (lost cache, broken coalescing, dtype fallback)
+trips them, and keep the absolute floors as a machine-independent
+backstop.
 """
 
+import json
+import pathlib
 import time
 
 import numpy as np
@@ -18,13 +30,41 @@ import pytest
 from repro.datasets import load_dataset
 from repro.graphs.normalize import gcn_norm
 from repro.perf import PropagationCache, perf_mode
-from repro.perf.bench import run_bench
+from repro.perf.bench import run_bench, run_serve_bench
 from repro.perf.fused import fused_gcn_layer
 from repro.tensor import Tensor, spmm
 
 pytestmark = pytest.mark.bench
 
 REPEATS = 30
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+
+#: Committed baseline file -> required schema version.
+BASELINE_SCHEMAS = {
+    "BENCH_train.json": "repro.bench.train/v1",
+    "BENCH_infer.json": "repro.bench.infer/v1",
+    "BENCH_serve.json": "repro.bench.serve/v1",
+}
+
+#: A fresh speedup ratio may fall to this fraction of the committed one
+#: before the guard trips — wide enough for machine-to-machine variance,
+#: narrow enough to catch an optimization that silently stopped working.
+BASELINE_TOLERANCE = 0.45
+
+
+def load_baseline(name: str) -> dict:
+    path = REPO_ROOT / name
+    assert path.exists(), (
+        f"committed baseline {name} missing; regenerate with "
+        f"`python -m repro bench`{' --serve' if 'serve' in name else ''}"
+    )
+    data = json.loads(path.read_text(encoding="utf-8"))
+    assert data.get("schema") == BASELINE_SCHEMAS[name], (
+        f"{name} schema {data.get('schema')!r} != "
+        f"{BASELINE_SCHEMAS[name]!r}; regenerate the baseline"
+    )
+    return data
 
 
 def _best_of(fn, repeats=REPEATS):
@@ -102,3 +142,53 @@ def test_fast_path_inference_speedup(operands):
     assert speedup is not None and speedup >= 1.5, (
         f"optimized inference speedup {speedup}× below the 1.5× floor"
     )
+
+
+# ---------------------------------------------------------------------------
+# Committed-baseline guards (BENCH_*.json at the repo root)
+# ---------------------------------------------------------------------------
+
+class TestCommittedBaselines:
+    def test_baselines_present_and_schema_versioned(self):
+        train = load_baseline("BENCH_train.json")
+        assert {"modes", "speedup", "micro_ops"} <= set(train)
+        infer = load_baseline("BENCH_infer.json")
+        assert {"modes", "speedup"} <= set(infer)
+        serve = load_baseline("BENCH_serve.json")
+        assert {"latency", "concurrent_warm", "coalesce"} <= set(serve)
+        assert serve["latency"]["warm"]["count"] > 0
+
+    def test_train_and_infer_speedups_vs_baseline(self):
+        base_train = load_baseline("BENCH_train.json")["speedup"]["gcn"]
+        base_infer = load_baseline("BENCH_infer.json")["speedup"]["gcn"]
+        result = run_bench(models=("gcn",), epochs=8, repeats=15, write=False)
+        for kind, base in (("train", base_train), ("infer", base_infer)):
+            current = result[kind]["speedup"]["gcn"]
+            floor = base * BASELINE_TOLERANCE
+            assert current is not None and current >= floor, (
+                f"{kind} speedup {current}× fell below {floor:.2f}× "
+                f"({BASELINE_TOLERANCE:.0%} of the committed {base}× "
+                f"baseline in BENCH_{kind}.json)"
+            )
+
+    def test_serve_ratios_vs_baseline(self):
+        baseline = load_baseline("BENCH_serve.json")
+        base_warm = baseline["latency"]["speedup"]
+        base_coalesce = baseline["coalesce"]["ratio"]
+        result = run_serve_bench(
+            repeats=50, cold_rounds=3, stampede_rounds=2, write=False
+        )["serve"]
+        warm = result["latency"]["speedup"]
+        floor = base_warm * BASELINE_TOLERANCE
+        assert warm >= floor, (
+            f"warm/cold speedup {warm}× fell below {floor:.1f}× "
+            f"({BASELINE_TOLERANCE:.0%} of the committed {base_warm}× "
+            "baseline) — the logit store stopped paying for itself"
+        )
+        ratio = result["coalesce"]["ratio"]
+        floor = base_coalesce * BASELINE_TOLERANCE
+        assert ratio >= floor, (
+            f"coalesced/stampede throughput ratio {ratio}× fell below "
+            f"{floor:.1f}× ({BASELINE_TOLERANCE:.0%} of the committed "
+            f"{base_coalesce}× baseline) — single-flight stopped coalescing"
+        )

@@ -19,8 +19,15 @@ Commands
                   ``BENCH_train.json`` / ``BENCH_infer.json``
 ``serve``         start the fault-tolerant JSON inference server
                   (``/predict``, ``/healthz``, ``/readyz``,
-                  ``/metrics``) from a checkpoint directory, a module
-                  checkpoint, or a freshly (quick-)trained model
+                  ``/metrics``, ``/traces``) from a checkpoint
+                  directory, a module checkpoint, or a freshly
+                  (quick-)trained model; ``--trace`` turns on request
+                  tracing with sampling and slow-request capture
+``trace``         render a trace JSONL file (``results/traces/...``)
+                  as per-request waterfalls and a per-span-name
+                  latency breakdown (inclusive and exclusive p50/95/99)
+``metrics``       fetch ``/metrics`` from a running server (or read a
+                  saved JSON snapshot) in JSON or Prometheus text form
 """
 
 from __future__ import annotations
@@ -318,6 +325,19 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     )
     from repro.training import TrainConfig, Trainer, hyperparams_for
 
+    tracer = None
+    if args.trace:
+        from repro.obs import configure_tracer
+
+        # Installed process-wide *before* the engine/server are built,
+        # so their get_tracer() defaults pick it up.
+        tracer = configure_tracer(
+            sample_rate=args.trace_sample,
+            slow_threshold_ms=args.trace_slow_ms,
+            directory=args.trace_dir,
+            capacity=args.trace_capacity,
+        )
+
     breaker = CircuitBreaker(
         failure_threshold=args.breaker_threshold,
         window=args.breaker_window,
@@ -380,7 +400,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         checkpoint_source=args.checkpoint_dir or None,
     )
     print(f"serving {engine.info()['model']} on {server.url}")
-    print("endpoints: POST /predict /reload   GET /healthz /readyz /metrics")
+    print(
+        "endpoints: POST /predict /reload   "
+        "GET /healthz /readyz /metrics /traces"
+    )
+    if tracer is not None and tracer.sink is not None:
+        print(
+            f"tracing: sample {args.trace_sample:g}, slow >= "
+            f"{args.trace_slow_ms or 0:g} ms -> {tracer.sink.path}"
+        )
     if args.dry_run:
         server.stop()
         return 0
@@ -389,6 +417,83 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     except KeyboardInterrupt:
         print("shutting down")
         server.stop()
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    import pathlib
+
+    from repro.obs import load_traces, render_aggregate, render_waterfall
+
+    path = pathlib.Path(args.file)
+    if path.is_dir():
+        files = sorted(path.glob("*.jsonl"), key=lambda p: p.stat().st_mtime)
+        if not files:
+            print(f"no trace files under {path}", file=sys.stderr)
+            return 2
+        path = files[-1]
+        print(f"reading {path}\n")
+    try:
+        traces = load_traces(path)
+    except OSError as exc:
+        print(f"cannot read {path}: {exc}", file=sys.stderr)
+        return 2
+    if not traces:
+        print(f"{path}: no traces recorded", file=sys.stderr)
+        return 2
+    if not args.aggregate_only:
+        chosen = list(traces)
+        if args.slowest:
+            chosen.sort(
+                key=lambda t: (t.get("duration_s") or 0.0), reverse=True
+            )
+            chosen = chosen[: args.last]
+        else:
+            chosen = chosen[-args.last:]
+        for trace in chosen:
+            print(render_waterfall(trace, width=args.width))
+            print()
+    print(render_aggregate(traces))
+    return 0
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    import json
+    import pathlib
+    import urllib.request
+
+    from repro.obs import render_prometheus
+
+    if args.from_json:
+        try:
+            payload = json.loads(
+                pathlib.Path(args.from_json).read_text(encoding="utf-8")
+            )
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"cannot read {args.from_json}: {exc}", file=sys.stderr)
+            return 2
+        # A saved GET /metrics body nests the registry under "metrics";
+        # a bare MetricsRegistry.snapshot() dump is accepted as-is.
+        snapshot = payload.get("metrics", payload)
+        if args.format == "prometheus":
+            print(render_prometheus(snapshot), end="")
+        else:
+            print(json.dumps(payload, indent=2))
+        return 0
+
+    url = args.url.rstrip("/") + "/metrics"
+    if args.format == "prometheus":
+        url += "?format=prometheus"
+    try:
+        with urllib.request.urlopen(url, timeout=args.timeout) as resp:
+            body = resp.read().decode("utf-8")
+    except OSError as exc:
+        print(f"GET {url} failed: {exc}", file=sys.stderr)
+        return 2
+    if args.format == "prometheus":
+        print(body, end="")
+    else:
+        print(json.dumps(json.loads(body), indent=2))
     return 0
 
 
@@ -541,10 +646,53 @@ def main(argv=None) -> int:
     p.add_argument("--max-batch", type=int, default=256,
                    help="node-id ceiling per micro-batch (reaching it "
                         "flushes the window early)")
+    p.add_argument("--trace", action="store_true",
+                   help="enable request tracing (span trees via "
+                        "GET /traces, JSONL under --trace-dir)")
+    p.add_argument("--trace-sample", type=float, default=1.0,
+                   help="head-sampling probability in [0, 1]; slow "
+                        "requests are kept regardless (see "
+                        "--trace-slow-ms)")
+    p.add_argument("--trace-slow-ms", type=float, default=None,
+                   help="always keep traces whose root span is at "
+                        "least this long, even when not head-sampled")
+    p.add_argument("--trace-dir", default="results/traces",
+                   help="directory for the trace JSONL file")
+    p.add_argument("--trace-capacity", type=int, default=256,
+                   help="in-memory ring size backing GET /traces")
     p.add_argument("--dry-run", action="store_true",
                    help="build the engine and bind the port, then exit")
     p.set_defaults(func=_cmd_serve, epochs=None, inductive=False,
                    checkpoint_every=None)
+
+    p = sub.add_parser(
+        "trace", help="render a trace JSONL file as waterfalls + breakdown"
+    )
+    p.add_argument("file",
+                   help="trace .jsonl file, or a directory (newest file wins)")
+    p.add_argument("--last", type=int, default=5,
+                   help="waterfalls to render (newest N, or slowest N "
+                        "with --slowest)")
+    p.add_argument("--slowest", action="store_true",
+                   help="render the slowest traces instead of the newest")
+    p.add_argument("--width", type=int, default=40,
+                   help="width of the waterfall duration bars")
+    p.add_argument("--aggregate-only", action="store_true",
+                   help="skip waterfalls; print only the per-span table")
+    p.set_defaults(func=_cmd_trace)
+
+    p = sub.add_parser(
+        "metrics", help="fetch /metrics from a running server"
+    )
+    p.add_argument("--url", default="http://127.0.0.1:8080",
+                   help="base URL of the server (default %(default)s)")
+    p.add_argument("--format", choices=["json", "prometheus"],
+                   default="json")
+    p.add_argument("--from-json", default=None,
+                   help="render a saved /metrics JSON body (or bare "
+                        "registry snapshot) instead of fetching")
+    p.add_argument("--timeout", type=float, default=5.0)
+    p.set_defaults(func=_cmd_metrics)
 
     p = sub.add_parser("experiments", help="run the paper's tables/figures")
     p.add_argument("--preset", default="quick")

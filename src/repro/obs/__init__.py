@@ -1,19 +1,28 @@
 """Observability for the reproduction stack.
 
-Three layers, usable independently or together:
+Four layers, usable independently or together:
 
-- :mod:`repro.obs.metrics` — in-process counters, gauges and
-  histograms/timers with summary statistics (:class:`MetricsRegistry`).
+- :mod:`repro.obs.metrics` — in-process counters, gauges and bounded
+  histograms/timers with summary statistics (:class:`MetricsRegistry`);
+  :mod:`repro.obs.prometheus` renders a snapshot in the Prometheus
+  text exposition format.
 - :mod:`repro.obs.runlog` — structured JSONL event logging
   (:class:`RunLogger`), one record per epoch/experiment under
   ``results/runs/<run_id>.jsonl``.
 - :mod:`repro.obs.profiler` — op-level autograd profiling
   (:class:`OpProfiler`): per-op forward/backward wall-time, call counts
   and output bytes, with a zero-overhead guarantee while disabled.
+- :mod:`repro.obs.trace` — end-to-end request tracing
+  (:class:`Tracer`): span trees with contextvar propagation through
+  the serve pipeline and per-epoch training spans, tail-sampled into a
+  bounded :class:`TraceSink` (``results/traces/<run_id>.jsonl``,
+  ``GET /traces``, ``python -m repro trace``); the same
+  near-zero-cost-when-disabled contract as the profiler.
 
 :mod:`repro.obs.console` routes human-readable progress through stdlib
 ``logging`` under the ``repro.obs`` namespace.  See
-``docs/observability.md`` for the JSONL schema and a worked example.
+``docs/observability.md`` and ``docs/tracing.md`` for schemas and
+worked examples.
 """
 
 from repro.obs.console import get_logger, set_level
@@ -26,7 +35,25 @@ from repro.obs.metrics import (
     get_registry,
 )
 from repro.obs.profiler import OpProfiler, OpStat, profile
+from repro.obs.prometheus import CONTENT_TYPE as PROMETHEUS_CONTENT_TYPE
+from repro.obs.prometheus import render_prometheus
 from repro.obs.runlog import DEFAULT_RUN_DIR, RunLogger, new_run_id, read_run
+from repro.obs.trace import (
+    DEFAULT_TRACE_DIR,
+    NULL_SPAN,
+    Span,
+    TraceSink,
+    Tracer,
+    configure_tracer,
+    current_span,
+    current_trace_id,
+    get_tracer,
+    load_traces,
+    new_trace_id,
+    render_aggregate,
+    render_waterfall,
+    set_tracer,
+)
 
 __all__ = [
     "Counter",
@@ -35,6 +62,8 @@ __all__ = [
     "Timer",
     "MetricsRegistry",
     "get_registry",
+    "render_prometheus",
+    "PROMETHEUS_CONTENT_TYPE",
     "RunLogger",
     "read_run",
     "new_run_id",
@@ -42,6 +71,20 @@ __all__ = [
     "OpProfiler",
     "OpStat",
     "profile",
+    "Tracer",
+    "TraceSink",
+    "Span",
+    "NULL_SPAN",
+    "get_tracer",
+    "set_tracer",
+    "configure_tracer",
+    "current_span",
+    "current_trace_id",
+    "new_trace_id",
+    "load_traces",
+    "render_waterfall",
+    "render_aggregate",
+    "DEFAULT_TRACE_DIR",
     "get_logger",
     "set_level",
 ]

@@ -7,15 +7,24 @@ harness can share one vocabulary.  Everything is plain Python; recording
 a value is a couple of attribute updates, cheap enough for per-epoch and
 per-op call sites.
 
-Counters, gauges and instrument registration are lock-protected: the
-serving layer increments them from every request worker thread, where a
-lost ``+=`` update would silently under-report.  Histogram appends ride
-on the GIL-atomic ``list.append`` and stay lock-free.
+Every instrument is lock-protected — counters, gauges, histograms and
+registration alike: the serving layer updates them from every request
+worker thread, where a lost ``+=`` or a torn multi-field histogram
+update would silently misreport.
+
+Histograms are *bounded*: exact streaming count / sum / sum-of-squares
+/ min / max, plus a fixed-size uniform reservoir sample (Vitter's
+algorithm R) for percentiles — so a histogram observed once per request
+for a week of serving traffic stays at a few KiB instead of growing one
+float per request forever.  While the observation count is within the
+reservoir capacity the sample *is* the full data and percentiles are
+exact; beyond it they are unbiased estimates.
 """
 
 from __future__ import annotations
 
 import math
+import random
 import threading
 import time
 from typing import Dict, List, Optional, Union
@@ -59,7 +68,8 @@ class Gauge:
         self._lock = threading.Lock()
 
     def set(self, value: Number) -> None:
-        self.value = float(value)
+        with self._lock:
+            self.value = float(value)
 
     def inc(self, amount: Number = 1) -> None:
         with self._lock:
@@ -69,62 +79,111 @@ class Gauge:
         self.inc(-amount)
 
     def snapshot(self) -> Dict:
-        return {"type": "gauge", "value": self.value}
+        with self._lock:
+            return {"type": "gauge", "value": self.value}
 
     def __repr__(self) -> str:
         return f"Gauge({self.name!r}, value={self.value})"
 
 
 class Histogram:
-    """Distribution of observed values with streaming min/max/sum.
+    """Bounded distribution summary: exact moments, sampled percentiles.
 
-    Raw observations are kept (runs here are thousands of epochs at
-    most), which makes exact percentiles possible; ``summary()`` reports
-    the usual count / total / mean / std / min / max / p50 / p95 / p99.
+    Count, total, mean, std, min and max are exact streaming
+    aggregates; percentiles come from a fixed-size uniform reservoir
+    (algorithm R) so memory stays O(``reservoir_size``) no matter how
+    many observations arrive.  Up to ``reservoir_size`` observations
+    the reservoir holds *every* value and percentiles are exact.
+    ``summary()`` reports count / total / mean / std / min / max /
+    p50 / p95 / p99.
     """
 
-    __slots__ = ("name", "values")
+    DEFAULT_RESERVOIR = 1024
 
-    def __init__(self, name: str) -> None:
+    __slots__ = ("name", "reservoir_size", "_lock", "_count", "_sum",
+                 "_sumsq", "_min", "_max", "_sample", "_rng")
+
+    def __init__(self, name: str, reservoir_size: int = DEFAULT_RESERVOIR) -> None:
+        if reservoir_size < 1:
+            raise ValueError(
+                f"reservoir_size must be >= 1, got {reservoir_size}"
+            )
         self.name = name
-        self.values: List[float] = []
+        self.reservoir_size = reservoir_size
+        self._lock = threading.Lock()
+        self._count = 0
+        self._sum = 0.0
+        self._sumsq = 0.0
+        self._min: Optional[float] = None
+        self._max: Optional[float] = None
+        self._sample: List[float] = []
+        # Deterministic per-instance stream: reservoir contents (and so
+        # percentile estimates) are reproducible run-to-run.
+        self._rng = random.Random(0x5EED)
 
     def observe(self, value: Number) -> None:
-        self.values.append(float(value))
+        value = float(value)
+        with self._lock:
+            self._count += 1
+            self._sum += value
+            self._sumsq += value * value
+            if self._min is None or value < self._min:
+                self._min = value
+            if self._max is None or value > self._max:
+                self._max = value
+            if len(self._sample) < self.reservoir_size:
+                self._sample.append(value)
+            else:
+                j = self._rng.randrange(self._count)
+                if j < self.reservoir_size:
+                    self._sample[j] = value
 
     # -- derived statistics -------------------------------------------
     @property
+    def values(self) -> List[float]:
+        """A copy of the current reservoir sample (the full data while
+        ``count <= reservoir_size``)."""
+        with self._lock:
+            return list(self._sample)
+
+    @property
     def count(self) -> int:
-        return len(self.values)
+        return self._count
 
     @property
     def total(self) -> float:
-        return float(sum(self.values))
+        return self._sum
 
     @property
     def mean(self) -> float:
-        return self.total / self.count if self.values else 0.0
+        return self._sum / self._count if self._count else 0.0
 
     @property
     def std(self) -> float:
-        if len(self.values) < 2:
+        if self._count < 2:
             return 0.0
         m = self.mean
-        return math.sqrt(sum((v - m) ** 2 for v in self.values) / len(self.values))
+        return math.sqrt(max(0.0, self._sumsq / self._count - m * m))
 
     @property
     def min(self) -> float:
-        return min(self.values) if self.values else 0.0
+        return self._min if self._min is not None else 0.0
 
     @property
     def max(self) -> float:
-        return max(self.values) if self.values else 0.0
+        return self._max if self._max is not None else 0.0
 
     def percentile(self, q: Number) -> float:
-        """Exact q-th percentile (linear interpolation), q in [0, 100]."""
-        if not self.values:
-            return 0.0
-        return float(np.percentile(np.asarray(self.values), q))
+        """q-th percentile (linear interpolation) over the reservoir.
+
+        Exact while fewer than ``reservoir_size`` values have been
+        observed; an unbiased estimate beyond that.
+        """
+        with self._lock:
+            if not self._sample:
+                return 0.0
+            sample = np.asarray(self._sample)
+        return float(np.percentile(sample, q))
 
     def summary(self) -> Dict[str, float]:
         return {

@@ -1,0 +1,75 @@
+"""Prometheus text exposition for :class:`~repro.obs.MetricsRegistry`.
+
+Renders a ``MetricsRegistry.snapshot()`` dict into the Prometheus text
+format (version 0.0.4): one ``# TYPE`` line per metric family, counter
+samples suffixed ``_total``, histograms exposed as summaries with
+``quantile`` labels plus ``_sum``/``_count``.  The server answers
+``GET /metrics?format=prometheus`` with this body under
+:data:`CONTENT_TYPE`, and ``python -m repro metrics --format
+prometheus`` prints the same text for a running server.
+
+Metric names are sanitized to the Prometheus grammar
+(``[a-zA-Z_:][a-zA-Z0-9_:]*``): the registry's dotted names map to
+underscores (``serve.latency_s`` -> ``repro_serve_latency_s``).
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Dict
+
+#: The content type Prometheus scrapers expect from a text exposition.
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+_NAME_OK = re.compile(r"[^a-zA-Z0-9_:]")
+
+#: snapshot quantile key -> prometheus quantile label value
+_QUANTILES = (("p50", "0.5"), ("p95", "0.95"), ("p99", "0.99"))
+
+
+def sanitize_name(name: str, prefix: str = "repro") -> str:
+    """A legal Prometheus metric name for a dotted registry name."""
+    flat = _NAME_OK.sub("_", f"{prefix}_{name}" if prefix else name)
+    if flat and flat[0].isdigit():
+        flat = "_" + flat
+    return flat
+
+
+def _value(v) -> str:
+    if v is None:
+        return "NaN"
+    v = float(v)
+    if math.isnan(v):
+        return "NaN"
+    if math.isinf(v):
+        return "+Inf" if v > 0 else "-Inf"
+    return repr(v) if v != int(v) else str(int(v))
+
+
+def render_prometheus(snapshot: Dict[str, Dict], prefix: str = "repro") -> str:
+    """The exposition body for one registry snapshot (ends in a newline)."""
+    lines = []
+    for name in sorted(snapshot):
+        metric = snapshot[name]
+        kind = metric.get("type")
+        flat = sanitize_name(name, prefix)
+        if kind == "counter":
+            lines.append(f"# TYPE {flat}_total counter")
+            lines.append(f"{flat}_total {_value(metric.get('value', 0))}")
+        elif kind == "gauge":
+            value = metric.get("value")
+            if value is None:
+                continue  # never-set gauges have no meaningful sample
+            lines.append(f"# TYPE {flat} gauge")
+            lines.append(f"{flat} {_value(value)}")
+        elif kind == "histogram":
+            lines.append(f"# TYPE {flat} summary")
+            for key, label in _QUANTILES:
+                lines.append(
+                    f'{flat}{{quantile="{label}"}} {_value(metric.get(key))}'
+                )
+            lines.append(f"{flat}_sum {_value(metric.get('total', 0))}")
+            lines.append(f"{flat}_count {_value(metric.get('count', 0))}")
+        # unknown instrument types are skipped rather than guessed at
+    return "\n".join(lines) + "\n" if lines else "\n"

@@ -1,0 +1,654 @@
+"""End-to-end request tracing: span trees through serving and training.
+
+A *trace* is a tree of timed spans sharing one ``trace_id``; every span
+records its ``span_id``, ``parent_id``, a monotonic start offset, a
+duration, structured attributes, and an error status.  The serve
+pipeline opens one root span per request (``serve.predict``) and the
+ladder stages underneath it (store lookup, single-flight, forward,
+fallback, ...) attach as children, so a slow or degraded response shows
+*where* inside the ladder the time went — the per-request analogue of
+Lasagne's per-node depth attribution.
+
+Design contract (mirrors the PR-1 op profiler):
+
+- **near-zero cost when disabled.**  A disabled tracer returns one
+  shared :data:`NULL_SPAN` singleton from every call — no allocation,
+  no clock read, no contextvar write — so serving and training are
+  bitwise-identical with tracing off
+  (``benchmarks/test_trace_overhead.py`` guards the ≤5% envelope).
+- **context propagation via :mod:`contextvars`.**  Child spans find
+  their parent through a :class:`~contextvars.ContextVar`, which is
+  per-thread (per-context), so K request threads tracing concurrently
+  produce K disjoint trees with correct parentage and no locking on the
+  span path.
+- **tail-based sampling.**  Head sampling alone (``sample_rate``)
+  would miss exactly the requests worth debugging, so while tracing is
+  enabled every trace is buffered in memory and the keep/drop decision
+  happens at root-span *exit*: kept when head-sampled, when its root
+  duration reaches ``slow_threshold_s`` (slow requests are *always*
+  captured), or when the caller supplied an explicit ``trace_id``
+  (an inbound ``X-Trace-Id`` means someone is watching this request).
+- **bounded storage.**  Kept traces go to a :class:`TraceSink`: an
+  in-memory ring buffer (``GET /traces`` reads it) plus an append-only
+  JSONL file under ``results/traces/<run_id>.jsonl`` that ``python -m
+  repro trace`` renders as waterfalls and per-span-name latency
+  breakdowns.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import json
+import os
+import pathlib
+import random
+import threading
+import time
+from collections import deque
+from typing import Callable, Dict, List, Optional, Union
+
+DEFAULT_TRACE_DIR = os.path.join("results", "traces")
+
+#: Module-level monotonic id source (cheap, collision-free in-process).
+_IDS = iter(range(1, 1 << 62)).__next__
+_ID_LOCK = threading.Lock()
+_RNG = random.Random()
+
+
+def _new_id(prefix: str) -> str:
+    """A unique-enough id: pid + process counter + random tail."""
+    with _ID_LOCK:
+        seq = _IDS()
+        tail = _RNG.getrandbits(24)
+    return f"{prefix}{os.getpid():x}-{seq:x}-{tail:06x}"
+
+
+def new_trace_id() -> str:
+    return _new_id("t")
+
+
+class Span:
+    """One timed node of a trace tree (also its own context manager)."""
+
+    __slots__ = (
+        "trace_id", "span_id", "parent_id", "name", "start_ts",
+        "start_offset_s", "duration_s", "attributes", "status", "error",
+        "_state", "_tracer", "_token", "_t0",
+    )
+
+    def __init__(
+        self, tracer: "Tracer", state: "_TraceState", name: str,
+        parent_id: Optional[str], attributes: Dict,
+    ) -> None:
+        self.trace_id = state.trace_id
+        self.span_id = _new_id("s")
+        self.parent_id = parent_id
+        self.name = name
+        self.attributes = attributes
+        self.status = "ok"
+        self.error: Optional[str] = None
+        self.start_ts: Optional[float] = None
+        self.start_offset_s: Optional[float] = None
+        self.duration_s: Optional[float] = None
+        self._state = state
+        self._tracer = tracer
+        self._token: Optional[contextvars.Token] = None
+        self._t0: Optional[float] = None
+
+    def set(self, key: str, value) -> "Span":
+        """Attach one structured attribute (chainable)."""
+        self.attributes[key] = value
+        return self
+
+    def update(self, **attributes) -> "Span":
+        self.attributes.update(attributes)
+        return self
+
+    @property
+    def is_recording(self) -> bool:
+        return True
+
+    # -- context manager ----------------------------------------------
+    def __enter__(self) -> "Span":
+        self._t0 = self._tracer._clock()
+        self.start_ts = time.time()
+        self.start_offset_s = self._t0 - self._state.t0
+        self._token = _CURRENT.set(self)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.duration_s = self._tracer._clock() - self._t0
+        if exc is not None:
+            self.status = "error"
+            self.error = f"{exc_type.__name__}: {exc}"
+        _CURRENT.reset(self._token)
+        self._state.finish(self)
+        if self.parent_id is None:
+            self._tracer._finish_trace(self._state, self)
+        return False
+
+    def to_dict(self) -> Dict:
+        return {
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "start_ts": self.start_ts,
+            "start_offset_s": self.start_offset_s,
+            "duration_s": self.duration_s,
+            "status": self.status,
+            "error": self.error,
+            "attributes": dict(self.attributes),
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"Span({self.name!r}, trace={self.trace_id}, "
+            f"duration={self.duration_s})"
+        )
+
+
+class _NullSpan:
+    """The shared do-nothing span: every disabled call returns *this* object.
+
+    Returning one module-level singleton (instead of constructing a
+    fresh no-op per call) is what makes the disabled hot path
+    allocation-free — ``tests/test_trace.py`` pins that with an
+    identity check.
+    """
+
+    __slots__ = ()
+
+    trace_id = None
+    span_id = None
+    parent_id = None
+    name = None
+    duration_s = None
+    status = "ok"
+    error = None
+    attributes: Dict = {}
+
+    @property
+    def is_recording(self) -> bool:
+        return False
+
+    def set(self, key: str, value) -> "_NullSpan":
+        return self
+
+    def update(self, **attributes) -> "_NullSpan":
+        return self
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+    def __repr__(self) -> str:
+        return "NullSpan()"
+
+
+#: The singleton returned for every span while tracing is off.
+NULL_SPAN = _NullSpan()
+
+#: The active span of the current thread/context (None outside a trace).
+_CURRENT: contextvars.ContextVar[Optional[Span]] = contextvars.ContextVar(
+    "repro_trace_current", default=None
+)
+
+
+def current_span() -> Optional[Span]:
+    """The innermost active :class:`Span` of this context, or None."""
+    return _CURRENT.get()
+
+
+def current_trace_id() -> Optional[str]:
+    """The active trace id of this context (what ``X-Trace-Id`` carries)."""
+    span = _CURRENT.get()
+    return span.trace_id if span is not None else None
+
+
+class _TraceState:
+    """Per-trace buffer of finished spans (one per root span)."""
+
+    __slots__ = ("trace_id", "t0", "sampled", "reason", "spans", "_lock")
+
+    def __init__(self, trace_id: str, t0: float, sampled: bool,
+                 reason: Optional[str]) -> None:
+        self.trace_id = trace_id
+        self.t0 = t0
+        self.sampled = sampled
+        self.reason = reason  # why this trace was head-sampled, if it was
+        self.spans: List[Dict] = []
+        # Spans normally finish on the trace's own request thread, but a
+        # lock keeps the buffer safe if a call site ever hands the
+        # context to a worker.
+        self._lock = threading.Lock()
+
+    def finish(self, span: Span) -> None:
+        with self._lock:
+            self.spans.append(span.to_dict())
+
+
+class Tracer:
+    """Sampling-aware span-tree tracer with contextvar propagation.
+
+    Parameters
+    ----------
+    sink:
+        Where kept traces land (:class:`TraceSink`); ``None`` keeps
+        traces only in the counters (useful in tests).
+    enabled:
+        Master switch.  Disabled, every call returns :data:`NULL_SPAN`.
+    sample_rate:
+        Head-sampling probability in [0, 1] for traces with no explicit
+        id.  Unsampled traces are still buffered and kept if slow.
+    slow_threshold_s:
+        Root spans at least this long are always kept (``None``
+        disables the tail policy — then only head-sampled/explicit
+        traces survive).
+    clock:
+        Injectable monotonic clock (tests drive durations without
+        sleeping).
+    rng:
+        Injectable ``random.Random`` for the sampling decision.
+    """
+
+    def __init__(
+        self,
+        sink: Optional["TraceSink"] = None,
+        enabled: bool = True,
+        sample_rate: float = 1.0,
+        slow_threshold_s: Optional[float] = None,
+        clock: Callable[[], float] = time.perf_counter,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        if not 0.0 <= sample_rate <= 1.0:
+            raise ValueError(
+                f"sample_rate must be in [0, 1], got {sample_rate}"
+            )
+        if slow_threshold_s is not None and slow_threshold_s < 0:
+            raise ValueError(
+                f"slow_threshold_s must be >= 0, got {slow_threshold_s}"
+            )
+        self.sink = sink
+        self.enabled = enabled
+        self.sample_rate = sample_rate
+        self.slow_threshold_s = slow_threshold_s
+        self._clock = clock
+        self._rng = rng if rng is not None else random.Random()
+        self._lock = threading.Lock()
+        self.traces_started = 0
+        self.traces_kept = 0
+        self.traces_dropped = 0
+
+    # -- span creation -------------------------------------------------
+    def trace(
+        self, name: str, trace_id: Optional[str] = None, **attributes
+    ) -> Union[Span, _NullSpan]:
+        """Open a *root* span (a new trace).  Use as a context manager.
+
+        ``trace_id`` continues an inbound trace (``X-Trace-Id``): such
+        traces are always kept — a caller who propagated an id is
+        watching this request.
+        """
+        if not self.enabled:
+            return NULL_SPAN
+        if trace_id is not None:
+            sampled, reason = True, "explicit"
+        elif self.sample_rate >= 1.0 or self._rng.random() < self.sample_rate:
+            sampled, reason = True, "probability"
+        elif self.slow_threshold_s is None:
+            # Nothing can rescue this trace later; skip the buffering.
+            return NULL_SPAN
+        else:
+            sampled, reason = False, None
+        with self._lock:
+            self.traces_started += 1
+        state = _TraceState(
+            trace_id or new_trace_id(), self._clock(), sampled, reason
+        )
+        return Span(self, state, name, parent_id=None, attributes=attributes)
+
+    def span(self, name: str, **attributes) -> Union[Span, _NullSpan]:
+        """Open a child of the context's active span (no-op outside one)."""
+        if not self.enabled:
+            return NULL_SPAN
+        parent = _CURRENT.get()
+        if parent is None or not parent.is_recording:
+            return NULL_SPAN
+        return Span(
+            self, parent._state, name, parent_id=parent.span_id,
+            attributes=attributes,
+        )
+
+    def annotate(self, **attributes) -> None:
+        """Attach attributes to the context's active span (cheap no-op off)."""
+        if not self.enabled:
+            return
+        span = _CURRENT.get()
+        if span is not None:
+            span.update(**attributes)
+
+    # -- trace completion ----------------------------------------------
+    def _finish_trace(self, state: _TraceState, root: Span) -> None:
+        slow = (
+            self.slow_threshold_s is not None
+            and root.duration_s >= self.slow_threshold_s
+        )
+        keep = state.sampled or slow
+        with self._lock:
+            if keep:
+                self.traces_kept += 1
+            else:
+                self.traces_dropped += 1
+        if not keep:
+            return
+        reason = state.reason or "slow"
+        if self.sink is not None:
+            self.sink.record({
+                "trace_id": state.trace_id,
+                "root": root.name,
+                "duration_s": root.duration_s,
+                "status": root.status,
+                "sampled": reason,
+                "slow": slow,
+                "spans": list(state.spans),
+            })
+
+    def info(self) -> Dict:
+        with self._lock:
+            out = {
+                "enabled": self.enabled,
+                "sample_rate": self.sample_rate,
+                "slow_threshold_s": self.slow_threshold_s,
+                "started": self.traces_started,
+                "kept": self.traces_kept,
+                "dropped": self.traces_dropped,
+            }
+        if self.sink is not None:
+            out["sink"] = self.sink.info()
+        return out
+
+
+class TraceSink:
+    """Bounded ring buffer + append-only JSONL store for kept traces.
+
+    The ring buffer (``capacity`` newest traces) backs ``GET /traces``;
+    the JSONL file under ``directory`` is the durable record the
+    ``python -m repro trace`` CLI renders.  One JSON object per line,
+    one line per *trace* (the whole span tree travels together).
+    Writes append under a lock and flush per record, so a crash loses
+    at most the line being written — :func:`load_traces` tolerates a
+    truncated final line.
+    """
+
+    def __init__(
+        self,
+        run_id: Optional[str] = None,
+        directory: Union[str, pathlib.Path, None] = DEFAULT_TRACE_DIR,
+        capacity: int = 256,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.run_id = run_id or time.strftime("trace-%Y%m%d-%H%M%S") + (
+            f"-{os.getpid()}"
+        )
+        self.capacity = capacity
+        self._ring: deque = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+        self._file = None
+        self.path: Optional[pathlib.Path] = None
+        self.recorded = 0
+        if directory is not None:
+            directory = pathlib.Path(directory)
+            directory.mkdir(parents=True, exist_ok=True)
+            self.path = directory / f"{self.run_id}.jsonl"
+
+    def record(self, trace: Dict) -> None:
+        with self._lock:
+            self.recorded += 1
+            self._ring.append(trace)
+            if self.path is not None:
+                if self._file is None:
+                    self._file = open(self.path, "a", encoding="utf-8")
+                self._file.write(json.dumps(trace) + "\n")
+                self._file.flush()
+
+    def recent(self, n: Optional[int] = None) -> List[Dict]:
+        """The newest kept traces, newest first."""
+        with self._lock:
+            traces = list(self._ring)
+        traces.reverse()
+        return traces if n is None else traces[: max(0, n)]
+
+    def slow(self, n: Optional[int] = None) -> List[Dict]:
+        """Newest-first kept traces ordered by root duration (slowest first)."""
+        with self._lock:
+            traces = list(self._ring)
+        traces.sort(key=lambda t: -(t.get("duration_s") or 0.0))
+        return traces if n is None else traces[: max(0, n)]
+
+    def close(self) -> None:
+        with self._lock:
+            if self._file is not None:
+                self._file.close()
+                self._file = None
+
+    def info(self) -> Dict:
+        with self._lock:
+            return {
+                "recorded": self.recorded,
+                "buffered": len(self._ring),
+                "capacity": self.capacity,
+                "path": str(self.path) if self.path is not None else None,
+            }
+
+    def __repr__(self) -> str:
+        return f"TraceSink({self.run_id!r}, recorded={self.recorded})"
+
+
+# The process-wide default tracer: *disabled*, so every call site that
+# falls back to it (engine, server, trainer) pays only an attribute
+# check until someone opts in via configure_tracer()/set_tracer().
+_DEFAULT_TRACER = Tracer(enabled=False)
+_ACTIVE_TRACER = _DEFAULT_TRACER
+
+
+def get_tracer() -> Tracer:
+    """The process-wide tracer (disabled until configured)."""
+    return _ACTIVE_TRACER
+
+
+def set_tracer(tracer: Optional[Tracer]) -> Tracer:
+    """Install (or, with None, reset) the process-wide tracer."""
+    global _ACTIVE_TRACER
+    _ACTIVE_TRACER = tracer if tracer is not None else _DEFAULT_TRACER
+    return _ACTIVE_TRACER
+
+
+def configure_tracer(
+    sample_rate: float = 1.0,
+    slow_threshold_ms: Optional[float] = None,
+    directory: Union[str, pathlib.Path, None] = DEFAULT_TRACE_DIR,
+    capacity: int = 256,
+    run_id: Optional[str] = None,
+) -> Tracer:
+    """Build, install and return an enabled process-wide tracer."""
+    sink = TraceSink(run_id=run_id, directory=directory, capacity=capacity)
+    tracer = Tracer(
+        sink=sink,
+        enabled=True,
+        sample_rate=sample_rate,
+        slow_threshold_s=(
+            slow_threshold_ms / 1000.0 if slow_threshold_ms is not None else None
+        ),
+    )
+    return set_tracer(tracer)
+
+
+# ---------------------------------------------------------------------------
+# Reading + rendering (the ``python -m repro trace`` CLI)
+# ---------------------------------------------------------------------------
+
+def load_traces(path: Union[str, pathlib.Path]) -> List[Dict]:
+    """Parse a trace JSONL file (tolerating a truncated final line)."""
+    lines = [
+        line.strip()
+        for line in pathlib.Path(path).read_text(encoding="utf-8").splitlines()
+        if line.strip()
+    ]
+    traces: List[Dict] = []
+    for i, line in enumerate(lines):
+        try:
+            traces.append(json.loads(line))
+        except json.JSONDecodeError:
+            if i == len(lines) - 1:
+                break
+            raise
+    return traces
+
+
+def _span_tree(trace: Dict):
+    """``(roots, children_by_id)`` of a trace's span list, start-ordered."""
+    spans = sorted(
+        trace.get("spans", []), key=lambda s: s.get("start_offset_s") or 0.0
+    )
+    children: Dict[Optional[str], List[Dict]] = {}
+    for span in spans:
+        children.setdefault(span.get("parent_id"), []).append(span)
+    return children.get(None, []), children
+
+
+def exclusive_times(trace: Dict) -> Dict[str, List[float]]:
+    """Per-span-name *exclusive* durations (inclusive minus direct children).
+
+    Exclusive time is where the waterfall's "unaccounted" milliseconds
+    live — a span whose children explain little of its duration is
+    doing untraced work itself.
+    """
+    _, children = _span_tree(trace)
+    out: Dict[str, List[float]] = {}
+    for span in trace.get("spans", []):
+        inclusive = span.get("duration_s") or 0.0
+        child_total = sum(
+            c.get("duration_s") or 0.0
+            for c in children.get(span.get("span_id"), [])
+        )
+        out.setdefault(span["name"], []).append(
+            max(0.0, inclusive - child_total)
+        )
+    return out
+
+
+def render_waterfall(trace: Dict, width: int = 40) -> str:
+    """One trace as an indented waterfall with scaled duration bars."""
+    total = trace.get("duration_s") or 0.0
+    header = (
+        f"trace {trace.get('trace_id')}  {trace.get('root')}  "
+        f"{1000 * total:.3f} ms  "
+        f"[{trace.get('sampled')}{', slow' if trace.get('slow') else ''}]"
+    )
+    lines = [header]
+    roots, children = _span_tree(trace)
+
+    def bar(span: Dict) -> str:
+        if total <= 0:
+            return ""
+        offset = span.get("start_offset_s") or 0.0
+        duration = span.get("duration_s") or 0.0
+        col = min(width - 1, int(width * offset / total))
+        length = max(1, int(round(width * duration / total)))
+        length = min(length, width - col)
+        return " " * col + "#" * length
+
+    def emit(span: Dict, depth: int) -> None:
+        duration = span.get("duration_s")
+        label = "  " * depth + span["name"]
+        mark = " !" if span.get("status") == "error" else ""
+        attrs = span.get("attributes") or {}
+        attr_text = (
+            " {" + ", ".join(f"{k}={v}" for k, v in sorted(attrs.items())) + "}"
+            if attrs else ""
+        )
+        lines.append(
+            f"  {label:<32} {1000 * (duration or 0.0):>9.3f} ms "
+            f"|{bar(span):<{width}}|{mark}{attr_text}"
+        )
+        if span.get("error"):
+            lines.append("  " + "  " * (depth + 1) + f"error: {span['error']}")
+        for child in children.get(span.get("span_id"), []):
+            emit(child, depth + 1)
+
+    for root in roots:
+        emit(root, 0)
+    return "\n".join(lines)
+
+
+def aggregate_spans(traces: List[Dict]) -> Dict[str, Dict]:
+    """Per-span-name latency breakdown across many traces.
+
+    Returns ``{name: {count, inclusive: {p50, p95, p99, mean, total},
+    exclusive: {...}, errors}}`` with all times in seconds.
+    """
+    inclusive: Dict[str, List[float]] = {}
+    exclusive: Dict[str, List[float]] = {}
+    errors: Dict[str, int] = {}
+    for trace in traces:
+        for span in trace.get("spans", []):
+            name = span["name"]
+            inclusive.setdefault(name, []).append(span.get("duration_s") or 0.0)
+            if span.get("status") == "error":
+                errors[name] = errors.get(name, 0) + 1
+        for name, values in exclusive_times(trace).items():
+            exclusive.setdefault(name, []).extend(values)
+
+    def stats(values: List[float]) -> Dict[str, float]:
+        ordered = sorted(values)
+
+        def pct(q: float) -> float:
+            if not ordered:
+                return 0.0
+            idx = (len(ordered) - 1) * q / 100.0
+            lo, hi = int(idx), min(int(idx) + 1, len(ordered) - 1)
+            frac = idx - lo
+            return ordered[lo] * (1 - frac) + ordered[hi] * frac
+
+        return {
+            "mean": sum(ordered) / len(ordered) if ordered else 0.0,
+            "total": sum(ordered),
+            "p50": pct(50), "p95": pct(95), "p99": pct(99),
+        }
+
+    return {
+        name: {
+            "count": len(values),
+            "errors": errors.get(name, 0),
+            "inclusive": stats(values),
+            "exclusive": stats(exclusive.get(name, [])),
+        }
+        for name, values in sorted(inclusive.items())
+    }
+
+
+def render_aggregate(traces: List[Dict]) -> str:
+    """The per-span-name table: count, inclusive and exclusive p50/p95/p99."""
+    table = aggregate_spans(traces)
+    lines = [
+        f"{len(traces)} trace(s), {sum(e['count'] for e in table.values())} "
+        "span(s)",
+        "",
+        f"{'span':<28} {'count':>5} {'err':>4} "
+        f"{'incl p50':>9} {'p95':>9} {'p99':>9}  "
+        f"{'excl p50':>9} {'p95':>9} {'p99':>9}",
+    ]
+    for name, entry in table.items():
+        inc, exc = entry["inclusive"], entry["exclusive"]
+        lines.append(
+            f"{name:<28} {entry['count']:>5} {entry['errors']:>4} "
+            f"{1000 * inc['p50']:>8.3f}m {1000 * inc['p95']:>8.3f}m "
+            f"{1000 * inc['p99']:>8.3f}m  "
+            f"{1000 * exc['p50']:>8.3f}m {1000 * exc['p95']:>8.3f}m "
+            f"{1000 * exc['p99']:>8.3f}m"
+        )
+    return "\n".join(lines)

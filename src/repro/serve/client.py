@@ -16,6 +16,13 @@ Retry policy — the conservative production default:
 
 On final failure :class:`ServeClientError` carries the last status and
 decoded JSON body (or the transport error message).
+
+Trace propagation: every request carries an ``X-Trace-Id`` header when
+one is available — an explicit ``trace_id`` argument, or the caller's
+active trace (:func:`repro.obs.current_trace_id`) so a traced training
+or eval loop stitches its server calls into its own trace tree.  The
+server's ``X-Trace-Id`` response header lands in
+:attr:`ServeClient.last_trace_id` either way.
 """
 
 from __future__ import annotations
@@ -27,6 +34,8 @@ import urllib.request
 from typing import Callable, Optional, Sequence
 
 import numpy as np
+
+from repro.obs import current_trace_id
 
 
 class ServeClientError(Exception):
@@ -62,21 +71,33 @@ class ServeClient:
         self.retry_statuses = frozenset(retry_statuses)
         self.rng = rng if rng is not None else np.random.default_rng()
         self.sleep = sleep
+        #: X-Trace-Id of the most recent response (None when untraced).
+        self.last_trace_id: Optional[str] = None
 
     # -- transport -----------------------------------------------------
-    def _once(self, method: str, path: str, payload: Optional[dict]) -> tuple:
+    def _once(
+        self, method: str, path: str, payload: Optional[dict],
+        trace_id: Optional[str] = None,
+    ) -> tuple:
         data = None
         headers = {"Accept": "application/json"}
         if payload is not None:
             data = json.dumps(payload).encode("utf-8")
             headers["Content-Type"] = "application/json"
+        # Propagate the caller's trace so the server continues it (and
+        # keeps it: an explicit inbound id always survives sampling).
+        trace_id = trace_id if trace_id is not None else current_trace_id()
+        if trace_id:
+            headers["X-Trace-Id"] = trace_id
         request = urllib.request.Request(
             self.base_url + path, data=data, headers=headers, method=method
         )
         try:
             with urllib.request.urlopen(request, timeout=self.timeout_s) as resp:
+                self.last_trace_id = resp.headers.get("X-Trace-Id")
                 return resp.status, _decode(resp.read())
         except urllib.error.HTTPError as exc:
+            self.last_trace_id = exc.headers.get("X-Trace-Id")
             return exc.code, _decode(exc.read())
 
     def _backoff(self, attempt: int) -> float:
@@ -89,13 +110,14 @@ class ServeClient:
         path: str,
         payload: Optional[dict] = None,
         idempotent: bool = True,
+        trace_id: Optional[str] = None,
     ) -> tuple:
         """``(status, body)`` with retries; raises only on transport failure."""
         last_error: Optional[Exception] = None
         status, body = None, None
         for attempt in range(self.retries + 1):
             try:
-                status, body = self._once(method, path, payload)
+                status, body = self._once(method, path, payload, trace_id)
                 last_error = None
             except (urllib.error.URLError, ConnectionError, TimeoutError) as exc:
                 last_error = exc
@@ -115,8 +137,12 @@ class ServeClient:
             )
         return status, body
 
-    def _checked(self, method, path, payload=None, idempotent=True) -> dict:
-        status, body = self.request(method, path, payload, idempotent=idempotent)
+    def _checked(
+        self, method, path, payload=None, idempotent=True, trace_id=None
+    ) -> dict:
+        status, body = self.request(
+            method, path, payload, idempotent=idempotent, trace_id=trace_id
+        )
         if status is None or status >= 400:
             code = (body or {}).get("error", {}).get("code", "unknown")
             raise ServeClientError(
@@ -132,11 +158,14 @@ class ServeClient:
         deadline_ms: Optional[float] = None,
         return_probabilities: bool = False,
         idempotent: bool = True,
+        trace_id: Optional[str] = None,
     ) -> dict:
         """POST ``/predict``; returns the decoded response body.
 
         Raises :class:`ServeClientError` (with ``.status`` and ``.body``)
         once the retry budget is spent or on any non-retryable error.
+        ``trace_id`` forces the server to trace (and keep) this request;
+        without it the caller's active trace id, if any, is propagated.
         """
         payload: dict = {"nodes": list(nodes)}
         if features is not None:
@@ -145,7 +174,10 @@ class ServeClient:
             payload["deadline_ms"] = deadline_ms
         if return_probabilities:
             payload["return_probabilities"] = True
-        return self._checked("POST", "/predict", payload, idempotent=idempotent)
+        return self._checked(
+            "POST", "/predict", payload, idempotent=idempotent,
+            trace_id=trace_id,
+        )
 
     def reload(self) -> dict:
         """POST ``/reload``: hot-swap the newest valid checkpoint.
@@ -164,6 +196,10 @@ class ServeClient:
 
     def metrics(self) -> dict:
         return self._checked("GET", "/metrics")
+
+    def traces(self, n: int = 20, order: str = "slow") -> dict:
+        """GET ``/traces``: the server's kept traces, slowest first."""
+        return self._checked("GET", f"/traces?n={int(n)}&order={order}")
 
 
 def _decode(raw: bytes):

@@ -60,7 +60,7 @@ import numpy as np
 
 from repro.graphs.graph import Graph
 from repro.graphs.normalize import gcn_norm
-from repro.obs import MetricsRegistry, get_logger, get_registry
+from repro.obs import MetricsRegistry, get_logger, get_registry, get_tracer
 from repro.perf import config as perf_config
 from repro.perf import propcache
 from repro.perf.logitstore import (
@@ -218,6 +218,7 @@ class InferenceEngine:
         logit_store: Optional[LogitStore] = None,
         batch_window_ms: float = 0.0,
         max_batch: int = 256,
+        tracer=None,
     ) -> None:
         self.model = model
         self.graph = graph
@@ -225,6 +226,10 @@ class InferenceEngine:
         self.fallback = fallback
         self.breaker = breaker if breaker is not None else CircuitBreaker()
         self.registry = registry if registry is not None else get_registry()
+        # Tracing rides the process-wide tracer unless one is injected;
+        # the default is disabled, where every span call returns the
+        # shared NULL_SPAN (no allocation on this hot path).
+        self.tracer = tracer if tracer is not None else get_tracer()
         self.fault_hook = fault_hook
         self.latency_ema_alpha = latency_ema_alpha
         self.preempt_margin = preempt_margin
@@ -301,7 +306,7 @@ class InferenceEngine:
         answered with logits computed by the old weights once the swap
         returns.  Returns the new version fingerprint.
         """
-        with self._swap_lock:
+        with self._swap_lock, self.tracer.span("serve.swap_model") as span:
             model.setup(self.graph)
             new_version = model_fingerprint(model)
             _, old_version, _ = self._active
@@ -312,6 +317,9 @@ class InferenceEngine:
             # The new model's forward cost is unknown; restart the EMA.
             self._latency_ema = None
             self.registry.counter("serve.reload").inc()
+            span.update(
+                old_version=old_version[:12], new_version=new_version[:12]
+            )
             _LOG.info(
                 "model swapped: %s -> %s", old_version[:12], new_version[:12]
             )
@@ -357,19 +365,23 @@ class InferenceEngine:
     def _attempt_full(
         self, request: PredictRequest, deadline: Optional[Deadline]
     ) -> np.ndarray:
-        start = self._clock()
-        logits = self._full_logits(request)
-        elapsed = self._clock() - start
-        self._update_latency(elapsed)
-        selected = logits[request.nodes]
-        if not np.isfinite(selected).all():
-            raise ModelFault("full model produced non-finite logits")
-        if deadline is not None and deadline.expired:
-            raise DeadlineExceeded(
-                f"full forward took {1000 * elapsed:.1f} ms, over the "
-                f"{1000 * deadline.budget_s:.0f} ms budget"
-            )
-        return selected
+        with self.tracer.span(
+            "serve.forward", nodes=len(request.nodes)
+        ) as span:
+            start = self._clock()
+            logits = self._full_logits(request)
+            elapsed = self._clock() - start
+            self._update_latency(elapsed)
+            span.set("forward_ms", round(1000 * elapsed, 3))
+            selected = logits[request.nodes]
+            if not np.isfinite(selected).all():
+                raise ModelFault("full model produced non-finite logits")
+            if deadline is not None and deadline.expired:
+                raise DeadlineExceeded(
+                    f"full forward took {1000 * elapsed:.1f} ms, over the "
+                    f"{1000 * deadline.budget_s:.0f} ms budget"
+                )
+            return selected
 
     def _coalesced_full(
         self,
@@ -388,18 +400,22 @@ class InferenceEngine:
 
         def compute() -> np.ndarray:
             try:
-                start = self._clock()
-                logits = self._full_logits(request, model=model)
-                elapsed = self._clock() - start
-                self._update_latency(elapsed)
-                if not np.isfinite(logits).all():
-                    raise ModelFault("full model produced non-finite logits")
-                if deadline is not None and deadline.expired:
-                    raise DeadlineExceeded(
-                        f"full forward took {1000 * elapsed:.1f} ms, over "
-                        f"the {1000 * deadline.budget_s:.0f} ms budget"
-                    )
-                stored = self.logit_store.put(key, logits)
+                with self.tracer.span("serve.forward") as fwd_span:
+                    start = self._clock()
+                    logits = self._full_logits(request, model=model)
+                    elapsed = self._clock() - start
+                    self._update_latency(elapsed)
+                    fwd_span.set("forward_ms", round(1000 * elapsed, 3))
+                    if not np.isfinite(logits).all():
+                        raise ModelFault(
+                            "full model produced non-finite logits"
+                        )
+                    if deadline is not None and deadline.expired:
+                        raise DeadlineExceeded(
+                            f"full forward took {1000 * elapsed:.1f} ms, over "
+                            f"the {1000 * deadline.budget_s:.0f} ms budget"
+                        )
+                    stored = self.logit_store.put(key, logits)
                 self.breaker.record_success()
                 return stored
             except Exception as exc:
@@ -407,21 +423,23 @@ class InferenceEngine:
                 raise _mark_recorded(exc)
 
         timeout = deadline.clamp() if deadline is not None else None
-        try:
-            logits, leader, waiters = self._singleflight.run(
-                key, compute, timeout_s=timeout
-            )
-        except TimeoutError as exc:
-            raise _mark_recorded(DeadlineExceeded(str(exc))) from None
-        if leader:
-            if waiters:
-                self.registry.counter(
-                    "serve.fastpath.coalesced_waiters"
-                ).inc(waiters)
-        elif deadline is not None and deadline.expired:
-            raise _mark_recorded(DeadlineExceeded(
-                "deadline expired while waiting on a coalesced forward"
-            ))
+        with self.tracer.span("serve.singleflight") as sf_span:
+            try:
+                logits, leader, waiters = self._singleflight.run(
+                    key, compute, timeout_s=timeout
+                )
+            except TimeoutError as exc:
+                raise _mark_recorded(DeadlineExceeded(str(exc))) from None
+            sf_span.update(leader=leader, waiters=waiters)
+            if leader:
+                if waiters:
+                    self.registry.counter(
+                        "serve.fastpath.coalesced_waiters"
+                    ).inc(waiters)
+            elif deadline is not None and deadline.expired:
+                raise _mark_recorded(DeadlineExceeded(
+                    "deadline expired while waiting on a coalesced forward"
+                ))
         return logits[request.nodes], not leader
 
     def _evaluate_full_union(self, union: np.ndarray) -> np.ndarray:
@@ -430,13 +448,19 @@ class InferenceEngine:
             len(union)
         )
         try:
-            start = self._clock()
-            logits = self._full_logits(PredictRequest(nodes=union))
-            elapsed = self._clock() - start
-            self._update_latency(elapsed)
-            selected = logits[union]
-            if not np.isfinite(selected).all():
-                raise ModelFault("full model produced non-finite logits")
+            # Runs on the batch leader's thread, so the span lands under
+            # its serve.microbatch span; followers see only the wait.
+            with self.tracer.span(
+                "serve.forward", batch_union=len(union)
+            ) as span:
+                start = self._clock()
+                logits = self._full_logits(PredictRequest(nodes=union))
+                elapsed = self._clock() - start
+                self._update_latency(elapsed)
+                span.set("forward_ms", round(1000 * elapsed, 3))
+                selected = logits[union]
+                if not np.isfinite(selected).all():
+                    raise ModelFault("full model produced non-finite logits")
             self.breaker.record_success()
             return selected
         except Exception as exc:
@@ -447,15 +471,21 @@ class InferenceEngine:
         self, request: PredictRequest, deadline: Optional[Deadline]
     ) -> np.ndarray:
         timeout = deadline.clamp() if deadline is not None else None
-        try:
-            rows = self._full_batcher.submit(request.nodes, timeout_s=timeout)
-        except TimeoutError as exc:
-            raise _mark_recorded(DeadlineExceeded(str(exc))) from None
-        if deadline is not None and deadline.expired:
-            raise _mark_recorded(DeadlineExceeded(
-                "deadline expired while waiting on a micro-batch"
-            ))
-        return rows
+        with self.tracer.span(
+            "serve.microbatch", nodes=len(request.nodes)
+        ) as span:
+            try:
+                rows = self._full_batcher.submit(
+                    request.nodes, timeout_s=timeout
+                )
+            except TimeoutError as exc:
+                raise _mark_recorded(DeadlineExceeded(str(exc))) from None
+            span.set("flushes", self._full_batcher.flushes)
+            if deadline is not None and deadline.expired:
+                raise _mark_recorded(DeadlineExceeded(
+                    "deadline expired while waiting on a micro-batch"
+                ))
+            return rows
 
     # -- degraded path -------------------------------------------------
     def _evaluate_fallback_union(self, union: np.ndarray) -> np.ndarray:
@@ -469,42 +499,54 @@ class InferenceEngine:
     ) -> Tuple[np.ndarray, bool]:
         """Fallback rows for the request; returns (rows, from_cache)."""
         fallback = self.fallback
-        if request.features is not None:
-            return fallback.logits(request.nodes, request.features), False
-        if self.fastpath and self.logit_store is not None:
-            fkey = (fallback.version,)
-            cached = self.logit_store.get(fkey)
-            if cached is not None:
-                self.registry.counter("serve.fastpath.hits").inc()
-                return cached[request.nodes], True
-            self.registry.counter("serve.fastpath.misses").inc()
-            timeout = deadline.clamp() if deadline is not None else None
-            full, leader, waiters = self._singleflight.run(
-                fkey,
-                lambda: self.logit_store.put(fkey, fallback.full_logits()),
-                timeout_s=timeout,
-            )
-            if leader and waiters:
-                self.registry.counter(
-                    "serve.fastpath.coalesced_waiters"
-                ).inc(waiters)
-            return full[request.nodes], False
-        if self._fallback_batcher is not None:
-            timeout = deadline.clamp() if deadline is not None else None
-            return (
-                self._fallback_batcher.submit(request.nodes, timeout_s=timeout),
-                False,
-            )
-        return fallback.logits(request.nodes), False
+        with self.tracer.span("serve.fallback") as span:
+            if request.features is not None:
+                span.set("mode", "features_override")
+                return fallback.logits(request.nodes, request.features), False
+            if self.fastpath and self.logit_store is not None:
+                fkey = (fallback.version,)
+                cached = self.logit_store.get(fkey)
+                if cached is not None:
+                    self.registry.counter("serve.fastpath.hits").inc()
+                    span.update(mode="memoized", hit=True)
+                    return cached[request.nodes], True
+                self.registry.counter("serve.fastpath.misses").inc()
+                span.update(mode="memoized", hit=False)
+                timeout = deadline.clamp() if deadline is not None else None
+                full, leader, waiters = self._singleflight.run(
+                    fkey,
+                    lambda: self.logit_store.put(fkey, fallback.full_logits()),
+                    timeout_s=timeout,
+                )
+                span.update(leader=leader, waiters=waiters)
+                if leader and waiters:
+                    self.registry.counter(
+                        "serve.fastpath.coalesced_waiters"
+                    ).inc(waiters)
+                return full[request.nodes], False
+            if self._fallback_batcher is not None:
+                span.set("mode", "microbatch")
+                timeout = deadline.clamp() if deadline is not None else None
+                return (
+                    self._fallback_batcher.submit(
+                        request.nodes, timeout_s=timeout
+                    ),
+                    False,
+                )
+            span.set("mode", "direct")
+            return fallback.logits(request.nodes), False
 
     # -- the ladder ----------------------------------------------------
     def predict(
         self, request: PredictRequest, deadline: Optional[Deadline] = None
     ) -> dict:
         """Answer a validated request via the fast path + ladder."""
+        tracer = self.tracer
         fast_key = self._store_key(request)
         if fast_key is not None:
-            cached = self.logit_store.get(fast_key)
+            with tracer.span("serve.store.lookup") as span:
+                cached = self.logit_store.get(fast_key)
+                span.set("hit", cached is not None)
             if cached is not None:
                 # Warm hit: no forward, no breaker or latency-EMA
                 # accounting — a lookup can't say anything about the
@@ -520,6 +562,7 @@ class InferenceEngine:
         if not self.breaker.allow():
             reason = "breaker_open"
             self.registry.counter("serve.breaker.short_circuit").inc()
+            tracer.annotate(breaker_state=self.breaker.state)
         elif (
             deadline is not None
             and self._latency_ema is not None
@@ -529,6 +572,10 @@ class InferenceEngine:
             # up-front instead of burning the budget to find out.
             reason = "deadline_preempted"
             self.registry.counter("serve.deadline.preempted").inc()
+            tracer.annotate(
+                deadline_remaining_ms=round(1000 * deadline.remaining(), 3),
+                latency_ema_ms=round(1000 * self._latency_ema, 3),
+            )
 
         if reason is None:
             try:
@@ -555,6 +602,7 @@ class InferenceEngine:
                     self.breaker.record_failure()
                 self.registry.counter("serve.predict.failures").inc()
                 reason = exc.code if isinstance(exc, ServeError) else "model_fault"
+                tracer.annotate(full_path_error=f"{type(exc).__name__}: {exc}")
                 _LOG.warning("full path failed (%s): %s", reason, exc)
 
         if self.fallback is None:
@@ -600,6 +648,13 @@ class InferenceEngine:
             result["coalesced"] = True
         if reason is not None:
             result["reason"] = reason
+        # The root request span carries the outcome attributes, so a
+        # rendered trace explains itself without the response body.
+        self.tracer.annotate(degraded=degraded, cached=cached)
+        if coalesced:
+            self.tracer.annotate(coalesced=True)
+        if reason is not None:
+            self.tracer.annotate(degradation_reason=reason)
         if request.return_probabilities:
             result["probabilities"] = _softmax(logits).round(6).tolist()
         return result

@@ -15,12 +15,24 @@ endpoints:
 - ``GET /readyz``   — readiness (503 until a usable engine exists, and
   when the breaker is open with no fallback to serve from);
 - ``GET /metrics``  — the PR-1 :class:`~repro.obs.MetricsRegistry`
-  snapshot plus breaker/shedder/cache and fast-path state.
+  snapshot plus breaker/shedder/cache and fast-path state;
+  ``?format=prometheus`` returns the text exposition format instead
+  (:mod:`repro.obs.prometheus`);
+- ``GET /traces``   — recent kept request traces from the tracer's
+  ring buffer, slowest first (``?n=`` bounds the count).
+
+Tracing: when the server's :class:`~repro.obs.Tracer` is enabled,
+``/predict`` and ``/reload`` each run under a root span whose id is
+returned in the ``X-Trace-Id`` response header; an inbound
+``X-Trace-Id`` header continues the caller's trace (and forces the
+sample).  With the tracer disabled — the default — the handler path is
+unchanged except for no-op singleton checks.
 
 Every code path funnels through :meth:`_send_json`; an unexpected
 exception becomes a structured 500 body (code ``internal``) rather than
 the default ``http.server`` HTML traceback page — the serving contract
-is that clients only ever parse JSON.
+is that clients only ever parse JSON (or, for the Prometheus view,
+explicitly ask for text).
 
 Request threads are daemonic and admission is bounded by the
 :class:`~repro.serve.guard.LoadShedder`, so a traffic spike sheds with
@@ -32,10 +44,18 @@ from __future__ import annotations
 import json
 import threading
 import time
+import urllib.parse
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Optional, Union
 
-from repro.obs import MetricsRegistry, get_logger, get_registry
+from repro.obs import (
+    PROMETHEUS_CONTENT_TYPE,
+    MetricsRegistry,
+    get_logger,
+    get_registry,
+    get_tracer,
+    render_prometheus,
+)
 from repro.perf import get_cache
 from repro.resilience.checkpoint import CheckpointManager
 from repro.serve.engine import InferenceEngine, PathLike, load_checkpoint_model
@@ -75,6 +95,10 @@ class ModelServer:
         Directory (or :class:`CheckpointManager`) that ``POST /reload``
         pulls the newest valid checkpoint from; ``None`` disables the
         endpoint (it answers 503).
+    tracer:
+        The request tracer (:class:`repro.obs.Tracer`); defaults to the
+        process-wide one, which is disabled until configured — so a
+        server built without explicit tracing pays only no-op checks.
     """
 
     def __init__(
@@ -89,11 +113,13 @@ class ModelServer:
         max_nodes: int = DEFAULT_MAX_NODES,
         default_deadline_ms: Optional[float] = None,
         checkpoint_source: Optional[Union[PathLike, CheckpointManager]] = None,
+        tracer=None,
     ) -> None:
         self.engine = engine
         self.checkpoint_source = checkpoint_source
         self._reload_lock = threading.Lock()
         self.registry = registry if registry is not None else get_registry()
+        self.tracer = tracer if tracer is not None else get_tracer()
         self.shedder = LoadShedder(max_inflight)
         self.max_body_bytes = max_body_bytes
         self.max_nodes = max_nodes
@@ -163,6 +189,7 @@ class ModelServer:
             )
         if not self.shedder.try_acquire():
             registry.counter("serve.shed").inc()
+            self.tracer.annotate(shed=True, inflight=self.shedder.inflight)
             raise Overloaded(
                 f"server at capacity ({self.shedder.max_inflight} requests "
                 "in flight); retry with backoff",
@@ -171,13 +198,16 @@ class ModelServer:
         try:
             registry.gauge("serve.inflight").set(self.shedder.inflight)
             with registry.timer("serve.latency_s") as timer:
-                request = parse_predict_request(
-                    raw,
-                    num_nodes=self.engine.graph.num_nodes,
-                    num_features=self.engine.graph.num_features,
-                    max_body_bytes=self.max_body_bytes,
-                    max_nodes=self.max_nodes,
-                )
+                with self.tracer.span("serve.validate") as vspan:
+                    request = parse_predict_request(
+                        raw,
+                        num_nodes=self.engine.graph.num_nodes,
+                        num_features=self.engine.graph.num_features,
+                        max_body_bytes=self.max_body_bytes,
+                        max_nodes=self.max_nodes,
+                    )
+                    if vspan.is_recording:
+                        vspan.update(nodes=len(request.nodes), bytes=len(raw))
                 deadline_ms = (
                     request.deadline_ms
                     if request.deadline_ms is not None
@@ -224,17 +254,39 @@ class ModelServer:
             "engine": self.engine.info(),
         }
 
-    def handle_metrics(self) -> tuple:
+    def handle_metrics(self, fmt: str = "json") -> tuple:
+        if fmt == "prometheus":
+            body = render_prometheus(self.registry.snapshot())
+            return 200, body, PROMETHEUS_CONTENT_TYPE
+        if fmt != "json":
+            raise ValidationError(
+                f"unknown metrics format {fmt!r} (expected json or prometheus)",
+                code="bad_format",
+            )
         payload = {
             "metrics": self.registry.snapshot(),
             "inflight": self.shedder.inflight,
             "shed_count": self.shedder.shed_count,
             "propcache": get_cache().info(),
+            "tracing": self.tracer.info(),
         }
         if self.engine is not None:
             payload["breaker"] = self.engine.breaker.snapshot()
             payload["fastpath"] = self.engine.info()["fastpath"]
         return 200, payload
+
+    def handle_traces(self, n: int = 20, order: str = "slow") -> tuple:
+        """Kept traces from the tracer's ring buffer (``GET /traces``)."""
+        tracer = self.tracer
+        if not tracer.enabled or tracer.sink is None:
+            return 200, {"enabled": False, "traces": []}
+        n = max(0, n)
+        traces = tracer.sink.recent(n) if order == "recent" else tracer.sink.slow(n)
+        return 200, {
+            "enabled": True,
+            "tracer": tracer.info(),
+            "traces": traces,
+        }
 
     def handle_reload(self) -> tuple:
         return 200, self.reload_checkpoint()
@@ -300,17 +352,31 @@ class _Handler(BaseHTTPRequestHandler):
     def log_message(self, fmt, *args):  # noqa: N802 (stdlib name)
         _LOG.debug("%s %s", self.address_string(), fmt % args)
 
-    def _send_json(self, status: int, payload: dict) -> None:
-        body = json.dumps(payload).encode("utf-8")
+    #: Trace id of the request being handled (set per request before the
+    #: response is written; surfaces as the X-Trace-Id response header).
+    _trace_id: Optional[str] = None
+
+    def _send_body(self, status: int, body: bytes, content_type: str) -> None:
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
+        if self._trace_id:
+            self.send_header("X-Trace-Id", self._trace_id)
         self.send_header("Content-Length", str(len(body)))
         self.end_headers()
         self.wfile.write(body)
 
+    def _send_json(self, status: int, payload: dict) -> None:
+        self._send_body(
+            status, json.dumps(payload).encode("utf-8"), "application/json"
+        )
+
     def _dispatch(self, handler) -> None:
+        content_type = None
         try:
-            status, payload = handler()
+            result = handler()
+            status, payload = result[0], result[1]
+            if len(result) > 2:  # (status, text, content_type) — /metrics
+                content_type = result[2]
         except ServeError as exc:
             status, payload = exc.status, exc.to_dict()
         except Exception as exc:  # structured 500, never an HTML traceback
@@ -321,28 +387,61 @@ class _Handler(BaseHTTPRequestHandler):
                 "error": {"code": "internal", "message": str(exc) or repr(exc)}
             }
         try:
-            self._send_json(status, payload)
+            if content_type is not None:
+                self._send_body(status, payload.encode("utf-8"), content_type)
+            else:
+                self._send_json(status, payload)
         except (BrokenPipeError, ConnectionResetError):
             pass  # client went away mid-response
 
-    def do_GET(self) -> None:  # noqa: N802 (stdlib name)
-        server = self.model_server
-        routes = {
-            "/healthz": server.handle_healthz,
-            "/readyz": server.handle_readyz,
-            "/metrics": server.handle_metrics,
+    def _query(self) -> dict:
+        """First-value-wins query parameters of the request path."""
+        query = urllib.parse.urlsplit(self.path).query
+        return {
+            key: values[0]
+            for key, values in urllib.parse.parse_qs(query).items()
+            if values
         }
-        handler = routes.get(self.path.split("?", 1)[0])
-        if handler is None:
-            self._dispatch(lambda: _not_found(self.path))
+
+    def do_GET(self) -> None:  # noqa: N802 (stdlib name)
+        # Keep-alive reuses this handler instance across requests; clear
+        # the previous request's trace id so it can't leak into headers.
+        self._trace_id = None
+        server = self.model_server
+        path = self.path.split("?", 1)[0]
+        if path == "/metrics":
+            fmt = self._query().get("format", "json")
+            self._dispatch(lambda: server.handle_metrics(fmt))
+        elif path == "/traces":
+            params = self._query()
+            try:
+                n = int(params.get("n", "20"))
+            except ValueError:
+                n = 20
+            order = params.get("order", "slow")
+            self._dispatch(lambda: server.handle_traces(n, order))
+        elif path == "/healthz":
+            self._dispatch(server.handle_healthz)
+        elif path == "/readyz":
+            self._dispatch(server.handle_readyz)
         else:
-            self._dispatch(handler)
+            self._dispatch(lambda: _not_found(self.path))
 
     def do_POST(self) -> None:  # noqa: N802 (stdlib name)
+        self._trace_id = None
         server = self.model_server
         path = self.path.split("?", 1)[0]
         if path == "/reload":
-            self._dispatch(server.handle_reload)
+
+            def reload():
+                span = server.tracer.trace(
+                    "serve.reload", trace_id=self.headers.get("X-Trace-Id")
+                )
+                self._trace_id = span.trace_id
+                with span:
+                    return server.handle_reload()
+
+            self._dispatch(reload)
             return
         if path != "/predict":
             self._dispatch(lambda: _not_found(self.path))
@@ -367,7 +466,17 @@ class _Handler(BaseHTTPRequestHandler):
                         "bytes": length, "limit": server.max_body_bytes
                     },
                 )
-            return server.handle_predict(self.rfile.read(length))
+            raw = self.rfile.read(length)
+            # Root span for the request: an inbound X-Trace-Id continues
+            # the caller's trace (and forces the sample); the id is set
+            # on the handler *before* the body runs so even error
+            # responses carry the X-Trace-Id header.
+            span = server.tracer.trace(
+                "serve.predict", trace_id=self.headers.get("X-Trace-Id")
+            )
+            self._trace_id = span.trace_id
+            with span:
+                return server.handle_predict(raw)
 
         self._dispatch(predict)
 
@@ -379,7 +488,8 @@ def _not_found(path: str) -> tuple:
             "message": f"unknown path {path!r}",
             "detail": {
                 "endpoints": [
-                    "/predict", "/reload", "/healthz", "/readyz", "/metrics"
+                    "/predict", "/reload", "/healthz", "/readyz",
+                    "/metrics", "/traces",
                 ]
             },
         }

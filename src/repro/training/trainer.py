@@ -45,7 +45,7 @@ from repro import nn
 from repro.graphs.graph import Graph
 from repro.models.base import GNNModel
 from repro.nn.serialization import CheckpointError
-from repro.obs import get_logger, get_registry
+from repro.obs import get_logger, get_registry, get_tracer
 from repro.obs.profiler import OpProfiler
 from repro.obs.runlog import RunLogger
 from repro.resilience.checkpoint import (
@@ -216,6 +216,7 @@ class Trainer:
         guards: Optional[GuardConfig] = None,
         fault_hook: Optional[Callable[[int, GNNModel, nn.Optimizer], None]] = None,
         checkpoint_metadata: Optional[dict] = None,
+        tracer=None,
     ) -> TrainResult:
         """Train ``model`` on ``graph`` and return the result.
 
@@ -237,9 +238,16 @@ class Trainer:
         ``checkpoint_metadata`` rides along in every checkpoint (the CLI
         stores the invocation there so ``python -m repro resume`` can
         rebuild the model).
+
+        ``tracer`` (defaulting to the process-wide
+        :func:`repro.obs.get_tracer`, which is disabled until
+        configured) wraps the fit in a ``train.fit`` root trace with one
+        ``train.epoch`` span per epoch — loss, validation accuracy and
+        divergence rollbacks land as span attributes.
         """
         cfg = self.config
         rng = np.random.default_rng(cfg.seed)
+        tracer = tracer if tracer is not None else get_tracer()
 
         train_view = graph.training_subgraph() if inductive else graph
         model.setup(graph)  # full view first: sizes node-aware params to N
@@ -311,115 +319,134 @@ class Trainer:
         profile_ctx = (
             profiler.profile() if profiler is not None else contextlib.nullcontext()
         )
-        with profile_ctx:
+        # Root trace for the fit; one train.epoch span per epoch hangs
+        # underneath it.  The default tracer is disabled, so untraced
+        # runs pay only NULL_SPAN context-manager no-ops per epoch.
+        fit_span = tracer.trace(
+            "train.fit",
+            model=type(model).__name__,
+            dataset=getattr(graph, "name", None),
+            epochs=cfg.epochs,
+            inductive=inductive,
+        )
+        with profile_ctx, fit_span:
             epoch = start_epoch
             while epoch < cfg.epochs:
                 epochs_run = epoch + 1
-                start = time.perf_counter()
-                model.train()
-                model.begin_epoch(rng)
-                logits, index = model.training_batch()
-                batch_graph = model.graph
-                mask = batch_graph.train_mask[index]
-                if not mask.any():
-                    raise RuntimeError("training batch contains no labeled nodes")
-                loss = F.cross_entropy(
-                    logits[np.flatnonzero(mask)], batch_graph.labels[index][mask]
-                )
-                aux = model.auxiliary_loss()
-                if aux is not None:
-                    loss = loss + aux
-                optimizer.zero_grad()
-                loss.backward()
-                if fault_hook is not None:
-                    fault_hook(epoch, model, optimizer)
-                if cfg.max_grad_norm is not None:
-                    grad_total = nn.clip_grad_norm(
-                        optimizer.params, cfg.max_grad_norm
-                    )
-                else:
-                    grad_total = nn.grad_norm(optimizer.params)
-                loss_val = loss.item()
-
-                if guard is not None:
-                    reason = guard.diagnose(loss_val, grad_total)
-                    if reason is not None:
-                        epoch = self._handle_divergence(
-                            guard, reason, epoch, loss_val, grad_total,
-                            model, optimizer, scheduler, rng, book, logger,
+                with tracer.span("train.epoch", epoch=epoch) as espan:
+                    start = time.perf_counter()
+                    model.train()
+                    model.begin_epoch(rng)
+                    logits, index = model.training_batch()
+                    batch_graph = model.graph
+                    mask = batch_graph.train_mask[index]
+                    if not mask.any():
+                        raise RuntimeError(
+                            "training batch contains no labeled nodes"
                         )
-                        continue
-
-                lr_used = optimizer.lr  # the rate this step applied
-                optimizer.step()
-                if scheduler is not None:
-                    scheduler.step()
-                book.times.append(time.perf_counter() - start)
-                book.losses.append(loss_val)
-                book.lrs.append(lr_used)
-                book.grad_norms.append(grad_total)
-
-                # Validation (on the full graph for inductive protocols).
-                if inductive:
-                    model.attach(graph)
-                predictions = model.predict()
-                val_acc = F.accuracy(
-                    predictions[graph.val_mask], graph.labels[graph.val_mask]
-                )
-                book.val_accs.append(val_acc)
-                if epoch_callback is not None:
-                    epoch_callback(epoch, model)
-                if inductive:
-                    model.attach(train_view)
-
-                if logger is not None:
-                    logger.log_epoch(
-                        epoch,
-                        loss=loss_val,
-                        val_acc=val_acc,
-                        lr=lr_used,
-                        grad_norm=grad_total,
-                        epoch_time=book.times[-1],
-                        **_gate_stats(model),
+                    loss = F.cross_entropy(
+                        logits[np.flatnonzero(mask)],
+                        batch_graph.labels[index][mask],
                     )
+                    aux = model.auxiliary_loss()
+                    if aux is not None:
+                        loss = loss + aux
+                    optimizer.zero_grad()
+                    loss.backward()
+                    if fault_hook is not None:
+                        fault_hook(epoch, model, optimizer)
+                    if cfg.max_grad_norm is not None:
+                        grad_total = nn.clip_grad_norm(
+                            optimizer.params, cfg.max_grad_norm
+                        )
+                    else:
+                        grad_total = nn.grad_norm(optimizer.params)
+                    loss_val = loss.item()
 
-                if val_acc > book.best_val:
-                    book.best_val = val_acc
-                    book.best_state = model.state_dict()
-                    book.stale = 0
-                else:
-                    book.stale += 1
-
-                if guard is not None or (
-                    manager is not None
-                    and (epoch + 1) % checkpoint_every == 0
-                ):
-                    snapshot = capture_training_state(
-                        model, optimizer, scheduler, rng, epoch,
-                        extra=book.extra(checkpoint_metadata),
-                    )
                     if guard is not None:
-                        guard.record_good(epoch, snapshot)
-                    if (
+                        reason = guard.diagnose(loss_val, grad_total)
+                        if reason is not None:
+                            tracer.annotate(divergence=reason, loss=loss_val)
+                            epoch = self._handle_divergence(
+                                guard, reason, epoch, loss_val, grad_total,
+                                model, optimizer, scheduler, rng, book, logger,
+                            )
+                            continue
+
+                    lr_used = optimizer.lr  # the rate this step applied
+                    optimizer.step()
+                    if scheduler is not None:
+                        scheduler.step()
+                    book.times.append(time.perf_counter() - start)
+                    book.losses.append(loss_val)
+                    book.lrs.append(lr_used)
+                    book.grad_norms.append(grad_total)
+
+                    # Validation (on the full graph for inductive
+                    # protocols).
+                    if inductive:
+                        model.attach(graph)
+                    predictions = model.predict()
+                    val_acc = F.accuracy(
+                        predictions[graph.val_mask],
+                        graph.labels[graph.val_mask],
+                    )
+                    book.val_accs.append(val_acc)
+                    if espan.is_recording:
+                        espan.update(loss=loss_val, val_acc=val_acc)
+                    if epoch_callback is not None:
+                        epoch_callback(epoch, model)
+                    if inductive:
+                        model.attach(train_view)
+
+                    if logger is not None:
+                        logger.log_epoch(
+                            epoch,
+                            loss=loss_val,
+                            val_acc=val_acc,
+                            lr=lr_used,
+                            grad_norm=grad_total,
+                            epoch_time=book.times[-1],
+                            **_gate_stats(model),
+                        )
+
+                    if val_acc > book.best_val:
+                        book.best_val = val_acc
+                        book.best_state = model.state_dict()
+                        book.stale = 0
+                    else:
+                        book.stale += 1
+
+                    if guard is not None or (
                         manager is not None
                         and (epoch + 1) % checkpoint_every == 0
                     ):
-                        arrays, meta = state_to_arrays(snapshot)
-                        path = manager.save(epoch, arrays, meta)
-                        get_registry().counter("trainer.checkpoint").inc()
-                        if logger is not None:
-                            logger.log(
-                                "checkpoint", epoch=epoch, path=str(path)
-                            )
+                        snapshot = capture_training_state(
+                            model, optimizer, scheduler, rng, epoch,
+                            extra=book.extra(checkpoint_metadata),
+                        )
+                        if guard is not None:
+                            guard.record_good(epoch, snapshot)
+                        if (
+                            manager is not None
+                            and (epoch + 1) % checkpoint_every == 0
+                        ):
+                            arrays, meta = state_to_arrays(snapshot)
+                            path = manager.save(epoch, arrays, meta)
+                            get_registry().counter("trainer.checkpoint").inc()
+                            if logger is not None:
+                                logger.log(
+                                    "checkpoint", epoch=epoch, path=str(path)
+                                )
 
-                if book.stale >= cfg.patience:
-                    break
-                if cfg.verbose and epoch % 20 == 0:
-                    _LOG.info(
-                        "epoch %4d  loss %.4f  val %.4f",
-                        epoch, loss_val, val_acc,
-                    )
-                epoch += 1
+                    if book.stale >= cfg.patience:
+                        break
+                    if cfg.verbose and epoch % 20 == 0:
+                        _LOG.info(
+                            "epoch %4d  loss %.4f  val %.4f",
+                            epoch, loss_val, val_acc,
+                        )
+                    epoch += 1
 
             model.load_state_dict(book.best_state)
             if cfg.checkpoint_path:

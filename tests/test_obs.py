@@ -108,6 +108,111 @@ class TestMetrics:
         assert get_registry() is get_registry()
 
 
+class TestBoundedHistogram:
+    """The PR-6 bound: exact moments, fixed-size percentile reservoir."""
+
+    def test_memory_stays_at_reservoir_size(self):
+        h = Histogram("bounded", reservoir_size=64)
+        for v in range(10_000):
+            h.observe(float(v))
+        assert len(h.values) == 64
+        # The streaming aggregates stay exact regardless.
+        assert h.count == 10_000
+        assert h.total == sum(range(10_000))
+        assert h.min == 0.0 and h.max == 9999.0
+        assert h.mean == pytest.approx(4999.5)
+
+    def test_reservoir_is_exact_within_capacity(self):
+        h = Histogram("small", reservoir_size=16)
+        for v in [5.0, 1.0, 3.0]:
+            h.observe(v)
+        assert sorted(h.values) == [1.0, 3.0, 5.0]
+        assert h.percentile(50) == 3.0
+
+    def test_percentiles_estimate_sanely_beyond_capacity(self):
+        h = Histogram("est", reservoir_size=256)
+        for v in range(5000):
+            h.observe(float(v))
+        # Uniform data: the sampled median lands near the true median.
+        assert abs(h.percentile(50) - 2499.5) < 600
+
+    def test_reservoir_is_deterministic(self):
+        def fill():
+            h = Histogram("det", reservoir_size=8)
+            for v in range(100):
+                h.observe(float(v))
+            return h.values
+
+        assert fill() == fill()
+
+    def test_reservoir_size_validated(self):
+        with pytest.raises(ValueError):
+            Histogram("bad", reservoir_size=0)
+
+    def test_concurrent_observes_lose_nothing(self):
+        import threading
+
+        h = Histogram("conc")
+        g = Gauge("conc_gauge")
+
+        def worker():
+            for _ in range(500):
+                h.observe(1.0)
+                g.set(1.0)
+                g.snapshot()
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert h.count == 4000
+        assert h.total == 4000.0
+        assert g.snapshot() == {"type": "gauge", "value": 1.0}
+
+
+class TestPrometheusExposition:
+    def test_counter_gauge_histogram_families(self):
+        from repro.obs import PROMETHEUS_CONTENT_TYPE, render_prometheus
+
+        registry = MetricsRegistry()
+        registry.counter("serve.requests").inc(7)
+        registry.gauge("serve.inflight").set(2)
+        for v in [0.1, 0.2, 0.3]:
+            registry.histogram("serve.latency_s").observe(v)
+        out = render_prometheus(registry.snapshot())
+        lines = out.splitlines()
+        assert "# TYPE repro_serve_requests_total counter" in lines
+        assert "repro_serve_requests_total 7" in lines
+        assert "# TYPE repro_serve_inflight gauge" in lines
+        assert "repro_serve_inflight 2" in lines
+        assert "# TYPE repro_serve_latency_s summary" in lines
+        assert 'repro_serve_latency_s{quantile="0.5"} 0.2' in lines
+        assert "repro_serve_latency_s_count 3" in lines
+        assert "repro_serve_latency_s_sum" in out
+        assert out.endswith("\n")
+        assert "version=0.0.4" in PROMETHEUS_CONTENT_TYPE
+
+    def test_never_set_gauge_is_skipped(self):
+        from repro.obs import render_prometheus
+
+        registry = MetricsRegistry()
+        registry.gauge("unset")
+        assert "unset" not in render_prometheus(registry.snapshot())
+
+    def test_name_sanitization(self):
+        from repro.obs.prometheus import sanitize_name
+
+        assert sanitize_name("serve.latency_s") == "repro_serve_latency_s"
+        assert sanitize_name("a-b c!", prefix="") == "a_b_c_"
+        assert sanitize_name("9lives", prefix="")[0] == "_"
+
+    def test_empty_snapshot_renders_newline(self):
+        from repro.obs import render_prometheus
+
+        assert render_prometheus({}) == "\n"
+
+
 # ---------------------------------------------------------------------------
 # RunLogger JSONL round-trip
 # ---------------------------------------------------------------------------

@@ -1,0 +1,743 @@
+"""End-to-end request tracing: span trees, sampling, and the serve pipeline.
+
+Acceptance contract under test (the PR-6 tentpole):
+
+- warm cached, cold single-flight-coalesced, and degraded-fallback
+  ``/predict`` requests each produce a complete span tree — root plus
+  ladder-stage children carrying hit/miss, leader/waiter and
+  degradation-reason attributes — retrievable via ``GET /traces`` and
+  renderable by the ``python -m repro trace`` CLI;
+- K concurrent threads produce K disjoint trace trees with correct
+  parentage (contextvar propagation, no locking on the span path);
+- a disabled tracer returns the shared :data:`NULL_SPAN` singleton from
+  every call (no span allocation on the hot path) and predictions are
+  bitwise-identical with tracing on and off;
+- tail-based sampling keeps exactly the over-threshold requests when
+  head sampling is off, and an explicit inbound ``X-Trace-Id`` always
+  survives;
+- :class:`ServeClient` round-trips ``X-Trace-Id`` in both directions.
+"""
+
+import json
+import threading
+import urllib.request
+
+import numpy as np
+import pytest
+
+import repro.__main__ as cli
+from repro.datasets import generate_dcsbm_graph, generate_features
+from repro.datasets.splits import per_class_split
+from repro.graphs import Graph
+from repro.obs import (
+    NULL_SPAN,
+    MetricsRegistry,
+    Tracer,
+    TraceSink,
+    current_span,
+    current_trace_id,
+    get_tracer,
+    load_traces,
+    render_aggregate,
+    render_waterfall,
+    set_tracer,
+)
+from repro.obs.trace import aggregate_spans, exclusive_times
+from repro.resilience import CrashForward, SlowForward
+from repro.serve import (
+    InferenceEngine,
+    ModelServer,
+    ServeClient,
+    ShallowFallback,
+)
+
+pytestmark = pytest.mark.trace
+
+
+@pytest.fixture(autouse=True)
+def _restore_global_tracer():
+    """Tests that install a process-wide tracer must not leak it."""
+    yield
+    set_tracer(None)
+
+
+class FakeClock:
+    """Injectable monotonic clock so tests drive durations deterministically."""
+
+    def __init__(self) -> None:
+        self.t = 0.0
+
+    def __call__(self) -> float:
+        return self.t
+
+    def advance(self, dt: float) -> None:
+        self.t += dt
+
+
+class ScriptedRng:
+    """random()-compatible stub returning a scripted sequence."""
+
+    def __init__(self, values) -> None:
+        self.values = list(values)
+
+    def random(self) -> float:
+        return self.values.pop(0)
+
+
+def memory_tracer(**kwargs) -> Tracer:
+    """An enabled tracer recording to an in-memory-only sink."""
+    kwargs.setdefault("sink", TraceSink(run_id="t", directory=None))
+    return Tracer(enabled=True, **kwargs)
+
+
+# ---------------------------------------------------------------------------
+# Span trees
+# ---------------------------------------------------------------------------
+
+class TestSpanTree:
+    def test_nested_spans_build_one_tree(self):
+        tracer = memory_tracer()
+        with tracer.trace("root", kind="test") as root:
+            assert current_span() is root
+            assert current_trace_id() == root.trace_id
+            with tracer.span("a") as a:
+                with tracer.span("a1") as a1:
+                    assert current_span() is a1
+                assert current_span() is a
+            with tracer.span("b"):
+                pass
+        assert current_span() is None
+
+        [trace] = tracer.sink.recent()
+        assert trace["root"] == "root"
+        assert trace["status"] == "ok"
+        assert trace["duration_s"] >= 0.0
+        spans = {s["name"]: s for s in trace["spans"]}
+        assert set(spans) == {"root", "a", "a1", "b"}
+        assert all(s["trace_id"] == trace["trace_id"] for s in spans.values())
+        assert spans["root"]["parent_id"] is None
+        assert spans["a"]["parent_id"] == spans["root"]["span_id"]
+        assert spans["a1"]["parent_id"] == spans["a"]["span_id"]
+        assert spans["b"]["parent_id"] == spans["root"]["span_id"]
+        assert spans["root"]["attributes"] == {"kind": "test"}
+        for s in spans.values():
+            assert s["duration_s"] >= 0.0
+            assert s["start_offset_s"] >= 0.0
+
+    def test_monotonic_offsets_and_durations(self):
+        clock = FakeClock()
+        tracer = memory_tracer(clock=clock)
+        with tracer.trace("root"):
+            clock.advance(0.010)
+            with tracer.span("first"):
+                clock.advance(0.005)
+            clock.advance(0.002)
+            with tracer.span("second"):
+                clock.advance(0.001)
+        [trace] = tracer.sink.recent()
+        spans = {s["name"]: s for s in trace["spans"]}
+        assert spans["first"]["start_offset_s"] == pytest.approx(0.010)
+        assert spans["first"]["duration_s"] == pytest.approx(0.005)
+        assert spans["second"]["start_offset_s"] == pytest.approx(0.017)
+        assert trace["duration_s"] == pytest.approx(0.018)
+
+    def test_exception_marks_error_status(self):
+        tracer = memory_tracer()
+        with pytest.raises(ValueError):
+            with tracer.trace("root"):
+                with tracer.span("child"):
+                    raise ValueError("boom")
+        [trace] = tracer.sink.recent()
+        assert trace["status"] == "error"
+        spans = {s["name"]: s for s in trace["spans"]}
+        assert spans["child"]["status"] == "error"
+        assert "ValueError: boom" in spans["child"]["error"]
+        assert spans["root"]["status"] == "error"
+
+    def test_set_update_annotate(self):
+        tracer = memory_tracer()
+        with tracer.trace("root") as root:
+            root.set("k", 1).update(m=2)
+            tracer.annotate(n=3)
+            with tracer.span("child") as child:
+                tracer.annotate(inner=True)
+                assert child.attributes == {"inner": True}
+        [trace] = tracer.sink.recent()
+        spans = {s["name"]: s for s in trace["spans"]}
+        assert spans["root"]["attributes"] == {"k": 1, "m": 2, "n": 3}
+
+    def test_span_outside_trace_is_null(self):
+        tracer = memory_tracer()
+        assert tracer.span("orphan") is NULL_SPAN
+        assert current_trace_id() is None
+
+    def test_exclusive_times_subtract_direct_children(self):
+        clock = FakeClock()
+        tracer = memory_tracer(clock=clock)
+        with tracer.trace("root"):
+            clock.advance(0.004)
+            with tracer.span("child"):
+                clock.advance(0.006)
+        [trace] = tracer.sink.recent()
+        excl = exclusive_times(trace)
+        assert excl["child"] == [pytest.approx(0.006)]
+        assert excl["root"] == [pytest.approx(0.004)]
+
+
+# ---------------------------------------------------------------------------
+# Sampling policy
+# ---------------------------------------------------------------------------
+
+class TestSampling:
+    def test_unsampled_without_slow_policy_is_null(self):
+        tracer = memory_tracer(sample_rate=0.0)
+        assert tracer.trace("root") is NULL_SPAN
+        assert tracer.info()["started"] == 0
+        assert tracer.sink.recent() == []
+
+    def test_slow_requests_always_kept(self):
+        clock = FakeClock()
+        tracer = memory_tracer(
+            sample_rate=0.0, slow_threshold_s=0.050, clock=clock
+        )
+        with tracer.trace("fast"):
+            clock.advance(0.010)
+        with tracer.trace("slow"):
+            clock.advance(0.075)
+        traces = tracer.sink.recent()
+        assert [t["root"] for t in traces] == ["slow"]
+        assert traces[0]["sampled"] == "slow"
+        assert traces[0]["slow"] is True
+        info = tracer.info()
+        assert info["kept"] == 1 and info["dropped"] == 1
+
+    def test_explicit_trace_id_always_kept(self):
+        tracer = memory_tracer(sample_rate=0.0, slow_threshold_s=10.0)
+        with tracer.trace("root", trace_id="ext-42"):
+            pass
+        [trace] = tracer.sink.recent()
+        assert trace["trace_id"] == "ext-42"
+        assert trace["sampled"] == "explicit"
+
+    def test_head_sampling_uses_rng(self):
+        rng = ScriptedRng([0.9, 0.1, 0.9])
+        tracer = memory_tracer(
+            sample_rate=0.5, slow_threshold_s=10.0, rng=rng
+        )
+        for name in ("first", "second", "third"):
+            with tracer.trace(name):
+                pass
+        assert [t["root"] for t in tracer.sink.recent()] == ["second"]
+        assert tracer.info() == {
+            **tracer.info(), "kept": 1, "dropped": 2, "started": 3,
+        }
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ValueError):
+            Tracer(sample_rate=1.5)
+        with pytest.raises(ValueError):
+            Tracer(slow_threshold_s=-1.0)
+        with pytest.raises(ValueError):
+            TraceSink(directory=None, capacity=0)
+
+
+# ---------------------------------------------------------------------------
+# Sink bounds and persistence
+# ---------------------------------------------------------------------------
+
+class TestTraceSink:
+    def test_ring_buffer_is_bounded(self):
+        sink = TraceSink(directory=None, capacity=4)
+        for i in range(10):
+            sink.record({"trace_id": f"t{i}", "duration_s": float(i)})
+        info = sink.info()
+        assert info["recorded"] == 10
+        assert info["buffered"] == 4
+        assert [t["trace_id"] for t in sink.recent()] == [
+            "t9", "t8", "t7", "t6"
+        ]
+        assert [t["trace_id"] for t in sink.slow(2)] == ["t9", "t8"]
+
+    def test_jsonl_round_trip(self, tmp_path):
+        sink = TraceSink(run_id="rt", directory=tmp_path)
+        sink.record({"trace_id": "a", "spans": []})
+        sink.record({"trace_id": "b", "spans": []})
+        sink.close()
+        traces = load_traces(sink.path)
+        assert [t["trace_id"] for t in traces] == ["a", "b"]
+
+    def test_load_tolerates_truncated_final_line(self, tmp_path):
+        path = tmp_path / "broken.jsonl"
+        path.write_text('{"trace_id": "ok"}\n{"trace_id": "tr', encoding="utf-8")
+        traces = load_traces(path)
+        assert [t["trace_id"] for t in traces] == ["ok"]
+
+
+# ---------------------------------------------------------------------------
+# Disabled tracer: the hot path stays allocation-free and bit-identical
+# ---------------------------------------------------------------------------
+
+class TestDisabled:
+    def test_every_disabled_call_returns_the_singleton(self):
+        tracer = Tracer(enabled=False)
+        for _ in range(3):
+            assert tracer.trace("root") is NULL_SPAN
+            assert tracer.span("child") is NULL_SPAN
+        tracer.annotate(ignored=True)  # no-op, no active span required
+        assert NULL_SPAN.attributes == {}
+
+    def test_default_process_tracer_is_disabled(self):
+        tracer = get_tracer()
+        assert tracer.enabled is False
+        assert tracer.trace("x") is NULL_SPAN
+
+    def test_null_span_is_inert(self):
+        with NULL_SPAN as span:
+            assert span is NULL_SPAN
+            assert span.is_recording is False
+            assert span.set("k", 1) is NULL_SPAN
+            assert span.update(k=2) is NULL_SPAN
+        assert NULL_SPAN.attributes == {}
+
+    def test_predictions_bitwise_identical_with_tracing_on_and_off(self, graph):
+        def probabilities(tracer):
+            engine = make_engine(graph, tracer=tracer)
+            with tracer.trace("serve.predict"):
+                result = engine.predict(
+                    make_request(graph, [0, 5, 9], return_probabilities=True)
+                )
+            return np.asarray(result["probabilities"])
+
+        off = probabilities(Tracer(enabled=False))
+        on = probabilities(memory_tracer())
+        assert np.array_equal(off, on)
+
+
+# ---------------------------------------------------------------------------
+# Concurrency: disjoint trees with correct parentage
+# ---------------------------------------------------------------------------
+
+class TestConcurrency:
+    def test_k_threads_produce_k_disjoint_trees(self):
+        tracer = memory_tracer(sink=TraceSink(directory=None, capacity=64))
+        k = 8
+        barrier = threading.Barrier(k)
+        errors = []
+
+        def worker(i):
+            try:
+                barrier.wait(timeout=5)
+                with tracer.trace("root", worker=i) as root:
+                    with tracer.span(f"outer-{i}") as outer:
+                        assert current_span() is outer
+                        with tracer.span(f"inner-{i}"):
+                            assert current_trace_id() == root.trace_id
+            except Exception as exc:  # surfaced after join
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(i,)) for i in range(k)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=10)
+        assert errors == []
+
+        traces = tracer.sink.recent()
+        assert len(traces) == k
+        assert len({t["trace_id"] for t in traces}) == k
+        for trace in traces:
+            spans = {s["name"]: s for s in trace["spans"]}
+            i = spans["root"]["attributes"]["worker"]
+            # Each tree holds exactly its own worker's spans, correctly
+            # parented — no cross-thread contamination.
+            assert set(spans) == {"root", f"outer-{i}", f"inner-{i}"}
+            assert spans[f"outer-{i}"]["parent_id"] == spans["root"]["span_id"]
+            assert (
+                spans[f"inner-{i}"]["parent_id"]
+                == spans[f"outer-{i}"]["span_id"]
+            )
+            assert all(
+                s["trace_id"] == trace["trace_id"] for s in spans.values()
+            )
+
+
+# ---------------------------------------------------------------------------
+# Rendering
+# ---------------------------------------------------------------------------
+
+class TestRendering:
+    def make_trace(self):
+        clock = FakeClock()
+        tracer = memory_tracer(clock=clock)
+        with tracer.trace("serve.predict"):
+            clock.advance(0.002)
+            with tracer.span("serve.store.lookup", hit=False):
+                clock.advance(0.001)
+            with tracer.span("serve.forward"):
+                clock.advance(0.020)
+        return tracer.sink.recent()[0]
+
+    def test_waterfall_shows_every_span(self):
+        out = render_waterfall(self.make_trace())
+        assert "serve.predict" in out
+        assert "serve.store.lookup" in out
+        assert "serve.forward" in out
+        assert "hit=False" in out
+        assert "#" in out  # duration bars
+
+    def test_aggregate_reports_inclusive_and_exclusive(self):
+        trace = self.make_trace()
+        table = aggregate_spans([trace, trace])
+        assert table["serve.forward"]["count"] == 2
+        assert table["serve.predict"]["inclusive"]["p50"] == pytest.approx(
+            0.023
+        )
+        # Root exclusive time excludes the forward and the lookup.
+        assert table["serve.predict"]["exclusive"]["p50"] == pytest.approx(
+            0.002
+        )
+        out = render_aggregate([trace])
+        assert "serve.forward" in out and "excl" in out
+
+
+# ---------------------------------------------------------------------------
+# Serve pipeline integration (HTTP, loopback)
+# ---------------------------------------------------------------------------
+
+@pytest.fixture(scope="module")
+def graph():
+    rng = np.random.default_rng(23)
+    adj, labels = generate_dcsbm_graph(100, 3, 360, homophily=0.9, rng=rng)
+    features = generate_features(labels, 12, rng=rng)
+    train, val, test = per_class_split(labels, 8, 10, 24, rng=rng)
+    return Graph(
+        adj=adj, features=features, labels=labels,
+        train_mask=train, val_mask=val, test_mask=test,
+        name="trace-test",
+    )
+
+
+def make_engine(graph, tracer=None, fault_hook=None, fallback=True, **kwargs):
+    from repro.models import build_model
+
+    model = build_model(
+        "gcn", graph.num_features, graph.num_classes,
+        hidden=8, num_layers=2, dropout=0.0, seed=0,
+    )
+    return InferenceEngine(
+        model, graph,
+        fallback=ShallowFallback(graph, k_hops=2) if fallback else None,
+        registry=MetricsRegistry(),
+        tracer=tracer,
+        fault_hook=fault_hook,
+        **kwargs,
+    )
+
+
+def make_request(graph, nodes, **extra):
+    from repro.serve import parse_predict_request
+
+    return parse_predict_request(
+        json.dumps({"nodes": nodes, **extra}).encode(),
+        num_nodes=graph.num_nodes,
+        num_features=graph.num_features,
+    )
+
+
+def traced_server(graph, tracer, **engine_kwargs):
+    engine = make_engine(graph, tracer=tracer, **engine_kwargs)
+    return ModelServer(
+        engine, port=0, registry=MetricsRegistry(), tracer=tracer
+    )
+
+
+def span_names(trace):
+    return {s["name"] for s in trace["spans"]}
+
+
+def spans_by_name(trace):
+    return {s["name"]: s for s in trace["spans"]}
+
+
+@pytest.mark.serve
+class TestServeTracing:
+    def test_cold_then_warm_span_trees(self, graph):
+        tracer = memory_tracer()
+        with traced_server(graph, tracer) as server:
+            client = ServeClient(server.url, retries=0)
+            cold = client.predict([0, 1, 2])
+            warm = client.predict([0, 1, 2])
+        assert not cold.get("cached") and warm.get("cached")
+
+        warm_trace, cold_trace = tracer.sink.recent(2)
+        # Cold: miss -> single-flight leader -> full forward.
+        assert {"serve.predict", "serve.validate", "serve.store.lookup",
+                "serve.singleflight", "serve.forward"} <= span_names(cold_trace)
+        cold_spans = spans_by_name(cold_trace)
+        assert cold_spans["serve.store.lookup"]["attributes"]["hit"] is False
+        assert cold_spans["serve.singleflight"]["attributes"]["leader"] is True
+        assert cold_spans["serve.predict"]["parent_id"] is None
+        assert cold_spans["serve.predict"]["attributes"]["cached"] is False
+        # Warm: store hit answers without a forward.
+        warm_spans = spans_by_name(warm_trace)
+        assert warm_spans["serve.store.lookup"]["attributes"]["hit"] is True
+        assert "serve.forward" not in warm_spans
+        assert warm_spans["serve.predict"]["attributes"]["cached"] is True
+
+    def test_coalesced_stampede_traces_leader_and_waiters(self, graph):
+        tracer = memory_tracer(sink=TraceSink(directory=None, capacity=64))
+        slow = SlowForward(delay_s=0.15, times=1)
+        with traced_server(graph, tracer, fault_hook=slow) as server:
+            client_errors = []
+
+            def hit():
+                try:
+                    ServeClient(server.url, retries=0).predict([3, 4])
+                except Exception as exc:
+                    client_errors.append(exc)
+
+            threads = [threading.Thread(target=hit) for _ in range(4)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=15)
+        assert client_errors == []
+        traces = tracer.sink.recent()
+        assert len(traces) == 4
+        flags = [
+            spans_by_name(t)["serve.singleflight"]["attributes"]["leader"]
+            for t in traces if "serve.singleflight" in span_names(t)
+        ]
+        assert True in flags  # exactly one leader computed the forward
+        # Followers either coalesced onto the leader's flight (leader
+        # False) or arrived after it finished and hit the store.
+        for trace in traces:
+            root = spans_by_name(trace)["serve.predict"]["attributes"]
+            assert root.get("coalesced") or "serve.store.lookup" in span_names(
+                trace
+            )
+
+    def test_degraded_fallback_span_tree(self, graph):
+        tracer = memory_tracer()
+        crash = CrashForward()  # every full forward raises InjectedFault
+        with traced_server(graph, tracer, fault_hook=crash) as server:
+            result = ServeClient(server.url, retries=0).predict([7, 8])
+        assert result["degraded"] is True
+
+        [trace] = tracer.sink.recent(1)
+        spans = spans_by_name(trace)
+        assert "serve.fallback" in spans
+        assert spans["serve.forward"]["status"] == "error"
+        assert "InjectedFault" in spans["serve.forward"]["error"]
+        root = spans["serve.predict"]["attributes"]
+        assert root["degraded"] is True
+        assert root["degradation_reason"]
+        assert "full_path_error" in root
+
+    def test_x_trace_id_round_trip(self, graph):
+        tracer = memory_tracer()
+        with traced_server(graph, tracer) as server:
+            client = ServeClient(server.url, retries=0)
+            client.predict([0], trace_id="ext-roundtrip-1")
+            assert client.last_trace_id == "ext-roundtrip-1"
+            client.predict([0])
+            generated = client.last_trace_id
+            assert generated and generated != "ext-roundtrip-1"
+            # Error responses carry the header too.
+            status, _ = client.request(
+                "POST", "/predict", {"nodes": [10 ** 9]},
+                trace_id="ext-bad-request",
+            )
+            assert status == 400
+            assert client.last_trace_id == "ext-bad-request"
+        ids = {t["trace_id"] for t in tracer.sink.recent()}
+        assert {"ext-roundtrip-1", generated, "ext-bad-request"} <= ids
+
+    def test_client_propagates_active_trace(self, graph):
+        server_tracer = memory_tracer()
+        caller = memory_tracer()
+        with traced_server(graph, server_tracer) as server:
+            client = ServeClient(server.url, retries=0)
+            with caller.trace("caller.loop") as root:
+                client.predict([1])
+            assert client.last_trace_id == root.trace_id
+        [server_side] = server_tracer.sink.recent(1)
+        assert server_side["trace_id"] == root.trace_id
+        assert server_side["sampled"] == "explicit"
+
+    def test_slow_only_sampling_over_http(self, graph):
+        tracer = memory_tracer(
+            sample_rate=0.0, slow_threshold_s=0.05,
+            sink=TraceSink(directory=None, capacity=16),
+        )
+        slow = SlowForward(delay_s=0.12, times=1)
+        with traced_server(graph, tracer, fault_hook=slow) as server:
+            client = ServeClient(server.url, retries=0)
+            client.predict([0])  # slow: pays the delayed cold forward
+            for _ in range(3):
+                client.predict([0])  # warm store hits, far under threshold
+        traces = tracer.sink.recent()
+        assert len(traces) == 1
+        assert traces[0]["sampled"] == "slow"
+        info = tracer.info()
+        assert info["kept"] == 1 and info["dropped"] == 3
+
+    def test_get_traces_endpoint(self, graph):
+        tracer = memory_tracer()
+        with traced_server(graph, tracer) as server:
+            client = ServeClient(server.url, retries=0)
+            client.predict([0, 1])
+            body = client.traces(n=5)
+            assert body["enabled"] is True
+            assert body["tracer"]["kept"] >= 1
+            assert body["traces"]
+            assert span_names(body["traces"][0]) >= {"serve.predict"}
+            recent = client.traces(n=1, order="recent")
+            assert len(recent["traces"]) == 1
+
+    def test_traces_endpoint_disabled_by_default(self, graph):
+        with traced_server(graph, Tracer(enabled=False)) as server:
+            body = ServeClient(server.url, retries=0).traces()
+        assert body == {"enabled": False, "traces": []}
+
+    def test_untraced_responses_have_no_header(self, graph):
+        with traced_server(graph, Tracer(enabled=False)) as server:
+            client = ServeClient(server.url, retries=0)
+            client.predict([0])
+            assert client.last_trace_id is None
+
+    def test_reload_without_source_is_traced_error(self, graph):
+        tracer = memory_tracer()
+        with traced_server(graph, tracer) as server:
+            client = ServeClient(server.url, retries=0)
+            status, _ = client.request("POST", "/reload", trace_id="ext-r")
+        assert status == 503
+        [trace] = tracer.sink.recent(1)
+        assert trace["root"] == "serve.reload"
+        assert trace["status"] == "error"
+        assert trace["trace_id"] == "ext-r"
+
+
+# ---------------------------------------------------------------------------
+# Trainer epoch spans
+# ---------------------------------------------------------------------------
+
+class TestTrainerSpans:
+    def test_fit_emits_per_epoch_spans(self, graph):
+        from repro.models import build_model
+        from repro.training import TrainConfig, Trainer
+
+        tracer = memory_tracer()
+        model = build_model(
+            "gcn", graph.num_features, graph.num_classes,
+            hidden=8, num_layers=2, dropout=0.0, seed=0,
+        )
+        config = TrainConfig(epochs=3, patience=3, seed=0)
+        Trainer(config).fit(model, graph, tracer=tracer)
+
+        [trace] = tracer.sink.recent()
+        assert trace["root"] == "train.fit"
+        epochs = [
+            s for s in trace["spans"] if s["name"] == "train.epoch"
+        ]
+        assert [s["attributes"]["epoch"] for s in epochs] == [0, 1, 2]
+        root_id = spans_by_name(trace)["train.fit"]["span_id"]
+        for s in epochs:
+            assert s["parent_id"] == root_id
+            assert "loss" in s["attributes"]
+            assert "val_acc" in s["attributes"]
+
+
+# ---------------------------------------------------------------------------
+# CLI rendering
+# ---------------------------------------------------------------------------
+
+class TestCli:
+    def test_trace_cli_renders_waterfall_and_aggregate(
+        self, graph, tmp_path, capsys
+    ):
+        tracer = memory_tracer(
+            sink=TraceSink(run_id="cli", directory=tmp_path)
+        )
+        with traced_server(graph, tracer) as server:
+            client = ServeClient(server.url, retries=0)
+            client.predict([0, 1])
+            client.predict([0, 1])
+        tracer.sink.close()
+
+        assert cli.main(["trace", str(tracer.sink.path)]) == 0
+        out = capsys.readouterr().out
+        assert "serve.predict" in out
+        assert "serve.store.lookup" in out
+        assert "excl" in out  # the aggregate table rendered too
+
+        assert cli.main(
+            ["trace", str(tmp_path), "--aggregate-only", "--slowest"]
+        ) == 0
+        assert "serve.predict" in capsys.readouterr().out
+
+    def test_trace_cli_missing_file(self, tmp_path, capsys):
+        assert cli.main(["trace", str(tmp_path / "nope.jsonl")]) == 2
+        assert cli.main(["trace", str(tmp_path)]) == 2
+
+    @pytest.mark.serve
+    def test_metrics_cli_prometheus_and_json(self, graph, capsys):
+        with traced_server(graph, memory_tracer()) as server:
+            ServeClient(server.url, retries=0).predict([0])
+            assert cli.main(
+                ["metrics", "--url", server.url, "--format", "prometheus"]
+            ) == 0
+            prom = capsys.readouterr().out
+            assert "# TYPE repro_serve_requests_total counter" in prom
+            assert "repro_serve_latency_s{quantile=" in prom
+
+            assert cli.main(["metrics", "--url", server.url]) == 0
+            payload = json.loads(capsys.readouterr().out)
+            assert "metrics" in payload and "tracing" in payload
+
+    def test_metrics_cli_from_json(self, tmp_path, capsys):
+        snapshot = {
+            "serve.requests": {"type": "counter", "value": 3},
+            "serve.latency_s": {
+                "type": "histogram", "count": 2, "total": 0.5,
+                "p50": 0.2, "p95": 0.3, "p99": 0.3,
+            },
+        }
+        path = tmp_path / "metrics.json"
+        path.write_text(json.dumps({"metrics": snapshot}), encoding="utf-8")
+        assert cli.main(
+            ["metrics", "--from-json", str(path), "--format", "prometheus"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "repro_serve_requests_total 3" in out
+        assert "repro_serve_latency_s_count 2" in out
+
+
+# ---------------------------------------------------------------------------
+# Prometheus endpoint (HTTP)
+# ---------------------------------------------------------------------------
+
+@pytest.mark.serve
+class TestPrometheusEndpoint:
+    def test_content_type_and_families(self, graph):
+        with traced_server(graph, Tracer(enabled=False)) as server:
+            ServeClient(server.url, retries=0).predict([0])
+            with urllib.request.urlopen(
+                server.url + "/metrics?format=prometheus", timeout=10
+            ) as resp:
+                content_type = resp.headers.get("Content-Type")
+                body = resp.read().decode("utf-8")
+        assert content_type == "text/plain; version=0.0.4; charset=utf-8"
+        assert "# TYPE repro_serve_requests_total counter" in body
+        assert "# TYPE repro_serve_latency_s summary" in body
+        assert body.endswith("\n")
+
+    def test_unknown_format_is_structured_error(self, graph):
+        with traced_server(graph, Tracer(enabled=False)) as server:
+            status, body = ServeClient(server.url, retries=0).request(
+                "GET", "/metrics?format=xml"
+            )
+        assert status == 400
+        assert body["error"]["code"] == "bad_format"
