@@ -44,7 +44,7 @@ REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
 BASELINE_SCHEMAS = {
     "BENCH_train.json": "repro.bench.train/v1",
     "BENCH_infer.json": "repro.bench.infer/v1",
-    "BENCH_serve.json": "repro.bench.serve/v1",
+    "BENCH_serve.json": "repro.bench.serve/v2",
 }
 
 #: A fresh speedup ratio may fall to this fraction of the committed one

@@ -286,6 +286,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             model=model,
             repeats=args.repeats,
             concurrency=args.concurrency,
+            workers=args.workers,
             scale=args.scale,
             seed=args.seed,
             out_dir=args.out_dir,
@@ -311,6 +312,29 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         print()
         for path in result["paths"]:
             print(f"wrote {path}")
+    return 0
+
+
+def _serve_until_signal(serve_name: str, on_drain) -> int:
+    """Park the main thread until SIGTERM/SIGINT, then drain gracefully.
+
+    The server/fleet runs in background threads; signal handlers only
+    set an event, so the drain sequence itself runs in normal thread
+    context (handlers must not block).
+    """
+    import signal
+    import threading
+
+    stop = threading.Event()
+
+    def _handle(signum, frame):
+        stop.set()
+
+    signal.signal(signal.SIGTERM, _handle)
+    signal.signal(signal.SIGINT, _handle)
+    stop.wait()
+    print(f"draining {serve_name}")
+    on_drain()
     return 0
 
 
@@ -391,6 +415,43 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             **fastpath_kwargs,
         )
 
+    if args.workers > 1:
+        from repro.serve import FleetConfig, ServingFleet
+
+        fleet = ServingFleet(engine, FleetConfig(
+            workers=args.workers,
+            host=args.host,
+            port=args.port,
+            max_inflight=args.max_inflight,
+            max_body_bytes=args.max_body_bytes,
+            max_nodes=args.max_nodes,
+            default_deadline_ms=args.deadline_ms,
+            checkpoint_source=args.checkpoint_dir or None,
+            drain_timeout_s=args.drain_timeout,
+            shared_store=not args.no_fastpath,
+        ))
+        fleet.start()
+        print(
+            f"fleet: {args.workers} x {engine.info()['model']} replicas "
+            f"behind {fleet.url}"
+        )
+        print(
+            "endpoints: POST /predict /reload   "
+            "GET /healthz /readyz /metrics /fleet"
+        )
+        if args.dry_run:
+            ready = fleet.wait_ready(timeout_s=60.0)
+            snap = fleet.snapshot()
+            print(
+                f"dry run: {snap['supervisor']['up']}/{args.workers} "
+                "replicas came up; shutting down"
+            )
+            fleet.shutdown(args.drain_timeout)
+            return 0 if ready else 1
+        return _serve_until_signal(
+            "fleet", lambda: fleet.shutdown(args.drain_timeout)
+        )
+
     server = ModelServer(
         engine, host=args.host, port=args.port,
         max_inflight=args.max_inflight,
@@ -412,12 +473,17 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if args.dry_run:
         server.stop()
         return 0
-    try:
-        server.serve_forever()
-    except KeyboardInterrupt:
-        print("shutting down")
+
+    def _drain_and_stop() -> None:
+        server.begin_drain()
+        if server.drain(args.drain_timeout):
+            print("drained cleanly")
+        else:
+            print("drain timeout; stopping with requests in flight")
         server.stop()
-    return 0
+
+    server.start()
+    return _serve_until_signal("server", _drain_and_stop)
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
@@ -596,6 +662,10 @@ def main(argv=None) -> int:
                         "throughput) -> BENCH_serve.json")
     p.add_argument("--concurrency", type=int, default=8,
                    help="threads for the --serve concurrent phases")
+    p.add_argument("--workers", type=int, default=0,
+                   help="with --serve: also storm a real N-replica "
+                        "fleet over HTTP vs a single no-fastpath "
+                        "server (the fleet block of BENCH_serve.json)")
     p.set_defaults(func=_cmd_bench)
 
     p = sub.add_parser(
@@ -617,6 +687,13 @@ def main(argv=None) -> int:
                         "is given (0 serves an untrained model)")
     p.add_argument("--host", default="127.0.0.1")
     p.add_argument("--port", type=int, default=8080)
+    p.add_argument("--workers", type=int, default=1,
+                   help="replica processes; >1 starts the supervised "
+                        "fleet (health-aware router, restart-budget "
+                        "quarantine, shared cross-process logit store)")
+    p.add_argument("--drain-timeout", type=float, default=10.0,
+                   help="seconds to let in-flight requests finish on "
+                        "SIGTERM/SIGINT before stopping")
     p.add_argument("--deadline-ms", type=float, default=250.0,
                    help="default per-request deadline (requests may "
                         "override with deadline_ms)")

@@ -33,6 +33,7 @@ from repro.perf.fused import (
 )
 from repro.perf.logitstore import (
     LogitStore,
+    SharedLogitStore,
     get_logit_store,
     model_fingerprint,
     operator_fingerprint,
@@ -53,6 +54,7 @@ __all__ = [
     "propagation_cache_enabled",
     "PropagationCache",
     "LogitStore",
+    "SharedLogitStore",
     "get_logit_store",
     "model_fingerprint",
     "operator_fingerprint",

@@ -42,7 +42,9 @@ from repro.perf.fused import fused_gcn_layer
 
 SCHEMA_TRAIN = "repro.bench.train/v1"
 SCHEMA_INFER = "repro.bench.infer/v1"
-SCHEMA_SERVE = "repro.bench.serve/v1"
+# v2 = v1 (latency/concurrent_warm/coalesce blocks unchanged) + the
+# optional "fleet" block measured over HTTP with --workers N.
+SCHEMA_SERVE = "repro.bench.serve/v2"
 DEFAULT_MODELS = ("gcn", "sgc", "lasagne")
 
 #: perf-switch settings of the two benchmark modes.
@@ -310,6 +312,7 @@ def run_serve_bench(
     cold_rounds: int = 5,
     concurrency: int = 8,
     stampede_rounds: int = 3,
+    workers: int = 0,
     scale: Optional[float] = None,
     seed: int = 0,
     out_dir: str = ".",
@@ -329,6 +332,16 @@ def run_serve_bench(
       threads released by a barrier into a *cold* store: single-flight
       coalesces them onto one forward, while a ``fastpath=False`` engine
       pays one forward per thread.
+
+    With ``workers >= 2`` a fourth, *HTTP-level* measurement starts a
+    real :class:`~repro.serve.ServingFleet` (forked replicas, router,
+    shared cross-process logit store) and storms it with cold-key
+    request waves, against a single-process ``fastpath=False``
+    :class:`~repro.serve.ModelServer` baseline where every request pays
+    its own forward.  The recorded ``cold_forwards_per_key`` — fleet-
+    wide full forwards divided by cold waves — is the shared store's
+    leader-election working: 1.0 means a stampede against N replicas
+    ran one forward.
     """
     import threading
 
@@ -416,6 +429,14 @@ def run_serve_bench(
     coalesced_rps = storm(engine, stampede_rounds)
     stampede_rps = storm(fresh_engine(fastpath=False), stampede_rounds)
 
+    # -- fleet vs single process, over HTTP ----------------------------
+    fleet_doc = None
+    if workers >= 2:
+        fleet_doc = _fleet_storm(
+            fresh_engine, graph, workers=workers, concurrency=concurrency,
+            rounds=stampede_rounds,
+        )
+
     cold = _summary(cold_timer.histogram)
     warm = _summary(warm_timer.histogram)
     serve_doc = {
@@ -428,6 +449,7 @@ def run_serve_bench(
             "cold_rounds": cold_rounds,
             "concurrency": concurrency,
             "stampede_rounds": stampede_rounds,
+            "workers": workers,
             "scale": scale,
             "seed": seed,
             "num_nodes": graph.num_nodes,
@@ -460,6 +482,7 @@ def run_serve_bench(
             ),
         },
         "fastpath": engine.info()["fastpath"],
+        "fleet": fleet_doc,
     }
 
     paths = []
@@ -470,6 +493,166 @@ def run_serve_bench(
         path.write_text(json.dumps(serve_doc, indent=2) + "\n")
         paths.append(str(path))
     return {"serve": serve_doc, "paths": paths}
+
+
+def _http_storm(
+    url: str, concurrency: int, rounds: int, reset=None
+) -> tuple:
+    """``(rps, failures)`` for barrier-released POST /predict waves.
+
+    Worker threads persist across rounds and hold keep-alive
+    connections, so the measurement is the server's wave-absorption
+    rate, not client-side thread-spawn and TCP-handshake overhead.
+    """
+    import http.client
+    import threading
+    from urllib.parse import urlsplit
+
+    parts = urlsplit(url)
+    host, port = parts.hostname, parts.port
+    total = 0.0
+    completed = 0
+    failures = 0
+    fail_lock = threading.Lock()
+    wave_gate = threading.Barrier(concurrency + 1)
+    done_gate = threading.Barrier(concurrency + 1)
+    stop = threading.Event()
+
+    def worker(idx: int) -> None:
+        nonlocal failures
+        body = json.dumps({"nodes": [idx]}).encode("utf-8")
+        headers = {"Content-Type": "application/json"}
+        conn = http.client.HTTPConnection(host, port, timeout=120)
+        try:
+            conn.connect()  # handshake outside the timed region
+        except OSError:
+            pass
+        while True:
+            wave_gate.wait()
+            if stop.is_set():
+                break
+            try:
+                conn.request("POST", "/predict", body=body, headers=headers)
+                response = conn.getresponse()
+                response.read()
+                if response.will_close:
+                    conn.close()
+                    conn = http.client.HTTPConnection(
+                        host, port, timeout=120
+                    )
+            except Exception:
+                with fail_lock:
+                    failures += 1
+                try:
+                    conn.close()
+                except OSError:
+                    pass
+                conn = http.client.HTTPConnection(host, port, timeout=120)
+            done_gate.wait()
+        conn.close()
+
+    threads = [
+        threading.Thread(target=worker, args=(i,), daemon=True)
+        for i in range(concurrency)
+    ]
+    for t in threads:
+        t.start()
+    for round_idx in range(rounds):
+        if reset is not None:
+            reset(round_idx)
+        wave_gate.wait()
+        start = time.perf_counter()
+        done_gate.wait()
+        total += time.perf_counter() - start
+        completed += concurrency
+    stop.set()
+    wave_gate.wait()
+    for t in threads:
+        t.join(timeout=30)
+    return (completed / total if total else 0.0), failures
+
+
+def _fleet_storm(
+    fresh_engine, graph, workers: int, concurrency: int, rounds: int
+) -> dict:
+    """Cold-key HTTP stampedes: N-replica fleet vs one no-fastpath server.
+
+    Both sides serve identical single-node predicts over real sockets.
+    The single-process baseline runs ``fastpath=False`` — every request
+    in the wave pays its own full forward, which is what a fleet
+    *without* the shared store would also do per replica.  The fleet's
+    shared store coalesces each wave onto one leader forward fleet-wide;
+    the difference is the measured ratio.
+
+    The wave is sized to a thundering herd — several clients per
+    replica, never less than ``concurrency`` — because that is the
+    workload the shared store exists for; the same wave hits both
+    sides.
+    """
+    from repro.serve import FleetConfig, ModelServer, ServingFleet
+
+    wave = max(concurrency, 6 * workers)
+    # Several waves keep the rps estimate stable — each cold wave is
+    # only milliseconds once the store collapses it to one forward.
+    rounds = max(rounds, 8)
+    fleet = ServingFleet(fresh_engine(True), FleetConfig(
+        workers=workers,
+        max_inflight=max(8, wave),
+        max_inflight_per_replica=max(8, wave),
+        probe_interval_s=0.1,
+        store_wait_s=30.0,       # waves must coalesce, not time out
+        drain_timeout_s=5.0,
+    ))
+    fleet.start()
+    try:
+        if not fleet.wait_ready(timeout_s=60.0):
+            raise RuntimeError("fleet replicas never became ready")
+        fleet_rps, fleet_failures = _http_storm(
+            fleet.url, wave, rounds,
+            reset=lambda _i: fleet.store.clear(),
+        )
+        # serve.predict.full counts coalesced consumers too; the number
+        # of forwards actually *executed* fleet-wide is the shared
+        # store's puts counter — exactly one per cold wave iff the
+        # cross-process leader election held.
+        import urllib.request
+
+        with urllib.request.urlopen(fleet.url + "/metrics", timeout=30) as r:
+            totals = json.loads(r.read())["fleet"]["totals"]
+        full_path_requests = int(totals.get("serve.predict.full", 0))
+        store_info = fleet.store.info()
+        forwards_executed = int(store_info["shared"]["puts"])
+        supervisor = fleet.supervisor.snapshot()
+    finally:
+        fleet.shutdown()
+
+    single = ModelServer(
+        fresh_engine(False), port=0, max_inflight=max(8, wave)
+    ).start()
+    try:
+        single_rps, single_failures = _http_storm(
+            single.url, wave, rounds
+        )
+    finally:
+        single.stop()
+
+    return {
+        "workers": workers,
+        "rounds": rounds,
+        "requests_per_round": wave,
+        "fleet_stampede_rps": fleet_rps,
+        "single_stampede_rps": single_rps,
+        "ratio": round(fleet_rps / single_rps, 3) if single_rps else None,
+        "fleet_failures": fleet_failures,
+        "single_failures": single_failures,
+        "full_path_requests": full_path_requests,
+        "forwards_executed": forwards_executed,
+        "cold_forwards_per_key": (
+            round(forwards_executed / rounds, 3) if rounds else None
+        ),
+        "replicas_up": supervisor["up"],
+        "store": store_info,
+    }
 
 
 def format_serve_report(result: dict) -> str:
@@ -493,7 +676,19 @@ def format_serve_report(result: dict) -> str:
         f"cold-key storm: coalesced {coal['coalesced_rps']:.0f} req/s vs "
         f"stampede {coal['stampede_rps']:.0f} req/s  "
         f"-> {coal['ratio'] or 0:.2f}x",
-    ])
+    ] + ([
+        "",
+        f"fleet ({doc['fleet']['workers']} replicas, HTTP): "
+        f"{doc['fleet']['fleet_stampede_rps']:.0f} req/s vs "
+        f"single-process {doc['fleet']['single_stampede_rps']:.0f} req/s  "
+        f"-> {doc['fleet']['ratio'] or 0:.2f}x",
+        f"cold forwards per content key: "
+        f"{doc['fleet']['cold_forwards_per_key']} "
+        f"({doc['fleet']['forwards_executed']} forwards / "
+        f"{doc['fleet']['rounds']} cold waves; "
+        f"failures fleet={doc['fleet']['fleet_failures']} "
+        f"single={doc['fleet']['single_failures']})",
+    ] if doc.get("fleet") else []))
 
 
 def format_report(result: dict) -> str:

@@ -13,7 +13,18 @@ provides the store that makes that safe:
   adjacency fingerprint, feature fingerprint, perf-mode settings)`` —
   to the full ``(N, C)`` logit matrix, LRU-evicted under both an entry
   count and a byte budget so a server that hot-swaps many versions
-  stays bounded in memory.
+  stays bounded in memory;
+- :class:`SharedLogitStore` is the *cross-process* backend: the same
+  ``get``/``put``/``invalidate_version`` contract over a fixed-slot
+  ``multiprocessing.shared_memory`` segment, so every replica of a
+  serving fleet reads the matrix one replica's cold forward produced.
+  A miss doubles as **leader election**: the first process to miss a
+  key leases its slot and computes, while sibling processes' ``get``
+  calls wait (bounded) for the leased slot to become ready — a
+  stampede against N replicas still runs one forward fleet-wide.
+  Leases carry the holder's pid and a timestamp, so a leader SIGKILLed
+  mid-forward never wedges the fleet: waiters time out and the next
+  miss reclaims the expired lease.
 
 Entries are stored read-only (callers receive the shared array and must
 not mutate it) and the store is thread-safe: the serving layer consults
@@ -21,13 +32,17 @@ it from every request worker thread.
 
 The serving integration lives in :mod:`repro.serve.engine`; the
 single-flight and micro-batching companions in
-:mod:`repro.serve.fastpath`.
+:mod:`repro.serve.fastpath`; the fleet wiring in
+:mod:`repro.serve.fleet`.
 """
 
 from __future__ import annotations
 
 import hashlib
+import os
+import struct
 import threading
+import time
 from collections import OrderedDict
 from typing import Dict, Optional, Tuple
 
@@ -35,6 +50,7 @@ import numpy as np
 
 __all__ = [
     "LogitStore",
+    "SharedLogitStore",
     "model_fingerprint",
     "operator_fingerprint",
     "get_logit_store",
@@ -206,6 +222,383 @@ class LogitStore:
     def __repr__(self) -> str:
         return (
             f"LogitStore(entries={len(self)}, bytes={self.nbytes}, "
+            f"hits={self.hits}, misses={self.misses})"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Cross-process backend (multiprocessing.shared_memory)
+# ---------------------------------------------------------------------------
+
+#: Slot states in the shared segment.
+_EMPTY, _LEASED, _READY = 0, 1, 2
+
+#: Supported logit dtypes (code <-> numpy dtype); anything else is
+#: rejected (unstored), never stored lossily.
+_DTYPE_CODES = {1: np.dtype(np.float64), 2: np.dtype(np.float32)}
+_DTYPE_BY_NAME = {dt.name: code for code, dt in _DTYPE_CODES.items()}
+
+
+def _key_digest(key: Tuple) -> bytes:
+    return hashlib.sha1(repr(key).encode("utf-8")).digest()
+
+
+def _version_digest(version) -> bytes:
+    return hashlib.sha1(str(version).encode("utf-8")).digest()
+
+
+class SharedLogitStore:
+    """A :class:`LogitStore` backed by a shared-memory segment.
+
+    Layout: one global header (magic, geometry, fleet-wide counters)
+    followed by ``slots`` fixed-size slots, each a 64-byte header
+    (state, dtype, holder pid, key digest, version digest, shape,
+    timestamp) plus ``slot_bytes`` of matrix payload.  All index
+    operations happen under one cross-process lock (payload copies are
+    tens of kilobytes, so holding it through the memcpy is cheap); the
+    *wait* for another process's lease happens outside the lock.
+
+    Leader election / coalescing semantics of :meth:`get`:
+
+    - slot READY with a matching key → return a private copy (hit);
+    - no slot → lease one (state LEASED, our pid, now) and return
+      ``None``: **the caller just became the fleet-wide leader** and is
+      expected to compute and :meth:`put`;
+    - slot LEASED by *this* process → return ``None`` immediately (the
+      in-process :class:`~repro.serve.SingleFlight` already coalesces
+      threads; waiting here would deadlock the leader's siblings);
+    - slot LEASED by another live lease → poll until READY, up to
+      ``wait_s``; on success that's a coalesced cross-process hit, on
+      timeout return ``None`` and compute redundantly (correctness
+      never depends on the leader surviving);
+    - slot LEASED but expired (``lease_ttl_s``) → the leader died
+      mid-forward; reclaim the lease and return ``None``.
+
+    The segment is created once by the fleet parent (``create=True``)
+    and inherited by forked workers, so a SIGKILLed replica's mapping
+    is cleaned up by the kernel and the segment lives exactly as long
+    as the parent.  ``lock`` must be a ``multiprocessing.Lock`` shared
+    the same way.
+    """
+
+    _MAGIC = b"RLS1"
+    _HEADER = struct.Struct("<4sIQQQQQQQQ")  # magic, slots, slot_bytes, 7 ctrs
+    _SLOT = struct.Struct("<BB2xI20s20sIId")  # state dtype pid key ver r c ts
+
+    def __init__(
+        self,
+        name: Optional[str] = None,
+        *,
+        slots: int = 8,
+        slot_bytes: int = 8 << 20,
+        lock=None,
+        create: bool = True,
+        lease_ttl_s: float = 30.0,
+        wait_s: float = 2.0,
+        poll_s: float = 0.002,
+    ) -> None:
+        from multiprocessing import Lock as MpLock
+        from multiprocessing import shared_memory
+
+        if slots < 1:
+            raise ValueError(f"slots must be >= 1, got {slots}")
+        if slot_bytes < 1024:
+            raise ValueError(f"slot_bytes must be >= 1024, got {slot_bytes}")
+        self.slots = slots
+        self.slot_bytes = int(slot_bytes)
+        self.lease_ttl_s = lease_ttl_s
+        self.wait_s = wait_s
+        self.poll_s = poll_s
+        self._lock = lock if lock is not None else MpLock()
+        size = self._HEADER.size + slots * (self._SLOT.size + self.slot_bytes)
+        if create:
+            self._shm = shared_memory.SharedMemory(
+                name=name, create=True, size=size
+            )
+            self._shm.buf[: self._HEADER.size] = self._HEADER.pack(
+                self._MAGIC, slots, self.slot_bytes, 0, 0, 0, 0, 0, 0, 0
+            )
+        else:
+            self._shm = shared_memory.SharedMemory(name=name)
+            magic, got_slots, got_bytes = self._HEADER.unpack_from(
+                self._shm.buf, 0
+            )[:3]
+            if magic != self._MAGIC:
+                raise ValueError(f"segment {name!r} is not a SharedLogitStore")
+            self.slots, self.slot_bytes = got_slots, got_bytes
+        self.created = create
+        # Per-process counters (the shared header carries fleet-wide ones).
+        self.hits = 0
+        self.misses = 0
+        self.rejected = 0
+        self.lease_timeouts = 0
+
+    # -- low-level segment access (caller holds self._lock) ------------
+    @property
+    def name(self) -> str:
+        return self._shm.name
+
+    def _slot_offset(self, idx: int) -> int:
+        return self._HEADER.size + idx * (self._SLOT.size + self.slot_bytes)
+
+    def _read_slot(self, idx: int) -> tuple:
+        return self._SLOT.unpack_from(self._shm.buf, self._slot_offset(idx))
+
+    def _write_slot(
+        self, idx, state, dtype_code, pid, key_d, ver_d, rows, cols, ts
+    ) -> None:
+        self._SLOT.pack_into(
+            self._shm.buf, self._slot_offset(idx),
+            state, dtype_code, pid, key_d, ver_d, rows, cols, ts,
+        )
+
+    def _bump(self, counter: int, by: int = 1) -> None:
+        """Increment shared header counter ``counter`` (0-based, of 7)."""
+        offset = 16 + 8 * counter  # magic(4) + slots(4) + slot_bytes(8)
+        (value,) = struct.unpack_from("<Q", self._shm.buf, offset)
+        struct.pack_into("<Q", self._shm.buf, offset, value + by)
+
+    def _shared_counters(self) -> Dict[str, int]:
+        fields = self._HEADER.unpack_from(self._shm.buf, 0)
+        names = (
+            "puts", "leases", "coalesced_hits", "lease_expirations",
+            "evictions", "invalidations", "clears",
+        )
+        return dict(zip(names, fields[3:]))
+
+    _PUTS, _LEASES, _COALESCED, _EXPIRED, _EVICTED, _INVALIDATED, _CLEARS = (
+        range(7)
+    )
+
+    def _find(self, key_d: bytes) -> Optional[int]:
+        for idx in range(self.slots):
+            state, _, _, slot_key, _, _, _, _ = self._read_slot(idx)
+            if state != _EMPTY and slot_key == key_d:
+                return idx
+        return None
+
+    def _allocate(self, now: float) -> int:
+        """A slot to (re)use: empty, else expired lease, else oldest."""
+        oldest, oldest_ts = 0, float("inf")
+        for idx in range(self.slots):
+            state, _, _, _, _, _, _, ts = self._read_slot(idx)
+            if state == _EMPTY:
+                return idx
+            if state == _LEASED and now - ts > self.lease_ttl_s:
+                self._bump(self._EXPIRED)
+                return idx
+            if ts < oldest_ts:
+                oldest, oldest_ts = idx, ts
+        self._bump(self._EVICTED)
+        return oldest
+
+    # -- LogitStore contract -------------------------------------------
+    def get(self, key: Tuple) -> Optional[np.ndarray]:
+        """Memoized logits, or ``None`` — in which case *you* lead.
+
+        See the class docstring for the full lease protocol.  A
+        ``None`` return always means "compute and :meth:`put`"; the
+        in-process single-flight above this layer keeps one process's
+        threads from leading twice.
+        """
+        key_d = _key_digest(key)
+        ver_d = _version_digest(key[0]) if key else b"\x00" * 20
+        pid = os.getpid()
+        deadline = time.monotonic() + self.wait_s
+        waited = False
+        while True:
+            with self._lock:
+                now = time.time()
+                idx = self._find(key_d)
+                if idx is not None:
+                    state, dtype_code, holder, _, _, rows, cols, ts = (
+                        self._read_slot(idx)
+                    )
+                    if state == _READY:
+                        self.hits += 1
+                        if waited:
+                            self._bump(self._COALESCED)
+                        return self._copy_out(idx, dtype_code, rows, cols)
+                    # leased
+                    if holder == pid:
+                        self.misses += 1
+                        return None
+                    if now - ts > self.lease_ttl_s:
+                        self._bump(self._EXPIRED)
+                        self._write_slot(
+                            idx, _LEASED, 0, pid, key_d, ver_d, 0, 0, now
+                        )
+                        self._bump(self._LEASES)
+                        self.misses += 1
+                        return None
+                else:
+                    idx = self._allocate(now)
+                    self._write_slot(
+                        idx, _LEASED, 0, pid, key_d, ver_d, 0, 0, now
+                    )
+                    self._bump(self._LEASES)
+                    self.misses += 1
+                    return None
+            # Another process holds a live lease: wait outside the lock.
+            if time.monotonic() >= deadline:
+                self.lease_timeouts += 1
+                self.misses += 1
+                return None
+            waited = True
+            time.sleep(self.poll_s)
+
+    def _copy_out(self, idx, dtype_code, rows, cols) -> np.ndarray:
+        dtype = _DTYPE_CODES[dtype_code]
+        out = np.empty((rows, cols), dtype=dtype)
+        data_off = self._slot_offset(idx) + self._SLOT.size
+        nbytes = rows * cols * dtype.itemsize
+        flat = out.reshape(-1).view(np.uint8)
+        flat[:] = np.frombuffer(
+            self._shm.buf, dtype=np.uint8, count=nbytes, offset=data_off
+        )
+        out.setflags(write=False)
+        return out
+
+    def put(self, key: Tuple, logits: np.ndarray) -> np.ndarray:
+        """Publish ``logits`` under ``key`` (resolves our lease, if any).
+
+        Oversized or unsupported-dtype matrices are counted in
+        ``rejected`` and returned unstored, exactly like
+        :meth:`LogitStore.put` — the caller still has its result.
+        """
+        data = np.ascontiguousarray(logits)
+        dtype_code = _DTYPE_BY_NAME.get(data.dtype.name)
+        if (
+            dtype_code is None
+            or data.ndim != 2
+            or data.nbytes > self.slot_bytes
+        ):
+            self.rejected += 1
+            self._release_lease(key)
+            logits.setflags(write=False)
+            return logits
+        key_d = _key_digest(key)
+        ver_d = _version_digest(key[0]) if key else b"\x00" * 20
+        rows, cols = data.shape
+        with self._lock:
+            now = time.time()
+            idx = self._find(key_d)
+            if idx is None:
+                idx = self._allocate(now)
+            data_off = self._slot_offset(idx) + self._SLOT.size
+            self._shm.buf[data_off: data_off + data.nbytes] = data.tobytes()
+            self._write_slot(
+                idx, _READY, dtype_code, os.getpid(), key_d, ver_d,
+                rows, cols, now,
+            )
+            self._bump(self._PUTS)
+        logits.setflags(write=False)
+        return logits
+
+    def _release_lease(self, key: Tuple) -> None:
+        """Drop our lease on ``key`` so waiters stop polling for it."""
+        key_d = _key_digest(key)
+        with self._lock:
+            idx = self._find(key_d)
+            if idx is not None:
+                state, _, holder, _, _, _, _, _ = self._read_slot(idx)
+                if state == _LEASED and holder == os.getpid():
+                    self._write_slot(
+                        idx, _EMPTY, 0, 0, b"\x00" * 20, b"\x00" * 20,
+                        0, 0, 0.0,
+                    )
+
+    def invalidate_version(self, version: str) -> int:
+        """Drop every entry produced by model ``version``; returns count."""
+        ver_d = _version_digest(version)
+        dropped = 0
+        with self._lock:
+            for idx in range(self.slots):
+                state, _, _, _, slot_ver, _, _, _ = self._read_slot(idx)
+                if state != _EMPTY and slot_ver == ver_d:
+                    self._write_slot(
+                        idx, _EMPTY, 0, 0, b"\x00" * 20, b"\x00" * 20,
+                        0, 0, 0.0,
+                    )
+                    dropped += 1
+            if dropped:
+                self._bump(self._INVALIDATED, dropped)
+        return dropped
+
+    def clear(self) -> None:
+        with self._lock:
+            for idx in range(self.slots):
+                self._write_slot(
+                    idx, _EMPTY, 0, 0, b"\x00" * 20, b"\x00" * 20, 0, 0, 0.0
+                )
+            self._bump(self._CLEARS)
+        self.hits = 0
+        self.misses = 0
+        self.rejected = 0
+        self.lease_timeouts = 0
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        with self._lock:
+            return sum(
+                1 for idx in range(self.slots)
+                if self._read_slot(idx)[0] == _READY
+            )
+
+    @property
+    def nbytes(self) -> int:
+        itemsize = {c: d.itemsize for c, d in _DTYPE_CODES.items()}
+        with self._lock:
+            total = 0
+            for idx in range(self.slots):
+                state, code, _, _, _, rows, cols, _ = self._read_slot(idx)
+                if state == _READY:
+                    total += rows * cols * itemsize.get(code, 0)
+            return total
+
+    def info(self) -> Dict:
+        """JSON-friendly view for ``/metrics`` and bench output."""
+        with self._lock:
+            ready = leased = 0
+            for idx in range(self.slots):
+                state = self._read_slot(idx)[0]
+                if state == _READY:
+                    ready += 1
+                elif state == _LEASED:
+                    leased += 1
+            shared = self._shared_counters()
+        return {
+            "backend": "shared_memory",
+            "segment": self.name,
+            "entries": ready,
+            "leased": leased,
+            "slots": self.slots,
+            "slot_bytes": self.slot_bytes,
+            "hits": self.hits,
+            "misses": self.misses,
+            "rejected": self.rejected,
+            "lease_timeouts": self.lease_timeouts,
+            "shared": shared,
+        }
+
+    # -- lifecycle ------------------------------------------------------
+    def close(self) -> None:
+        """Detach this process's mapping (the segment survives)."""
+        self._shm.close()
+
+    def unlink(self) -> None:
+        """Destroy the segment (fleet parent only, after workers exit)."""
+        try:
+            self._shm.close()
+        finally:
+            try:
+                self._shm.unlink()
+            except FileNotFoundError:
+                pass
+
+    def __repr__(self) -> str:
+        return (
+            f"SharedLogitStore(segment={self.name!r}, slots={self.slots}, "
             f"hits={self.hits}, misses={self.misses})"
         )
 

@@ -36,12 +36,16 @@ from repro.resilience.faults import (
     CrashForward,
     ExplodingGradient,
     FailNTimes,
+    FailStart,
     FaultSchedule,
+    HangWorker,
     InjectedFault,
+    KillWorker,
     MidEpochCrash,
     NaNForward,
     NaNGradient,
     SlowForward,
+    SlowStart,
     corrupt_file,
     truncate_file,
 )
@@ -74,6 +78,10 @@ __all__ = [
     "SlowForward",
     "NaNForward",
     "CrashForward",
+    "KillWorker",
+    "HangWorker",
+    "SlowStart",
+    "FailStart",
     "FaultSchedule",
     "FailNTimes",
     "InjectedFault",

@@ -26,12 +26,29 @@ Serving-level faults (:class:`SlowForward`, :class:`NaNForward`,
 every full-model forward — they drive the degradation-ladder tests:
 deadline overruns, NaN logits tripping the circuit breaker, and
 half-open recovery once the fault burns out.
+
+Process-level faults target the multi-process serving fleet
+(:mod:`repro.serve.fleet`):
+
+- :class:`KillWorker` / :class:`HangWorker` act on a *running* fleet —
+  SIGKILL a random live replica (the chaos-test primitive), or SIGSTOP
+  one so it wedges without dying (the failure mode health probes exist
+  for);
+- :class:`SlowStart` / :class:`FailStart` plug into
+  ``FleetConfig(start_hook=...)``, which each replica calls *in its own
+  process* right after the fork — so their cross-restart counters are
+  ``multiprocessing.Value``-backed (plain instance state would reset
+  with every re-fork).  ``FailStart(times=None)`` is a permanently
+  crash-looping replica: exactly what the supervisor's restart-budget
+  quarantine exists to contain.
 """
 
 from __future__ import annotations
 
 import os
 import pathlib
+import signal as _signal
+import threading
 import time
 from typing import Callable, Optional, Union
 
@@ -166,6 +183,133 @@ class CrashForward(SlowForward):
         if self._active():
             raise InjectedFault(f"{self.message} (call {self.fired})")
         return None
+
+
+# ---------------------------------------------------------------------------
+# Fleet faults (repro.serve.fleet)
+# ---------------------------------------------------------------------------
+
+def _deliver(fleet, index: int, sig: int) -> bool:
+    """Send ``sig`` to replica ``index`` of a fleet or bare supervisor."""
+    if hasattr(fleet, "kill_replica"):
+        return fleet.kill_replica(index, sig)
+    return fleet.signal(index, sig)
+
+
+class KillWorker:
+    """SIGKILL a live replica of a running fleet (the chaos primitive).
+
+    ``injector(fleet)`` picks a random live replica (injectable ``rng``
+    for determinism) and kills it; ``injector(fleet, index=2)`` targets
+    one.  Returns the killed index, or ``None`` when nothing was live to
+    kill.  Every kill is appended to :attr:`kills` so a chaos test can
+    assert how much damage it actually did.
+    """
+
+    def __init__(self, sig: int = _signal.SIGKILL, rng=None) -> None:
+        self.sig = sig
+        self.rng = rng if rng is not None else np.random.default_rng()
+        self.kills: list = []
+
+    def __call__(self, fleet, index: Optional[int] = None) -> Optional[int]:
+        if index is None:
+            live = fleet.live_indices()
+            if not live:
+                return None
+            index = int(live[int(self.rng.integers(len(live)))])
+        if _deliver(fleet, index, self.sig):
+            self.kills.append(index)
+            return index
+        return None
+
+
+class HangWorker:
+    """SIGSTOP a replica: wedged, not dead — the probe-only failure mode.
+
+    A stopped process keeps its sockets open, so nothing crashes and the
+    supervisor's death detection stays silent; only the router's
+    ``/readyz`` probe (which times out) takes the replica out of
+    rotation.  ``hang_s`` schedules an automatic SIGCONT; otherwise call
+    :meth:`resume`.
+    """
+
+    def __init__(self, hang_s: Optional[float] = None) -> None:
+        self.hang_s = hang_s
+        self.hung: list = []
+
+    def __call__(self, fleet, index: Optional[int] = None) -> Optional[int]:
+        if index is None:
+            live = fleet.live_indices()
+            if not live:
+                return None
+            index = int(live[0])
+        if not _deliver(fleet, index, _signal.SIGSTOP):
+            return None
+        self.hung.append(index)
+        if self.hang_s is not None:
+            timer = threading.Timer(
+                self.hang_s, _deliver, args=(fleet, index, _signal.SIGCONT)
+            )
+            timer.daemon = True
+            timer.start()
+        return index
+
+    def resume(self, fleet, index: int) -> bool:
+        return _deliver(fleet, index, _signal.SIGCONT)
+
+
+class SlowStart:
+    """A ``start_hook`` that delays replica startup by ``delay_s``.
+
+    Runs inside the freshly forked replica, so the ``times=N`` budget
+    (first N starts are slow, later restarts come up fast) is counted in
+    a ``multiprocessing.Value`` the parent shares with every fork —
+    plain instance state would reset to zero on each respawn.
+    """
+
+    def __init__(
+        self, delay_s: float = 1.0, times: Optional[int] = None
+    ) -> None:
+        from multiprocessing import Value
+
+        self.delay_s = delay_s
+        self.times = times
+        self._count = Value("i", 0)
+
+    @property
+    def fired(self) -> int:
+        """Cross-process activation count (reads the shared value)."""
+        return int(self._count.value)
+
+    def _active(self) -> bool:
+        with self._count.get_lock():
+            self._count.value += 1
+            return self.times is None or self._count.value <= self.times
+
+    def __call__(self, index: int) -> None:
+        if self._active():
+            time.sleep(self.delay_s)
+
+
+class FailStart(SlowStart):
+    """A ``start_hook`` that kills the replica before it ever binds.
+
+    ``times=N`` models a transient boot failure (a flaky dependency that
+    recovers); ``times=None`` is a permanently broken replica — the
+    crash-looper the supervisor must quarantine after its restart
+    budget.  Exits with ``exit_code`` via ``os._exit`` so the death
+    looks like a hard crash, not a Python exception.
+    """
+
+    def __init__(
+        self, times: Optional[int] = None, exit_code: int = 3
+    ) -> None:
+        super().__init__(delay_s=0.0, times=times)
+        self.exit_code = exit_code
+
+    def __call__(self, index: int) -> None:
+        if self._active():
+            os._exit(self.exit_code)
 
 
 # ---------------------------------------------------------------------------

@@ -23,13 +23,24 @@ with a deliberate status code, never a traceback.
   ``/reload``, ``/healthz``, ``/readyz``, ``/metrics`` (the PR-1
   metrics registry);
 - :mod:`repro.serve.client` — a retrying client (exponential backoff +
-  jitter, idempotent-only retries).
+  jitter, idempotent-only retries, including transport errors during
+  replica restarts);
+- :mod:`repro.serve.fleet` / :mod:`repro.serve.supervisor` /
+  :mod:`repro.serve.router` — the multi-process fleet: N forked replica
+  servers supervised with exponential-backoff restarts and a
+  restart-budget quarantine, fronted by a health-aware round-robin
+  router with one-sibling retry, all sharing one cross-process
+  :class:`~repro.perf.SharedLogitStore` (``python -m repro serve
+  --workers N``).
 
 See ``docs/serving.md`` for endpoints, error codes, breaker states and
 degradation semantics; ``python -m repro serve`` starts a server.
 """
 
 from repro.serve.client import ServeClient, ServeClientError
+from repro.serve.fleet import FleetConfig, ServingFleet
+from repro.serve.router import FleetRouter
+from repro.serve.supervisor import ReplicaHandle, Supervisor
 from repro.serve.engine import (
     InferenceEngine,
     ShallowFallback,
@@ -59,6 +70,11 @@ from repro.serve.validate import (
 
 __all__ = [
     "ModelServer",
+    "FleetConfig",
+    "ServingFleet",
+    "FleetRouter",
+    "Supervisor",
+    "ReplicaHandle",
     "InferenceEngine",
     "ShallowFallback",
     "engine_from_checkpoint_dir",

@@ -6,9 +6,11 @@ Retry policy — the conservative production default:
   pure function of its payload on this server, so it defaults to
   idempotent too, but callers can pass ``idempotent=False`` to forbid
   replays (e.g. if a deployment adds side effects).
-- retried failures: connection errors and the *retryable* status codes
-  (429 load-shed, 503 breaker/unready) — a 4xx validation error will
-  fail identically on every replay, so it is surfaced immediately.
+- retried failures: transport errors (connection refused/reset during a
+  replica restart, truncated or garbled responses from a process killed
+  mid-write) and the *retryable* status codes (429 load-shed, 503
+  breaker/unready) — a 4xx validation error will fail identically on
+  every replay, so it is surfaced immediately.
 - **exponential backoff with jitter**: ``backoff_s * 2^attempt`` capped
   at ``max_backoff_s``, multiplied by ``1 + jitter * U(0, 1)`` so a
   thundering herd of retrying clients decorrelates.  The RNG and the
@@ -27,7 +29,9 @@ server's ``X-Trace-Id`` response header lands in
 
 from __future__ import annotations
 
+import http.client
 import json
+import threading
 import time
 import urllib.error
 import urllib.request
@@ -36,6 +40,20 @@ from typing import Callable, Optional, Sequence
 import numpy as np
 
 from repro.obs import current_trace_id
+
+#: Transport failures worth retrying (idempotent requests only): a
+#: replica restarting under the fleet supervisor surfaces as connection
+#: refused (nothing listening yet), connection reset (socket torn down
+#: mid-exchange), or an ``http.client`` protocol error (``BadStatusLine``
+#: / ``IncompleteRead`` when the process died mid-response).  None of
+#: these says anything about the request itself — the sibling (or the
+#: restarted replica) will serve it fine.
+_TRANSPORT_ERRORS = (
+    urllib.error.URLError,
+    http.client.HTTPException,
+    ConnectionError,
+    TimeoutError,
+)
 
 
 class ServeClientError(Exception):
@@ -73,6 +91,26 @@ class ServeClient:
         self.sleep = sleep
         #: X-Trace-Id of the most recent response (None when untraced).
         self.last_trace_id: Optional[str] = None
+        self._stats_lock = threading.Lock()
+        self._requests = 0
+        self._attempts = 0
+        self._retries = 0
+        self._transport_errors = 0
+
+    def stats(self) -> dict:
+        """Lifetime retry accounting for this client instance.
+
+        ``client.retries`` is attempts beyond the first per request —
+        the number a dashboard wants when replicas are restarting under
+        a rolling deploy.
+        """
+        with self._stats_lock:
+            return {
+                "client.requests": self._requests,
+                "client.attempts": self._attempts,
+                "client.retries": self._retries,
+                "client.transport_errors": self._transport_errors,
+            }
 
     # -- transport -----------------------------------------------------
     def _once(
@@ -115,13 +153,21 @@ class ServeClient:
         """``(status, body)`` with retries; raises only on transport failure."""
         last_error: Optional[Exception] = None
         status, body = None, None
+        with self._stats_lock:
+            self._requests += 1
         for attempt in range(self.retries + 1):
+            with self._stats_lock:
+                self._attempts += 1
+                if attempt:
+                    self._retries += 1
             try:
                 status, body = self._once(method, path, payload, trace_id)
                 last_error = None
-            except (urllib.error.URLError, ConnectionError, TimeoutError) as exc:
+            except _TRANSPORT_ERRORS as exc:
                 last_error = exc
                 status, body = None, None
+                with self._stats_lock:
+                    self._transport_errors += 1
             retryable = (
                 idempotent
                 and attempt < self.retries

@@ -1,0 +1,713 @@
+"""The front-of-fleet HTTP router: health-aware proxying with retry.
+
+One :class:`FleetRouter` process fronts N replica
+:class:`~repro.serve.ModelServer` processes.  Routing policy, in the
+spirit of the source paper's node-aware depth gates: *per-replica*
+health decides where a request goes, rather than a fixed global
+assignment —
+
+- **health-aware round-robin** — a replica is eligible when it is
+  registered (the supervisor reported its port), marked healthy (a
+  background prober hits each replica's ``/readyz`` — which already
+  reflects that replica's breaker state — and any transport error
+  during proxying marks it unhealthy instantly), and below its
+  per-replica in-flight cap;
+- **per-replica load shedding** — a replica at its in-flight cap is
+  skipped; when *every* healthy replica is saturated the router sheds
+  with a structured 429 rather than queueing;
+- **sibling retry** — when the chosen replica dies mid-request
+  (connection refused/reset, truncated response), the request is
+  replayed on exactly one *different* healthy replica, for idempotent
+  predicts only (``X-Idempotent: false`` opts a request out).  Replica
+  *error responses* (4xx/503) pass through untouched — they are
+  deliberate answers, not deaths;
+- **drain** — :meth:`begin_drain` flips the router's ``/readyz`` to
+  503 (load balancers stop sending), waits out in-flight proxies, then
+  the fleet SIGTERMs the workers (see :mod:`repro.serve.fleet`).
+
+``GET /metrics`` aggregates: router counters, the supervisor's restart
+/ quarantine snapshot, and each live replica's own ``/metrics`` body
+under ``replicas``, with the fleet-wide sums (requests, full forwards,
+fast-path hits) precomputed under ``fleet.totals`` — that is how the
+chaos tests (and you) verify one cold forward warmed N replicas.
+
+Tracing: each proxied request runs under a ``serve.route`` root span
+(continuing an inbound ``X-Trace-Id``); the sibling replay appears as
+a child ``serve.retry_sibling`` span, and the replica continues the
+same trace over the proxied ``X-Trace-Id`` header.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import socket
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, List, Optional, Tuple
+
+from repro.obs import MetricsRegistry, get_logger, get_registry, get_tracer
+from repro.serve.errors import Overloaded, ServeError, ValidationError
+
+_LOG = get_logger("serve.fleet")
+
+__all__ = ["Replica", "FleetRouter"]
+
+
+class Replica:
+    """Routing-table entry for one live replica."""
+
+    def __init__(self, index: int, port: int, host: str) -> None:
+        self.index = index
+        self.host = host
+        self.port = port
+        self.healthy = True  # optimistic: the supervisor saw it bind
+        self.inflight = 0
+        self.requests = 0
+        self.failures = 0
+        self._lock = threading.Lock()
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        return (self.host, self.port)
+
+    def try_acquire(self, cap: int) -> bool:
+        with self._lock:
+            if self.inflight >= cap:
+                return False
+            self.inflight += 1
+            self.requests += 1
+            return True
+
+    def release(self) -> None:
+        with self._lock:
+            if self.inflight > 0:
+                self.inflight -= 1
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {
+                "index": self.index,
+                "port": self.port,
+                "healthy": self.healthy,
+                "inflight": self.inflight,
+                "requests": self.requests,
+                "failures": self.failures,
+            }
+
+
+#: Transport-level failures that mean "the replica died mid-request" —
+#: retryable on a sibling.  Replica HTTP error responses are not here
+#: on purpose: those are answers.
+_TRANSPORT_ERRORS = (
+    ConnectionError,
+    http.client.HTTPException,
+    socket.timeout,
+    TimeoutError,
+    OSError,
+)
+
+
+class FleetRouter:
+    """Health-aware round-robin proxy over the fleet's replicas."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        replica_host: str = "127.0.0.1",
+        max_inflight_per_replica: int = 8,
+        probe_interval_s: float = 0.5,
+        probe_timeout_s: float = 1.0,
+        proxy_timeout_s: float = 30.0,
+        supervisor=None,
+        registry: Optional[MetricsRegistry] = None,
+        tracer=None,
+        max_body_bytes: int = 1 << 20,
+    ) -> None:
+        self.replica_host = replica_host
+        self.max_inflight_per_replica = max_inflight_per_replica
+        self.probe_interval_s = probe_interval_s
+        self.probe_timeout_s = probe_timeout_s
+        self.proxy_timeout_s = proxy_timeout_s
+        self.supervisor = supervisor
+        self.registry = registry if registry is not None else get_registry()
+        self.tracer = tracer if tracer is not None else get_tracer()
+        self.max_body_bytes = max_body_bytes
+        self._replicas: Dict[int, Replica] = {}
+        self._table_lock = threading.Lock()
+        self._rr = 0
+        self._draining = False
+        self._inflight = 0
+        self._inflight_lock = threading.Lock()
+        self._started_at = time.time()
+        self._thread: Optional[threading.Thread] = None
+        self._prober: Optional[threading.Thread] = None
+        self._stop_probe = threading.Event()
+        # Shared keep-alive connection pool, per replica address.  Each
+        # inbound connection gets a fresh handler thread, so a
+        # per-thread pool would reconnect on every proxied request; a
+        # shared pool keeps replica connections (and the replica-side
+        # handler threads serving them) alive across waves.
+        self._pools: Dict[Tuple[str, int], List] = {}
+        self._pool_lock = threading.Lock()
+        self._httpd = _RouterHTTPServer((host, port), _RouterHandler)
+        self._httpd.daemon_threads = True
+        self._httpd.fleet_router = self  # type: ignore[attr-defined]
+
+    # -- lifecycle ------------------------------------------------------
+    @property
+    def host(self) -> str:
+        return self._httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    @property
+    def listen_socket(self):
+        """The bound listening socket (workers close their forked copy)."""
+        return self._httpd.socket
+
+    def start(self) -> "FleetRouter":
+        if self._thread is not None:
+            raise RuntimeError("router already started")
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever, name="repro-fleet-router",
+            daemon=True,
+        )
+        self._thread.start()
+        self._prober = threading.Thread(
+            target=self._probe_loop, name="repro-fleet-prober", daemon=True
+        )
+        self._prober.start()
+        _LOG.info("fleet router on %s", self.url)
+        return self
+
+    def serve_forever(self) -> None:
+        """Blocking serve loop (the CLI path); the prober still runs."""
+        self._prober = threading.Thread(
+            target=self._probe_loop, name="repro-fleet-prober", daemon=True
+        )
+        self._prober.start()
+        self._httpd.serve_forever()
+
+    def stop(self) -> None:
+        self._stop_probe.set()
+        if self._thread is not None:
+            self._httpd.shutdown()
+            self._thread.join(timeout=5)
+            self._thread = None
+        self._httpd.server_close()
+        with self._pool_lock:
+            pools, self._pools = self._pools, {}
+        for idle in pools.values():
+            for conn in idle:
+                try:
+                    conn.close()
+                except OSError:
+                    pass
+
+    # -- drain ----------------------------------------------------------
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    def begin_drain(self) -> None:
+        """Fail ``/readyz`` so balancers stop sending new traffic."""
+        self._draining = True
+
+    def wait_idle(self, timeout_s: float) -> bool:
+        """Block until no proxied request is in flight (or timeout)."""
+        deadline = time.monotonic() + timeout_s
+        while time.monotonic() < deadline:
+            with self._inflight_lock:
+                if self._inflight == 0:
+                    return True
+            time.sleep(0.01)
+        with self._inflight_lock:
+            return self._inflight == 0
+
+    # -- routing table (supervisor callbacks) --------------------------
+    def register(self, index: int, port: int) -> None:
+        with self._table_lock:
+            self._replicas[index] = Replica(index, port, self.replica_host)
+        self.registry.gauge("fleet.router.replicas").set(len(self._replicas))
+        _LOG.info("router: replica %d registered on port %d", index, port)
+
+    def unregister(self, index: int) -> None:
+        with self._table_lock:
+            replica = self._replicas.pop(index, None)
+        if replica is not None:
+            self._drop_pool(replica)
+        self.registry.gauge("fleet.router.replicas").set(len(self._replicas))
+        _LOG.info("router: replica %d unregistered", index)
+
+    def replicas(self) -> List[Replica]:
+        with self._table_lock:
+            return list(self._replicas.values())
+
+    def healthy_count(self) -> int:
+        return sum(1 for r in self.replicas() if r.healthy)
+
+    # -- health probing -------------------------------------------------
+    def _probe_loop(self) -> None:
+        while not self._stop_probe.wait(self.probe_interval_s):
+            for replica in self.replicas():
+                healthy = self._probe(replica)
+                if healthy != replica.healthy:
+                    _LOG.info(
+                        "replica %d -> %s", replica.index,
+                        "healthy" if healthy else "unhealthy",
+                    )
+                replica.healthy = healthy
+            self.registry.gauge("fleet.router.healthy").set(
+                self.healthy_count()
+            )
+
+    def _probe(self, replica: Replica) -> bool:
+        conn = http.client.HTTPConnection(
+            *replica.address, timeout=self.probe_timeout_s
+        )
+        try:
+            conn.request("GET", "/readyz")
+            response = conn.getresponse()
+            response.read()
+            return response.status == 200
+        except _TRANSPORT_ERRORS:
+            return False
+        finally:
+            conn.close()
+
+    # -- proxying -------------------------------------------------------
+    def _pick(self, exclude: Optional[int] = None) -> Optional[Replica]:
+        """Next healthy replica with capacity, round-robin; None if none.
+
+        Distinguishes "no healthy replica" (returns None, 503) from
+        "all healthy replicas saturated" (raises Overloaded, 429).
+        """
+        replicas = self.replicas()
+        if not replicas:
+            return None
+        saw_healthy = False
+        with self._table_lock:
+            start = self._rr
+            self._rr += 1
+        for offset in range(len(replicas)):
+            replica = replicas[(start + offset) % len(replicas)]
+            if replica.index == exclude or not replica.healthy:
+                continue
+            saw_healthy = True
+            if replica.try_acquire(self.max_inflight_per_replica):
+                return replica
+        if saw_healthy:
+            raise Overloaded(
+                "every healthy replica is at its in-flight cap "
+                f"({self.max_inflight_per_replica}); retry with backoff",
+                detail={"per_replica_cap": self.max_inflight_per_replica},
+            )
+        return None
+
+    _POOL_MAX_IDLE = 32  # idle keep-alive connections kept per replica
+
+    def _connection(self, replica: Replica) -> http.client.HTTPConnection:
+        """Check a keep-alive connection to ``replica`` out of the pool."""
+        with self._pool_lock:
+            idle = self._pools.get(replica.address)
+            if idle:
+                return idle.pop()
+        conn = http.client.HTTPConnection(
+            *replica.address, timeout=self.proxy_timeout_s
+        )
+        conn.connect()
+        conn.sock.setsockopt(
+            socket.IPPROTO_TCP, socket.TCP_NODELAY, 1
+        )
+        return conn
+
+    def _return_connection(self, replica: Replica, conn) -> None:
+        with self._pool_lock:
+            idle = self._pools.setdefault(replica.address, [])
+            if len(idle) < self._POOL_MAX_IDLE:
+                idle.append(conn)
+                return
+        conn.close()
+
+    def _drop_pool(self, replica: Replica) -> None:
+        """Close every idle connection to a replica that went away."""
+        with self._pool_lock:
+            idle = self._pools.pop(replica.address, [])
+        for conn in idle:
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+    def _forward(
+        self, replica: Replica, method: str, path: str,
+        body: Optional[bytes], headers: dict,
+    ) -> Tuple[int, bytes, dict]:
+        conn = self._connection(replica)
+        try:
+            conn.request(method, path, body=body, headers=headers)
+            response = conn.getresponse()
+            payload = response.read()
+        except _TRANSPORT_ERRORS:
+            conn.close()
+            self._drop_pool(replica)
+            raise
+        if response.will_close:
+            conn.close()
+        else:
+            self._return_connection(replica, conn)
+        return response.status, payload, dict(response.getheaders())
+
+    def route_predict(
+        self, raw: bytes, inbound_headers
+    ) -> Tuple[int, bytes, dict]:
+        """Proxy one ``/predict``; retry once on a mid-request death."""
+        registry = self.registry
+        registry.counter("fleet.router.requests").inc()
+        idempotent = (
+            inbound_headers.get("X-Idempotent", "true").lower() != "false"
+        )
+        span = self.tracer.trace(
+            "serve.route", trace_id=inbound_headers.get("X-Trace-Id")
+        )
+        with self._inflight_lock:
+            self._inflight += 1
+        try:
+            with span:
+                headers = {"Content-Type": "application/json"}
+                if span.trace_id:
+                    headers["X-Trace-Id"] = span.trace_id
+                attempted: Optional[int] = None
+                for attempt in range(2):
+                    replica = self._pick(exclude=attempted)
+                    if replica is None:
+                        if attempt == 0:
+                            raise ServeError(
+                                "no healthy replica available",
+                                code="no_replicas", status=503,
+                                detail={"replicas": len(self.replicas())},
+                            )
+                        # First pick died and no sibling exists: surface
+                        # the death as a retryable 503.
+                        raise ServeError(
+                            "replica died mid-request and no healthy "
+                            "sibling is available",
+                            code="replica_lost", status=503,
+                        )
+                    self.tracer.annotate(replica=replica.index)
+                    try:
+                        if attempt == 0:
+                            status, payload, resp_headers = self._forward(
+                                replica, "POST", "/predict", raw, headers
+                            )
+                        else:
+                            registry.counter(
+                                "fleet.router.retried_sibling"
+                            ).inc()
+                            with self.tracer.span(
+                                "serve.retry_sibling",
+                                replica=replica.index,
+                            ):
+                                status, payload, resp_headers = (
+                                    self._forward(
+                                        replica, "POST", "/predict",
+                                        raw, headers,
+                                    )
+                                )
+                        return status, payload, resp_headers
+                    except _TRANSPORT_ERRORS as exc:
+                        replica.healthy = False
+                        with replica._lock:
+                            replica.failures += 1
+                        registry.counter(
+                            "fleet.router.replica_errors"
+                        ).inc()
+                        self.tracer.annotate(
+                            replica_error=f"{type(exc).__name__}: {exc}"
+                        )
+                        _LOG.warning(
+                            "replica %d failed mid-request: %r",
+                            replica.index, exc,
+                        )
+                        attempted = replica.index
+                        if not idempotent:
+                            raise ServeError(
+                                "replica died mid-request; request was "
+                                "marked non-idempotent so it was not "
+                                "retried",
+                                code="replica_lost", status=503,
+                            ) from exc
+                    finally:
+                        replica.release()
+                raise ServeError(
+                    "replica died mid-request and its sibling did too",
+                    code="replica_lost", status=503,
+                )
+        finally:
+            with self._inflight_lock:
+                self._inflight -= 1
+
+    # -- broadcast (reload) --------------------------------------------
+    def broadcast(
+        self, method: str, path: str, body: Optional[bytes] = None
+    ) -> List[dict]:
+        """Send one request to every healthy replica; collect results."""
+        results = []
+        headers = {"Content-Type": "application/json"} if body else {}
+        for replica in self.replicas():
+            if not replica.healthy:
+                results.append(
+                    {"replica": replica.index, "skipped": "unhealthy"}
+                )
+                continue
+            try:
+                status, payload, _ = self._forward(
+                    replica, method, path, body, headers
+                )
+                results.append({
+                    "replica": replica.index,
+                    "status": status,
+                    "body": _safe_json(payload),
+                })
+            except _TRANSPORT_ERRORS as exc:
+                replica.healthy = False
+                results.append({
+                    "replica": replica.index,
+                    "error": f"{type(exc).__name__}: {exc}",
+                })
+        return results
+
+    # -- endpoints ------------------------------------------------------
+    def handle_healthz(self) -> tuple:
+        return 200, {
+            "status": "ok",
+            "role": "router",
+            "uptime_s": round(time.time() - self._started_at, 3),
+            "replicas": len(self.replicas()),
+            "healthy": self.healthy_count(),
+        }
+
+    def handle_readyz(self) -> tuple:
+        if self._draining:
+            return 503, {"ready": False, "reason": "draining"}
+        healthy = self.healthy_count()
+        if healthy == 0:
+            return 503, {
+                "ready": False,
+                "reason": "no healthy replica",
+                "replicas": [r.snapshot() for r in self.replicas()],
+            }
+        return 200, {
+            "ready": True,
+            "healthy": healthy,
+            "replicas": [r.snapshot() for r in self.replicas()],
+        }
+
+    #: Replica counters summed fleet-wide in the /metrics aggregate.
+    _SUMMED_COUNTERS = (
+        "serve.requests", "serve.ok", "serve.degraded", "serve.shed",
+        "serve.predict.full", "serve.predict.degraded",
+        "serve.predict.failures", "serve.fastpath.hits",
+        "serve.fastpath.misses", "serve.internal_errors",
+    )
+
+    def handle_metrics(self) -> tuple:
+        replicas = {}
+        totals: Dict[str, float] = {}
+        for replica in self.replicas():
+            if not replica.healthy:
+                replicas[str(replica.index)] = {
+                    "routing": replica.snapshot()
+                }
+                continue
+            try:
+                status, payload, _ = self._forward(
+                    replica, "GET", "/metrics", None, {}
+                )
+                body = _safe_json(payload)
+            except _TRANSPORT_ERRORS as exc:
+                body = {"error": f"{type(exc).__name__}: {exc}"}
+            replicas[str(replica.index)] = {
+                "routing": replica.snapshot(),
+                "metrics": body,
+            }
+            # Replica /metrics carries a flat MetricsRegistry.snapshot():
+            # {name: {"type": "counter", "value": N}, ...}.
+            instruments = (
+                body.get("metrics", {}) if isinstance(body, dict) else {}
+            )
+            for name in self._SUMMED_COUNTERS:
+                entry = instruments.get(name)
+                if isinstance(entry, dict) and "value" in entry:
+                    totals[name] = (
+                        totals.get(name, 0) + (entry["value"] or 0)
+                    )
+        payload = {
+            "role": "router",
+            "metrics": self.registry.snapshot(),
+            "inflight": self._inflight,
+            "draining": self._draining,
+            "fleet": {
+                "totals": totals,
+                "supervisor": (
+                    self.supervisor.snapshot()
+                    if self.supervisor is not None else None
+                ),
+            },
+            "replicas": replicas,
+        }
+        return 200, payload
+
+    def handle_fleet(self) -> tuple:
+        """Compact topology view (``GET /fleet``)."""
+        return 200, {
+            "router": self.url,
+            "draining": self._draining,
+            "replicas": [r.snapshot() for r in self.replicas()],
+            "supervisor": (
+                self.supervisor.snapshot()
+                if self.supervisor is not None else None
+            ),
+        }
+
+    def handle_reload(self) -> tuple:
+        results = self.broadcast("POST", "/reload")
+        ok = all(r.get("status") == 200 for r in results if "status" in r)
+        return (200 if ok and results else 503), {
+            "reloaded": ok, "replicas": results,
+        }
+
+
+def _safe_json(payload: bytes):
+    try:
+        return json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError):
+        return {"raw": repr(payload[:200])}
+
+
+class _RouterHTTPServer(ThreadingHTTPServer):
+    # socketserver's default listen backlog is 5; a barrier-released
+    # stampede of concurrent connects overflows it and the dropped SYNs
+    # come back after a full 1s kernel retransmit.  The fleet's whole
+    # point is absorbing stampedes, so listen deep.
+    request_queue_size = 128
+
+
+class _RouterHandler(BaseHTTPRequestHandler):
+    """Routes requests to the owning :class:`FleetRouter`."""
+
+    protocol_version = "HTTP/1.1"
+    disable_nagle_algorithm = True
+    server_version = "repro-fleet-router/1.0"
+
+    @property
+    def router(self) -> FleetRouter:
+        return self.server.fleet_router  # type: ignore[attr-defined]
+
+    def log_message(self, fmt, *args):  # noqa: N802 (stdlib name)
+        _LOG.debug("%s %s", self.address_string(), fmt % args)
+
+    def _send_json(self, status: int, payload: dict) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self._send_raw(status, body, {"Content-Type": "application/json"})
+
+    def _send_raw(self, status: int, body: bytes, headers: dict) -> None:
+        try:
+            self.send_response(status)
+            for key, value in headers.items():
+                if key.lower() in ("content-type", "x-trace-id"):
+                    self.send_header(key, value)
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+        except (BrokenPipeError, ConnectionResetError):
+            pass  # client went away mid-response
+
+    def _dispatch(self, handler) -> None:
+        try:
+            status, payload = handler()
+        except ServeError as exc:
+            status, payload = exc.status, exc.to_dict()
+        except Exception as exc:  # structured 500, never a traceback
+            _LOG.warning("unexpected router error: %r", exc)
+            self.router.registry.counter("fleet.router.internal_errors").inc()
+            status = 500
+            payload = {
+                "error": {"code": "internal", "message": str(exc) or repr(exc)}
+            }
+        self._send_json(status, payload)
+
+    def do_GET(self) -> None:  # noqa: N802 (stdlib name)
+        router = self.router
+        path = self.path.split("?", 1)[0]
+        if path == "/healthz":
+            self._dispatch(router.handle_healthz)
+        elif path == "/readyz":
+            self._dispatch(router.handle_readyz)
+        elif path == "/metrics":
+            self._dispatch(router.handle_metrics)
+        elif path == "/fleet":
+            self._dispatch(router.handle_fleet)
+        else:
+            self._dispatch(lambda: (404, _not_found(self.path)))
+
+    def do_POST(self) -> None:  # noqa: N802 (stdlib name)
+        router = self.router
+        path = self.path.split("?", 1)[0]
+        if path == "/reload":
+            self._dispatch(router.handle_reload)
+            return
+        if path != "/predict":
+            self._dispatch(lambda: (404, _not_found(self.path)))
+            return
+        try:
+            length = self.headers.get("Content-Length")
+            if length is None:
+                raise ValidationError(
+                    "POST /predict requires a Content-Length header",
+                    code="missing_content_length", status=411,
+                )
+            length = int(length)
+            if length > router.max_body_bytes:
+                self.close_connection = True
+                raise ServeError(
+                    f"request body is {length} bytes, limit is "
+                    f"{router.max_body_bytes}",
+                    code="payload_too_large", status=413,
+                )
+            raw = self.rfile.read(length)
+            status, payload, headers = router.route_predict(raw, self.headers)
+            self._send_raw(status, payload, headers)
+        except ServeError as exc:
+            self._send_json(exc.status, exc.to_dict())
+        except Exception as exc:
+            _LOG.warning("unexpected router error: %r", exc)
+            router.registry.counter("fleet.router.internal_errors").inc()
+            self._send_json(500, {
+                "error": {"code": "internal", "message": str(exc) or repr(exc)}
+            })
+
+
+def _not_found(path: str) -> dict:
+    return {
+        "error": {
+            "code": "not_found",
+            "message": f"unknown path {path!r}",
+            "detail": {
+                "endpoints": [
+                    "/predict", "/reload", "/healthz", "/readyz",
+                    "/metrics", "/fleet",
+                ]
+            },
+        }
+    }

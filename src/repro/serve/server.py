@@ -125,8 +125,9 @@ class ModelServer:
         self.max_nodes = max_nodes
         self.default_deadline_ms = default_deadline_ms
         self._started_at = time.time()
+        self._draining = False
         self._thread: Optional[threading.Thread] = None
-        self._httpd = ThreadingHTTPServer((host, port), _Handler)
+        self._httpd = _ModelHTTPServer((host, port), _Handler)
         self._httpd.daemon_threads = True
         self._httpd.model_server = self  # type: ignore[attr-defined]
 
@@ -179,6 +180,44 @@ class ModelServer:
         self.stop()
         return False
 
+    # -- graceful drain ------------------------------------------------
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    def begin_drain(self) -> None:
+        """First step of a graceful shutdown: fail ``/readyz``.
+
+        Load balancers (and the fleet router's health prober) stop
+        sending new traffic; requests already in flight keep running.
+        ``/predict`` itself stays up for stragglers that were routed
+        before the flip — they finish normally rather than erroring.
+        """
+        self._draining = True
+        _LOG.info("drain started: /readyz now 503")
+
+    def drain(self, timeout_s: float = 10.0) -> bool:
+        """Second step: wait until no request is in flight (or timeout).
+
+        Returns True when the server drained cleanly; False means
+        ``timeout_s`` elapsed with requests still running (the caller
+        decides whether to stop anyway).
+        """
+        if not self._draining:
+            self.begin_drain()
+        deadline = time.monotonic() + timeout_s
+        while time.monotonic() < deadline:
+            if self.shedder.inflight == 0:
+                return True
+            time.sleep(0.01)
+        drained = self.shedder.inflight == 0
+        if not drained:
+            _LOG.warning(
+                "drain timed out after %.1fs with %d requests in flight",
+                timeout_s, self.shedder.inflight,
+            )
+        return drained
+
     # -- endpoint logic (handler-thread context) -----------------------
     def handle_predict(self, raw: bytes) -> tuple:
         registry = self.registry
@@ -225,6 +264,10 @@ class ModelServer:
             return 200, result
         finally:
             self.shedder.release()
+            # Mirror the release too, so the gauge reads 0 once the
+            # server is drained rather than freezing at the high-water
+            # mark of the last admission.
+            registry.gauge("serve.inflight").set(self.shedder.inflight)
             registry.gauge("serve.breaker.state").set(
                 self.engine.breaker.state_code
             )
@@ -236,6 +279,12 @@ class ModelServer:
         }
 
     def handle_readyz(self) -> tuple:
+        if self._draining:
+            return 503, {
+                "ready": False,
+                "reason": "draining",
+                "inflight": self.shedder.inflight,
+            }
         if self.engine is None:
             return 503, {
                 "ready": False,
@@ -266,6 +315,7 @@ class ModelServer:
         payload = {
             "metrics": self.registry.snapshot(),
             "inflight": self.shedder.inflight,
+            "draining": self._draining,
             "shed_count": self.shedder.shed_count,
             "propcache": get_cache().info(),
             "tracing": self.tracer.info(),
@@ -337,10 +387,19 @@ class ModelServer:
         }
 
 
+class _ModelHTTPServer(ThreadingHTTPServer):
+    # socketserver's default listen backlog (5) drops SYNs under a
+    # stampede of simultaneous connects, and a dropped SYN costs the
+    # client a ~1s kernel retransmit.  Shedding is the LoadShedder's
+    # job — done deliberately with a 429 — not the accept queue's.
+    request_queue_size = 128
+
+
 class _Handler(BaseHTTPRequestHandler):
     """Routes requests to the owning :class:`ModelServer`."""
 
     protocol_version = "HTTP/1.1"
+    disable_nagle_algorithm = True
     server_version = "repro-serve/1.0"
 
     @property

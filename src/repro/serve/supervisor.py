@@ -1,0 +1,417 @@
+"""Replica supervision: spawn, watch, restart with backoff, quarantine.
+
+The :class:`Supervisor` owns the worker processes of a serving fleet.
+It is deliberately ignorant of HTTP — workers are opaque processes that
+report one message (their bound port) on a pipe and then either run
+forever or die.  Everything else is lifecycle policy:
+
+- **death detection** — a monitor thread blocks in
+  ``multiprocessing.connection.wait`` on every live worker's sentinel
+  (plus the startup pipes), so a SIGKILLed replica is noticed within
+  one scheduling quantum, not at the next poll tick;
+- **restart with exponential backoff** — a crashed replica is respawned
+  after ``backoff_base_s * 2^consecutive_crashes`` (capped), and the
+  consecutive counter resets once a replica survives
+  ``stable_after_s``;
+- **restart-budget circuit** — a replica that dies more than
+  ``restart_budget`` times within ``budget_window_s`` is *quarantined*:
+  the supervisor stops restarting it and the fleet degrades to N-1
+  healthy replicas instead of crash-looping the whole box;
+- **drain** — :meth:`stop` SIGTERMs workers (each drains its own
+  in-flight requests, see :meth:`repro.serve.ModelServer.begin_drain`),
+  joins them with a bounded timeout, and escalates to SIGKILL only for
+  stragglers.
+
+The supervisor reports replica arrivals/departures through the
+``on_up(index, port)`` / ``on_down(index)`` callbacks — the fleet
+router uses these to keep its routing table exact — and exposes a
+:meth:`snapshot` the router aggregates into ``/metrics``.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import threading
+import time
+from collections import deque
+from multiprocessing import connection
+from typing import Callable, Dict, List, Optional
+
+from repro.obs import MetricsRegistry, get_logger, get_registry
+
+_LOG = get_logger("serve.fleet")
+
+__all__ = ["ReplicaHandle", "Supervisor"]
+
+#: Replica lifecycle states (``ReplicaHandle.state``).
+STARTING = "starting"
+UP = "up"
+BACKOFF = "backoff"
+QUARANTINED = "quarantined"
+STOPPED = "stopped"
+
+
+class ReplicaHandle:
+    """Mutable supervision record for one replica slot."""
+
+    def __init__(self, index: int) -> None:
+        self.index = index
+        self.process = None          # multiprocessing.Process
+        self.conn = None             # parent end of the startup pipe
+        self.port: Optional[int] = None
+        self.state = STOPPED
+        self.started_at: Optional[float] = None
+        self.restart_at: Optional[float] = None
+        self.restarts = 0            # lifetime respawns of this slot
+        self.consecutive_crashes = 0
+        self.crash_times: deque = deque()
+        self.last_exit_code: Optional[int] = None
+
+    @property
+    def pid(self) -> Optional[int]:
+        return self.process.pid if self.process is not None else None
+
+    def snapshot(self) -> dict:
+        return {
+            "index": self.index,
+            "state": self.state,
+            "pid": self.pid,
+            "port": self.port,
+            "restarts": self.restarts,
+            "consecutive_crashes": self.consecutive_crashes,
+            "last_exit_code": self.last_exit_code,
+        }
+
+
+class Supervisor:
+    """Keeps ``workers`` replica processes alive within a restart budget.
+
+    Parameters
+    ----------
+    worker_factory:
+        ``factory(index) -> (process, parent_conn)``; the process must
+        already be started and will send its bound port (an int) on the
+        pipe once it is listening.  Called for the initial spawn and
+        every restart.
+    workers:
+        Fleet size N.
+    backoff_base_s, backoff_max_s:
+        Exponential restart backoff: ``base * 2^consecutive`` capped at
+        ``max``.
+    restart_budget, budget_window_s:
+        Quarantine a replica after this many deaths inside the sliding
+        window.
+    stable_after_s:
+        Uptime after which a replica's consecutive-crash counter (and
+        so its backoff) resets.
+    start_timeout_s:
+        How long a spawned worker may take to report its port before it
+        is treated as a failed start (covers ``SlowStart`` injection —
+        the port message is waited on asynchronously, so one slow
+        replica never blinds the monitor to another's death).
+    on_up, on_down:
+        Routing-table callbacks, called from the monitor thread.
+    """
+
+    def __init__(
+        self,
+        worker_factory: Callable[[int], tuple],
+        workers: int,
+        *,
+        backoff_base_s: float = 0.1,
+        backoff_max_s: float = 5.0,
+        restart_budget: int = 5,
+        budget_window_s: float = 30.0,
+        stable_after_s: float = 5.0,
+        start_timeout_s: float = 30.0,
+        on_up: Optional[Callable[[int, int], None]] = None,
+        on_down: Optional[Callable[[int], None]] = None,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.worker_factory = worker_factory
+        self.workers = workers
+        self.backoff_base_s = backoff_base_s
+        self.backoff_max_s = backoff_max_s
+        self.restart_budget = restart_budget
+        self.budget_window_s = budget_window_s
+        self.stable_after_s = stable_after_s
+        self.start_timeout_s = start_timeout_s
+        self.on_up = on_up
+        self.on_down = on_down
+        self.registry = registry if registry is not None else get_registry()
+        self.replicas: List[ReplicaHandle] = [
+            ReplicaHandle(i) for i in range(workers)
+        ]
+        self._lock = threading.RLock()
+        self._stopping = False
+        self._thread: Optional[threading.Thread] = None
+        # Self-pipe so stop() and newly scheduled restarts wake the
+        # monitor out of its connection.wait immediately.
+        self._wake_r, self._wake_w = os.pipe()
+
+    # -- lifecycle ------------------------------------------------------
+    def start(self) -> "Supervisor":
+        if self._thread is not None:
+            raise RuntimeError("supervisor already started")
+        for handle in self.replicas:
+            self._spawn(handle)
+        self._thread = threading.Thread(
+            target=self._monitor, name="repro-fleet-supervisor", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self, drain_timeout_s: float = 10.0) -> None:
+        """SIGTERM every worker (graceful drain), join, escalate, stop."""
+        with self._lock:
+            if self._stopping:
+                return
+            self._stopping = True
+        self._wake()
+        for handle in self.replicas:
+            proc = handle.process
+            if proc is not None and proc.is_alive():
+                self.signal(handle.index, signal.SIGTERM)
+        deadline = time.monotonic() + drain_timeout_s
+        for handle in self.replicas:
+            proc = handle.process
+            if proc is None:
+                continue
+            proc.join(timeout=max(0.0, deadline - time.monotonic()))
+            if proc.is_alive():
+                _LOG.warning(
+                    "replica %d did not drain within %.1fs; killing",
+                    handle.index, drain_timeout_s,
+                )
+                proc.kill()
+                proc.join(timeout=5.0)
+            handle.state = STOPPED
+            self._close_conn(handle)
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        for fd in (self._wake_r, self._wake_w):
+            try:
+                os.close(fd)
+            except OSError:
+                pass
+
+    # -- chaos / test hooks --------------------------------------------
+    def signal(self, index: int, sig: int) -> bool:
+        """Deliver ``sig`` to replica ``index`` (False if not running)."""
+        handle = self.replicas[index]
+        proc = handle.process
+        if proc is None or not proc.is_alive() or proc.pid is None:
+            return False
+        try:
+            os.kill(proc.pid, sig)
+            return True
+        except ProcessLookupError:
+            return False
+
+    def live_indices(self) -> List[int]:
+        with self._lock:
+            return [
+                h.index for h in self.replicas
+                if h.state == UP and h.process is not None
+                and h.process.is_alive()
+            ]
+
+    # -- spawn / respawn ------------------------------------------------
+    def _spawn(self, handle: ReplicaHandle) -> None:
+        handle.restart_at = None
+        try:
+            process, conn = self.worker_factory(handle.index)
+        except Exception as exc:  # factory itself failed: treat as crash
+            _LOG.warning("spawn of replica %d failed: %s", handle.index, exc)
+            handle.state = BACKOFF
+            self._record_crash(handle, exit_code=None)
+            return
+        handle.process = process
+        handle.conn = conn
+        handle.port = None
+        handle.state = STARTING
+        handle.started_at = time.monotonic()
+
+    def _close_conn(self, handle: ReplicaHandle) -> None:
+        if handle.conn is not None:
+            try:
+                handle.conn.close()
+            except OSError:
+                pass
+            handle.conn = None
+
+    def _wake(self) -> None:
+        try:
+            os.write(self._wake_w, b"x")
+        except OSError:
+            pass
+
+    # -- monitor loop ---------------------------------------------------
+    def _monitor(self) -> None:
+        while True:
+            with self._lock:
+                if self._stopping:
+                    return
+                waitables: list = [self._wake_r]
+                timeout = 0.5
+                now = time.monotonic()
+                for handle in self.replicas:
+                    if handle.state in (QUARANTINED, STOPPED):
+                        continue
+                    if handle.state == BACKOFF:
+                        if handle.restart_at is not None:
+                            if now >= handle.restart_at:
+                                _LOG.info(
+                                    "restarting replica %d (attempt %d)",
+                                    handle.index,
+                                    handle.consecutive_crashes,
+                                )
+                                self.registry.counter(
+                                    "fleet.restarts"
+                                ).inc()
+                                handle.restarts += 1
+                                self._spawn(handle)
+                            else:
+                                timeout = min(
+                                    timeout, handle.restart_at - now
+                                )
+                    if handle.process is not None and handle.state in (
+                        STARTING, UP
+                    ):
+                        waitables.append(handle.process.sentinel)
+                    if handle.state == STARTING and handle.conn is not None:
+                        waitables.append(handle.conn)
+                        overdue = (
+                            now - handle.started_at > self.start_timeout_s
+                        )
+                        if overdue:
+                            _LOG.warning(
+                                "replica %d never reported a port; killing",
+                                handle.index,
+                            )
+                            handle.process.kill()
+            ready = connection.wait(waitables, timeout=max(timeout, 0.01))
+            if self._wake_r in ready:
+                try:
+                    os.read(self._wake_r, 4096)
+                except OSError:
+                    return
+            with self._lock:
+                if self._stopping:
+                    return
+                for handle in self.replicas:
+                    if handle.conn is not None and handle.conn in ready:
+                        self._handle_port_report(handle)
+                for handle in self.replicas:
+                    proc = handle.process
+                    if (
+                        proc is not None
+                        and handle.state in (STARTING, UP)
+                        and proc.sentinel in ready
+                        and not proc.is_alive()
+                    ):
+                        self._handle_exit(handle)
+
+    def _handle_port_report(self, handle: ReplicaHandle) -> None:
+        try:
+            if not handle.conn.poll(0):
+                return
+            port = handle.conn.recv()
+        except (EOFError, OSError):
+            # Pipe closed without a port: the exit path handles it.
+            self._close_conn(handle)
+            return
+        handle.port = int(port)
+        handle.state = UP
+        self._close_conn(handle)
+        self.registry.gauge("fleet.replicas_up").set(
+            sum(1 for h in self.replicas if h.state == UP)
+        )
+        _LOG.info(
+            "replica %d up (pid %s, port %d)",
+            handle.index, handle.pid, handle.port,
+        )
+        if self.on_up is not None:
+            self.on_up(handle.index, handle.port)
+
+    def _handle_exit(self, handle: ReplicaHandle) -> None:
+        proc = handle.process
+        proc.join(timeout=0)
+        handle.last_exit_code = proc.exitcode
+        was_up = handle.state == UP
+        uptime = (
+            time.monotonic() - handle.started_at
+            if handle.started_at is not None else 0.0
+        )
+        self._close_conn(handle)
+        handle.process = None
+        handle.port = None
+        _LOG.warning(
+            "replica %d died (exit %s, uptime %.2fs)",
+            handle.index, handle.last_exit_code, uptime,
+        )
+        self.registry.counter("fleet.worker_deaths").inc()
+        if was_up and self.on_down is not None:
+            self.on_down(handle.index)
+        self.registry.gauge("fleet.replicas_up").set(
+            sum(1 for h in self.replicas if h.state == UP)
+        )
+        if uptime >= self.stable_after_s:
+            handle.consecutive_crashes = 0
+        self._record_crash(handle, exit_code=handle.last_exit_code)
+
+    def _record_crash(self, handle: ReplicaHandle, exit_code) -> None:
+        now = time.monotonic()
+        handle.crash_times.append(now)
+        while (
+            handle.crash_times
+            and now - handle.crash_times[0] > self.budget_window_s
+        ):
+            handle.crash_times.popleft()
+        if len(handle.crash_times) > self.restart_budget:
+            handle.state = QUARANTINED
+            self.registry.counter("fleet.quarantined").inc()
+            _LOG.warning(
+                "replica %d quarantined: %d crashes in %.0fs (budget %d); "
+                "fleet degrades to %d replicas",
+                handle.index, len(handle.crash_times), self.budget_window_s,
+                self.restart_budget,
+                sum(1 for h in self.replicas if h.state != QUARANTINED),
+            )
+            return
+        backoff = min(
+            self.backoff_base_s * (2 ** handle.consecutive_crashes),
+            self.backoff_max_s,
+        )
+        handle.consecutive_crashes += 1
+        handle.state = BACKOFF
+        handle.restart_at = now + backoff
+        self._wake()
+
+    # -- introspection --------------------------------------------------
+    def snapshot(self) -> dict:
+        """JSON-friendly supervision state for ``/metrics``."""
+        with self._lock:
+            replicas = [h.snapshot() for h in self.replicas]
+        states = [r["state"] for r in replicas]
+        return {
+            "workers": self.workers,
+            "up": states.count(UP),
+            "quarantined": states.count(QUARANTINED),
+            "restart_budget": self.restart_budget,
+            "budget_window_s": self.budget_window_s,
+            "total_restarts": sum(r["restarts"] for r in replicas),
+            "replicas": replicas,
+        }
+
+    def __repr__(self) -> str:
+        snap = self.snapshot()
+        return (
+            f"Supervisor(workers={snap['workers']}, up={snap['up']}, "
+            f"quarantined={snap['quarantined']}, "
+            f"restarts={snap['total_restarts']})"
+        )

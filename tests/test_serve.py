@@ -1080,3 +1080,173 @@ class TestSoak:
             assert served == 120
             assert metrics["metrics"]["serve.degraded"]["value"] > 0
             assert metrics["breaker"]["opened_count"] >= 1
+
+
+# ---------------------------------------------------------------------------
+# Graceful drain + counter consistency across restart cycles
+# ---------------------------------------------------------------------------
+
+class TestDrain:
+    def test_drain_fails_readyz_finishes_inflight_gauge_zero(self, graph):
+        # fastpath off + a slow forward so the in-flight request is
+        # still running when the drain begins.
+        engine = make_engine(
+            graph, fault_hook=SlowForward(delay_s=0.3), fastpath=False,
+        )
+        with make_server(engine) as server:
+            results = []
+            poster = threading.Thread(
+                target=lambda: results.append(
+                    raw_post(server.url, {"nodes": [0]})
+                ),
+            )
+            poster.start()
+            deadline = time.monotonic() + 5.0
+            while server.shedder.inflight == 0 and time.monotonic() < deadline:
+                time.sleep(0.005)
+            assert server.shedder.inflight >= 1
+
+            server.begin_drain()
+            client = ServeClient(server.url, retries=0)
+            status, body = client.request("GET", "/readyz")
+            assert status == 503
+            assert body["reason"] == "draining"
+
+            # The in-flight request is allowed to finish...
+            assert server.drain(timeout_s=5.0) is True
+            poster.join(timeout=5.0)
+            assert results and results[0][0] == 200
+            # ...and the inflight gauge is back to zero afterwards.
+            assert server.shedder.inflight == 0
+            metrics = json.loads(urllib.request.urlopen(
+                server.url + "/metrics", timeout=10).read())
+            assert metrics["inflight"] == 0
+            assert metrics["draining"] is True
+            assert metrics["metrics"]["serve.inflight"]["value"] == 0
+
+    def test_drain_timeout_reports_false(self, graph):
+        engine = make_engine(
+            graph, fault_hook=SlowForward(delay_s=0.5), fastpath=False,
+        )
+        with make_server(engine) as server:
+            poster = threading.Thread(
+                target=lambda: raw_post(server.url, {"nodes": [0]}),
+            )
+            poster.start()
+            deadline = time.monotonic() + 5.0
+            while server.shedder.inflight == 0 and time.monotonic() < deadline:
+                time.sleep(0.005)
+            server.begin_drain()
+            assert server.drain(timeout_s=0.05) is False  # still in flight
+            assert server.drain(timeout_s=5.0) is True    # finishes later
+            poster.join(timeout=5.0)
+
+
+class TestCounterConsistencyAcrossRestarts:
+    def test_shedder_release_never_goes_negative(self):
+        shedder = LoadShedder(max_inflight=2)
+        assert shedder.try_acquire()
+        shedder.release()
+        with pytest.raises(RuntimeError):
+            shedder.release()                  # over-release is a bug, loudly
+        assert shedder.inflight == 0
+
+    def test_counters_survive_server_restart_cycles(self, graph):
+        """One engine + breaker serving across 3 server restarts: counters
+        only grow, inflight returns to zero after every drain."""
+        breaker = CircuitBreaker(
+            failure_threshold=0.5, window=4, min_requests=2, cooldown_s=30.0,
+        )
+        engine = make_engine(
+            graph, fault_hook=NaNForward(times=2), breaker=breaker,
+            fastpath=False,
+        )
+        registry = engine.registry
+        last_requests = 0
+        for cycle in range(3):
+            with make_server(engine) as server:
+                for i in range(4):
+                    status, body = raw_post(server.url, {"nodes": [i]})
+                    assert status == 200
+                server.begin_drain()
+                assert server.drain(timeout_s=5.0) is True
+                assert server.shedder.inflight == 0
+                assert server.shedder.shed_count >= 0
+            requests = registry.counter("serve.predict.full").value
+            failures = registry.counter("serve.predict.failures").value
+            assert requests >= last_requests    # monotonic across cycles
+            assert requests >= 0 and failures >= 0
+            last_requests = requests
+        # The NaN burst in cycle 1 opened the breaker; its counters held
+        # steady (no reset, no underflow) through the later restarts.
+        assert breaker.opened_count >= 1
+        assert registry.counter("serve.predict.failures").value == 2
+
+
+class TestClientStats:
+    def test_stats_count_requests_attempts_retries(self):
+        script = [
+            (503, {"error": {"code": "model_unavailable", "message": "w"}}),
+            (503, {"error": {"code": "model_unavailable", "message": "w"}}),
+            (200, {"degraded": False, "classes": [1]}),
+        ]
+        with scripted_server(script) as stub:
+            client = ServeClient(
+                stub.url, retries=3, backoff_s=0.01, sleep=lambda s: None,
+            )
+            client.predict([0])
+            stats = client.stats()
+        assert stats["client.requests"] == 1
+        assert stats["client.attempts"] == 3
+        assert stats["client.retries"] == 2
+        assert stats["client.transport_errors"] == 0
+
+    def test_connection_reset_during_restart_is_retried(self):
+        """A replica restart looks like accept-then-close; the client must
+        treat it as a retryable transport error, not an instant failure."""
+        import socket as socket_mod
+
+        lsock = socket_mod.socket()
+        lsock.bind(("127.0.0.1", 0))
+        lsock.listen(8)
+        lsock.settimeout(5.0)
+        port = lsock.getsockname()[1]
+        stop = threading.Event()
+
+        def slam_connections():
+            while not stop.is_set():
+                try:
+                    conn, _ = lsock.accept()
+                    conn.close()               # reset before any response
+                except OSError:
+                    return
+
+        slammer = threading.Thread(target=slam_connections, daemon=True)
+        slammer.start()
+        try:
+            client = ServeClient(
+                f"http://127.0.0.1:{port}", retries=2, backoff_s=0.01,
+                timeout_s=1.0, sleep=lambda s: None,
+            )
+            with pytest.raises(ServeClientError):
+                client.predict([0])
+            stats = client.stats()
+            assert stats["client.attempts"] == 3
+            assert stats["client.retries"] == 2
+            assert stats["client.transport_errors"] == 3
+        finally:
+            stop.set()
+            lsock.close()
+            slammer.join(timeout=5.0)
+
+    def test_non_idempotent_transport_error_not_retried(self):
+        client = ServeClient(
+            "http://127.0.0.1:1", retries=3, backoff_s=0.001,
+            timeout_s=0.2, sleep=lambda s: None,
+        )
+        with pytest.raises(ServeClientError):
+            client.predict([0], idempotent=False)
+        stats = client.stats()
+        assert stats["client.attempts"] == 1
+        assert stats["client.retries"] == 0
+        assert stats["client.transport_errors"] == 1
