@@ -14,7 +14,17 @@ from repro.graphs.metrics import (
     edge_homophily,
     clustering_summary,
 )
-from repro.graphs.partition import partition_graph
+from repro.graphs.partition import (
+    edge_cut_fraction,
+    khop_neighborhood,
+    partition_graph,
+)
+from repro.graphs.shard import (
+    Shard,
+    ShardPlan,
+    build_shard_plan,
+    operator_adjacency,
+)
 from repro.graphs.sampling import (
     drop_edge,
     sample_neighbors,
@@ -35,6 +45,12 @@ __all__ = [
     "edge_homophily",
     "clustering_summary",
     "partition_graph",
+    "edge_cut_fraction",
+    "khop_neighborhood",
+    "Shard",
+    "ShardPlan",
+    "build_shard_plan",
+    "operator_adjacency",
     "drop_edge",
     "sample_neighbors",
     "fastgcn_layer_sample",

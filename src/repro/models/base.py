@@ -49,6 +49,8 @@ class GNNModel(nn.Module):
         self._features: Optional[Tensor] = None
         self._view_cache: Dict[int, tuple] = {}
         self._prop_tensors: Dict[tuple, Tensor] = {}
+        self._shard_plan = None
+        self._shard_caches = None
 
     # ------------------------------------------------------------------
     def setup(self, graph: Graph) -> "GNNModel":
@@ -111,6 +113,43 @@ class GNNModel(nn.Module):
         return None
 
     # ------------------------------------------------------------------
+    def enable_sharding(self, plan) -> "GNNModel":
+        """Route eligible ``Â^k X`` products through a :class:`ShardPlan`.
+
+        Each shard gets its own :class:`~repro.perf.PropagationCache`
+        scoped by the shard signature, so shard entries can never collide
+        with each other or with the process-global cache.  The plan must
+        be built over this model's own operator (fingerprints are checked
+        per call); propagation powers above ``plan.max_power`` silently
+        fall back to the dense path.
+        """
+        from repro.perf.propcache import PropagationCache
+
+        self._shard_plan = plan
+        self._shard_caches = [
+            PropagationCache(scope=shard.signature) for shard in plan.shards
+        ]
+        self._prop_tensors.clear()
+        if self.graph is not None:
+            # Re-run per-graph precomputation (e.g. SGC's Â^K X) so models
+            # that propagate at attach time pick up the sharded path.
+            self.on_attach(self.graph)
+        return self
+
+    def disable_sharding(self) -> "GNNModel":
+        """Drop the shard plan and return to dense/global-cache execution."""
+        self._shard_plan = None
+        self._shard_caches = None
+        self._prop_tensors.clear()
+        if self.graph is not None:
+            self.on_attach(self.graph)
+        return self
+
+    @property
+    def shard_plan(self):
+        return self._shard_plan
+
+    # ------------------------------------------------------------------
     def _propagated_input(self, adj, x, k: int = 1) -> Optional[Tensor]:
         """Memoized ``Â^k x`` when ``x`` is the attached constant features.
 
@@ -122,15 +161,35 @@ class GNNModel(nn.Module):
         mutate it; the product itself comes from the process-global
         :class:`repro.perf.PropagationCache` and is shared across model
         instances on equal graphs.
+
+        With sharding enabled (:meth:`enable_sharding`) and the operator
+        matching the plan, the product is instead computed shard-by-shard
+        through the per-shard caches and stitched — bitwise-identical to
+        the dense product — regardless of the global cache switch.
         """
         from repro.perf import config as perf_config
         from repro.perf import propcache
 
-        if not perf_config.propagation_cache_enabled():
-            return None
         if self._features is None or x is not self._features:
             return None
         if not isinstance(adj, SparseMatrix):
+            return None
+        plan = self._shard_plan
+        if (
+            plan is not None
+            and k <= plan.max_power
+            and adj.fingerprint == plan.operator_fingerprint
+        ):
+            key = (id(adj), k, plan.signature)
+            cached = self._prop_tensors.get(key)
+            if cached is None:
+                data = plan.propagate(
+                    self._features.data, k, caches=self._shard_caches
+                )
+                cached = Tensor(data)
+                self._prop_tensors[key] = cached
+            return cached
+        if not perf_config.propagation_cache_enabled():
             return None
         key = (id(adj), k)
         cached = self._prop_tensors.get(key)

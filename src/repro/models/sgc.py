@@ -35,24 +35,25 @@ class SGC(GNNModel):
         self._prop_cache = {}
 
     def on_attach(self, graph: Graph) -> None:
-        key = id(graph)
+        plan = self._shard_plan
+        key = (id(graph), plan.signature if plan is not None else None)
         if key not in self._prop_cache:
-            from repro.perf import config as perf_config
-            from repro.perf import propcache
-
-            if perf_config.propagation_cache_enabled():
-                # Content-keyed global cache: a second SGC (or a GCN with
-                # cached first-layer propagation) on an equal graph view
-                # reuses the same Â^k X buffers.
-                propagated = propcache.propagated_features(
-                    self._norm_adj, self._features.data, k=self.k_hops
-                )
+            # Cached paths first: the sharded stitch when a plan is
+            # bound, else the content-keyed global cache (a second SGC —
+            # or a GCN with cached first-layer propagation — on an equal
+            # graph view reuses the same Â^k X buffers).  Both are
+            # bitwise-identical to the dense loop below.
+            cached = self._propagated_input(
+                self._norm_adj, self._features, k=self.k_hops
+            )
+            if cached is not None:
+                self._prop_cache[key] = cached
             else:
                 propagated = self._features.data
                 csr = self._norm_adj.csr
                 for _ in range(self.k_hops):
                     propagated = csr @ propagated
-            self._prop_cache[key] = Tensor(propagated)
+                self._prop_cache[key] = Tensor(propagated)
         self._propagated = self._prop_cache[key]
 
     def forward(self, adj, x, return_hidden: bool = False):

@@ -28,7 +28,7 @@ from __future__ import annotations
 import hashlib
 import threading
 from collections import OrderedDict
-from typing import Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 
@@ -45,12 +45,22 @@ def array_fingerprint(array: np.ndarray) -> str:
 
 
 class PropagationCache:
-    """LRU cache of ``Â^k X`` products and ``Â^p`` sparse powers."""
+    """LRU cache of ``Â^k X`` products and ``Â^p`` sparse powers.
 
-    def __init__(self, capacity: int = 64) -> None:
+    ``scope`` namespaces every key.  Content fingerprints alone are not
+    enough once the graph is sharded: two shards of the same graph can
+    hold *byte-identical* restricted blocks and features (think two
+    identical communities), and a purely content-addressed key would
+    serve shard B rows computed for shard A.  Per-shard caches therefore
+    carry the shard signature as their scope (and sharded lookups also
+    bake it into the key itself — see :meth:`Shard.propagate`).
+    """
+
+    def __init__(self, capacity: int = 64, scope: Optional[str] = None) -> None:
         if capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
         self.capacity = capacity
+        self.scope = scope
         self._entries: "OrderedDict[Tuple, object]" = OrderedDict()
         self._lock = threading.RLock()
         self.hits = 0
@@ -86,7 +96,7 @@ class PropagationCache:
         if k < 1:
             raise ValueError(f"propagation power must be >= 1, got {k}")
         features = np.ascontiguousarray(features)
-        base_key = (adj.fingerprint, array_fingerprint(features))
+        base_key = (self.scope, adj.fingerprint, array_fingerprint(features))
         with self._lock:
             # Walk down from k to the deepest cached power.
             start = k
@@ -115,13 +125,34 @@ class PropagationCache:
             raise ValueError(f"adjacency power must be >= 0, got {k}")
         if k == 1:
             return adj
-        key = (adj.fingerprint, "power", k)
+        key = (self.scope, adj.fingerprint, "power", k)
         with self._lock:
             cached = self._get(key)
             if cached is not None:
                 return cached
             result = adj.power(k)
             self._put(key, result)
+            return result
+
+    def memoize(self, key: Tuple, compute) -> np.ndarray:
+        """Memoize an arbitrary dense product under ``(scope,) + key``.
+
+        The sharded execution layer uses this for per-shard restricted
+        propagation chains, whose intermediate operands are block
+        matrices rather than a single adjacency; the caller is
+        responsible for a key that fully identifies the computation
+        (shard signature + feature fingerprint + power).  Results are
+        frozen read-only like every other entry, and the miss is atomic
+        under the cache lock.
+        """
+        full_key = (self.scope,) + tuple(key)
+        with self._lock:
+            cached = self._get(full_key)
+            if cached is not None:
+                return cached
+            result = np.asarray(compute())
+            result.setflags(write=False)
+            self._put(full_key, result)
             return result
 
     # ------------------------------------------------------------------
@@ -140,6 +171,7 @@ class PropagationCache:
             return {
                 "entries": len(self._entries),
                 "capacity": self.capacity,
+                "scope": self.scope,
                 "hits": self.hits,
                 "misses": self.misses,
             }

@@ -250,6 +250,8 @@ class InferenceEngine:
         # swap_model can never pair old weights with a new version key.
         self._active: Tuple = (model, model_fingerprint(model),
                                self._adj_fingerprint(model))
+        self.shard_plan = None
+        self.shard = None
         self.batch_window_ms = batch_window_ms
         self.max_batch = max_batch
         window_s = batch_window_ms / 1000.0
@@ -263,6 +265,31 @@ class InferenceEngine:
                          max_batch=max_batch, clock=clock)
             if batch_window_ms > 0 and fallback is not None else None
         )
+
+    # -- sharding ------------------------------------------------------
+    def bind_shard(self, plan, index: int) -> "InferenceEngine":
+        """Bind this engine to shard ``index`` of a ``ShardPlan``.
+
+        A fleet of shard-bound engines replaces N full graph copies: the
+        model's propagation runs through shard-local caches (stitched
+        forwards stay bitwise-identical, so *any* node id is still
+        answered correctly), while the router above sends each node id
+        to the replica owning it.  Exposes ``shard.halo_rows`` /
+        ``shard.nodes`` gauges and a ``shard`` block in :meth:`info`.
+        """
+        if not 0 <= index < plan.num_shards:
+            raise ValueError(
+                f"shard index {index} outside [0, {plan.num_shards})"
+            )
+        self.shard_plan = plan
+        self.shard = plan.shards[index]
+        model = self._active[0]
+        if hasattr(model, "enable_sharding"):
+            model.enable_sharding(plan)
+        self.registry.gauge("shard.index").set(index)
+        self.registry.gauge("shard.nodes").set(len(self.shard.nodes))
+        self.registry.gauge("shard.halo_rows").set(len(self.shard.halo))
+        return self
 
     # -- versioning ----------------------------------------------------
     @staticmethod
@@ -670,7 +697,7 @@ class InferenceEngine:
             fastpath["store"] = self.logit_store.info()
         if self._full_batcher is not None:
             fastpath["batching"] = self._full_batcher.info()
-        return {
+        info = {
             "model": type(self.model).__name__,
             "graph": self.graph.name,
             "num_nodes": self.graph.num_nodes,
@@ -680,6 +707,14 @@ class InferenceEngine:
             "breaker": self.breaker.snapshot(),
             "fastpath": fastpath,
         }
+        if self.shard is not None:
+            info["shard"] = {
+                "index": self.shard.index,
+                "num_shards": self.shard_plan.num_shards,
+                "nodes": int(len(self.shard.nodes)),
+                "halo_rows": int(len(self.shard.halo)),
+            }
+        return info
 
 
 # ---------------------------------------------------------------------------

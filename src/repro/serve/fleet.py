@@ -95,6 +95,11 @@ class FleetConfig:
     store_wait_s: float = 2.0
     store_lease_ttl_s: float = 30.0
 
+    # Graph sharding: replica i binds shard i of this ShardPlan and the
+    # router switches from round-robin to ownership routing.  Requires
+    # workers == plan.num_shards (validated by ServingFleet).
+    shard_plan: Optional[object] = field(default=None, repr=False)
+
     # Test/chaos hook: called as ``start_hook(index)`` in the replica
     # process before it binds — SlowStart sleeps here, FailStart raises.
     start_hook: Optional[Callable[[int], None]] = field(
@@ -134,6 +139,11 @@ def _worker_main(
     engine._singleflight = SingleFlight()
     if shared_store is not None:
         engine.logit_store = shared_store
+    if config.shard_plan is not None:
+        # Ownership contract with the router: replica index == shard
+        # index.  Binding routes the model's propagation through
+        # shard-local caches (stitched forwards stay full-graph-correct).
+        engine.bind_shard(config.shard_plan, index)
 
     if config.start_hook is not None:
         config.start_hook(index)  # chaos: may sleep, raise, or _exit
@@ -198,6 +208,14 @@ class ServingFleet:
         self.config = config if config is not None else FleetConfig()
         self.engine = engine
         cfg = self.config
+        if (
+            cfg.shard_plan is not None
+            and cfg.workers != cfg.shard_plan.num_shards
+        ):
+            raise ValueError(
+                f"shard mode needs one replica per shard: workers="
+                f"{cfg.workers} != num_shards={cfg.shard_plan.num_shards}"
+            )
         self._ctx = multiprocessing.get_context("fork")
         self.store: Optional[SharedLogitStore] = None
         if cfg.shared_store:
@@ -219,6 +237,7 @@ class ServingFleet:
             registry=registry,
             tracer=tracer,
             max_body_bytes=cfg.max_body_bytes,
+            shard_plan=cfg.shard_plan,
         )
         self.supervisor = Supervisor(
             self._spawn_worker,

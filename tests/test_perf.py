@@ -346,7 +346,10 @@ class TestModelWiring:
 # ----------------------------------------------------------------------
 class TestBenchCLI:
     def _check_common(self, doc, kind):
-        assert doc["schema"] == f"repro.bench.{kind}/v1"
+        from repro.perf.bench import SCHEMA_INFER, SCHEMA_TRAIN
+
+        expected = SCHEMA_TRAIN if kind == "train" else SCHEMA_INFER
+        assert doc["schema"] == expected
         assert doc["units"] == "seconds"
         assert doc["dataset"] == "synthetic"
         assert set(doc["modes"]) == {"reference", "optimized"}

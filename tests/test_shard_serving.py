@@ -1,0 +1,299 @@
+"""Shard-aware request routing through a live :class:`FleetRouter`.
+
+Replica *i* owns shard *i*: the router maps every requested node id to
+its owner via ``ShardPlan.owner`` and forwards single-shard payloads to
+exactly that replica.  Cross-shard batches are split per owner and the
+sub-responses re-merged in request order under the
+``shard.stitch_time_s`` timer.  Anything the router cannot confidently
+split (bad JSON, out-of-range ids, malformed features) is forwarded
+*whole* to one replica so single-server validation produces the
+canonical error — the stable ``node_out_of_range`` 4xx contract is
+preserved byte-for-byte.
+
+These tests run thread-backed :class:`ModelServer` replicas (no forked
+workers — the fork-based plan distribution is covered by
+``tests/test_fleet.py`` and the CLI); each replica gets its own
+``MetricsRegistry`` so the tests can assert which replica actually did
+the work.
+"""
+
+import json
+import urllib.error
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.datasets import generate_dcsbm_graph, generate_features
+from repro.datasets.splits import per_class_split
+from repro.graphs import Graph, build_shard_plan, operator_adjacency
+from repro.obs import MetricsRegistry, Tracer
+from repro.serve import InferenceEngine, ModelServer
+from repro.serve.router import FleetRouter
+
+pytestmark = [pytest.mark.shard, pytest.mark.serve]
+
+
+@pytest.fixture(scope="module")
+def graph():
+    rng = np.random.default_rng(17)
+    adj, labels = generate_dcsbm_graph(120, 3, 420, homophily=0.9, rng=rng)
+    features = generate_features(labels, 16, rng=rng)
+    train, val, test = per_class_split(labels, 8, 12, 30, rng=rng)
+    return Graph(
+        adj=adj, features=features, labels=labels,
+        train_mask=train, val_mask=val, test_mask=test,
+        name="shard-serve-test",
+    )
+
+
+def make_engine(graph, registry):
+    from repro.models import build_model
+
+    model = build_model(
+        "gcn", graph.num_features, graph.num_classes,
+        hidden=8, num_layers=2, dropout=0.0, seed=0,
+    )
+    return InferenceEngine(model, graph, registry=registry)
+
+
+class ShardedStack:
+    """Router + one thread-backed shard-bound replica per shard."""
+
+    def __init__(self, graph, num_shards=2):
+        probe = make_engine(graph, MetricsRegistry())
+        operator = operator_adjacency(probe.model._norm_adj)
+        self.plan = build_shard_plan(
+            graph, adj=operator, num_shards=num_shards
+        )
+        self.registries = []
+        self.servers = []
+        self.router_registry = MetricsRegistry()
+        self.router = FleetRouter(
+            port=0,
+            shard_plan=self.plan,
+            registry=self.router_registry,
+            tracer=Tracer(enabled=False),
+            probe_interval_s=60.0,
+        ).start()
+        for index in range(num_shards):
+            registry = MetricsRegistry()
+            engine = make_engine(graph, registry)
+            engine.bind_shard(self.plan, index)
+            server = ModelServer(
+                engine, port=0, registry=registry,
+                tracer=Tracer(enabled=False),
+            ).start()
+            self.registries.append(registry)
+            self.servers.append(server)
+            self.router.register(index, server.port)
+
+    def requests_per_replica(self):
+        return [
+            int(r.counter("serve.requests").value) for r in self.registries
+        ]
+
+    def stop(self):
+        self.router.stop()
+        for server in self.servers:
+            server.stop()
+
+
+@pytest.fixture(scope="module")
+def stack(graph):
+    s = ShardedStack(graph, num_shards=2)
+    yield s
+    s.stop()
+
+
+@pytest.fixture(scope="module")
+def dense_server(graph):
+    registry = MetricsRegistry()
+    server = ModelServer(
+        make_engine(graph, registry), port=0, registry=registry,
+        tracer=Tracer(enabled=False),
+    ).start()
+    yield server
+    server.stop()
+
+
+def post_json(url, payload, timeout=10):
+    body = payload if isinstance(payload, bytes) else json.dumps(
+        payload
+    ).encode()
+    req = urllib.request.Request(
+        url, data=body, headers={"Content-Type": "application/json"}
+    )
+    try:
+        with urllib.request.urlopen(req, timeout=timeout) as resp:
+            return resp.status, json.loads(resp.read().decode())
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read().decode())
+
+
+def get_json(url, timeout=10):
+    with urllib.request.urlopen(url, timeout=timeout) as resp:
+        return resp.status, json.loads(resp.read().decode())
+
+
+class TestOwnershipRouting:
+    def test_single_shard_request_hits_owner_only(self, stack):
+        for shard in stack.plan.shards:
+            before = stack.requests_per_replica()
+            node = int(shard.nodes[0])
+            status, body = post_json(
+                stack.router.url + "/predict", {"nodes": [node]}
+            )
+            after = stack.requests_per_replica()
+            assert status == 200
+            assert body["nodes"] == [node]
+            delta = [a - b for a, b in zip(after, before)]
+            assert delta[shard.index] == 1
+            assert sum(delta) == 1  # nobody else saw it
+
+    def test_routed_counter_increments(self, stack):
+        before = stack.router_registry.counter("shard.routed").value
+        node = int(stack.plan.shards[0].nodes[1])
+        status, _ = post_json(
+            stack.router.url + "/predict", {"nodes": [node]}
+        )
+        assert status == 200
+        assert stack.router_registry.counter("shard.routed").value > before
+
+    def test_single_shard_batch_not_split(self, stack):
+        before = stack.router_registry.counter("shard.split").value
+        nodes = [int(v) for v in stack.plan.shards[1].nodes[:4]]
+        status, body = post_json(
+            stack.router.url + "/predict", {"nodes": nodes}
+        )
+        assert status == 200
+        assert body["nodes"] == nodes
+        assert "sharded" not in body  # forwarded verbatim, not merged
+        assert stack.router_registry.counter("shard.split").value == before
+
+
+class TestCrossShardMerge:
+    def interleaved(self, plan, per_shard=3):
+        a = [int(v) for v in plan.shards[0].nodes[:per_shard]]
+        b = [int(v) for v in plan.shards[1].nodes[:per_shard]]
+        out = []
+        for x, y in zip(a, b):
+            out += [y, x]  # deliberately not grouped, not sorted
+        return out
+
+    def test_split_and_merged_in_request_order(self, stack, dense_server):
+        nodes = self.interleaved(stack.plan)
+        before_split = stack.router_registry.counter("shard.split").value
+        status, body = post_json(
+            stack.router.url + "/predict", {"nodes": nodes}
+        )
+        assert status == 200
+        assert body["sharded"] is True
+        assert sorted(body["shards"]) == [0, 1]
+        assert body["nodes"] == nodes  # original request order
+        assert stack.router_registry.counter("shard.split").value \
+            == before_split + 1
+        hist = stack.router_registry.timer("shard.stitch_time_s").histogram
+        assert hist.snapshot()["count"] >= 1
+
+        # Every replica holds the full stitched model, so the merged
+        # classes must match a plain dense single server exactly.
+        _, dense = post_json(
+            dense_server.url + "/predict", {"nodes": nodes}
+        )
+        assert body["classes"] == dense["classes"]
+
+    def test_merged_probabilities_in_request_order(self, stack, dense_server):
+        nodes = self.interleaved(stack.plan, per_shard=2)
+        status, body = post_json(
+            stack.router.url + "/predict",
+            {"nodes": nodes, "return_probabilities": True},
+        )
+        assert status == 200
+        _, dense = post_json(
+            dense_server.url + "/predict",
+            {"nodes": nodes, "return_probabilities": True},
+        )
+        np.testing.assert_allclose(
+            np.asarray(body["probabilities"]),
+            np.asarray(dense["probabilities"]),
+            rtol=1e-12,
+        )
+
+    def test_features_override_split_per_owner(self, stack, dense_server):
+        nodes = self.interleaved(stack.plan, per_shard=2)
+        rng = np.random.default_rng(3)
+        features = rng.normal(size=(len(nodes), 16)).tolist()
+        status, body = post_json(
+            stack.router.url + "/predict",
+            {"nodes": nodes, "features": features},
+        )
+        assert status == 200
+        assert body["nodes"] == nodes
+        _, dense = post_json(
+            dense_server.url + "/predict",
+            {"nodes": nodes, "features": features},
+        )
+        assert body["classes"] == dense["classes"]
+
+
+class TestCanonicalErrors:
+    """Unsplittable payloads forward whole; replica validation answers."""
+
+    def test_node_out_of_range_is_preserved(self, stack, dense_server, graph):
+        payload = {"nodes": [0, graph.num_nodes + 5]}
+        status, body = post_json(stack.router.url + "/predict", payload)
+        d_status, d_body = post_json(
+            dense_server.url + "/predict", payload
+        )
+        assert (status, body["error"]) == (d_status, d_body["error"])
+        assert body["error"]["code"] == "node_out_of_range"
+        assert 400 <= status < 500
+
+    def test_invalid_json_is_preserved(self, stack, dense_server):
+        status, body = post_json(
+            stack.router.url + "/predict", b"{nope"
+        )
+        d_status, d_body = post_json(
+            dense_server.url + "/predict", b"{nope"
+        )
+        assert (status, body["error"]) == (d_status, d_body["error"])
+
+    def test_missing_nodes_is_preserved(self, stack, dense_server):
+        status, body = post_json(stack.router.url + "/predict", {})
+        d_status, d_body = post_json(dense_server.url + "/predict", {})
+        assert (status, body["error"]) == (d_status, d_body["error"])
+
+    def test_feature_shape_mismatch_is_preserved(self, stack, dense_server):
+        nodes = [int(stack.plan.shards[0].nodes[0]),
+                 int(stack.plan.shards[1].nodes[0])]
+        payload = {"nodes": nodes, "features": [[1.0] * 16]}  # 1 row, 2 nodes
+        status, body = post_json(stack.router.url + "/predict", payload)
+        d_status, d_body = post_json(dense_server.url + "/predict", payload)
+        assert (status, body["error"]) == (d_status, d_body["error"])
+
+
+class TestTopology:
+    def test_fleet_reports_sharding(self, stack):
+        status, body = get_json(stack.router.url + "/fleet")
+        assert status == 200
+        sharding = body["sharding"]
+        assert sharding["num_shards"] == 2
+        assert len(sharding["shards"]) == 2
+        for shard in sharding["shards"]:
+            assert shard["replica"] == shard["index"]
+        assert sharding["halo_rows"] == stack.plan.halo_rows()
+
+    def test_replica_engines_report_shard(self, stack):
+        for index, server in enumerate(stack.servers):
+            status, body = get_json(server.url + "/readyz")
+            assert status == 200
+            shard = body["engine"]["shard"]
+            assert shard["index"] == index
+            assert shard["num_shards"] == 2
+            assert shard["nodes"] == len(stack.plan.shards[index].nodes)
+
+    def test_router_metrics_gauges(self, stack):
+        snap = stack.router_registry.snapshot()
+        assert snap["shard.num_shards"]["value"] == 2
+        assert snap["shard.halo_rows"]["value"] == stack.plan.halo_rows()
