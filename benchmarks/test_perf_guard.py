@@ -44,7 +44,7 @@ REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
 BASELINE_SCHEMAS = {
     "BENCH_train.json": "repro.bench.train/v2",
     "BENCH_infer.json": "repro.bench.infer/v1",
-    "BENCH_serve.json": "repro.bench.serve/v3",
+    "BENCH_serve.json": "repro.bench.serve/v4",
 }
 
 #: A fresh speedup ratio may fall to this fraction of the committed one

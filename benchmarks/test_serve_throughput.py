@@ -68,7 +68,7 @@ def test_cold_stampede_coalesces(serve_doc):
 
 
 def test_schema_and_bookkeeping(serve_doc):
-    assert serve_doc["schema"] == "repro.bench.serve/v3"
+    assert serve_doc["schema"] == "repro.bench.serve/v4"
     fastpath = serve_doc["fastpath"]
     assert fastpath["enabled"] is True
     # The storm phase clears the store (resetting its counters), so only

@@ -298,6 +298,24 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             print(f"\nwrote {path}")
         return 0
 
+    if args.mutate:
+        from repro.perf.bench import format_mutate_report, run_mutate_bench
+
+        model = args.models[0] if len(args.models) == 1 else "sgc"
+        result = run_mutate_bench(
+            dataset=args.dataset,
+            model=model,
+            batches=args.repeats,
+            scale=args.scale,
+            seed=args.seed,
+            out_dir=args.out_dir,
+            write=not args.no_write,
+        )
+        print(format_mutate_report(result))
+        for path in result["paths"]:
+            print(f"\nwrote {path}")
+        return 0
+
     if args.serve:
         # --models usually lists several for the train bench; the serve
         # bench times one engine, defaulting to the paper's model.
@@ -436,9 +454,17 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             **fastpath_kwargs,
         )
 
+    wal_dir = getattr(args, "wal_dir", None)
     shard_plan = None
     shards = getattr(args, "shards", None)
     if shards is not None and shards > 1:
+        if wal_dir:
+            print(
+                "--wal-dir (dynamic graph updates) is not supported with "
+                "--shards; drop one of the two",
+                file=sys.stderr,
+            )
+            return 2
         from repro.graphs.shard import build_shard_plan, operator_adjacency
 
         operator = operator_adjacency(engine.model._norm_adj)
@@ -477,6 +503,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             drain_timeout_s=args.drain_timeout,
             shared_store=not args.no_fastpath,
             shard_plan=shard_plan,
+            wal_dir=wal_dir,
         ))
         fleet.start()
         sharded = (
@@ -487,8 +514,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             f"fleet: {args.workers} x {engine.info()['model']} replicas "
             f"behind {fleet.url}{sharded}"
         )
+        if wal_dir:
+            print(f"graph updates: per-replica WALs under {wal_dir}")
         print(
-            "endpoints: POST /predict /reload   "
+            "endpoints: POST /predict /graph/update /reload   "
             "GET /healthz /readyz /metrics /fleet"
         )
         if args.dry_run:
@@ -504,6 +533,20 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             "fleet", lambda: fleet.shutdown(args.drain_timeout)
         )
 
+    if wal_dir:
+        import pathlib
+
+        from repro.resilience.wal import GraphMutationLog
+
+        wal_path = pathlib.Path(wal_dir)
+        wal_path.mkdir(parents=True, exist_ok=True)
+        replayed = engine.attach_wal(GraphMutationLog.in_dir(wal_path))
+        if replayed:
+            print(
+                f"replayed {replayed} graph update(s); graph at "
+                f"version {engine.graph_version}"
+            )
+
     server = ModelServer(
         engine, host=args.host, port=args.port,
         max_inflight=args.max_inflight,
@@ -514,9 +557,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     )
     print(f"serving {engine.info()['model']} on {server.url}")
     print(
-        "endpoints: POST /predict /reload   "
+        "endpoints: POST /predict /graph/update /reload   "
         "GET /healthz /readyz /metrics /traces"
     )
+    if wal_dir:
+        print(f"graph updates: WAL at {wal_path / 'graph.wal'}")
     if tracer is not None and tracer.sink is not None:
         print(
             f"tracing: sample {args.trace_sample:g}, slow >= "
@@ -729,6 +774,11 @@ def main(argv=None) -> int:
                    help="with --serve: also storm a real N-replica "
                         "fleet over HTTP vs a single no-fastpath "
                         "server (the fleet block of BENCH_serve.json)")
+    p.add_argument("--mutate", action="store_true",
+                   help="benchmark dynamic graph updates instead: "
+                        "WAL-backed update-apply latency and the "
+                        "incremental-vs-full maintenance speedup (the "
+                        "mutate block of BENCH_serve.json)")
     p.set_defaults(func=_cmd_bench)
 
     p = sub.add_parser(
@@ -757,6 +807,11 @@ def main(argv=None) -> int:
     p.add_argument("--shards", type=int, default=None,
                    help="shard the graph across N fleet replicas "
                         "(replica i owns shard i; implies --workers N)")
+    p.add_argument("--wal-dir", default=None,
+                   help="enable POST /graph/update backed by a durable "
+                        "write-ahead log in this directory; restarts "
+                        "replay it (per-replica WALs in fleet mode). "
+                        "See docs/dynamic-graphs.md")
     p.add_argument("--drain-timeout", type=float, default=10.0,
                    help="seconds to let in-flight requests finish on "
                         "SIGTERM/SIGINT before stopping")

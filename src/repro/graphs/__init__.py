@@ -14,6 +14,16 @@ from repro.graphs.metrics import (
     edge_homophily,
     clustering_summary,
 )
+from repro.graphs.mutate import (
+    MutationConflict,
+    MutationDelta,
+    UpdateBatch,
+    apply_batch,
+    check_batch,
+    dirty_rows,
+    incremental_gcn_norm,
+    normalization_state,
+)
 from repro.graphs.partition import (
     edge_cut_fraction,
     khop_neighborhood,
@@ -47,6 +57,14 @@ __all__ = [
     "partition_graph",
     "edge_cut_fraction",
     "khop_neighborhood",
+    "MutationConflict",
+    "MutationDelta",
+    "UpdateBatch",
+    "apply_batch",
+    "check_batch",
+    "dirty_rows",
+    "incremental_gcn_norm",
+    "normalization_state",
     "Shard",
     "ShardPlan",
     "build_shard_plan",

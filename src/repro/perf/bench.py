@@ -47,7 +47,9 @@ SCHEMA_INFER = "repro.bench.infer/v1"
 # serve v2 = v1 (latency/concurrent_warm/coalesce blocks unchanged) + the
 # optional "fleet" block measured over HTTP with --workers N.
 # serve v3 = v2 + the optional "sharded" block from `bench --sharded`.
-SCHEMA_SERVE = "repro.bench.serve/v3"
+# serve v4 = v3 + the optional "mutate" block from `bench --mutate`
+# (WAL-backed update-apply latency, incremental vs full maintenance).
+SCHEMA_SERVE = "repro.bench.serve/v4"
 DEFAULT_MODELS = ("gcn", "sgc", "lasagne")
 
 #: perf-switch settings of the two benchmark modes.
@@ -77,19 +79,22 @@ def _speedup(reference: Optional[float], optimized: Optional[float]) -> Optional
 
 
 def _preserve_sharded(path: pathlib.Path, doc: dict) -> dict:
-    """Carry an existing committed ``"sharded"`` block into ``doc``.
+    """Carry committed ``"sharded"``/``"mutate"`` blocks into ``doc``.
 
-    The sharded benchmark (``bench --sharded``) is a separate, much more
-    expensive run; a plain ``bench`` rewrite must not silently drop its
-    committed results.
+    The sharded and mutate benchmarks (``bench --sharded`` /
+    ``bench --mutate``) are separate runs; a plain ``bench`` rewrite
+    must not silently drop their committed results.
     """
-    if "sharded" not in doc and path.exists():
+    missing = [key for key in ("sharded", "mutate") if key not in doc]
+    if missing and path.exists():
         try:
             previous = json.loads(path.read_text(encoding="utf-8"))
         except (OSError, json.JSONDecodeError):
             return doc
-        if isinstance(previous, dict) and "sharded" in previous:
-            doc["sharded"] = previous["sharded"]
+        if isinstance(previous, dict):
+            for key in missing:
+                if key in previous:
+                    doc[key] = previous[key]
     return doc
 
 
@@ -516,6 +521,200 @@ def run_serve_bench(
         path.write_text(json.dumps(serve_doc, indent=2) + "\n")
         paths.append(str(path))
     return {"serve": serve_doc, "paths": paths}
+
+
+# ----------------------------------------------------------------------
+def run_mutate_bench(
+    dataset: str = "synthetic",
+    model: str = "sgc",
+    batches: int = 50,
+    edges_per_batch: int = 8,
+    feature_upserts: int = 2,
+    full_rounds: int = 5,
+    scale: Optional[float] = None,
+    seed: int = 0,
+    out_dir: str = ".",
+    write: bool = True,
+) -> dict:
+    """Benchmark dynamic graph updates; writes the ``"mutate"`` block
+    of ``BENCH_serve.json`` (other blocks preserved).
+
+    Drives ``batches`` randomized mutation batches (edge adds/removes
+    plus feature upserts) through
+    :meth:`~repro.serve.InferenceEngine.apply_update` with a real
+    fsync'ing WAL, timing the whole committed path: WAL append, CSR
+    surgery, incremental ``Â^k X`` maintenance, row-level logit-store
+    invalidation, publish.  The baseline is what each update would cost
+    without incremental maintenance — a from-scratch ``gcn_norm`` plus a
+    dense ``Â^k X`` rebuild — giving the headline
+    ``speedup_vs_full``.  A warm predict is timed after every batch, so
+    the block also shows what serving pays right after an update.
+    """
+    import tempfile
+
+    from repro.datasets import load_dataset
+    from repro.graphs.mutate import UpdateBatch
+    from repro.graphs.normalize import gcn_norm
+    from repro.resilience.wal import GraphMutationLog
+    from repro.serve import InferenceEngine, PredictRequest
+    from repro.training import hyperparams_for
+
+    graph = load_dataset(dataset, scale=scale, seed=seed)
+    hp = hyperparams_for(dataset)
+    registry = MetricsRegistry()
+    rng = np.random.default_rng(seed)
+    m = _build(model, graph, hp, seed).setup(graph)
+
+    def random_batch(live, index: int) -> UpdateBatch:
+        n = live.num_nodes
+        adj = live.adj
+        rows, cols = adj.nonzero()
+        upper = rows < cols
+        rows, cols = rows[upper], cols[upper]
+        k_rm = min(edges_per_batch // 2, len(rows))
+        removes = []
+        if k_rm:
+            picks = rng.choice(len(rows), size=k_rm, replace=False)
+            removes = [(int(rows[i]), int(cols[i])) for i in picks]
+        adds = []
+        seen = set(removes)
+        tries = 0
+        while len(adds) < edges_per_batch and tries < 100 * edges_per_batch:
+            tries += 1
+            u, v = (int(x) for x in rng.integers(0, n, size=2))
+            if u == v:
+                continue
+            if u > v:
+                u, v = v, u
+            if (u, v) in seen or adj[u, v] != 0:
+                continue
+            seen.add((u, v))
+            adds.append((u, v))
+        upserts = None
+        if feature_upserts:
+            nodes = rng.choice(n, size=min(feature_upserts, n), replace=False)
+            values = rng.standard_normal((len(nodes), live.num_features))
+            upserts = (nodes, values)
+        return UpdateBatch(
+            update_id=f"bench-{index}",
+            add_edges=adds,
+            remove_edges=removes,
+            feature_updates=upserts,
+        )
+
+    with tempfile.TemporaryDirectory(prefix="repro-mutate-bench-") as tmp:
+        engine = InferenceEngine(
+            m, graph, registry=registry, fastpath=True,
+            wal=GraphMutationLog.in_dir(tmp),
+        )
+        # Warm the logit store so row-level invalidation has something
+        # to migrate (mirrors a live server taking updates mid-traffic).
+        warm_nodes = np.arange(min(64, graph.num_nodes))
+        engine.predict(PredictRequest(nodes=warm_nodes))
+
+        apply_timer = registry.timer("mutate_bench.apply")
+        warm_timer = registry.timer("mutate_bench.warm_after")
+        dirty = 0
+        incremental = 0
+        migrated_entries = 0
+        for index in range(batches):
+            batch = random_batch(engine.graph, index)
+            with apply_timer:
+                result = engine.apply_update(batch)
+            dirty += result.get("dirty_rows") or 0
+            incremental += 1 if result.get("incremental") else 0
+            migrated_entries += result.get("store_entries_migrated") or 0
+            with warm_timer:
+                engine.predict(PredictRequest(nodes=warm_nodes))
+
+        k = engine.receptive_field() or 2
+        full_timer = registry.timer("mutate_bench.full_rebuild")
+        for _ in range(full_rounds):
+            with full_timer:
+                op = gcn_norm(engine.graph.adj)
+                x = np.asarray(engine.graph.features, dtype=op.csr.dtype)
+                for _ in range(k):
+                    x = op.csr @ x
+
+        final_version = engine.graph_version
+        wal_info = engine.info().get("wal") or {}
+
+    apply_stats = _summary(apply_timer.histogram)
+    full_stats = _summary(full_timer.histogram)
+    mutate_doc = {
+        "settings": {
+            "dataset": dataset,
+            "model": model,
+            "batches": batches,
+            "edges_per_batch": edges_per_batch,
+            "feature_upserts": feature_upserts,
+            "full_rounds": full_rounds,
+            "scale": scale,
+            "seed": seed,
+            "num_nodes": graph.num_nodes,
+            "num_features": graph.num_features,
+            "receptive_field": k,
+        },
+        "apply": {
+            **apply_stats, "p99_s": apply_timer.histogram.percentile(99)
+        },
+        "warm_predict_after_update": _summary(warm_timer.histogram),
+        "full_rebuild": full_stats,
+        "speedup_vs_full": _speedup(
+            full_stats["mean_s"], apply_stats["mean_s"]
+        ),
+        "incremental_batches": incremental,
+        "dirty_rows_total": int(dirty),
+        "store_entries_migrated": int(migrated_entries),
+        "final_graph_version": final_version,
+        "wal_records": wal_info.get("records"),
+    }
+
+    paths = []
+    if write:
+        out = pathlib.Path(out_dir)
+        out.mkdir(parents=True, exist_ok=True)
+        path = out / "BENCH_serve.json"
+        doc = {}
+        if path.exists():
+            try:
+                doc = json.loads(path.read_text(encoding="utf-8"))
+            except (OSError, json.JSONDecodeError):
+                doc = {}
+        if not isinstance(doc, dict):
+            doc = {}
+        doc["schema"] = SCHEMA_SERVE
+        doc["mutate"] = mutate_doc
+        path.write_text(json.dumps(doc, indent=2) + "\n")
+        paths.append(str(path))
+    return {"mutate": mutate_doc, "paths": paths}
+
+
+def format_mutate_report(result: dict) -> str:
+    """Human-readable summary of a :func:`run_mutate_bench` result."""
+    block = result["mutate"]
+    s = block["settings"]
+    apply = block["apply"]
+    full = block["full_rebuild"]
+    warm = block["warm_predict_after_update"]
+    lines = [
+        f"mutate bench: {s['dataset']} ({s['num_nodes']:,} nodes), "
+        f"{s['model']} (k={s['receptive_field']}), "
+        f"{s['batches']} WAL-backed update batches",
+        f"  apply (WAL fsync + CSR surgery + incremental maintenance): "
+        f"{1000 * apply['mean_s']:.2f} ms mean, "
+        f"{1000 * apply['p95_s']:.2f} ms p95",
+        f"  full-rebuild baseline (gcn_norm + dense A^k X): "
+        f"{1000 * full['mean_s']:.2f} ms mean",
+        f"  incremental speedup: {block['speedup_vs_full']}x "
+        f"({block['incremental_batches']}/{s['batches']} batches "
+        f"incremental, {block['dirty_rows_total']:,} dirty rows total)",
+        f"  warm predict after update: "
+        f"{1000 * warm['p50_s']:.2f} ms p50",
+        f"  final graph version {block['final_graph_version']}, "
+        f"{block['store_entries_migrated']} store entries migrated",
+    ]
+    return "\n".join(lines)
 
 
 # ----------------------------------------------------------------------

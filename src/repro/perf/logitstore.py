@@ -120,6 +120,9 @@ class LogitStore:
         self.max_entries = max_entries
         self.max_bytes = max_bytes
         self._entries: "OrderedDict[Tuple, np.ndarray]" = OrderedDict()
+        #: Per-entry boolean stale-row masks (row-level invalidation).
+        #: Absent key == fully clean entry.
+        self._stale: Dict[Tuple, np.ndarray] = {}
         self._bytes = 0
         self._lock = threading.RLock()
         self.hits = 0
@@ -127,18 +130,47 @@ class LogitStore:
         self.evictions = 0
         self.rejected = 0
         self.invalidations = 0
+        self.row_invalidations = 0
 
     # ------------------------------------------------------------------
     def get(self, key: Tuple) -> Optional[np.ndarray]:
-        """The memoized logits for ``key`` (shared, read-only) or None."""
+        """The memoized logits for ``key`` (shared, read-only) or None.
+
+        An entry with *any* stale rows is a miss here — the full matrix
+        can't be served whole — and the caller's fresh :meth:`put`
+        replaces it and clears the mask.  Use :meth:`get_rows` to keep
+        serving the clean rows of a partially invalidated entry.
+        """
         with self._lock:
             entry = self._entries.get(key)
-            if entry is None:
+            if entry is None or key in self._stale:
                 self.misses += 1
                 return None
             self._entries.move_to_end(key)
             self.hits += 1
             return entry
+
+    def get_rows(self, key: Tuple, nodes) -> Optional[np.ndarray]:
+        """Rows ``nodes`` of the entry, or None if absent/any row stale.
+
+        The row-level warm path: after :meth:`invalidate_rows` marked
+        part of an entry stale, requests touching only clean rows keep
+        hitting; a request touching a stale row misses and triggers a
+        recompute upstream.
+        """
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            nodes = np.asarray(nodes)
+            mask = self._stale.get(key)
+            if mask is not None and mask[nodes].any():
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return entry[nodes]
 
     def put(self, key: Tuple, logits: np.ndarray) -> np.ndarray:
         """Store ``logits`` under ``key``; returns the shared entry.
@@ -156,6 +188,7 @@ class LogitStore:
         logits.setflags(write=False)
         with self._lock:
             old = self._entries.pop(key, None)
+            self._stale.pop(key, None)
             if old is not None:
                 self._bytes -= old.nbytes
             self._entries[key] = logits
@@ -164,7 +197,8 @@ class LogitStore:
                 len(self._entries) > self.max_entries
                 or self._bytes > self.max_bytes
             ):
-                _, evicted = self._entries.popitem(last=False)
+                evicted_key, evicted = self._entries.popitem(last=False)
+                self._stale.pop(evicted_key, None)
                 self._bytes -= evicted.nbytes
                 self.evictions += 1
             return logits
@@ -181,18 +215,92 @@ class LogitStore:
             stale = [k for k in self._entries if k and k[0] == version]
             for key in stale:
                 self._bytes -= self._entries.pop(key).nbytes
+                self._stale.pop(key, None)
             self.invalidations += len(stale)
             return len(stale)
+
+    def invalidate_rows(self, version: str, node_ids) -> int:
+        """Mark rows ``node_ids`` stale in every entry of ``version``.
+
+        The graph-mutation path: instead of nuking a version whose
+        logits changed for a handful of nodes, only those rows stop
+        serving (:meth:`get_rows` misses on them, :meth:`get` treats
+        the whole entry as a miss) while untouched warm rows keep
+        hitting.  Returns the number of entries touched.  Node ids at
+        or beyond an entry's row count are ignored for that entry.
+        """
+        node_ids = np.asarray(node_ids, dtype=np.int64)
+        with self._lock:
+            touched = 0
+            for key, entry in self._entries.items():
+                if not key or key[0] != version:
+                    continue
+                rows = node_ids[node_ids < entry.shape[0]]
+                if rows.size == 0:
+                    continue
+                mask = self._stale.get(key)
+                if mask is None:
+                    mask = np.zeros(entry.shape[0], dtype=bool)
+                    self._stale[key] = mask
+                mask[rows] = True
+                touched += 1
+            self.row_invalidations += touched
+            return touched
+
+    def migrate(self, old_key: Tuple, new_key: Tuple, stale_rows=None) -> bool:
+        """Move an entry to a new key, marking ``stale_rows`` stale.
+
+        The graph-mutation path rekeys a warm entry from the
+        pre-mutation ``(version, adj_fp, feat_fp, ...)`` key to the
+        post-mutation one so clean rows keep serving across the update;
+        the dirty rows (within the model's receptive field of the
+        change) arrive stale and are repaired by the next full forward.
+        Returns False (and drops nothing) if ``old_key`` is absent;
+        drops the entry and returns False if a stale row id is out of
+        range for it (the mutation grew the graph, so the matrix shape
+        no longer matches).
+        """
+        with self._lock:
+            entry = self._entries.get(old_key)
+            if entry is None:
+                return False
+            stale_rows = np.asarray(
+                [] if stale_rows is None else stale_rows, dtype=np.int64
+            )
+            mask = self._stale.pop(old_key, None)
+            self._entries.pop(old_key)
+            self._bytes -= entry.nbytes
+            if stale_rows.size and stale_rows.max() >= entry.shape[0]:
+                self.invalidations += 1
+                return False
+            if mask is None:
+                mask = np.zeros(entry.shape[0], dtype=bool)
+            else:
+                mask = mask.copy()
+            mask[stale_rows] = True
+            self._entries[new_key] = entry
+            self._entries.move_to_end(new_key)
+            self._bytes += entry.nbytes
+            if mask.any():
+                self._stale[new_key] = mask
+            return True
+
+    def keys(self):
+        """Snapshot of the stored keys (newest last)."""
+        with self._lock:
+            return list(self._entries.keys())
 
     def clear(self) -> None:
         with self._lock:
             self._entries.clear()
+            self._stale.clear()
             self._bytes = 0
             self.hits = 0
             self.misses = 0
             self.evictions = 0
             self.rejected = 0
             self.invalidations = 0
+            self.row_invalidations = 0
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
@@ -217,6 +325,7 @@ class LogitStore:
                 "evictions": self.evictions,
                 "rejected": self.rejected,
                 "invalidations": self.invalidations,
+                "row_invalidations": self.row_invalidations,
             }
 
     def __repr__(self) -> str:
@@ -507,6 +616,35 @@ class SharedLogitStore:
                         idx, _EMPTY, 0, 0, b"\x00" * 20, b"\x00" * 20,
                         0, 0, 0.0,
                     )
+
+    def get_rows(self, key: Tuple, nodes) -> Optional[np.ndarray]:
+        """Rows ``nodes`` of the entry, or None (same contract as get).
+
+        The shared backend has no per-row stale masks (they would need
+        cross-process coordination per entry), so this is a whole-entry
+        :meth:`get` plus a slice; partial invalidation degrades to
+        whole-version invalidation fleet-wide (see
+        :meth:`invalidate_rows`).
+        """
+        full = self.get(key)
+        if full is None:
+            return None
+        return full[np.asarray(nodes)]
+
+    def invalidate_rows(self, version: str, node_ids) -> int:
+        """Row invalidation degraded to :meth:`invalidate_version`.
+
+        Cross-process row masks are not worth a per-row protocol:
+        correctness (never serve a stale row) beats warmth, so the whole
+        version's slots are dropped and the next forward re-publishes.
+        """
+        del node_ids
+        return self.invalidate_version(version)
+
+    def migrate(self, old_key: Tuple, new_key: Tuple, stale_rows=None) -> bool:
+        """Rekeying is unsupported cross-process; callers must recompute."""
+        del old_key, new_key, stale_rows
+        return False
 
     def invalidate_version(self, version: str) -> int:
         """Drop every entry produced by model ``version``; returns count."""

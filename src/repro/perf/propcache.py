@@ -134,6 +134,60 @@ class PropagationCache:
             self._put(key, result)
             return result
 
+    def migrate_propagation(
+        self,
+        old_adj_fp: str,
+        old_feat_fp: str,
+        new_adj: SparseMatrix,
+        new_features: np.ndarray,
+        rows_for_power,
+    ) -> int:
+        """Rebase a cached ``Â^k X`` chain onto a mutated graph.
+
+        Walks powers ``p = 1, 2, ...`` while the old chain
+        ``(scope, old_adj_fp, old_feat_fp, p)`` is cached, and for each
+        one inserts a patched copy under the new operator/feature
+        fingerprints: clean rows keep the old entry's bytes, and the
+        rows ``rows_for_power(p)`` — the closed ``p``-hop neighborhood
+        of the mutation (see :func:`repro.graphs.mutate.dirty_rows`) —
+        are recomputed as ``Â_new[rows] @ P_{p-1}``, which is
+        bitwise-identical per row to a from-scratch rebuild (scipy's
+        CSR·dense kernel accumulates each output row independently in
+        stored order).  Node growth is handled by ``new_features``'s row
+        count: appended rows are always dirty, so patching covers them.
+
+        Stops at the first uncached power (a later ``propagate`` call
+        recomputes the missing tail from the migrated prefix).  Returns
+        the number of powers migrated.  Old entries are left in place
+        for in-flight readers; LRU eviction retires them.
+        """
+        prev = np.ascontiguousarray(new_features)
+        n_new, width = prev.shape
+        new_base = (self.scope, new_adj.fingerprint, array_fingerprint(prev))
+        old_base = (self.scope, old_adj_fp, old_feat_fp)
+        migrated = 0
+        with self._lock:
+            power = 1
+            while True:
+                old_entry = self._entries.get(old_base + (power,))
+                if (
+                    old_entry is None
+                    or old_entry.shape[0] > n_new
+                    or old_entry.shape[1] != width
+                ):
+                    break
+                rows = np.asarray(rows_for_power(power), dtype=np.int64)
+                entry = np.zeros((n_new, width), dtype=old_entry.dtype)
+                entry[: old_entry.shape[0]] = old_entry
+                if rows.size:
+                    entry[rows] = new_adj.csr[rows] @ prev
+                entry.setflags(write=False)
+                self._put(new_base + (power,), entry)
+                prev = entry
+                migrated += 1
+                power += 1
+        return migrated
+
     def memoize(self, key: Tuple, compute) -> np.ndarray:
         """Memoize an arbitrary dense product under ``(scope,) + key``.
 

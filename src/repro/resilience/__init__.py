@@ -34,6 +34,7 @@ from repro.resilience.checkpoint import (
 )
 from repro.resilience.faults import (
     CrashForward,
+    CrashMidApply,
     ExplodingGradient,
     FailNTimes,
     FailStart,
@@ -46,9 +47,11 @@ from repro.resilience.faults import (
     NaNGradient,
     SlowForward,
     SlowStart,
+    TornWALWrite,
     corrupt_file,
     truncate_file,
 )
+from repro.resilience.wal import GraphMutationLog, WALError, WALRecord
 from repro.resilience.guards import (
     DivergenceGuard,
     GuardConfig,
@@ -85,6 +88,11 @@ __all__ = [
     "FaultSchedule",
     "FailNTimes",
     "InjectedFault",
+    "TornWALWrite",
+    "CrashMidApply",
     "truncate_file",
     "corrupt_file",
+    "GraphMutationLog",
+    "WALError",
+    "WALRecord",
 ]

@@ -186,6 +186,100 @@ class CrashForward(SlowForward):
 
 
 # ---------------------------------------------------------------------------
+# Graph-mutation faults (repro.resilience.wal / repro.serve.engine)
+# ---------------------------------------------------------------------------
+
+class TornWALWrite:
+    """Tear a :class:`~repro.resilience.wal.GraphMutationLog` append.
+
+    Plugs into ``GraphMutationLog.fault_hook`` (called as
+    ``hook(log, line)`` under the append lock): when active it writes
+    only the first ``keep_fraction`` of the framed record — the on-disk
+    shape of a crash mid-``write`` — then raises :class:`InjectedFault`,
+    leaving the log poisoned with a torn tail that reopening must
+    detect (checksum/frame failure) and truncate.  ``times=N`` fires on
+    the first N appends only; an inactive hook returns False so the
+    normal write proceeds.
+    """
+
+    def __init__(self, keep_fraction: float = 0.5, times: Optional[int] = 1) -> None:
+        if not 0.0 < keep_fraction < 1.0:
+            raise ValueError(
+                f"keep_fraction must be in (0, 1), got {keep_fraction}"
+            )
+        self.keep_fraction = keep_fraction
+        self.times = times
+        self.fired = 0
+
+    def _active(self) -> bool:
+        if self.times is not None and self.fired >= self.times:
+            return False
+        self.fired += 1
+        return True
+
+    def __call__(self, log, line: bytes) -> bool:
+        if not self._active():
+            return False
+        keep = min(max(1, int(len(line) * self.keep_fraction)), len(line) - 1)
+        fh = log._open()
+        fh.write(line[:keep])
+        fh.flush()
+        os.fsync(fh.fileno())
+        raise InjectedFault(
+            f"injected torn WAL write ({keep}/{len(line)} bytes)"
+        )
+
+
+class CrashMidApply:
+    """Crash a graph update between its WAL commit and the apply.
+
+    Plugs into ``InferenceEngine(update_fault_hook=...)``, which calls
+    ``hook(stage)`` at the apply pipeline's crash seams —
+    ``"pre-wal"`` (nothing durable yet), ``"wal-committed"`` (the
+    default: the batch is fsynced but no in-memory state has changed —
+    exactly the window recovery-by-replay exists for), and
+    ``"pre-publish"`` (state rebuilt but the new version not yet
+    visible).  ``sig=None`` raises :class:`InjectedFault` for
+    in-process tests; ``sig=SIGKILL`` dies for real, which is what the
+    fleet chaos test wants — so the ``times`` budget lives in a
+    ``multiprocessing.Value`` shared across forks, like
+    :class:`SlowStart`'s.
+    """
+
+    def __init__(
+        self,
+        stage: str = "wal-committed",
+        times: Optional[int] = 1,
+        sig: Optional[int] = None,
+    ) -> None:
+        from multiprocessing import Value
+
+        self.stage = stage
+        self.times = times
+        self.sig = sig
+        self._count = Value("i", 0)
+
+    @property
+    def fired(self) -> int:
+        """Cross-process activation count (reads the shared value)."""
+        return int(self._count.value)
+
+    def _active(self) -> bool:
+        with self._count.get_lock():
+            if self.times is not None and self._count.value >= self.times:
+                return False
+            self._count.value += 1
+            return True
+
+    def __call__(self, stage: str) -> None:
+        if stage != self.stage or not self._active():
+            return
+        if self.sig is None:
+            raise InjectedFault(f"injected crash at {stage}")
+        os.kill(os.getpid(), self.sig)
+
+
+# ---------------------------------------------------------------------------
 # Fleet faults (repro.serve.fleet)
 # ---------------------------------------------------------------------------
 

@@ -1,0 +1,279 @@
+"""Write-ahead log for durable dynamic-graph mutation.
+
+Serving a graph that changes under load is only trustworthy if the
+mutation state survives a crash at *any* instruction boundary.  The
+:class:`GraphMutationLog` gives the serving layer that guarantee with
+the same discipline :class:`~repro.resilience.checkpoint.CheckpointManager`
+uses for training state — checksummed records, atomic
+tmp+``os.replace`` repair — specialized to an append-only log:
+
+- **fsync-first**: a mutation batch is appended (``write`` + ``flush``
+  + ``fsync``) *before* any in-memory structure changes.  A crash after
+  the fsync replays the batch on restart; a crash before it loses a
+  batch the client was never acked for.
+- **framed + checksummed**: each record is one line,
+  ``<sha256(payload)>\\t<payload-json>\\n``.  A torn tail — a partial
+  line from a crash mid-``write`` — fails the frame or checksum check
+  and is *truncated*, not fatal: recovery rewrites the good prefix to a
+  temp file and ``os.replace``s it into place.
+- **monotonic + idempotent**: records carry a strictly increasing
+  ``version`` (the graph version after applying them) and a
+  client-supplied ``update_id``; replay skips nothing and duplicates
+  nothing because a version gap or repeated id is treated as corruption
+  and truncated with the tail.
+
+The log knows nothing about graphs — it stores opaque ``ops`` dicts.
+The serving integration (apply, recovery, fencing) lives in
+:mod:`repro.serve.engine`; the mutation semantics in
+:mod:`repro.graphs.mutate`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import pathlib
+import threading
+import time
+from typing import Callable, Dict, List, Optional, Union
+
+from repro.obs import get_logger
+
+PathLike = Union[str, "pathlib.Path"]
+
+_LOG = get_logger("resilience")
+
+#: Default log filename inside a WAL directory.
+WAL_NAME = "graph.wal"
+
+
+class WALError(RuntimeError):
+    """A mutation-log invariant was violated (duplicate id, poisoned log)."""
+
+
+@dataclasses.dataclass(frozen=True)
+class WALRecord:
+    """One committed mutation batch: id, resulting version, opaque ops."""
+
+    update_id: str
+    version: int
+    ops: dict
+    ts: float
+
+    def payload(self) -> bytes:
+        """Canonical JSON bytes (the checksummed frame body)."""
+        return json.dumps(
+            {
+                "update_id": self.update_id,
+                "version": self.version,
+                "ops": self.ops,
+                "ts": self.ts,
+            },
+            sort_keys=True,
+            separators=(",", ":"),
+        ).encode("utf-8")
+
+
+def _frame(payload: bytes) -> bytes:
+    digest = hashlib.sha256(payload).hexdigest().encode("ascii")
+    return digest + b"\t" + payload + b"\n"
+
+
+def _parse_line(line: bytes) -> Optional[WALRecord]:
+    """Decode one framed line; None on any corruption."""
+    digest, sep, payload = line.partition(b"\t")
+    if not sep or hashlib.sha256(payload).hexdigest().encode("ascii") != digest:
+        return None
+    try:
+        obj = json.loads(payload)
+    except (ValueError, UnicodeDecodeError):
+        return None
+    if not isinstance(obj, dict):
+        return None
+    try:
+        update_id = obj["update_id"]
+        version = obj["version"]
+        ops = obj["ops"]
+    except KeyError:
+        return None
+    if not isinstance(update_id, str) or not isinstance(version, int):
+        return None
+    if not isinstance(ops, dict):
+        return None
+    return WALRecord(
+        update_id=update_id,
+        version=version,
+        ops=ops,
+        ts=float(obj.get("ts", 0.0)),
+    )
+
+
+class GraphMutationLog:
+    """Append-only, checksummed, crash-recovering graph mutation log.
+
+    Opening the log recovers it: the file is scanned front to back, and
+    the first frame that fails its checksum, breaks version
+    monotonicity, or repeats an ``update_id`` marks the start of an
+    untrusted tail that is atomically truncated (good prefix → temp
+    file → ``os.replace``).  ``truncated_bytes`` reports how much a
+    recovery dropped, so tests and operators can tell a clean open from
+    a repaired one.
+
+    ``fault_hook`` is a test seam: when set, it is called as
+    ``hook(log, line)`` under the append lock *instead of* the normal
+    write path whenever it returns True (see
+    :class:`~repro.resilience.faults.TornWALWrite`).  An exception out
+    of the hook — or out of the real write — poisons the log: the file
+    may now hold a torn tail, so further appends raise
+    :class:`WALError` until the log is reopened (which repairs it).
+    """
+
+    def __init__(self, path: PathLike, *, fsync: bool = True) -> None:
+        self.path = pathlib.Path(path)
+        self.fsync = fsync
+        self.fault_hook: Optional[Callable[["GraphMutationLog", bytes], bool]] = None
+        self._lock = threading.Lock()
+        self._fh = None
+        self._poisoned = False
+        self._records: List[WALRecord] = []
+        self._versions: Dict[str, int] = {}
+        self._last_version = 0
+        self.truncated_bytes = 0
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._recover()
+
+    @classmethod
+    def in_dir(cls, directory: PathLike, **kwargs) -> "GraphMutationLog":
+        """The conventional log file (``graph.wal``) inside ``directory``."""
+        return cls(pathlib.Path(directory) / WAL_NAME, **kwargs)
+
+    # ------------------------------------------------------------------
+    @property
+    def last_version(self) -> int:
+        """The version of the newest committed record (0 for an empty log)."""
+        with self._lock:
+            return self._last_version
+
+    def version_of(self, update_id: str) -> Optional[int]:
+        """The committed version for ``update_id``, or None if unseen."""
+        with self._lock:
+            return self._versions.get(update_id)
+
+    def records(self) -> List[WALRecord]:
+        """All committed records in commit order (a snapshot copy)."""
+        with self._lock:
+            return list(self._records)
+
+    def records_after(self, version: int) -> List[WALRecord]:
+        """Committed records with ``record.version > version``."""
+        with self._lock:
+            return [r for r in self._records if r.version > version]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._records)
+
+    # ------------------------------------------------------------------
+    def append(self, update_id: str, ops: dict) -> WALRecord:
+        """Durably commit one mutation batch; returns the new record.
+
+        The record is on disk (fsynced) before this returns — only then
+        may the caller mutate any in-memory state.  Appending an already
+        committed ``update_id`` raises :class:`WALError`; callers are
+        expected to consult :meth:`version_of` first and treat the
+        duplicate as an idempotent no-op at their level.
+        """
+        with self._lock:
+            if self._poisoned:
+                raise WALError(
+                    f"mutation log {self.path} is poisoned by a failed "
+                    "write; reopen it to recover"
+                )
+            if update_id in self._versions:
+                raise WALError(f"duplicate update_id {update_id!r}")
+            record = WALRecord(
+                update_id=update_id,
+                version=self._last_version + 1,
+                ops=ops,
+                ts=time.time(),
+            )
+            line = _frame(record.payload())
+            fh = self._open()
+            try:
+                hook = self.fault_hook
+                handled = bool(hook(self, line)) if hook is not None else False
+                if not handled:
+                    fh.write(line)
+                    fh.flush()
+                    if self.fsync:
+                        os.fsync(fh.fileno())
+            except BaseException:
+                self._poisoned = True
+                raise
+            self._records.append(record)
+            self._versions[record.update_id] = record.version
+            self._last_version = record.version
+            return record
+
+    def _open(self):
+        if self._fh is None or self._fh.closed:
+            self._fh = open(self.path, "ab")
+        return self._fh
+
+    def close(self) -> None:
+        with self._lock:
+            if self._fh is not None and not self._fh.closed:
+                self._fh.close()
+            self._fh = None
+
+    # ------------------------------------------------------------------
+    def _recover(self) -> None:
+        """Scan the file, keep the trusted prefix, truncate the rest."""
+        self._records = []
+        self._versions = {}
+        self._last_version = 0
+        self.truncated_bytes = 0
+        if not self.path.exists():
+            return
+        raw = self.path.read_bytes()
+        good_end = 0
+        cursor = 0
+        while cursor < len(raw):
+            newline = raw.find(b"\n", cursor)
+            if newline < 0:
+                break  # torn tail: partial line with no terminator
+            record = _parse_line(raw[cursor:newline])
+            if record is None:
+                break
+            if record.version != self._last_version + 1:
+                break
+            if record.update_id in self._versions:
+                break
+            self._records.append(record)
+            self._versions[record.update_id] = record.version
+            self._last_version = record.version
+            cursor = newline + 1
+            good_end = cursor
+        if good_end < len(raw):
+            self.truncated_bytes = len(raw) - good_end
+            _LOG.warning(
+                "mutation log %s: truncating %d untrusted byte(s) after "
+                "version %d",
+                self.path,
+                self.truncated_bytes,
+                self._last_version,
+            )
+            tmp = self.path.with_name(self.path.name + ".tmp")
+            with open(tmp, "wb") as fh:
+                fh.write(raw[:good_end])
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, self.path)
+
+    def __repr__(self) -> str:
+        return (
+            f"GraphMutationLog(path={str(self.path)!r}, "
+            f"records={len(self._records)}, version={self._last_version})"
+        )

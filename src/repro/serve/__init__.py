@@ -20,8 +20,9 @@ with a deliberate status code, never a traceback.
   fallback (``degraded: true``) → structured 503; startup checkpoint
   loading that skips corrupt archives; atomic hot model swap;
 - :mod:`repro.serve.server` — ``ThreadingHTTPServer`` with ``/predict``,
-  ``/reload``, ``/healthz``, ``/readyz``, ``/metrics`` (the PR-1
-  metrics registry);
+  ``/graph/update`` (durable dynamic-graph mutation; see
+  ``docs/dynamic-graphs.md``), ``/reload``, ``/healthz``, ``/readyz``,
+  ``/metrics`` (the PR-1 metrics registry);
 - :mod:`repro.serve.client` — a retrying client (exponential backoff +
   jitter, idempotent-only retries, including transport errors during
   replica restarts);
@@ -52,20 +53,24 @@ from repro.serve.fastpath import BatchClosed, MicroBatcher, SingleFlight
 from repro.serve.errors import (
     CircuitOpenError,
     DeadlineExceeded,
+    GraphConflict,
     ModelFault,
     ModelUnavailable,
     Overloaded,
     PayloadTooLarge,
     ServeError,
     ValidationError,
+    VersionConflict,
 )
 from repro.serve.guard import CircuitBreaker, Deadline, LoadShedder
-from repro.serve.server import ModelServer
+from repro.serve.server import GRAPH_VERSION_HEADER, ModelServer
 from repro.serve.validate import (
     DEFAULT_MAX_BODY_BYTES,
     DEFAULT_MAX_NODES,
+    DEFAULT_MAX_UPDATE_OPS,
     PredictRequest,
     parse_predict_request,
+    parse_update_request,
 )
 
 __all__ = [
@@ -88,8 +93,11 @@ __all__ = [
     "LoadShedder",
     "PredictRequest",
     "parse_predict_request",
+    "parse_update_request",
     "DEFAULT_MAX_BODY_BYTES",
     "DEFAULT_MAX_NODES",
+    "DEFAULT_MAX_UPDATE_OPS",
+    "GRAPH_VERSION_HEADER",
     "ServeClient",
     "ServeClientError",
     "ServeError",
@@ -100,4 +108,6 @@ __all__ = [
     "ModelUnavailable",
     "DeadlineExceeded",
     "ModelFault",
+    "GraphConflict",
+    "VersionConflict",
 ]

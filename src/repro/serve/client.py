@@ -11,6 +11,15 @@ Retry policy — the conservative production default:
   mid-write) and the *retryable* status codes (429 load-shed, 503
   breaker/unready) — a 4xx validation error will fail identically on
   every replay, so it is surfaced immediately.
+- **409 graph-version conflicts are retryable** (idempotent requests
+  only): a ``graph_version_conflict`` means the replica that answered
+  lags the graph version the request was fenced to — a transient
+  condition while a ``/graph/update`` broadcast propagates through the
+  fleet, not a property of the request.  The client backs off and
+  replays; the router's sibling retry usually resolves it on the first
+  replay.  Conflicts are counted in ``stats()["client.version_conflicts"]``.
+  Any *other* 409 (e.g. a ``graph_conflict`` from a batch that references
+  an unknown node) still fails fast.
 - **exponential backoff with jitter**: ``backoff_s * 2^attempt`` capped
   at ``max_backoff_s``, multiplied by ``1 + jitter * U(0, 1)`` so a
   thundering herd of retrying clients decorrelates.  The RNG and the
@@ -96,6 +105,7 @@ class ServeClient:
         self._attempts = 0
         self._retries = 0
         self._transport_errors = 0
+        self._version_conflicts = 0
 
     def stats(self) -> dict:
         """Lifetime retry accounting for this client instance.
@@ -110,6 +120,7 @@ class ServeClient:
                 "client.attempts": self._attempts,
                 "client.retries": self._retries,
                 "client.transport_errors": self._transport_errors,
+                "client.version_conflicts": self._version_conflicts,
             }
 
     # -- transport -----------------------------------------------------
@@ -168,10 +179,18 @@ class ServeClient:
                 status, body = None, None
                 with self._stats_lock:
                     self._transport_errors += 1
+            version_conflict = status == 409 and _is_version_conflict(body)
+            if version_conflict:
+                with self._stats_lock:
+                    self._version_conflicts += 1
             retryable = (
                 idempotent
                 and attempt < self.retries
-                and (last_error is not None or status in self.retry_statuses)
+                and (
+                    last_error is not None
+                    or status in self.retry_statuses
+                    or version_conflict
+                )
             )
             if not retryable:
                 break
@@ -225,6 +244,50 @@ class ServeClient:
             trace_id=trace_id,
         )
 
+    def update_graph(
+        self,
+        update_id: str,
+        add_edges=None,
+        remove_edges=None,
+        add_nodes: int = 0,
+        new_node_features=None,
+        feature_updates=None,
+        trace_id: Optional[str] = None,
+    ) -> dict:
+        """POST ``/graph/update``: apply a durable mutation batch.
+
+        ``feature_updates`` maps existing node id -> replacement feature
+        row; ``add_nodes``/``new_node_features`` append fresh nodes.
+
+        Idempotent by construction — the server keys the batch on
+        ``update_id``, so a replayed batch (after a transport failure
+        mid-response, say) is acknowledged as a duplicate no-op rather
+        than applied twice.  That makes the standard retry policy safe
+        here, including the 409 version-conflict backoff.
+        """
+        payload: dict = {"update_id": str(update_id)}
+        if add_edges:
+            payload["add_edges"] = [[int(u), int(v)] for u, v in add_edges]
+        if remove_edges:
+            payload["remove_edges"] = [[int(u), int(v)] for u, v in remove_edges]
+        if add_nodes:
+            spec: dict = {"count": int(add_nodes)}
+            if new_node_features is not None:
+                spec["features"] = np.asarray(new_node_features).tolist()
+            payload["add_nodes"] = spec
+        if feature_updates:
+            items = sorted(
+                (int(node), np.asarray(row).tolist())
+                for node, row in dict(feature_updates).items()
+            )
+            payload["feature_updates"] = {
+                "nodes": [node for node, _ in items],
+                "values": [row for _, row in items],
+            }
+        return self._checked(
+            "POST", "/graph/update", payload, trace_id=trace_id
+        )
+
     def reload(self) -> dict:
         """POST ``/reload``: hot-swap the newest valid checkpoint.
 
@@ -246,6 +309,15 @@ class ServeClient:
     def traces(self, n: int = 20, order: str = "slow") -> dict:
         """GET ``/traces``: the server's kept traces, slowest first."""
         return self._checked("GET", f"/traces?n={int(n)}&order={order}")
+
+
+def _is_version_conflict(body) -> bool:
+    if not isinstance(body, dict):
+        return False
+    error = body.get("error")
+    if not isinstance(error, dict):
+        return False
+    return error.get("code") == "graph_version_conflict"
 
 
 def _decode(raw: bytes):

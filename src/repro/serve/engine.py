@@ -43,6 +43,22 @@ the new weights are published, and the active ``(model, version)`` pair
 is a single tuple read, so a stale cached logit can never be served
 after a reload.
 
+:meth:`InferenceEngine.apply_update` is the dynamic-graph entry point
+(``POST /graph/update``): fsync-WAL-first via
+:class:`~repro.resilience.wal.GraphMutationLog`, then copy-on-write CSR
+surgery + incremental renormalization
+(:mod:`repro.graphs.mutate` — bitwise-identical to a full rebuild),
+then *incremental* ``Â^k X`` maintenance (only the rows within k hops
+of the change are recomputed, patched into the
+:class:`~repro.perf.PropagationCache` under the new fingerprints), then
+row-level :class:`~repro.perf.LogitStore` migration — untouched warm
+rows keep serving while the rows inside the model's receptive field of
+the change go stale.  A crash anywhere mid-apply is recovered on
+startup by replaying the WAL from the base graph; replay is idempotent
+by ``update_id`` and duplicate submissions are acknowledged no-ops.
+``graph_version`` (the WAL's monotonic counter) fences the fleet: see
+:mod:`repro.serve.server` / :mod:`repro.serve.router`.
+
 Startup loads models via the PR-2 :class:`CheckpointManager` —
 :func:`engine_from_checkpoint_dir` walks checkpoints newest-first and
 silently skips corrupt archives, so a server always boots from the
@@ -59,6 +75,15 @@ from typing import Callable, Optional, Tuple, Union
 import numpy as np
 
 from repro.graphs.graph import Graph
+from repro.graphs.mutate import (
+    MutationConflict,
+    UpdateBatch,
+    apply_batch,
+    check_batch,
+    dirty_rows,
+    incremental_gcn_norm,
+    normalization_state,
+)
 from repro.graphs.normalize import gcn_norm
 from repro.obs import MetricsRegistry, get_logger, get_registry, get_tracer
 from repro.perf import config as perf_config
@@ -70,13 +95,16 @@ from repro.perf.logitstore import (
 )
 from repro.perf.propcache import array_fingerprint
 from repro.resilience.checkpoint import CheckpointManager, arrays_to_state
+from repro.resilience.wal import GraphMutationLog
 from repro.serve.errors import (
     CircuitOpenError,
     DeadlineExceeded,
+    GraphConflict,
     ModelFault,
     ModelUnavailable,
     ServeError,
 )
+from repro.tensor.sparse import SparseMatrix
 from repro.serve.fastpath import MicroBatcher, SingleFlight
 from repro.serve.guard import CircuitBreaker, Deadline
 from repro.serve.validate import PredictRequest
@@ -219,6 +247,8 @@ class InferenceEngine:
         batch_window_ms: float = 0.0,
         max_batch: int = 256,
         tracer=None,
+        wal: Optional[GraphMutationLog] = None,
+        update_fault_hook: Optional[Callable[[str], None]] = None,
     ) -> None:
         self.model = model
         self.graph = graph
@@ -265,6 +295,20 @@ class InferenceEngine:
                          max_batch=max_batch, clock=clock)
             if batch_window_ms > 0 and fallback is not None else None
         )
+
+        # -- dynamic graph state ----------------------------------------
+        # ``graph_version`` is the WAL's monotonic counter (0 = the base
+        # graph); ``_update_versions`` mirrors the committed update ids so
+        # duplicate submissions are acknowledged no-ops even without a WAL.
+        self.graph_version = 0
+        self.update_fault_hook = update_fault_hook
+        self._update_versions: dict = {}
+        self._update_lock = threading.Lock()
+        self._norm_state: Optional[Tuple[np.ndarray, np.ndarray]] = None
+        self._needs_recovery = False
+        self._wal: Optional[GraphMutationLog] = None
+        if wal is not None:
+            self.attach_wal(wal)
 
     # -- sharding ------------------------------------------------------
     def bind_shard(self, plan, index: int) -> "InferenceEngine":
@@ -352,21 +396,345 @@ class InferenceEngine:
             )
             return new_version
 
+    # -- dynamic graph updates -----------------------------------------
+    def receptive_field(self) -> Optional[int]:
+        """Hop radius a mutation's influence travels in the model's output.
+
+        SGC-style models expose ``k_hops``; message-passing stacks expose
+        ``num_layers``.  ``None`` means the radius is unknown and every
+        memoized logit row must be treated as stale after a mutation.
+        """
+        model = self._active[0]
+        for attr in ("k_hops", "num_layers"):
+            value = getattr(model, attr, None)
+            if isinstance(value, int) and value > 0:
+                return value
+        return None
+
+    def _update_hook(self, stage: str) -> None:
+        """Fault-injection seam: stages ``pre-wal`` / ``wal-committed`` /
+        ``pre-publish`` (see :class:`repro.resilience.CrashMidApply`)."""
+        if self.update_fault_hook is not None:
+            self.update_fault_hook(stage)
+
+    def attach_wal(self, wal: GraphMutationLog) -> int:
+        """Adopt a mutation log and replay committed records into memory.
+
+        The engine must currently hold the graph state as of its own
+        ``graph_version`` (0 for a freshly-built engine on the base
+        graph); every WAL record after that version is re-applied through
+        the same in-memory transition as a live update.  Replay is how a
+        crashed replica recovers: the WAL is the source of truth, memory
+        is a projection of it.  Returns the number of records replayed.
+        """
+        with self._update_lock:
+            self._wal = wal
+            replayed = 0
+            for record in wal.records_after(self.graph_version):
+                batch = UpdateBatch.from_ops(record.update_id, record.ops)
+                self._apply_to_memory(batch, record.version)
+                replayed += 1
+            if replayed:
+                self.registry.counter("serve.graph.replayed").inc(replayed)
+                self.registry.gauge("serve.graph_version").set(
+                    self.graph_version
+                )
+                _LOG.info(
+                    "replayed %d WAL record(s); graph at version %d "
+                    "(%d nodes)",
+                    replayed, self.graph_version, self.graph.num_nodes,
+                )
+            return replayed
+
+    def apply_update(self, batch: UpdateBatch) -> dict:
+        """Durably apply one mutation batch: WAL-first, then memory.
+
+        The transactional order is the whole point:
+
+        1. preflight against live state (409 ``graph_conflict`` before
+           anything is written);
+        2. duplicate ``update_id`` → acknowledged no-op (idempotent
+           retries are safe at every failure point below);
+        3. fsync the WAL record — *the commit point*;
+        4. in-memory transition (CSR surgery, incremental renorm,
+           ``Â^k X`` patching, row-level logit-store migration);
+        5. publish the new fingerprints and ``graph_version``.
+
+        A crash after (3) loses nothing: startup replay re-applies the
+        record.  A *non-fatal* failure after (3) leaves the WAL ahead of
+        memory, so the engine fences itself (503 ``needs_recovery``) and
+        keeps serving the last consistent graph until restarted.
+        """
+        if self.shard_plan is not None:
+            raise ServeError(
+                "graph updates are not supported on shard-bound replicas; "
+                "run the fleet unsharded to serve a dynamic graph",
+                status=501, code="not_supported",
+            )
+        with self._update_lock, self.tracer.span(
+            "serve.graph_update.apply", ops=batch.num_ops
+        ) as span:
+            if self._needs_recovery:
+                raise ServeError(
+                    "a previous update failed after its WAL commit; restart "
+                    "this replica so WAL replay can restore consistency",
+                    status=503, code="needs_recovery",
+                )
+            committed = self._update_versions.get(batch.update_id)
+            if committed is None and self._wal is not None:
+                committed = self._wal.version_of(batch.update_id)
+            if committed is not None:
+                self.registry.counter("serve.graph.duplicates").inc()
+                span.update(duplicate=True, graph_version=self.graph_version)
+                return {
+                    "applied": False,
+                    "duplicate": True,
+                    "update_id": batch.update_id,
+                    "graph_version": self.graph_version,
+                    "num_nodes": self.graph.num_nodes,
+                }
+            try:
+                check_batch(self.graph, batch)
+            except MutationConflict as exc:
+                self.registry.counter("serve.graph.conflicts").inc()
+                raise GraphConflict(str(exc), code=exc.code) from exc
+            self._update_hook("pre-wal")
+            if self._wal is not None:
+                with self.tracer.span("serve.graph_update.wal"):
+                    record = self._wal.append(batch.update_id, batch.to_ops())
+                version = record.version
+            else:
+                version = self.graph_version + 1
+            try:
+                self._update_hook("wal-committed")
+                stats = self._apply_to_memory(batch, version)
+            except BaseException:
+                # The WAL (or, WAL-less, possibly memory itself) is ahead
+                # of the published state: refuse further mutations until a
+                # restart replays the log from the base graph.  Predicts
+                # keep serving the last consistently-published version.
+                self._needs_recovery = True
+                raise
+            self.registry.counter("serve.graph.updates").inc()
+            self.registry.gauge("serve.graph_version").set(version)
+            span.update(graph_version=version, **stats)
+            _LOG.info(
+                "graph update %s -> version %d (%d ops, %d nodes)",
+                batch.update_id, version, batch.num_ops,
+                self.graph.num_nodes,
+            )
+            return {
+                "applied": True,
+                "duplicate": False,
+                "update_id": batch.update_id,
+                "graph_version": version,
+                "num_nodes": self.graph.num_nodes,
+                **stats,
+            }
+
+    def _apply_to_memory(self, batch: UpdateBatch, version: int) -> dict:
+        """The in-memory transition shared by live applies and WAL replay.
+
+        The mutated graph gets a *new object identity*: the old
+        :class:`Graph` and its arrays are never touched, so in-flight
+        forwards reading the old view stay consistent, and every
+        ``id(graph)``-keyed per-model precomputation (the base class's
+        view cache, SGC's attach-time ``Â^K X``) misses naturally instead
+        of silently serving stale state.  ``Â`` is renormalized
+        incrementally when the model uses the stock ``gcn_norm`` operator
+        (bitwise-identical to a rebuild), the shared propagation cache is
+        patched row-wise, the shallow fallback refit, logit-store entries
+        migrated row-wise, and the new graph + fingerprints published
+        last, under the swap lock.
+        """
+        from repro.models.base import GNNModel
+
+        model = self._active[0]
+        old_graph = self.graph
+        old_op = getattr(model, "_norm_adj", None)
+        old_adj_fp = self._adj_fingerprint(model)
+        old_feat_fp = self._feat_fp
+        incremental = (
+            isinstance(old_op, SparseMatrix)
+            and type(model).build_operator is GNNModel.build_operator
+        )
+        if incremental and self._norm_state is None:
+            self._norm_state = normalization_state(old_graph.adj)
+        prev_norm_state = self._norm_state
+        old_fallback = self.fallback
+        with self.tracer.span("serve.graph_update.mutate"):
+            graph = Graph(
+                adj=old_graph.adj,
+                features=old_graph.features,
+                labels=old_graph.labels,
+                train_mask=old_graph.train_mask,
+                val_mask=old_graph.val_mask,
+                test_mask=old_graph.test_mask,
+                name=old_graph.name,
+                num_classes=old_graph.num_classes,
+            )
+            delta = apply_batch(graph, batch)
+        new_op = None
+        if incremental:
+            with self.tracer.span("serve.graph_update.renorm"):
+                new_op, degrees, inv_sqrt = incremental_gcn_norm(
+                    old_op, graph, delta, *self._norm_state
+                )
+                self._norm_state = (degrees, inv_sqrt)
+        else:
+            self._norm_state = None
+        # Patch the shared propagation cache BEFORE re-attaching, so an
+        # SGC-style on_attach propagation lands on the incrementally
+        # maintained rows instead of recomputing Â^k X from scratch.
+        migrated_powers = 0
+        if new_op is not None and old_adj_fp is not None:
+            with self.tracer.span("serve.graph_update.propagate"):
+                migrated_powers = propcache.get_cache().migrate_propagation(
+                    old_adj_fp, old_feat_fp, new_op, graph.features,
+                    lambda power: dirty_rows(graph.adj, delta, power),
+                )
+        # Attach the model to the new view.  Seeding the view cache with
+        # the incrementally renormalized operator makes attach skip its
+        # from-scratch build.  Everything from here to the publish is
+        # rolled back on failure: attach-time models (SGC serves its
+        # attach-time ``Â^K X`` and ignores the operator argument) would
+        # otherwise keep serving the unpublished graph — a torn read.
+        view_cache = getattr(model, "_view_cache", None)
+        prop_tensors = getattr(model, "_prop_tensors", None)
+        try:
+            if view_cache is not None and new_op is not None:
+                view_cache[id(graph)] = (graph, new_op, Tensor(graph.features))
+            if prop_tensors is not None:
+                prop_tensors.clear()
+            model.attach(graph)
+            # Refit the degraded head against the new graph: closed-form
+            # ridge over cached Â^k X, milliseconds, and its old version
+            # key is invalidated below before anything new is published.
+            old_fallback_version = None
+            if self.fallback is not None:
+                old_fallback_version = self.fallback.version
+                with self.tracer.span("serve.graph_update.fallback"):
+                    self.fallback = ShallowFallback(
+                        graph, adj=new_op, k_hops=self.fallback.k_hops
+                    )
+            # Row-level logit-store maintenance: entries under the old
+            # (adj, feat) fingerprints migrate to the new key with only
+            # the receptive-field rows marked stale — untouched warm rows
+            # keep serving.  Unknown radius (or a store without row
+            # semantics) degrades to whole-version invalidation:
+            # correctness over warmth.
+            new_adj_fp = self._adj_fingerprint(model)
+            new_feat_fp = array_fingerprint(graph.features)
+            store = self.logit_store
+            model_version = self._active[1]
+            field = self.receptive_field()
+            stale = (
+                dirty_rows(graph.adj, delta, field)
+                if field is not None
+                else None
+            )
+            migrated_entries = 0
+            if store is not None:
+                if old_fallback_version is not None:
+                    store.invalidate_version(old_fallback_version)
+                if (
+                    stale is not None
+                    and old_adj_fp is not None
+                    and new_adj_fp is not None
+                    and hasattr(store, "keys")
+                ):
+                    for key in store.keys():
+                        if (
+                            isinstance(key, tuple)
+                            and len(key) >= 3
+                            and key[0] == model_version
+                            and key[1] == old_adj_fp
+                            and key[2] == old_feat_fp
+                        ):
+                            new_key = (
+                                model_version, new_adj_fp, new_feat_fp
+                            ) + key[3:]
+                            if store.migrate(key, new_key, stale_rows=stale):
+                                migrated_entries += 1
+                elif stale is not None:
+                    store.invalidate_rows(model_version, stale)
+                else:
+                    store.invalidate_version(model_version)
+            self._update_hook("pre-publish")
+        except BaseException:
+            # Failed before publish: put the model back on the last
+            # published view so predicts never observe the new graph.
+            # Cheap — the old view-cache tuple and the old graph's
+            # attach-time entries (SGC's _prop_cache) are still keyed
+            # alive; migrated store/propcache entries under the new
+            # fingerprints are unreachable garbage, and old-key misses
+            # recompute correct values (cold, not wrong).
+            if view_cache is not None:
+                view_cache.pop(id(graph), None)
+            if prop_tensors is not None:
+                prop_tensors.clear()
+            attach_cache = getattr(model, "_prop_cache", None)
+            if isinstance(attach_cache, dict):
+                for key in [
+                    k for k in attach_cache
+                    if (isinstance(k, tuple) and k and k[0] == id(graph))
+                    or k == id(graph)
+                ]:
+                    attach_cache.pop(key, None)
+            self.fallback = old_fallback
+            self._norm_state = prev_norm_state
+            model.attach(old_graph)
+            raise
+        with self._swap_lock:
+            self.graph = graph
+            self._feat_fp = new_feat_fp
+            self._active = (model, model_version, new_adj_fp)
+            self.graph_version = version
+            self._update_versions[batch.update_id] = version
+        # Published: memory hygiene for id(old_graph)-keyed caches, so a
+        # long-lived engine does not accumulate one view per update.
+        if view_cache is not None:
+            view_cache.pop(id(old_graph), None)
+        attach_cache = getattr(model, "_prop_cache", None)
+        if isinstance(attach_cache, dict):
+            for key in [
+                k for k in attach_cache
+                if (isinstance(k, tuple) and k and k[0] == id(old_graph))
+                or k == id(old_graph)
+            ]:
+                attach_cache.pop(key, None)
+        self.registry.gauge("serve.graph.num_nodes").set(graph.num_nodes)
+        return {
+            "incremental": new_op is not None,
+            "dirty_rows": int(stale.size) if stale is not None else None,
+            "cache_powers_migrated": migrated_powers,
+            "store_entries_migrated": migrated_entries,
+        }
+
     # -- full path -----------------------------------------------------
     def _full_logits(self, request: PredictRequest, model=None) -> np.ndarray:
         """Full-graph logits from the deep model (eval mode, no tape)."""
         model = self.model if model is None else model
-        if request.features is None:
-            x = model._features
+        # Snapshot (operator, features) as ONE dict read of the model's
+        # view-cache tuple: apply_update republishes that tuple atomically,
+        # so a forward overlapping a graph mutation can never pair the new
+        # operator with the old features (or vice versa).
+        view = getattr(model, "_view_cache", {}).get(id(self.graph))
+        if view is not None:
+            _, op, feats = view
         else:
-            patched = self.graph.features.copy()
+            op, feats = model._norm_adj, model._features
+        if request.features is None:
+            x = feats
+        else:
+            patched = feats.data.copy()
             patched[request.nodes] = request.features
             x = Tensor(patched)
         was_training = model.training
         model.eval()
         try:
             with no_grad():
-                logits = model.forward(model._norm_adj, x)
+                logits = model.forward(op, x)
         finally:
             if was_training:
                 model.train()
@@ -572,16 +940,18 @@ class InferenceEngine:
         fast_key = self._store_key(request)
         if fast_key is not None:
             with tracer.span("serve.store.lookup") as span:
-                cached = self.logit_store.get(fast_key)
-                span.set("hit", cached is not None)
-            if cached is not None:
+                # Row-level lookup: after a graph mutation only the rows
+                # inside the model's receptive field of the change are
+                # stale, and requests touching none of them keep hitting.
+                rows = self.logit_store.get_rows(fast_key, request.nodes)
+                span.set("hit", rows is not None)
+            if rows is not None:
                 # Warm hit: no forward, no breaker or latency-EMA
                 # accounting — a lookup can't say anything about the
                 # model's health or its full-forward cost.
                 self.registry.counter("serve.fastpath.hits").inc()
                 return self._result(
-                    request, cached[request.nodes], degraded=False,
-                    cached=True,
+                    request, rows, degraded=False, cached=True,
                 )
             self.registry.counter("serve.fastpath.misses").inc()
 
@@ -706,7 +1076,17 @@ class InferenceEngine:
             "latency_ema_s": self._latency_ema,
             "breaker": self.breaker.snapshot(),
             "fastpath": fastpath,
+            "graph_version": self.graph_version,
         }
+        if self._wal is not None:
+            info["wal"] = {
+                "path": str(self._wal.path),
+                "records": len(self._wal),
+                "last_version": self._wal.last_version,
+                "truncated_bytes": self._wal.truncated_bytes,
+            }
+        if self._needs_recovery:
+            info["needs_recovery"] = True
         if self.shard is not None:
             info["shard"] = {
                 "index": self.shard.index,

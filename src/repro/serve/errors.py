@@ -69,6 +69,38 @@ class Overloaded(ServeError):
     code = "overloaded"
 
 
+class GraphConflict(ServeError):
+    """A graph mutation conflicts with live state (edge exists/missing)."""
+
+    status = 409
+    code = "graph_conflict"
+
+
+class VersionConflict(ServeError):
+    """The replica's graph version is behind the version the caller requires.
+
+    Version fencing for the dynamic-graph path: a router stamps proxied
+    requests with the newest ``graph_version`` it has seen fleet-wide,
+    and a replica that has not yet applied that update answers 409
+    instead of serving logits computed against an older graph.  The
+    conflict is transient (the replica catches up via broadcast or WAL
+    replay), so clients treat it as retryable for idempotent requests.
+    """
+
+    status = 409
+    code = "graph_version_conflict"
+
+    def __init__(
+        self, message: str, *, have: int, want: int, **kwargs
+    ) -> None:
+        detail = kwargs.pop("detail", None) or {}
+        detail.setdefault("have", have)
+        detail.setdefault("want", want)
+        super().__init__(message, detail=detail, **kwargs)
+        self.have = have
+        self.want = want
+
+
 class CircuitOpenError(ServeError):
     """The breaker is open and no degraded fallback is available."""
 

@@ -38,6 +38,7 @@ the shared segment is unlinked.
 from __future__ import annotations
 
 import multiprocessing
+import pathlib
 import signal
 import sys
 import threading
@@ -47,6 +48,7 @@ from typing import Callable, List, Optional
 
 from repro.obs import MetricsRegistry, Tracer, get_logger, set_tracer
 from repro.perf.logitstore import SharedLogitStore
+from repro.resilience.wal import GraphMutationLog
 from repro.serve.fastpath import SingleFlight
 from repro.serve.router import FleetRouter
 from repro.serve.server import ModelServer
@@ -100,9 +102,23 @@ class FleetConfig:
     # workers == plan.num_shards (validated by ServingFleet).
     shard_plan: Optional[object] = field(default=None, repr=False)
 
+    # Dynamic graph updates: each replica opens its own
+    # GraphMutationLog under ``<wal_dir>/replica-<index>/`` and replays
+    # it before binding, so a re-forked replica (which inherits the
+    # parent's pristine version-0 engine) catches back up to the last
+    # committed graph_version on its own.  Incompatible with shard_plan.
+    wal_dir: Optional[str] = None
+
     # Test/chaos hook: called as ``start_hook(index)`` in the replica
     # process before it binds — SlowStart sleeps here, FailStart raises.
     start_hook: Optional[Callable[[int], None]] = field(
+        default=None, repr=False
+    )
+
+    # Test/chaos hook: installed as the replica engine's
+    # ``update_fault_hook`` (stages "pre-wal" / "wal-committed" /
+    # "pre-publish") — CrashMidApply kills or raises here.
+    update_fault_hook: Optional[Callable[[str], None]] = field(
         default=None, repr=False
     )
 
@@ -144,6 +160,15 @@ def _worker_main(
         # index.  Binding routes the model's propagation through
         # shard-local caches (stitched forwards stay full-graph-correct).
         engine.bind_shard(config.shard_plan, index)
+    if config.update_fault_hook is not None:
+        engine.update_fault_hook = config.update_fault_hook
+    if config.wal_dir is not None:
+        # Per-replica WAL: the forked engine starts at the parent's
+        # pristine graph_version 0, so replay brings this replica — and
+        # any later re-fork of it — back to the last committed version.
+        wal_path = pathlib.Path(config.wal_dir) / f"replica-{index}"
+        wal_path.mkdir(parents=True, exist_ok=True)
+        engine.attach_wal(GraphMutationLog.in_dir(wal_path))
 
     if config.start_hook is not None:
         config.start_hook(index)  # chaos: may sleep, raise, or _exit
@@ -215,6 +240,12 @@ class ServingFleet:
             raise ValueError(
                 f"shard mode needs one replica per shard: workers="
                 f"{cfg.workers} != num_shards={cfg.shard_plan.num_shards}"
+            )
+        if cfg.shard_plan is not None and cfg.wal_dir is not None:
+            raise ValueError(
+                "dynamic graph updates (wal_dir) are not supported in "
+                "shard mode: mutating one shard's adjacency invalidates "
+                "its siblings' halo rows"
             )
         self._ctx = multiprocessing.get_context("fork")
         self.store: Optional[SharedLogitStore] = None

@@ -81,6 +81,7 @@ class Replica:
         self.inflight = 0
         self.requests = 0
         self.failures = 0
+        self.graph_version = 0  # last version reported by /readyz probes
         self._lock = threading.Lock()
 
     @property
@@ -109,6 +110,7 @@ class Replica:
                 "inflight": self.inflight,
                 "requests": self.requests,
                 "failures": self.failures,
+                "graph_version": self.graph_version,
             }
 
 
@@ -156,6 +158,10 @@ class FleetRouter:
         self._replicas: Dict[int, Replica] = {}
         self._table_lock = threading.Lock()
         self._rr = 0
+        # Newest graph version observed anywhere in the fleet (update
+        # broadcasts, proxied response headers, readyz probes).  Proxied
+        # predicts are stamped with it as a version fence.
+        self.graph_version = 0
         self._draining = False
         self._inflight = 0
         self._inflight_lock = threading.Lock()
@@ -298,12 +304,36 @@ class FleetRouter:
         try:
             conn.request("GET", "/readyz")
             response = conn.getresponse()
-            response.read()
-            return response.status == 200
+            payload = response.read()
+            if response.status != 200:
+                return False
+            body = _safe_json(payload)
+            engine = body.get("engine") if isinstance(body, dict) else None
+            if isinstance(engine, dict):
+                version = engine.get("graph_version")
+                if isinstance(version, int):
+                    replica.graph_version = version
+                    self.note_graph_version(version)
+            return True
         except _TRANSPORT_ERRORS:
             return False
         finally:
             conn.close()
+
+    # -- graph-version tracking -----------------------------------------
+    def note_graph_version(self, version) -> None:
+        """Advance the fleet-max graph version (monotonic, race-benign)."""
+        if isinstance(version, int) and version > self.graph_version:
+            self.graph_version = version
+
+    def _note_version_header(self, headers: dict) -> None:
+        for key, value in headers.items():
+            if key.lower() == "x-graph-version":
+                try:
+                    self.note_graph_version(int(value))
+                except (TypeError, ValueError):
+                    pass
+                return
 
     # -- proxying -------------------------------------------------------
     def _pick(self, exclude: Optional[int] = None) -> Optional[Replica]:
@@ -409,6 +439,19 @@ class FleetRouter:
                 headers = {"Content-Type": "application/json"}
                 if span.trace_id:
                     headers["X-Trace-Id"] = span.trace_id
+                # Version fence: stamp the newest graph version this
+                # router has observed fleet-wide (or the caller's own,
+                # whichever is newer) so a lagging replica answers 409
+                # instead of logits from an older graph.
+                fence = self.graph_version
+                inbound_fence = inbound_headers.get("X-Graph-Version")
+                if inbound_fence is not None:
+                    try:
+                        fence = max(fence, int(inbound_fence))
+                    except ValueError:
+                        pass
+                if fence > 0:
+                    headers["X-Graph-Version"] = str(fence)
                 attempted: Optional[int] = None
                 for attempt in range(2):
                     replica = self._pick(exclude=attempted)
@@ -446,6 +489,24 @@ class FleetRouter:
                                         raw, headers,
                                     )
                                 )
+                        self._note_version_header(resp_headers)
+                        if (
+                            attempt == 0
+                            and status == 409
+                            and _is_version_conflict(payload)
+                        ):
+                            # The replica is behind the fence — not dead,
+                            # just lagging.  One-shot retry against an
+                            # up-to-date sibling; a second 409 passes
+                            # through (the client backs off and retries).
+                            registry.counter(
+                                "fleet.router.version_retries"
+                            ).inc()
+                            self.tracer.annotate(
+                                version_conflict_replica=replica.index
+                            )
+                            attempted = replica.index
+                            continue
                         return status, payload, resp_headers
                     except _TRANSPORT_ERRORS as exc:
                         replica.healthy = False
@@ -689,6 +750,51 @@ class FleetRouter:
             merged["probabilities"] = probabilities
         return merged
 
+    # -- dynamic graph updates ------------------------------------------
+    def handle_graph_update(self, raw: bytes) -> tuple:
+        """Broadcast one mutation batch to every healthy replica.
+
+        Each replica applies the batch against its own WAL; the client's
+        ``update_id`` makes the broadcast idempotent per replica, so a
+        replica that already holds the update (e.g. after a crash-replay)
+        answers a duplicate no-op rather than double-applying.  The
+        fleet-max ``graph_version`` advances as soon as *any* replica
+        commits — lagging replicas are fenced on ``/predict`` until they
+        catch up (or are restarted and recover via WAL replay).
+        """
+        if self.shard_plan is not None:
+            raise ServeError(
+                "graph updates are not supported on a shard-bound fleet",
+                code="not_supported", status=501,
+            )
+        registry = self.registry
+        registry.counter("fleet.router.graph_updates").inc()
+        results = self.broadcast("POST", "/graph/update", raw)
+        if not results:
+            raise ServeError(
+                "no replica available to apply the update",
+                code="no_replicas", status=503,
+            )
+        statuses = [r["status"] for r in results if "status" in r]
+        for entry in results:
+            body = entry.get("body")
+            if entry.get("status") == 200 and isinstance(body, dict):
+                self.note_graph_version(body.get("graph_version"))
+        ok = bool(statuses) and all(s == 200 for s in statuses)
+        if ok:
+            status = 200
+        elif statuses and len(set(statuses)) == 1:
+            # Every replica gave the same deliberate answer (validation
+            # 4xx, state conflict 409): pass that verdict through.
+            status = statuses[0]
+        else:
+            status = 502
+        return status, {
+            "applied": ok,
+            "graph_version": self.graph_version,
+            "replicas": results,
+        }
+
     # -- broadcast (reload) --------------------------------------------
     def broadcast(
         self, method: str, path: str, body: Optional[bytes] = None
@@ -729,6 +835,17 @@ class FleetRouter:
             "healthy": self.healthy_count(),
         }
 
+    def _replica_snapshots(self) -> List[dict]:
+        """Per-replica snapshots with graph-version lag vs the fleet max."""
+        snapshots = []
+        for replica in self.replicas():
+            snap = replica.snapshot()
+            snap["version_lag"] = max(
+                0, self.graph_version - snap["graph_version"]
+            )
+            snapshots.append(snap)
+        return snapshots
+
     def handle_readyz(self) -> tuple:
         if self._draining:
             return 503, {"ready": False, "reason": "draining"}
@@ -737,12 +854,14 @@ class FleetRouter:
             return 503, {
                 "ready": False,
                 "reason": "no healthy replica",
-                "replicas": [r.snapshot() for r in self.replicas()],
+                "graph_version": self.graph_version,
+                "replicas": self._replica_snapshots(),
             }
         return 200, {
             "ready": True,
             "healthy": healthy,
-            "replicas": [r.snapshot() for r in self.replicas()],
+            "graph_version": self.graph_version,
+            "replicas": self._replica_snapshots(),
         }
 
     #: Replica counters summed fleet-wide in the /metrics aggregate.
@@ -751,6 +870,8 @@ class FleetRouter:
         "serve.predict.full", "serve.predict.degraded",
         "serve.predict.failures", "serve.fastpath.hits",
         "serve.fastpath.misses", "serve.internal_errors",
+        "serve.graph.updates", "serve.graph.duplicates",
+        "serve.fence.conflicts",
     )
 
     def handle_metrics(self) -> tuple:
@@ -834,6 +955,18 @@ def _safe_json(payload: bytes):
         return {"raw": repr(payload[:200])}
 
 
+def _is_version_conflict(payload: bytes) -> bool:
+    """True when a replica's 409 body is a ``graph_version_conflict``."""
+    body = _safe_json(payload)
+    if not isinstance(body, dict):
+        return False
+    error = body.get("error")
+    return (
+        isinstance(error, dict)
+        and error.get("code") == "graph_version_conflict"
+    )
+
+
 class _RouterHTTPServer(ThreadingHTTPServer):
     # socketserver's default listen backlog is 5; a barrier-released
     # stampede of concurrent connects overflows it and the dropped SYNs
@@ -864,7 +997,9 @@ class _RouterHandler(BaseHTTPRequestHandler):
         try:
             self.send_response(status)
             for key, value in headers.items():
-                if key.lower() in ("content-type", "x-trace-id"):
+                if key.lower() in (
+                    "content-type", "x-trace-id", "x-graph-version"
+                ):
                     self.send_header(key, value)
             self.send_header("Content-Length", str(len(body)))
             self.end_headers()
@@ -900,31 +1035,43 @@ class _RouterHandler(BaseHTTPRequestHandler):
         else:
             self._dispatch(lambda: (404, _not_found(self.path)))
 
+    def _read_checked_body(self, endpoint: str) -> bytes:
+        router = self.router
+        length = self.headers.get("Content-Length")
+        if length is None:
+            raise ValidationError(
+                f"POST {endpoint} requires a Content-Length header",
+                code="missing_content_length", status=411,
+            )
+        length = int(length)
+        if length > router.max_body_bytes:
+            self.close_connection = True
+            raise ServeError(
+                f"request body is {length} bytes, limit is "
+                f"{router.max_body_bytes}",
+                code="payload_too_large", status=413,
+            )
+        return self.rfile.read(length)
+
     def do_POST(self) -> None:  # noqa: N802 (stdlib name)
         router = self.router
         path = self.path.split("?", 1)[0]
         if path == "/reload":
             self._dispatch(router.handle_reload)
             return
+        if path == "/graph/update":
+
+            def graph_update():
+                raw = self._read_checked_body("/graph/update")
+                return router.handle_graph_update(raw)
+
+            self._dispatch(graph_update)
+            return
         if path != "/predict":
             self._dispatch(lambda: (404, _not_found(self.path)))
             return
         try:
-            length = self.headers.get("Content-Length")
-            if length is None:
-                raise ValidationError(
-                    "POST /predict requires a Content-Length header",
-                    code="missing_content_length", status=411,
-                )
-            length = int(length)
-            if length > router.max_body_bytes:
-                self.close_connection = True
-                raise ServeError(
-                    f"request body is {length} bytes, limit is "
-                    f"{router.max_body_bytes}",
-                    code="payload_too_large", status=413,
-                )
-            raw = self.rfile.read(length)
+            raw = self._read_checked_body("/predict")
             status, payload, headers = router.route_predict(raw, self.headers)
             self._send_raw(status, payload, headers)
         except ServeError as exc:
@@ -944,8 +1091,8 @@ def _not_found(path: str) -> dict:
             "message": f"unknown path {path!r}",
             "detail": {
                 "endpoints": [
-                    "/predict", "/reload", "/healthz", "/readyz",
-                    "/metrics", "/fleet",
+                    "/predict", "/graph/update", "/reload", "/healthz",
+                    "/readyz", "/metrics", "/fleet",
                 ]
             },
         }

@@ -7,6 +7,14 @@ endpoints:
   path and the degradation ladder (see :mod:`repro.serve.engine`);
   responses carry ``"cached": true`` when answered from the
   version-keyed logit store without a forward;
+- ``POST /graph/update`` — durable dynamic-graph mutation: validated
+  here (stable 4xx codes, malformed batches never reach the WAL), then
+  applied transactionally by :meth:`InferenceEngine.apply_update`
+  (fsync-WAL-first, incremental renormalization and propagation
+  maintenance, row-level logit invalidation).  Responses — and every
+  ``/predict`` response — carry the ``X-Graph-Version`` header; an
+  inbound ``X-Graph-Version`` on ``/predict`` acts as a version fence
+  (409 ``graph_version_conflict`` when this replica is behind);
 - ``POST /reload``  — hot-reload the newest valid checkpoint from the
   configured checkpoint source and atomically swap it into the engine
   (the old version's memoized logits are invalidated before the new
@@ -65,15 +73,23 @@ from repro.serve.errors import (
     PayloadTooLarge,
     ServeError,
     ValidationError,
+    VersionConflict,
 )
 from repro.serve.guard import Deadline, LoadShedder
 from repro.serve.validate import (
     DEFAULT_MAX_BODY_BYTES,
     DEFAULT_MAX_NODES,
     parse_predict_request,
+    parse_update_request,
 )
 
 _LOG = get_logger("serve")
+
+#: Header carrying the graph version: stamped on every response from an
+#: engine-backed server, and honored on inbound ``POST /predict`` as a
+#: version fence — a replica behind the required version answers 409
+#: (``graph_version_conflict``) instead of serving stale logits.
+GRAPH_VERSION_HEADER = "X-Graph-Version"
 
 
 class ModelServer:
@@ -219,12 +235,28 @@ class ModelServer:
         return drained
 
     # -- endpoint logic (handler-thread context) -----------------------
-    def handle_predict(self, raw: bytes) -> tuple:
+    def handle_predict(
+        self, raw: bytes, required_version: Optional[int] = None
+    ) -> tuple:
         registry = self.registry
         registry.counter("serve.requests").inc()
         if self.engine is None:
             raise ModelUnavailable(
                 "no model loaded (startup found no usable checkpoint)"
+            )
+        if (
+            required_version is not None
+            and self.engine.graph_version < required_version
+        ):
+            # Version fence: this replica has not yet applied the graph
+            # update the caller has already observed elsewhere.  Answer a
+            # retryable 409 rather than logits from the older graph.
+            registry.counter("serve.fence.conflicts").inc()
+            raise VersionConflict(
+                f"replica graph version {self.engine.graph_version} is "
+                f"behind required version {required_version}",
+                have=self.engine.graph_version,
+                want=required_version,
             )
         if not self.shedder.try_acquire():
             registry.counter("serve.shed").inc()
@@ -271,6 +303,36 @@ class ModelServer:
             registry.gauge("serve.breaker.state").set(
                 self.engine.breaker.state_code
             )
+
+    def handle_graph_update(self, raw: bytes) -> tuple:
+        """``POST /graph/update`` — durable dynamic-graph mutation.
+
+        Payload-shape validation happens here (stable 4xx codes, nothing
+        malformed ever reaches the WAL); state-dependent conflicts
+        (removing a missing edge, duplicate ``update_id``) are decided by
+        the engine against live state.  Applies serialize on the
+        engine's update lock, so concurrent predicts keep flowing while
+        a mutation is in progress.
+        """
+        registry = self.registry
+        registry.counter("serve.graph.requests").inc()
+        if self.engine is None:
+            raise ModelUnavailable(
+                "no model loaded (startup found no usable checkpoint)"
+            )
+        with registry.timer("serve.graph.latency_s") as timer:
+            with self.tracer.span("serve.validate") as vspan:
+                batch = parse_update_request(
+                    raw,
+                    num_nodes=self.engine.graph.num_nodes,
+                    num_features=self.engine.graph.num_features,
+                    max_body_bytes=self.max_body_bytes,
+                )
+                if vspan.is_recording:
+                    vspan.update(ops=batch.num_ops, bytes=len(raw))
+            result = self.engine.apply_update(batch)
+        result["latency_ms"] = round(1000 * timer.last, 3)
+        return 200, result
 
     def handle_healthz(self) -> tuple:
         return 200, {
@@ -414,12 +476,17 @@ class _Handler(BaseHTTPRequestHandler):
     #: Trace id of the request being handled (set per request before the
     #: response is written; surfaces as the X-Trace-Id response header).
     _trace_id: Optional[str] = None
+    #: Graph version stamped on the response (X-Graph-Version) so routers
+    #: and clients can track the newest version they have observed.
+    _graph_version: Optional[int] = None
 
     def _send_body(self, status: int, body: bytes, content_type: str) -> None:
         self.send_response(status)
         self.send_header("Content-Type", content_type)
         if self._trace_id:
             self.send_header("X-Trace-Id", self._trace_id)
+        if self._graph_version is not None:
+            self.send_header(GRAPH_VERSION_HEADER, str(self._graph_version))
         self.send_header("Content-Length", str(len(body)))
         self.end_headers()
         self.wfile.write(body)
@@ -466,6 +533,7 @@ class _Handler(BaseHTTPRequestHandler):
         # Keep-alive reuses this handler instance across requests; clear
         # the previous request's trace id so it can't leak into headers.
         self._trace_id = None
+        self._graph_version = None
         server = self.model_server
         path = self.path.split("?", 1)[0]
         if path == "/metrics":
@@ -486,8 +554,48 @@ class _Handler(BaseHTTPRequestHandler):
         else:
             self._dispatch(lambda: _not_found(self.path))
 
+    def _read_post_body(self, endpoint: str) -> bytes:
+        """Read the request body with the size guard applied up front."""
+        server = self.model_server
+        length = self.headers.get("Content-Length")
+        if length is None:
+            raise ValidationError(
+                f"POST {endpoint} requires a Content-Length header",
+                code="missing_content_length", status=411,
+            )
+        length = int(length)
+        if length > server.max_body_bytes:
+            # Shed before reading the body; the connection is closed
+            # afterwards so the unread payload can't poison reuse.
+            self.close_connection = True
+            raise PayloadTooLarge(
+                f"request body is {length} bytes, limit is "
+                f"{server.max_body_bytes}",
+                detail={"bytes": length, "limit": server.max_body_bytes},
+            )
+        return self.rfile.read(length)
+
+    def _required_graph_version(self) -> Optional[int]:
+        """The inbound X-Graph-Version fence, or None when absent."""
+        header = self.headers.get(GRAPH_VERSION_HEADER)
+        if header is None:
+            return None
+        try:
+            return int(header)
+        except ValueError:
+            raise ValidationError(
+                f"{GRAPH_VERSION_HEADER} must be an integer, got {header!r}",
+                code="invalid_graph_version",
+            ) from None
+
+    def _stamp_graph_version(self) -> None:
+        engine = self.model_server.engine
+        if engine is not None:
+            self._graph_version = engine.graph_version
+
     def do_POST(self) -> None:  # noqa: N802 (stdlib name)
         self._trace_id = None
+        self._graph_version = None
         server = self.model_server
         path = self.path.split("?", 1)[0]
         if path == "/reload":
@@ -502,30 +610,31 @@ class _Handler(BaseHTTPRequestHandler):
 
             self._dispatch(reload)
             return
+        if path == "/graph/update":
+
+            def graph_update():
+                raw = self._read_post_body("/graph/update")
+                span = server.tracer.trace(
+                    "serve.graph_update",
+                    trace_id=self.headers.get("X-Trace-Id"),
+                )
+                self._trace_id = span.trace_id
+                try:
+                    with span:
+                        return server.handle_graph_update(raw)
+                finally:
+                    # The version the apply left behind (advanced on
+                    # success, unchanged on conflict/duplicate).
+                    self._stamp_graph_version()
+
+            self._dispatch(graph_update)
+            return
         if path != "/predict":
             self._dispatch(lambda: _not_found(self.path))
             return
 
         def predict():
-            length = self.headers.get("Content-Length")
-            if length is None:
-                raise ValidationError(
-                    "POST /predict requires a Content-Length header",
-                    code="missing_content_length", status=411,
-                )
-            length = int(length)
-            if length > server.max_body_bytes:
-                # Shed before reading the body; the connection is closed
-                # afterwards so the unread payload can't poison reuse.
-                self.close_connection = True
-                raise PayloadTooLarge(
-                    f"request body is {length} bytes, limit is "
-                    f"{server.max_body_bytes}",
-                    detail={
-                        "bytes": length, "limit": server.max_body_bytes
-                    },
-                )
-            raw = self.rfile.read(length)
+            raw = self._read_post_body("/predict")
             # Root span for the request: an inbound X-Trace-Id continues
             # the caller's trace (and forces the sample); the id is set
             # on the handler *before* the body runs so even error
@@ -534,8 +643,13 @@ class _Handler(BaseHTTPRequestHandler):
                 "serve.predict", trace_id=self.headers.get("X-Trace-Id")
             )
             self._trace_id = span.trace_id
-            with span:
-                return server.handle_predict(raw)
+            try:
+                with span:
+                    return server.handle_predict(
+                        raw, required_version=self._required_graph_version()
+                    )
+            finally:
+                self._stamp_graph_version()
 
         self._dispatch(predict)
 
@@ -547,8 +661,8 @@ def _not_found(path: str) -> tuple:
             "message": f"unknown path {path!r}",
             "detail": {
                 "endpoints": [
-                    "/predict", "/reload", "/healthz", "/readyz",
-                    "/metrics", "/traces",
+                    "/predict", "/graph/update", "/reload", "/healthz",
+                    "/readyz", "/metrics", "/traces",
                 ]
             },
         }

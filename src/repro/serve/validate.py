@@ -1,10 +1,13 @@
-"""Request validation and sanitization for ``/predict``.
+"""Request validation and sanitization for ``/predict`` and ``/graph/update``.
 
-A malformed request must never reach the model: this module turns raw
-request bytes into a typed :class:`PredictRequest` or raises a
-:class:`~repro.serve.errors.ValidationError` /
+A malformed request must never reach the model — and a malformed
+*mutation* must never reach the write-ahead log (a logged batch is
+replayed forever, so garbage in the WAL is garbage in every future
+recovery).  This module turns raw request bytes into a typed
+:class:`PredictRequest` / :class:`~repro.graphs.mutate.UpdateBatch` or
+raises a :class:`~repro.serve.errors.ValidationError` /
 :class:`~repro.serve.errors.PayloadTooLarge` with a stable error code.
-Checks, in order:
+``/predict`` checks, in order:
 
 - body size against ``max_body_bytes`` (cheap reject before parsing);
 - JSON well-formedness and a top-level object with only known keys;
@@ -16,6 +19,12 @@ Checks, in order:
   so they are rejected at the door;
 - ``deadline_ms`` (optional): a positive number;
 - ``return_probabilities`` (optional): a boolean.
+
+``/graph/update`` checks (:func:`parse_update_request`) are
+payload-shape only — self-loops, duplicate pairs, out-of-range ids,
+non-finite feature values, oversized batches.  Conflicts that depend on
+live graph *state* (edge already present / missing) are checked by the
+engine under its apply lock and surface as 409s, not 400s.
 """
 
 from __future__ import annotations
@@ -177,6 +186,234 @@ def _validate_features(
             detail={"offending_rows": rows[:8].tolist()},
         )
     return matrix
+
+
+# ---------------------------------------------------------------------------
+# POST /graph/update
+# ---------------------------------------------------------------------------
+
+#: Default cap on total operations (edges + nodes + upserts) per batch.
+DEFAULT_MAX_UPDATE_OPS = 4096
+
+_UPDATE_KEYS = frozenset(
+    {"update_id", "add_edges", "remove_edges", "add_nodes", "feature_updates"}
+)
+
+
+def parse_update_request(
+    raw: bytes,
+    *,
+    num_nodes: int,
+    num_features: int,
+    max_body_bytes: int = DEFAULT_MAX_BODY_BYTES,
+    max_ops: int = DEFAULT_MAX_UPDATE_OPS,
+):
+    """Validate raw ``/graph/update`` bytes into an ``UpdateBatch``.
+
+    Every check here is against the payload and the graph's static
+    geometry (node count, feature width) — nothing that depends on
+    which edges currently exist, so a batch that parses is safe to
+    append to the WAL verbatim.
+    """
+    from repro.graphs.mutate import UpdateBatch
+
+    if len(raw) > max_body_bytes:
+        raise PayloadTooLarge(
+            f"request body is {len(raw)} bytes, limit is {max_body_bytes}",
+            detail={"bytes": len(raw), "limit": max_body_bytes},
+        )
+    try:
+        body = json.loads(raw.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ValidationError(
+            f"request body is not valid JSON: {exc}", code="invalid_json"
+        ) from None
+    if not isinstance(body, dict):
+        raise ValidationError(
+            f"request body must be a JSON object, got {type(body).__name__}",
+            code="invalid_request",
+        )
+    unknown = sorted(set(body) - _UPDATE_KEYS)
+    if unknown:
+        raise ValidationError(
+            f"unknown request field(s): {', '.join(unknown)}",
+            code="unknown_field",
+            detail={"unknown": unknown, "known": sorted(_UPDATE_KEYS)},
+        )
+
+    update_id = body.get("update_id")
+    if update_id is None:
+        raise ValidationError(
+            "missing required field 'update_id' (the idempotency key)",
+            code="missing_update_id",
+        )
+    if not isinstance(update_id, str) or not update_id or len(update_id) > 256:
+        raise ValidationError(
+            "'update_id' must be a non-empty string of at most 256 chars",
+            code="invalid_update_id",
+        )
+
+    add_nodes, new_features = _validate_add_nodes(
+        body.get("add_nodes"), num_features=num_features
+    )
+    bound = num_nodes + add_nodes
+    add_edges = _validate_edge_list(
+        body.get("add_edges"), field="add_edges", num_nodes=bound
+    )
+    remove_edges = _validate_edge_list(
+        body.get("remove_edges"), field="remove_edges", num_nodes=num_nodes
+    )
+    feature_updates = _validate_feature_updates(
+        body.get("feature_updates"),
+        num_nodes=num_nodes,
+        num_features=num_features,
+    )
+
+    total_ops = (
+        len(add_edges)
+        + len(remove_edges)
+        + add_nodes
+        + (0 if feature_updates is None else len(feature_updates[0]))
+    )
+    if total_ops == 0:
+        raise ValidationError(
+            "update contains no operations", code="empty_update"
+        )
+    if total_ops > max_ops:
+        raise ValidationError(
+            f"update batch too large: {total_ops} operation(s) > limit "
+            f"{max_ops}",
+            code="too_many_ops",
+            detail={"count": total_ops, "limit": max_ops},
+        )
+    try:
+        return UpdateBatch(
+            update_id=update_id,
+            add_edges=add_edges,
+            remove_edges=remove_edges,
+            add_nodes=add_nodes,
+            new_features=new_features,
+            feature_updates=feature_updates,
+        )
+    except ValueError as exc:  # defense in depth: batch invariants
+        raise ValidationError(str(exc), code="invalid_request") from None
+
+
+def _validate_edge_list(edges, *, field: str, num_nodes: int) -> np.ndarray:
+    if edges is None:
+        return np.empty((0, 2), dtype=np.int64)
+    if not isinstance(edges, list):
+        raise ValidationError(
+            f"'{field}' must be a list of [u, v] pairs", code="invalid_edges"
+        )
+    for pair in edges:
+        if (
+            not isinstance(pair, list)
+            or len(pair) != 2
+            or any(isinstance(v, bool) or not isinstance(v, int) for v in pair)
+        ):
+            raise ValidationError(
+                f"'{field}' entries must be [u, v] integer pairs, "
+                f"got {pair!r}",
+                code="invalid_edges",
+            )
+    if not edges:
+        return np.empty((0, 2), dtype=np.int64)
+    pairs = np.asarray(edges, dtype=np.int64)
+    loops = pairs[pairs[:, 0] == pairs[:, 1]]
+    if loops.size:
+        raise ValidationError(
+            f"'{field}' contains self-loop(s): {loops[:8].tolist()}",
+            code="self_loop",
+            detail={"offending": loops[:8].tolist()},
+        )
+    bad = pairs[(pairs < 0).any(axis=1) | (pairs >= num_nodes).any(axis=1)]
+    if bad.size:
+        raise ValidationError(
+            f"'{field}' endpoint(s) out of range [0, {num_nodes}): "
+            f"{bad[:8].tolist()}",
+            code="node_out_of_range",
+            detail={"num_nodes": num_nodes, "offending": bad[:8].tolist()},
+        )
+    canonical = np.sort(pairs, axis=1)
+    uniq, counts = np.unique(canonical, axis=0, return_counts=True)
+    dupes = uniq[counts > 1]
+    if dupes.size:
+        raise ValidationError(
+            f"'{field}' contains duplicate pair(s): {dupes[:8].tolist()}",
+            code="duplicate_edge",
+            detail={"offending": dupes[:8].tolist()},
+        )
+    return pairs
+
+
+def _validate_add_nodes(spec, *, num_features: int):
+    if spec is None:
+        return 0, None
+    if not isinstance(spec, dict) or set(spec) - {"count", "features"}:
+        raise ValidationError(
+            "'add_nodes' must be an object {count, features?}",
+            code="invalid_add_nodes",
+        )
+    count = spec.get("count")
+    if isinstance(count, bool) or not isinstance(count, int) or count < 1:
+        raise ValidationError(
+            "'add_nodes.count' must be a positive integer",
+            code="invalid_add_nodes",
+        )
+    features = spec.get("features")
+    if features is None:
+        return count, None
+    matrix = _validate_features(
+        features, count=count, num_features=num_features
+    )
+    return count, matrix
+
+
+def _validate_feature_updates(spec, *, num_nodes: int, num_features: int):
+    if spec is None:
+        return None
+    if not isinstance(spec, dict) or set(spec) - {"nodes", "values"}:
+        raise ValidationError(
+            "'feature_updates' must be an object {nodes, values}",
+            code="invalid_feature_updates",
+        )
+    nodes = spec.get("nodes")
+    if not isinstance(nodes, list) or not nodes:
+        raise ValidationError(
+            "'feature_updates.nodes' must be a non-empty list of node ids",
+            code="invalid_feature_updates",
+        )
+    for value in nodes:
+        if isinstance(value, bool) or not isinstance(value, int):
+            raise ValidationError(
+                f"feature_updates node ids must be integers, got {value!r}",
+                code="invalid_feature_updates",
+            )
+    ids = np.asarray(nodes, dtype=np.int64)
+    bad = ids[(ids < 0) | (ids >= num_nodes)]
+    if bad.size:
+        raise ValidationError(
+            f"feature_updates node id(s) out of range [0, {num_nodes}): "
+            f"{bad[:8].tolist()}",
+            code="node_out_of_range",
+            detail={"num_nodes": num_nodes, "offending": bad[:8].tolist()},
+        )
+    if len(np.unique(ids)) != len(ids):
+        raise ValidationError(
+            "'feature_updates.nodes' contains duplicate node ids",
+            code="invalid_feature_updates",
+        )
+    values = spec.get("values")
+    if not isinstance(values, list):
+        raise ValidationError(
+            "'feature_updates.values' must be a list of feature rows",
+            code="invalid_features",
+        )
+    matrix = _validate_features(
+        values, count=len(ids), num_features=num_features
+    )
+    return ids, matrix
 
 
 def _validate_deadline(deadline_ms) -> Optional[float]:

@@ -20,6 +20,7 @@ Covers the serving-throughput contract end to end:
 
 import json
 import threading
+import time
 import urllib.request
 
 import numpy as np
@@ -182,6 +183,133 @@ class TestLogitStore:
 
     def test_global_store_is_a_singleton(self):
         assert get_logit_store() is get_logit_store()
+
+
+class TestRowInvalidationConcurrency:
+    """`invalidate_rows` under load: a stale row is never served.
+
+    The graph-mutation path (`POST /graph/update`) marks only the
+    receptive-field rows of warm entries stale; everything here guards
+    the resulting three-way race between warm readers, the row
+    invalidator + re-publisher, and a model swap's whole-version
+    invalidation.
+    """
+
+    def test_row_semantics_deterministic(self):
+        store = LogitStore()
+        key = ("v1", "adj", "feat")
+        store.put(key, np.zeros((6, 2)))
+        assert store.invalidate_rows("v1", [1, 4]) == 1
+        # Whole-entry get: any stale row poisons the full matrix.
+        assert store.get(key) is None
+        # Row gets: clean rows keep hitting, stale rows miss.
+        assert store.get_rows(key, [0, 2, 3, 5]) is not None
+        assert store.get_rows(key, [0, 4]) is None
+        # Out-of-range ids are ignored; unrelated versions untouched.
+        store.put(("v2",), np.zeros((2, 2)))
+        assert store.invalidate_rows("v1", [99]) == 0
+        assert store.get(("v2",)) is not None
+        # A fresh put clears the mask.
+        store.put(key, np.ones((6, 2)))
+        assert store.get(key) is not None
+        assert store.info()["row_invalidations"] == 1
+
+    def test_race_readers_never_see_an_invalidated_generation(self):
+        """Readers racing invalidate_rows/put cannot observe a row value
+        older than the last invalidation they started after."""
+        store = LogitStore(max_entries=4)
+        key = ("v1", "adj")
+        n_rows, dirty = 8, np.array([2, 5])
+        clean = np.array([0, 1, 3, 4, 6, 7])
+
+        def matrix(gen):
+            m = np.zeros((n_rows, 2))
+            m[dirty] = float(gen)
+            return m
+
+        store.put(key, matrix(0))
+        inv_floor = [0]  # generations whose invalidation has completed
+        stop = threading.Event()
+        failures = []
+
+        def reader():
+            rng = np.random.default_rng()
+            while not stop.is_set():
+                floor = inv_floor[0]
+                if rng.random() < 0.5:
+                    rows = store.get_rows(key, dirty)
+                    # A hit on a dirty row after invalidation g completed
+                    # must carry the gen-g (or later) re-publish.
+                    if rows is not None and rows[0, 0] < floor:
+                        failures.append((rows[0, 0], floor))
+                else:
+                    rows = store.get_rows(key, clean)
+                    if rows is not None and rows.any():
+                        failures.append(("clean row mutated", rows))
+
+        threads = [threading.Thread(target=reader) for _ in range(4)]
+        for t in threads:
+            t.start()
+        try:
+            for gen in range(1, 200):
+                store.invalidate_rows("v1", dirty)
+                inv_floor[0] = gen
+                store.put(key, matrix(gen))
+        finally:
+            stop.set()
+            for t in threads:
+                t.join()
+        assert not failures, failures[:3]
+        # The point of row-level invalidation: clean rows stayed warm.
+        assert store.hits > 0
+
+    def test_race_with_concurrent_version_swap(self):
+        """invalidate_version (model swap) racing row invalidation and
+        warm readers: after the swap completes, the old version's
+        entries never hit again."""
+        store = LogitStore(max_entries=8)
+        old_key, new_key = ("v-old", "adj"), ("v-new", "adj")
+        store.put(old_key, np.zeros((4, 2)))
+        store.put(new_key, np.ones((4, 2)))
+        swapped = threading.Event()
+        stop = threading.Event()
+        failures = []
+
+        def reader():
+            while not stop.is_set():
+                was_swapped = swapped.is_set()
+                rows = store.get_rows(old_key, [0, 1])
+                if was_swapped and rows is not None:
+                    failures.append("old version served after swap")
+                if store.get_rows(new_key, [2, 3]) is None:
+                    store.put(new_key, np.ones((4, 2)))
+
+        def mutator():
+            while not stop.is_set():
+                store.invalidate_rows("v-old", [1])
+                store.put(old_key, np.zeros((4, 2)))
+
+        threads = [threading.Thread(target=reader) for _ in range(3)]
+        threads.append(threading.Thread(target=mutator))
+        for t in threads:
+            t.start()
+        try:
+            time.sleep(0.05)
+            stop.set()  # quiesce the mutator's re-puts of the old key
+            for t in threads[-1:]:
+                t.join()
+            threads.pop()
+            store.invalidate_version("v-old")
+            swapped.set()
+            stop.clear()
+            time.sleep(0.05)
+        finally:
+            stop.set()
+            for t in threads:
+                t.join()
+        assert not failures, failures[:3]
+        assert store.get(old_key) is None
+        assert store.get(new_key) is not None
 
 
 class TestFingerprints:
