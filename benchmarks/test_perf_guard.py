@@ -43,7 +43,7 @@ REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
 #: Committed baseline file -> required schema version.
 BASELINE_SCHEMAS = {
     "BENCH_train.json": "repro.bench.train/v2",
-    "BENCH_infer.json": "repro.bench.infer/v1",
+    "BENCH_infer.json": "repro.bench.infer/v2",
     "BENCH_serve.json": "repro.bench.serve/v4",
 }
 
@@ -242,3 +242,69 @@ class TestShardedBaselines:
         eq = result["train_sharded"]["equivalence"]
         assert eq["bitwise_identical"] is True
         assert result["paths"] == []  # write=False must not touch disk
+
+
+# ---------------------------------------------------------------------------
+# Kernel-baseline guards (the `bench --kernels` block of BENCH_infer.json)
+# ---------------------------------------------------------------------------
+
+class TestKernelBaselines:
+    """The committed kernels block must prove speed *and* equivalence.
+
+    The fused-chain 1.5× floor is absolute (the PR's acceptance bar);
+    the tiled-spmm pair only asserts bitwise identity because at the
+    committed 800-node scale the tiler falls back to a single block and
+    the int32-vs-int64 delta is inside timer noise.
+    """
+
+    def test_committed_kernels_block_present(self):
+        kernels = load_baseline("BENCH_infer.json")["kernels"]
+        assert {"settings", "tiled_spmm", "fused_power_chain",
+                "restricted_eval", "quantized_fallback"} <= set(kernels)
+        assert kernels["settings"]["k"] >= 3
+        assert kernels["settings"]["index_dtype"] == "int32"
+
+    def test_committed_kernels_equivalence_flags(self):
+        kernels = load_baseline("BENCH_infer.json")["kernels"]
+        assert kernels["tiled_spmm"]["bitwise_identical"] is True
+        assert kernels["fused_power_chain"]["bitwise_identical"] is True
+        assert kernels["restricted_eval"]["argmax_identical"] is True
+        quant = kernels["quantized_fallback"]
+        assert quant["argmax_identical"] is True
+        assert quant["int8_weight_bytes"] < quant["float_weight_bytes"]
+
+    def test_committed_kernels_speedup_floors(self):
+        kernels = load_baseline("BENCH_infer.json")["kernels"]
+        chain = kernels["fused_power_chain"]
+        assert chain["spmms_fused"] < chain["spmms_sequential"]
+        assert chain["speedup"] is not None and chain["speedup"] >= 1.5, (
+            f"committed fused-chain speedup {chain['speedup']}× below the "
+            "1.5× acceptance floor; regenerate with "
+            "`python -m repro bench --kernels`"
+        )
+        restricted = kernels["restricted_eval"]
+        assert restricted["speedup"] is not None and restricted["speedup"] > 1, (
+            f"committed restricted-eval speedup {restricted['speedup']}× — "
+            "a union micro-batch must be cheaper than a full forward"
+        )
+
+    def test_fresh_kernels_run_vs_baseline(self):
+        from repro.perf.bench import run_kernels_bench
+
+        baseline = load_baseline("BENCH_infer.json")["kernels"]
+        result = run_kernels_bench(repeats=15, write=False)
+        assert result["paths"] == []  # write=False must not touch disk
+        fresh = result["kernels"]
+        assert fresh["tiled_spmm"]["bitwise_identical"] is True
+        assert fresh["fused_power_chain"]["bitwise_identical"] is True
+        assert fresh["restricted_eval"]["argmax_identical"] is True
+        assert fresh["quantized_fallback"]["argmax_identical"] is True
+        for block in ("fused_power_chain", "restricted_eval"):
+            base = baseline[block]["speedup"]
+            current = fresh[block]["speedup"]
+            floor = base * BASELINE_TOLERANCE
+            assert current is not None and current >= floor, (
+                f"{block} speedup {current}× fell below {floor:.2f}× "
+                f"({BASELINE_TOLERANCE:.0%} of the committed {base}× "
+                "baseline in BENCH_infer.json)"
+            )

@@ -298,6 +298,23 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             print(f"\nwrote {path}")
         return 0
 
+    if args.kernels:
+        from repro.perf.bench import format_kernels_report, run_kernels_bench
+
+        result = run_kernels_bench(
+            dataset=args.dataset,
+            k=max(args.k, 3),
+            repeats=args.repeats,
+            scale=args.scale,
+            seed=args.seed,
+            out_dir=args.out_dir,
+            write=not args.no_write,
+        )
+        print(format_kernels_report(result))
+        for path in result["paths"]:
+            print(f"\nwrote {path}")
+        return 0
+
     if args.mutate:
         from repro.perf.bench import format_mutate_report, run_mutate_bench
 
@@ -779,6 +796,12 @@ def main(argv=None) -> int:
                         "WAL-backed update-apply latency and the "
                         "incremental-vs-full maintenance speedup (the "
                         "mutate block of BENCH_serve.json)")
+    p.add_argument("--kernels", action="store_true",
+                   help="benchmark the raw kernels instead: int32 tiled "
+                        "spmm vs int64 plain, fused power chain vs "
+                        "per-power recomputation, union-restricted eval "
+                        "vs full predict, int8 fallback head (the "
+                        "kernels block of BENCH_infer.json)")
     p.set_defaults(func=_cmd_bench)
 
     p = sub.add_parser(

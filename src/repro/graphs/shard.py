@@ -43,6 +43,7 @@ from repro.graphs.partition import (
     khop_neighborhood,
     partition_graph,
 )
+from repro.perf.config import kernels_enabled
 from repro.tensor.sparse import SparseMatrix
 
 #: Default deepest power a plan supports (covers every stock model depth).
@@ -118,6 +119,9 @@ class Shard:
     reach: List[np.ndarray]
     blocks: List[sp.csr_matrix]
     signature: str
+    _block_kernels: Optional[list] = dataclasses.field(
+        default=None, repr=False, compare=False
+    )
 
     @property
     def max_power(self) -> int:
@@ -145,18 +149,81 @@ class Shard:
                 f"power {k} outside this shard's supported range "
                 f"[1, {self.max_power}]"
             )
+        return self.propagate_chain(features, k, cache=cache)[-1]
+
+    def propagate_chain(
+        self, features: np.ndarray, k: int, cache=None
+    ) -> List[np.ndarray]:
+        """This shard's owned rows of **every** power ``1..k``, fused.
+
+        One block chain down from ``reach[k]`` yields all the powers:
+        after applying ``blocks[j]`` the intermediate equals
+        ``(Â^{k-j} X)[reach[j]]`` (the docs/sharding.md induction), and
+        the owned nodes are a sorted subset of every ``reach[j]``, so
+        each lower power's owned rows are extracted with one
+        ``searchsorted`` — ``k`` block spmms total instead of the
+        ``k(k+1)/2`` that per-power chains cost.  Rows are
+        bitwise-identical to per-power :meth:`propagate` results, so
+        both entry points share cache entries (same keys).
+        """
+        if not 1 <= k <= self.max_power:
+            raise ValueError(
+                f"power {k} outside this shard's supported range "
+                f"[1, {self.max_power}]"
+            )
         if cache is None:
-            return self._propagate(features, k)
+            return self._propagate_chain(features, k)
         from repro.perf.propcache import array_fingerprint
 
-        key = ("shard", self.signature, array_fingerprint(features), k)
-        return cache.memoize(key, lambda: self._propagate(features, k))
+        feat_fp = array_fingerprint(features)
+        computed: dict = {}
+
+        def chain() -> List[np.ndarray]:
+            if "powers" not in computed:
+                computed["powers"] = self._propagate_chain(features, k)
+            return computed["powers"]
+
+        return [
+            cache.memoize(
+                ("shard", self.signature, feat_fp, power),
+                lambda power=power: chain()[power - 1],
+            )
+            for power in range(1, k + 1)
+        ]
+
+    def _apply_block(self, j: int, dense: np.ndarray) -> np.ndarray:
+        """``blocks[j] @ dense`` — through the int32 tiled kernel when
+        ``perf_mode(kernels=True)`` is active (bitwise-identical)."""
+        if kernels_enabled() and dense.ndim == 2:
+            if self._block_kernels is None:
+                self._block_kernels = [None] * len(self.blocks)
+            kernel = self._block_kernels[j]
+            if kernel is None:
+                from repro.perf.kernels import CSRKernel
+
+                kernel = CSRKernel(self.blocks[j])
+                self._block_kernels[j] = kernel
+            return kernel.matmul(dense)
+        return self.blocks[j] @ dense
 
     def _propagate(self, features: np.ndarray, k: int) -> np.ndarray:
         result = np.ascontiguousarray(features[self.reach[k]])
         for j in range(k - 1, -1, -1):
-            result = self.blocks[j] @ result
+            result = self._apply_block(j, result)
         return result
+
+    def _propagate_chain(self, features: np.ndarray, k: int) -> List[np.ndarray]:
+        result = np.ascontiguousarray(features[self.reach[k]])
+        owned: List[Optional[np.ndarray]] = [None] * k
+        for j in range(k - 1, -1, -1):
+            result = self._apply_block(j, result)
+            power = k - j
+            if j == 0:
+                owned[power - 1] = result
+            else:
+                positions = np.searchsorted(self.reach[j], self.nodes)
+                owned[power - 1] = np.ascontiguousarray(result[positions])
+        return owned  # type: ignore[return-value]
 
 
 @dataclasses.dataclass
@@ -224,6 +291,38 @@ class ShardPlan:
         if out is None:  # zero shards cannot happen via build_shard_plan
             raise ValueError("plan has no shards")
         return out
+
+    def propagate_chain(
+        self,
+        features: np.ndarray,
+        k: int,
+        caches: Optional[Sequence] = None,
+    ) -> List[np.ndarray]:
+        """Stitched ``[Â X, …, Â^k X]``, each power shard-by-shard.
+
+        One fused block chain per shard (see
+        :meth:`Shard.propagate_chain`): ``k`` block spmms per shard for
+        *all* the powers, where stitching each power independently costs
+        ``k(k+1)/2``.  Each stitched matrix is bitwise-identical to the
+        corresponding :meth:`propagate` result.
+        """
+        if caches is not None and len(caches) != self.num_shards:
+            raise ValueError(
+                f"expected {self.num_shards} caches, got {len(caches)}"
+            )
+        outs: List[Optional[np.ndarray]] = [None] * k
+        for i, shard in enumerate(self.shards):
+            cache = caches[i] if caches is not None else None
+            chain = shard.propagate_chain(features, k, cache=cache)
+            for power_index, rows in enumerate(chain):
+                if outs[power_index] is None:
+                    outs[power_index] = np.empty(
+                        (self.num_nodes, rows.shape[1]), dtype=rows.dtype
+                    )
+                outs[power_index][shard.nodes] = rows
+        if any(out is None for out in outs):
+            raise ValueError("plan has no shards")
+        return outs  # type: ignore[return-value]
 
     def info(self) -> dict:
         """Structured summary for ``/fleet`` and benchmark reports."""

@@ -42,6 +42,15 @@ from repro.tensor.tensor import Tensor
 class GNNModel(nn.Module):
     """Base class: full-batch training on the attached graph view."""
 
+    #: Whether :meth:`restricted_logits` can produce exact logits for a
+    #: node subset without a full forward pass.  True only for models
+    #: whose eval-time receptive field is a precomputed constant (SGC:
+    #: one matmul over cached ``Â^K X`` rows); deep message-passing
+    #: models leave this False because evaluating a few nodes still
+    #: requires propagating over (nearly) the whole graph — restriction
+    #: would cost more than it saves.
+    supports_restricted_eval = False
+
     def __init__(self) -> None:
         super().__init__()
         self.graph: Optional[Graph] = None
@@ -95,6 +104,18 @@ class GNNModel(nn.Module):
         if was_training:
             self.train()
         return logits.data
+
+    def restricted_logits(self, nodes: np.ndarray) -> Optional[np.ndarray]:
+        """Eval-mode logits for ``nodes`` only, or ``None``.
+
+        The union-restricted micro-batch fast path
+        (:class:`repro.serve.engine.ServeEngine`) calls this on a store
+        miss so a small batch costs ``O(|nodes|)`` instead of a full
+        ``(N, C)`` forward.  The default is ``None`` — callers must fall
+        back to :meth:`predict` — and implementations must return logits
+        matching ``predict()[nodes]``.
+        """
+        return None
 
     def hidden_representations(self) -> List[np.ndarray]:
         """Per-layer hidden matrices of a full eval-mode pass (for MI)."""
@@ -183,11 +204,18 @@ class GNNModel(nn.Module):
             key = (id(adj), k, plan.signature)
             cached = self._prop_tensors.get(key)
             if cached is None:
-                data = plan.propagate(
+                # One fused block chain per shard produces every power
+                # 1..k (see ShardPlan.propagate_chain); stash them all so
+                # a later lower-power request is a dict hit, not k more
+                # spmms.
+                chain = plan.propagate_chain(
                     self._features.data, k, caches=self._shard_caches
                 )
-                cached = Tensor(data)
-                self._prop_tensors[key] = cached
+                for power, data in enumerate(chain, start=1):
+                    self._prop_tensors.setdefault(
+                        (id(adj), power, plan.signature), Tensor(data)
+                    )
+                cached = self._prop_tensors[key]
             return cached
         if not perf_config.propagation_cache_enabled():
             return None

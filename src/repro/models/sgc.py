@@ -20,6 +20,10 @@ from repro.tensor.tensor import Tensor
 class SGC(GNNModel):
     """``softmax(Â^K X W)`` with the propagation cached per graph view."""
 
+    # Eval logits are one matmul over precomputed Â^K X rows, so a
+    # node-subset request needs only those rows (see restricted_logits).
+    supports_restricted_eval = True
+
     def __init__(
         self,
         in_features: int,
@@ -49,13 +53,37 @@ class SGC(GNNModel):
             if cached is not None:
                 self._prop_cache[key] = cached
             else:
-                propagated = self._features.data
-                csr = self._norm_adj.csr
-                for _ in range(self.k_hops):
-                    propagated = csr @ propagated
+                from repro.perf.config import kernels_enabled
+
+                if kernels_enabled() and self._features.data.ndim == 2:
+                    # Fused power chain: K tiled spmms, one pass.
+                    propagated = self._norm_adj.kernel.power_chain(
+                        self._features.data, self.k_hops
+                    )[-1]
+                else:
+                    propagated = self._features.data
+                    csr = self._norm_adj.csr
+                    for _ in range(self.k_hops):
+                        propagated = csr @ propagated
                 self._prop_cache[key] = Tensor(propagated)
         self._propagated = self._prop_cache[key]
 
     def forward(self, adj, x, return_hidden: bool = False):
         logits = self.lin(self._propagated)
         return self._maybe_hidden(logits, [logits], return_hidden)
+
+    def restricted_logits(self, nodes) -> Optional[np.ndarray]:
+        """Logits for ``nodes`` only: one matmul over ``Â^K X`` rows.
+
+        Costs ``O(|nodes| · F · C)`` against the cached propagation,
+        versus the full ``(N, F)`` transform of :meth:`predict` — the
+        union-restricted micro-batch path in the serve engine leans on
+        this when a small batch misses the logit store.
+        """
+        if self._propagated is None:
+            return None
+        rows = self._propagated.data[np.asarray(nodes, dtype=np.int64)]
+        logits = rows @ self.lin.weight.data
+        if self.lin.bias is not None:
+            logits = logits + self.lin.bias.data
+        return logits

@@ -43,7 +43,10 @@ from repro.perf.fused import fused_gcn_layer
 # train v2 = v1 (settings/modes/speedup/micro_ops unchanged) + the
 # optional "sharded" block written by `bench --sharded`.
 SCHEMA_TRAIN = "repro.bench.train/v2"
-SCHEMA_INFER = "repro.bench.infer/v1"
+# infer v2 = v1 (settings/modes/speedup unchanged) + the optional
+# "kernels" block from `bench --kernels` (int32 tiled spmm, fused power
+# chain, union-restricted eval, quantized fallback).
+SCHEMA_INFER = "repro.bench.infer/v2"
 # serve v2 = v1 (latency/concurrent_warm/coalesce blocks unchanged) + the
 # optional "fleet" block measured over HTTP with --workers N.
 # serve v3 = v2 + the optional "sharded" block from `bench --sharded`.
@@ -52,10 +55,18 @@ SCHEMA_INFER = "repro.bench.infer/v1"
 SCHEMA_SERVE = "repro.bench.serve/v4"
 DEFAULT_MODELS = ("gcn", "sgc", "lasagne")
 
-#: perf-switch settings of the two benchmark modes.
+#: perf-switch settings of the two benchmark modes.  ``kernels`` is
+#: pinned explicitly in both: ``perf_mode`` defaults it ON, and the
+#: reference mode must keep running the historical scipy code path.
 MODES = {
-    "reference": {"dtype": "float64", "fused": False, "propagation_cache": False},
-    "optimized": {"dtype": "float32", "fused": True, "propagation_cache": True},
+    "reference": {
+        "dtype": "float64", "fused": False,
+        "propagation_cache": False, "kernels": False,
+    },
+    "optimized": {
+        "dtype": "float32", "fused": True,
+        "propagation_cache": True, "kernels": True,
+    },
 }
 
 
@@ -78,14 +89,16 @@ def _speedup(reference: Optional[float], optimized: Optional[float]) -> Optional
     return round(reference / optimized, 3)
 
 
-def _preserve_sharded(path: pathlib.Path, doc: dict) -> dict:
-    """Carry committed ``"sharded"``/``"mutate"`` blocks into ``doc``.
+def _preserve_sharded(
+    path: pathlib.Path, doc: dict, keys=("sharded", "mutate")
+) -> dict:
+    """Carry committed optional blocks (``keys``) into ``doc``.
 
-    The sharded and mutate benchmarks (``bench --sharded`` /
-    ``bench --mutate``) are separate runs; a plain ``bench`` rewrite
-    must not silently drop their committed results.
+    The sharded/mutate/kernels benchmarks (``bench --sharded`` /
+    ``--mutate`` / ``--kernels``) are separate runs; a plain ``bench``
+    rewrite must not silently drop their committed results.
     """
-    missing = [key for key in ("sharded", "mutate") if key not in doc]
+    missing = [key for key in keys if key not in doc]
     if missing and path.exists():
         try:
             previous = json.loads(path.read_text(encoding="utf-8"))
@@ -326,6 +339,8 @@ def run_bench(
             path = out / f"{stem}.json"
             if stem == "BENCH_train":
                 doc = _preserve_sharded(path, doc)
+            else:
+                doc = _preserve_sharded(path, doc, keys=("kernels",))
             path.write_text(json.dumps(doc, indent=2) + "\n")
             paths.append(str(path))
     return {"train": train_doc, "infer": infer_doc, "paths": paths}
@@ -1226,4 +1241,239 @@ def format_report(result: dict) -> str:
             f"{1e6 * entry['optimized']['mean_s']:>10.1f} "
             f"{entry['speedup'] or 0:>7.2f}x"
         )
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+def run_kernels_bench(
+    dataset: str = "synthetic",
+    k: int = 3,
+    repeats: int = 20,
+    batch: int = 16,
+    scale: Optional[float] = None,
+    seed: int = 0,
+    out_dir: str = ".",
+    write: bool = True,
+) -> dict:
+    """Benchmark the raw kernels (``bench --kernels``).
+
+    Four measurements, each paired with its equivalence verdict so the
+    committed document *proves* the speedups are for the same bits:
+
+    1. int64 plain spmm vs int32 row-tiled spmm (bitwise flag);
+    2. per-power recomputation of ``[Â X … Â^k X]`` from ``X``
+       (``k(k+1)/2`` spmms) vs the fused chain (``k`` spmms) — the
+       multi-power pattern SGC/MixHop/NGCN and the sharded stitch pay;
+    3. union-restricted micro-batch eval (SGC head over ``batch`` ≪ N
+       rows) vs a full-matrix ``predict()`` (argmax-identity flag);
+    4. the int8-quantized fallback head vs the float head (argmax
+       identity over every node, byte sizes, max weight error).
+
+    Results land under a ``"kernels"`` key merged into the existing
+    ``BENCH_infer.json`` (schema v2; prior fields kept).
+    """
+    from repro.datasets import load_dataset
+    from repro.graphs.normalize import gcn_norm
+    from repro.models.sgc import SGC
+    from repro.perf.kernels import (
+        QuantizedHead,
+        compact_csr,
+        fused_power_chain,
+        tiled_spmm,
+        widen_csr,
+    )
+    from repro.serve.engine import ShallowFallback
+
+    if k < 1:
+        raise ValueError(f"kernels bench needs k >= 1, got {k}")
+    registry = MetricsRegistry()
+    rng = np.random.default_rng(seed)
+    graph = load_dataset(dataset, scale=scale, seed=seed)
+    adj = gcn_norm(graph.adj)
+    x = np.ascontiguousarray(graph.features)
+
+    wide = widen_csr(adj.csr)     # the historical int64 layout
+    narrow = compact_csr(adj.csr)  # the kernel's int32 layout
+
+    # -- 1. plain int64 spmm vs tiled int32 spmm ------------------------
+    plain_timer = registry.timer("kernels.spmm_plain")
+    reference = None
+    for _ in range(repeats):
+        with plain_timer:
+            reference = wide @ x
+    tiled_timer = registry.timer("kernels.spmm_tiled")
+    tiled = None
+    for _ in range(repeats):
+        with tiled_timer:
+            tiled = tiled_spmm(narrow, x)
+    spmm_bitwise = bool(np.array_equal(reference, tiled))
+
+    # -- 2. per-power recomputation vs the fused chain ------------------
+    sequential_timer = registry.timer("kernels.powers_sequential")
+    sequential = []
+    for _ in range(repeats):
+        with sequential_timer:
+            sequential = []
+            for power in range(1, k + 1):
+                current = x
+                for _ in range(power):
+                    current = wide @ current
+                sequential.append(current)
+    fused_timer = registry.timer("kernels.powers_fused")
+    fused = []
+    for _ in range(repeats):
+        with fused_timer:
+            fused = fused_power_chain(narrow, x, k)
+    chain_bitwise = bool(
+        all(np.array_equal(a, b) for a, b in zip(sequential, fused))
+    )
+
+    # -- 3. union-restricted eval vs full-matrix predict ----------------
+    model = SGC(
+        graph.num_features, graph.num_classes, k_hops=min(k, 2), seed=seed
+    ).setup(graph)
+    union = np.sort(
+        rng.choice(graph.num_nodes, size=min(batch, graph.num_nodes),
+                   replace=False)
+    )
+    full = model.predict()  # warm caches and BLAS
+    full_timer = registry.timer("kernels.eval_full")
+    for _ in range(repeats):
+        with full_timer:
+            full = model.predict()
+    restricted_timer = registry.timer("kernels.eval_restricted")
+    restricted = None
+    for _ in range(repeats):
+        with restricted_timer:
+            restricted = model.restricted_logits(union)
+    restricted_argmax = bool(
+        np.array_equal(restricted.argmax(axis=1), full[union].argmax(axis=1))
+    )
+
+    # -- 4. quantized fallback head vs float head -----------------------
+    float_fallback = ShallowFallback(graph, quantize=False)
+    quant_head = QuantizedHead(float_fallback.weight, float_fallback.bias)
+    float_logits = float_fallback.full_logits()
+    quant_logits = quant_head.logits(float_fallback._propagated)
+    quant_argmax = bool(
+        np.array_equal(
+            quant_logits.argmax(axis=1), float_logits.argmax(axis=1)
+        )
+    )
+    float_bytes = int(
+        float_fallback.weight.nbytes + float_fallback.bias.nbytes
+    )
+
+    plain_stats = _summary(plain_timer.histogram)
+    tiled_stats = _summary(tiled_timer.histogram)
+    sequential_stats = _summary(sequential_timer.histogram)
+    fused_stats = _summary(fused_timer.histogram)
+    full_stats = _summary(full_timer.histogram)
+    restricted_stats = _summary(restricted_timer.histogram)
+    kernels_doc = {
+        "settings": {
+            "dataset": dataset,
+            "k": k,
+            "repeats": repeats,
+            "batch": int(union.size),
+            "scale": scale,
+            "seed": seed,
+            "num_nodes": graph.num_nodes,
+            "num_edges": int(graph.adj.nnz // 2),
+            "num_features": graph.num_features,
+            "tile_rows": adj.kernel.tile_rows,
+            "index_dtype": str(narrow.indices.dtype),
+        },
+        "tiled_spmm": {
+            "plain_int64": plain_stats,
+            "tiled_int32": tiled_stats,
+            "speedup": _speedup(plain_stats["mean_s"], tiled_stats["mean_s"]),
+            "bitwise_identical": spmm_bitwise,
+        },
+        "fused_power_chain": {
+            "sequential": sequential_stats,
+            "fused": fused_stats,
+            "speedup": _speedup(
+                sequential_stats["mean_s"], fused_stats["mean_s"]
+            ),
+            "bitwise_identical": chain_bitwise,
+            "spmms_sequential": k * (k + 1) // 2,
+            "spmms_fused": k,
+        },
+        "restricted_eval": {
+            "full_predict": full_stats,
+            "restricted": restricted_stats,
+            "speedup": _speedup(
+                full_stats["mean_s"], restricted_stats["mean_s"]
+            ),
+            "argmax_identical": restricted_argmax,
+        },
+        "quantized_fallback": {
+            "argmax_identical": quant_argmax,
+            "float_weight_bytes": float_bytes,
+            "int8_weight_bytes": quant_head.nbytes,
+            "compression": _speedup(float(float_bytes), float(quant_head.nbytes)),
+            "max_weight_error": quant_head.max_weight_error(
+                float_fallback.weight
+            ),
+            "max_logit_error": float(
+                np.abs(quant_logits - float_logits).max()
+            ),
+        },
+    }
+
+    paths = []
+    if write:
+        out = pathlib.Path(out_dir)
+        out.mkdir(parents=True, exist_ok=True)
+        path = out / "BENCH_infer.json"
+        doc = {}
+        if path.exists():
+            try:
+                doc = json.loads(path.read_text(encoding="utf-8"))
+            except (OSError, json.JSONDecodeError):
+                doc = {}
+        if not isinstance(doc, dict):
+            doc = {}
+        doc["schema"] = SCHEMA_INFER
+        doc["kernels"] = kernels_doc
+        path.write_text(json.dumps(doc, indent=2) + "\n")
+        paths.append(str(path))
+    return {"kernels": kernels_doc, "paths": paths}
+
+
+def format_kernels_report(result: dict) -> str:
+    """Human-readable summary of a :func:`run_kernels_bench` result."""
+    block = result["kernels"]
+    s = block["settings"]
+    spmm = block["tiled_spmm"]
+    chain = block["fused_power_chain"]
+    restricted = block["restricted_eval"]
+    quant = block["quantized_fallback"]
+    lines = [
+        f"kernels bench: {s['dataset']} ({s['num_nodes']:,} nodes, "
+        f"{s['num_edges']:,} edges), k={s['k']}, "
+        f"tile_rows={s['tile_rows']}, indices={s['index_dtype']}",
+        f"  tiled int32 spmm: {1e6 * spmm['tiled_int32']['mean_s']:.1f} µs "
+        f"vs plain int64 {1e6 * spmm['plain_int64']['mean_s']:.1f} µs "
+        f"-> {spmm['speedup'] or 0:.2f}x "
+        f"(bitwise={spmm['bitwise_identical']})",
+        f"  fused power chain ({chain['spmms_fused']} spmms vs "
+        f"{chain['spmms_sequential']}): "
+        f"{1000 * chain['fused']['mean_s']:.2f} ms vs "
+        f"{1000 * chain['sequential']['mean_s']:.2f} ms "
+        f"-> {chain['speedup'] or 0:.2f}x "
+        f"(bitwise={chain['bitwise_identical']})",
+        f"  union-restricted eval (batch={s['batch']}): "
+        f"{1e6 * restricted['restricted']['mean_s']:.1f} µs vs full "
+        f"{1e6 * restricted['full_predict']['mean_s']:.1f} µs "
+        f"-> {restricted['speedup'] or 0:.2f}x "
+        f"(argmax={restricted['argmax_identical']})",
+        f"  int8 fallback head: {quant['int8_weight_bytes']:,} B vs "
+        f"{quant['float_weight_bytes']:,} B float "
+        f"-> {quant['compression'] or 0:.1f}x smaller "
+        f"(argmax={quant['argmax_identical']}, "
+        f"max |dW|={quant['max_weight_error']:.2e}, "
+        f"max |dlogit|={quant['max_logit_error']:.2e})",
+    ]
     return "\n".join(lines)

@@ -25,8 +25,17 @@ from typing import Optional
 
 import numpy as np
 
+from repro.perf.config import kernels_enabled
 from repro.tensor.sparse import SparseMatrix
 from repro.tensor.tensor import Tensor, _as_tensor, unbroadcast
+
+
+def _forward_spmm(adj: SparseMatrix, dense: np.ndarray) -> np.ndarray:
+    """Forward ``Â @ dense``, through the tiled int32 kernel when the
+    ``kernels`` switch is on (bitwise-identical either way)."""
+    if kernels_enabled() and dense.ndim == 2:
+        return adj.kernel.matmul(dense)
+    return adj.csr @ dense
 
 _ACTIVATIONS = (None, "relu")
 
@@ -48,7 +57,7 @@ def fused_spmm_bias_act(
     """``act(Â h + b)`` as one tape node; bias/relu applied in place."""
     _check_activation(activation)
     h = _as_tensor(h)
-    out = adj.csr @ h.data
+    out = _forward_spmm(adj, h.data)
     if bias is not None:
         out += bias.data
     if activation == "relu":
@@ -88,7 +97,7 @@ def fused_gcn_layer(
     _check_activation(activation)
     x = _as_tensor(x)
     pre = x.data @ weight.data
-    out = adj.csr @ pre
+    out = _forward_spmm(adj, pre)
     if bias is not None:
         out += bias.data
     if activation == "relu":

@@ -131,6 +131,7 @@ class LogitStore:
         self.rejected = 0
         self.invalidations = 0
         self.row_invalidations = 0
+        self.partial_puts = 0
 
     # ------------------------------------------------------------------
     def get(self, key: Tuple) -> Optional[np.ndarray]:
@@ -202,6 +203,80 @@ class LogitStore:
                 self._bytes -= evicted.nbytes
                 self.evictions += 1
             return logits
+
+    def put_rows(
+        self, key: Tuple, nodes, rows: np.ndarray, num_rows: int
+    ) -> Optional[np.ndarray]:
+        """Store only rows ``nodes`` under ``key``; other rows stay stale.
+
+        The union-restricted micro-batch path computes logits for a
+        small node union instead of the full ``(N, C)`` matrix; this
+        warms the store with exactly those rows.  A fresh key gets a
+        zero buffer whose stale mask covers everything *except*
+        ``nodes`` (so :meth:`get` still misses whole, but
+        :meth:`get_rows` hits for the warmed rows); an existing entry is
+        merged copy-on-write — its clean rows keep serving, ``nodes``
+        are overwritten and un-staled.  Returns the stored entry, or
+        ``None`` if a full-size matrix would exceed the byte budget
+        (nothing is stored; the caller still has its rows).
+        """
+        nodes = np.asarray(nodes, dtype=np.int64)
+        rows = np.ascontiguousarray(rows)
+        if rows.ndim != 2 or rows.shape[0] != nodes.shape[0]:
+            raise ValueError(
+                f"rows shape {rows.shape} does not match "
+                f"{nodes.shape[0]} nodes"
+            )
+        size = int(rows.dtype.itemsize) * int(num_rows) * int(rows.shape[1])
+        if size > self.max_bytes:
+            with self._lock:
+                self.rejected += 1
+            return None
+        with self._lock:
+            entry = self._entries.get(key)
+            if (
+                entry is not None
+                and entry.shape == (num_rows, rows.shape[1])
+                and entry.dtype == rows.dtype
+            ):
+                merged = entry.copy()
+                merged[nodes] = rows
+                merged.setflags(write=False)
+                mask = self._stale.get(key)
+                if mask is not None:
+                    mask = mask.copy()
+                    mask[nodes] = False
+                self._entries[key] = merged  # same nbytes: no accounting
+                if mask is not None and mask.any():
+                    self._stale[key] = mask
+                else:
+                    self._stale.pop(key, None)
+                self._entries.move_to_end(key)
+                self.partial_puts += 1
+                return merged
+            buf = np.zeros((num_rows, rows.shape[1]), dtype=rows.dtype)
+            buf[nodes] = rows
+            buf.setflags(write=False)
+            mask = np.ones(num_rows, dtype=bool)
+            mask[nodes] = False
+            old = self._entries.pop(key, None)
+            self._stale.pop(key, None)
+            if old is not None:
+                self._bytes -= old.nbytes
+            self._entries[key] = buf
+            self._bytes += buf.nbytes
+            if mask.any():
+                self._stale[key] = mask
+            while self._entries and (
+                len(self._entries) > self.max_entries
+                or self._bytes > self.max_bytes
+            ):
+                evicted_key, evicted = self._entries.popitem(last=False)
+                self._stale.pop(evicted_key, None)
+                self._bytes -= evicted.nbytes
+                self.evictions += 1
+            self.partial_puts += 1
+            return buf if key in self._entries else None
 
     # ------------------------------------------------------------------
     def invalidate_version(self, version: str) -> int:
@@ -301,6 +376,7 @@ class LogitStore:
             self.rejected = 0
             self.invalidations = 0
             self.row_invalidations = 0
+            self.partial_puts = 0
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
@@ -326,6 +402,7 @@ class LogitStore:
                 "rejected": self.rejected,
                 "invalidations": self.invalidations,
                 "row_invalidations": self.row_invalidations,
+                "partial_puts": self.partial_puts,
             }
 
     def __repr__(self) -> str:

@@ -28,10 +28,11 @@ from __future__ import annotations
 import hashlib
 import threading
 from collections import OrderedDict
-from typing import Optional, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 
+from repro.perf.config import kernels_enabled
 from repro.tensor.sparse import SparseMatrix
 
 
@@ -42,6 +43,16 @@ def array_fingerprint(array: np.ndarray) -> str:
     digest.update(np.asarray(array.shape, dtype=np.int64).tobytes())
     digest.update(np.ascontiguousarray(array).tobytes())
     return digest.hexdigest()
+
+
+def _apply(adj: SparseMatrix, dense: np.ndarray) -> np.ndarray:
+    """One propagation step ``Â @ dense`` — through the int32 tiled
+    kernel when ``perf_mode(kernels=True)`` is active.  Bitwise-
+    identical either way, so cached entries stay valid across the
+    switch."""
+    if kernels_enabled() and dense.ndim == 2:
+        return adj.kernel.matmul(dense)
+    return adj.csr @ dense
 
 
 class PropagationCache:
@@ -93,6 +104,19 @@ class PropagationCache:
         ``k=1`` performs a single additional spmm.  The result must be
         treated as read-only by callers (it is shared).
         """
+        return self.propagate_chain(adj, features, k)[-1]
+
+    def propagate_chain(
+        self, adj: SparseMatrix, features: np.ndarray, k: int = 1
+    ) -> List[np.ndarray]:
+        """The fused multi-power chain ``[Â X, Â² X, …, Â^k X]``, memoized.
+
+        One pass over the matrix: the walk starts from the deepest cached
+        power and each computed power feeds the next, so a cold call
+        costs ``k`` spmms (not ``k(k+1)/2`` as recomputing every power
+        from ``X`` would) and a warm call costs none.  Every entry in the
+        returned list is a shared read-only cache entry.
+        """
         if k < 1:
             raise ValueError(f"propagation power must be >= 1, got {k}")
         features = np.ascontiguousarray(features)
@@ -110,10 +134,16 @@ class PropagationCache:
             if result is None:
                 result = features
             for power in range(start + 1, k + 1):
-                result = adj.csr @ result
+                result = _apply(adj, result)
                 result.setflags(write=False)
                 self._put(base_key + (power,), result)
-            return result
+            # The chain below ``start`` is warm by construction (every
+            # cold power was just inserted); collect it without another
+            # walk so hit/miss accounting reflects one logical request.
+            return [
+                self._entries[base_key + (power,)]
+                for power in range(1, k + 1)
+            ]
 
     def adjacency_power(self, adj: SparseMatrix, k: int) -> SparseMatrix:
         """Return ``Â^k`` as a :class:`SparseMatrix`, memoized.
@@ -125,13 +155,34 @@ class PropagationCache:
             raise ValueError(f"adjacency power must be >= 0, got {k}")
         if k == 1:
             return adj
-        key = (self.scope, adj.fingerprint, "power", k)
+        base_key = (self.scope, adj.fingerprint, "power")
         with self._lock:
-            cached = self._get(key)
+            cached = self._get(base_key + (k,))
             if cached is not None:
                 return cached
-            result = adj.power(k)
-            self._put(key, result)
+            # Walk down to the deepest cached lower power and multiply
+            # up from there, caching every intermediate — MixHop/NGCN
+            # ask for a whole ladder of powers, and this turns the
+            # ladder into one sparse matmul per rung instead of
+            # recomputing each power from scratch.  ``adj.power(k)`` is
+            # the left fold ``((I·Â)·Â)…·Â``, so seeding with
+            # ``power(start)`` and right-multiplying reproduces it
+            # association-for-association: bitwise-identical results.
+            start = k - 1
+            result = None
+            while start >= 2:
+                lower = self._get(base_key + (start,))
+                if lower is not None:
+                    result = lower
+                    break
+                start -= 1
+            if result is None:
+                start = min(1, k)
+                result = adj.power(start)
+                self._put(base_key + (start,), result)
+            for power in range(start + 1, k + 1):
+                result = SparseMatrix(result.csr @ adj.csr)
+                self._put(base_key + (power,), result)
             return result
 
     def migrate_propagation(

@@ -144,6 +144,7 @@ class ShallowFallback:
         adj=None,
         k_hops: int = 2,
         ridge: float = 1e-3,
+        quantize: Optional[bool] = None,
     ) -> None:
         if k_hops < 1:
             raise ValueError(f"k_hops must be >= 1, got {k_hops}")
@@ -165,6 +166,25 @@ class ShallowFallback:
         solution = np.linalg.solve(gram, design.T @ onehot)
         self.weight = solution[:-1]
         self.bias = solution[-1]
+        # Optional int8 weight quantization (8x smaller head), audited
+        # at fit time: the quantized head only replaces the float one if
+        # its argmax agrees with the float head on EVERY node of this
+        # graph — otherwise the float weights stay and the quantization
+        # is silently dropped.  ``None`` defers to the runtime switch.
+        if quantize is None:
+            quantize = perf_config.quantized_fallback_enabled()
+        self.quantized = None
+        if quantize:
+            from repro.perf.kernels import QuantizedHead
+
+            head = QuantizedHead(self.weight, self.bias)
+            float_argmax = (
+                self._propagated @ self.weight + self.bias
+            ).argmax(axis=1)
+            if np.array_equal(
+                head.logits(self._propagated).argmax(axis=1), float_argmax
+            ):
+                self.quantized = head
         self._version: Optional[str] = None
 
     @property
@@ -178,11 +198,21 @@ class ShallowFallback:
             digest.update(str(self.k_hops).encode())
             digest.update(np.ascontiguousarray(self.weight).tobytes())
             digest.update(np.ascontiguousarray(self.bias).tobytes())
+            if self.quantized is not None:
+                # A quantized head serves (slightly) different logits, so
+                # it must never share memoized entries with the float
+                # head of the same fit.
+                digest.update(b"int8")
+                digest.update(self.quantized.q.tobytes())
+                digest.update(self.quantized.scale.tobytes())
+                digest.update(self.quantized.zero_point.tobytes())
             self._version = "fallback:" + digest.hexdigest()
         return self._version
 
     def full_logits(self) -> np.ndarray:
         """Degraded logits for *every* node (one matmul, memoizable)."""
+        if self.quantized is not None:
+            return self.quantized.logits(self._propagated)
         return self._propagated @ self.weight + self.bias
 
     def logits(
@@ -201,6 +231,8 @@ class ShallowFallback:
             for _ in range(self.k_hops):
                 x = self.adj.csr @ x
             rows = x[nodes]
+        if self.quantized is not None:
+            return self.quantized.logits(rows)
         return rows @ self.weight + self.bias
 
 
@@ -228,7 +260,14 @@ class InferenceEngine:
         evaluation paths (the degraded fallback, and the full path when
         ``fastpath`` is off) are held up to this window and coalesced —
         the union of queued node-id sets is evaluated once.  A batch
-        flushes early once ``max_batch`` node ids are queued.
+        flushes early once ``max_batch`` node ids are queued.  With the
+        store *enabled* and a model that supports restricted evaluation
+        (SGC), store misses also route through the batcher and evaluate
+        only the batch union — see ``restricted_max_frac``.
+    restricted_max_frac:
+        Largest batch-union size, as a fraction of N, that the
+        union-restricted evaluator accepts; bigger unions fall back to
+        one full forward (which warms every store row at similar cost).
     """
 
     def __init__(
@@ -246,6 +285,7 @@ class InferenceEngine:
         logit_store: Optional[LogitStore] = None,
         batch_window_ms: float = 0.0,
         max_batch: int = 256,
+        restricted_max_frac: float = 0.25,
         tracer=None,
         wal: Optional[GraphMutationLog] = None,
         update_fault_hook: Optional[Callable[[str], None]] = None,
@@ -284,6 +324,11 @@ class InferenceEngine:
         self.shard = None
         self.batch_window_ms = batch_window_ms
         self.max_batch = max_batch
+        # Union-restricted micro-batch eval is only profitable while the
+        # union stays well under N: above this fraction a full forward
+        # costs about the same and warms EVERY store row, not just the
+        # union's.
+        self.restricted_max_frac = restricted_max_frac
         window_s = batch_window_ms / 1000.0
         self._full_batcher: Optional[MicroBatcher] = (
             MicroBatcher(self._evaluate_full_union, window_s=window_s,
@@ -350,14 +395,21 @@ class InferenceEngine:
 
         Feature overrides perturb the forward per-request, a non-sparse
         operator has no content fingerprint, and a disabled fast path
-        memoizes nothing — all ineligible.  The perf-mode switches are
-        part of the key because they change the computed bits.
+        memoizes nothing — all ineligible.
         """
-        if (
-            not self.fastpath
-            or self.logit_store is None
-            or request.features is not None
-        ):
+        if request.features is not None:
+            return None
+        return self._current_store_key()
+
+    def _current_store_key(self) -> Optional[Tuple]:
+        """The store key for the active (model, graph, perf) state.
+
+        The perf-mode switches are part of the key because they change
+        the computed bits — except the ``kernels`` switch, which is
+        bitwise-identical by construction and therefore deliberately
+        *not* keyed: entries computed either way are interchangeable.
+        """
+        if not self.fastpath or self.logit_store is None:
             return None
         _, version, adj_fp = self._active
         if adj_fp is None:
@@ -837,8 +889,51 @@ class InferenceEngine:
                 ))
         return logits[request.nodes], not leader
 
+    def _restricted_rows(self, union: np.ndarray, span=None):
+        """Union-restricted rows for a micro-batch, or None.
+
+        When the model can evaluate a node subset exactly
+        (``supports_restricted_eval`` — SGC's one-matmul head) and the
+        union is small relative to N, a store miss costs
+        ``O(|union| · F · C)`` instead of a full ``(N, C)`` forward.
+        The computed rows warm the logit store row-wise
+        (:meth:`~repro.perf.LogitStore.put_rows`), so repeats of the
+        same ids become warm hits without *any* full forward ever
+        running.  Returns ``None`` — caller falls back to the full
+        forward — when the model can't restrict or the union is big
+        enough that a full forward (which warms every row) amortizes
+        better.
+        """
+        model = self._active[0]
+        if not getattr(model, "supports_restricted_eval", False):
+            return None
+        if len(union) > self.restricted_max_frac * self.graph.num_nodes:
+            return None
+        rows = model.restricted_logits(union)
+        if rows is None:
+            return None
+        key = self._current_store_key()
+        if key is not None:
+            put_rows = getattr(self.logit_store, "put_rows", None)
+            if put_rows is not None:
+                put_rows(key, union, rows, self.graph.num_nodes)
+        self.registry.counter("serve.fastpath.restricted_rows").inc(
+            len(union)
+        )
+        if span is not None:
+            span.set("restricted", True)
+        return rows
+
     def _evaluate_full_union(self, union: np.ndarray) -> np.ndarray:
-        """Micro-batch evaluator: one full forward for a union of ids."""
+        """Micro-batch evaluator: one evaluation for a union of ids.
+
+        Union-restricted when the model supports it and the union is
+        small (see :meth:`_restricted_rows`); otherwise one full forward
+        whose ``(N, C)`` matrix also warms the logit store.  Restricted
+        evaluations do not touch the latency EMA — their wall time says
+        nothing about the cost of a full forward, which is what the EMA
+        feeds (deadline preemption).
+        """
         self.registry.histogram("serve.fastpath.batch_size").observe(
             len(union)
         )
@@ -848,12 +943,17 @@ class InferenceEngine:
             with self.tracer.span(
                 "serve.forward", batch_union=len(union)
             ) as span:
-                start = self._clock()
-                logits = self._full_logits(PredictRequest(nodes=union))
-                elapsed = self._clock() - start
-                self._update_latency(elapsed)
-                span.set("forward_ms", round(1000 * elapsed, 3))
-                selected = logits[union]
+                selected = self._restricted_rows(union, span)
+                if selected is None:
+                    start = self._clock()
+                    logits = self._full_logits(PredictRequest(nodes=union))
+                    elapsed = self._clock() - start
+                    self._update_latency(elapsed)
+                    span.set("forward_ms", round(1000 * elapsed, 3))
+                    key = self._current_store_key()
+                    if key is not None:
+                        logits = self.logit_store.put(key, logits)
+                    selected = logits[union]
                 if not np.isfinite(selected).all():
                     raise ModelFault("full model produced non-finite logits")
             self.breaker.record_success()
@@ -979,9 +1079,19 @@ class InferenceEngine:
                 coalesced = False
                 if fast_key is not None:
                     model = self._active[0]
-                    selected, coalesced = self._coalesced_full(
-                        request, deadline, fast_key, model
-                    )
+                    if (
+                        self._full_batcher is not None
+                        and getattr(model, "supports_restricted_eval", False)
+                    ):
+                        # Union-restricted micro-batch: the batcher
+                        # coalesces concurrent misses and the evaluator
+                        # computes only the union's rows (warming those
+                        # store rows) instead of the full (N, C) matrix.
+                        selected = self._batched_full(request, deadline)
+                    else:
+                        selected, coalesced = self._coalesced_full(
+                            request, deadline, fast_key, model
+                        )
                 elif (
                     self._full_batcher is not None
                     and request.features is None

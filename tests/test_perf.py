@@ -98,6 +98,8 @@ class TestDtypePolicy:
                 "dtype": "float32",
                 "fused": True,
                 "propagation_cache": True,
+                "kernels": False,
+                "quantized_fallback": False,
             }
         finally:
             configure(**previous)
